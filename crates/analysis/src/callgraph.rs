@@ -1,0 +1,229 @@
+//! Call graph, SCCs (recursion detection), and topological ordering.
+
+use pt_ir::{FunctionId, Module};
+
+/// The static call graph of a module (direct internal calls only; external
+/// symbols are not nodes — they are handled by the library database, §5.3).
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Adjacency: callees per function.
+    pub callees: Vec<Vec<FunctionId>>,
+    /// Reverse adjacency: callers per function.
+    pub callers: Vec<Vec<FunctionId>>,
+    /// SCC index per function (Tarjan); SCC indices are in reverse
+    /// topological order (callees' SCCs have *lower* indices than callers').
+    pub scc_of: Vec<usize>,
+    /// Members of each SCC.
+    pub sccs: Vec<Vec<FunctionId>>,
+}
+
+impl CallGraph {
+    pub fn build(module: &Module) -> CallGraph {
+        let n = module.functions.len();
+        let mut callees = vec![Vec::new(); n];
+        let mut callers = vec![Vec::new(); n];
+        for f in module.function_ids() {
+            for c in module.callees(f) {
+                callees[f.index()].push(c);
+                callers[c.index()].push(f);
+            }
+        }
+        let (scc_of, sccs) = tarjan(n, &callees);
+        CallGraph {
+            callees,
+            callers,
+            scc_of,
+            sccs,
+        }
+    }
+
+    /// Whether `f` participates in recursion (its SCC has >1 member, or it
+    /// calls itself directly).
+    pub fn is_recursive(&self, f: FunctionId) -> bool {
+        let scc = self.scc_of[f.index()];
+        self.sccs[scc].len() > 1 || self.callees[f.index()].contains(&f)
+    }
+
+    /// Any recursive function in the module? (The paper warns on recursion —
+    /// the volume composition of §4.2 requires its absence.)
+    pub fn has_recursion(&self) -> bool {
+        (0..self.callees.len()).any(|i| self.is_recursive(FunctionId(i as u32)))
+    }
+
+    /// Functions in bottom-up order: every function appears after all of its
+    /// callees (valid only when there is no recursion across SCCs — within an
+    /// SCC the order is arbitrary).
+    pub fn bottom_up_order(&self) -> Vec<FunctionId> {
+        // Tarjan emits SCCs in reverse topological order of the condensation
+        // (callees first), so concatenating SCC members in SCC order works.
+        let mut out = Vec::with_capacity(self.callees.len());
+        for scc in &self.sccs {
+            out.extend_from_slice(scc);
+        }
+        out
+    }
+
+    /// Functions reachable from `roots` (inclusive).
+    pub fn reachable_from(&self, roots: &[FunctionId]) -> Vec<FunctionId> {
+        let n = self.callees.len();
+        let mut seen = vec![false; n];
+        let mut stack: Vec<FunctionId> = roots.to_vec();
+        let mut out = Vec::new();
+        while let Some(f) = stack.pop() {
+            if seen[f.index()] {
+                continue;
+            }
+            seen[f.index()] = true;
+            out.push(f);
+            for &c in &self.callees[f.index()] {
+                if !seen[c.index()] {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Iterative Tarjan SCC. Returns (scc index per node, SCC member lists);
+/// SCC indices are assigned in completion order, which is reverse
+/// topological order of the condensation.
+fn tarjan(n: usize, adj: &[Vec<FunctionId>]) -> (Vec<usize>, Vec<Vec<FunctionId>>) {
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc_of = vec![0usize; n];
+    let mut sccs: Vec<Vec<FunctionId>> = Vec::new();
+    let mut counter = 0usize;
+
+    // Explicit DFS stack: (node, child cursor).
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+        index[start] = counter;
+        lowlink[start] = counter;
+        counter += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = dfs.last_mut() {
+            if *cursor < adj[v].len() {
+                let w = adj[v][*cursor].index();
+                *cursor += 1;
+                if index[w] == UNVISITED {
+                    index[w] = counter;
+                    lowlink[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc_of[w] = sccs.len();
+                        members.push(FunctionId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.reverse();
+                    sccs.push(members);
+                }
+            }
+        }
+    }
+    (scc_of, sccs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_ir::{FunctionBuilder, Type};
+
+    fn leaf(name: &str) -> pt_ir::Function {
+        let mut b = FunctionBuilder::new(name, vec![], Type::Void);
+        b.ret(None);
+        b.finish()
+    }
+
+    fn caller(name: &str, callees: &[FunctionId]) -> pt_ir::Function {
+        let mut b = FunctionBuilder::new(name, vec![], Type::Void);
+        for &c in callees {
+            b.call(c, vec![], Type::Void);
+        }
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn chain_bottom_up() {
+        let mut m = Module::new("m");
+        let a = m.add_function(leaf("a"));
+        let b = m.add_function(caller("b", &[a]));
+        let c = m.add_function(caller("c", &[b]));
+        let cg = CallGraph::build(&m);
+        assert!(!cg.has_recursion());
+        let order = cg.bottom_up_order();
+        let pos = |f: FunctionId| order.iter().position(|&x| x == f).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(b) < pos(c));
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let mut m = Module::new("m");
+        // Build placeholders first so ids exist, then rebuild with calls.
+        let a_id = FunctionId(0);
+        let b_id = FunctionId(1);
+        m.add_function(caller("a", &[b_id]));
+        m.add_function(caller("b", &[a_id]));
+        let cg = CallGraph::build(&m);
+        assert!(cg.has_recursion());
+        assert!(cg.is_recursive(a_id));
+        assert!(cg.is_recursive(b_id));
+        assert_eq!(cg.scc_of[0], cg.scc_of[1]);
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let mut m = Module::new("m");
+        let a_id = FunctionId(0);
+        m.add_function(caller("a", &[a_id]));
+        let cg = CallGraph::build(&m);
+        assert!(cg.is_recursive(a_id));
+    }
+
+    #[test]
+    fn diamond_call_graph() {
+        let mut m = Module::new("m");
+        let d = m.add_function(leaf("d"));
+        let b = m.add_function(caller("b", &[d]));
+        let c = m.add_function(caller("c", &[d]));
+        let a = m.add_function(caller("a", &[b, c]));
+        let cg = CallGraph::build(&m);
+        assert!(!cg.has_recursion());
+        assert_eq!(cg.callers[d.index()].len(), 2);
+        let order = cg.bottom_up_order();
+        let pos = |f: FunctionId| order.iter().position(|&x| x == f).unwrap();
+        assert!(pos(d) < pos(b));
+        assert!(pos(d) < pos(c));
+        assert!(pos(b) < pos(a));
+        assert!(pos(c) < pos(a));
+        let reach = cg.reachable_from(&[b]);
+        assert_eq!(reach.len(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Control-flow-graph orderings and reachability.
+
+use pt_ir::{BlockId, Function};
+
+/// Blocks reachable from the entry, in depth-first preorder.
+pub fn reachable_blocks(func: &Function) -> Vec<BlockId> {
+    let n = func.blocks.len();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![func.entry];
+    while let Some(b) = stack.pop() {
+        if seen[b.index()] {
+            continue;
+        }
+        seen[b.index()] = true;
+        order.push(b);
+        for s in func.successors(b) {
+            if !seen[s.index()] {
+                stack.push(s);
+            }
+        }
+    }
+    order
+}
+
+/// Reverse postorder of the reachable blocks (the iteration order used by
+/// the dominator computation).
+pub fn reverse_postorder(func: &Function) -> Vec<BlockId> {
+    let n = func.blocks.len();
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with explicit successor cursors to obtain postorder.
+    let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+    state[func.entry.index()] = 1;
+    while let Some((b, cursor)) = stack.pop() {
+        let succs = func.successors(b);
+        if cursor < succs.len() {
+            stack.push((b, cursor + 1));
+            let s = succs[cursor];
+            if state[s.index()] == 0 {
+                state[s.index()] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[b.index()] = 2;
+            post.push(b);
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// A mapping from block to its position in reverse postorder (`usize::MAX`
+/// for unreachable blocks).
+pub fn rpo_positions(func: &Function, rpo: &[BlockId]) -> Vec<usize> {
+    let mut pos = vec![usize::MAX; func.blocks.len()];
+    for (i, b) in rpo.iter().enumerate() {
+        pos[b.index()] = i;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_ir::{CmpPred, FunctionBuilder, Type, Value};
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d", vec![("a".into(), Type::I64)], Type::Void);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.cmp(CmpPred::Lt, b.param(0), Value::int(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn rpo_entry_first_join_last() {
+        let f = diamond();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(rpo[3], BlockId(3));
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let mut b = FunctionBuilder::new("u", vec![], Type::Void);
+        let dead = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(reachable_blocks(&f).len(), 1);
+        assert_eq!(reverse_postorder(&f).len(), 1);
+        let rpo = reverse_postorder(&f);
+        let pos = rpo_positions(&f, &rpo);
+        assert_eq!(pos[dead.index()], usize::MAX);
+    }
+
+    #[test]
+    fn rpo_respects_loop_order() {
+        let mut b = FunctionBuilder::new("l", vec![("n".into(), Type::I64)], Type::Void);
+        b.for_loop(0i64, b.param(0), 1i64, |_, _| {});
+        b.ret(None);
+        let f = b.finish();
+        let rpo = reverse_postorder(&f);
+        let pos = rpo_positions(&f, &rpo);
+        // header (bb1) precedes body (bb2); body precedes nothing else wrong.
+        assert!(pos[1] < pos[2]);
+        assert!(pos[0] < pos[1]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Static function classification (§5.1 of the paper).
+//!
+//! At compile time Perf-Taint identifies all functions whose performance
+//! model is *known* to be independent of any program parameter: functions
+//! that contain no loops, or only loops with constant, statically resolvable
+//! trip counts — unless they (transitively) call library routines known to be
+//! performance-relevant (e.g. MPI), in which case they must stay.
+//!
+//! The classification is interprocedural: it runs bottom-up over the call
+//! graph, so a loop-free getter that calls a parametric kernel is *not*
+//! pruned. Recursive functions are conservatively kept and flagged (the
+//! volume composition of §4.2 requires recursion-freedom).
+
+use crate::callgraph::CallGraph;
+use crate::dom::DomTree;
+use crate::loops::LoopForest;
+use crate::scev::{all_trip_counts, TripCount};
+use pt_ir::{Callee, FunctionId, InstKind, Module};
+use std::collections::HashSet;
+
+/// Why a function was kept (not statically pruned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeepReason {
+    /// Contains a loop whose trip count is not a compile-time constant.
+    NonConstantLoop,
+    /// Calls a performance-relevant external (library database hit).
+    RelevantExternal(String),
+    /// Calls a function that is itself kept.
+    ParametricCallee(String),
+    /// Participates in recursion (analysis over-approximates; warn).
+    Recursive,
+    /// Contains irreducible control flow (analysis over-approximates; warn).
+    Irreducible,
+}
+
+/// Classification of one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FunctionClass {
+    /// Provably parameter-independent: prune from instrumentation, model as
+    /// constant.
+    StaticallyConstant,
+    /// Potentially parameter-dependent: keep for the dynamic analysis.
+    PotentiallyParametric(Vec<KeepReason>),
+}
+
+impl FunctionClass {
+    pub fn is_constant(&self) -> bool {
+        matches!(self, FunctionClass::StaticallyConstant)
+    }
+}
+
+/// Per-function loop statistics feeding Table 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopStats {
+    pub total: usize,
+    pub constant_trip: usize,
+}
+
+/// Result of classifying a whole module.
+#[derive(Debug, Clone)]
+pub struct StaticClassification {
+    pub classes: Vec<FunctionClass>,
+    pub loop_stats: Vec<LoopStats>,
+    /// Functions flagged because of recursion.
+    pub recursion_warnings: Vec<FunctionId>,
+    /// Functions flagged because of irreducible control flow.
+    pub irreducible_warnings: Vec<FunctionId>,
+}
+
+impl StaticClassification {
+    pub fn class(&self, f: FunctionId) -> &FunctionClass {
+        &self.classes[f.index()]
+    }
+
+    /// Number of statically pruned (constant) functions.
+    pub fn pruned_count(&self) -> usize {
+        self.classes.iter().filter(|c| c.is_constant()).count()
+    }
+
+    /// Total and constant-trip loop counts over the whole module.
+    pub fn module_loop_totals(&self) -> (usize, usize) {
+        self.loop_stats.iter().fold((0, 0), |(t, c), s| {
+            (t + s.total, c + s.constant_trip)
+        })
+    }
+}
+
+/// Classify every function of `module`. `relevant_externals` is the library
+/// database's set of performance-relevant external symbols (§5.3) — e.g.
+/// every `MPI_*` routine and the work-charging intrinsics.
+pub fn classify_module(
+    module: &Module,
+    relevant_externals: &HashSet<String>,
+) -> StaticClassification {
+    let n = module.functions.len();
+    let cg = CallGraph::build(module);
+
+    let mut classes: Vec<Option<FunctionClass>> = vec![None; n];
+    let mut loop_stats = vec![LoopStats::default(); n];
+    let mut recursion_warnings = Vec::new();
+    let mut irreducible_warnings = Vec::new();
+
+    // Per-function local facts.
+    let mut local_reasons: Vec<Vec<KeepReason>> = vec![Vec::new(); n];
+    for fid in module.function_ids() {
+        let func = module.function(fid);
+        let dt = DomTree::dominators(func);
+        let forest = LoopForest::compute(func, &dt);
+        let trips = all_trip_counts(func, &forest);
+        let total = forest.len();
+        let constant_trip = trips.iter().filter(|t| t.is_constant()).count();
+        loop_stats[fid.index()] = LoopStats {
+            total,
+            constant_trip,
+        };
+        if trips.iter().any(|t| *t == TripCount::Unknown) {
+            local_reasons[fid.index()].push(KeepReason::NonConstantLoop);
+        }
+        if !forest.irreducible.is_empty() {
+            local_reasons[fid.index()].push(KeepReason::Irreducible);
+            irreducible_warnings.push(fid);
+        }
+        if cg.is_recursive(fid) {
+            local_reasons[fid.index()].push(KeepReason::Recursive);
+            recursion_warnings.push(fid);
+        }
+        for inst in &func.insts {
+            if let InstKind::Call {
+                callee: Callee::External(name),
+                ..
+            } = &inst.kind
+            {
+                if relevant_externals.contains(name) {
+                    let reason = KeepReason::RelevantExternal(name.clone());
+                    if !local_reasons[fid.index()].contains(&reason) {
+                        local_reasons[fid.index()].push(reason);
+                    }
+                }
+            }
+        }
+    }
+
+    // Bottom-up propagation: a caller of a parametric function is parametric.
+    for fid in cg.bottom_up_order() {
+        let mut reasons = local_reasons[fid.index()].clone();
+        for &callee in &cg.callees[fid.index()] {
+            if callee == fid {
+                continue; // self edge already flagged as recursion
+            }
+            // Within an SCC the callee may be unresolved; recursion reasons
+            // already keep both sides.
+            if let Some(FunctionClass::PotentiallyParametric(_)) = &classes[callee.index()] {
+                let reason =
+                    KeepReason::ParametricCallee(module.function(callee).name.clone());
+                if !reasons.contains(&reason) {
+                    reasons.push(reason);
+                }
+            }
+        }
+        classes[fid.index()] = Some(if reasons.is_empty() {
+            FunctionClass::StaticallyConstant
+        } else {
+            FunctionClass::PotentiallyParametric(reasons)
+        });
+    }
+
+    StaticClassification {
+        classes: classes.into_iter().map(|c| c.unwrap()).collect(),
+        loop_stats,
+        recursion_warnings,
+        irreducible_warnings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_ir::{FunctionBuilder, Type, Value};
+
+    fn relevant() -> HashSet<String> {
+        ["MPI_Allreduce", "pt_work_flops"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn loop_free_function_is_constant() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("getter", vec![("d".into(), Type::Ptr)], Type::I64);
+        let v = b.load(b.param(0), Type::I64);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        let c = classify_module(&m, &relevant());
+        assert!(c.classes[0].is_constant());
+        assert_eq!(c.pruned_count(), 1);
+    }
+
+    #[test]
+    fn constant_trip_loop_is_constant() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("unrolled", vec![], Type::Void);
+        b.for_loop(0i64, 8i64, 1i64, |_, _| {});
+        b.ret(None);
+        m.add_function(b.finish());
+        let c = classify_module(&m, &relevant());
+        assert!(c.classes[0].is_constant());
+        let (total, konst) = c.module_loop_totals();
+        assert_eq!((total, konst), (1, 1));
+    }
+
+    #[test]
+    fn parametric_loop_is_kept() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("kernel", vec![("n".into(), Type::I64)], Type::Void);
+        b.for_loop(0i64, b.param(0), 1i64, |_, _| {});
+        b.ret(None);
+        m.add_function(b.finish());
+        let c = classify_module(&m, &relevant());
+        match &c.classes[0] {
+            FunctionClass::PotentiallyParametric(rs) => {
+                assert!(rs.contains(&KeepReason::NonConstantLoop));
+            }
+            _ => panic!("kernel must be kept"),
+        }
+    }
+
+    #[test]
+    fn mpi_caller_is_kept_even_without_loops() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("comm", vec![], Type::Void);
+        b.call_external(
+            "MPI_Allreduce",
+            vec![Value::int(0), Value::int(0), Value::int(1)],
+            Type::Void,
+        );
+        b.ret(None);
+        m.add_function(b.finish());
+        let c = classify_module(&m, &relevant());
+        match &c.classes[0] {
+            FunctionClass::PotentiallyParametric(rs) => {
+                assert!(rs
+                    .iter()
+                    .any(|r| matches!(r, KeepReason::RelevantExternal(n) if n == "MPI_Allreduce")));
+            }
+            _ => panic!("comm must be kept"),
+        }
+    }
+
+    #[test]
+    fn irrelevant_external_does_not_keep() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("logger", vec![], Type::Void);
+        b.call_external("print_banner", vec![], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish());
+        let c = classify_module(&m, &relevant());
+        assert!(c.classes[0].is_constant());
+    }
+
+    #[test]
+    fn parametric_callee_propagates_to_caller() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("kernel", vec![("n".into(), Type::I64)], Type::Void);
+        b.for_loop(0i64, b.param(0), 1i64, |_, _| {});
+        b.ret(None);
+        let kernel = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("wrapper", vec![("n".into(), Type::I64)], Type::Void);
+        b.call(kernel, vec![b.param(0)], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish());
+        let c = classify_module(&m, &relevant());
+        assert!(!c.classes[0].is_constant());
+        match &c.classes[1] {
+            FunctionClass::PotentiallyParametric(rs) => {
+                assert!(rs
+                    .iter()
+                    .any(|r| matches!(r, KeepReason::ParametricCallee(n) if n == "kernel")));
+            }
+            _ => panic!("wrapper must be kept"),
+        }
+    }
+
+    #[test]
+    fn recursion_is_flagged() {
+        let mut m = Module::new("m");
+        let self_id = pt_ir::FunctionId(0);
+        let mut b = FunctionBuilder::new("rec", vec![("n".into(), Type::I64)], Type::Void);
+        b.call(self_id, vec![b.param(0)], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish());
+        let c = classify_module(&m, &relevant());
+        assert!(!c.classes[0].is_constant());
+        assert_eq!(c.recursion_warnings.len(), 1);
+    }
+
+    #[test]
+    fn deep_call_chain_propagation() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("kernel", vec![("n".into(), Type::I64)], Type::Void);
+        b.for_loop(0i64, b.param(0), 1i64, |_, _| {});
+        b.ret(None);
+        let kernel = m.add_function(b.finish());
+        let mut prev = kernel;
+        for i in 0..5 {
+            let mut b = FunctionBuilder::new(
+                format!("w{i}"),
+                vec![("n".into(), Type::I64)],
+                Type::Void,
+            );
+            b.call(prev, vec![b.param(0)], Type::Void);
+            b.ret(None);
+            prev = m.add_function(b.finish());
+        }
+        let c = classify_module(&m, &relevant());
+        assert_eq!(c.pruned_count(), 0);
+    }
+}

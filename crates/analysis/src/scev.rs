@@ -1,0 +1,299 @@
+//! Scalar-evolution-lite: constant trip-count computation.
+//!
+//! This is the analysis Perf-Taint queries at compile time (§5.1, the paper
+//! uses LLVM's ScalarEvolution): loops whose trip count is a compile-time
+//! constant cannot contribute a parameter dependence, so functions containing
+//! only such loops are pruned from instrumentation and modeled as constant.
+//!
+//! We recognize the canonical rotated-loop pattern emitted by
+//! [`pt_ir::FunctionBuilder::begin_loop`]:
+//!
+//! ```text
+//! header: %iv = phi [preheader -> INIT, latch -> %next]
+//!         %c  = cmp PRED %iv, BOUND
+//!         cond_br %c, <in-loop>, <exit>     ; or swapped
+//! ...
+//! latch:  %next = add %iv, STEP             ; or sub
+//! ```
+//!
+//! When `INIT`, `STEP`, and `BOUND` are integer constants the trip count is
+//! computed exactly; anything else is [`TripCount::Unknown`] (which in the
+//! pipeline means "potentially parametric" — a sound over-approximation).
+
+use crate::loops::{LoopForest, LoopId};
+use pt_ir::{BinOp, CmpPred, Function, InstKind, Terminator, Value};
+
+/// Result of trip-count analysis for one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripCount {
+    /// The loop executes exactly this many iterations.
+    Constant(u64),
+    /// The trip count is not a compile-time constant.
+    Unknown,
+}
+
+impl TripCount {
+    pub fn is_constant(self) -> bool {
+        matches!(self, TripCount::Constant(_))
+    }
+}
+
+/// Compute the trip count of `loop_id` in `func`.
+pub fn loop_trip_count(func: &Function, forest: &LoopForest, loop_id: LoopId) -> TripCount {
+    let info = forest.get(loop_id);
+
+    // Single exiting block, and it must be the header (rotated loop).
+    if info.exiting.len() != 1 || info.exiting[0] != info.header {
+        return TripCount::Unknown;
+    }
+    // Single latch.
+    if info.latches.len() != 1 {
+        return TripCount::Unknown;
+    }
+    let latch = info.latches[0];
+
+    let header_blk = func.block(info.header);
+    let (cond, then_bb, _else_bb) = match header_blk.term.as_ref() {
+        Some(Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        }) => (*cond, *then_bb, *else_bb),
+        _ => return TripCount::Unknown,
+    };
+    // Does the `true` edge continue the loop?
+    let true_continues = info.contains(then_bb);
+
+    // Condition must be a compare defined in the header.
+    let cmp_inst = match cond.as_inst() {
+        Some(i) => i,
+        None => return TripCount::Unknown,
+    };
+    let (pred, lhs, rhs) = match &func.inst(cmp_inst).kind {
+        InstKind::Cmp { pred, lhs, rhs } => (*pred, *lhs, *rhs),
+        _ => return TripCount::Unknown,
+    };
+
+    // One side is the induction phi, the other a constant bound.
+    let (iv_inst, bound, iv_on_lhs) = match (lhs.as_inst(), rhs.as_int()) {
+        (Some(i), Some(b)) => (i, b, true),
+        _ => match (rhs.as_inst(), lhs.as_int()) {
+            (Some(i), Some(b)) => (i, b, false),
+            _ => return TripCount::Unknown,
+        },
+    };
+    let incomings = match &func.inst(iv_inst).kind {
+        InstKind::Phi { incomings, .. } => incomings.clone(),
+        _ => return TripCount::Unknown,
+    };
+    if incomings.len() != 2 {
+        return TripCount::Unknown;
+    }
+    // Initial value from outside, step from the latch.
+    let mut init: Option<i64> = None;
+    let mut next_val: Option<Value> = None;
+    for (pred_bb, v) in &incomings {
+        if *pred_bb == latch {
+            next_val = Some(*v);
+        } else {
+            init = v.as_int();
+        }
+    }
+    let (init, next_val) = match (init, next_val) {
+        (Some(i), Some(n)) => (i, n),
+        _ => return TripCount::Unknown,
+    };
+    let next_inst = match next_val.as_inst() {
+        Some(i) => i,
+        None => return TripCount::Unknown,
+    };
+    let step = match &func.inst(next_inst).kind {
+        InstKind::Bin { op, lhs, rhs } => {
+            let uses_iv =
+                *lhs == Value::Inst(iv_inst) || *rhs == Value::Inst(iv_inst);
+            if !uses_iv {
+                return TripCount::Unknown;
+            }
+            let konst = if *lhs == Value::Inst(iv_inst) {
+                rhs.as_int()
+            } else {
+                lhs.as_int()
+            };
+            match (op, konst) {
+                (BinOp::Add, Some(c)) => c,
+                (BinOp::Sub, Some(c)) if *lhs == Value::Inst(iv_inst) => -c,
+                _ => return TripCount::Unknown,
+            }
+        }
+        _ => return TripCount::Unknown,
+    };
+    if step == 0 {
+        return TripCount::Unknown;
+    }
+
+    // Normalize to "continue while iv PRED bound".
+    let mut pred = if iv_on_lhs { pred } else { swap_pred(pred) };
+    if !true_continues {
+        pred = negate_pred(pred);
+    }
+
+    trip_count_from_range(init, bound, step, pred)
+}
+
+fn swap_pred(p: CmpPred) -> CmpPred {
+    match p {
+        CmpPred::Lt => CmpPred::Gt,
+        CmpPred::Le => CmpPred::Ge,
+        CmpPred::Gt => CmpPred::Lt,
+        CmpPred::Ge => CmpPred::Le,
+        CmpPred::Eq | CmpPred::Ne => p,
+    }
+}
+
+fn negate_pred(p: CmpPred) -> CmpPred {
+    match p {
+        CmpPred::Lt => CmpPred::Ge,
+        CmpPred::Le => CmpPred::Gt,
+        CmpPred::Gt => CmpPred::Le,
+        CmpPred::Ge => CmpPred::Lt,
+        CmpPred::Eq => CmpPred::Ne,
+        CmpPred::Ne => CmpPred::Eq,
+    }
+}
+
+/// Trip count of `for (iv = init; iv PRED bound; iv += step)`.
+fn trip_count_from_range(init: i64, bound: i64, step: i64, pred: CmpPred) -> TripCount {
+    let count_up = |span: i64, step: i64| -> u64 {
+        if span <= 0 {
+            0
+        } else {
+            ((span + step - 1) / step) as u64
+        }
+    };
+    match pred {
+        CmpPred::Lt if step > 0 => TripCount::Constant(count_up(bound - init, step)),
+        CmpPred::Le if step > 0 => TripCount::Constant(count_up(bound - init + 1, step)),
+        CmpPred::Gt if step < 0 => TripCount::Constant(count_up(init - bound, -step)),
+        CmpPred::Ge if step < 0 => TripCount::Constant(count_up(init - bound + 1, -step)),
+        CmpPred::Ne if step == 1 && bound >= init => {
+            TripCount::Constant((bound - init) as u64)
+        }
+        CmpPred::Ne if step == -1 && init >= bound => {
+            TripCount::Constant((init - bound) as u64)
+        }
+        // Wrong-direction or potentially non-terminating combinations.
+        _ => TripCount::Unknown,
+    }
+}
+
+/// Trip counts for every loop in a function.
+pub fn all_trip_counts(func: &Function, forest: &LoopForest) -> Vec<TripCount> {
+    (0..forest.len())
+        .map(|i| loop_trip_count(func, forest, LoopId(i as u32)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::DomTree;
+    use pt_ir::{FunctionBuilder, Type, Value};
+
+    fn forest_of(f: &Function) -> LoopForest {
+        let dt = DomTree::dominators(f);
+        LoopForest::compute(f, &dt)
+    }
+
+    fn single_trip(f: &Function) -> TripCount {
+        let forest = forest_of(f);
+        assert_eq!(forest.len(), 1);
+        loop_trip_count(f, &forest, LoopId(0))
+    }
+
+    #[test]
+    fn constant_bounds_give_constant_trips() {
+        let mut b = FunctionBuilder::new("c", vec![], Type::Void);
+        b.for_loop(0i64, 10i64, 1i64, |_, _| {});
+        b.ret(None);
+        assert_eq!(single_trip(&b.finish()), TripCount::Constant(10));
+    }
+
+    #[test]
+    fn strided_loop() {
+        let mut b = FunctionBuilder::new("c", vec![], Type::Void);
+        b.for_loop(0i64, 10i64, 3i64, |_, _| {});
+        b.ret(None);
+        // 0, 3, 6, 9 -> 4 iterations
+        assert_eq!(single_trip(&b.finish()), TripCount::Constant(4));
+    }
+
+    #[test]
+    fn empty_range_is_zero_trips() {
+        let mut b = FunctionBuilder::new("c", vec![], Type::Void);
+        b.for_loop(10i64, 10i64, 1i64, |_, _| {});
+        b.ret(None);
+        assert_eq!(single_trip(&b.finish()), TripCount::Constant(0));
+    }
+
+    #[test]
+    fn parametric_bound_is_unknown() {
+        let mut b = FunctionBuilder::new("p", vec![("n".into(), Type::I64)], Type::Void);
+        b.for_loop(0i64, b.param(0), 1i64, |_, _| {});
+        b.ret(None);
+        assert_eq!(single_trip(&b.finish()), TripCount::Unknown);
+    }
+
+    #[test]
+    fn parametric_start_is_unknown() {
+        let mut b = FunctionBuilder::new("p", vec![("n".into(), Type::I64)], Type::Void);
+        b.for_loop(b.param(0), 100i64, 1i64, |_, _| {});
+        b.ret(None);
+        assert_eq!(single_trip(&b.finish()), TripCount::Unknown);
+    }
+
+    #[test]
+    fn nested_constant_trips() {
+        let mut b = FunctionBuilder::new("n", vec![], Type::Void);
+        b.for_loop(0i64, 4i64, 1i64, |b, _| {
+            b.for_loop(0i64, 8i64, 2i64, |b, _| {
+                b.call_external("pt_work_flops", vec![Value::int(1)], Type::Void);
+            });
+        });
+        b.ret(None);
+        let f = b.finish();
+        let forest = forest_of(&f);
+        let trips = all_trip_counts(&f, &forest);
+        let mut counts: Vec<TripCount> = trips;
+        counts.sort_by_key(|t| match t {
+            TripCount::Constant(n) => *n,
+            TripCount::Unknown => u64::MAX,
+        });
+        assert_eq!(counts, vec![TripCount::Constant(4), TripCount::Constant(4)]);
+    }
+
+    #[test]
+    fn trip_count_arithmetic() {
+        assert_eq!(
+            trip_count_from_range(0, 7, 2, CmpPred::Lt),
+            TripCount::Constant(4)
+        );
+        assert_eq!(
+            trip_count_from_range(0, 7, 2, CmpPred::Le),
+            TripCount::Constant(4)
+        );
+        assert_eq!(
+            trip_count_from_range(10, 0, -1, CmpPred::Gt),
+            TripCount::Constant(10)
+        );
+        assert_eq!(
+            trip_count_from_range(10, 0, -1, CmpPred::Ge),
+            TripCount::Constant(11)
+        );
+        assert_eq!(
+            trip_count_from_range(0, 5, 1, CmpPred::Ne),
+            TripCount::Constant(5)
+        );
+        // Wrong-direction loop never terminates statically: Unknown.
+        assert_eq!(trip_count_from_range(0, 5, -1, CmpPred::Lt), TripCount::Unknown);
+    }
+}

@@ -1,0 +1,21 @@
+//! # pt-apps — the evaluation applications, built in `pt-ir`
+//!
+//! Structural reproductions of the two benchmarks the paper evaluates on
+//! (§6, Table 2), plus a synthetic-workload generator for property testing:
+//!
+//! * [`lulesh`] — mini-LULESH: C++-style Domain accessors, `size³` stencil
+//!   kernels, region/material loops (`regions`, `balance`, `cost`), a
+//!   time-stepping loop (`iters`), halo exchange + dt allreduce.
+//! * [`milc`] — mini-MILC su3_rmd: 4-D lattice (`nx·ny·nz·nt`), local
+//!   volume divided by `p`, CG solver (`niter`), trajectory structure
+//!   (`warms`, `trajecs`, `steps`), numerical parameters that must *not*
+//!   appear in models (`mass`, `beta`, `u0`), and a gather collective that
+//!   switches algorithm with `p` (the §C2 validation case).
+//! * [`synth`] — random loop-nest programs with known ground-truth
+//!   dependency structure (for property-based tests of the pipeline).
+pub mod common;
+pub mod lulesh;
+pub mod milc;
+pub mod synth;
+
+pub use common::{AppSpec, ParamSpec};

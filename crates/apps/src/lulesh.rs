@@ -1,0 +1,1124 @@
+//! Mini-LULESH: a structural reproduction of the LULESH 2.0 shock
+//! hydrodynamics proxy app (Karlin et al.), built directly in `pt-ir`.
+//!
+//! What the evaluation needs from LULESH (§6, Tables 2/3, Figures 3/5):
+//!
+//! * a C++-style **Domain** object with hundreds of tiny accessor methods —
+//!   the reason full instrumentation costs up to 45× (§A3) and ~86% of all
+//!   functions are provably constant;
+//! * **stencil kernels** iterating over `size³` elements / `(size+1)³`
+//!   nodes, several of them memory-bound (they exhibit the §C1 contention);
+//! * **region-based material loops** controlled by `regions`, `balance`
+//!   (region assignment) and `cost` (EOS repetition count) — including the
+//!   `regElemSize` histogram whose loop-carried control dependence motivates
+//!   the control-flow taint extension (§5.2);
+//! * a main time-stepping loop over `iters` that multiplies everything
+//!   (§A2's dimensionality-reduction example);
+//! * MPI: a halo exchange (message size `size²`, the library database's
+//!   count-argument dependency) and a `dt` allreduce (`log p`);
+//! * functions with parametric loops that never execute (pruned
+//!   *dynamically*, Table 2) — I/O and diagnostics paths.
+//!
+//! Parameter indices (taint order): 0 = size, 1 = regions, 2 = balance,
+//! 3 = cost, 4 = iters, 5 = p (implicit, sourced by `MPI_Comm_size`).
+
+use crate::common::{
+    add_dead_parametric, add_elem_math, add_field_accumulator, add_field_getter,
+    add_field_setter, add_iarray_getter, add_iarray_setter, add_scalar_getter,
+    add_scalar_setter, add_tiny_helper, AppSpec, ParamSpec,
+};
+use pt_ir::{BinOp, CmpPred, FunctionBuilder, FunctionId, Module, Type, Value};
+use std::collections::HashMap;
+
+// ---- Domain header layout (word offsets) --------------------------------
+const NUM_ELEM: i64 = 0;
+const NUM_NODE: i64 = 1;
+const NUM_REG: i64 = 2;
+const COST: i64 = 3;
+const BALANCE: i64 = 4;
+const P_SLOT: i64 = 5;
+const RANK: i64 = 6;
+const DTIME: i64 = 7;
+const TIME: i64 = 8;
+const CYCLE: i64 = 9;
+const SIZE: i64 = 10;
+const FIELD0: i64 = 16;
+
+/// Nodal/element fields of the Domain, in slot order.
+const FIELDS: &[&str] = &[
+    "x", "y", "z", "xd", "yd", "zd", "xdd", "ydd", "zdd", "fx", "fy", "fz", "e", "pres", "q",
+    "ql", "qq", "v", "volo", "delv", "ss", "arealg", "elemMass", "nodalMass",
+];
+
+fn field_slot(name: &str) -> i64 {
+    FIELD0
+        + FIELDS
+            .iter()
+            .position(|f| *f == name)
+            .unwrap_or_else(|| panic!("unknown field {name}")) as i64
+}
+
+fn reg_elem_size_slot() -> i64 {
+    FIELD0 + FIELDS.len() as i64
+}
+
+fn reg_num_list_slot() -> i64 {
+    FIELD0 + FIELDS.len() as i64 + 1
+}
+
+const HEADER_WORDS: i64 = 64;
+
+/// Registry of already-built functions.
+struct Reg {
+    ids: HashMap<String, FunctionId>,
+}
+
+impl Reg {
+    fn new() -> Reg {
+        Reg {
+            ids: HashMap::new(),
+        }
+    }
+
+    fn put(&mut self, name: &str, id: FunctionId) {
+        self.ids.insert(name.to_string(), id);
+    }
+
+    fn get(&self, name: &str) -> FunctionId {
+        *self
+            .ids
+            .get(name)
+            .unwrap_or_else(|| panic!("function {name} not built yet"))
+    }
+}
+
+/// Work profile of an element/node kernel.
+struct KernelWork {
+    /// Flops charged per innermost iteration.
+    flops: i64,
+    /// Memory words charged per innermost iteration (contention-sensitive).
+    mem: i64,
+    /// Fixed inner loop trips (e.g. 8 nodes per element); 0 = none.
+    inner: i64,
+    /// Field getters called once per element.
+    getters: Vec<&'static str>,
+    /// Field accumulators called once per element.
+    accums: Vec<&'static str>,
+    /// Constant math helpers called once per element.
+    helpers: Vec<&'static str>,
+}
+
+impl KernelWork {
+    fn compute(flops: i64) -> KernelWork {
+        KernelWork {
+            flops,
+            mem: 0,
+            inner: 0,
+            getters: vec![],
+            accums: vec![],
+            helpers: vec![],
+        }
+    }
+
+    fn memory(flops: i64, mem: i64) -> KernelWork {
+        KernelWork {
+            flops,
+            mem,
+            inner: 0,
+            getters: vec![],
+            accums: vec![],
+            helpers: vec![],
+        }
+    }
+}
+
+/// Emit one loop iteration body: getters, helpers, work, accumulators.
+fn emit_work(b: &mut FunctionBuilder, reg: &Reg, iv: Value, w: &KernelWork) {
+    let d = b.param(0);
+    let mut acc = Value::float(1.0);
+    for g in &w.getters {
+        let name = format!("Domain_{g}");
+        let v = b.call(reg.get(&name), vec![d, iv], Type::F64);
+        acc = b.add(acc, v);
+    }
+    for h in &w.helpers {
+        acc = b.call(reg.get(h), vec![acc], Type::F64);
+    }
+    let body = |b: &mut FunctionBuilder| {
+        if w.flops > 0 {
+            b.call_external("pt_work_flops", vec![Value::int(w.flops)], Type::Void);
+        }
+        if w.mem > 0 {
+            b.call_external("pt_work_mem", vec![Value::int(w.mem)], Type::Void);
+        }
+    };
+    if w.inner > 0 {
+        b.for_loop(0i64, w.inner, 1i64, |b, _| body(b));
+    } else {
+        body(b);
+    }
+    for a in &w.accums {
+        let name = format!("Domain_add_{a}");
+        b.call(reg.get(&name), vec![d, iv, acc], Type::Void);
+    }
+}
+
+/// Emit a kernel `name(d)` looping over a scalar count read through the
+/// accessor `count_getter` ("Domain_numElem" / "Domain_numNode").
+fn add_counted_kernel(
+    m: &mut Module,
+    reg: &mut Reg,
+    name: &str,
+    count_getter: &str,
+    w: KernelWork,
+) -> FunctionId {
+    let mut b = FunctionBuilder::new(name, vec![("d".into(), Type::Ptr)], Type::Void);
+    let d = b.param(0);
+    let n = b.call(reg.get(count_getter), vec![d], Type::I64);
+    b.for_loop(0i64, n, 1i64, |b, iv| emit_work(b, reg, iv, &w));
+    b.ret(None);
+    let id = m.add_function(b.finish());
+    reg.put(name, id);
+    id
+}
+
+/// Emit a region kernel `name(d, r)` looping over `regElemSize[r]`.
+fn add_region_kernel(m: &mut Module, reg: &mut Reg, name: &str, w: KernelWork) -> FunctionId {
+    let mut b = FunctionBuilder::new(
+        name,
+        vec![("d".into(), Type::Ptr), ("r".into(), Type::I64)],
+        Type::Void,
+    );
+    let d = b.param(0);
+    let len = b.call(
+        reg.get("Domain_regElemSize"),
+        vec![d, b.param(1)],
+        Type::I64,
+    );
+    b.for_loop(0i64, len, 1i64, |b, iv| emit_work(b, reg, iv, &w));
+    b.ret(None);
+    let id = m.add_function(b.finish());
+    reg.put(name, id);
+    id
+}
+
+/// Emit a driver `name(d)` that calls each callee once (with `(d)`).
+fn add_driver(m: &mut Module, reg: &mut Reg, name: &str, callees: &[&str]) -> FunctionId {
+    let mut b = FunctionBuilder::new(name, vec![("d".into(), Type::Ptr)], Type::Void);
+    let d = b.param(0);
+    for c in callees {
+        b.call(reg.get(c), vec![d], Type::Void);
+    }
+    b.ret(None);
+    let id = m.add_function(b.finish());
+    reg.put(name, id);
+    id
+}
+
+/// Emit a region driver `name(d)`: `for r < numReg { callee(d, r) }`.
+fn add_region_driver(m: &mut Module, reg: &mut Reg, name: &str, callees: &[&str]) -> FunctionId {
+    let mut b = FunctionBuilder::new(name, vec![("d".into(), Type::Ptr)], Type::Void);
+    let d = b.param(0);
+    let nr = b.call(reg.get("Domain_numReg"), vec![d], Type::I64);
+    b.for_loop(0i64, nr, 1i64, |b, r| {
+        for c in callees {
+            b.call(reg.get(c), vec![d, r], Type::Void);
+        }
+    });
+    b.ret(None);
+    let id = m.add_function(b.finish());
+    reg.put(name, id);
+    id
+}
+
+/// Build the complete mini-LULESH application.
+pub fn build() -> AppSpec {
+    let mut m = Module::new("mini-lulesh");
+    let mut reg = Reg::new();
+
+    // ---- accessors (statically constant; the 86% of Table 2) ------------
+    for f in FIELDS {
+        let slot = field_slot(f);
+        reg.put(
+            &format!("Domain_{f}"),
+            add_field_getter(&mut m, &format!("Domain_{f}"), slot),
+        );
+        reg.put(
+            &format!("Domain_set_{f}"),
+            add_field_setter(&mut m, &format!("Domain_set_{f}"), slot),
+        );
+    }
+    for f in ["fx", "fy", "fz", "xd", "yd", "zd", "e", "q"] {
+        let name = format!("Domain_add_{f}");
+        reg.put(
+            &name,
+            add_field_accumulator(&mut m, &name, field_slot(f)),
+        );
+    }
+    for (name, slot) in [
+        ("Domain_numElem", NUM_ELEM),
+        ("Domain_numNode", NUM_NODE),
+        ("Domain_numReg", NUM_REG),
+        ("Domain_cost", COST),
+        ("Domain_balance", BALANCE),
+        ("Domain_p", P_SLOT),
+        ("Domain_rank", RANK),
+        ("Domain_cycle", CYCLE),
+        ("Domain_size", SIZE),
+        ("Domain_dtime", DTIME),
+        ("Domain_time", TIME),
+    ] {
+        reg.put(name, add_scalar_getter(&mut m, name, slot));
+    }
+    for (name, slot) in [
+        ("Domain_set_cycle", CYCLE),
+        ("Domain_set_dtime", DTIME),
+        ("Domain_set_time", TIME),
+        ("Domain_set_numElem", NUM_ELEM),
+        ("Domain_set_numNode", NUM_NODE),
+    ] {
+        reg.put(name, add_scalar_setter(&mut m, name, slot));
+    }
+    reg.put(
+        "Domain_regElemSize",
+        add_iarray_getter(&mut m, "Domain_regElemSize", reg_elem_size_slot()),
+    );
+    reg.put(
+        "Domain_set_regElemSize",
+        add_iarray_setter(&mut m, "Domain_set_regElemSize", reg_elem_size_slot()),
+    );
+    reg.put(
+        "Domain_regNumList",
+        add_iarray_getter(&mut m, "Domain_regNumList", reg_num_list_slot()),
+    );
+    reg.put(
+        "Domain_set_regNumList",
+        add_iarray_setter(&mut m, "Domain_set_regNumList", reg_num_list_slot()),
+    );
+
+    // ---- element-math helpers (constant-trip loops; pruned statically) --
+    for (name, trips, flops) in [
+        ("CalcElemVolume", 8, 12),
+        ("AreaFace", 4, 9),
+        ("TripleProduct", 1, 6),
+        ("VoluDer", 6, 10),
+        ("CalcElemCharacteristicLength", 6, 8),
+        ("CalcElemShapeFunctionDerivatives", 8, 14),
+        ("CalcElemNodeNormals", 6, 9),
+        ("SumElemFaceNormal", 4, 7),
+        ("SumElemStressesToNodeForces", 8, 9),
+        ("CalcElemFBHourglassForce", 4, 16),
+        ("CalcElemVelocityGradient", 6, 11),
+        ("CalcMonotonicQHelper", 2, 8),
+    ] {
+        reg.put(name, add_elem_math(&mut m, name, trips, flops));
+    }
+    for (name, flops) in [
+        ("CalcPressureEOSHelper", 5),
+        ("CalcSoundSpeedHelper", 4),
+        ("FMax", 0),
+        ("FMin", 0),
+        ("Cbrt", 3),
+        ("SqrtHelper", 1),
+        ("ClampVolume", 1),
+        ("InitialGuess", 1),
+        ("VDovScale", 1),
+        ("CourantScale", 2),
+        ("HydroScale", 2),
+        ("RegionDtScale", 1),
+    ] {
+        reg.put(name, add_tiny_helper(&mut m, name, flops));
+    }
+
+    // ---- accessor-adjacent helper families (constant padding mirroring
+    // the template/inline bloat of the real C++ code) ----------------------
+    for f in FIELDS {
+        for prefix in ["Gather", "Zero", "ElemMin", "ElemMax", "CopyBlock"] {
+            let name = format!("{prefix}_{f}");
+            let id = if prefix == "Gather" || prefix == "Zero" {
+                add_elem_math(&mut m, &name, 8, 2)
+            } else {
+                add_tiny_helper(&mut m, &name, 1)
+            };
+            reg.put(&name, id);
+        }
+    }
+    for f in ["fx", "fy", "fz", "xd", "yd", "zd", "x", "y", "z"] {
+        for dir in ["Pack", "Unpack"] {
+            let name = format!("CommBuf{dir}_{f}");
+            reg.put(&name, add_tiny_helper(&mut m, &name, 2));
+        }
+    }
+    for k in 0..12 {
+        let name = format!("EOSHelper_{k}");
+        reg.put(&name, add_tiny_helper(&mut m, &name, 3));
+    }
+
+    // ---- never-executed parametric functions (pruned dynamically) --------
+    for name in [
+        "VerifyAndWriteFinalOutput",
+        "DumpToFile",
+        "DumpDomainToFile",
+        "WriteSiloFile",
+        "ReadRestartFile",
+        "ValidateMesh",
+        "PrintDiagnostics",
+        "ComputeChecksum",
+        "DebugDumpRegions",
+        "EnergyAudit",
+        "TimingDump",
+    ] {
+        reg.put(name, add_dead_parametric(&mut m, name));
+    }
+
+    // ---- communication routines ------------------------------------------
+    // Halo exchange: 6 faces, message size = size² words. The count argument
+    // is tainted by `size` — the §5.3 count-argument dependency.
+    {
+        let mut b = FunctionBuilder::new("CommSBN", vec![("d".into(), Type::Ptr)], Type::Void);
+        let d = b.param(0);
+        let size = b.call(reg.get("Domain_size"), vec![d], Type::I64);
+        let face = b.mul(size, size);
+        b.for_loop(0i64, 6i64, 1i64, |b, _| {
+            b.call_external("MPI_Isend", vec![face], Type::Void);
+            b.call_external("MPI_Irecv", vec![face], Type::Void);
+        });
+        b.call_external("MPI_Waitall", vec![Value::int(12)], Type::Void);
+        b.ret(None);
+        let id = m.add_function(b.finish());
+        reg.put("CommSBN", id);
+    }
+    {
+        let mut b =
+            FunctionBuilder::new("CommReduceDt", vec![("d".into(), Type::Ptr)], Type::Void);
+        b.call_external("MPI_Allreduce", vec![Value::int(1)], Type::Void);
+        b.ret(None);
+        let id = m.add_function(b.finish());
+        reg.put("CommReduceDt", id);
+    }
+
+    // ---- setup kernels ----------------------------------------------------
+    // InitMeshDecomposition: iterate the cube root of p — a loop whose trip
+    // count depends on the implicit parameter (Table 3's `p` column).
+    {
+        let mut b = FunctionBuilder::new(
+            "InitMeshDecomposition",
+            vec![("d".into(), Type::Ptr)],
+            Type::Void,
+        );
+        let d = b.param(0);
+        let p = b.call(reg.get("Domain_p"), vec![d], Type::I64);
+        let t = b.alloca(1i64);
+        b.store(t, Value::int(1));
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let tv = b.load(t, Type::I64);
+        let sq = b.mul(tv, tv);
+        let cube = b.mul(sq, tv);
+        let c = b.cmp(CmpPred::Lt, cube, p);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let tv2 = b.load(t, Type::I64);
+        let inc = b.add(tv2, 1i64);
+        b.store(t, inc);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let id = m.add_function(b.finish());
+        reg.put("InitMeshDecomposition", id);
+    }
+    // SetupCommBuffers: size² boundary buffer preparation (also p-relevant
+    // through the neighbor count; loop bound is size²).
+    {
+        let mut b = FunctionBuilder::new(
+            "SetupCommBuffers",
+            vec![("d".into(), Type::Ptr)],
+            Type::Void,
+        );
+        let d = b.param(0);
+        let size = b.call(reg.get("Domain_size"), vec![d], Type::I64);
+        let face = b.mul(size, size);
+        b.for_loop(0i64, face, 1i64, |b, _| {
+            b.call_external("pt_work_mem", vec![Value::int(16)], Type::Void);
+        });
+        b.ret(None);
+        let id = m.add_function(b.finish());
+        reg.put("SetupCommBuffers", id);
+    }
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "BuildMesh",
+        "Domain_numNode",
+        KernelWork {
+            flops: 9,
+            mem: 24,
+            inner: 0,
+            getters: vec![],
+            accums: vec![],
+            helpers: vec!["Cbrt"],
+        },
+    );
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "SetupElementConnectivities",
+        "Domain_numElem",
+        KernelWork::memory(4, 64),
+    );
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "SetupBoundaryConditions",
+        "Domain_numElem",
+        KernelWork::compute(3),
+    );
+    // SetupRegionIndexSet: the regElemSize histogram (§5.2 example). The
+    // region of each element depends on `balance` and `regions`; the number
+    // of increments of regElemSize[r] depends on `size` via control flow.
+    {
+        let mut b = FunctionBuilder::new(
+            "SetupRegionIndexSet",
+            vec![("d".into(), Type::Ptr)],
+            Type::Void,
+        );
+        let d = b.param(0);
+        let num_elem = b.call(reg.get("Domain_numElem"), vec![d], Type::I64);
+        let num_reg = b.call(reg.get("Domain_numReg"), vec![d], Type::I64);
+        let balance = b.call(reg.get("Domain_balance"), vec![d], Type::I64);
+        b.for_loop(0i64, num_reg, 1i64, |b, r| {
+            b.call(
+                reg.get("Domain_set_regElemSize"),
+                vec![d, r, Value::int(0)],
+                Type::Void,
+            );
+        });
+        b.for_loop(0i64, num_elem, 1i64, |b, i| {
+            let stride = b.add(balance, 1i64);
+            let mixed = b.mul(i, stride);
+            let r = b.bin(BinOp::Rem, mixed, num_reg);
+            b.call(reg.get("Domain_set_regNumList"), vec![d, i, r], Type::Void);
+            let cur = b.call(reg.get("Domain_regElemSize"), vec![d, r], Type::I64);
+            let next = b.add(cur, 1i64);
+            b.call(
+                reg.get("Domain_set_regElemSize"),
+                vec![d, r, next],
+                Type::Void,
+            );
+        });
+        b.ret(None);
+        let id = m.add_function(b.finish());
+        reg.put("SetupRegionIndexSet", id);
+    }
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "CalcNodalMass",
+        "Domain_numNode",
+        KernelWork {
+            flops: 6,
+            mem: 16,
+            inner: 0,
+            getters: vec!["elemMass"],
+            accums: vec![],
+            helpers: vec![],
+        },
+    );
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "InitStressTermsForElems",
+        "Domain_numElem",
+        KernelWork {
+            flops: 4,
+            mem: 16,
+            inner: 0,
+            getters: vec!["pres", "q"],
+            accums: vec![],
+            helpers: vec![],
+        },
+    );
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "InitialConditionsForElems",
+        "Domain_numElem",
+        KernelWork::compute(5),
+    );
+
+    // ---- time-stepping kernels --------------------------------------------
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "IntegrateStressForElems",
+        "Domain_numElem",
+        KernelWork {
+            flops: 12,
+            mem: 40,
+            inner: 8,
+            getters: vec!["x", "y", "z"],
+            accums: vec!["fx", "fy", "fz"],
+            helpers: vec!["CalcElemShapeFunctionDerivatives"],
+        },
+    );
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "CalcHourglassControlForElems",
+        "Domain_numElem",
+        KernelWork {
+            flops: 10,
+            mem: 64,
+            inner: 8,
+            getters: vec!["x", "y", "z", "v"],
+            accums: vec![],
+            helpers: vec!["VoluDer"],
+        },
+    );
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "CalcFBHourglassForceForElems",
+        "Domain_numElem",
+        KernelWork {
+            flops: 16,
+            mem: 48,
+            inner: 4,
+            getters: vec!["xd", "yd", "zd"],
+            accums: vec!["fx", "fy", "fz"],
+            helpers: vec!["CalcElemFBHourglassForce"],
+        },
+    );
+    add_driver(
+        &mut m,
+        &mut reg,
+        "CalcVolumeForceForElems",
+        &[
+            "InitStressTermsForElems",
+            "IntegrateStressForElems",
+            "CalcHourglassControlForElems",
+            "CalcFBHourglassForceForElems",
+        ],
+    );
+    // CalcForceForNodes: zero the force arrays (memory-bound), compute
+    // volume forces, then exchange halos.
+    {
+        let mut b = FunctionBuilder::new(
+            "CalcForceForNodes",
+            vec![("d".into(), Type::Ptr)],
+            Type::Void,
+        );
+        let d = b.param(0);
+        let n = b.call(reg.get("Domain_numNode"), vec![d], Type::I64);
+        b.for_loop(0i64, n, 1i64, |b, _| {
+            b.call_external("pt_work_mem", vec![Value::int(24)], Type::Void);
+        });
+        b.call(reg.get("CalcVolumeForceForElems"), vec![d], Type::Void);
+        b.call(reg.get("CommSBN"), vec![d], Type::Void);
+        b.ret(None);
+        let id = m.add_function(b.finish());
+        reg.put("CalcForceForNodes", id);
+    }
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "CalcAccelerationForNodes",
+        "Domain_numNode",
+        KernelWork {
+            flops: 6,
+            mem: 32,
+            inner: 0,
+            getters: vec!["fx", "fy", "fz", "nodalMass"],
+            accums: vec![],
+            helpers: vec![],
+        },
+    );
+    // Boundary conditions touch only the size² symmetry planes.
+    {
+        let mut b = FunctionBuilder::new(
+            "ApplyAccelerationBoundaryConditionsForNodes",
+            vec![("d".into(), Type::Ptr)],
+            Type::Void,
+        );
+        let d = b.param(0);
+        let size = b.call(reg.get("Domain_size"), vec![d], Type::I64);
+        let face = b.mul(size, size);
+        b.for_loop(0i64, face, 1i64, |b, _| {
+            b.call_external("pt_work_mem", vec![Value::int(24)], Type::Void);
+        });
+        b.ret(None);
+        let id = m.add_function(b.finish());
+        reg.put("ApplyAccelerationBoundaryConditionsForNodes", id);
+    }
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "CalcVelocityForNodes",
+        "Domain_numNode",
+        KernelWork {
+            flops: 6,
+            mem: 24,
+            inner: 0,
+            getters: vec!["xdd", "ydd", "zdd"],
+            accums: vec!["xd", "yd", "zd"],
+            helpers: vec![],
+        },
+    );
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "CalcPositionForNodes",
+        "Domain_numNode",
+        KernelWork {
+            flops: 6,
+            mem: 24,
+            inner: 0,
+            getters: vec!["xd", "yd", "zd"],
+            accums: vec![],
+            helpers: vec![],
+        },
+    );
+    add_driver(
+        &mut m,
+        &mut reg,
+        "LagrangeNodal",
+        &[
+            "CalcForceForNodes",
+            "CalcAccelerationForNodes",
+            "ApplyAccelerationBoundaryConditionsForNodes",
+            "CalcVelocityForNodes",
+            "CalcPositionForNodes",
+        ],
+    );
+
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "CalcKinematicsForElems",
+        "Domain_numElem",
+        KernelWork {
+            flops: 14,
+            mem: 48,
+            inner: 8,
+            getters: vec!["x", "y", "z", "xd", "yd", "zd"],
+            accums: vec![],
+            helpers: vec!["CalcElemVolume", "CalcElemVelocityGradient"],
+        },
+    );
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "CalcCharacteristicLengthForElems",
+        "Domain_numElem",
+        KernelWork {
+            flops: 8,
+            mem: 16,
+            inner: 0,
+            getters: vec!["v"],
+            accums: vec![],
+            helpers: vec!["CalcElemCharacteristicLength"],
+        },
+    );
+    add_driver(
+        &mut m,
+        &mut reg,
+        "CalcLagrangeElements",
+        &["CalcKinematicsForElems", "CalcCharacteristicLengthForElems"],
+    );
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "CalcMonotonicQGradientsForElems",
+        "Domain_numElem",
+        KernelWork {
+            flops: 12,
+            mem: 64,
+            inner: 0,
+            getters: vec!["x", "y", "z", "xd", "yd", "zd"],
+            accums: vec![],
+            helpers: vec![],
+        },
+    );
+    add_region_kernel(
+        &mut m,
+        &mut reg,
+        "CalcMonotonicQRegionForElems",
+        KernelWork {
+            flops: 18,
+            mem: 32,
+            inner: 0,
+            getters: vec!["delv"],
+            accums: vec![],
+            helpers: vec!["CalcMonotonicQHelper"],
+        },
+    );
+    add_region_driver(
+        &mut m,
+        &mut reg,
+        "CalcMonotonicQForElems",
+        &["CalcMonotonicQRegionForElems"],
+    );
+    // CalcQForElems (the §B2 kernel): gradients, per-region q, halo.
+    {
+        let mut b =
+            FunctionBuilder::new("CalcQForElems", vec![("d".into(), Type::Ptr)], Type::Void);
+        let d = b.param(0);
+        b.call(
+            reg.get("CalcMonotonicQGradientsForElems"),
+            vec![d],
+            Type::Void,
+        );
+        b.call(reg.get("CalcMonotonicQForElems"), vec![d], Type::Void);
+        b.call(reg.get("CommSBN"), vec![d], Type::Void);
+        b.ret(None);
+        let id = m.add_function(b.finish());
+        reg.put("CalcQForElems", id);
+    }
+    add_region_kernel(
+        &mut m,
+        &mut reg,
+        "CalcPressureForElems",
+        KernelWork {
+            flops: 10,
+            mem: 0,
+            inner: 0,
+            getters: vec!["e"],
+            accums: vec![],
+            helpers: vec!["CalcPressureEOSHelper"],
+        },
+    );
+    add_region_kernel(
+        &mut m,
+        &mut reg,
+        "CalcSoundSpeedForElems",
+        KernelWork {
+            flops: 8,
+            mem: 0,
+            inner: 0,
+            getters: vec!["pres"],
+            accums: vec![],
+            helpers: vec!["CalcSoundSpeedHelper"],
+        },
+    );
+    add_region_kernel(
+        &mut m,
+        &mut reg,
+        "CalcEnergyForElems",
+        KernelWork {
+            flops: 22,
+            mem: 0,
+            inner: 0,
+            getters: vec!["e", "delv"],
+            accums: vec![],
+            helpers: vec![],
+        },
+    );
+    // EvalEOSForElems: region loop body repeated 1 + cost times (the `cost`
+    // parameter of Table 3).
+    {
+        let mut b = FunctionBuilder::new(
+            "EvalEOSForElems",
+            vec![("d".into(), Type::Ptr), ("r".into(), Type::I64)],
+            Type::Void,
+        );
+        let d = b.param(0);
+        let r = b.param(1);
+        let cost = b.call(reg.get("Domain_cost"), vec![d], Type::I64);
+        let reps = b.add(cost, 1i64);
+        b.for_loop(0i64, reps, 1i64, |b, _| {
+            b.call(reg.get("CalcEnergyForElems"), vec![d, r], Type::Void);
+        });
+        b.call(reg.get("CalcPressureForElems"), vec![d, r], Type::Void);
+        b.call(reg.get("CalcSoundSpeedForElems"), vec![d, r], Type::Void);
+        b.ret(None);
+        let id = m.add_function(b.finish());
+        reg.put("EvalEOSForElems", id);
+    }
+    add_region_driver(
+        &mut m,
+        &mut reg,
+        "ApplyMaterialPropertiesForElems",
+        &["EvalEOSForElems"],
+    );
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "UpdateVolumesForElems",
+        "Domain_numElem",
+        KernelWork {
+            flops: 3,
+            mem: 16,
+            inner: 0,
+            getters: vec!["v"],
+            accums: vec![],
+            helpers: vec!["ClampVolume"],
+        },
+    );
+    add_driver(
+        &mut m,
+        &mut reg,
+        "LagrangeElements",
+        &[
+            "CalcLagrangeElements",
+            "CalcQForElems",
+            "ApplyMaterialPropertiesForElems",
+            "UpdateVolumesForElems",
+        ],
+    );
+    add_region_kernel(
+        &mut m,
+        &mut reg,
+        "CalcCourantConstraintForElems",
+        KernelWork {
+            flops: 9,
+            mem: 0,
+            inner: 0,
+            getters: vec!["ss"],
+            accums: vec![],
+            helpers: vec!["CourantScale"],
+        },
+    );
+    add_region_kernel(
+        &mut m,
+        &mut reg,
+        "CalcHydroConstraintForElems",
+        KernelWork {
+            flops: 7,
+            mem: 0,
+            inner: 0,
+            getters: vec!["delv"],
+            accums: vec![],
+            helpers: vec!["HydroScale"],
+        },
+    );
+    add_region_driver(
+        &mut m,
+        &mut reg,
+        "CalcTimeConstraintsForElems",
+        &["CalcCourantConstraintForElems", "CalcHydroConstraintForElems"],
+    );
+    add_counted_kernel(
+        &mut m,
+        &mut reg,
+        "CalcKineticEnergy",
+        "Domain_numNode",
+        KernelWork {
+            flops: 8,
+            mem: 16,
+            inner: 0,
+            getters: vec!["xd", "yd", "zd"],
+            accums: vec![],
+            helpers: vec![],
+        },
+    );
+    // TimeIncrement: dt reduction plus cycle bookkeeping.
+    {
+        let mut b =
+            FunctionBuilder::new("TimeIncrement", vec![("d".into(), Type::Ptr)], Type::Void);
+        let d = b.param(0);
+        b.call(reg.get("CommReduceDt"), vec![d], Type::Void);
+        let cyc = b.call(reg.get("Domain_cycle"), vec![d], Type::I64);
+        let next = b.add(cyc, 1i64);
+        b.call(reg.get("Domain_set_cycle"), vec![d, next], Type::Void);
+        b.call_external("pt_work_flops", vec![Value::int(20)], Type::Void);
+        b.ret(None);
+        let id = m.add_function(b.finish());
+        reg.put("TimeIncrement", id);
+    }
+    add_driver(
+        &mut m,
+        &mut reg,
+        "LagrangeLeapFrog",
+        &[
+            "LagrangeNodal",
+            "LagrangeElements",
+            "CalcTimeConstraintsForElems",
+            "CalcKineticEnergy",
+        ],
+    );
+
+    // ---- main --------------------------------------------------------------
+    {
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let size = b.call_external("pt_param_i64", vec![Value::int(0)], Type::I64);
+        let regions = b.call_external("pt_param_i64", vec![Value::int(1)], Type::I64);
+        let balance = b.call_external("pt_param_i64", vec![Value::int(2)], Type::I64);
+        let cost = b.call_external("pt_param_i64", vec![Value::int(3)], Type::I64);
+        let iters = b.call_external("pt_param_i64", vec![Value::int(4)], Type::I64);
+
+        let d = b.alloca(HEADER_WORDS);
+        let sq = b.mul(size, size);
+        let num_elem = b.mul(sq, size);
+        let sp1 = b.add(size, 1i64);
+        let sp1sq = b.mul(sp1, sp1);
+        let num_node = b.mul(sp1sq, sp1);
+        for (slot, v) in [
+            (NUM_ELEM, num_elem),
+            (NUM_NODE, num_node),
+            (NUM_REG, regions),
+            (COST, cost),
+            (BALANCE, balance),
+            (SIZE, size),
+            (CYCLE, Value::int(0)),
+        ] {
+            let addr = b.gep(d, Value::int(slot), 1);
+            b.store(addr, v);
+        }
+        let pslot = b.gep(d, Value::int(P_SLOT), 1);
+        b.call_external("MPI_Comm_size", vec![pslot], Type::Void);
+        let rslot = b.gep(d, Value::int(RANK), 1);
+        b.call_external("MPI_Comm_rank", vec![rslot], Type::Void);
+
+        // Field arrays: sized by numNode (≥ numElem), base pointers in the
+        // header — the §3.1 indirection pattern.
+        for f in FIELDS {
+            let base = b.alloca(num_node);
+            let addr = b.gep(d, Value::int(field_slot(f)), 1);
+            b.store(addr, base);
+        }
+        let reg_es = b.alloca(regions);
+        let addr = b.gep(d, Value::int(reg_elem_size_slot()), 1);
+        b.store(addr, reg_es);
+        let reg_nl = b.alloca(num_elem);
+        let addr = b.gep(d, Value::int(reg_num_list_slot()), 1);
+        b.store(addr, reg_nl);
+
+        for setup in [
+            "InitMeshDecomposition",
+            "SetupCommBuffers",
+            "BuildMesh",
+            "SetupElementConnectivities",
+            "SetupBoundaryConditions",
+            "SetupRegionIndexSet",
+            "CalcNodalMass",
+            "InitStressTermsForElems",
+            "InitialConditionsForElems",
+        ] {
+            b.call(reg.get(setup), vec![d], Type::Void);
+        }
+        b.for_loop(0i64, iters, 1i64, |b, _| {
+            b.call(reg.get("TimeIncrement"), vec![d], Type::Void);
+            b.call(reg.get("LagrangeLeapFrog"), vec![d], Type::Void);
+        });
+        b.call_external("MPI_Barrier", vec![], Type::Void);
+        b.ret(None);
+        let id = m.add_function(b.finish());
+        reg.put("main", id);
+    }
+
+    pt_ir::verify_module(&m).expect("mini-lulesh verifies");
+
+    AppSpec {
+        name: "mini-lulesh".into(),
+        module: m,
+        entry: "main".into(),
+        params: vec![
+            ParamSpec::new("size", 5, 16),
+            ParamSpec::new("regions", 11, 11),
+            ParamSpec::new("balance", 1, 1),
+            ParamSpec::new("cost", 1, 1),
+            ParamSpec::new("iters", 3, 2),
+            // The implicit parameter: its value must match the machine's
+            // rank count in every run (the paper's taint run uses 8 ranks).
+            ParamSpec::new("p", 8, 8),
+        ],
+        model_params: vec!["p".into(), "size".into()],
+    }
+}
+
+/// The kernels of the §6 discussion by name (used by harnesses and tests).
+pub fn known_kernels() -> Vec<&'static str> {
+    vec![
+        "IntegrateStressForElems",
+        "CalcHourglassControlForElems",
+        "CalcFBHourglassForceForElems",
+        "CalcForceForNodes",
+        "CalcQForElems",
+        "CalcKinematicsForElems",
+        "EvalEOSForElems",
+        "CalcEnergyForElems",
+        "SetupRegionIndexSet",
+        "LagrangeLeapFrog",
+        "TimeIncrement",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_verifies() {
+        let app = build();
+        assert_eq!(app.entry, "main");
+        assert!(app.module.function_by_name("main").is_some());
+        // Paper scale: LULESH has 356 functions; ours must land in the same
+        // regime (hundreds, overwhelmingly tiny accessors).
+        let n = app.module.functions.len();
+        assert!(
+            (300..400).contains(&n),
+            "function count {n} out of LULESH-like range"
+        );
+    }
+
+    #[test]
+    fn uses_the_papers_mpi_routines() {
+        let app = build();
+        let externs = app.module.used_externals();
+        for mpi in [
+            "MPI_Comm_size",
+            "MPI_Comm_rank",
+            "MPI_Isend",
+            "MPI_Irecv",
+            "MPI_Waitall",
+            "MPI_Allreduce",
+        ] {
+            assert!(externs.contains(&mpi), "{mpi} missing");
+        }
+        // 7 MPI functions in Table 2 (6 here + work primitives excluded).
+        let mpi_count = externs.iter().filter(|e| e.starts_with("MPI_")).count();
+        assert!(
+            (5..=8).contains(&mpi_count),
+            "MPI routine count {mpi_count}"
+        );
+    }
+
+    #[test]
+    fn param_spec_matches_paper_taint_run() {
+        let app = build();
+        assert_eq!(app.params[0].name, "size");
+        assert_eq!(app.params[0].taint_run_value, 5, "taint run uses size 5");
+        let p = app.params.iter().find(|p| p.name == "p").unwrap();
+        assert_eq!(p.taint_run_value, 8, "taint run uses 8 ranks");
+        assert_eq!(app.model_params, vec!["p".to_string(), "size".to_string()]);
+    }
+
+    #[test]
+    fn known_kernels_exist() {
+        let app = build();
+        for k in known_kernels() {
+            assert!(
+                app.module.function_by_name(k).is_some(),
+                "kernel {k} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_functions_present_but_uncalled() {
+        let app = build();
+        let dead = app.module.function_by_name("VerifyAndWriteFinalOutput");
+        assert!(dead.is_some());
+        // No function calls it.
+        let dead = dead.unwrap();
+        for f in app.module.function_ids() {
+            assert!(
+                !app.module.callees(f).contains(&dead),
+                "dead function unexpectedly called"
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Benchmarks of the PMNF model search — including the headline ablation:
+//! the taint restriction *shrinks* the hypothesis space, so hybrid modeling
+//! is faster than black-box modeling as well as more accurate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_extrap::{
+    fit_multi_param, fit_single_param, MeasurementSet, Restriction, SearchSpace,
+};
+use std::hint::black_box;
+
+fn single_param_data() -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = vec![4.0, 8.0, 16.0, 32.0, 64.0];
+    let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 0.01 * x * x * x.log2()).collect();
+    (xs, ys)
+}
+
+fn grid_data() -> MeasurementSet {
+    let mut s = MeasurementSet::new(vec!["p".into(), "size".into()]);
+    for &p in &[4.0, 8.0, 16.0, 32.0, 64.0] {
+        for &size in &[16.0f64, 20.0, 24.0, 28.0, 32.0] {
+            s.push(
+                vec![p, size],
+                vec![1e-4 * size * size * size + 2e-3 * p.log2()],
+            );
+        }
+    }
+    s
+}
+
+fn bench_single(c: &mut Criterion) {
+    let (xs, ys) = single_param_data();
+    let space = SearchSpace::default();
+    c.bench_function("single_param_search_53_hypotheses", |b| {
+        b.iter(|| fit_single_param(black_box(&xs), black_box(&ys), 0, &space));
+    });
+}
+
+fn bench_multi(c: &mut Criterion) {
+    let ms = grid_data();
+    let space = SearchSpace::default();
+    let mut g = c.benchmark_group("multi_param_search");
+    g.bench_function("blackbox", |b| {
+        b.iter(|| fit_multi_param(black_box(&ms), &space, None));
+    });
+    // Ablation: the white-box prior restricts the candidate pool.
+    let additive = Restriction::from_monomials(vec![0b01, 0b10]);
+    g.bench_function("restricted_additive", |b| {
+        b.iter(|| fit_multi_param(black_box(&ms), &space, Some(&additive)));
+    });
+    let constant = Restriction::constant();
+    g.bench_function("restricted_constant", |b| {
+        b.iter(|| fit_multi_param(black_box(&ms), &space, Some(&constant)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single, bench_multi);
+criterion_main!(benches);

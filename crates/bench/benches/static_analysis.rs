@@ -1,0 +1,70 @@
+//! Benchmarks of the compile-time half of the pipeline on the real
+//! mini-applications: dominator trees, loop forests, scalar evolution, and
+//! the interprocedural constant-function classification (§5.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_analysis::classify::classify_module;
+use pt_analysis::dom::DomTree;
+use pt_analysis::loops::LoopForest;
+use pt_mpisim::LibraryDb;
+use pt_taint::PreparedModule;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn bench_per_function_analyses(c: &mut Criterion) {
+    let app = pt_apps::lulesh::build();
+    let main_id = app.module.function_by_name("main").unwrap();
+    let main_fn = app.module.function(main_id);
+    let mut g = c.benchmark_group("per_function");
+    g.bench_function("domtree_lulesh_main", |b| {
+        b.iter(|| DomTree::dominators(black_box(main_fn)));
+    });
+    g.bench_function("loop_forest_lulesh_main", |b| {
+        let dt = DomTree::dominators(main_fn);
+        b.iter(|| LoopForest::compute(black_box(main_fn), &dt));
+    });
+    g.bench_function("postdom_lulesh_main", |b| {
+        b.iter(|| DomTree::postdominators(black_box(main_fn)));
+    });
+    g.finish();
+}
+
+fn bench_module_analyses(c: &mut Criterion) {
+    let lulesh = pt_apps::lulesh::build();
+    let milc = pt_apps::milc::build();
+    let db = LibraryDb::mpi_default();
+    let relevant: HashSet<String> = db.relevant_names().map(String::from).collect();
+    let mut g = c.benchmark_group("whole_module");
+    g.sample_size(20);
+    g.bench_function("prepare_lulesh_303fn", |b| {
+        b.iter(|| PreparedModule::compute(black_box(&lulesh.module)));
+    });
+    g.bench_function("classify_lulesh", |b| {
+        b.iter(|| classify_module(black_box(&lulesh.module), &relevant));
+    });
+    g.bench_function("classify_milc_621fn", |b| {
+        b.iter(|| classify_module(black_box(&milc.module), &relevant));
+    });
+    g.bench_function("build_lulesh_module", |b| {
+        b.iter(pt_apps::lulesh::build);
+    });
+    g.finish();
+}
+
+fn bench_taint_run(c: &mut Criterion) {
+    let app = pt_apps::lulesh::build();
+    let mut g = c.benchmark_group("taint_run");
+    g.sample_size(10);
+    g.bench_function("lulesh_representative_size5", |b| {
+        b.iter(|| pt_bench::analyze_app(black_box(&app)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_per_function_analyses,
+    bench_module_analyses,
+    bench_taint_run
+);
+criterion_main!(benches);

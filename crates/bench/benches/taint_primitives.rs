@@ -1,0 +1,145 @@
+//! Micro-benchmarks of the taint runtime's hot paths: label-table unions
+//! (the per-instruction operation of DFSan-style propagation), shadow
+//! memory, call-path interning, and interpreter dispatch.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pt_ir::{FunctionBuilder, Module, Type, Value};
+use pt_taint::{
+    CtlFlowPolicy, InterpConfig, Interpreter, Label, LabelTable, Memory, PreparedModule, TVal,
+    WorkOnlyHandler,
+};
+use std::hint::black_box;
+
+fn bench_label_union(c: &mut Criterion) {
+    let mut g = c.benchmark_group("label_table");
+    g.bench_function("union_8_params_memoized", |b| {
+        let mut t = LabelTable::new();
+        let labels: Vec<Label> = (0..8).map(|i| t.base_label(&format!("p{i}"))).collect();
+        // Warm the memo table, as in steady-state propagation.
+        let mut acc = Label::EMPTY;
+        for &l in &labels {
+            acc = t.union(acc, l);
+        }
+        b.iter(|| {
+            let mut acc = Label::EMPTY;
+            for &l in &labels {
+                acc = t.union(black_box(acc), black_box(l));
+            }
+            acc
+        });
+    });
+    g.bench_function("params_of", |b| {
+        let mut t = LabelTable::new();
+        let l1 = t.base_label("a");
+        let l2 = t.base_label("b");
+        let u = t.union(l1, l2);
+        b.iter(|| t.params_of(black_box(u)));
+    });
+    g.finish();
+}
+
+fn bench_shadow_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shadow_memory");
+    g.bench_function("store_load_1k", |b| {
+        let mut m = Memory::new();
+        let base = m.alloc(1024);
+        b.iter(|| {
+            for i in 0..1024 {
+                m.store(base + i, TVal::from_i64(i as i64).with_label(Label(1)))
+                    .unwrap();
+            }
+            let mut sum = 0i64;
+            for i in 0..1024 {
+                sum += m.load(base + i).unwrap().as_i64();
+            }
+            sum
+        });
+    });
+    g.bench_function("frame_alloc_release", |b| {
+        let mut m = Memory::new();
+        b.iter(|| {
+            let mark = m.mark();
+            let a = m.alloc(black_box(256));
+            m.store(a, TVal::from_i64(1)).unwrap();
+            m.release_to(mark);
+        });
+    });
+    g.finish();
+}
+
+fn hot_loop_module(trips: i64) -> Module {
+    let mut m = Module::new("hot");
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+    let n = b.call_external("pt_param_i64", vec![Value::int(0)], Type::I64);
+    let acc = b.alloca(1i64);
+    b.store(acc, Value::int(0));
+    b.for_loop(0i64, n, 1i64, |b, iv| {
+        let cur = b.load(acc, Type::I64);
+        let sq = b.mul(iv, iv);
+        let nxt = b.add(cur, sq);
+        b.store(acc, nxt);
+    });
+    let out = b.load(acc, Type::I64);
+    b.ret(Some(out));
+    m.add_function(b.finish());
+    let _ = trips;
+    m
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    let m = hot_loop_module(1000);
+    let prepared = PreparedModule::compute(&m);
+    for (name, taint, policy) in [
+        ("hot_loop_1k_taint_all", true, CtlFlowPolicy::All),
+        ("hot_loop_1k_taint_off", true, CtlFlowPolicy::Off),
+        ("hot_loop_1k_no_taint", false, CtlFlowPolicy::All),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    Interpreter::new(
+                        &m,
+                        &prepared,
+                        WorkOnlyHandler::default(),
+                        vec![("n".into(), 1000)],
+                        InterpConfig {
+                            taint,
+                            policy,
+                            coverage: false,
+                            ..Default::default()
+                        },
+                    )
+                },
+                |interp| interp.run_named("main", &[]).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_call_paths(c: &mut Criterion) {
+    c.bench_function("call_path_interning", |b| {
+        use pt_ir::FunctionId;
+        use pt_taint::CallPathTable;
+        let mut t = CallPathTable::new();
+        let root = t.intern(None, FunctionId(0));
+        b.iter(|| {
+            let mut last = root;
+            for i in 1..16u32 {
+                last = t.intern(Some(last), FunctionId(black_box(i % 8)));
+            }
+            last
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_label_union,
+    bench_shadow_memory,
+    bench_interpreter,
+    bench_call_paths
+);
+criterion_main!(benches);

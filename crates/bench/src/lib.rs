@@ -1,0 +1,194 @@
+//! # pt-bench — harnesses regenerating every table and figure of the paper
+//!
+//! One binary per artifact (see DESIGN.md §4 for the index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1_config` | Table 1 (simulated machine description) |
+//! | `table2_overview` | Table 2 (function/loop censuses) |
+//! | `table3_param_pruning` | Table 3 (per-parameter coverage, §A1) |
+//! | `fig3_overhead_lulesh` | Figure 3 (instrumentation overhead, LULESH) |
+//! | `fig4_overhead_milc` | Figure 4 (instrumentation overhead, MILC) |
+//! | `fig5_contention` | Figure 5 + §C1 (contention detection) |
+//! | `a2_experiment_design` | §A2 (experiment-design reduction) |
+//! | `a3_cost_summary` | §A3 (core-hour accounting) |
+//! | `b1_noise_resilience` | §B1 (false-dependency pruning) |
+//! | `b2_intrusion` | §B2 (instrumentation intrusion) |
+//! | `c2_experiment_validation` | §C2 (qualitative-change detection) |
+//! | `ablation_ctlflow` | ablation: control-flow taint policies |
+//!
+//! This library holds the shared sweep/configuration machinery. Absolute
+//! numbers differ from the paper (the substrate is an interpreter, not Piz
+//! Daint); the *shapes* — who wins, by what factor, where crossovers sit —
+//! are the reproduction targets (see EXPERIMENTS.md).
+
+use perf_taint::{analyze, Analysis, PipelineConfig};
+use pt_apps::AppSpec;
+use pt_measure::{run_sweep, Filter, PointProfile, SweepPoint};
+use pt_mpisim::{ContentionModel, MachineConfig};
+use pt_taint::PreparedModule;
+
+/// Probe cost per instrumented call (seconds). Roughly a Score-P enter+exit
+/// pair on a Skylake-class core.
+pub const PROBE_COST: f64 = 1.0e-6;
+
+/// Repetitions per measurement point (the paper uses five).
+pub const REPS: usize = 5;
+
+/// Seed for all noise sampling in the harnesses.
+pub const SEED: u64 = 42;
+
+/// LULESH sweep values. Scaled down from the paper's size ∈ {25..45}
+/// (the substrate interprets IR; cubic work in `size` is preserved).
+pub fn lulesh_sizes() -> Vec<i64> {
+    vec![12, 16, 20, 24, 28]
+}
+
+/// LULESH rank counts (the paper models p = 3ⁿ on Piz Daint and uses 4..64
+/// on the Skylake cluster; communication is charged analytically, so rank
+/// counts are free to match the paper's cube numbers).
+pub fn lulesh_ranks() -> Vec<i64> {
+    vec![8, 27, 64, 125, 216]
+}
+
+/// MILC sweep values (the paper's size ∈ {32..512}; our `nx` plays the
+/// size role with ny=nz=nt fixed — volume is linear in `nx`).
+pub fn milc_sizes() -> Vec<i64> {
+    vec![32, 64, 128, 256, 512]
+}
+
+/// MILC rank counts (paper: 2ⁿ from 4 to 64).
+pub fn milc_ranks() -> Vec<i64> {
+    vec![4, 8, 16, 32, 64]
+}
+
+/// The machine for a given rank count (Table 1 stand-in).
+pub fn machine(p: i64) -> MachineConfig {
+    MachineConfig::default()
+        .with_ranks(p as u32)
+        .with_ranks_per_node((p as u32).min(36))
+}
+
+/// Run the white-box pipeline on an application.
+pub fn analyze_app(app: &AppSpec) -> Analysis {
+    let cfg = PipelineConfig::with_mpi_defaults();
+    analyze(
+        &app.module,
+        &app.entry,
+        app.taint_run_params(),
+        &cfg,
+    )
+    .expect("taint analysis run")
+}
+
+/// Build the full (size × p) grid of sweep points for an app, using its
+/// default values for all remaining parameters.
+pub fn grid(
+    app: &AppSpec,
+    size_name: &str,
+    sizes: &[i64],
+    ranks: &[i64],
+    extra: &[(&str, i64)],
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &p in ranks {
+        for &s in sizes {
+            let mut overrides: Vec<(&str, i64)> = vec![(size_name, s), ("p", p)];
+            overrides.extend_from_slice(extra);
+            points.push(SweepPoint {
+                params: app.sweep_params(&overrides),
+                machine: machine(p),
+            });
+        }
+    }
+    points
+}
+
+/// Run a sweep under a given instrumentation filter.
+pub fn run_filtered(
+    app: &AppSpec,
+    prepared: &PreparedModule,
+    points: &[SweepPoint],
+    filter: &Filter,
+    threads: usize,
+) -> Vec<PointProfile> {
+    let probe = filter.probe_vector(&app.module, PROBE_COST);
+    run_sweep(&app.module, prepared, &app.entry, points, &probe, threads)
+}
+
+/// Instrumentation overhead in percent relative to a native profile.
+pub fn overhead_percent(instrumented: &PointProfile, native: &PointProfile) -> f64 {
+    100.0 * (instrumented.wall - native.wall) / native.wall
+}
+
+/// Geometric mean (used for the Figure 4 summary numbers).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Default worker-thread count for sweeps.
+pub fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// The three instrumentation modes of Figures 3/4 (plus the native
+/// baseline), with the taint-based relevant set from an analysis.
+pub fn standard_filters(analysis: &Analysis, app: &AppSpec) -> Vec<(&'static str, Filter)> {
+    vec![
+        (
+            "taint-based",
+            Filter::TaintBased {
+                relevant: analysis
+                    .relevant_functions(&app.module)
+                    .into_iter()
+                    .collect(),
+            },
+        ),
+        (
+            "default",
+            Filter::Default {
+                inline_threshold: 12,
+            },
+        ),
+        ("full", Filter::Full),
+    ]
+}
+
+/// Calibrated contention machine for the §C1 experiment.
+pub fn contended_machine(p: i64, ranks_per_node: u32) -> MachineConfig {
+    MachineConfig::default()
+        .with_ranks(p as u32)
+        .with_ranks_per_node(ranks_per_node)
+        .with_contention(ContentionModel::CALIBRATED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_cross_product() {
+        let app = pt_apps::lulesh::build();
+        let pts = grid(&app, "size", &[10, 12], &[8, 27], &[("iters", 2)]);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].param("size"), Some(10));
+        assert_eq!(pts[0].param("p"), Some(8));
+        assert_eq!(pts[0].param("iters"), Some(2));
+        assert_eq!(pts[0].machine.ranks, 8);
+        assert_eq!(pts[3].param("size"), Some(12));
+        assert_eq!(pts[3].param("p"), Some(27));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Experiment-design reduction from dependency structures (§A2).
+//!
+//! Taint analysis reveals which parameters have *multiplicative*
+//! dependencies (they appear together in a monomial — their interaction
+//! must be sampled on a grid) and which are only *additive* (single-
+//! parameter sweeps suffice, sharing one baseline point). For the paper's
+//! `foo(p, s)` example with 5 values each: additive needs 5 + 5 − 1 = 9
+//! experiments instead of 25.
+
+use crate::volume::DepStructure;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of experiment-design planning for a set of model parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignReport {
+    pub param_names: Vec<String>,
+    /// Values to sample per parameter.
+    pub values_per_param: Vec<usize>,
+    /// Parameter groups that must be sampled jointly (indices into
+    /// `param_names`); singleton groups are additive.
+    pub groups: Vec<Vec<usize>>,
+    /// Experiments for the naive full grid: `Π vᵢ`.
+    pub full_grid: usize,
+    /// Experiments after the taint-based reduction.
+    pub reduced: usize,
+    /// True when no multiplicative dependency exists at all.
+    pub additive_only: bool,
+}
+
+impl DesignReport {
+    pub fn savings_percent(&self) -> f64 {
+        if self.full_grid == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.reduced as f64 / self.full_grid as f64)
+        }
+    }
+}
+
+/// Plan experiments for `global` — the union dependency structure over all
+/// modeled functions, already projected/remapped onto the model axes.
+pub fn design_experiments(
+    global: &DepStructure,
+    param_names: &[String],
+    values_per_param: &[usize],
+) -> DesignReport {
+    let n = param_names.len();
+    assert_eq!(values_per_param.len(), n);
+
+    // Union-find over parameters: joined when they co-occur in a monomial.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for m in &global.monomials {
+        let members: Vec<usize> = (0..n).filter(|&i| m.contains(i)).collect();
+        for w in members.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        match groups.iter_mut().find(|g| find(&mut parent, g[0]) == root) {
+            Some(g) => g.push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    groups.sort();
+
+    let full_grid: usize = values_per_param.iter().product();
+    // Each group needs its own sub-grid; a shared baseline configuration is
+    // counted once.
+    let reduced: usize = groups
+        .iter()
+        .map(|g| g.iter().map(|&i| values_per_param[i]).product::<usize>())
+        .sum::<usize>()
+        .saturating_sub(groups.len().saturating_sub(1));
+    let additive_only = groups.iter().all(|g| g.len() == 1);
+
+    DesignReport {
+        param_names: param_names.to_vec(),
+        values_per_param: values_per_param.to_vec(),
+        groups,
+        full_grid,
+        reduced,
+        additive_only,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_taint::ParamSet;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("x{i}")).collect()
+    }
+
+    #[test]
+    fn papers_additive_example() {
+        // §A2: foo with two sequential loops over p and s — additive.
+        let d = DepStructure::from_monomials(vec![ParamSet(0b01), ParamSet(0b10)]);
+        let r = design_experiments(&d, &names(2), &[5, 5]);
+        assert!(r.additive_only);
+        assert_eq!(r.full_grid, 25);
+        assert_eq!(r.reduced, 9, "5 + 5 − 1 experiments");
+        assert_eq!(r.groups.len(), 2);
+    }
+
+    #[test]
+    fn multiplicative_needs_full_grid() {
+        let d = DepStructure::from_monomials(vec![ParamSet(0b11)]);
+        let r = design_experiments(&d, &names(2), &[5, 5]);
+        assert!(!r.additive_only);
+        assert_eq!(r.reduced, 25);
+        assert_eq!(r.savings_percent(), 0.0);
+    }
+
+    #[test]
+    fn mixed_structure_partial_reduction() {
+        // {a·b} + {c}: grid over (a,b), sweep c separately.
+        let d = DepStructure::from_monomials(vec![ParamSet(0b011), ParamSet(0b100)]);
+        let r = design_experiments(&d, &names(3), &[5, 5, 5]);
+        assert!(!r.additive_only);
+        assert_eq!(r.full_grid, 125);
+        assert_eq!(r.reduced, 25 + 5 - 1);
+        assert_eq!(r.groups, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn transitive_grouping() {
+        // {a·b} + {b·c}: a, b, c all joined.
+        let d = DepStructure::from_monomials(vec![ParamSet(0b011), ParamSet(0b110)]);
+        let r = design_experiments(&d, &names(3), &[3, 3, 3]);
+        assert_eq!(r.groups.len(), 1);
+        assert_eq!(r.reduced, 27);
+    }
+
+    #[test]
+    fn constant_structure_needs_one_experiment_per_param_sweep() {
+        let d = DepStructure::constant();
+        let r = design_experiments(&d, &names(2), &[5, 5]);
+        assert!(r.additive_only);
+        assert_eq!(r.reduced, 9);
+        assert!(r.savings_percent() > 60.0);
+    }
+}

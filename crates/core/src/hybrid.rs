@@ -1,0 +1,215 @@
+//! The hybrid modeler (§4.5): black-box PMNF search with the white-box
+//! taint prior.
+//!
+//! `model_functions` fits one model per function from its measurement set.
+//! With `restrictions = None` it reproduces plain black-box Extra-P —
+//! including its §B1 failure mode of modeling noise on constant functions.
+//! With restrictions, parameters a function provably cannot depend on are
+//! removed from its search space, constants are forced constant, and
+//! additive structures never receive cross terms.
+
+use pt_extrap::{fit_multi_param, FittedModel, MeasurementSet, Restriction, SearchSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The modeled result for one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionModel {
+    pub name: String,
+    pub fitted: FittedModel,
+    /// §B1 reliability gate: max CV across points ≤ threshold.
+    pub reliable: bool,
+    /// Whether a taint restriction was applied.
+    pub restricted: bool,
+    pub max_cv: f64,
+    /// Mean measured value (for scale context in reports).
+    pub mean_value: f64,
+}
+
+impl FunctionModel {
+    /// Does the model claim a dependency on model-axis `k`?
+    pub fn uses_param(&self, k: usize) -> bool {
+        self.fitted.model.uses_param(k)
+    }
+}
+
+/// Fit models for every function in `sets`.
+pub fn model_functions(
+    sets: &BTreeMap<String, MeasurementSet>,
+    restrictions: Option<&BTreeMap<String, Restriction>>,
+    space: &SearchSpace,
+    cv_threshold: f64,
+) -> BTreeMap<String, FunctionModel> {
+    let mut out = BTreeMap::new();
+    for (name, set) in sets {
+        let restriction = restrictions.and_then(|r| r.get(name));
+        let fitted = fit_multi_param(set, space, restriction);
+        let max_cv = set.max_cv();
+        let means = set.means();
+        let mean_value = if means.is_empty() {
+            0.0
+        } else {
+            means.iter().sum::<f64>() / means.len() as f64
+        };
+        out.insert(
+            name.clone(),
+            FunctionModel {
+                name: name.clone(),
+                fitted,
+                reliable: max_cv <= cv_threshold,
+                restricted: restriction.is_some(),
+                max_cv,
+                mean_value,
+            },
+        );
+    }
+    out
+}
+
+/// Compare black-box and hybrid model sets: which functions' models changed,
+/// and which black-box models carried *false dependencies* — parameters the
+/// taint analysis proves impossible (§B1's headline metric: "corrects 77%
+/// of models previously indicating performance effects").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelComparison {
+    /// Functions whose black-box model used a forbidden parameter.
+    pub false_dependencies: Vec<String>,
+    /// Functions where black-box found parameters on a taint-proven
+    /// constant function.
+    pub overfitted_constants: Vec<String>,
+    /// Total functions compared.
+    pub total: usize,
+}
+
+impl ModelComparison {
+    pub fn corrected_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.false_dependencies.len() + self.overfitted_constants.len()) as f64
+            / self.total as f64
+    }
+}
+
+/// Compare a black-box model set against the taint restrictions.
+pub fn compare_against_truth(
+    blackbox: &BTreeMap<String, FunctionModel>,
+    restrictions: &BTreeMap<String, Restriction>,
+) -> ModelComparison {
+    let mut cmp = ModelComparison::default();
+    for (name, model) in blackbox {
+        let Some(restriction) = restrictions.get(name) else {
+            continue;
+        };
+        cmp.total += 1;
+        let used = model.fitted.model.param_mask();
+        if restriction.forbids_everything() {
+            if used != 0 {
+                cmp.overfitted_constants.push(name.clone());
+            }
+            continue;
+        }
+        let allowed = restriction.allowed_params();
+        if used & !allowed != 0 {
+            cmp.false_dependencies.push(name.clone());
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_extrap::MeasurePoint;
+
+    fn set_of(f: impl Fn(f64, f64) -> f64, noise: &[f64]) -> MeasurementSet {
+        let mut s = MeasurementSet::new(vec!["p".into(), "size".into()]);
+        let mut k = 0;
+        for &p in &[4.0, 8.0, 16.0, 32.0, 64.0] {
+            for &size in &[16.0, 20.0, 24.0, 28.0, 32.0] {
+                let base = f(p, size);
+                let reps: Vec<f64> = (0..3)
+                    .map(|i| base + noise.get((k + i) % noise.len()).copied().unwrap_or(0.0))
+                    .collect();
+                k += 1;
+                s.points.push(MeasurePoint {
+                    coords: vec![p, size],
+                    reps,
+                });
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn hybrid_forces_constants() {
+        // A constant function under noise that fools the black box.
+        let noise: Vec<f64> = (0..25).map(|i| ((i * 37) % 11) as f64 * 2e-6).collect();
+        let mut sets = BTreeMap::new();
+        sets.insert("tiny_getter".to_string(), set_of(|_, _| 1e-6, &noise));
+
+        let space = SearchSpace::small();
+        let blackbox = model_functions(&sets, None, &space, 0.5);
+        let mut restrictions = BTreeMap::new();
+        restrictions.insert("tiny_getter".to_string(), Restriction::constant());
+        let hybrid = model_functions(&sets, Some(&restrictions), &space, 0.5);
+
+        assert!(
+            hybrid["tiny_getter"].fitted.model.is_constant(),
+            "hybrid must be constant: {}",
+            hybrid["tiny_getter"].fitted.model
+        );
+        assert!(hybrid["tiny_getter"].restricted);
+        // Comparison counts the black-box overfit (if it happened).
+        let cmp = compare_against_truth(&blackbox, &restrictions);
+        assert_eq!(cmp.total, 1);
+        if !blackbox["tiny_getter"].fitted.model.is_constant() {
+            assert_eq!(cmp.overfitted_constants, vec!["tiny_getter".to_string()]);
+            assert!(cmp.corrected_fraction() > 0.99);
+        }
+    }
+
+    #[test]
+    fn restriction_removes_false_parameter() {
+        // Function truly depends on size only; tiny p-correlated noise.
+        let mut sets = BTreeMap::new();
+        let mut s = MeasurementSet::new(vec!["p".into(), "size".into()]);
+        for &p in &[4.0, 8.0, 16.0, 32.0, 64.0] {
+            for &size in &[16.0, 20.0, 24.0, 28.0, 32.0] {
+                let v = 1e-5 * size * size * size + 1e-7 * p; // contamination
+                s.points.push(MeasurePoint {
+                    coords: vec![p, size],
+                    reps: vec![v],
+                });
+            }
+        }
+        sets.insert("kernel".to_string(), s);
+        let mut restrictions = BTreeMap::new();
+        restrictions.insert(
+            "kernel".to_string(),
+            Restriction::from_monomials(vec![0b10]),
+        );
+        let space = SearchSpace::small();
+        let hybrid = model_functions(&sets, Some(&restrictions), &space, 0.5);
+        assert!(!hybrid["kernel"].uses_param(0), "p must be pruned");
+        assert!(hybrid["kernel"].uses_param(1));
+    }
+
+    #[test]
+    fn reliability_gate() {
+        let mut sets = BTreeMap::new();
+        let mut s = MeasurementSet::new(vec!["p".into()]);
+        s.points.push(MeasurePoint {
+            coords: vec![4.0],
+            reps: vec![1.0, 3.0], // CV >> 0.1
+        });
+        s.points.push(MeasurePoint {
+            coords: vec![8.0],
+            reps: vec![2.0, 2.0],
+        });
+        sets.insert("noisy".to_string(), s);
+        let models = model_functions(&sets, None, &SearchSpace::small(), 0.1);
+        assert!(!models["noisy"].reliable);
+        assert!(models["noisy"].max_cv > 0.1);
+    }
+}

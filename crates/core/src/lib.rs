@@ -1,0 +1,58 @@
+//! # perf-taint — hybrid taint-based performance modeling
+//!
+//! A from-scratch Rust reproduction of *"Extracting Clean Performance
+//! Models from Tainted Programs"* (Copik et al., PPoPP 2021): dynamic taint
+//! analysis discovers which program parameters can influence every loop's
+//! trip count; the resulting **compute-volume dependency structures** act as
+//! a white-box prior for a black-box empirical modeler, improving its
+//! **cost** (fewer, cheaper experiments — §A), **quality** (no noise-induced
+//! false dependencies — §B), and **validity** (detection of contention and
+//! experiment-design defects — §C).
+//!
+//! ## Pipeline (Fig. 2 of the paper)
+//!
+//! ```text
+//! annotate parameters → static analysis (prune constant functions, §5.1)
+//!   → dynamic taint run (loop-exit sinks, control-flow taint, §5.2)
+//!   → dependency extraction (volume composition §4.2–4.3 + library DB §5.3)
+//!   → reduced experiment design (§A2) + selective instrumentation (§A3)
+//!   → measurements → hybrid PMNF modeling (restricted search space, §4.5)
+//!   → validation (contention §C1, qualitative changes §C2)
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`volume`] — symbolic compute volumes (Claims 1–2, Theorem 1) and
+//!   [`volume::DepStructure`] monomial sets.
+//! * [`deps`] — from taint records to per-function dependency structures.
+//! * [`census`] — function/loop censuses (Tables 2 and 3).
+//! * [`design`] — experiment-design reduction (§A2).
+//! * [`hybrid`] — the restricted PMNF modeler and black-box comparison (§B1).
+//! * [`validate`] — contention (§C1) and segmentation (§C2) detection.
+//! * [`pipeline`] — [`pipeline::analyze`]: one call running all of it.
+//! * [`report`] — text rendering of every artifact.
+//!
+//! The substrates live in sibling crates: `pt-ir` (the compiler IR),
+//! `pt-analysis` (dominators/loops/SCEV), `pt-taint` (the DFSan-style
+//! runtime + interpreter), `pt-extrap` (the Extra-P reimplementation),
+//! `pt-mpisim` (the simulated MPI machine), and `pt-measure` (the Score-P
+//! stand-in).
+
+pub mod census;
+pub mod deps;
+pub mod design;
+pub mod hybrid;
+pub mod pipeline;
+pub mod report;
+pub mod validate;
+pub mod volume;
+
+pub use census::{FuncKind, Table2, Table3};
+pub use design::{design_experiments, DesignReport};
+pub use hybrid::{compare_against_truth, model_functions, FunctionModel, ModelComparison};
+pub use pipeline::{analyze, Analysis, PipelineConfig};
+pub use validate::{
+    detect_contention, detect_segmentation, BranchObservations, BranchSide, ContentionFinding,
+    SegmentationWarning,
+};
+pub use volume::{DepStructure, VolExpr};

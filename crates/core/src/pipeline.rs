@@ -1,0 +1,327 @@
+//! The Perf-Taint pipeline (Fig. 2 of the paper): static analysis →
+//! dynamic taint run → dependency extraction → censuses, restrictions,
+//! instrumentation lists, and experiment designs.
+
+use crate::census::{classify_kinds, table2, table3, FuncKind, Table2, Table3};
+use crate::deps::{extern_deps, extract_deps};
+use crate::validate::BranchObservations;
+use crate::volume::DepStructure;
+use pt_analysis::classify::{classify_module, StaticClassification};
+use pt_extrap::Restriction;
+use pt_ir::{FunctionId, Module};
+use pt_mpisim::{LibraryDb, MachineConfig, MpiHandler};
+use pt_taint::prepared::PreparedModule;
+use pt_taint::{InterpConfig, InterpError, Interpreter, LabelTable, TaintRecords};
+use std::collections::{BTreeMap, HashSet};
+
+/// Configuration of the analysis pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    pub db: LibraryDb,
+    /// Machine used for the representative taint run. Its rank count is
+    /// overridden by the `p` parameter when present.
+    pub machine: MachineConfig,
+    pub interp: InterpConfig,
+}
+
+impl PipelineConfig {
+    pub fn with_mpi_defaults() -> PipelineConfig {
+        PipelineConfig {
+            db: LibraryDb::mpi_default(),
+            machine: MachineConfig::default(),
+            interp: InterpConfig::default(),
+        }
+    }
+}
+
+/// Everything the white-box analysis learned about a program.
+pub struct Analysis {
+    /// Marked parameter names, in taint-index order.
+    pub param_names: Vec<String>,
+    pub classification: StaticClassification,
+    pub kinds: Vec<FuncKind>,
+    /// Per-function dependency structures (internal functions).
+    pub deps: BTreeMap<FunctionId, DepStructure>,
+    /// Dependency structures of the MPI routines used.
+    pub extern_deps: BTreeMap<String, DepStructure>,
+    pub table2: Table2,
+    /// Precomputed static facts (reusable by measurement runs).
+    pub prepared: PreparedModule,
+    pub records: TaintRecords,
+    pub labels: LabelTable,
+    /// Simulated duration of the taint run (seconds).
+    pub taint_run_time: f64,
+    /// Core-hours spent on the taint run (§A3 accounting).
+    pub taint_run_core_hours: f64,
+}
+
+/// Run the full white-box analysis on `module`.
+pub fn analyze(
+    module: &Module,
+    entry: &str,
+    params: Vec<(String, i64)>,
+    cfg: &PipelineConfig,
+) -> Result<Analysis, InterpError> {
+    // Stage 1: static analysis (§5.1).
+    let relevant: HashSet<String> = cfg.db.relevant_names().map(String::from).collect();
+    let classification = classify_module(module, &relevant);
+    let prepared = PreparedModule::compute(module);
+
+    // Stage 2: dynamic taint run (§5.2) on a representative configuration.
+    let mut machine = cfg.machine.clone();
+    if let Some((_, p)) = params.iter().find(|(n, _)| n == "p") {
+        machine.ranks = *p as u32;
+    }
+    let ranks = machine.ranks;
+    let handler = MpiHandler::new(machine);
+    let interp = Interpreter::new(module, &prepared, handler, params, cfg.interp.clone());
+    let out = interp.run_named(entry, &[])?;
+
+    // Stage 3: dependency extraction (§4.2/§4.3 + §5.3).
+    let deps = extract_deps(module, &prepared, &out.records, &out.labels, &cfg.db);
+    let ext_deps = extern_deps(module, &out.records, &out.labels, &cfg.db);
+    let kinds = classify_kinds(module, &classification, &out.records, &cfg.db);
+    let t2 = table2(module, &prepared, &kinds, &classification, &out.records);
+
+    Ok(Analysis {
+        param_names: out.labels.param_names().to_vec(),
+        classification,
+        kinds,
+        deps,
+        extern_deps: ext_deps,
+        table2: t2,
+        prepared,
+        records: out.records,
+        labels: out.labels,
+        taint_run_time: out.time,
+        taint_run_core_hours: out.time * ranks as f64 / 3600.0,
+    })
+}
+
+impl Analysis {
+    /// Index of a parameter in taint order.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.param_names.iter().position(|p| p == name)
+    }
+
+    /// The mapping from app-parameter indices to model-axis indices.
+    fn axis_mapping(&self, model_params: &[String]) -> Vec<(usize, usize)> {
+        model_params
+            .iter()
+            .enumerate()
+            .filter_map(|(axis, name)| self.param_index(name).map(|app| (app, axis)))
+            .collect()
+    }
+
+    /// A function's dependency structure projected onto the model axes.
+    pub fn model_deps(&self, f: FunctionId, model_params: &[String]) -> DepStructure {
+        self.deps[&f].remap(&self.axis_mapping(model_params))
+    }
+
+    /// Per-function search-space restrictions for the hybrid modeler,
+    /// keyed by function name (internal functions and MPI routines).
+    pub fn restrictions(
+        &self,
+        module: &Module,
+        model_params: &[String],
+    ) -> BTreeMap<String, Restriction> {
+        let mapping = self.axis_mapping(model_params);
+        let mut out = BTreeMap::new();
+        for f in module.function_ids() {
+            let name = module.function(f).name.clone();
+            let restriction = match self.kinds[f.index()] {
+                FuncKind::ConstantStatic | FuncKind::ConstantDynamic => Restriction::constant(),
+                _ => self.deps[&f].remap(&mapping).to_restriction(),
+            };
+            out.insert(name, restriction);
+        }
+        for (name, dep) in &self.extern_deps {
+            out.insert(name.clone(), dep.remap(&mapping).to_restriction());
+        }
+        out
+    }
+
+    /// Union dependency structure over all relevant functions, projected
+    /// onto the model axes — the input to experiment design (§A2).
+    pub fn global_deps(&self, model_params: &[String]) -> DepStructure {
+        let mapping = self.axis_mapping(model_params);
+        let mut global = DepStructure::constant();
+        for dep in self.deps.values() {
+            global.merge(&dep.remap(&mapping));
+        }
+        for dep in self.extern_deps.values() {
+            global.merge(&dep.remap(&mapping));
+        }
+        global
+    }
+
+    /// Names of the functions the taint-based filter instruments: executed,
+    /// not provably constant (§A3).
+    pub fn relevant_functions(&self, module: &Module) -> Vec<String> {
+        module
+            .function_ids()
+            .filter(|f| {
+                matches!(
+                    self.kinds[f.index()],
+                    FuncKind::Kernel | FuncKind::Comm
+                )
+            })
+            .map(|f| module.function(f).name.clone())
+            .collect()
+    }
+
+    /// Branch coverage in the shape `validate::detect_segmentation` expects.
+    pub fn branch_observations(&self, module: &Module) -> BranchObservations {
+        let mut out = BTreeMap::new();
+        for ((f, block), rec) in &self.records.branches {
+            if f.index() >= module.functions.len() {
+                continue;
+            }
+            let names: Vec<String> = rec
+                .params
+                .iter()
+                .filter_map(|i| self.param_names.get(i).cloned())
+                .collect();
+            out.insert(
+                (module.function(*f).name.clone(), *block),
+                (rec.taken_true, rec.taken_false, names),
+            );
+        }
+        out
+    }
+
+    /// §4.4: code paths never visited during the representative run, inside
+    /// functions that *were* executed — parameter-based algorithm selection
+    /// leaves exactly this signature (one side of a tainted branch dead).
+    /// Returns `(function name, unvisited block)` pairs.
+    pub fn never_visited_paths(&self, module: &Module) -> Vec<(String, pt_ir::BlockId)> {
+        let mut out = Vec::new();
+        for f in module.function_ids() {
+            if !self.records.executed[f.index()] {
+                continue; // whole function dead: reported as pruned-dynamic
+            }
+            let func = module.function(f);
+            for (i, visited) in self.records.visited_blocks[f.index()].iter().enumerate() {
+                if !visited {
+                    out.push((func.name.clone(), pt_ir::BlockId(i as u32)));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Table 3 for a chosen parameter pair.
+    pub fn table3(&self, module: &Module, pair: (&str, &str)) -> Table3 {
+        table3(
+            module,
+            &self.prepared,
+            &self.kinds,
+            &self.deps,
+            &self.records,
+            &self.param_names,
+            pair,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_ir::{FunctionBuilder, Type, Value};
+
+    fn tiny_app() -> Module {
+        let mut m = Module::new("tiny");
+        let mut b = FunctionBuilder::new("getter", vec![("d".into(), Type::Ptr)], Type::I64);
+        let v = b.load(b.param(0), Type::I64);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("kernel", vec![("n".into(), Type::I64)], Type::Void);
+        b.for_loop(0i64, b.param(0), 1i64, |b, _| {
+            b.call_external("pt_work_flops", vec![Value::int(5)], Type::Void);
+        });
+        b.ret(None);
+        let kernel = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("comm", vec![("n".into(), Type::I64)], Type::Void);
+        b.call_external("MPI_Allreduce", vec![b.param(0)], Type::Void);
+        b.ret(None);
+        let comm = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let n = b.call_external("pt_param_i64", vec![Value::int(0)], Type::I64);
+        let pslot = b.alloca(1i64);
+        b.call_external("MPI_Comm_size", vec![pslot], Type::Void);
+        let slot = b.alloca(1i64);
+        b.store(slot, Value::int(7));
+        b.call(kernel, vec![n], Type::Void);
+        b.call(comm, vec![n], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn end_to_end_analysis() {
+        let m = tiny_app();
+        let cfg = PipelineConfig::with_mpi_defaults();
+        let analysis = analyze(
+            &m,
+            "main",
+            vec![("size".into(), 6), ("p".into(), 4)],
+            &cfg,
+        )
+        .unwrap();
+
+        assert_eq!(analysis.param_names, vec!["size", "p"]);
+        let kernel = m.function_by_name("kernel").unwrap();
+        let comm = m.function_by_name("comm").unwrap();
+        let getter = m.function_by_name("getter").unwrap();
+        assert_eq!(analysis.kinds[kernel.index()], FuncKind::Kernel);
+        assert_eq!(analysis.kinds[comm.index()], FuncKind::Comm);
+        assert_eq!(analysis.kinds[getter.index()], FuncKind::ConstantStatic);
+
+        // Restrictions projected onto ["p", "size"]: kernel → size only.
+        let model_params = vec!["p".to_string(), "size".to_string()];
+        let r = analysis.restrictions(&m, &model_params);
+        assert!(r["getter"].forbids_everything());
+        assert!(r["kernel"].allows_mask(0b10), "kernel may use size");
+        assert!(!r["kernel"].allows_mask(0b01), "kernel must not use p");
+        // comm calls MPI with a size-tainted count → {p, size}.
+        assert!(r["comm"].allows_mask(0b11));
+        assert!(r["MPI_Allreduce"].allows_mask(0b11));
+        // Environment queries are constant (§B1's MPI_Comm_rank finding).
+        assert!(r["MPI_Comm_size"].forbids_everything());
+
+        // Global structure: multiplicative (comm's {p·size}).
+        let global = analysis.global_deps(&model_params);
+        assert!(global.has_multiplicative());
+
+        // Instrumentation list: kernel + comm + main.
+        let relevant = analysis.relevant_functions(&m);
+        assert!(relevant.contains(&"kernel".to_string()));
+        assert!(relevant.contains(&"comm".to_string()));
+        assert!(relevant.contains(&"main".to_string()));
+        assert!(!relevant.contains(&"getter".to_string()));
+
+        // Census sanity.
+        assert_eq!(analysis.table2.pruned_static, 1);
+        assert_eq!(analysis.table2.kernels, 2);
+        assert_eq!(analysis.table2.comm_routines, 1);
+        assert!(analysis.taint_run_core_hours > 0.0);
+    }
+
+    #[test]
+    fn machine_ranks_follow_p_parameter() {
+        let m = tiny_app();
+        let cfg = PipelineConfig::with_mpi_defaults();
+        let analysis = analyze(
+            &m,
+            "main",
+            vec![("size".into(), 2), ("p".into(), 16)],
+            &cfg,
+        )
+        .unwrap();
+        // core-hours = time × 16 ranks; just verify the plumbing ran.
+        assert!(analysis.taint_run_core_hours > 0.0);
+        assert_eq!(analysis.param_index("p"), Some(1));
+    }
+}

@@ -1,0 +1,225 @@
+//! Text rendering of analysis artifacts (the harness binaries print these).
+
+use crate::census::{Table2, Table3};
+use crate::design::DesignReport;
+use crate::hybrid::FunctionModel;
+use crate::validate::{ContentionFinding, SegmentationWarning};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Render Table 2 in the paper's layout.
+pub fn render_table2(app: &str, t: &Table2) -> String {
+    let mut s = String::new();
+    writeln!(s, "Table 2 — overview: {app}").unwrap();
+    writeln!(s, "  Functions                    {:>6}", t.functions_total).unwrap();
+    writeln!(
+        s,
+        "  Pruned Statically/Dynamically {:>4}/{}",
+        t.pruned_static, t.pruned_dynamic
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "  Kernels/Comm. Routines/MPI    {:>3}/{}/{}",
+        t.kernels, t.comm_routines, t.mpi_functions
+    )
+    .unwrap();
+    writeln!(s, "  Loops                        {:>6}", t.loops_total).unwrap();
+    writeln!(s, "  Pruned Statically            {:>6}", t.loops_pruned_static).unwrap();
+    writeln!(s, "  Relevant                     {:>6}", t.loops_relevant).unwrap();
+    writeln!(
+        s,
+        "  Constant functions           {:>5.1}%",
+        100.0 * t.constant_fraction()
+    )
+    .unwrap();
+    s
+}
+
+/// Render Table 3.
+pub fn render_table3(app: &str, t: &Table3) -> String {
+    let mut s = String::new();
+    writeln!(s, "Table 3 — parameter coverage: {app}").unwrap();
+    writeln!(
+        s,
+        "  {:<12} {:>10} {:>10}",
+        "parameter", "functions", "loops"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "  {:<12} {:>10} {:>10}",
+        "(total)", t.total_functions, t.total_loops
+    )
+    .unwrap();
+    for (name, cov) in &t.per_param {
+        writeln!(s, "  {:<12} {:>10} {:>10}", name, cov.functions, cov.loops).unwrap();
+    }
+    writeln!(
+        s,
+        "  {:<12} {:>10} {:>10}",
+        format!("{},{}", t.union_pair.0, t.union_pair.1),
+        t.union_coverage.functions,
+        t.union_coverage.loops
+    )
+    .unwrap();
+    s
+}
+
+/// Render an experiment-design report (§A2).
+pub fn render_design(d: &DesignReport) -> String {
+    let mut s = String::new();
+    writeln!(s, "Experiment design (§A2)").unwrap();
+    writeln!(
+        s,
+        "  parameters: {:?} with {:?} values",
+        d.param_names, d.values_per_param
+    )
+    .unwrap();
+    let group_names: Vec<Vec<&str>> = d
+        .groups
+        .iter()
+        .map(|g| g.iter().map(|&i| d.param_names[i].as_str()).collect())
+        .collect();
+    writeln!(s, "  joint-sampling groups: {group_names:?}").unwrap();
+    writeln!(
+        s,
+        "  experiments: {} (full grid) → {} (taint-reduced), saving {:.1}%",
+        d.full_grid,
+        d.reduced,
+        d.savings_percent()
+    )
+    .unwrap();
+    writeln!(s, "  additive only: {}", d.additive_only).unwrap();
+    s
+}
+
+/// Render a set of function models, largest mean first.
+pub fn render_models(
+    models: &BTreeMap<String, FunctionModel>,
+    param_names: &[String],
+    top: usize,
+) -> String {
+    let mut rows: Vec<&FunctionModel> = models.values().collect();
+    rows.sort_by(|a, b| b.mean_value.total_cmp(&a.mean_value));
+    let mut s = String::new();
+    writeln!(
+        s,
+        "  {:<44} {:>9} {:>7}  model",
+        "function", "mean[s]", "cv"
+    )
+    .unwrap();
+    for m in rows.into_iter().take(top) {
+        let flag = if m.reliable { ' ' } else { '!' };
+        writeln!(
+            s,
+            "  {:<44} {:>9.3e} {:>6.3}{} {}",
+            m.name,
+            m.mean_value,
+            m.max_cv,
+            flag,
+            m.fitted.model.render(param_names)
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Render contention findings (§C1 / Figure 5).
+pub fn render_contention(findings: &[ContentionFinding], param: &str) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Contention findings (§C1): {} function(s) grow with {param} despite proven independence",
+        findings.len()
+    )
+    .unwrap();
+    for f in findings {
+        writeln!(
+            s,
+            "  {:<44} ×{:.2} model: {}",
+            f.function,
+            f.rel_increase,
+            f.model.model.render(&[param.to_string()])
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Render segmentation warnings (§C2).
+pub fn render_segmentation(warnings: &[SegmentationWarning], configs: &[String]) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Experiment-design warnings (§C2): {} branch(es) change behavior across the domain",
+        warnings.len()
+    )
+    .unwrap();
+    for w in warnings {
+        writeln!(
+            s,
+            "  {} @{:?} driven by {:?}",
+            w.function, w.block, w.params
+        )
+        .unwrap();
+        for (a, b) in &w.boundaries {
+            let ca = configs.get(*a).cloned().unwrap_or_else(|| a.to_string());
+            let cb = configs.get(*b).cloned().unwrap_or_else(|| b.to_string());
+            writeln!(s, "    behavior changes between {ca} and {cb}").unwrap();
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::ParamCoverage;
+
+    #[test]
+    fn tables_render() {
+        let t2 = Table2 {
+            functions_total: 356,
+            pruned_static: 296,
+            pruned_dynamic: 11,
+            kernels: 40,
+            comm_routines: 2,
+            mpi_functions: 7,
+            loops_total: 275,
+            loops_pruned_static: 52,
+            loops_relevant: 78,
+        };
+        let s = render_table2("mini-lulesh", &t2);
+        assert!(s.contains("296/11"));
+        assert!(s.contains("40/2/7"));
+        assert!(s.contains("86.2%"));
+
+        let mut t3 = Table3::default();
+        t3.per_param
+            .insert("size".into(), ParamCoverage { functions: 40, loops: 78 });
+        t3.union_pair = ("p".into(), "size".into());
+        t3.union_coverage = ParamCoverage { functions: 40, loops: 78 };
+        t3.total_functions = 43;
+        t3.total_loops = 86;
+        let s = render_table3("mini-lulesh", &t3);
+        assert!(s.contains("size"));
+        assert!(s.contains("78"));
+    }
+
+    #[test]
+    fn design_renders() {
+        let d = crate::design::DesignReport {
+            param_names: vec!["p".into(), "size".into()],
+            values_per_param: vec![5, 5],
+            groups: vec![vec![0], vec![1]],
+            full_grid: 25,
+            reduced: 9,
+            additive_only: true,
+        };
+        let s = render_design(&d);
+        assert!(s.contains("25"));
+        assert!(s.contains("9"));
+        assert!(s.contains("64.0%"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Validation of measurements and experiment designs (§C).
+//!
+//! * **Contention detection** (§C1): when measurements of a function grow
+//!   with a machine axis (ranks per node `r`) although taint analysis proved
+//!   its compute volume independent of every program parameter, the growth
+//!   must come from *outside the application* — hardware contention. The
+//!   paper's experiment fixes `p` and `size` and sweeps `r`; functions whose
+//!   measured times rise get `log²r`-shaped models.
+//!
+//! * **Experiment-design validation** (§C2): tainted branches that take
+//!   *different directions at different sweep configurations* indicate a
+//!   qualitative behavior change (e.g. a communication algorithm switching
+//!   with `p`) inside the modeled domain — one PMNF cannot fit both
+//!   regimes, so the user should split the design at the boundary.
+
+use pt_extrap::{fit_single_param, FittedModel, MeasurementSet, SearchSpace};
+use pt_ir::BlockId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A function flagged as contention-affected (§C1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentionFinding {
+    pub function: String,
+    /// Fitted single-parameter model in the swept machine axis.
+    pub model: FittedModel,
+    /// measured(max axis) / measured(min axis).
+    pub rel_increase: f64,
+    pub reliable: bool,
+}
+
+/// Detect contention: fit every function's measurements against the machine
+/// axis and flag growth on taint-proven parameter-independent functions.
+///
+/// `proven_independent` lists functions whose dependency structure contains
+/// no parameter that varies along this axis (for a ranks-per-node sweep
+/// that is *every* function — `r` is not a program parameter at all).
+pub fn detect_contention(
+    sets: &BTreeMap<String, MeasurementSet>,
+    proven_independent: &dyn Fn(&str) -> bool,
+    space: &SearchSpace,
+    cv_threshold: f64,
+    min_rel_increase: f64,
+) -> Vec<ContentionFinding> {
+    let mut findings = Vec::new();
+    for (name, set) in sets {
+        if !proven_independent(name) {
+            continue;
+        }
+        if set.points.len() < 3 {
+            continue;
+        }
+        let mut pts: Vec<(f64, f64)> = set
+            .points
+            .iter()
+            .map(|p| (p.coords[0], p.mean()))
+            .collect();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let first = pts.first().unwrap().1;
+        let last = pts.last().unwrap().1;
+        if first <= 0.0 {
+            continue;
+        }
+        let rel_increase = last / first;
+        if rel_increase < min_rel_increase {
+            continue;
+        }
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let model = fit_single_param(&xs, &ys, 0, space);
+        if model.model.is_constant() {
+            continue; // growth not statistically expressible
+        }
+        findings.push(ContentionFinding {
+            function: name.clone(),
+            model,
+            rel_increase,
+            reliable: set.max_cv() <= cv_threshold,
+        });
+    }
+    findings.sort_by(|a, b| b.rel_increase.total_cmp(&a.rel_increase));
+    findings
+}
+
+/// Observed branch direction at one sweep configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BranchSide {
+    AlwaysTrue,
+    AlwaysFalse,
+    Mixed,
+}
+
+/// A branch whose behavior changes across the sweep (§C2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SegmentationWarning {
+    pub function: String,
+    pub block: BlockId,
+    /// Names of the parameters tainting the branch condition.
+    pub params: Vec<String>,
+    /// Per configuration (in input order): the observed direction.
+    pub directions: Vec<BranchSide>,
+    /// Consecutive configuration indices between which behavior flips.
+    pub boundaries: Vec<(usize, usize)>,
+}
+
+/// Per-configuration branch observations, as collected by coverage-enabled
+/// runs: `(function name, block) → (taken_true, taken_false, params)`.
+pub type BranchObservations = BTreeMap<(String, BlockId), (u64, u64, Vec<String>)>;
+
+/// Detect qualitative behavior changes from per-configuration branch
+/// coverage. `observations[i]` is the coverage of configuration `i`.
+pub fn detect_segmentation(observations: &[BranchObservations]) -> Vec<SegmentationWarning> {
+    let mut keys: Vec<(String, BlockId)> = observations
+        .iter()
+        .flat_map(|o| o.keys().cloned())
+        .collect();
+    keys.sort();
+    keys.dedup();
+
+    let mut warnings = Vec::new();
+    for key in keys {
+        let mut directions = Vec::with_capacity(observations.len());
+        let mut params: Vec<String> = Vec::new();
+        for obs in observations {
+            match obs.get(&key) {
+                Some((t, f, ps)) => {
+                    for p in ps {
+                        if !params.contains(p) {
+                            params.push(p.clone());
+                        }
+                    }
+                    directions.push(if *t > 0 && *f > 0 {
+                        BranchSide::Mixed
+                    } else if *t > 0 {
+                        BranchSide::AlwaysTrue
+                    } else {
+                        BranchSide::AlwaysFalse
+                    });
+                }
+                None => directions.push(BranchSide::AlwaysFalse),
+            }
+        }
+        let mut boundaries = Vec::new();
+        for i in 1..directions.len() {
+            if directions[i] != directions[i - 1] {
+                boundaries.push((i - 1, i));
+            }
+        }
+        if !boundaries.is_empty() {
+            warnings.push(SegmentationWarning {
+                function: key.0,
+                block: key.1,
+                params,
+                directions,
+                boundaries,
+            });
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_extrap::MeasurePoint;
+
+    #[test]
+    fn contention_flags_growing_independent_function() {
+        let mut sets = BTreeMap::new();
+        let mut s = MeasurementSet::new(vec!["r".into()]);
+        for &r in &[2.0f64, 4.0, 8.0, 12.0, 16.0, 18.0] {
+            let l: f64 = r.log2();
+            s.points.push(MeasurePoint {
+                coords: vec![r],
+                reps: vec![10.0 + 2.8 * l * l],
+            });
+        }
+        sets.insert("memory_kernel".to_string(), s);
+        let mut flat = MeasurementSet::new(vec!["r".into()]);
+        for &r in &[2.0, 4.0, 8.0, 12.0, 16.0, 18.0] {
+            flat.points.push(MeasurePoint {
+                coords: vec![r],
+                reps: vec![5.0],
+            });
+        }
+        sets.insert("compute_kernel".to_string(), flat);
+
+        let findings = detect_contention(
+            &sets,
+            &|_| true,
+            &SearchSpace::default(),
+            0.1,
+            1.1,
+        );
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(f.function, "memory_kernel");
+        assert!(f.rel_increase > 1.5);
+        // The fitted model should pick up the log² shape.
+        let t = &f.model.model.terms[0].1.factors[0];
+        assert_eq!(t.log_exp, 2, "model: {}", f.model.model);
+        assert!(f.reliable);
+    }
+
+    #[test]
+    fn contention_respects_dependence_proofs() {
+        let mut sets = BTreeMap::new();
+        let mut s = MeasurementSet::new(vec!["r".into()]);
+        for &r in &[2.0, 4.0, 8.0] {
+            s.points.push(MeasurePoint {
+                coords: vec![r],
+                reps: vec![r],
+            });
+        }
+        sets.insert("comm".to_string(), s);
+        // comm is *not* proven independent → never flagged.
+        let findings = detect_contention(
+            &sets,
+            &|name| name != "comm",
+            &SearchSpace::small(),
+            0.1,
+            1.1,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn segmentation_detects_flip() {
+        // Configurations p = 4, 8, 16, 32: branch true for p ≤ 8.
+        let mk = |t: u64, f: u64| -> BranchObservations {
+            let mut o = BTreeMap::new();
+            o.insert(
+                ("do_gather".to_string(), BlockId(0)),
+                (t, f, vec!["p".to_string()]),
+            );
+            o
+        };
+        let obs = vec![mk(3, 0), mk(3, 0), mk(0, 3), mk(0, 3)];
+        let warnings = detect_segmentation(&obs);
+        assert_eq!(warnings.len(), 1);
+        let w = &warnings[0];
+        assert_eq!(w.function, "do_gather");
+        assert_eq!(w.params, vec!["p".to_string()]);
+        assert_eq!(w.boundaries, vec![(1, 2)]);
+        assert_eq!(w.directions[0], BranchSide::AlwaysTrue);
+        assert_eq!(w.directions[3], BranchSide::AlwaysFalse);
+    }
+
+    #[test]
+    fn segmentation_quiet_when_stable() {
+        let mk = || -> BranchObservations {
+            let mut o = BTreeMap::new();
+            o.insert(
+                ("f".to_string(), BlockId(1)),
+                (5, 0, vec!["size".to_string()]),
+            );
+            o
+        };
+        let obs = vec![mk(), mk(), mk()];
+        assert!(detect_segmentation(&obs).is_empty());
+    }
+}

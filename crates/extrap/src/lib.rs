@@ -1,0 +1,30 @@
+//! # pt-extrap — empirical performance modeling (Extra-P reimplementation)
+//!
+//! The black-box half of the Perf-Taint pipeline: given measurements of a
+//! quantity across a parameter sweep, find the performance-model normal form
+//! (PMNF, Eq. 1 of the paper) hypothesis that best explains them.
+//!
+//! * [`measurement`] — coordinates, repetitions, means, the CV ≤ 0.1
+//!   reliability filter of §B1.
+//! * [`term`] — PMNF terms `∏ x^i·log2(x)^j` and models `c₀ + Σ cₖ·termₖ`.
+//! * [`linalg`] — the tiny OLS machinery (hypotheses are linear in their
+//!   coefficients).
+//! * [`search`] — hypothesis enumeration over the paper's `I × J` exponent
+//!   sets, leave-one-out cross-validated selection, the fast
+//!   multi-parameter heuristic, and the taint-derived [`Restriction`]
+//!   that turns the black-box modeler into the hybrid one (§4.5).
+//!
+//! Used standalone this crate reproduces black-box Extra-P behavior —
+//! including its tendency to overfit constant functions under noise, which
+//! is precisely the failure mode the taint prior eliminates (§B1).
+
+pub mod linalg;
+pub mod measurement;
+pub mod search;
+pub mod segmented;
+pub mod term;
+
+pub use measurement::{MeasurePoint, MeasurementSet};
+pub use search::{fit_multi_param, fit_single_param, FittedModel, Quality, Restriction, SearchSpace};
+pub use segmented::{fit_segmented, SegmentedModel};
+pub use term::{Factor, Model, Term};

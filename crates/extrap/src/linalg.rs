@@ -1,0 +1,209 @@
+//! Minimal dense linear algebra: ordinary least squares via normal
+//! equations and Gaussian elimination with partial pivoting.
+//!
+//! PMNF hypotheses are linear in their coefficients (the nonlinearity lives
+//! in the fixed exponents), so fitting a hypothesis is a tiny OLS problem —
+//! at most `1 + n_terms ≤ 3` unknowns in the paper's configuration (§4.5).
+
+/// Solve `A x = b` in place for a small dense system. Returns `None` when
+/// the matrix is (numerically) singular.
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|r| r.len() == n));
+    for col in 0..n {
+        // Partial pivoting.
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let d = a[col][col];
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let f = a[row][col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    Some((0..n).map(|i| b[i] / a[i][i]).collect())
+}
+
+/// Ordinary least squares: find `c` minimizing `‖D c − y‖²` where `D` is the
+/// design matrix (rows = observations). Returns `None` if the normal
+/// equations are singular (e.g. collinear columns).
+pub fn least_squares(design: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    let rows = design.len();
+    if rows == 0 {
+        return None;
+    }
+    let cols = design[0].len();
+    if rows < cols {
+        return None;
+    }
+    // Normal equations: (Dᵀ D) c = Dᵀ y.
+    let mut ata = vec![vec![0.0; cols]; cols];
+    let mut atb = vec![0.0; cols];
+    for (r, row) in design.iter().enumerate() {
+        debug_assert_eq!(row.len(), cols);
+        for i in 0..cols {
+            atb[i] += row[i] * y[r];
+            for j in i..cols {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..cols {
+        for j in 0..i {
+            ata[i][j] = ata[j][i];
+        }
+    }
+    // Tikhonov nudge for near-singular systems keeps the search robust when
+    // two candidate terms are nearly collinear on the sampled grid.
+    for (i, row) in ata.iter_mut().enumerate() {
+        row[i] += 1e-12;
+    }
+    solve(ata, atb)
+}
+
+/// Residual sum of squares of a fitted linear model.
+pub fn rss(design: &[Vec<f64>], y: &[f64], coef: &[f64]) -> f64 {
+    design
+        .iter()
+        .zip(y)
+        .map(|(row, &yi)| {
+            let pred: f64 = row.iter().zip(coef).map(|(d, c)| d * c).sum();
+            (pred - yi) * (pred - yi)
+        })
+        .sum()
+}
+
+/// Symmetric mean absolute percentage error (in percent), the robust score
+/// Extra-P uses for model selection across magnitudes.
+pub fn smape(pred: &[f64], actual: &[f64]) -> f64 {
+    debug_assert_eq!(pred.len(), actual.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| {
+            let denom = p.abs() + a.abs();
+            if denom < 1e-300 {
+                0.0
+            } else {
+                2.0 * (p - a).abs() / denom
+            }
+        })
+        .sum();
+    100.0 * total / pred.len() as f64
+}
+
+/// Coefficient of determination R².
+pub fn r_squared(pred: &[f64], actual: &[f64]) -> f64 {
+    let n = actual.len() as f64;
+    if actual.is_empty() {
+        return 1.0;
+    }
+    let mean = actual.iter().sum::<f64>() / n;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    if ss_tot < 1e-300 {
+        if ss_res < 1e-300 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_general_3x3() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let x = solve(a, vec![8.0, -11.0, -3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn ols_recovers_exact_line() {
+        // y = 3 + 2x sampled exactly.
+        let design: Vec<Vec<f64>> = (1..=5).map(|x| vec![1.0, x as f64]).collect();
+        let y: Vec<f64> = (1..=5).map(|x| 3.0 + 2.0 * x as f64).collect();
+        let c = least_squares(&design, &y).unwrap();
+        assert!((c[0] - 3.0).abs() < 1e-6);
+        assert!((c[1] - 2.0).abs() < 1e-6);
+        assert!(rss(&design, &y, &c) < 1e-9);
+    }
+
+    #[test]
+    fn ols_minimizes_noisy_fit() {
+        let design: Vec<Vec<f64>> = (1..=10).map(|x| vec![1.0, x as f64]).collect();
+        let y: Vec<f64> = (1..=10)
+            .map(|x| 1.0 + 0.5 * x as f64 + if x % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let c = least_squares(&design, &y).unwrap();
+        // Perturbing the coefficients must not reduce the RSS.
+        let base = rss(&design, &y, &c);
+        for delta in [-0.05, 0.05] {
+            let worse = rss(&design, &y, &[c[0] + delta, c[1]]);
+            assert!(worse >= base - 1e-12);
+            let worse = rss(&design, &y, &[c[0], c[1] + delta]);
+            assert!(worse >= base - 1e-12);
+        }
+    }
+
+    #[test]
+    fn smape_basics() {
+        assert_eq!(smape(&[], &[]), 0.0);
+        assert!((smape(&[1.0], &[1.0])).abs() < 1e-12);
+        // 100% off: |2-1|*2/(3) = 2/3 -> ~66.7%
+        assert!((smape(&[2.0], &[1.0]) - 200.0 / 3.0).abs() < 1e-9);
+        // Symmetric.
+        assert!((smape(&[1.0], &[2.0]) - smape(&[2.0], &[1.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean() {
+        let actual = vec![1.0, 2.0, 3.0];
+        assert!((r_squared(&actual, &actual) - 1.0).abs() < 1e-12);
+        let mean = vec![2.0, 2.0, 2.0];
+        assert!(r_squared(&mean, &actual).abs() < 1e-12);
+    }
+}

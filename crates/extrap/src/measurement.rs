@@ -1,0 +1,187 @@
+//! Measurement containers: coordinates, repetitions, means, and the
+//! coefficient-of-variation filter (§B1 of the paper: functions whose data
+//! has CV > 0.1 are considered too noisy to model reliably).
+
+use serde::{Deserialize, Serialize};
+
+/// Repeated measurements at one parameter coordinate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurePoint {
+    /// Parameter values, indexed consistently with
+    /// [`MeasurementSet::param_names`].
+    pub coords: Vec<f64>,
+    /// Repetition values (e.g. seconds of exclusive time).
+    pub reps: Vec<f64>,
+}
+
+impl MeasurePoint {
+    pub fn mean(&self) -> f64 {
+        if self.reps.is_empty() {
+            return 0.0;
+        }
+        self.reps.iter().sum::<f64>() / self.reps.len() as f64
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        let n = self.reps.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .reps
+            .iter()
+            .map(|r| (r - mean) * (r - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (σ/µ); 0 for a zero mean.
+    pub fn cv(&self) -> f64 {
+        let mean = self.mean();
+        if mean.abs() < 1e-300 {
+            0.0
+        } else {
+            self.std_dev() / mean.abs()
+        }
+    }
+}
+
+/// A set of measurements of one quantity (one function's exclusive time,
+/// say) across a parameter sweep.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementSet {
+    pub param_names: Vec<String>,
+    pub points: Vec<MeasurePoint>,
+}
+
+impl MeasurementSet {
+    pub fn new(param_names: Vec<String>) -> MeasurementSet {
+        MeasurementSet {
+            param_names,
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, coords: Vec<f64>, reps: Vec<f64>) {
+        debug_assert_eq!(coords.len(), self.param_names.len());
+        // Merge repetitions into an existing point at the same coordinate.
+        if let Some(p) = self.points.iter_mut().find(|p| p.coords == coords) {
+            p.reps.extend(reps);
+        } else {
+            self.points.push(MeasurePoint { coords, reps });
+        }
+    }
+
+    pub fn num_params(&self) -> usize {
+        self.param_names.len()
+    }
+
+    /// Mean value per point, in point order.
+    pub fn means(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.mean()).collect()
+    }
+
+    /// The largest CV across points — the §B1 reliability gate.
+    pub fn max_cv(&self) -> f64 {
+        self.points.iter().map(|p| p.cv()).fold(0.0, f64::max)
+    }
+
+    /// Whether the set passes the CV ≤ threshold filter (paper uses 0.1).
+    pub fn is_reliable(&self, threshold: f64) -> bool {
+        self.max_cv() <= threshold
+    }
+
+    /// Distinct sorted values of parameter `k` across points.
+    pub fn values_of(&self, k: usize) -> Vec<f64> {
+        let mut vals: Vec<f64> = self.points.iter().map(|p| p.coords[k]).collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup();
+        vals
+    }
+
+    /// The single-parameter slice used by the multi-parameter heuristic:
+    /// points where every parameter except `k` sits at its minimum value.
+    /// Returns `(x_k, mean)` pairs sorted by `x_k`.
+    pub fn slice_along(&self, k: usize) -> Vec<(f64, f64)> {
+        let mins: Vec<f64> = (0..self.num_params())
+            .map(|j| {
+                self.points
+                    .iter()
+                    .map(|p| p.coords[j])
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let mut out: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .filter(|p| {
+                p.coords
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &v)| j == k || (v - mins[j]).abs() < 1e-9)
+            })
+            .map(|p| (p.coords[k], p.mean()))
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// Total number of individual measurements (points × repetitions).
+    pub fn total_measurements(&self) -> usize {
+        self.points.iter().map(|p| p.reps.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_statistics() {
+        let p = MeasurePoint {
+            coords: vec![1.0],
+            reps: vec![10.0, 12.0, 8.0],
+        };
+        assert!((p.mean() - 10.0).abs() < 1e-12);
+        assert!((p.std_dev() - 2.0).abs() < 1e-12);
+        assert!((p.cv() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_merges_same_coordinate() {
+        let mut s = MeasurementSet::new(vec!["p".into()]);
+        s.push(vec![4.0], vec![1.0]);
+        s.push(vec![4.0], vec![3.0]);
+        s.push(vec![8.0], vec![2.0]);
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[0].reps.len(), 2);
+        assert_eq!(s.total_measurements(), 3);
+    }
+
+    #[test]
+    fn reliability_filter() {
+        let mut s = MeasurementSet::new(vec!["p".into()]);
+        s.push(vec![1.0], vec![10.0, 10.1, 9.9]);
+        assert!(s.is_reliable(0.1));
+        s.push(vec![2.0], vec![1.0, 3.0]); // wild noise
+        assert!(!s.is_reliable(0.1));
+    }
+
+    #[test]
+    fn slice_isolates_one_parameter() {
+        // Grid {1,2} x {10,20}, value = x + 100*y.
+        let mut s = MeasurementSet::new(vec!["x".into(), "y".into()]);
+        for &x in &[1.0, 2.0] {
+            for &y in &[10.0, 20.0] {
+                s.push(vec![x, y], vec![x + 100.0 * y]);
+            }
+        }
+        let sx = s.slice_along(0);
+        assert_eq!(sx, vec![(1.0, 1001.0), (2.0, 1002.0)]);
+        let sy = s.slice_along(1);
+        assert_eq!(sy, vec![(10.0, 1001.0), (20.0, 2001.0)]);
+        assert_eq!(s.values_of(0), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Segmented single-parameter modeling — the remedy for the §C2 situation.
+//!
+//! When tainted-branch coverage shows a qualitative behavior change inside
+//! the modeling domain (e.g. MILC's gather switching algorithm at p ≈ 8),
+//! one PMNF cannot represent the data; the paper points to segmented
+//! modeling (Ilyas, Calotoiu & Wolf, Euro-Par'17) as the remedy. This
+//! module fits a two-segment model: it searches every admissible split
+//! point, fits each side independently, and keeps the split only when it
+//! beats the single model by a meaningful margin.
+
+use crate::search::{fit_single_param, FittedModel, SearchSpace};
+use serde::{Deserialize, Serialize};
+
+/// A single- or two-segment model over one parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SegmentedModel {
+    /// One PMNF model covers the whole domain.
+    Single(FittedModel),
+    /// Two regimes meeting between `boundary.0` and `boundary.1`.
+    Split {
+        /// Last x of the left regime and first x of the right regime.
+        boundary: (f64, f64),
+        left: FittedModel,
+        right: FittedModel,
+    },
+}
+
+impl SegmentedModel {
+    /// Evaluate at `x` (the boundary midpoint assigns sides).
+    pub fn eval(&self, x: f64) -> f64 {
+        match self {
+            SegmentedModel::Single(m) => m.model.eval(&[x]),
+            SegmentedModel::Split {
+                boundary,
+                left,
+                right,
+            } => {
+                if x <= (boundary.0 + boundary.1) / 2.0 {
+                    left.model.eval(&[x])
+                } else {
+                    right.model.eval(&[x])
+                }
+            }
+        }
+    }
+
+    pub fn is_split(&self) -> bool {
+        matches!(self, SegmentedModel::Split { .. })
+    }
+
+    /// The worse of the segment SMAPEs (or the single model's SMAPE).
+    pub fn worst_smape(&self) -> f64 {
+        match self {
+            SegmentedModel::Single(m) => m.quality.smape,
+            SegmentedModel::Split { left, right, .. } => {
+                left.quality.smape.max(right.quality.smape)
+            }
+        }
+    }
+
+    pub fn render(&self, name: &str) -> String {
+        let names = vec![name.to_string()];
+        match self {
+            SegmentedModel::Single(m) => m.model.render(&names),
+            SegmentedModel::Split {
+                boundary,
+                left,
+                right,
+            } => format!(
+                "{name}≤{}: {}   |   {name}≥{}: {}",
+                boundary.0,
+                left.model.render(&names),
+                boundary.1,
+                right.model.render(&names)
+            ),
+        }
+    }
+}
+
+/// Fit a segmented model. `min_points` is the minimum sweep points per
+/// segment (≥ 3 so each side can still cross-validate); `improvement`
+/// is the factor by which the split's SMAPE must beat the single model's
+/// (e.g. 0.5 = half the error) to be accepted.
+pub fn fit_segmented(
+    xs: &[f64],
+    ys: &[f64],
+    param: usize,
+    space: &SearchSpace,
+    min_points: usize,
+    improvement: f64,
+) -> SegmentedModel {
+    assert_eq!(xs.len(), ys.len());
+    let min_points = min_points.max(2);
+    let single = fit_single_param(xs, ys, param, space);
+    let n = xs.len();
+    if n < 2 * min_points {
+        return SegmentedModel::Single(single);
+    }
+
+    // Points must be sorted by x for contiguous segments.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let sx: Vec<f64> = order.iter().map(|&i| xs[i]).collect();
+    let sy: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
+
+    let mut best: Option<(usize, FittedModel, FittedModel, f64)> = None;
+    for split in min_points..=(n - min_points) {
+        let left = fit_single_param(&sx[..split], &sy[..split], param, space);
+        let right = fit_single_param(&sx[split..], &sy[split..], param, space);
+        let score = left.quality.smape.max(right.quality.smape);
+        if best.as_ref().map_or(true, |(_, _, _, s)| score < *s) {
+            best = Some((split, left, right, score));
+        }
+    }
+    match best {
+        Some((split, left, right, score))
+            if score < single.quality.smape * improvement =>
+        {
+            SegmentedModel::Split {
+                boundary: (sx[split - 1], sx[split]),
+                left,
+                right,
+            }
+        }
+        _ => SegmentedModel::Single(single),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piecewise_data_is_split_at_the_right_boundary() {
+        // The paper's §C2 sketch: f(a) = a for a < 4, log2(a) for a ≥ 8.
+        let xs: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x <= 4.0 { 10.0 * x } else { 3.0 * x.log2() })
+            .collect();
+        let m = fit_segmented(&xs, &ys, 0, &SearchSpace::default(), 3, 0.8);
+        assert!(m.is_split(), "piecewise data must split: {}", m.render("a"));
+        if let SegmentedModel::Split { boundary, .. } = &m {
+            assert!(
+                boundary.0 <= 8.0 && boundary.1 >= 4.0,
+                "boundary {boundary:?} must bracket the regime change"
+            );
+        }
+        // Each side predicts its regime well.
+        assert!((m.eval(2.0) - 20.0).abs() / 20.0 < 0.2);
+        assert!((m.eval(128.0) - 21.0).abs() / 21.0 < 0.2);
+        assert!(m.worst_smape() < 10.0);
+    }
+
+    #[test]
+    fn smooth_data_stays_single() {
+        let xs: Vec<f64> = vec![4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 + 0.5 * x).collect();
+        let m = fit_segmented(&xs, &ys, 0, &SearchSpace::default(), 3, 0.5);
+        assert!(!m.is_split(), "smooth data must not split: {}", m.render("x"));
+    }
+
+    #[test]
+    fn too_few_points_stays_single() {
+        let xs = vec![2.0, 4.0, 8.0, 16.0];
+        let ys = vec![1.0, 100.0, 2.0, 3.0];
+        let m = fit_segmented(&xs, &ys, 0, &SearchSpace::small(), 3, 0.5);
+        assert!(!m.is_split());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let xs: Vec<f64> = vec![256.0, 2.0, 64.0, 4.0, 16.0, 1.0, 8.0, 128.0, 3.0, 32.0];
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x <= 4.0 { 10.0 * x } else { 3.0 * x.log2() })
+            .collect();
+        let m = fit_segmented(&xs, &ys, 0, &SearchSpace::default(), 3, 0.8);
+        assert!(m.is_split(), "{}", m.render("a"));
+    }
+
+    #[test]
+    fn rendering_shows_both_regimes() {
+        let xs: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x <= 4.0 { x } else { x.log2() })
+            .collect();
+        let m = fit_segmented(&xs, &ys, 0, &SearchSpace::default(), 3, 0.9);
+        let s = m.render("p");
+        if m.is_split() {
+            assert!(s.contains("p≤") && s.contains("p≥"), "{s}");
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! PMNF terms and models (Equation 1 of the paper).
+//!
+//! A *term* is a product `∏_l x_l^{i_l} · log2(x_l)^{j_l}` over the model
+//! parameters; a *model* is `c_0 + Σ_k c_k · term_k`. The exponents come
+//! from the fixed sets `I` and `J` (§4.5), which makes every hypothesis
+//! linear in its coefficients.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One parameter's contribution to a term: `x^exp · log2(x)^log_exp`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Factor {
+    /// Index of the parameter.
+    pub param: usize,
+    /// Polynomial exponent (a value from the `I` set).
+    pub exp: f64,
+    /// Logarithm exponent (a value from the `J` set).
+    pub log_exp: u32,
+}
+
+impl Factor {
+    pub fn eval(&self, x: f64) -> f64 {
+        let x = x.max(f64::MIN_POSITIVE);
+        let poly = x.powf(self.exp);
+        let log = if self.log_exp == 0 {
+            1.0
+        } else {
+            x.log2().powi(self.log_exp as i32)
+        };
+        poly * log
+    }
+
+    /// Is this the trivial factor `x^0 · log^0 = 1`?
+    pub fn is_one(&self) -> bool {
+        self.exp == 0.0 && self.log_exp == 0
+    }
+}
+
+/// A PMNF term: product of factors over distinct parameters.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Term {
+    pub factors: Vec<Factor>,
+}
+
+impl Term {
+    pub fn single(param: usize, exp: f64, log_exp: u32) -> Term {
+        Term {
+            factors: vec![Factor {
+                param,
+                exp,
+                log_exp,
+            }],
+        }
+    }
+
+    /// Product of two terms; factors for the same parameter merge by adding
+    /// exponents.
+    pub fn product(&self, other: &Term) -> Term {
+        let mut factors = self.factors.clone();
+        for f in &other.factors {
+            match factors.iter_mut().find(|g| g.param == f.param) {
+                Some(g) => {
+                    g.exp += f.exp;
+                    g.log_exp += f.log_exp;
+                }
+                None => factors.push(*f),
+            }
+        }
+        factors.retain(|f| !f.is_one());
+        factors.sort_by_key(|f| f.param);
+        Term { factors }
+    }
+
+    /// Evaluate at a coordinate (indexed by parameter).
+    pub fn eval(&self, coords: &[f64]) -> f64 {
+        self.factors.iter().map(|f| f.eval(coords[f.param])).product()
+    }
+
+    /// Parameters used by this term, as a bitmask.
+    pub fn param_mask(&self) -> u64 {
+        self.factors
+            .iter()
+            .filter(|f| !f.is_one())
+            .fold(0u64, |m, f| m | (1u64 << f.param))
+    }
+
+    /// Total "complexity" used to break selection ties (smaller = simpler).
+    pub fn complexity(&self) -> f64 {
+        self.factors
+            .iter()
+            .map(|f| f.exp.abs() + f.log_exp as f64 * 0.5)
+            .sum()
+    }
+
+    pub fn is_constant(&self) -> bool {
+        self.factors.iter().all(|f| f.is_one())
+    }
+
+    /// Render with parameter names.
+    pub fn render(&self, names: &[String]) -> String {
+        if self.is_constant() {
+            return "1".into();
+        }
+        let mut parts = Vec::new();
+        for f in &self.factors {
+            if f.is_one() {
+                continue;
+            }
+            let name = names
+                .get(f.param)
+                .cloned()
+                .unwrap_or_else(|| format!("x{}", f.param));
+            if f.exp != 0.0 {
+                if (f.exp - 1.0).abs() < 1e-12 {
+                    parts.push(name.clone());
+                } else {
+                    parts.push(format!("{name}^{}", trim_float(f.exp)));
+                }
+            }
+            if f.log_exp == 1 {
+                parts.push(format!("log2({name})"));
+            } else if f.log_exp > 1 {
+                parts.push(format!("log2({name})^{}", f.log_exp));
+            }
+        }
+        parts.join("·")
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-12 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+/// A fitted PMNF model: `constant + Σ coef_k · term_k`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Model {
+    pub constant: f64,
+    pub terms: Vec<(f64, Term)>,
+}
+
+impl Model {
+    pub fn constant(c: f64) -> Model {
+        Model {
+            constant: c,
+            terms: Vec::new(),
+        }
+    }
+
+    pub fn eval(&self, coords: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(c, t)| c * t.eval(coords))
+                .sum::<f64>()
+    }
+
+    /// Whether the model (beyond its constant) depends on parameter `k`.
+    /// Terms with negligible coefficients are ignored: a dependency exists
+    /// only if the term contributes meaningfully somewhere.
+    pub fn uses_param(&self, k: usize) -> bool {
+        self.terms
+            .iter()
+            .any(|(c, t)| *c != 0.0 && t.param_mask() & (1u64 << k) != 0)
+    }
+
+    /// Bitmask of all parameters used.
+    pub fn param_mask(&self) -> u64 {
+        self.terms
+            .iter()
+            .filter(|(c, _)| *c != 0.0)
+            .fold(0u64, |m, (_, t)| m | t.param_mask())
+    }
+
+    pub fn is_constant(&self) -> bool {
+        self.param_mask() == 0
+    }
+
+    /// Whether any term multiplies two or more distinct parameters.
+    pub fn has_multiplicative_term(&self) -> bool {
+        self.terms
+            .iter()
+            .any(|(c, t)| *c != 0.0 && t.param_mask().count_ones() >= 2)
+    }
+
+    /// Render with parameter names, e.g. `2.4e-8·p^0.25·size^3 + 1.3e-2`.
+    pub fn render(&self, names: &[String]) -> String {
+        let mut parts = Vec::new();
+        if self.constant != 0.0 || self.terms.is_empty() {
+            parts.push(format!("{:.3e}", self.constant));
+        }
+        for (c, t) in &self.terms {
+            parts.push(format!("{:.3e}·{}", c, t.render(names)));
+        }
+        parts.join(" + ")
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(&[]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_eval() {
+        let f = Factor {
+            param: 0,
+            exp: 2.0,
+            log_exp: 0,
+        };
+        assert!((f.eval(3.0) - 9.0).abs() < 1e-12);
+        let g = Factor {
+            param: 0,
+            exp: 0.0,
+            log_exp: 2,
+        };
+        assert!((g.eval(8.0) - 9.0).abs() < 1e-12); // log2(8)^2 = 9
+        let h = Factor {
+            param: 0,
+            exp: 0.5,
+            log_exp: 1,
+        };
+        assert!((h.eval(4.0) - 4.0).abs() < 1e-12); // 2 * 2
+    }
+
+    #[test]
+    fn term_eval_multi_param() {
+        // p^0.25 * size^3
+        let t = Term {
+            factors: vec![
+                Factor {
+                    param: 0,
+                    exp: 0.25,
+                    log_exp: 0,
+                },
+                Factor {
+                    param: 1,
+                    exp: 3.0,
+                    log_exp: 0,
+                },
+            ],
+        };
+        let v = t.eval(&[16.0, 2.0]);
+        assert!((v - 2.0 * 8.0).abs() < 1e-12);
+        assert_eq!(t.param_mask(), 0b11);
+    }
+
+    #[test]
+    fn term_product_merges_exponents() {
+        let a = Term::single(0, 1.0, 0);
+        let b = Term::single(0, 1.0, 1);
+        let ab = a.product(&b);
+        assert_eq!(ab.factors.len(), 1);
+        assert!((ab.factors[0].exp - 2.0).abs() < 1e-12);
+        assert_eq!(ab.factors[0].log_exp, 1);
+
+        let c = Term::single(1, 0.5, 0);
+        let ac = a.product(&c);
+        assert_eq!(ac.factors.len(), 2);
+        assert_eq!(ac.param_mask(), 0b11);
+    }
+
+    #[test]
+    fn model_eval_and_deps() {
+        // 3 + 2·x^2 + 0·y
+        let m = Model {
+            constant: 3.0,
+            terms: vec![
+                (2.0, Term::single(0, 2.0, 0)),
+                (0.0, Term::single(1, 1.0, 0)),
+            ],
+        };
+        assert!((m.eval(&[4.0, 100.0]) - 35.0).abs() < 1e-12);
+        assert!(m.uses_param(0));
+        assert!(!m.uses_param(1), "zero-coefficient term is no dependency");
+        assert!(!m.is_constant());
+        assert!(Model::constant(5.0).is_constant());
+    }
+
+    #[test]
+    fn multiplicative_detection() {
+        let additive = Model {
+            constant: 0.0,
+            terms: vec![
+                (1.0, Term::single(0, 1.0, 0)),
+                (1.0, Term::single(1, 3.0, 0)),
+            ],
+        };
+        assert!(!additive.has_multiplicative_term());
+        let multiplicative = Model {
+            constant: 0.0,
+            terms: vec![(
+                1.0,
+                Term::single(0, 0.25, 0).product(&Term::single(1, 3.0, 0)),
+            )],
+        };
+        assert!(multiplicative.has_multiplicative_term());
+    }
+
+    #[test]
+    fn rendering() {
+        let names = vec!["p".to_string(), "size".to_string()];
+        let t = Term::single(0, 0.5, 0).product(&Term::single(1, 3.0, 0));
+        assert_eq!(t.render(&names), "p^0.5·size^3");
+        let t2 = Term::single(0, 0.0, 2);
+        assert_eq!(t2.render(&names), "log2(p)^2");
+        let t3 = Term::single(1, 1.0, 1);
+        assert_eq!(t3.render(&names), "size·log2(size)");
+        let m = Model {
+            constant: 1.5,
+            terms: vec![(2e-8, t)],
+        };
+        assert!(m.render(&names).contains("2.000e-8·p^0.5·size^3"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Instructions and terminators.
+
+use crate::function::{BlockId, FunctionId};
+use crate::types::Type;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an instruction inside its function's instruction arena.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct InstId(pub u32);
+
+impl InstId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Binary arithmetic / bitwise operations.
+///
+/// Integer division and remainder trap on a zero divisor at interpretation
+/// time, matching hardware semantics rather than LLVM's poison values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Min,
+    Max,
+}
+
+impl BinOp {
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+
+    pub fn from_mnemonic(s: &str) -> Option<BinOp> {
+        Some(match s {
+            "add" => BinOp::Add,
+            "sub" => BinOp::Sub,
+            "mul" => BinOp::Mul,
+            "div" => BinOp::Div,
+            "rem" => BinOp::Rem,
+            "and" => BinOp::And,
+            "or" => BinOp::Or,
+            "xor" => BinOp::Xor,
+            "shl" => BinOp::Shl,
+            "shr" => BinOp::Shr,
+            "min" => BinOp::Min,
+            "max" => BinOp::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise / logical not.
+    Not,
+    /// i64 → f64 conversion.
+    IntToFloat,
+    /// f64 → i64 conversion (truncation toward zero).
+    FloatToInt,
+    /// Square root (f64).
+    Sqrt,
+    /// Absolute value.
+    Abs,
+}
+
+impl UnOp {
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::IntToFloat => "itof",
+            UnOp::FloatToInt => "ftoi",
+            UnOp::Sqrt => "sqrt",
+            UnOp::Abs => "abs",
+        }
+    }
+
+    pub fn from_mnemonic(s: &str) -> Option<UnOp> {
+        Some(match s {
+            "neg" => UnOp::Neg,
+            "not" => UnOp::Not,
+            "itof" => UnOp::IntToFloat,
+            "ftoi" => UnOp::FloatToInt,
+            "sqrt" => UnOp::Sqrt,
+            "abs" => UnOp::Abs,
+            _ => return None,
+        })
+    }
+}
+
+/// Comparison predicates (signed integer or ordered float semantics,
+/// depending on the operand type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpPred {
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Lt => "lt",
+            CmpPred::Le => "le",
+            CmpPred::Gt => "gt",
+            CmpPred::Ge => "ge",
+        }
+    }
+
+    pub fn from_mnemonic(s: &str) -> Option<CmpPred> {
+        Some(match s {
+            "eq" => CmpPred::Eq,
+            "ne" => CmpPred::Ne,
+            "lt" => CmpPred::Lt,
+            "le" => CmpPred::Le,
+            "gt" => CmpPred::Gt,
+            "ge" => CmpPred::Ge,
+            _ => return None,
+        })
+    }
+
+    /// Evaluate the predicate on two ordered values.
+    #[inline]
+    pub fn eval<T: PartialOrd>(self, a: T, b: T) -> bool {
+        match self {
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+            CmpPred::Lt => a < b,
+            CmpPred::Le => a <= b,
+            CmpPred::Gt => a > b,
+            CmpPred::Ge => a >= b,
+        }
+    }
+}
+
+/// Target of a call.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Callee {
+    /// A function defined in the same module.
+    Internal(FunctionId),
+    /// An external runtime symbol resolved by the interpreter host
+    /// (taint intrinsics, MPI routines, work-charging primitives).
+    External(String),
+}
+
+/// The operation performed by an instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InstKind {
+    /// Binary operation on two numeric operands of equal type.
+    Bin { op: BinOp, lhs: Value, rhs: Value },
+    /// Unary operation.
+    Un { op: UnOp, operand: Value },
+    /// Comparison; result type is `Bool`.
+    Cmp { pred: CmpPred, lhs: Value, rhs: Value },
+    /// `cond ? then_v : else_v` without control flow.
+    Select {
+        cond: Value,
+        then_v: Value,
+        else_v: Value,
+    },
+    /// Allocate `words` contiguous words in the frame; result is a `Ptr` to
+    /// the first word. `words` may be a dynamic value.
+    Alloca { words: Value },
+    /// Load one word from `addr`, interpreting it as `ty`.
+    Load { addr: Value, ty: Type },
+    /// Store `value` to `addr`.
+    Store { addr: Value, value: Value },
+    /// Address arithmetic: `base + index * stride` (word units).
+    Gep {
+        base: Value,
+        index: Value,
+        stride: u32,
+    },
+    /// Direct call. `ret_ty` caches the callee's return type so the result
+    /// type is known without module context.
+    Call {
+        callee: Callee,
+        args: Vec<Value>,
+        ret_ty: Type,
+    },
+    /// SSA phi node; one incoming value per predecessor block.
+    Phi {
+        ty: Type,
+        incomings: Vec<(BlockId, Value)>,
+    },
+}
+
+/// An instruction: its kind plus the block it belongs to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Inst {
+    pub kind: InstKind,
+    pub block: BlockId,
+}
+
+impl Inst {
+    /// The result type of this instruction given a lookup for operand types.
+    ///
+    /// `Bin`/`Un` results follow their operand; callers that need exact
+    /// operand typing use [`crate::function::Function::value_type`].
+    pub fn result_type(&self, operand_ty: impl Fn(Value) -> Type) -> Type {
+        match &self.kind {
+            InstKind::Bin { lhs, .. } => operand_ty(*lhs),
+            InstKind::Un { op, operand } => match op {
+                UnOp::IntToFloat => Type::F64,
+                UnOp::FloatToInt => Type::I64,
+                UnOp::Sqrt => Type::F64,
+                UnOp::Not => operand_ty(*operand),
+                _ => operand_ty(*operand),
+            },
+            InstKind::Cmp { .. } => Type::Bool,
+            InstKind::Select { then_v, .. } => operand_ty(*then_v),
+            InstKind::Alloca { .. } => Type::Ptr,
+            InstKind::Load { ty, .. } => *ty,
+            InstKind::Store { .. } => Type::Void,
+            InstKind::Gep { .. } => Type::Ptr,
+            InstKind::Call { ret_ty, .. } => *ret_ty,
+            InstKind::Phi { ty, .. } => *ty,
+        }
+    }
+
+    /// Visit every operand of the instruction.
+    pub fn for_each_operand(&self, mut f: impl FnMut(Value)) {
+        match &self.kind {
+            InstKind::Bin { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            InstKind::Un { operand, .. } => f(*operand),
+            InstKind::Select {
+                cond,
+                then_v,
+                else_v,
+            } => {
+                f(*cond);
+                f(*then_v);
+                f(*else_v);
+            }
+            InstKind::Alloca { words } => f(*words),
+            InstKind::Load { addr, .. } => f(*addr),
+            InstKind::Store { addr, value } => {
+                f(*addr);
+                f(*value);
+            }
+            InstKind::Gep { base, index, .. } => {
+                f(*base);
+                f(*index);
+            }
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+            InstKind::Phi { incomings, .. } => {
+                for (_, v) in incomings {
+                    f(*v);
+                }
+            }
+        }
+    }
+}
+
+/// Block terminators. Every basic block ends in exactly one terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Two-way conditional branch; `cond` must be `Bool`.
+    CondBr {
+        cond: Value,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    /// Return from the function.
+    Ret(Option<Value>),
+    /// Marks statically unreachable code (e.g. after a trap).
+    Unreachable,
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let (a, b) = match self {
+            Terminator::Br(t) => (Some(*t), None),
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => (Some(*then_bb), Some(*else_bb)),
+            Terminator::Ret(_) | Terminator::Unreachable => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_mnemonics_round_trip() {
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::Shr,
+            BinOp::Min,
+            BinOp::Max,
+        ] {
+            assert_eq!(BinOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpPred::Lt.eval(1, 2));
+        assert!(!CmpPred::Lt.eval(2, 2));
+        assert!(CmpPred::Le.eval(2, 2));
+        assert!(CmpPred::Ne.eval(1.0, 2.0));
+        assert!(CmpPred::Ge.eval(3, 3));
+        assert!(CmpPred::Gt.eval(4, 3));
+        assert!(CmpPred::Eq.eval("a", "a"));
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::CondBr {
+            cond: Value::bool(true),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        let succ: Vec<_> = t.successors().collect();
+        assert_eq!(succ, vec![BlockId(1), BlockId(2)]);
+        assert_eq!(Terminator::Ret(None).successors().count(), 0);
+        assert_eq!(Terminator::Br(BlockId(0)).successors().count(), 1);
+    }
+
+    #[test]
+    fn operand_visit() {
+        let inst = Inst {
+            kind: InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Value::int(1),
+                rhs: Value::int(2),
+            },
+            block: BlockId(0),
+        };
+        let mut n = 0;
+        inst.for_each_operand(|_| n += 1);
+        assert_eq!(n, 2);
+    }
+}

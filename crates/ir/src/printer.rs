@@ -1,0 +1,204 @@
+//! Textual form of the IR.
+//!
+//! The format round-trips through [`crate::parser`]:
+//!
+//! ```text
+//! func @axpy(%a: f64, %x: ptr, %y: ptr, %n: i64) -> void {
+//! bb0:
+//!   br bb1
+//! bb1:
+//!   %0 = phi i64 [bb0 -> 0, bb2 -> %5]
+//!   %1 = cmp lt %0, %n
+//!   cond_br %1, bb2, bb3
+//! bb2:
+//!   %2 = load f64, %x[%0 * 1]
+//!   ...
+//! }
+//! ```
+
+use crate::function::Function;
+use crate::inst::{Callee, InstKind, Terminator};
+use crate::module::Module;
+use crate::value::Value;
+use std::fmt::Write;
+
+fn fmt_value(v: Value, func: &Function) -> String {
+    match v {
+        Value::Const(c) => c.to_string(),
+        Value::Param(p) => format!("%{}", func.params[p.index()].0),
+        Value::Inst(i) => format!("%{}", i.0),
+    }
+}
+
+fn fmt_callee(c: &Callee, module: Option<&Module>) -> String {
+    match c {
+        Callee::Internal(fid) => match module {
+            Some(m) => format!("@{}", m.function(*fid).name),
+            None => format!("@#{}", fid.0),
+        },
+        Callee::External(name) => format!("@{name}"),
+    }
+}
+
+/// Print one instruction (without result assignment).
+fn fmt_inst_kind(kind: &InstKind, func: &Function, module: Option<&Module>) -> String {
+    let v = |x: Value| fmt_value(x, func);
+    match kind {
+        InstKind::Bin { op, lhs, rhs } => {
+            format!("{} {}, {}", op.mnemonic(), v(*lhs), v(*rhs))
+        }
+        InstKind::Un { op, operand } => format!("{} {}", op.mnemonic(), v(*operand)),
+        InstKind::Cmp { pred, lhs, rhs } => {
+            format!("cmp {} {}, {}", pred.mnemonic(), v(*lhs), v(*rhs))
+        }
+        InstKind::Select {
+            cond,
+            then_v,
+            else_v,
+        } => format!("select {}, {}, {}", v(*cond), v(*then_v), v(*else_v)),
+        InstKind::Alloca { words } => format!("alloca {}", v(*words)),
+        InstKind::Load { addr, ty } => format!("load {ty}, {}", v(*addr)),
+        InstKind::Store { addr, value } => format!("store {}, {}", v(*value), v(*addr)),
+        InstKind::Gep {
+            base,
+            index,
+            stride,
+        } => format!("gep {}[{} * {}]", v(*base), v(*index), stride),
+        InstKind::Call {
+            callee,
+            args,
+            ret_ty,
+        } => {
+            let args: Vec<String> = args.iter().map(|a| v(*a)).collect();
+            format!(
+                "call {ret_ty} {}({})",
+                fmt_callee(callee, module),
+                args.join(", ")
+            )
+        }
+        InstKind::Phi { ty, incomings } => {
+            let inc: Vec<String> = incomings
+                .iter()
+                .map(|(b, val)| format!("{b} -> {}", v(*val)))
+                .collect();
+            format!("phi {ty} [{}]", inc.join(", "))
+        }
+    }
+}
+
+fn fmt_terminator(t: &Terminator, func: &Function) -> String {
+    match t {
+        Terminator::Br(b) => format!("br {b}"),
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("cond_br {}, {then_bb}, {else_bb}", fmt_value(*cond, func)),
+        Terminator::Ret(None) => "ret".into(),
+        Terminator::Ret(Some(v)) => format!("ret {}", fmt_value(*v, func)),
+        Terminator::Unreachable => "unreachable".into(),
+    }
+}
+
+/// Render a function to its textual form.
+pub fn print_function(func: &Function, module: Option<&Module>) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = func
+        .params
+        .iter()
+        .map(|(n, t)| format!("%{n}: {t}"))
+        .collect();
+    writeln!(
+        out,
+        "func @{}({}) -> {} {{",
+        func.name,
+        params.join(", "),
+        func.ret_ty
+    )
+    .unwrap();
+    for bid in func.block_ids() {
+        let block = func.block(bid);
+        match &block.name {
+            Some(n) => writeln!(out, "{bid}: ; {n}").unwrap(),
+            None => writeln!(out, "{bid}:").unwrap(),
+        }
+        for &iid in &block.insts {
+            let inst = func.inst(iid);
+            let text = fmt_inst_kind(&inst.kind, func, module);
+            let produces = inst.result_type(|v| func.value_type(v)) != crate::Type::Void;
+            if produces {
+                writeln!(out, "  %{} = {text}", iid.0).unwrap();
+            } else {
+                writeln!(out, "  {text}").unwrap();
+            }
+        }
+        match &block.term {
+            Some(t) => writeln!(out, "  {}", fmt_terminator(t, func)).unwrap(),
+            None => writeln!(out, "  <unterminated>").unwrap(),
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a whole module.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    writeln!(out, "; module {}", module.name).unwrap();
+    for e in &module.externals {
+        writeln!(out, "extern @{}({}) -> {}", e.name, e.arity, e.ret_ty).unwrap();
+    }
+    if !module.externals.is_empty() {
+        out.push('\n');
+    }
+    for f in &module.functions {
+        out.push_str(&print_function(f, Some(module)));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpPred;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_loop() {
+        let mut b = FunctionBuilder::new("count", vec![("n".into(), Type::I64)], Type::I64);
+        let acc = b.alloca(1i64);
+        b.store(acc, Value::int(0));
+        b.for_loop(0i64, b.param(0), 1i64, |b, iv| {
+            let cur = b.load(acc, Type::I64);
+            let nxt = b.add(cur, iv);
+            b.store(acc, nxt);
+        });
+        let r = b.load(acc, Type::I64);
+        b.ret(Some(r));
+        let f = b.finish();
+        let text = print_function(&f, None);
+        assert!(text.contains("func @count(%n: i64) -> i64 {"));
+        assert!(text.contains("phi i64 [bb0 -> 0, bb2 -> %"));
+        assert!(text.contains("cmp lt"));
+        assert!(text.contains("cond_br"));
+        assert!(text.contains("store"));
+    }
+
+    #[test]
+    fn prints_module_with_externs() {
+        let mut m = Module::new("m");
+        m.declare_external("pt_work_flops", 1, Type::Void);
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let c = b.cmp(CmpPred::Lt, Value::int(1), Value::int(2));
+        b.if_then(c, |b| {
+            b.call_external("pt_work_flops", vec![Value::int(5)], Type::Void);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("extern @pt_work_flops(1) -> void"));
+        assert!(text.contains("call void @pt_work_flops(5)"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Scalar types of the IR.
+//!
+//! The IR is word-oriented: memory is addressed in 8-byte words and every
+//! SSA value is one of the scalar types below. Aggregates are expressed as
+//! runs of words addressed through [`gep`](crate::inst::InstKind::Gep), which
+//! keeps the taint shadow-memory mapping in `pt-taint` trivially precise
+//! (one label per word, as in DataFlowSanitizer's 1:1 shadow scheme).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The scalar type of an SSA value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Boolean produced by comparisons; branch conditions must be `Bool`.
+    Bool,
+    /// Word address into the interpreter's flat memory.
+    Ptr,
+    /// Absence of a value (calls to void functions, stores).
+    Void,
+}
+
+impl Type {
+    /// Whether a value of this type can appear as an instruction operand.
+    #[inline]
+    pub fn is_value(self) -> bool {
+        !matches!(self, Type::Void)
+    }
+
+    /// Whether this type supports arithmetic (`add`, `mul`, ...).
+    #[inline]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, Type::I64 | Type::F64)
+    }
+
+    /// Short mnemonic used by the textual printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Type::I64 => "i64",
+            Type::F64 => "f64",
+            Type::Bool => "bool",
+            Type::Ptr => "ptr",
+            Type::Void => "void",
+        }
+    }
+
+    /// Inverse of [`Type::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Type> {
+        Some(match s {
+            "i64" => Type::I64,
+            "f64" => Type::F64,
+            "bool" => Type::Bool,
+            "ptr" => Type::Ptr,
+            "void" => Type::Void,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for ty in [Type::I64, Type::F64, Type::Bool, Type::Ptr, Type::Void] {
+            assert_eq!(Type::from_mnemonic(ty.mnemonic()), Some(ty));
+        }
+        assert_eq!(Type::from_mnemonic("i32"), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::I64.is_numeric());
+        assert!(Type::F64.is_numeric());
+        assert!(!Type::Bool.is_numeric());
+        assert!(!Type::Ptr.is_numeric());
+        assert!(Type::Ptr.is_value());
+        assert!(!Type::Void.is_value());
+    }
+}

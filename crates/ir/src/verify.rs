@@ -1,0 +1,392 @@
+//! Structural verification of functions and modules.
+//!
+//! The checks here are purely local/structural: block termination, operand
+//! ranges, phi placement and arity, branch-condition typing, call arity
+//! against module declarations. The *semantic* SSA property — definitions
+//! dominate uses — requires a dominator tree and is verified by
+//! `pt_analysis::ssa_verify`.
+
+use crate::function::{BlockId, Function};
+use crate::inst::{Callee, InstKind, Terminator};
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::Value;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    UnterminatedBlock(BlockId),
+    BranchTargetOutOfRange { block: BlockId, target: BlockId },
+    OperandOutOfRange { block: BlockId, detail: String },
+    PhiNotAtBlockStart { block: BlockId },
+    PhiArityMismatch { block: BlockId, detail: String },
+    NonBoolBranchCondition { block: BlockId },
+    ReturnTypeMismatch { detail: String },
+    EmptyFunction,
+    CallArityMismatch { detail: String },
+    UnknownCallee { detail: String },
+    InstBlockMismatch { detail: String },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UnterminatedBlock(b) => write!(f, "block {b} has no terminator"),
+            VerifyError::BranchTargetOutOfRange { block, target } => {
+                write!(f, "branch in {block} targets nonexistent {target}")
+            }
+            VerifyError::OperandOutOfRange { block, detail } => {
+                write!(f, "operand out of range in {block}: {detail}")
+            }
+            VerifyError::PhiNotAtBlockStart { block } => {
+                write!(f, "phi after non-phi instruction in {block}")
+            }
+            VerifyError::PhiArityMismatch { block, detail } => {
+                write!(f, "phi in {block} inconsistent with predecessors: {detail}")
+            }
+            VerifyError::NonBoolBranchCondition { block } => {
+                write!(f, "cond_br in {block} has non-bool condition")
+            }
+            VerifyError::ReturnTypeMismatch { detail } => {
+                write!(f, "return type mismatch: {detail}")
+            }
+            VerifyError::EmptyFunction => write!(f, "function has no blocks"),
+            VerifyError::CallArityMismatch { detail } => write!(f, "call arity: {detail}"),
+            VerifyError::UnknownCallee { detail } => write!(f, "unknown callee: {detail}"),
+            VerifyError::InstBlockMismatch { detail } => {
+                write!(f, "instruction/block bookkeeping mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify one function's structural invariants.
+pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
+    if func.blocks.is_empty() {
+        return Err(VerifyError::EmptyFunction);
+    }
+    let nblocks = func.blocks.len() as u32;
+    let ninsts = func.insts.len() as u32;
+    let nparams = func.params.len() as u32;
+
+    let check_value = |v: Value, block: BlockId| -> Result<(), VerifyError> {
+        match v {
+            Value::Const(_) => Ok(()),
+            Value::Param(p) => {
+                if p.0 < nparams {
+                    Ok(())
+                } else {
+                    Err(VerifyError::OperandOutOfRange {
+                        block,
+                        detail: format!("param {} of {}", p.0, nparams),
+                    })
+                }
+            }
+            Value::Inst(i) => {
+                if i.0 < ninsts {
+                    Ok(())
+                } else {
+                    Err(VerifyError::OperandOutOfRange {
+                        block,
+                        detail: format!("inst %{} of {}", i.0, ninsts),
+                    })
+                }
+            }
+        }
+    };
+
+    let preds = func.predecessors();
+
+    for bid in func.block_ids() {
+        let block = func.block(bid);
+
+        // Termination.
+        let term = block
+            .term
+            .as_ref()
+            .ok_or(VerifyError::UnterminatedBlock(bid))?;
+
+        // Branch targets and condition typing.
+        for target in term.successors() {
+            if target.0 >= nblocks {
+                return Err(VerifyError::BranchTargetOutOfRange { block: bid, target });
+            }
+        }
+        match term {
+            Terminator::CondBr { cond, .. } => {
+                check_value(*cond, bid)?;
+                if func.value_type(*cond) != Type::Bool {
+                    return Err(VerifyError::NonBoolBranchCondition { block: bid });
+                }
+            }
+            Terminator::Ret(v) => {
+                match (v, func.ret_ty) {
+                    (None, Type::Void) => {}
+                    (Some(val), ty) if ty != Type::Void => {
+                        check_value(*val, bid)?;
+                        let vt = func.value_type(*val);
+                        if vt != ty {
+                            return Err(VerifyError::ReturnTypeMismatch {
+                                detail: format!("{} returns {vt}, declared {ty}", func.name),
+                            });
+                        }
+                    }
+                    _ => {
+                        return Err(VerifyError::ReturnTypeMismatch {
+                            detail: format!(
+                                "{}: value presence disagrees with declared {}",
+                                func.name, func.ret_ty
+                            ),
+                        })
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // Instruction membership, phi placement, operand ranges.
+        let mut seen_non_phi = false;
+        for &iid in &block.insts {
+            if iid.0 >= ninsts {
+                return Err(VerifyError::InstBlockMismatch {
+                    detail: format!("{bid} lists nonexistent %{}", iid.0),
+                });
+            }
+            let inst = func.inst(iid);
+            if inst.block != bid {
+                return Err(VerifyError::InstBlockMismatch {
+                    detail: format!("%{} recorded in {} but listed in {bid}", iid.0, inst.block),
+                });
+            }
+            let is_phi = matches!(inst.kind, InstKind::Phi { .. });
+            if is_phi && seen_non_phi {
+                return Err(VerifyError::PhiNotAtBlockStart { block: bid });
+            }
+            if !is_phi {
+                seen_non_phi = true;
+            }
+
+            let mut operr: Option<VerifyError> = None;
+            inst.for_each_operand(|v| {
+                if operr.is_none() {
+                    if let Err(e) = check_value(v, bid) {
+                        operr = Some(e);
+                    }
+                }
+            });
+            if let Some(e) = operr {
+                return Err(e);
+            }
+
+            // Phi incoming blocks must exactly match predecessors.
+            if let InstKind::Phi { incomings, .. } = &inst.kind {
+                let mut inc: Vec<BlockId> = incomings.iter().map(|(b, _)| *b).collect();
+                inc.sort();
+                let mut ps = preds[bid.index()].clone();
+                ps.sort();
+                if inc != ps {
+                    return Err(VerifyError::PhiArityMismatch {
+                        block: bid,
+                        detail: format!("incoming {inc:?} vs preds {ps:?}"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify all functions of a module plus inter-procedural call invariants.
+pub fn verify_module(module: &Module) -> Result<(), Vec<(String, VerifyError)>> {
+    let mut errors = Vec::new();
+    for f in &module.functions {
+        if let Err(e) = verify_function(f) {
+            errors.push((f.name.clone(), e));
+        }
+        for inst in &f.insts {
+            if let InstKind::Call { callee, args, .. } = &inst.kind {
+                match callee {
+                    Callee::Internal(fid) => {
+                        if fid.index() >= module.functions.len() {
+                            errors.push((
+                                f.name.clone(),
+                                VerifyError::UnknownCallee {
+                                    detail: format!("internal #{}", fid.0),
+                                },
+                            ));
+                        } else {
+                            let callee_fn = module.function(*fid);
+                            if callee_fn.params.len() != args.len() {
+                                errors.push((
+                                    f.name.clone(),
+                                    VerifyError::CallArityMismatch {
+                                        detail: format!(
+                                            "{} expects {}, got {}",
+                                            callee_fn.name,
+                                            callee_fn.params.len(),
+                                            args.len()
+                                        ),
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                    Callee::External(name) => {
+                        if let Some(decl) = module.externals.iter().find(|e| &e.name == name) {
+                            if decl.arity != args.len() {
+                                errors.push((
+                                    f.name.clone(),
+                                    VerifyError::CallArityMismatch {
+                                        detail: format!(
+                                            "{name} declared arity {}, got {}",
+                                            decl.arity,
+                                            args.len()
+                                        ),
+                                    },
+                                ));
+                            }
+                        }
+                        // Undeclared externals are allowed: hosts resolve by
+                        // name and unknown symbols fail at interpretation time.
+                    }
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, CmpPred, Inst};
+
+    #[test]
+    fn valid_function_passes() {
+        let mut b = FunctionBuilder::new("ok", vec![("n".into(), Type::I64)], Type::I64);
+        let s = b.add(b.param(0), 1i64);
+        b.ret(Some(s));
+        assert!(verify_function(&b.finish_unchecked()).is_ok());
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let b = FunctionBuilder::new("bad", vec![], Type::Void);
+        let f = b.finish_unchecked();
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::UnterminatedBlock(_))
+        ));
+    }
+
+    #[test]
+    fn nonbool_condition_rejected() {
+        let mut b = FunctionBuilder::new("bad", vec![("n".into(), Type::I64)], Type::Void);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_br(b.param(0), t, e); // i64 condition: invalid
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let f = b.finish_unchecked();
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::NonBoolBranchCondition { .. })
+        ));
+    }
+
+    #[test]
+    fn return_type_mismatch_rejected() {
+        let mut b = FunctionBuilder::new("bad", vec![], Type::I64);
+        b.ret(None);
+        let f = b.finish_unchecked();
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::ReturnTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn operand_out_of_range_rejected() {
+        let mut b = FunctionBuilder::new("bad", vec![], Type::Void);
+        b.ret(None);
+        let mut f = b.finish_unchecked();
+        // Splice in an instruction referencing a nonexistent result.
+        f.insts.push(Inst {
+            kind: InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Value::Inst(crate::inst::InstId(99)),
+                rhs: Value::int(0),
+            },
+            block: BlockId(0),
+        });
+        f.blocks[0].insts.insert(0, crate::inst::InstId(0));
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::OperandOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn phi_pred_mismatch_rejected() {
+        let mut b = FunctionBuilder::new("bad", vec![("n".into(), Type::I64)], Type::Void);
+        let next = b.new_block();
+        b.br(next);
+        b.switch_to(next);
+        let phi = b.phi(Type::I64);
+        // Claim an incoming edge from a block that is not a predecessor.
+        b.add_incoming(phi, next, Value::int(0));
+        b.ret(None);
+        let f = b.finish_unchecked();
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::PhiArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn module_call_arity_checked() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("leaf", vec![("a".into(), Type::I64)], Type::Void);
+        b.ret(None);
+        let leaf = m.add_function(b.finish_unchecked());
+        let mut b = FunctionBuilder::new("root", vec![], Type::Void);
+        b.call(leaf, vec![], Type::Void); // missing argument
+        b.ret(None);
+        m.add_function(b.finish_unchecked());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|(f, e)| f == "root" && matches!(e, VerifyError::CallArityMismatch { .. })));
+    }
+
+    #[test]
+    fn external_arity_checked_when_declared() {
+        let mut m = Module::new("m");
+        m.declare_external("MPI_Barrier", 1, Type::Void);
+        let mut b = FunctionBuilder::new("root", vec![], Type::Void);
+        b.call_external("MPI_Barrier", vec![], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish_unchecked());
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn loop_function_verifies() {
+        let mut b = FunctionBuilder::new("loop", vec![("n".into(), Type::I64)], Type::Void);
+        b.for_loop(0i64, b.param(0), 1i64, |b, iv| {
+            let _ = b.cmp(CmpPred::Eq, iv, 3i64);
+        });
+        b.ret(None);
+        assert!(verify_function(&b.finish_unchecked()).is_ok());
+    }
+}

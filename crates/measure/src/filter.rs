@@ -1,0 +1,151 @@
+//! Instrumentation filters (the three modes compared in Figures 3 and 4).
+//!
+//! Score-P's default mode "estimates whether a function should be inlined
+//! and therefore excludes it from instrumentation" — a heuristic the paper
+//! shows is wrong for modeling: it drops small-but-relevant functions while
+//! keeping large constant helpers. The three filters:
+//!
+//! * [`Filter::Full`] — instrument every function (the mode the paper says
+//!   modeling is forced into without taint information),
+//! * [`Filter::Default`] — the inlining heuristic: skip functions whose
+//!   body is small enough that a compiler would inline them,
+//! * [`Filter::TaintBased`] — instrument exactly the functions the taint
+//!   analysis marked performance-relevant.
+//!
+//! MPI routines are always instrumented (Score-P intercepts them via PMPI
+//! regardless of the user-code filter). The `pt_*` work primitives are
+//! never instrumented — they are not functions in the original program.
+
+use pt_ir::Module;
+use std::collections::HashSet;
+
+/// An instrumentation filter.
+#[derive(Debug, Clone)]
+pub enum Filter {
+    /// No probes at all (native run, the measurement baseline).
+    None,
+    /// Probe every function.
+    Full,
+    /// Score-P's default: skip functions with at most `inline_threshold`
+    /// instructions (the compiler would inline them).
+    Default { inline_threshold: usize },
+    /// Probe only the given functions (taint-identified relevant set).
+    TaintBased { relevant: HashSet<String> },
+}
+
+impl Filter {
+    /// Build the per-function probe-cost vector the interpreter consumes.
+    /// Indices beyond the module's functions are the pseudo-ids of external
+    /// symbols, ordered as `module.used_externals()` (the interpreter uses
+    /// the same ordering).
+    pub fn probe_vector(&self, module: &Module, probe_cost: f64) -> Vec<f64> {
+        let externs = module.used_externals();
+        let n = module.functions.len() + externs.len();
+        let mut probes = vec![0.0; n];
+        if matches!(self, Filter::None) {
+            return probes;
+        }
+        for (i, f) in module.functions.iter().enumerate() {
+            let instrument = match self {
+                Filter::None => false,
+                Filter::Full => true,
+                Filter::Default { inline_threshold } => f.size() > *inline_threshold,
+                Filter::TaintBased { relevant } => relevant.contains(&f.name),
+            };
+            if instrument {
+                probes[i] = probe_cost;
+            }
+        }
+        // MPI routines: always intercepted.
+        for (j, name) in externs.iter().enumerate() {
+            if name.starts_with("MPI_") {
+                probes[module.functions.len() + j] = probe_cost;
+            }
+        }
+        probes
+    }
+
+    /// How many of the module's own functions this filter instruments.
+    pub fn instrumented_count(&self, module: &Module) -> usize {
+        let probes = self.probe_vector(module, 1.0);
+        probes[..module.functions.len()]
+            .iter()
+            .filter(|p| **p > 0.0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_ir::{FunctionBuilder, Type};
+
+    fn test_module() -> Module {
+        let mut m = Module::new("t");
+        // A tiny getter (3 instructions) and a big kernel (> 20).
+        let mut b = FunctionBuilder::new("getter", vec![("d".into(), Type::Ptr)], Type::I64);
+        let v = b.load(b.param(0), Type::I64);
+        let w = b.add(v, 1i64);
+        b.ret(Some(w));
+        m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("kernel", vec![("n".into(), Type::I64)], Type::Void);
+        b.for_loop(0i64, b.param(0), 1i64, |b, iv| {
+            let mut acc = iv;
+            for _ in 0..20 {
+                acc = b.add(acc, 1i64);
+            }
+            b.call_external("pt_work_flops", vec![acc], Type::Void);
+            b.call_external("MPI_Barrier", vec![], Type::Void);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn none_filter_is_all_zero() {
+        let m = test_module();
+        let v = Filter::None.probe_vector(&m, 1e-6);
+        assert!(v.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn full_filter_probes_everything_and_mpi() {
+        let m = test_module();
+        let v = Filter::Full.probe_vector(&m, 1e-6);
+        assert!(v[0] > 0.0 && v[1] > 0.0);
+        // Externals: MPI_Barrier yes, pt_work_flops no.
+        let externs = m.used_externals();
+        let mpi_pos = externs.iter().position(|e| *e == "MPI_Barrier").unwrap();
+        let work_pos = externs.iter().position(|e| *e == "pt_work_flops").unwrap();
+        assert!(v[m.functions.len() + mpi_pos] > 0.0);
+        assert_eq!(v[m.functions.len() + work_pos], 0.0);
+    }
+
+    #[test]
+    fn default_filter_skips_small_functions() {
+        let m = test_module();
+        let f = Filter::Default {
+            inline_threshold: 10,
+        };
+        let v = f.probe_vector(&m, 1e-6);
+        assert_eq!(v[0], 0.0, "getter looks inlinable → skipped");
+        assert!(v[1] > 0.0, "kernel instrumented");
+        assert_eq!(f.instrumented_count(&m), 1);
+    }
+
+    #[test]
+    fn taint_filter_probes_only_relevant() {
+        let m = test_module();
+        let f = Filter::TaintBased {
+            relevant: ["kernel".to_string()].into_iter().collect(),
+        };
+        let v = f.probe_vector(&m, 1e-6);
+        assert_eq!(v[0], 0.0);
+        assert!(v[1] > 0.0);
+        // MPI still intercepted even under selective instrumentation.
+        let externs = m.used_externals();
+        let mpi_pos = externs.iter().position(|e| *e == "MPI_Barrier").unwrap();
+        assert!(v[m.functions.len() + mpi_pos] > 0.0);
+    }
+}

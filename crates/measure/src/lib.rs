@@ -1,0 +1,23 @@
+//! # pt-measure — the simulated measurement infrastructure
+//!
+//! Plays Score-P's role in the paper's pipeline (Fig. 2): instrumented
+//! experiments over a parameter sweep, producing the per-function
+//! measurements Extra-P models.
+//!
+//! * [`filter`] — the three instrumentation modes of Figures 3/4: full,
+//!   Score-P default (inlining heuristic), and taint-based selective.
+//! * [`noise`] — seeded measurement-noise injection (lognormal relative +
+//!   half-normal absolute floor); the floor dominating short functions is
+//!   the §B1 overfitting mechanism.
+//! * [`experiment`] — sweep points, the parallel runner, per-function
+//!   measurement sets, and §A3 core-hour accounting.
+
+pub mod experiment;
+pub mod filter;
+pub mod noise;
+
+pub use experiment::{
+    function_sets, run_point, run_sweep, total_core_hours, FnTiming, PointProfile, SweepPoint,
+};
+pub use filter::Filter;
+pub use noise::{rng_for, NoiseModel};

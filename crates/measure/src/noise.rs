@@ -1,0 +1,157 @@
+//! Measurement-noise injection.
+//!
+//! Our simulator is deterministic, so the noise real clusters inflict on
+//! measurements (§B1: "random noise … systemic interference") is injected
+//! when *sampling* repetitions from a deterministic profile. The model has
+//! two parts, matching the phenomenology the paper describes:
+//!
+//! * a **multiplicative lognormal** component (relative jitter affecting
+//!   everything — OS noise, frequency scaling), and
+//! * an **additive half-normal floor** (timer granularity, interrupt
+//!   spikes) which *dominates short-running functions* — exactly why
+//!   black-box Extra-P overfits the models of tiny constant functions.
+//!
+//! Sampling is seeded and reproducible: the same (seed, function, point)
+//! always yields the same repetitions.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The two-component noise model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// σ of the lognormal multiplicative jitter (e.g. 0.02 = 2%).
+    pub rel_sigma: f64,
+    /// Scale of the additive half-normal floor, in seconds.
+    pub abs_floor: f64,
+}
+
+impl NoiseModel {
+    /// Noise-free (for deterministic tests).
+    pub const NONE: NoiseModel = NoiseModel {
+        rel_sigma: 0.0,
+        abs_floor: 0.0,
+    };
+
+    /// Calibrated to a quiet cluster partition: 2% relative jitter and a
+    /// 2 µs floor.
+    pub const CLUSTER: NoiseModel = NoiseModel {
+        rel_sigma: 0.02,
+        abs_floor: 2e-6,
+    };
+
+    /// Sample one noisy observation of `true_value` seconds.
+    pub fn sample(&self, true_value: f64, rng: &mut StdRng) -> f64 {
+        let mult = if self.rel_sigma > 0.0 {
+            (standard_normal(rng) * self.rel_sigma).exp()
+        } else {
+            1.0
+        };
+        let add = if self.abs_floor > 0.0 {
+            standard_normal(rng).abs() * self.abs_floor
+        } else {
+            0.0
+        };
+        (true_value * mult + add).max(0.0)
+    }
+
+    /// Sample `n` repetitions.
+    pub fn sample_reps(&self, true_value: f64, n: usize, rng: &mut StdRng) -> Vec<f64> {
+        (0..n).map(|_| self.sample(true_value, rng)).collect()
+    }
+}
+
+/// Deterministic per-(seed, key) RNG: measurements are reproducible and
+/// independent across functions/points.
+pub fn rng_for(seed: u64, key: &str) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(seed ^ h)
+}
+
+/// Standard normal via Box–Muller (the offline `rand` has no distributions
+/// crate).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut rng = rng_for(1, "x");
+        assert_eq!(NoiseModel::NONE.sample(0.5, &mut rng), 0.5);
+    }
+
+    #[test]
+    fn reproducible_for_same_key() {
+        let n = NoiseModel::CLUSTER;
+        let a = n.sample_reps(1.0, 5, &mut rng_for(42, "foo@p=4"));
+        let b = n.sample_reps(1.0, 5, &mut rng_for(42, "foo@p=4"));
+        assert_eq!(a, b);
+        let c = n.sample_reps(1.0, 5, &mut rng_for(42, "foo@p=8"));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn relative_noise_is_small_for_long_runs() {
+        let n = NoiseModel::CLUSTER;
+        let mut rng = rng_for(7, "long");
+        let reps = n.sample_reps(10.0, 100, &mut rng);
+        let mean = reps.iter().sum::<f64>() / reps.len() as f64;
+        assert!((mean - 10.0).abs() / 10.0 < 0.02, "mean={mean}");
+        for r in &reps {
+            assert!((r - 10.0).abs() / 10.0 < 0.15);
+        }
+    }
+
+    #[test]
+    fn floor_dominates_tiny_values() {
+        // A 10 ns function measured with a 2 µs floor: relative spread is
+        // enormous — the §B1 failure mode.
+        let n = NoiseModel::CLUSTER;
+        let mut rng = rng_for(7, "tiny");
+        let reps = n.sample_reps(1e-8, 50, &mut rng);
+        let mean = reps.iter().sum::<f64>() / reps.len() as f64;
+        assert!(mean > 1e-7, "floor dominates: mean={mean}");
+        let sd = (reps.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>()
+            / (reps.len() - 1) as f64)
+            .sqrt();
+        assert!(sd / mean > 0.3, "huge CV on tiny functions: {}", sd / mean);
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = rng_for(3, "m");
+        let n = 20000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.08, "var={var}");
+    }
+
+    #[test]
+    fn samples_never_negative() {
+        let n = NoiseModel {
+            rel_sigma: 1.0,
+            abs_floor: 1e-6,
+        };
+        let mut rng = rng_for(9, "neg");
+        for _ in 0..1000 {
+            assert!(n.sample(1e-9, &mut rng) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Analytical MPI communication cost models.
+//!
+//! The paper derives parametric dependencies for MPI routines "from precise
+//! analytical models" (§5.3, citing Hoefler/Moor and Thakur et al.). We use
+//! the same families: Hockney `α + nβ` for point-to-point and
+//! logarithmic-tree models for collectives. These models are what give the
+//! simulated communication its `log₂ p` shape — the shape the modeling
+//! pipeline is expected to recover.
+
+use crate::config::MachineConfig;
+
+/// Ceil(log2(p)) with log2(1) = 0.
+#[inline]
+pub fn ceil_log2(p: u32) -> f64 {
+    if p <= 1 {
+        0.0
+    } else {
+        (32 - (p - 1).leading_zeros()) as f64
+    }
+}
+
+/// Hockney model: one point-to-point message of `bytes`.
+pub fn p2p(cfg: &MachineConfig, bytes: usize) -> f64 {
+    cfg.latency + bytes as f64 * cfg.byte_time
+}
+
+/// Barrier: dissemination algorithm, ⌈log₂ p⌉ rounds of latency.
+pub fn barrier(cfg: &MachineConfig) -> f64 {
+    ceil_log2(cfg.ranks) * cfg.latency
+}
+
+/// Broadcast: binomial tree, ⌈log₂ p⌉ · (α + nβ) (Thakur et al.).
+pub fn bcast(cfg: &MachineConfig, bytes: usize) -> f64 {
+    ceil_log2(cfg.ranks) * (cfg.latency + bytes as f64 * cfg.byte_time)
+}
+
+/// Reduce: binomial tree with the same shape as broadcast.
+pub fn reduce(cfg: &MachineConfig, bytes: usize) -> f64 {
+    ceil_log2(cfg.ranks) * (cfg.latency + bytes as f64 * cfg.byte_time)
+}
+
+/// Allreduce: reduce + broadcast (2·⌈log₂ p⌉ rounds); matches the
+/// tree-based allreduce bound 2(α + nβ)·log₂ p.
+pub fn allreduce(cfg: &MachineConfig, bytes: usize) -> f64 {
+    2.0 * ceil_log2(cfg.ranks) * (cfg.latency + bytes as f64 * cfg.byte_time)
+}
+
+/// Allgather: recursive doubling — ⌈log₂ p⌉ latency rounds, each rank ends
+/// up receiving (p−1)/p of the total payload.
+pub fn allgather(cfg: &MachineConfig, bytes_per_rank: usize) -> f64 {
+    let p = cfg.ranks.max(1) as f64;
+    ceil_log2(cfg.ranks) * cfg.latency + (p - 1.0) * bytes_per_rank as f64 * cfg.byte_time
+}
+
+/// Gather to a root: binomial tree latency, linear payload at the root.
+pub fn gather(cfg: &MachineConfig, bytes_per_rank: usize) -> f64 {
+    let p = cfg.ranks.max(1) as f64;
+    ceil_log2(cfg.ranks) * cfg.latency + (p - 1.0) * bytes_per_rank as f64 * cfg.byte_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(p: u32) -> MachineConfig {
+        MachineConfig::default().with_ranks(p)
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0.0);
+        assert_eq!(ceil_log2(2), 1.0);
+        assert_eq!(ceil_log2(3), 2.0);
+        assert_eq!(ceil_log2(4), 2.0);
+        assert_eq!(ceil_log2(27), 5.0);
+        assert_eq!(ceil_log2(729), 10.0);
+    }
+
+    #[test]
+    fn p2p_is_alpha_beta() {
+        let c = cfg(8);
+        let t = p2p(&c, 1000);
+        assert!((t - (c.latency + 1000.0 * c.byte_time)).abs() < 1e-18);
+        assert!(p2p(&c, 0) > 0.0, "latency dominates empty messages");
+    }
+
+    #[test]
+    fn collectives_grow_logarithmically() {
+        for f in [barrier as fn(&MachineConfig) -> f64] {
+            let t8 = f(&cfg(8));
+            let t64 = f(&cfg(64));
+            assert!((t64 / t8 - 2.0).abs() < 1e-9, "log2(64)/log2(8) = 2");
+        }
+        let a8 = allreduce(&cfg(8), 8);
+        let a64 = allreduce(&cfg(64), 8);
+        assert!((a64 / a8 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_twice_bcast() {
+        let c = cfg(16);
+        assert!((allreduce(&c, 64) - 2.0 * bcast(&c, 64)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gather_payload_linear_in_p() {
+        let t4 = gather(&cfg(4), 800);
+        let t8 = gather(&cfg(8), 800);
+        // Payload term scales with (p-1): from 3 to 7 units.
+        let payload4 = t4 - ceil_log2(4) * cfg(4).latency;
+        let payload8 = t8 - ceil_log2(8) * cfg(8).latency;
+        assert!((payload8 / payload4 - 7.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_rank_communication_is_free() {
+        let c = cfg(1);
+        assert_eq!(barrier(&c), 0.0);
+        assert_eq!(allreduce(&c, 100), 0.0);
+        assert_eq!(allgather(&c, 100), 0.0);
+    }
+}

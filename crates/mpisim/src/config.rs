@@ -1,0 +1,147 @@
+//! The simulated machine: rank layout, network parameters, per-operation
+//! costs, and the node-level memory-contention model of §C1.
+
+use serde::{Deserialize, Serialize};
+
+/// Memory-bandwidth contention among ranks co-located on a node (§C1).
+///
+/// The paper's experiment shows compute kernels with *no* source-level
+/// dependence on the rank count slowing down as more MPI ranks share a
+/// socket, with fitted models of the form `a·log2(r) + b·log2²(r) + c`.
+/// We model the saturation factor applied to memory-bound work as
+/// `1 + a·log2(r) + b·log2²(r)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionModel {
+    pub lin_log: f64,
+    pub sq_log: f64,
+}
+
+impl ContentionModel {
+    /// No contention (infinite memory bandwidth).
+    pub const NONE: ContentionModel = ContentionModel {
+        lin_log: 0.0,
+        sq_log: 0.0,
+    };
+
+    /// Calibrated so that the whole-application slowdown from r=2 to r=18
+    /// lands near the paper's ~50% (Figure 5).
+    pub const CALIBRATED: ContentionModel = ContentionModel {
+        lin_log: 0.01,
+        sq_log: 0.032,
+    };
+
+    /// Slowdown factor for memory-bound work at `r` ranks per node.
+    pub fn factor(&self, ranks_per_node: u32) -> f64 {
+        let r = ranks_per_node.max(1) as f64;
+        let l = r.log2();
+        1.0 + self.lin_log * l + self.sq_log * l * l
+    }
+}
+
+/// Full machine configuration for one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Total MPI ranks (the implicit parameter `p`).
+    pub ranks: u32,
+    /// Ranks per node (the §C1 experiment's `r`).
+    pub ranks_per_node: u32,
+    /// The representative rank whose execution we simulate.
+    pub rank: u32,
+    /// Point-to-point latency α (seconds).
+    pub latency: f64,
+    /// Network time per byte β (seconds/byte); 1/β is the bandwidth.
+    pub byte_time: f64,
+    /// Seconds per floating-point operation charged by `pt_work_flops`.
+    pub flop_time: f64,
+    /// Seconds per word of memory traffic charged by `pt_work_mem`
+    /// (before contention).
+    pub mem_word_time: f64,
+    pub contention: ContentionModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        // Loosely a Skylake-generation cluster: ~1.5 µs MPI latency,
+        // ~12 GB/s effective per-rank bandwidth, ~5 GFLOP/s scalar rate.
+        MachineConfig {
+            ranks: 8,
+            ranks_per_node: 8,
+            rank: 0,
+            latency: 1.5e-6,
+            byte_time: 8.0e-11,
+            flop_time: 2.0e-10,
+            mem_word_time: 6.7e-10,
+            contention: ContentionModel::NONE,
+        }
+    }
+}
+
+impl MachineConfig {
+    pub fn with_ranks(mut self, p: u32) -> Self {
+        self.ranks = p;
+        self
+    }
+
+    pub fn with_ranks_per_node(mut self, r: u32) -> Self {
+        self.ranks_per_node = r;
+        self
+    }
+
+    pub fn with_contention(mut self, c: ContentionModel) -> Self {
+        self.contention = c;
+        self
+    }
+
+    /// Number of nodes implied by the layout.
+    pub fn nodes(&self) -> u32 {
+        self.ranks.div_ceil(self.ranks_per_node).max(1)
+    }
+
+    /// Effective per-word memory cost including contention.
+    pub fn contended_mem_word_time(&self) -> f64 {
+        self.mem_word_time * self.contention.factor(self.ranks_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_factor_grows_with_r() {
+        let c = ContentionModel::CALIBRATED;
+        assert!((c.factor(1) - 1.0).abs() < 1e-12);
+        let f2 = c.factor(2);
+        let f18 = c.factor(18);
+        assert!(f2 < f18);
+        let increase = f18 / f2;
+        assert!(
+            (1.3..1.8).contains(&increase),
+            "r=2→18 slowdown {increase} should be near the paper's ~1.5×"
+        );
+    }
+
+    #[test]
+    fn no_contention_is_identity() {
+        for r in [1, 2, 8, 32] {
+            assert_eq!(ContentionModel::NONE.factor(r), 1.0);
+        }
+    }
+
+    #[test]
+    fn node_count() {
+        let c = MachineConfig::default().with_ranks(64).with_ranks_per_node(18);
+        assert_eq!(c.nodes(), 4);
+        let c = MachineConfig::default().with_ranks(8).with_ranks_per_node(8);
+        assert_eq!(c.nodes(), 1);
+    }
+
+    #[test]
+    fn contended_memory_cost() {
+        let mut c = MachineConfig::default().with_ranks_per_node(16);
+        c.contention = ContentionModel::CALIBRATED;
+        assert!(c.contended_mem_word_time() > c.mem_word_time);
+        c.contention = ContentionModel::NONE;
+        assert_eq!(c.contended_mem_word_time(), c.mem_word_time);
+    }
+}

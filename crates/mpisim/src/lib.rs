@@ -1,0 +1,27 @@
+//! # pt-mpisim — the simulated MPI substrate
+//!
+//! Stands in for the real clusters of the paper's evaluation (Piz Daint /
+//! Skylake, Table 1). Three pieces:
+//!
+//! * [`config`] — the machine model: rank layout (`p`, ranks-per-node `r`),
+//!   latency/bandwidth, per-flop and per-word costs, and the §C1 memory-
+//!   contention model (`1 + a·log₂r + b·log₂²r` on memory-bound work).
+//! * [`comm`] — analytical communication cost models (Hockney point-to-point,
+//!   logarithmic-tree collectives per Thakur et al.), the source of the
+//!   `log₂ p` shapes the modeler recovers.
+//! * [`libdb`] — the §5.3 library database: implicit parameter `p`, message-
+//!   count arguments, and taint-source routines (`MPI_Comm_size` writes a
+//!   `p`-labeled value).
+//! * [`handler`] — the [`pt_taint::ExternalHandler`] gluing it all to the
+//!   interpreter. We simulate SPMD execution by running one representative
+//!   rank and charging communication analytically; this preserves exactly
+//!   the scaling shapes the evaluation studies.
+
+pub mod comm;
+pub mod config;
+pub mod handler;
+pub mod libdb;
+
+pub use config::{ContentionModel, MachineConfig};
+pub use handler::MpiHandler;
+pub use libdb::{LibFn, LibraryDb, TaintEffect};

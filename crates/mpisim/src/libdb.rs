@@ -1,0 +1,177 @@
+//! The performance-critical library database (§5.3 of the paper).
+//!
+//! Loop-based kernels are not the only channel through which parameters
+//! affect performance: communication and synchronization routines depend on
+//! (1) exchanged tainted values, (2) explicitly passed parameters, and (3)
+//! parameters hidden inside the library runtime — above all the size of the
+//! global communicator, the implicit parameter `p`. The database declares,
+//! per routine:
+//!
+//! * which *implicit parameters* its cost depends on (`p` for every
+//!   collective and point-to-point routine),
+//! * which argument is a *message count* whose taint labels become
+//!   additional parametric dependencies of the call site,
+//! * whether the routine is a *taint source* (e.g. `MPI_Comm_size` writes a
+//!   `p`-labeled value through its pointer argument).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What a library routine does to taint when called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaintEffect {
+    /// No taint interaction.
+    None,
+    /// Writes a value labeled with the implicit parameter through the
+    /// pointer in argument `arg`.
+    WritesImplicitParam { arg: usize },
+}
+
+/// Database entry for one library routine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LibFn {
+    /// Implicit parameters the routine's cost depends on (names).
+    pub implicit_params: Vec<String>,
+    /// Index of the message-count argument, if any: the taint labels of
+    /// this argument become parametric dependencies of the call (§5.3).
+    pub count_arg: Option<usize>,
+    /// Taint source behavior.
+    pub effect: TaintEffect,
+}
+
+/// The library database: routine name → entry.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LibraryDb {
+    pub functions: HashMap<String, LibFn>,
+}
+
+impl LibraryDb {
+    /// The MPI database shipped with Perf-Taint: the routines used by the
+    /// mini-applications, with `p` as the implicit communicator-size
+    /// parameter.
+    pub fn mpi_default() -> LibraryDb {
+        let mut functions = HashMap::new();
+        let dep_p_count = |count_arg: usize| LibFn {
+            implicit_params: vec!["p".into()],
+            count_arg: Some(count_arg),
+            effect: TaintEffect::None,
+        };
+        functions.insert("MPI_Send".into(), dep_p_count(0));
+        functions.insert("MPI_Recv".into(), dep_p_count(0));
+        functions.insert("MPI_Isend".into(), dep_p_count(0));
+        functions.insert("MPI_Irecv".into(), dep_p_count(0));
+        functions.insert("MPI_Allreduce".into(), dep_p_count(0));
+        functions.insert("MPI_Reduce".into(), dep_p_count(0));
+        functions.insert("MPI_Bcast".into(), dep_p_count(0));
+        functions.insert("MPI_Allgather".into(), dep_p_count(0));
+        functions.insert("MPI_Gather".into(), dep_p_count(0));
+        functions.insert(
+            "MPI_Barrier".into(),
+            LibFn {
+                implicit_params: vec!["p".into()],
+                count_arg: None,
+                effect: TaintEffect::None,
+            },
+        );
+        functions.insert(
+            "MPI_Waitall".into(),
+            LibFn {
+                implicit_params: vec![],
+                count_arg: None,
+                effect: TaintEffect::None,
+            },
+        );
+        // MPI_Comm_size is a taint *source* (it writes a p-labeled value),
+        // but its own cost is constant — like MPI_Comm_rank, the §B1
+        // functions black-box modeling gets wrong under noise.
+        functions.insert(
+            "MPI_Comm_size".into(),
+            LibFn {
+                implicit_params: vec![],
+                count_arg: None,
+                effect: TaintEffect::WritesImplicitParam { arg: 0 },
+            },
+        );
+        functions.insert(
+            "MPI_Comm_rank".into(),
+            LibFn {
+                implicit_params: vec![],
+                count_arg: None,
+                effect: TaintEffect::None,
+            },
+        );
+        LibraryDb { functions }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&LibFn> {
+        self.functions.get(name)
+    }
+
+    /// Is this routine known to be performance-relevant? (Feeds the static
+    /// classification: callers of such routines are never pruned, §5.1.)
+    pub fn is_relevant(&self, name: &str) -> bool {
+        self.functions
+            .get(name)
+            .map(|f| !f.implicit_params.is_empty() || f.count_arg.is_some())
+            .unwrap_or(false)
+    }
+
+    /// All performance-relevant routine names (for
+    /// `pt_analysis::classify_module`).
+    pub fn relevant_names(&self) -> impl Iterator<Item = &str> {
+        self.functions
+            .iter()
+            .filter(|(_, f)| !f.implicit_params.is_empty() || f.count_arg.is_some())
+            .map(|(n, _)| n.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_db_covers_used_routines() {
+        let db = LibraryDb::mpi_default();
+        for name in [
+            "MPI_Send",
+            "MPI_Recv",
+            "MPI_Allreduce",
+            "MPI_Bcast",
+            "MPI_Barrier",
+            "MPI_Comm_size",
+            "MPI_Comm_rank",
+            "MPI_Allgather",
+        ] {
+            assert!(db.get(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn comm_size_is_a_taint_source_with_constant_cost() {
+        let db = LibraryDb::mpi_default();
+        let f = db.get("MPI_Comm_size").unwrap();
+        assert_eq!(f.effect, TaintEffect::WritesImplicitParam { arg: 0 });
+        assert!(f.implicit_params.is_empty(), "cost is p-independent");
+        assert!(!db.is_relevant("MPI_Comm_size"));
+    }
+
+    #[test]
+    fn relevance_classification() {
+        let db = LibraryDb::mpi_default();
+        assert!(db.is_relevant("MPI_Allreduce"));
+        assert!(db.is_relevant("MPI_Barrier"));
+        assert!(!db.is_relevant("MPI_Comm_rank"), "rank query is constant");
+        assert!(!db.is_relevant("pt_print_i64"), "unknown symbols irrelevant");
+        let names: Vec<&str> = db.relevant_names().collect();
+        assert!(names.contains(&"MPI_Send"));
+        assert!(!names.contains(&"MPI_Comm_rank"));
+    }
+
+    #[test]
+    fn count_args_recorded() {
+        let db = LibraryDb::mpi_default();
+        assert_eq!(db.get("MPI_Send").unwrap().count_arg, Some(0));
+        assert_eq!(db.get("MPI_Barrier").unwrap().count_arg, None);
+    }
+}

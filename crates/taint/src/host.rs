@@ -1,0 +1,130 @@
+//! External-call handling.
+//!
+//! The IR calls external symbols for everything the "machine" provides: MPI
+//! routines, work-charging primitives, I/O. The interpreter resolves a small
+//! set of taint intrinsics itself (parameter sources and test assertions);
+//! everything else is dispatched to an [`ExternalHandler`] — `pt-mpisim`
+//! provides the production handler with the MPI library database of §5.3.
+
+use crate::label::LabelTable;
+use crate::memory::{Memory, TVal};
+
+/// Mutable interpreter state an external handler may touch: memory (e.g.
+/// `MPI_Comm_size` writes the communicator size through a pointer) and the
+/// label table (library-database taint sources attach implicit-parameter
+/// labels, §5.3).
+pub struct HostCtx<'a> {
+    pub mem: &'a mut Memory,
+    pub labels: &'a mut LabelTable,
+    /// Marked run parameters: `(name, value)` in registration order.
+    pub params: &'a [(String, i64)],
+    /// Whether taint propagation is enabled for this run.
+    pub taint: bool,
+}
+
+/// Outcome of an external call: the returned value and the simulated cost
+/// in seconds charged to the calling context.
+pub type ExternResult = Result<(TVal, f64), String>;
+
+/// Resolver for external symbols.
+pub trait ExternalHandler {
+    fn call(&mut self, name: &str, args: &[TVal], ctx: &mut HostCtx<'_>) -> ExternResult;
+}
+
+/// A handler that rejects every call — for pure compute tests.
+pub struct NullHandler;
+
+impl ExternalHandler for NullHandler {
+    fn call(&mut self, name: &str, _args: &[TVal], _ctx: &mut HostCtx<'_>) -> ExternResult {
+        Err(format!("unresolved external symbol {name}"))
+    }
+}
+
+/// A minimal handler for tests and examples without MPI: charges time for
+/// `pt_work_flops` / `pt_work_mem` and swallows `pt_print_i64`.
+pub struct WorkOnlyHandler {
+    /// Seconds per flop charged by `pt_work_flops`.
+    pub flop_cost: f64,
+    /// Seconds per word charged by `pt_work_mem`.
+    pub mem_cost: f64,
+    /// Values printed via `pt_print_i64` (inspectable by tests).
+    pub printed: Vec<i64>,
+}
+
+impl Default for WorkOnlyHandler {
+    fn default() -> Self {
+        WorkOnlyHandler {
+            flop_cost: 1e-9,
+            mem_cost: 4e-9,
+            printed: Vec::new(),
+        }
+    }
+}
+
+impl ExternalHandler for WorkOnlyHandler {
+    fn call(&mut self, name: &str, args: &[TVal], _ctx: &mut HostCtx<'_>) -> ExternResult {
+        match name {
+            "pt_work_flops" => {
+                let n = args.first().map(|a| a.as_i64().max(0)).unwrap_or(0) as f64;
+                Ok((TVal::UNTAINTED_ZERO, n * self.flop_cost))
+            }
+            "pt_work_mem" => {
+                let n = args.first().map(|a| a.as_i64().max(0)).unwrap_or(0) as f64;
+                Ok((TVal::UNTAINTED_ZERO, n * self.mem_cost))
+            }
+            "pt_print_i64" => {
+                if let Some(a) = args.first() {
+                    self.printed.push(a.as_i64());
+                }
+                Ok((TVal::UNTAINTED_ZERO, 0.0))
+            }
+            other => Err(format!("WorkOnlyHandler: unknown external {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_handler_charges_time() {
+        let mut h = WorkOnlyHandler::default();
+        let mut mem = Memory::new();
+        let mut labels = LabelTable::new();
+        let params = vec![];
+        let mut ctx = HostCtx {
+            mem: &mut mem,
+            labels: &mut labels,
+            params: &params,
+            taint: true,
+        };
+        let (_, cost) = h
+            .call("pt_work_flops", &[TVal::from_i64(1000)], &mut ctx)
+            .unwrap();
+        assert!((cost - 1000.0 * h.flop_cost).abs() < 1e-15);
+        let (_, c2) = h
+            .call("pt_work_mem", &[TVal::from_i64(10)], &mut ctx)
+            .unwrap();
+        assert!((c2 - 10.0 * h.mem_cost).abs() < 1e-15);
+        h.call("pt_print_i64", &[TVal::from_i64(7)], &mut ctx)
+            .unwrap();
+        assert_eq!(h.printed, vec![7]);
+        assert!(h.call("MPI_Barrier", &[], &mut ctx).is_err());
+    }
+
+    #[test]
+    fn null_handler_rejects() {
+        let mut h = NullHandler;
+        let mut mem = Memory::new();
+        let mut labels = LabelTable::new();
+        let params = vec![];
+        let mut ctx = HostCtx {
+            mem: &mut mem,
+            labels: &mut labels,
+            params: &params,
+            taint: true,
+        };
+        assert!(h.call("anything", &[], &mut ctx).is_err());
+    }
+}

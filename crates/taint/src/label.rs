@@ -1,0 +1,400 @@
+//! Taint labels and the union-tree label table.
+//!
+//! Faithful to the DataFlowSanitizer design the paper builds on (§5.2):
+//! labels are 16-bit identifiers; a label is either a *base* label (one per
+//! registered program parameter) or the *union* of exactly two labels,
+//! forming a tree. The union operation first checks whether one operand
+//! already subsumes the other ("verifies whether the operands do not
+//! represent an equivalent combination of labels") and only then allocates a
+//! new node, so the table supports up to 2^16 distinct label combinations.
+//!
+//! For efficiency we memoize, per label, the set of base parameters it
+//! covers as a 64-bit set ([`ParamSet`]) — the modeling pipeline never needs
+//! more than a handful of parameters (the paper argues more than three is
+//! impractical anyway, §A1).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A taint label: an index into the [`LabelTable`]. Label 0 is "untainted".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Label(pub u16);
+
+impl Label {
+    pub const EMPTY: Label = Label(0);
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A set of base parameters, as a bitset over parameter indices (max 64).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ParamSet(pub u64);
+
+impl ParamSet {
+    pub const EMPTY: ParamSet = ParamSet(0);
+
+    #[inline]
+    pub fn single(idx: usize) -> ParamSet {
+        assert!(idx < 64, "at most 64 parameters supported");
+        ParamSet(1u64 << idx)
+    }
+
+    #[inline]
+    pub fn union(self, other: ParamSet) -> ParamSet {
+        ParamSet(self.0 | other.0)
+    }
+
+    #[inline]
+    pub fn intersect(self, other: ParamSet) -> ParamSet {
+        ParamSet(self.0 & other.0)
+    }
+
+    #[inline]
+    pub fn contains(self, idx: usize) -> bool {
+        idx < 64 && (self.0 >> idx) & 1 == 1
+    }
+
+    #[inline]
+    pub fn is_superset(self, other: ParamSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Indices of the parameters in the set, ascending.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..64).filter(move |i| (self.0 >> i) & 1 == 1)
+    }
+
+    /// Render using parameter names from `names`.
+    pub fn display<'a>(self, names: &'a [String]) -> ParamSetDisplay<'a> {
+        ParamSetDisplay { set: self, names }
+    }
+}
+
+/// Helper for formatting a [`ParamSet`] with parameter names.
+pub struct ParamSetDisplay<'a> {
+    set: ParamSet,
+    names: &'a [String],
+}
+
+impl fmt::Display for ParamSetDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for idx in self.set.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            match self.names.get(idx) {
+                Some(n) => write!(f, "{n}")?,
+                None => write!(f, "#{idx}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// One node of the union tree.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// For union nodes, the two children; for base nodes, both `EMPTY`.
+    l: Label,
+    r: Label,
+}
+
+/// The DFSan-style label table: base-label interning, union-tree
+/// construction with deduplication, and memoized base-set queries.
+#[derive(Debug)]
+pub struct LabelTable {
+    nodes: Vec<Node>,
+    /// Memoized parameter set per label.
+    sets: Vec<ParamSet>,
+    /// Base label per parameter index.
+    base_by_param: Vec<Label>,
+    /// Parameter names (index = parameter index).
+    param_names: Vec<String>,
+    name_index: HashMap<String, usize>,
+    union_memo: HashMap<(u16, u16), Label>,
+}
+
+impl Default for LabelTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LabelTable {
+    pub fn new() -> LabelTable {
+        LabelTable {
+            nodes: vec![Node {
+                l: Label::EMPTY,
+                r: Label::EMPTY,
+            }],
+            sets: vec![ParamSet::EMPTY],
+            base_by_param: Vec::new(),
+            param_names: Vec::new(),
+            name_index: HashMap::new(),
+            union_memo: HashMap::new(),
+        }
+    }
+
+    /// Intern a base label for parameter `name`; idempotent.
+    pub fn base_label(&mut self, name: &str) -> Label {
+        if let Some(&idx) = self.name_index.get(name) {
+            return self.base_by_param[idx];
+        }
+        let idx = self.param_names.len();
+        assert!(idx < 64, "at most 64 base labels supported");
+        let label = self.alloc(Node {
+            l: Label::EMPTY,
+            r: Label::EMPTY,
+        });
+        self.sets[label.0 as usize] = ParamSet::single(idx);
+        self.param_names.push(name.to_string());
+        self.name_index.insert(name.to_string(), idx);
+        self.base_by_param.push(label);
+        label
+    }
+
+    /// The base label previously interned for `name`, if any.
+    pub fn lookup_base(&self, name: &str) -> Option<Label> {
+        self.name_index.get(name).map(|&i| self.base_by_param[i])
+    }
+
+    /// Parameter index of `name`, if registered.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.name_index.get(name).copied()
+    }
+
+    /// All registered parameter names, in index order.
+    pub fn param_names(&self) -> &[String] {
+        &self.param_names
+    }
+
+    fn alloc(&mut self, node: Node) -> Label {
+        let id = self.nodes.len();
+        assert!(
+            id <= u16::MAX as usize,
+            "label table exhausted (2^16 labels)"
+        );
+        self.nodes.push(node);
+        self.sets.push(ParamSet::EMPTY);
+        Label(id as u16)
+    }
+
+    /// Union of two labels, allocating a tree node only when neither operand
+    /// subsumes the other. This is the hot operation of the whole taint
+    /// runtime — called for every instruction with two tainted operands.
+    pub fn union(&mut self, a: Label, b: Label) -> Label {
+        if a == b || b.is_empty() {
+            return a;
+        }
+        if a.is_empty() {
+            return b;
+        }
+        // Subsumption check via the memoized base sets.
+        let sa = self.sets[a.0 as usize];
+        let sb = self.sets[b.0 as usize];
+        if sa.is_superset(sb) {
+            return a;
+        }
+        if sb.is_superset(sa) {
+            return b;
+        }
+        // Canonical operand order for the memo table.
+        let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if let Some(&l) = self.union_memo.get(&key) {
+            return l;
+        }
+        let label = self.alloc(Node {
+            l: Label(key.0),
+            r: Label(key.1),
+        });
+        self.sets[label.0 as usize] = sa.union(sb);
+        self.union_memo.insert(key, label);
+        label
+    }
+
+    /// The set of base parameters covered by `label`.
+    #[inline]
+    pub fn params_of(&self, label: Label) -> ParamSet {
+        self.sets[label.0 as usize]
+    }
+
+    /// Whether `label` covers the parameter with index `idx`.
+    #[inline]
+    pub fn has_param(&self, label: Label, idx: usize) -> bool {
+        self.params_of(label).contains(idx)
+    }
+
+    /// Number of allocated labels (including the empty label).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Walk the union tree of `label`, collecting base labels (diagnostics;
+    /// the memoized [`LabelTable::params_of`] is the fast path).
+    pub fn base_labels_of(&self, label: Label) -> Vec<Label> {
+        let mut out = Vec::new();
+        let mut stack = vec![label];
+        while let Some(l) = stack.pop() {
+            if l.is_empty() {
+                continue;
+            }
+            let node = self.nodes[l.0 as usize];
+            if node.l.is_empty() && node.r.is_empty() {
+                if !out.contains(&l) {
+                    out.push(l);
+                }
+            } else {
+                stack.push(node.l);
+                stack.push(node.r);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_labels_are_interned() {
+        let mut t = LabelTable::new();
+        let a = t.base_label("size");
+        let b = t.base_label("size");
+        assert_eq!(a, b);
+        let c = t.base_label("p");
+        assert_ne!(a, c);
+        assert_eq!(t.param_index("size"), Some(0));
+        assert_eq!(t.param_index("p"), Some(1));
+        assert_eq!(t.lookup_base("size"), Some(a));
+        assert_eq!(t.lookup_base("nope"), None);
+    }
+
+    #[test]
+    fn union_identities() {
+        let mut t = LabelTable::new();
+        let a = t.base_label("a");
+        assert_eq!(t.union(a, Label::EMPTY), a);
+        assert_eq!(t.union(Label::EMPTY, a), a);
+        assert_eq!(t.union(a, a), a);
+        assert_eq!(t.union(Label::EMPTY, Label::EMPTY), Label::EMPTY);
+    }
+
+    #[test]
+    fn union_is_deduplicated_and_commutative() {
+        let mut t = LabelTable::new();
+        let a = t.base_label("a");
+        let b = t.base_label("b");
+        let ab1 = t.union(a, b);
+        let ab2 = t.union(b, a);
+        assert_eq!(ab1, ab2);
+        let before = t.len();
+        let ab3 = t.union(a, b);
+        assert_eq!(ab1, ab3);
+        assert_eq!(t.len(), before, "no new node for repeated union");
+    }
+
+    #[test]
+    fn union_subsumption_avoids_allocation() {
+        let mut t = LabelTable::new();
+        let a = t.base_label("a");
+        let b = t.base_label("b");
+        let ab = t.union(a, b);
+        let before = t.len();
+        // {a,b} ∪ {a} = {a,b} without a new node.
+        assert_eq!(t.union(ab, a), ab);
+        assert_eq!(t.union(b, ab), ab);
+        assert_eq!(t.len(), before);
+    }
+
+    #[test]
+    fn params_of_tracks_unions() {
+        let mut t = LabelTable::new();
+        let a = t.base_label("a");
+        let b = t.base_label("b");
+        let c = t.base_label("c");
+        let ab = t.union(a, b);
+        let abc = t.union(ab, c);
+        assert_eq!(t.params_of(abc).len(), 3);
+        assert!(t.has_param(abc, 0));
+        assert!(t.has_param(abc, 1));
+        assert!(t.has_param(abc, 2));
+        assert!(!t.has_param(ab, 2));
+        assert_eq!(t.params_of(Label::EMPTY), ParamSet::EMPTY);
+    }
+
+    #[test]
+    fn base_labels_of_walks_tree() {
+        let mut t = LabelTable::new();
+        let a = t.base_label("a");
+        let b = t.base_label("b");
+        let c = t.base_label("c");
+        let ab = t.union(a, b);
+        let abc = t.union(ab, c);
+        assert_eq!(t.base_labels_of(abc), vec![a, b, c]);
+        assert_eq!(t.base_labels_of(a), vec![a]);
+        assert!(t.base_labels_of(Label::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn param_set_operations() {
+        let a = ParamSet::single(0);
+        let b = ParamSet::single(5);
+        let ab = a.union(b);
+        assert!(ab.contains(0) && ab.contains(5) && !ab.contains(1));
+        assert_eq!(ab.len(), 2);
+        assert!(ab.is_superset(a));
+        assert!(!a.is_superset(ab));
+        assert_eq!(ab.intersect(a), a);
+        assert_eq!(ab.iter().collect::<Vec<_>>(), vec![0, 5]);
+    }
+
+    #[test]
+    fn param_set_display() {
+        let names = vec!["size".to_string(), "p".to_string()];
+        let s = ParamSet::single(0).union(ParamSet::single(1));
+        assert_eq!(format!("{}", s.display(&names)), "{size, p}");
+        assert_eq!(format!("{}", ParamSet::EMPTY.display(&names)), "{}");
+    }
+
+    #[test]
+    fn many_unions_stay_within_capacity() {
+        let mut t = LabelTable::new();
+        let labels: Vec<Label> = (0..16).map(|i| t.base_label(&format!("p{i}"))).collect();
+        // Union all pairs repeatedly; dedup must keep the table tiny.
+        let mut acc = Label::EMPTY;
+        for _ in 0..100 {
+            for &l in &labels {
+                acc = t.union(acc, l);
+            }
+        }
+        assert!(t.len() < 200, "table grew to {}", t.len());
+        assert_eq!(t.params_of(acc).len(), 16);
+    }
+}

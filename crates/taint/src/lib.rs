@@ -1,0 +1,68 @@
+//! # pt-taint — dynamic taint analysis for performance modeling
+//!
+//! The dynamic half of Perf-Taint (PPoPP'21, §3–§5): a DataFlowSanitizer-
+//! style taint runtime driving an interpreter over [`pt_ir`] programs.
+//!
+//! * [`label`] — 16-bit taint labels organized as a deduplicated union tree
+//!   (the DFSan design described in §5.2), with memoized parameter sets.
+//! * [`memory`] — word-granular memory with a 1:1 shadow label per word.
+//! * [`path`] — calling-context interning (context-aware records, §5.2).
+//! * [`prepared`] — precomputed per-function facts (loops, postdominators,
+//!   back edges, trip counts) the interpreter consults at branches.
+//! * [`host`] — the external-call interface; `pt-mpisim` plugs in here with
+//!   the MPI library database of §5.3.
+//! * [`interp`] — the instruction interpreter: data-flow propagation,
+//!   the control-flow tainting extension, loop-exit sinks, branch coverage,
+//!   simulated-time accounting, and call-path profiling.
+//! * [`records`] / [`profile`] — run artifacts consumed by the `perf-taint`
+//!   pipeline and by `pt-measure`.
+//!
+//! ## Example
+//!
+//! ```
+//! use pt_ir::{FunctionBuilder, Module, Type, Value};
+//! use pt_taint::prepared::PreparedModule;
+//! use pt_taint::interp::{Interpreter, InterpConfig};
+//! use pt_taint::host::WorkOnlyHandler;
+//!
+//! // for (i = 0; i < n; i++) work(1);   -- n is the marked parameter
+//! let mut m = Module::new("demo");
+//! let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+//! let n = b.call_external("pt_param_i64", vec![Value::int(0)], Type::I64);
+//! b.for_loop(0i64, n, 1i64, |b, _| {
+//!     b.call_external("pt_work_flops", vec![Value::int(1)], Type::Void);
+//! });
+//! b.ret(None);
+//! m.add_function(b.finish());
+//!
+//! let prepared = PreparedModule::compute(&m);
+//! let interp = Interpreter::new(
+//!     &m, &prepared, WorkOnlyHandler::default(),
+//!     vec![("n".into(), 10)], InterpConfig::default(),
+//! );
+//! let out = interp.run_named("main", &[]).unwrap();
+//! // The loop's exit condition was tainted by parameter 0 ("n") and the
+//! // loop iterated 10 times.
+//! let loops = out.records.loops_by_function();
+//! let rec = loops.values().next().unwrap();
+//! assert!(rec.params.contains(0));
+//! assert_eq!(rec.iterations, 10);
+//! ```
+
+pub mod host;
+pub mod interp;
+pub mod label;
+pub mod memory;
+pub mod path;
+pub mod prepared;
+pub mod profile;
+pub mod records;
+
+pub use host::{ExternResult, ExternalHandler, HostCtx, NullHandler, WorkOnlyHandler};
+pub use interp::{CtlFlowPolicy, InterpConfig, InterpError, Interpreter, RunOutput};
+pub use label::{Label, LabelTable, ParamSet};
+pub use memory::{MemError, Memory, TVal};
+pub use path::{CallPathTable, PathId};
+pub use prepared::{PreparedFunction, PreparedModule};
+pub use profile::{Profile, ProfileEntry};
+pub use records::{BranchRecord, LoopKey, LoopRecord, TaintRecords};

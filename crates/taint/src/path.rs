@@ -1,0 +1,156 @@
+//! Calling-context (call-path) interning.
+//!
+//! Perf-Taint stores call-path information so the empirical modeler can build
+//! calling-context-aware models (§5.2: "We store call-path information to
+//! distinguish between function calls that result in different
+//! dependencies"). Paths are interned into integer ids: a path is
+//! `(parent-path, function)`, forming the calling-context tree.
+
+use pt_ir::FunctionId;
+use std::collections::HashMap;
+
+/// Identifier of one node in the calling-context tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(pub u32);
+
+impl PathId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PathNode {
+    parent: Option<PathId>,
+    func: FunctionId,
+}
+
+/// Interning table for call paths.
+#[derive(Debug, Default)]
+pub struct CallPathTable {
+    nodes: Vec<PathNode>,
+    memo: HashMap<(Option<PathId>, FunctionId), PathId>,
+}
+
+impl CallPathTable {
+    pub fn new() -> CallPathTable {
+        CallPathTable::default()
+    }
+
+    /// Intern the path `parent → func`.
+    pub fn intern(&mut self, parent: Option<PathId>, func: FunctionId) -> PathId {
+        if let Some(&id) = self.memo.get(&(parent, func)) {
+            return id;
+        }
+        let id = PathId(self.nodes.len() as u32);
+        self.nodes.push(PathNode { parent, func });
+        self.memo.insert((parent, func), id);
+        id
+    }
+
+    /// The function at the end of `path`.
+    #[inline]
+    pub fn func_of(&self, path: PathId) -> FunctionId {
+        self.nodes[path.index()].func
+    }
+
+    /// The parent path, if any.
+    #[inline]
+    pub fn parent_of(&self, path: PathId) -> Option<PathId> {
+        self.nodes[path.index()].parent
+    }
+
+    /// Depth of the path (root = 1).
+    pub fn depth_of(&self, path: PathId) -> usize {
+        let mut d = 1;
+        let mut cur = path;
+        while let Some(p) = self.parent_of(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// The full chain of function ids from the root to `path`.
+    pub fn chain(&self, path: PathId) -> Vec<FunctionId> {
+        let mut out = Vec::new();
+        let mut cur = Some(path);
+        while let Some(p) = cur {
+            out.push(self.func_of(p));
+            cur = self.parent_of(p);
+        }
+        out.reverse();
+        out
+    }
+
+    /// Human-readable rendering using function names from `names`.
+    pub fn render(&self, path: PathId, names: &impl Fn(FunctionId) -> String) -> String {
+        self.chain(path)
+            .into_iter()
+            .map(names)
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate all interned paths.
+    pub fn iter(&self) -> impl Iterator<Item = PathId> {
+        (0..self.nodes.len() as u32).map(PathId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut t = CallPathTable::new();
+        let main = t.intern(None, FunctionId(0));
+        let a = t.intern(Some(main), FunctionId(1));
+        let a2 = t.intern(Some(main), FunctionId(1));
+        assert_eq!(a, a2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.func_of(a), FunctionId(1));
+        assert_eq!(t.parent_of(a), Some(main));
+        assert_eq!(t.parent_of(main), None);
+    }
+
+    #[test]
+    fn same_function_different_contexts() {
+        let mut t = CallPathTable::new();
+        let main = t.intern(None, FunctionId(0));
+        let f = t.intern(Some(main), FunctionId(1));
+        let g = t.intern(Some(main), FunctionId(2));
+        // helper called from f and from g: two distinct paths.
+        let h_via_f = t.intern(Some(f), FunctionId(3));
+        let h_via_g = t.intern(Some(g), FunctionId(3));
+        assert_ne!(h_via_f, h_via_g);
+        assert_eq!(t.func_of(h_via_f), t.func_of(h_via_g));
+        assert_eq!(t.depth_of(h_via_f), 3);
+        assert_eq!(
+            t.chain(h_via_f),
+            vec![FunctionId(0), FunctionId(1), FunctionId(3)]
+        );
+    }
+
+    #[test]
+    fn render_chain() {
+        let mut t = CallPathTable::new();
+        let main = t.intern(None, FunctionId(0));
+        let f = t.intern(Some(main), FunctionId(1));
+        let names = |id: FunctionId| match id.0 {
+            0 => "main".to_string(),
+            _ => "kernel".to_string(),
+        };
+        assert_eq!(t.render(f, &names), "main → kernel");
+    }
+}

@@ -1,0 +1,131 @@
+//! Call-path profiles of simulated execution time.
+//!
+//! The interpreter accumulates simulated seconds per calling context —
+//! inclusive and exclusive time plus call counts — exactly the data Score-P
+//! hands to Extra-P in the paper's pipeline. Probe (instrumentation)
+//! overhead is included in these numbers when a function is instrumented,
+//! which is what makes the intrusion experiment (§B2) reproducible.
+
+use crate::path::{CallPathTable, PathId};
+use pt_ir::FunctionId;
+use std::collections::HashMap;
+
+/// Aggregated timing for one calling context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileEntry {
+    pub func: FunctionId,
+    pub calls: u64,
+    /// Inclusive simulated seconds (self + callees).
+    pub inclusive: f64,
+    /// Exclusive simulated seconds (self only).
+    pub exclusive: f64,
+}
+
+impl ProfileEntry {
+    fn empty(func: FunctionId) -> ProfileEntry {
+        ProfileEntry {
+            func,
+            calls: 0,
+            inclusive: 0.0,
+            exclusive: 0.0,
+        }
+    }
+}
+
+/// A per-call-path profile.
+#[derive(Debug, Default)]
+pub struct Profile {
+    pub entries: HashMap<PathId, ProfileEntry>,
+}
+
+impl Profile {
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    pub fn record_call(&mut self, path: PathId, func: FunctionId, inclusive: f64, exclusive: f64) {
+        let e = self
+            .entries
+            .entry(path)
+            .or_insert_with(|| ProfileEntry::empty(func));
+        e.calls += 1;
+        e.inclusive += inclusive;
+        e.exclusive += exclusive;
+    }
+
+    /// Aggregate per function name (merging calling contexts).
+    pub fn by_function(&self) -> HashMap<FunctionId, ProfileEntry> {
+        let mut out: HashMap<FunctionId, ProfileEntry> = HashMap::new();
+        for e in self.entries.values() {
+            let agg = out
+                .entry(e.func)
+                .or_insert_with(|| ProfileEntry::empty(e.func));
+            agg.calls += e.calls;
+            agg.inclusive += e.inclusive;
+            agg.exclusive += e.exclusive;
+        }
+        out
+    }
+
+    /// Total exclusive time across all contexts — equals the wall time of
+    /// the run (exclusive times partition the execution).
+    pub fn total_exclusive(&self) -> f64 {
+        self.entries.values().map(|e| e.exclusive).sum()
+    }
+
+    /// Render a sorted top-N table (diagnostics).
+    pub fn top_by_exclusive(
+        &self,
+        n: usize,
+        paths: &CallPathTable,
+        name: &impl Fn(FunctionId) -> String,
+    ) -> String {
+        let mut rows: Vec<(&PathId, &ProfileEntry)> = self.entries.iter().collect();
+        rows.sort_by(|a, b| b.1.exclusive.total_cmp(&a.1.exclusive));
+        let mut out = String::new();
+        for (path, e) in rows.into_iter().take(n) {
+            out.push_str(&format!(
+                "{:>12.6}s excl {:>12.6}s incl {:>10} calls  {}\n",
+                e.exclusive,
+                e.inclusive,
+                e.calls,
+                paths.render(*path, name)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut paths = CallPathTable::new();
+        let main = paths.intern(None, FunctionId(0));
+        let k_via_main = paths.intern(Some(main), FunctionId(1));
+        let mut p = Profile::new();
+        p.record_call(main, FunctionId(0), 10.0, 2.0);
+        p.record_call(k_via_main, FunctionId(1), 8.0, 8.0);
+        p.record_call(k_via_main, FunctionId(1), 4.0, 4.0);
+
+        let by_fn = p.by_function();
+        assert_eq!(by_fn[&FunctionId(1)].calls, 2);
+        assert!((by_fn[&FunctionId(1)].inclusive - 12.0).abs() < 1e-12);
+        assert!((by_fn[&FunctionId(0)].exclusive - 2.0).abs() < 1e-12);
+        assert!((p.total_exclusive() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_table_renders() {
+        let mut paths = CallPathTable::new();
+        let main = paths.intern(None, FunctionId(0));
+        let mut p = Profile::new();
+        p.record_call(main, FunctionId(0), 1.0, 1.0);
+        let name = |_: FunctionId| "main".to_string();
+        let t = p.top_by_exclusive(5, &paths, &name);
+        assert!(t.contains("main"));
+        assert!(t.contains("1 calls"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Artifacts of a dynamic taint run: loop sink records, branch coverage,
+//! visited code, and the calling-context table.
+
+use crate::label::ParamSet;
+use crate::path::{CallPathTable, PathId};
+use pt_analysis::loops::LoopId;
+use pt_ir::{BlockId, FunctionId};
+use std::collections::HashMap;
+
+/// Key of a loop record: one loop observed under one calling context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopKey {
+    pub func: FunctionId,
+    pub loop_id: LoopId,
+    pub path: PathId,
+}
+
+/// What the taint sinks observed for one loop (per calling context).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopRecord {
+    /// Union of the parameter sets of all exit-condition labels observed.
+    pub params: ParamSet,
+    /// Total iterations (back-edge traversals) across all entries.
+    pub iterations: u64,
+    /// Number of times the loop was entered.
+    pub entries: u64,
+}
+
+/// Coverage of one conditional branch whose condition was tainted (§4.4:
+/// detection of parameter-driven algorithm selection and never-taken paths).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BranchRecord {
+    pub params: ParamSet,
+    pub taken_true: u64,
+    pub taken_false: u64,
+}
+
+impl BranchRecord {
+    /// Whether only one direction was ever taken in this run.
+    pub fn one_sided(&self) -> bool {
+        (self.taken_true == 0) != (self.taken_false == 0)
+    }
+}
+
+/// All records produced by a taint run.
+#[derive(Debug, Default)]
+pub struct TaintRecords {
+    pub loops: HashMap<LoopKey, LoopRecord>,
+    pub branches: HashMap<(FunctionId, BlockId), BranchRecord>,
+    /// Per (calling function, external symbol): union of the parameter sets
+    /// of all argument labels observed — feeds the library database's
+    /// count-argument dependencies (§5.3).
+    pub extern_args: HashMap<(FunctionId, String), ParamSet>,
+    /// Per function: whether it was executed at all (dynamic pruning in
+    /// Table 2: "Pruned Dynamically").
+    pub executed: Vec<bool>,
+    /// Per function, per block: executed? (never-visited code, §4.4).
+    pub visited_blocks: Vec<Vec<bool>>,
+    pub paths: CallPathTable,
+}
+
+impl TaintRecords {
+    pub fn new(nfuncs: usize, blocks_per_func: &[usize]) -> TaintRecords {
+        TaintRecords {
+            loops: HashMap::new(),
+            branches: HashMap::new(),
+            extern_args: HashMap::new(),
+            executed: vec![false; nfuncs],
+            visited_blocks: blocks_per_func.iter().map(|&n| vec![false; n]).collect(),
+            paths: CallPathTable::new(),
+        }
+    }
+
+    /// Aggregate loop records per (function, loop), merging calling contexts.
+    pub fn loops_by_function(&self) -> HashMap<(FunctionId, LoopId), LoopRecord> {
+        let mut out: HashMap<(FunctionId, LoopId), LoopRecord> = HashMap::new();
+        for (k, r) in &self.loops {
+            let e = out.entry((k.func, k.loop_id)).or_default();
+            e.params = e.params.union(r.params);
+            e.iterations += r.iterations;
+            e.entries += r.entries;
+        }
+        out
+    }
+
+    /// Union of parameters observed in any loop of `func` (any context).
+    pub fn function_params(&self, func: FunctionId) -> ParamSet {
+        self.loops
+            .iter()
+            .filter(|(k, _)| k.func == func)
+            .fold(ParamSet::EMPTY, |acc, (_, r)| acc.union(r.params))
+    }
+
+    /// Functions never executed during the taint run.
+    pub fn never_executed(&self) -> Vec<FunctionId> {
+        self.executed
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !**e)
+            .map(|(i, _)| FunctionId(i as u32))
+            .collect()
+    }
+
+    /// Tainted branches where both directions were observed — candidates for
+    /// qualitative behavior changes across the modeling domain (§C2).
+    pub fn two_sided_branches(&self) -> Vec<((FunctionId, BlockId), BranchRecord)> {
+        let mut v: Vec<_> = self
+            .branches
+            .iter()
+            .filter(|(_, r)| !r.one_sided())
+            .map(|(k, r)| (*k, *r))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_aggregation_merges_paths() {
+        let mut r = TaintRecords::new(2, &[1, 1]);
+        let p1 = r.paths.intern(None, FunctionId(0));
+        let p2 = r.paths.intern(Some(p1), FunctionId(1));
+        let p3 = r.paths.intern(None, FunctionId(1));
+        let lid = LoopId(0);
+        r.loops.insert(
+            LoopKey {
+                func: FunctionId(1),
+                loop_id: lid,
+                path: p2,
+            },
+            LoopRecord {
+                params: ParamSet::single(0),
+                iterations: 10,
+                entries: 1,
+            },
+        );
+        r.loops.insert(
+            LoopKey {
+                func: FunctionId(1),
+                loop_id: lid,
+                path: p3,
+            },
+            LoopRecord {
+                params: ParamSet::single(1),
+                iterations: 5,
+                entries: 2,
+            },
+        );
+        let agg = r.loops_by_function();
+        let rec = agg[&(FunctionId(1), lid)];
+        assert_eq!(rec.iterations, 15);
+        assert_eq!(rec.entries, 3);
+        assert!(rec.params.contains(0) && rec.params.contains(1));
+        assert_eq!(r.function_params(FunctionId(1)).len(), 2);
+        assert_eq!(r.function_params(FunctionId(0)), ParamSet::EMPTY);
+    }
+
+    #[test]
+    fn never_executed_lists_unvisited() {
+        let mut r = TaintRecords::new(3, &[1, 1, 1]);
+        r.executed[1] = true;
+        assert_eq!(r.never_executed(), vec![FunctionId(0), FunctionId(2)]);
+    }
+
+    #[test]
+    fn branch_sidedness() {
+        let one = BranchRecord {
+            params: ParamSet::single(0),
+            taken_true: 4,
+            taken_false: 0,
+        };
+        let two = BranchRecord {
+            params: ParamSet::single(0),
+            taken_true: 4,
+            taken_false: 1,
+        };
+        assert!(one.one_sided());
+        assert!(!two.one_sided());
+    }
+}

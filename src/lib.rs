@@ -1,0 +1,5 @@
+//! Umbrella crate: re-exports the perf-taint-rs workspace crates for the
+//! top-level examples and integration tests.
+pub use perf_taint;
+pub use pt_analysis;
+pub use pt_ir;

@@ -1,0 +1,110 @@
+//! Property-based tests of the PMNF model search: for data generated from a
+//! random model *inside the search space*, the search must recover a model
+//! that predicts (interpolation and mild extrapolation) within tight error.
+
+use proptest::prelude::*;
+use pt_extrap::{fit_multi_param, fit_single_param, MeasurementSet, Restriction, SearchSpace};
+
+/// Exponents restricted to a well-separated subset so recovery is
+/// well-conditioned on 5-point sweeps (neighboring exponents like 9/4 vs
+/// 10/4 are legitimately indistinguishable there — the paper's search has
+/// the same property).
+const EXPS: [f64; 4] = [0.5, 1.0, 2.0, 3.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn single_param_recovery(
+        exp_idx in 0usize..4,
+        log_exp in 0u32..2,
+        coef in 1e-6f64..1e-2,
+        constant in 0.0f64..1.0,
+    ) {
+        let exp = EXPS[exp_idx];
+        let xs: Vec<f64> = vec![4.0, 8.0, 16.0, 32.0, 64.0];
+        let truth = |x: f64| constant + coef * x.powf(exp) * x.log2().powi(log_exp as i32);
+        let ys: Vec<f64> = xs.iter().map(|&x| truth(x)).collect();
+        let fit = fit_single_param(&xs, &ys, 0, &SearchSpace::default());
+        // Prediction accuracy on the sampled domain and one octave beyond.
+        for &x in &[4.0, 6.0, 12.0, 24.0, 48.0, 64.0, 128.0] {
+            let t = truth(x);
+            let p = fit.model.eval(&[x]);
+            let rel = (p - t).abs() / t.abs().max(1e-12);
+            prop_assert!(
+                rel < 0.35,
+                "x={x}: truth {t:.3e} pred {p:.3e} (model {})",
+                fit.model
+            );
+        }
+    }
+
+    #[test]
+    fn constant_data_never_gains_terms(value in 1e-9f64..1e3) {
+        let xs: Vec<f64> = vec![4.0, 8.0, 16.0, 32.0, 64.0];
+        let ys: Vec<f64> = xs.iter().map(|_| value).collect();
+        let fit = fit_single_param(&xs, &ys, 0, &SearchSpace::default());
+        prop_assert!(fit.model.is_constant(), "model: {}", fit.model);
+        prop_assert!((fit.model.constant - value).abs() / value < 1e-6);
+    }
+
+    #[test]
+    fn restriction_is_always_respected(
+        seedx in 0u64..1000,
+        allow_p in proptest::bool::ANY,
+        allow_s in proptest::bool::ANY,
+        allow_cross in proptest::bool::ANY,
+    ) {
+        // Arbitrary (deterministic per seed) data over a (p, size) grid.
+        let mut s = MeasurementSet::new(vec!["p".into(), "size".into()]);
+        let mut state = seedx.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0
+        };
+        for &p in &[4.0, 8.0, 16.0, 32.0] {
+            for &size in &[8.0, 12.0, 16.0, 20.0] {
+                s.push(vec![p, size], vec![1.0 + next() * p + next() * size]);
+            }
+        }
+        let mut monomials = Vec::new();
+        if allow_p { monomials.push(0b01); }
+        if allow_s { monomials.push(0b10); }
+        if allow_cross { monomials.push(0b11); }
+        let r = Restriction::from_monomials(monomials);
+        let fit = fit_multi_param(&s, &SearchSpace::small(), Some(&r));
+        let used = fit.model.param_mask();
+        prop_assert!(
+            used & !r.allowed_params() == 0,
+            "model {} uses forbidden params (mask {used:b})", fit.model
+        );
+        if !allow_cross && !(allow_p && allow_s) {
+            prop_assert!(!fit.model.has_multiplicative_term());
+        }
+        for (c, t) in &fit.model.terms {
+            if *c != 0.0 {
+                prop_assert!(r.allows_mask(t.param_mask()), "term violates restriction");
+            }
+        }
+    }
+}
+
+#[test]
+fn two_parameter_separable_recovery() {
+    // f(p, s) = a·log2(p) + b·s² — additive ground truth over the grid.
+    let mut s = MeasurementSet::new(vec!["p".into(), "size".into()]);
+    for &p in &[4.0f64, 8.0, 16.0, 32.0, 64.0] {
+        for &size in &[8.0, 12.0, 16.0, 20.0, 24.0] {
+            s.push(vec![p, size], vec![2e-3 * p.log2() + 5e-5 * size * size]);
+        }
+    }
+    let fit = fit_multi_param(&s, &SearchSpace::default(), None);
+    assert!(fit.quality.smape < 2.0, "smape {}", fit.quality.smape);
+    assert!(fit.model.uses_param(0) && fit.model.uses_param(1));
+    // Prediction at an unseen interior point.
+    let truth = 2e-3 * 24.0f64.log2() + 5e-5 * 14.0 * 14.0;
+    let pred = fit.model.eval(&[24.0, 14.0]);
+    assert!((pred - truth).abs() / truth < 0.15, "pred {pred} truth {truth}");
+}

@@ -1,0 +1,163 @@
+//! End-to-end hybrid modeling: measure a program whose ground-truth cost
+//! functions are known, then check that the hybrid models recover the right
+//! shapes and that the restriction machinery holds under noise.
+
+use perf_taint::{analyze, compare_against_truth, model_functions, PipelineConfig};
+use pt_extrap::SearchSpace;
+use pt_ir::{FunctionBuilder, Module, Type, Value};
+use pt_measure::{function_sets, run_sweep, Filter, NoiseModel, SweepPoint};
+use pt_mpisim::MachineConfig;
+use pt_taint::PreparedModule;
+
+/// quad(n): n² work; lin(n): n work; fixed(): constant; comm(): log p.
+fn app() -> Module {
+    let mut m = Module::new("e2e");
+    let mut b = FunctionBuilder::new("quad", vec![("n".into(), Type::I64)], Type::Void);
+    let n2 = b.mul(b.param(0), b.param(0));
+    b.for_loop(0i64, n2, 1i64, |b, _| {
+        b.call_external("pt_work_flops", vec![Value::int(200)], Type::Void);
+    });
+    b.ret(None);
+    let quad = m.add_function(b.finish());
+    let mut b = FunctionBuilder::new("lin", vec![("n".into(), Type::I64)], Type::Void);
+    b.for_loop(0i64, b.param(0), 1i64, |b, _| {
+        b.call_external("pt_work_flops", vec![Value::int(5000)], Type::Void);
+    });
+    b.ret(None);
+    let lin = m.add_function(b.finish());
+    let mut b = FunctionBuilder::new("fixed", vec![], Type::Void);
+    b.call_external("pt_work_flops", vec![Value::int(100_000)], Type::Void);
+    b.ret(None);
+    let fixed = m.add_function(b.finish());
+    let mut b = FunctionBuilder::new("comm", vec![], Type::Void);
+    b.call_external("MPI_Allreduce", vec![Value::int(64)], Type::Void);
+    b.ret(None);
+    let comm = m.add_function(b.finish());
+    let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+    let n = b.call_external("pt_param_i64", vec![Value::int(0)], Type::I64);
+    let pslot = b.alloca(1i64);
+    b.call_external("MPI_Comm_size", vec![pslot], Type::Void);
+    b.call(quad, vec![n], Type::Void);
+    b.call(lin, vec![n], Type::Void);
+    b.call(fixed, vec![], Type::Void);
+    b.call(comm, vec![], Type::Void);
+    b.ret(None);
+    m.add_function(b.finish());
+    m
+}
+
+#[test]
+fn hybrid_models_recover_planted_shapes() {
+    let module = app();
+    let cfg = PipelineConfig::with_mpi_defaults();
+    let analysis = analyze(
+        &module,
+        "main",
+        vec![("n".into(), 8), ("p".into(), 4)],
+        &cfg,
+    )
+    .unwrap();
+
+    let model_params = vec!["p".to_string(), "n".to_string()];
+    let prepared = PreparedModule::compute(&module);
+    let probe = Filter::None.probe_vector(&module, 0.0);
+    let mut points = Vec::new();
+    for &p in &[4i64, 8, 16, 32, 64] {
+        for &n in &[16i64, 24, 32, 40, 48] {
+            points.push(SweepPoint {
+                params: vec![("n".into(), n), ("p".into(), p)],
+                machine: MachineConfig::default().with_ranks(p as u32),
+            });
+        }
+    }
+    let profiles = run_sweep(&module, &prepared, "main", &points, &probe, 4);
+    let sets = function_sets(&profiles, &model_params, 3, &NoiseModel::NONE, 5);
+
+    let restrictions = analysis.restrictions(&module, &model_params);
+    let space = SearchSpace::default();
+    let models = model_functions(&sets, Some(&restrictions), &space, 0.1);
+
+    // quad: c·n²; the dominant term exponent must be exactly 2.
+    let quad = &models["quad"].fitted.model;
+    assert!(quad.uses_param(1), "quad model: {quad}");
+    assert!(!quad.uses_param(0));
+    let max_term = quad
+        .terms
+        .iter()
+        .max_by(|a, b| {
+            let va = a.0 * a.1.eval(&[64.0, 48.0]);
+            let vb = b.0 * b.1.eval(&[64.0, 48.0]);
+            va.total_cmp(&vb)
+        })
+        .unwrap();
+    assert_eq!(max_term.1.factors.len(), 1);
+    assert!((max_term.1.factors[0].exp - 2.0).abs() < 1e-9, "quad: {quad}");
+
+    // lin: c·n.
+    let lin = &models["lin"].fitted.model;
+    assert!(lin.uses_param(1), "lin model: {lin}");
+    // fixed: constant.
+    assert!(models["fixed"].fitted.model.is_constant());
+    // comm: p only (log-family), never n.
+    let comm = &models["comm"].fitted.model;
+    assert!(!comm.uses_param(1), "comm model: {comm}");
+
+    // MPI_Allreduce's own model: log2(p)-shaped.
+    let ar = &models["MPI_Allreduce"].fitted.model;
+    assert!(ar.uses_param(0), "allreduce model: {ar}");
+    let has_log = ar
+        .terms
+        .iter()
+        .any(|(c, t)| *c != 0.0 && t.factors.iter().any(|f| f.log_exp > 0));
+    assert!(has_log, "allreduce should be log-shaped: {ar}");
+
+    // No model may violate the taint structure.
+    let cmp = compare_against_truth(&models, &restrictions);
+    assert_eq!(cmp.false_dependencies.len() + cmp.overfitted_constants.len(), 0);
+}
+
+#[test]
+fn noise_does_not_leak_into_hybrid_models() {
+    let module = app();
+    let cfg = PipelineConfig::with_mpi_defaults();
+    let analysis = analyze(
+        &module,
+        "main",
+        vec![("n".into(), 8), ("p".into(), 4)],
+        &cfg,
+    )
+    .unwrap();
+    let model_params = vec!["p".to_string(), "n".to_string()];
+    let prepared = PreparedModule::compute(&module);
+    let probe = Filter::None.probe_vector(&module, 0.0);
+    let mut points = Vec::new();
+    for &p in &[4i64, 8, 16, 32] {
+        for &n in &[16i64, 24, 32, 40] {
+            points.push(SweepPoint {
+                params: vec![("n".into(), n), ("p".into(), p)],
+                machine: MachineConfig::default().with_ranks(p as u32),
+            });
+        }
+    }
+    let profiles = run_sweep(&module, &prepared, "main", &points, &probe, 4);
+    // Heavy noise: 10% relative + 5µs floor.
+    let noise = NoiseModel {
+        rel_sigma: 0.10,
+        abs_floor: 5e-6,
+    };
+    let restrictions = analysis.restrictions(&module, &model_params);
+    for seed in [1u64, 2, 3] {
+        let sets = function_sets(&profiles, &model_params, 5, &noise, seed);
+        let models = model_functions(&sets, Some(&restrictions), &SearchSpace::default(), 0.5);
+        assert!(
+            models["fixed"].fitted.model.is_constant(),
+            "seed {seed}: fixed must stay constant under noise"
+        );
+        let cmp = compare_against_truth(&models, &restrictions);
+        assert_eq!(
+            cmp.false_dependencies.len() + cmp.overfitted_constants.len(),
+            0,
+            "seed {seed}"
+        );
+    }
+}

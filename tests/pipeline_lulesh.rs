@@ -1,0 +1,157 @@
+//! End-to-end pipeline assertions on mini-LULESH: the Table 2/3 shape, the
+//! §6 kernel dependency structures, and the instrumentation list.
+
+use perf_taint::{analyze, FuncKind, PipelineConfig};
+use pt_apps::lulesh;
+
+fn analysis() -> (pt_apps::AppSpec, perf_taint::Analysis) {
+    let app = lulesh::build();
+    let cfg = PipelineConfig::with_mpi_defaults();
+    let a = analyze(&app.module, &app.entry, app.taint_run_params(), &cfg).unwrap();
+    (app, a)
+}
+
+#[test]
+fn census_matches_paper_shape() {
+    let (_, a) = analysis();
+    let t2 = &a.table2;
+    // Paper: 86.2% of functions constant; 40 kernels, 2 comm, 7 MPI.
+    assert!(
+        t2.constant_fraction() > 0.80,
+        "constant fraction {:.3}",
+        t2.constant_fraction()
+    );
+    assert!((30..=50).contains(&t2.kernels), "kernels {}", t2.kernels);
+    assert!((1..=4).contains(&t2.comm_routines), "comm {}", t2.comm_routines);
+    assert!((5..=8).contains(&t2.mpi_functions), "mpi {}", t2.mpi_functions);
+    assert_eq!(t2.pruned_dynamic, 11, "the 11 never-executed functions");
+    assert!(t2.loops_relevant > 20);
+    assert!(t2.loops_pruned_static > 30);
+}
+
+#[test]
+fn kernel_dependencies_are_correct() {
+    let (app, a) = analysis();
+    let idx = |name: &str| a.param_index(name).unwrap();
+    let dep_of = |name: &str| {
+        let f = app.module.function_by_name(name).unwrap();
+        &a.deps[&f]
+    };
+
+    // Stencil kernels: size (through numElem), never regions/cost/balance.
+    let d = dep_of("IntegrateStressForElems");
+    assert!(d.depends_on(idx("size")));
+    assert!(!d.depends_on(idx("regions")));
+    assert!(!d.depends_on(idx("cost")));
+    assert!(!d.depends_on(idx("p")));
+
+    // Region kernels: size + regions + balance (the regElemSize histogram).
+    let d = dep_of("CalcMonotonicQRegionForElems");
+    assert!(d.depends_on(idx("size")));
+    assert!(d.depends_on(idx("regions")));
+    assert!(d.depends_on(idx("balance")));
+
+    // The EOS repetition loop: cost.
+    let d = dep_of("EvalEOSForElems");
+    assert!(d.depends_on(idx("cost")));
+    assert!(!d.depends_on(idx("size")), "EvalEOS's own loop is over reps");
+    let d = dep_of("CalcEnergyForElems");
+    assert!(d.depends_on(idx("cost")), "cost via the enclosing rep loop");
+    assert!(d.depends_on(idx("size")));
+
+    // The p-dependent setup loop (Table 3's p column).
+    let d = dep_of("InitMeshDecomposition");
+    assert!(d.depends_on(idx("p")));
+    assert!(!d.depends_on(idx("size")));
+
+    // Halo exchange: count argument is size² and the cost model brings p.
+    let d = dep_of("CommSBN");
+    assert!(d.depends_on(idx("p")));
+    assert!(d.depends_on(idx("size")));
+    assert!(d.has_multiplicative());
+
+    // Accessors are provably constant.
+    let d = dep_of("Domain_x");
+    assert!(d.is_constant());
+}
+
+#[test]
+fn iters_multiplies_the_time_stepped_kernels() {
+    let (app, a) = analysis();
+    let iters = a.param_index("iters").unwrap();
+    for kernel in ["IntegrateStressForElems", "CalcKinematicsForElems"] {
+        let f = app.module.function_by_name(kernel).unwrap();
+        let d = &a.deps[&f];
+        assert!(d.depends_on(iters), "{kernel} runs once per timestep");
+        // iters always multiplies with size — never appears alone.
+        for m in &d.monomials {
+            if m.contains(iters) {
+                assert!(m.len() >= 2, "{kernel}: iters is never a lone factor");
+            }
+        }
+    }
+}
+
+#[test]
+fn dynamic_pruning_finds_dead_functions() {
+    let (app, a) = analysis();
+    for dead in ["VerifyAndWriteFinalOutput", "DumpToFile", "EnergyAudit"] {
+        let f = app.module.function_by_name(dead).unwrap();
+        assert_eq!(a.kinds[f.index()], FuncKind::ConstantDynamic, "{dead}");
+    }
+}
+
+#[test]
+fn instrumentation_list_is_selective() {
+    let (app, a) = analysis();
+    let relevant = a.relevant_functions(&app.module);
+    // Paper: ~40 important functions instead of hundreds.
+    assert!(
+        relevant.len() < app.module.functions.len() / 4,
+        "{} of {}",
+        relevant.len(),
+        app.module.functions.len()
+    );
+    for must in ["IntegrateStressForElems", "CommSBN", "main"] {
+        assert!(relevant.contains(&must.to_string()), "{must} missing");
+    }
+    for must_not in ["Domain_x", "Domain_set_fx", "CalcElemVolume"] {
+        assert!(!relevant.contains(&must_not.to_string()), "{must_not} included");
+    }
+}
+
+#[test]
+fn restrictions_project_onto_model_axes() {
+    let (app, a) = analysis();
+    let model_params = vec!["p".to_string(), "size".to_string()];
+    let r = a.restrictions(&app.module, &model_params);
+    // Kernel: size-only (axis 1); never p (axis 0).
+    assert!(r["IntegrateStressForElems"].allows_mask(0b10));
+    assert!(!r["IntegrateStressForElems"].allows_mask(0b01));
+    // Comm: multiplicative p×size allowed.
+    assert!(r["CommSBN"].allows_mask(0b11));
+    // Accessor: constant.
+    assert!(r["Domain_x"].forbids_everything());
+    // MPI routines present with their library-database structure.
+    assert!(r["MPI_Allreduce"].allows_mask(0b01));
+    assert!(r["MPI_Comm_rank"].forbids_everything());
+}
+
+#[test]
+fn loop_iteration_counts_match_ground_truth() {
+    // At size=5, numElem = 125: the element loops must iterate 125 times
+    // per invocation; the main loop `iters` times.
+    let app = lulesh::build();
+    let cfg = PipelineConfig::with_mpi_defaults();
+    let a = analyze(&app.module, &app.entry, app.taint_run_params(), &cfg).unwrap();
+    let records = a.records.loops_by_function();
+    let f = app.module.function_by_name("UpdateVolumesForElems").unwrap();
+    let iters = 3; // taint-run value
+    let recs: Vec<_> = records
+        .iter()
+        .filter(|((fid, _), _)| *fid == f)
+        .collect();
+    assert_eq!(recs.len(), 1);
+    assert_eq!(recs[0].1.iterations, 125 * iters);
+    assert_eq!(recs[0].1.entries, iters);
+}

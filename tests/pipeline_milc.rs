@@ -1,0 +1,149 @@
+//! End-to-end pipeline assertions on mini-MILC: the parameter-pruning
+//! ground truth (numerical parameters irrelevant), the local-volume
+//! coupling with p, and the §C2 gather detection.
+
+use perf_taint::validate::detect_segmentation;
+use perf_taint::{analyze, PipelineConfig};
+use pt_apps::milc;
+
+fn analysis() -> (pt_apps::AppSpec, perf_taint::Analysis) {
+    let app = milc::build();
+    let cfg = PipelineConfig::with_mpi_defaults();
+    let a = analyze(&app.module, &app.entry, app.taint_run_params(), &cfg).unwrap();
+    (app, a)
+}
+
+#[test]
+fn census_matches_paper_shape() {
+    let (_, a) = analysis();
+    let t2 = &a.table2;
+    // Paper: 87.7% constant, 364/188 pruned, 56/13/8 kernels/comm/MPI.
+    assert!(
+        t2.constant_fraction() > 0.85,
+        "constant fraction {:.3}",
+        t2.constant_fraction()
+    );
+    assert_eq!(t2.pruned_dynamic, 188, "the unused suite code");
+    assert!((40..=60).contains(&t2.kernels), "kernels {}", t2.kernels);
+    assert!((8..=14).contains(&t2.comm_routines), "comm {}", t2.comm_routines);
+}
+
+#[test]
+fn numerical_parameters_are_performance_irrelevant() {
+    // The §A1 headline for MILC: mass, beta, u0 flow through data only.
+    let (_, a) = analysis();
+    for numeric in ["mass", "beta", "u0"] {
+        let idx = a.param_index(numeric).unwrap();
+        let affected = a.deps.values().filter(|d| d.depends_on(idx)).count();
+        assert_eq!(affected, 0, "{numeric} must affect no function");
+    }
+}
+
+#[test]
+fn site_loops_couple_sizes_with_p() {
+    // Local volume = nx·ny·nz·nt / p: site loops depend on all five.
+    let (app, a) = analysis();
+    let f = app.module.function_by_name("dslash_fn_field").unwrap();
+    let d = &a.deps[&f];
+    for param in ["nx", "ny", "nz", "nt", "p"] {
+        assert!(
+            d.depends_on(a.param_index(param).unwrap()),
+            "dslash must depend on {param}"
+        );
+    }
+    assert!(d.has_multiplicative(), "volume/p is one monomial");
+}
+
+#[test]
+fn cg_depends_on_niter_and_trajectory_structure() {
+    let (app, a) = analysis();
+    let f = app.module.function_by_name("ks_congrad").unwrap();
+    let d = &a.deps[&f];
+    assert!(d.depends_on(a.param_index("niter").unwrap()));
+    // Called inside steps/trajecs/warms loops → control context carries them.
+    assert!(d.depends_on(a.param_index("steps").unwrap()));
+}
+
+#[test]
+fn gather_branch_flips_across_p_domain() {
+    let app = milc::build();
+    let cfg = PipelineConfig::with_mpi_defaults();
+    let mut observations = Vec::new();
+    for p in [4i64, 8, 16, 32] {
+        let a = analyze(
+            &app.module,
+            &app.entry,
+            app.sweep_params(&[("nx", 8), ("p", p)]),
+            &cfg,
+        )
+        .unwrap();
+        observations.push(a.branch_observations(&app.module));
+    }
+    let warnings = detect_segmentation(&observations);
+    let gather: Vec<_> = warnings
+        .iter()
+        .filter(|w| w.function == "do_gather")
+        .collect();
+    assert!(!gather.is_empty(), "the algorithm switch must be flagged");
+    // The boundary sits between p=8 (index 1) and p=16 (index 2).
+    assert!(gather[0].boundaries.contains(&(1, 2)));
+    assert!(gather[0].params.contains(&"p".to_string()));
+}
+
+#[test]
+fn do_gather_costs_switch_regimes() {
+    // Quantitative check of the two regimes: the gather uses the linear
+    // path at p ≤ 8 and the collective beyond.
+    use pt_measure::{run_point, Filter, SweepPoint};
+    use pt_taint::PreparedModule;
+    let app = milc::build();
+    let prepared = PreparedModule::compute(&app.module);
+    let probe = Filter::None.probe_vector(&app.module, 0.0);
+    let mut times = Vec::new();
+    for p in [4i64, 8, 16, 32] {
+        let point = SweepPoint {
+            params: app.sweep_params(&[("nx", 32), ("p", p)]),
+            machine: pt_mpisim::MachineConfig::default().with_ranks(p as u32),
+        };
+        let prof = run_point(&app.module, &prepared, &app.entry, &point, &probe).unwrap();
+        times.push(prof.functions["do_gather"].inclusive);
+    }
+    // Small communicators pay 16 point-to-point messages; the collective
+    // path is cheaper right after the switch.
+    assert!(
+        times[1] > times[2],
+        "linear@p=8 ({}) vs tree@p=16 ({})",
+        times[1],
+        times[2]
+    );
+}
+
+#[test]
+fn never_visited_paths_expose_algorithm_selection() {
+    // §4.4: at a fixed p only one side of do_gather's algorithm-selection
+    // branch executes — the other side is a never-visited path.
+    let app = milc::build();
+    let cfg = PipelineConfig::with_mpi_defaults();
+    let a = analyze(
+        &app.module,
+        &app.entry,
+        app.sweep_params(&[("nx", 8), ("p", 4)]), // small communicator
+        &cfg,
+    )
+    .unwrap();
+    let dead = a.never_visited_paths(&app.module);
+    assert!(
+        dead.iter().any(|(f, _)| f == "do_gather"),
+        "the collective path must be unvisited at p=4: {dead:?}"
+    );
+    // At p=32 the linear path is dead instead — still flagged.
+    let a32 = analyze(
+        &app.module,
+        &app.entry,
+        app.sweep_params(&[("nx", 8), ("p", 32)]),
+        &cfg,
+    )
+    .unwrap();
+    let dead32 = a32.never_visited_paths(&app.module);
+    assert!(dead32.iter().any(|(f, _)| f == "do_gather"));
+}

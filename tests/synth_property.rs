@@ -1,0 +1,92 @@
+//! Property-based tests: over randomly generated loop-nest programs with
+//! known ground truth, the pipeline must recover exactly the dependency
+//! structure and the exact iteration counts (Claims 1–2 / Theorem 1 of the
+//! paper, checked mechanically).
+
+use perf_taint::{analyze, PipelineConfig};
+use proptest::prelude::*;
+use pt_apps::synth::{generate, SynthConfig};
+use pt_taint::ParamSet;
+
+fn run_synth(seed: u64, num_params: usize, num_kernels: usize) {
+    let values: Vec<i64> = (0..num_params).map(|k| 2 + (k as i64 + seed as i64) % 4).collect();
+    let cfg = SynthConfig {
+        seed,
+        num_params,
+        num_kernels,
+        max_depth: 3,
+        param_values: values.clone(),
+    };
+    let synth = generate(&cfg);
+    let pipeline_cfg = PipelineConfig::with_mpi_defaults();
+    let analysis = analyze(
+        &synth.app.module,
+        &synth.app.entry,
+        synth.app.taint_run_params(),
+        &pipeline_cfg,
+    )
+    .expect("analysis");
+
+    for (name, truth_masks) in &synth.truth {
+        let f = synth.app.module.function_by_name(name).unwrap();
+        let got = &analysis.deps[&f];
+        let truth: Vec<ParamSet> = truth_masks.iter().map(|&m| ParamSet(m)).collect();
+
+        // Soundness (Claim 1): every true monomial must be covered by some
+        // extracted monomial (the analysis may only over-approximate).
+        for t in &truth {
+            assert!(
+                got.monomials.iter().any(|g| g.is_superset(*t)),
+                "seed {seed}: {name} misses monomial {t:?}; got {:?}",
+                got.monomials
+            );
+        }
+        // Precision: no extracted monomial may use a parameter absent from
+        // the ground truth entirely.
+        let truth_params = truth.iter().fold(ParamSet::EMPTY, |a, m| a.union(*m));
+        for g in &got.monomials {
+            assert!(
+                truth_params.is_superset(*g),
+                "seed {seed}: {name} invents parameters: {g:?} vs {truth_params:?}"
+            );
+        }
+
+        // Exact iteration counts (the volume bound of Claim 2): total body
+        // iterations across the kernel equal the tree's arithmetic.
+        let tree = &synth.trees[name];
+        let expected = tree.body_iterations(&values);
+        let measured: u64 = analysis
+            .records
+            .loops_by_function()
+            .iter()
+            .filter(|((fid, _), _)| *fid == f)
+            .map(|(_, rec)| rec.iterations)
+            .sum();
+        assert_eq!(
+            measured, expected,
+            "seed {seed}: {name} iteration count mismatch"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pipeline_recovers_ground_truth(seed in 0u64..5000) {
+        run_synth(seed, 3, 3);
+    }
+
+    #[test]
+    fn pipeline_recovers_with_more_params(seed in 0u64..2000) {
+        run_synth(seed, 5, 2);
+    }
+}
+
+#[test]
+fn pipeline_recovers_many_fixed_seeds() {
+    // A deterministic sweep (wider than the proptest sample) for CI.
+    for seed in 0..40 {
+        run_synth(seed, 4, 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the taint runtime: label-table algebra
+//! (idempotent, commutative, associative semilattice with correct base
+//! sets) and determinism of the interpreter across repeated runs.
+
+use proptest::prelude::*;
+use pt_apps::synth::{generate, SynthConfig};
+use pt_mpisim::{MachineConfig, MpiHandler};
+use pt_taint::{InterpConfig, Interpreter, Label, LabelTable, ParamSet, PreparedModule};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Union over arbitrary sequences of base labels behaves as set union.
+    #[test]
+    fn label_union_is_a_semilattice(ops in proptest::collection::vec(0usize..8, 1..40)) {
+        let mut t = LabelTable::new();
+        let bases: Vec<Label> = (0..8).map(|i| t.base_label(&format!("q{i}"))).collect();
+
+        // Fold left and fold right must agree with the set semantics.
+        let mut acc_l = Label::EMPTY;
+        for &i in &ops {
+            acc_l = t.union(acc_l, bases[i]);
+        }
+        let mut acc_r = Label::EMPTY;
+        for &i in ops.iter().rev() {
+            acc_r = t.union(bases[i], acc_r);
+        }
+        let expect = ops.iter().fold(ParamSet::EMPTY, |a, &i| a.union(ParamSet::single(i)));
+        prop_assert_eq!(t.params_of(acc_l), expect);
+        prop_assert_eq!(t.params_of(acc_r), expect);
+
+        // Idempotence: unioning the result with itself allocates nothing.
+        let before = t.len();
+        let again = t.union(acc_l, acc_l);
+        prop_assert_eq!(again, acc_l);
+        prop_assert_eq!(t.len(), before);
+
+        // Subsumption: result ∪ any operand = result.
+        for &i in &ops {
+            prop_assert_eq!(t.union(acc_l, bases[i]), acc_l);
+        }
+
+        // The tree walk agrees with the memoized bitset.
+        let walked = t.base_labels_of(acc_l);
+        prop_assert_eq!(walked.len(), expect.len());
+    }
+
+    /// Two interpreters over the same program and inputs produce identical
+    /// clocks, instruction counts, records, and profiles.
+    #[test]
+    fn interpreter_is_deterministic(seed in 0u64..2000) {
+        let cfg = SynthConfig {
+            seed,
+            num_params: 3,
+            num_kernels: 3,
+            max_depth: 3,
+            param_values: vec![3, 4, 5],
+        };
+        let synth = generate(&cfg);
+        let prepared = PreparedModule::compute(&synth.app.module);
+        let run = || {
+            let handler = MpiHandler::new(MachineConfig::default().with_ranks(4));
+            Interpreter::new(
+                &synth.app.module,
+                &prepared,
+                handler,
+                synth.app.taint_run_params(),
+                InterpConfig::default(),
+            )
+            .run_named("main", &[])
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.insts, b.insts);
+        prop_assert!((a.time - b.time).abs() < 1e-18);
+        prop_assert_eq!(a.records.loops.len(), b.records.loops.len());
+        for (k, ra) in &a.records.loops {
+            let rb = &b.records.loops[k];
+            prop_assert_eq!(ra.iterations, rb.iterations);
+            prop_assert_eq!(ra.params, rb.params);
+        }
+        prop_assert_eq!(a.profile.entries.len(), b.profile.entries.len());
+        prop_assert!((a.profile.total_exclusive() - b.profile.total_exclusive()).abs() < 1e-18);
+    }
+
+    /// Exclusive times always partition the wall clock, and inclusive ≥
+    /// exclusive per entry.
+    #[test]
+    fn profile_time_accounting(seed in 0u64..2000) {
+        let cfg = SynthConfig {
+            seed,
+            num_params: 2,
+            num_kernels: 4,
+            max_depth: 3,
+            param_values: vec![4, 5],
+        };
+        let synth = generate(&cfg);
+        let prepared = PreparedModule::compute(&synth.app.module);
+        let handler = MpiHandler::new(MachineConfig::default().with_ranks(4));
+        let out = Interpreter::new(
+            &synth.app.module,
+            &prepared,
+            handler,
+            synth.app.taint_run_params(),
+            InterpConfig::default(),
+        )
+        .run_named("main", &[])
+        .unwrap();
+        let total_excl = out.profile.total_exclusive();
+        prop_assert!(
+            (total_excl - out.time).abs() < 1e-12 * out.time.max(1.0),
+            "exclusive sum {total_excl} vs wall {}", out.time
+        );
+        for e in out.profile.entries.values() {
+            prop_assert!(e.inclusive >= e.exclusive - 1e-15);
+            prop_assert!(e.calls > 0);
+        }
+    }
+}
+
+#[test]
+fn label_table_capacity_is_dfsan_like() {
+    // The union-tree design must comfortably host big workloads: run many
+    // distinct union patterns and stay far below the 2^16 ceiling.
+    let mut t = LabelTable::new();
+    let bases: Vec<Label> = (0..16).map(|i| t.base_label(&format!("q{i}"))).collect();
+    for i in 0..16 {
+        for j in 0..16 {
+            let a = t.union(bases[i], bases[j]);
+            for k in 0..16 {
+                let _ = t.union(a, bases[k]);
+            }
+        }
+    }
+    assert!(t.len() < 4096, "table size {}", t.len());
+}
