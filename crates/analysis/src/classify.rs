@@ -79,9 +79,9 @@ impl StaticClassification {
 
     /// Total and constant-trip loop counts over the whole module.
     pub fn module_loop_totals(&self) -> (usize, usize) {
-        self.loop_stats.iter().fold((0, 0), |(t, c), s| {
-            (t + s.total, c + s.constant_trip)
-        })
+        self.loop_stats
+            .iter()
+            .fold((0, 0), |(t, c), s| (t + s.total, c + s.constant_trip))
     }
 }
 
@@ -113,7 +113,7 @@ pub fn classify_module(
             total,
             constant_trip,
         };
-        if trips.iter().any(|t| *t == TripCount::Unknown) {
+        if trips.contains(&TripCount::Unknown) {
             local_reasons[fid.index()].push(KeepReason::NonConstantLoop);
         }
         if !forest.irreducible.is_empty() {
@@ -150,8 +150,7 @@ pub fn classify_module(
             // Within an SCC the callee may be unresolved; recursion reasons
             // already keep both sides.
             if let Some(FunctionClass::PotentiallyParametric(_)) = &classes[callee.index()] {
-                let reason =
-                    KeepReason::ParametricCallee(module.function(callee).name.clone());
+                let reason = KeepReason::ParametricCallee(module.function(callee).name.clone());
                 if !reasons.contains(&reason) {
                     reasons.push(reason);
                 }
@@ -303,11 +302,8 @@ mod tests {
         let kernel = m.add_function(b.finish());
         let mut prev = kernel;
         for i in 0..5 {
-            let mut b = FunctionBuilder::new(
-                format!("w{i}"),
-                vec![("n".into(), Type::I64)],
-                Type::Void,
-            );
+            let mut b =
+                FunctionBuilder::new(format!("w{i}"), vec![("n".into(), Type::I64)], Type::Void);
             b.call(prev, vec![b.param(0)], Type::Void);
             b.ret(None);
             prev = m.add_function(b.finish());

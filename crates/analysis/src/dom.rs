@@ -78,10 +78,7 @@ impl DomTree {
         post.reverse();
         let preds_fn = |b: BlockId| -> Vec<BlockId> { rev_preds[b.index()].clone() };
         let tree = Self::compute(n + 1, virtual_exit, &post, preds_fn);
-        PostDomTree {
-            tree,
-            virtual_exit,
-        }
+        PostDomTree { tree, virtual_exit }
     }
 
     fn compute(

@@ -15,9 +15,7 @@ use pt_ir::{BlockId, Function};
 use serde::{Deserialize, Serialize};
 
 /// Index of a loop within a [`LoopForest`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LoopId(pub u32);
 
 impl LoopId {
@@ -169,7 +167,7 @@ impl LoopForest {
                 }
                 if cand.contains(header) && cand.blocks.len() > loops[i].blocks.len() {
                     let size = cand.blocks.len();
-                    if best.map_or(true, |(_, s)| size < s) {
+                    if best.is_none_or(|(_, s)| size < s) {
                         best = Some((j, size));
                     }
                 }

@@ -109,8 +109,7 @@ pub fn loop_trip_count(func: &Function, forest: &LoopForest, loop_id: LoopId) ->
     };
     let step = match &func.inst(next_inst).kind {
         InstKind::Bin { op, lhs, rhs } => {
-            let uses_iv =
-                *lhs == Value::Inst(iv_inst) || *rhs == Value::Inst(iv_inst);
+            let uses_iv = *lhs == Value::Inst(iv_inst) || *rhs == Value::Inst(iv_inst);
             if !uses_iv {
                 return TripCount::Unknown;
             }
@@ -175,12 +174,8 @@ fn trip_count_from_range(init: i64, bound: i64, step: i64, pred: CmpPred) -> Tri
         CmpPred::Le if step > 0 => TripCount::Constant(count_up(bound - init + 1, step)),
         CmpPred::Gt if step < 0 => TripCount::Constant(count_up(init - bound, -step)),
         CmpPred::Ge if step < 0 => TripCount::Constant(count_up(init - bound + 1, -step)),
-        CmpPred::Ne if step == 1 && bound >= init => {
-            TripCount::Constant((bound - init) as u64)
-        }
-        CmpPred::Ne if step == -1 && init >= bound => {
-            TripCount::Constant((init - bound) as u64)
-        }
+        CmpPred::Ne if step == 1 && bound >= init => TripCount::Constant((bound - init) as u64),
+        CmpPred::Ne if step == -1 && init >= bound => TripCount::Constant((init - bound) as u64),
         // Wrong-direction or potentially non-terminating combinations.
         _ => TripCount::Unknown,
     }
@@ -294,6 +289,9 @@ mod tests {
             TripCount::Constant(5)
         );
         // Wrong-direction loop never terminates statically: Unknown.
-        assert_eq!(trip_count_from_range(0, 5, -1, CmpPred::Lt), TripCount::Unknown);
+        assert_eq!(
+            trip_count_from_range(0, 5, -1, CmpPred::Lt),
+            TripCount::Unknown
+        );
     }
 }

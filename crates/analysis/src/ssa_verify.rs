@@ -78,15 +78,14 @@ pub fn verify_ssa(func: &Function) -> Result<(), Vec<SsaViolation>> {
         if let Some(term) = &block.term {
             let use_pos = block.insts.len();
             match term {
-                Terminator::CondBr { cond, .. } => {
-                    if let Value::Inst(def) = cond {
-                        check_use(*def, bid, use_pos, None, &mut violations);
-                    }
+                Terminator::CondBr {
+                    cond: Value::Inst(def),
+                    ..
+                } => {
+                    check_use(*def, bid, use_pos, None, &mut violations);
                 }
-                Terminator::Ret(Some(v)) => {
-                    if let Value::Inst(def) = v {
-                        check_use(*def, bid, use_pos, None, &mut violations);
-                    }
+                Terminator::Ret(Some(Value::Inst(def))) => {
+                    check_use(*def, bid, use_pos, None, &mut violations);
                 }
                 _ => {}
             }

@@ -173,7 +173,11 @@ pub fn add_elem_math(
         let ivf = b.un(pt_ir::UnOp::IntToFloat, iv);
         let nxt = b.add(cur, ivf);
         b.store(acc, nxt);
-        b.call_external("pt_work_flops", vec![Value::int(flops_per_trip)], Type::Void);
+        b.call_external(
+            "pt_work_flops",
+            vec![Value::int(flops_per_trip)],
+            Type::Void,
+        );
     });
     let out = b.load(acc, Type::F64);
     b.ret(Some(out));
@@ -270,10 +274,7 @@ mod tests {
             name: "t".into(),
             module: Module::new("t"),
             entry: "main".into(),
-            params: vec![
-                ParamSpec::new("size", 5, 30),
-                ParamSpec::new("p", 8, 8),
-            ],
+            params: vec![ParamSpec::new("size", 5, 30), ParamSpec::new("p", 8, 8)],
             model_params: vec!["p".into(), "size".into()],
         };
         assert_eq!(

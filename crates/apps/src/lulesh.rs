@@ -23,9 +23,9 @@
 //! 3 = cost, 4 = iters, 5 = p (implicit, sourced by `MPI_Comm_size`).
 
 use crate::common::{
-    add_dead_parametric, add_elem_math, add_field_accumulator, add_field_getter,
-    add_field_setter, add_iarray_getter, add_iarray_setter, add_scalar_getter,
-    add_scalar_setter, add_tiny_helper, AppSpec, ParamSpec,
+    add_dead_parametric, add_elem_math, add_field_accumulator, add_field_getter, add_field_setter,
+    add_iarray_getter, add_iarray_setter, add_scalar_getter, add_scalar_setter, add_tiny_helper,
+    AppSpec, ParamSpec,
 };
 use pt_ir::{BinOp, CmpPred, FunctionBuilder, FunctionId, Module, Type, Value};
 use std::collections::HashMap;
@@ -46,8 +46,30 @@ const FIELD0: i64 = 16;
 
 /// Nodal/element fields of the Domain, in slot order.
 const FIELDS: &[&str] = &[
-    "x", "y", "z", "xd", "yd", "zd", "xdd", "ydd", "zdd", "fx", "fy", "fz", "e", "pres", "q",
-    "ql", "qq", "v", "volo", "delv", "ss", "arealg", "elemMass", "nodalMass",
+    "x",
+    "y",
+    "z",
+    "xd",
+    "yd",
+    "zd",
+    "xdd",
+    "ydd",
+    "zdd",
+    "fx",
+    "fy",
+    "fz",
+    "e",
+    "pres",
+    "q",
+    "ql",
+    "qq",
+    "v",
+    "volo",
+    "delv",
+    "ss",
+    "arealg",
+    "elemMass",
+    "nodalMass",
 ];
 
 fn field_slot(name: &str) -> i64 {
@@ -250,10 +272,7 @@ pub fn build() -> AppSpec {
     }
     for f in ["fx", "fy", "fz", "xd", "yd", "zd", "e", "q"] {
         let name = format!("Domain_add_{f}");
-        reg.put(
-            &name,
-            add_field_accumulator(&mut m, &name, field_slot(f)),
-        );
+        reg.put(&name, add_field_accumulator(&mut m, &name, field_slot(f)));
     }
     for (name, slot) in [
         ("Domain_numElem", NUM_ELEM),
@@ -389,8 +408,7 @@ pub fn build() -> AppSpec {
         reg.put("CommSBN", id);
     }
     {
-        let mut b =
-            FunctionBuilder::new("CommReduceDt", vec![("d".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new("CommReduceDt", vec![("d".into(), Type::Ptr)], Type::Void);
         b.call_external("MPI_Allreduce", vec![Value::int(1)], Type::Void);
         b.ret(None);
         let id = m.add_function(b.finish());
@@ -898,7 +916,10 @@ pub fn build() -> AppSpec {
         &mut m,
         &mut reg,
         "CalcTimeConstraintsForElems",
-        &["CalcCourantConstraintForElems", "CalcHydroConstraintForElems"],
+        &[
+            "CalcCourantConstraintForElems",
+            "CalcHydroConstraintForElems",
+        ],
     );
     add_counted_kernel(
         &mut m,

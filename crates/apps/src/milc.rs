@@ -180,8 +180,18 @@ pub fn build() -> AppSpec {
         reg.put(&site, add_tiny_helper(&mut m, &site, 4));
     }
     for c in [
-        "cadd", "csub", "cmul", "cdiv", "conjg", "cexp", "clog", "csqrt", "cmplx", "ce_itheta",
-        "cmul_j", "cnegate",
+        "cadd",
+        "csub",
+        "cmul",
+        "cdiv",
+        "conjg",
+        "cexp",
+        "clog",
+        "csqrt",
+        "cmplx",
+        "ce_itheta",
+        "cmul_j",
+        "cnegate",
     ] {
         reg.put(c, add_tiny_helper(&mut m, c, 2));
     }
@@ -361,8 +371,7 @@ pub fn build() -> AppSpec {
     {
         // setup_layout: find the per-dimension decomposition of p — a loop
         // whose trip count depends on the implicit parameter (Table 3 `p`).
-        let mut b =
-            FunctionBuilder::new("setup_layout", vec![("d".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new("setup_layout", vec![("d".into(), Type::Ptr)], Type::Void);
         let d = b.param(0);
         let p = b.call(reg.get("lattice_p"), vec![d], Type::I64);
         let t = b.alloca(1i64);
@@ -387,7 +396,14 @@ pub fn build() -> AppSpec {
         reg.put("setup_layout", id);
     }
     add_site_kernel(&mut m, &mut reg, "make_lattice", 72, 32, Some("node_index"));
-    add_site_kernel(&mut m, &mut reg, "make_nn_gathers", 48, 16, Some("neighbor_coords_special"));
+    add_site_kernel(
+        &mut m,
+        &mut reg,
+        "make_nn_gathers",
+        48,
+        16,
+        Some("neighbor_coords_special"),
+    );
     add_site_kernel(&mut m, &mut reg, "coordinate_fill", 36, 16, None);
     add_site_kernel(&mut m, &mut reg, "set_lattice_fields", 48, 48, None);
     // The numerical parameters flow into field *data* here — never into
@@ -418,10 +434,24 @@ pub fn build() -> AppSpec {
         reg.put("initialize_fields", id);
     }
     add_site_kernel(&mut m, &mut reg, "rephase", 36, 32, None);
-    add_site_kernel(&mut m, &mut reg, "grsource_imp", 96, 32, Some("gaussian_rand_no"));
+    add_site_kernel(
+        &mut m,
+        &mut reg,
+        "grsource_imp",
+        96,
+        32,
+        Some("gaussian_rand_no"),
+    );
 
     // Link smearing (asqtad): fat and long links.
-    add_site_kernel(&mut m, &mut reg, "compute_gen_staple", 288, 80, Some("mult_su3_nn"));
+    add_site_kernel(
+        &mut m,
+        &mut reg,
+        "compute_gen_staple",
+        288,
+        80,
+        Some("mult_su3_nn"),
+    );
     {
         let mut b =
             FunctionBuilder::new("load_fatlinks", vec![("d".into(), Type::Ptr)], Type::Void);
@@ -433,7 +463,14 @@ pub fn build() -> AppSpec {
         let id = m.add_function(b.finish());
         reg.put("load_fatlinks", id);
     }
-    add_site_kernel(&mut m, &mut reg, "path_product", 216, 64, Some("mult_su3_na"));
+    add_site_kernel(
+        &mut m,
+        &mut reg,
+        "path_product",
+        216,
+        64,
+        Some("mult_su3_na"),
+    );
     {
         let mut b =
             FunctionBuilder::new("load_longlinks", vec![("d".into(), Type::Ptr)], Type::Void);
@@ -448,16 +485,17 @@ pub fn build() -> AppSpec {
 
     // Dslash: gathers + per-site su3 matrix-vector products (memory-bound).
     {
-        let mut b = FunctionBuilder::new(
-            "dslash_fn_field",
-            vec![("d".into(), Type::Ptr)],
-            Type::Void,
-        );
+        let mut b =
+            FunctionBuilder::new("dslash_fn_field", vec![("d".into(), Type::Ptr)], Type::Void);
         let d = b.param(0);
         b.call(reg.get("start_gather_site"), vec![d], Type::Void);
         b.call(reg.get("start_gather_field"), vec![d], Type::Void);
         let sites = b.call(reg.get("lattice_sites"), vec![d], Type::I64);
-        b.call(reg.get("mult_su3_mat_vec_sum_4dir"), vec![Value::float(1.0)], Type::F64);
+        b.call(
+            reg.get("mult_su3_mat_vec_sum_4dir"),
+            vec![Value::float(1.0)],
+            Type::F64,
+        );
         b.for_loop(0i64, sites, 1i64, |b, _| {
             b.call_external("pt_work_flops", vec![Value::int(1146)], Type::Void);
             b.call_external("pt_work_mem", vec![Value::int(180)], Type::Void);
@@ -491,8 +529,7 @@ pub fn build() -> AppSpec {
     // ks_congrad: the CG solver — `niter` iterations of dslash + vector ops
     // + a global residual reduction.
     {
-        let mut b =
-            FunctionBuilder::new("ks_congrad", vec![("d".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new("ks_congrad", vec![("d".into(), Type::Ptr)], Type::Void);
         let d = b.param(0);
         let niter = b.call(reg.get("lattice_niter"), vec![d], Type::I64);
         b.call(reg.get("clear_latvec"), vec![d], Type::Void);
@@ -512,7 +549,14 @@ pub fn build() -> AppSpec {
     }
 
     // Forces and field updates.
-    add_site_kernel(&mut m, &mut reg, "imp_gauge_force", 480, 128, Some("mult_su3_nn"));
+    add_site_kernel(
+        &mut m,
+        &mut reg,
+        "imp_gauge_force",
+        480,
+        128,
+        Some("mult_su3_nn"),
+    );
     add_site_kernel(
         &mut m,
         &mut reg,
@@ -529,7 +573,14 @@ pub fn build() -> AppSpec {
         18,
         Some("su3_projector"),
     );
-    add_site_kernel(&mut m, &mut reg, "update_u", 240, 80, Some("scalar_mult_add_su3_matrix"));
+    add_site_kernel(
+        &mut m,
+        &mut reg,
+        "update_u",
+        240,
+        80,
+        Some("scalar_mult_add_su3_matrix"),
+    );
     {
         let mut b = FunctionBuilder::new("update_h", vec![("d".into(), Type::Ptr)], Type::Void);
         let d = b.param(0);
@@ -549,7 +600,14 @@ pub fn build() -> AppSpec {
         reg.put("update_h", id);
     }
     add_site_kernel(&mut m, &mut reg, "reunitarize", 168, 64, Some("reunit_su3"));
-    add_site_kernel(&mut m, &mut reg, "check_unitarity", 120, 32, Some("realtrace_su3"));
+    add_site_kernel(
+        &mut m,
+        &mut reg,
+        "check_unitarity",
+        120,
+        32,
+        Some("realtrace_su3"),
+    );
 
     // Measurements.
     {
@@ -806,9 +864,17 @@ mod tests {
             .functions
             .iter()
             .filter(|f| {
-                ["wilson_", "hybrid_", "io_lat_", "meson_", "baryon_", "heatbath_", "ape_smear_"]
-                    .iter()
-                    .any(|p| f.name.starts_with(p))
+                [
+                    "wilson_",
+                    "hybrid_",
+                    "io_lat_",
+                    "meson_",
+                    "baryon_",
+                    "heatbath_",
+                    "ape_smear_",
+                ]
+                .iter()
+                .any(|p| f.name.starts_with(p))
             })
             .count();
         assert_eq!(dead_count, 188);

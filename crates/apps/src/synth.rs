@@ -123,7 +123,7 @@ impl Default for SynthConfig {
 
 fn gen_tree(rng: &mut StdRng, cfg: &SynthConfig, depth: usize) -> LoopTree {
     if depth >= cfg.max_depth || rng.random_range(0..4) == 0 {
-        return LoopTree::Work(1 + rng.random_range(0..8));
+        return LoopTree::Work(1 + rng.random_range(0..8i64));
     }
     let nchildren = rng.random_range(1..=2usize);
     let children: Vec<LoopTree> = (0..nchildren)
@@ -172,10 +172,7 @@ pub fn generate(cfg: &SynthConfig) -> SynthApp {
     for kid in 0..cfg.num_kernels {
         let name = format!("kernel_{kid}");
         let tree = gen_tree(&mut rng, cfg, 0);
-        let sig: Vec<(String, Type)> = param_names
-            .iter()
-            .map(|n| (n.clone(), Type::I64))
-            .collect();
+        let sig: Vec<(String, Type)> = param_names.iter().map(|n| (n.clone(), Type::I64)).collect();
         let mut b = FunctionBuilder::new(&name, sig, Type::Void);
         emit_tree(&mut b, &tree);
         b.ret(None);
@@ -221,10 +218,7 @@ mod tests {
     #[test]
     fn monomials_of_known_trees() {
         // for i < q0 { for j < q1 { W } }; for k < q2 { W }
-        let t = LoopTree::Param(
-            0,
-            vec![LoopTree::Param(1, vec![LoopTree::Work(1)])],
-        );
+        let t = LoopTree::Param(0, vec![LoopTree::Param(1, vec![LoopTree::Work(1)])]);
         assert_eq!(t.monomials(), vec![0b01, 0b11]);
         let seq = LoopTree::Const(
             1,

@@ -3,9 +3,7 @@
 //! is faster than black-box modeling as well as more accurate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pt_extrap::{
-    fit_multi_param, fit_single_param, MeasurementSet, Restriction, SearchSpace,
-};
+use pt_extrap::{fit_multi_param, fit_single_param, MeasurementSet, Restriction, SearchSpace};
 use std::hint::black_box;
 
 fn single_param_data() -> (Vec<f64>, Vec<f64>) {

@@ -56,7 +56,7 @@ fn bench_taint_run(c: &mut Criterion) {
     let mut g = c.benchmark_group("taint_run");
     g.sample_size(10);
     g.bench_function("lulesh_representative_size5", |b| {
-        b.iter(|| pt_bench::analyze_app(black_box(&app)));
+        b.iter(|| pt_bench::try_analyze_app(black_box(&app)).unwrap());
     });
     g.finish();
 }

@@ -6,12 +6,12 @@
 //! reports the LULESH `iters` insight: a parameter that only multiplies the
 //! whole computation linearly can be fixed, reducing dimensionality.
 
-use perf_taint::design_experiments;
 use perf_taint::report::render_design;
-use pt_bench::analyze_app;
+use perf_taint::{design_experiments, PtError, SessionBuilder};
+use pt_bench::try_analyze_app;
 
 /// The paper's §A2 example: `foo` with two *sequential* loops over p and s.
-fn papers_foo_example() {
+fn papers_foo_example() -> Result<(), PtError> {
     use pt_ir::{FunctionBuilder, Module, Type, Value};
     let mut m = Module::new("a2-foo");
     let mut b = FunctionBuilder::new("main", vec![], Type::Void);
@@ -26,14 +26,8 @@ fn papers_foo_example() {
     b.ret(None);
     m.add_function(b.finish());
 
-    let cfg = perf_taint::PipelineConfig::with_mpi_defaults();
-    let analysis = perf_taint::analyze(
-        &m,
-        "main",
-        vec![("p".into(), 4), ("s".into(), 5)],
-        &cfg,
-    )
-    .expect("analysis");
+    let session = SessionBuilder::new(&m, "main").build();
+    let analysis = session.taint_run(vec![("p".into(), 4), ("s".into(), 5)])?;
     let params = vec!["p".to_string(), "s".to_string()];
     let global = analysis.global_deps(&params);
     println!("== the paper's foo(p, s) example (two sequential loops) ==\n");
@@ -42,15 +36,16 @@ fn papers_foo_example() {
         "{}",
         render_design(&design_experiments(&global, &params, &[5, 5]))
     );
+    Ok(())
 }
 
-fn main() {
-    papers_foo_example();
+fn main() -> Result<(), PtError> {
+    papers_foo_example()?;
 
     // LULESH over (p, size): the halo exchange's count argument couples
     // size with p multiplicatively; compute kernels are size-only.
     let app = pt_apps::lulesh::build();
-    let analysis = analyze_app(&app);
+    let analysis = try_analyze_app(&app)?;
 
     println!("== mini-lulesh ==\n");
     for params in [
@@ -69,7 +64,10 @@ fn main() {
             global.render(&names)
         );
         let values = vec![5; params.len()];
-        println!("{}", render_design(&design_experiments(&global, &params, &values)));
+        println!(
+            "{}",
+            render_design(&design_experiments(&global, &params, &values))
+        );
     }
 
     // The iters insight: iters multiplies everything (it appears in every
@@ -92,7 +90,7 @@ fn main() {
     // MILC over (p, nx): local volume = nx·ny·nz·nt/p makes nearly all site
     // loops multiplicative in (nx, p) — no additive shortcut exists.
     let app = pt_apps::milc::build();
-    let analysis = analyze_app(&app);
+    let analysis = try_analyze_app(&app)?;
     println!("== mini-milc ==\n");
     let params = vec!["p".to_string(), "nx".to_string()];
     let global = analysis.global_deps(&params);
@@ -100,7 +98,11 @@ fn main() {
         "  dependency structure over {params:?}: {}",
         global.render(&params)
     );
-    println!("{}", render_design(&design_experiments(&global, &params, &[5, 5])));
+    println!(
+        "{}",
+        render_design(&design_experiments(&global, &params, &[5, 5]))
+    );
     println!("Paper shape: additive structures collapse the design (9 vs 25);");
     println!("multiplicative couplings (MILC's volume/p) need the full grid.");
+    Ok(())
 }

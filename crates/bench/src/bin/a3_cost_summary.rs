@@ -7,11 +7,11 @@
 //! hours. The saving follows the instrumentation overhead: enormous for
 //! accessor-heavy C++, moderate for C.
 
+use perf_taint::PtError;
 use pt_bench::*;
 use pt_measure::{total_core_hours, Filter};
-use pt_taint::PreparedModule;
 
-fn main() {
+fn main() -> Result<(), PtError> {
     println!("§A3 — experiment cost in (simulated) core-hours\n");
     for (app, size_name, sizes, ranks, extra) in [
         (
@@ -29,15 +29,19 @@ fn main() {
             vec![],
         ),
     ] {
-        let analysis = analyze_app(&app);
-        let prepared = PreparedModule::compute(&app.module);
+        let analysis = try_analyze_app(&app)?;
+        // The session already computed the static facts; reuse them.
+        let prepared = analysis.prepared();
         let points = grid(&app, size_name, &sizes, &ranks, &extra);
 
-        let full = run_filtered(&app, &prepared, &points, &Filter::Full, threads());
+        let full = run_filtered(&app, prepared, &points, &Filter::Full, threads());
         let filter = Filter::TaintBased {
-            relevant: analysis.relevant_functions(&app.module).into_iter().collect(),
+            relevant: analysis
+                .relevant_functions(&app.module)
+                .into_iter()
+                .collect(),
         };
-        let selective = run_filtered(&app, &prepared, &points, &filter, threads());
+        let selective = run_filtered(&app, prepared, &points, &filter, threads());
 
         let full_ch = total_core_hours(&full);
         let sel_ch = total_core_hours(&selective);
@@ -53,4 +57,5 @@ fn main() {
     }
     println!("Paper shape: LULESH −97.3% (20483→547 h), MILC −13.4% (364→321 h);");
     println!("taint-analysis cost (1 h / 16 h) amortizes immediately.");
+    Ok(())
 }

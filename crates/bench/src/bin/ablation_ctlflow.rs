@@ -6,10 +6,10 @@
 //! harness runs the taint analysis under all three policies and reports the
 //! dependency structures of the §5.2 kernels.
 
-use perf_taint::pipeline::{analyze, PipelineConfig};
+use perf_taint::{PipelineConfig, PtError, SessionBuilder};
 use pt_taint::CtlFlowPolicy;
 
-fn main() {
+fn main() -> Result<(), PtError> {
     let app = pt_apps::lulesh::build();
     println!("Ablation — control-flow taint policy (mini-LULESH)\n");
     let kernels = [
@@ -18,11 +18,17 @@ fn main() {
         "EvalEOSForElems",
         "SetupRegionIndexSet",
     ];
-    for policy in [CtlFlowPolicy::Off, CtlFlowPolicy::StoresOnly, CtlFlowPolicy::All] {
+    for policy in [
+        CtlFlowPolicy::Off,
+        CtlFlowPolicy::StoresOnly,
+        CtlFlowPolicy::All,
+    ] {
         let mut cfg = PipelineConfig::with_mpi_defaults();
         cfg.interp.policy = policy;
-        let analysis = analyze(&app.module, &app.entry, app.taint_run_params(), &cfg)
-            .expect("taint run");
+        let session = SessionBuilder::new(&app.module, &app.entry)
+            .config(cfg)
+            .build();
+        let analysis = session.taint_run(app.taint_run_params())?;
         println!("policy {policy:?}:");
         for k in kernels {
             let f = app.module.function_by_name(k).unwrap();
@@ -45,4 +51,5 @@ fn main() {
     }
     println!("Paper: the DataFlowSanitizer extension (policy All / StoresOnly) is");
     println!("necessary to capture real-world dependencies like regElemSize.");
+    Ok(())
 }

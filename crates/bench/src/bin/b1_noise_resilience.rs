@@ -11,23 +11,30 @@
 //! with the manually established ground truth.
 
 use perf_taint::report::render_models;
-use perf_taint::{compare_against_truth, model_functions};
+use perf_taint::{compare_against_truth, model_functions, PtError};
 use pt_bench::*;
 use pt_extrap::SearchSpace;
 use pt_measure::{function_sets, Filter, NoiseModel};
-use pt_taint::PreparedModule;
 
-fn main() {
+fn main() -> Result<(), PtError> {
     let app = pt_apps::lulesh::build();
-    let analysis = analyze_app(&app);
-    let prepared = PreparedModule::compute(&app.module);
+    let analysis = try_analyze_app(&app)?;
     let model_params = vec!["p".to_string(), "size".to_string()];
 
-    let points = grid(&app, "size", &lulesh_sizes(), &lulesh_ranks(), &[("iters", 2)]);
+    let points = grid(
+        &app,
+        "size",
+        &lulesh_sizes(),
+        &lulesh_ranks(),
+        &[("iters", 2)],
+    );
     let filter = Filter::TaintBased {
-        relevant: analysis.relevant_functions(&app.module).into_iter().collect(),
+        relevant: analysis
+            .relevant_functions(&app.module)
+            .into_iter()
+            .collect(),
     };
-    let profiles = run_filtered(&app, &prepared, &points, &filter, threads());
+    let profiles = run_filtered(&app, analysis.prepared(), &points, &filter, threads());
     let sets = function_sets(&profiles, &model_params, REPS, &NoiseModel::CLUSTER, SEED);
     println!(
         "§B1 — modeling {} functions from {} points × {} repetitions (noise: 2% rel + 2µs floor)",
@@ -82,4 +89,5 @@ fn main() {
     println!("Paper shape: black-box overfits short/constant functions; the hybrid");
     println!("modeler eliminates every false dependency and matches ground truth");
     println!("on reliable (CV ≤ 0.1) kernels.");
+    Ok(())
 }

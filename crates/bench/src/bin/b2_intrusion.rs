@@ -8,18 +8,14 @@
 //! `3e-3·p^0.5 + 1e-5·size³`, and the default Score-P filter does not
 //! instrument the function at all (false negative).
 
+use perf_taint::PtError;
 use pt_bench::*;
 use pt_extrap::{fit_multi_param, MeasurementSet, SearchSpace};
 use pt_measure::{Filter, NoiseModel, PointProfile};
-use pt_taint::PreparedModule;
 
 const TARGET: &str = "CalcQForElems";
 
-fn set_for(
-    profiles: &[PointProfile],
-    model_params: &[String],
-    inclusive: bool,
-) -> MeasurementSet {
+fn set_for(profiles: &[PointProfile], model_params: &[String], inclusive: bool) -> MeasurementSet {
     let mut set = MeasurementSet::new(model_params.to_vec());
     for prof in profiles {
         let coords: Vec<f64> = model_params
@@ -37,18 +33,27 @@ fn set_for(
     set
 }
 
-fn main() {
+fn main() -> Result<(), PtError> {
     let app = pt_apps::lulesh::build();
-    let analysis = analyze_app(&app);
-    let prepared = PreparedModule::compute(&app.module);
+    let analysis = try_analyze_app(&app)?;
+    let prepared = analysis.prepared();
     let model_params = vec!["p".to_string(), "size".to_string()];
-    let points = grid(&app, "size", &lulesh_sizes(), &lulesh_ranks(), &[("iters", 2)]);
+    let points = grid(
+        &app,
+        "size",
+        &lulesh_sizes(),
+        &lulesh_ranks(),
+        &[("iters", 2)],
+    );
 
     let selective_filter = Filter::TaintBased {
-        relevant: analysis.relevant_functions(&app.module).into_iter().collect(),
+        relevant: analysis
+            .relevant_functions(&app.module)
+            .into_iter()
+            .collect(),
     };
-    let full = run_filtered(&app, &prepared, &points, &Filter::Full, threads());
-    let selective = run_filtered(&app, &prepared, &points, &selective_filter, threads());
+    let full = run_filtered(&app, prepared, &points, &Filter::Full, threads());
+    let selective = run_filtered(&app, prepared, &points, &selective_filter, threads());
 
     println!("§B2 — instrumentation intrusion on {TARGET} (inclusive time)\n");
     let space = SearchSpace::default();
@@ -74,11 +79,10 @@ fn main() {
     println!("\n  full-instrumentation measurements are ×{ratio:.0} the selective ones");
     let full_p = models[0].1.model.uses_param(0);
     let sel_p = models[1].1.model.uses_param(0);
-    println!(
-        "  model contains the communication p-term: full={full_p}  selective={sel_p}"
-    );
-    if full_p != sel_p || models[0].1.model.has_multiplicative_term()
-        != models[1].1.model.has_multiplicative_term()
+    println!("  model contains the communication p-term: full={full_p}  selective={sel_p}");
+    if full_p != sel_p
+        || models[0].1.model.has_multiplicative_term()
+            != models[1].1.model.has_multiplicative_term()
     {
         println!("  → the models differ qualitatively: probe cost (∝ accessor calls ∝ size³)");
         println!("    swamps the physical p-dependent communication component.");
@@ -98,4 +102,5 @@ fn main() {
     println!("\nPaper shape: full instrumentation inflates runtimes ~2 orders of");
     println!("magnitude on C++ code and flips CalcQForElems' model; the filtered");
     println!("model is validated by prior studies.");
+    Ok(())
 }

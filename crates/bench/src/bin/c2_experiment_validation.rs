@@ -8,30 +8,28 @@
 //! shows both sides executing within the modeling domain — a warning that
 //! the design must be split at the boundary.
 
-use perf_taint::pipeline::{analyze, PipelineConfig};
 use perf_taint::report::render_segmentation;
 use perf_taint::validate::detect_segmentation;
+use perf_taint::PtError;
 use pt_bench::*;
 use pt_extrap::{fit_single_param, SearchSpace};
 use pt_measure::{run_point, Filter, SweepPoint};
-use pt_taint::PreparedModule;
 
-fn main() {
+fn main() -> Result<(), PtError> {
     let app = pt_apps::milc::build();
     let ranks = milc_ranks();
 
-    // Coverage runs: one (cheap) taint/coverage run per rank count.
+    // Coverage runs: one (cheap) taint/coverage run per rank count, batched
+    // through one session so the static stage is computed exactly once.
+    let session = session_for(&app);
+    let param_sets: Vec<Vec<(String, i64)>> = ranks
+        .iter()
+        .map(|&p| app.sweep_params(&[("nx", 16), ("p", p)]))
+        .collect();
     let mut observations = Vec::new();
     let mut config_names = Vec::new();
-    for &p in &ranks {
-        let cfg = PipelineConfig::with_mpi_defaults();
-        let mut params = app.sweep_params(&[("nx", 16), ("p", p)]);
-        params.iter_mut().for_each(|(n, v)| {
-            if n == "p" {
-                *v = p;
-            }
-        });
-        let analysis = analyze(&app.module, &app.entry, params, &cfg).expect("coverage run");
+    for (&p, result) in ranks.iter().zip(session.analyze_batch(&param_sets)) {
+        let analysis = result?;
         observations.push(analysis.branch_observations(&app.module));
         config_names.push(format!("p={p}"));
     }
@@ -41,7 +39,8 @@ fn main() {
 
     // Show the quantitative consequence: the gather's time across p has two
     // regimes that a single PMNF fits poorly, while per-segment fits work.
-    let prepared = PreparedModule::compute(&app.module);
+    let statics = session.static_analysis();
+    let prepared = &statics.prepared;
     let probe = Filter::None.probe_vector(&app.module, 0.0);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -50,7 +49,7 @@ fn main() {
             params: app.sweep_params(&[("nx", 64), ("p", p)]),
             machine: machine(p),
         };
-        let prof = run_point(&app.module, &prepared, &app.entry, &point, &probe).unwrap();
+        let prof = run_point(&app.module, prepared, &app.entry, &point, &probe).unwrap();
         let t = prof
             .functions
             .get("do_gather")
@@ -84,4 +83,5 @@ fn main() {
     println!("\nPaper shape: behavior differs qualitatively between small and large");
     println!("rank counts; the tainted-branch coverage pinpoints the boundary so the");
     println!("user can split the experiment design.");
+    Ok(())
 }

@@ -7,30 +7,35 @@
 //! than half of the performance-relevant functions; the taint-based filter
 //! stays within ~5% of native.
 
+use perf_taint::PtError;
 use pt_bench::*;
 use pt_measure::Filter;
-use pt_taint::PreparedModule;
 
-fn main() {
+fn main() -> Result<(), PtError> {
     let app = pt_apps::lulesh::build();
-    let analysis = analyze_app(&app);
-    let prepared = PreparedModule::compute(&app.module);
+    let analysis = try_analyze_app(&app)?;
+    let prepared = analysis.prepared();
     let sizes = lulesh_sizes();
     let ranks = lulesh_ranks();
     let points = grid(&app, "size", &sizes, &ranks, &[("iters", 2)]);
 
-    let native = run_filtered(&app, &prepared, &points, &Filter::None, threads());
+    let native = run_filtered(&app, prepared, &points, &Filter::None, threads());
     println!("Figure 3 — LULESH instrumentation overhead [% over native]");
     println!(
         "  taint-based filter instruments {} of {} functions; default {}; full {}",
-        standard_filters(&analysis, &app)[0].1.instrumented_count(&app.module),
+        standard_filters(&analysis, &app)[0]
+            .1
+            .instrumented_count(&app.module),
         app.module.functions.len(),
-        Filter::Default { inline_threshold: 12 }.instrumented_count(&app.module),
+        Filter::Default {
+            inline_threshold: 12
+        }
+        .instrumented_count(&app.module),
         Filter::Full.instrumented_count(&app.module),
     );
 
     for (label, filter) in standard_filters(&analysis, &app) {
-        let instr = run_filtered(&app, &prepared, &points, &filter, threads());
+        let instr = run_filtered(&app, prepared, &points, &filter, threads());
         println!("\n  {label} instrumentation:");
         print!("  {:>8}", "p\\size");
         for &s in &sizes {
@@ -57,4 +62,5 @@ fn main() {
     }
     println!("\nPaper shape: full up to 45x; default moderate but misses relevant");
     println!("functions; taint-based within ~5% of native.");
+    Ok(())
 }

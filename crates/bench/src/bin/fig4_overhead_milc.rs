@@ -5,24 +5,27 @@
 //! LULESH's C++ accessors, so full/default instrumentation costs ~23%
 //! (geometric mean) instead of 45×, and the taint-based filter ~1.6%.
 
+use perf_taint::PtError;
 use pt_bench::*;
 use pt_measure::Filter;
-use pt_taint::PreparedModule;
 
-fn main() {
+fn main() -> Result<(), PtError> {
     let app = pt_apps::milc::build();
-    let analysis = analyze_app(&app);
-    let prepared = PreparedModule::compute(&app.module);
+    let analysis = try_analyze_app(&app)?;
+    let prepared = analysis.prepared();
     let sizes = milc_sizes();
     let ranks = milc_ranks();
     let points = grid(&app, "nx", &sizes, &ranks, &[]);
 
-    let native = run_filtered(&app, &prepared, &points, &Filter::None, threads());
+    let native = run_filtered(&app, prepared, &points, &Filter::None, threads());
     println!("Figure 4 — MILC instrumentation overhead [% over native]");
 
     for (label, filter) in standard_filters(&analysis, &app) {
-        let instr = run_filtered(&app, &prepared, &points, &filter, threads());
-        println!("\n  {label} instrumentation ({} functions):", filter.instrumented_count(&app.module));
+        let instr = run_filtered(&app, prepared, &points, &filter, threads());
+        println!(
+            "\n  {label} instrumentation ({} functions):",
+            filter.instrumented_count(&app.module)
+        );
         print!("  {:>8}", "p\\size");
         for &s in &sizes {
             print!(" {s:>9}");
@@ -45,4 +48,5 @@ fn main() {
         );
     }
     println!("\nPaper shape: ~23% geomean for full and default, ~1.6% for taint-based.");
+    Ok(())
 }

@@ -14,16 +14,16 @@
 
 use perf_taint::report::render_contention;
 use perf_taint::validate::detect_contention;
+use perf_taint::PtError;
 use pt_bench::*;
 use pt_extrap::SearchSpace;
 use pt_measure::{function_sets, run_sweep, NoiseModel, SweepPoint};
-use pt_taint::PreparedModule;
 use std::collections::BTreeMap;
 
-fn main() {
+fn main() -> Result<(), PtError> {
     let app = pt_apps::lulesh::build();
-    let analysis = analyze_app(&app);
-    let prepared = PreparedModule::compute(&app.module);
+    let analysis = try_analyze_app(&app)?;
+    let prepared = analysis.prepared();
 
     let rpn: Vec<u32> = vec![2, 4, 6, 8, 12, 16, 18];
     let points: Vec<SweepPoint> = rpn
@@ -34,7 +34,14 @@ fn main() {
         })
         .collect();
     let probe = vec![0.0; app.module.functions.len() + app.module.used_externals().len()];
-    let profiles = run_sweep(&app.module, &prepared, &app.entry, &points, &probe, threads());
+    let profiles = run_sweep(
+        &app.module,
+        prepared,
+        &app.entry,
+        &points,
+        &probe,
+        threads(),
+    );
 
     println!("Figure 5 — relative time increase vs ranks per node (p=64, size fixed)");
     println!("  {:>4}  {:>10}  {:>8}", "r", "wall [s]", "rel.");
@@ -48,7 +55,11 @@ fn main() {
         );
     }
     let total_increase = profiles.last().unwrap().wall / base;
-    println!("  whole application: ×{total_increase:.2} from r={} to r={}", rpn[0], rpn[rpn.len()-1]);
+    println!(
+        "  whole application: ×{total_increase:.2} from r={} to r={}",
+        rpn[0],
+        rpn[rpn.len() - 1]
+    );
 
     // Build per-function measurement sets over the r axis. `r` is a machine
     // knob, not a program parameter, so every function is taint-proven
@@ -63,7 +74,11 @@ fn main() {
     for name in names {
         let mut set = pt_extrap::MeasurementSet::new(vec!["r".to_string()]);
         for (i, prof) in profiles.iter().enumerate() {
-            let t = prof.functions.get(&name).map(|f| f.exclusive).unwrap_or(0.0);
+            let t = prof
+                .functions
+                .get(&name)
+                .map(|f| f.exclusive)
+                .unwrap_or(0.0);
             set.push(vec![rpn[i] as f64], vec![t]);
         }
         sets.insert(name, set);
@@ -73,7 +88,10 @@ fn main() {
 
     let findings = detect_contention(&sets, &|_| true, &SearchSpace::default(), 0.1, 1.05);
     println!();
-    println!("{}", render_contention(&findings[..findings.len().min(12)], "r"));
+    println!(
+        "{}",
+        render_contention(&findings[..findings.len().min(12)], "r")
+    );
     println!(
         "  {} of {} measured functions show increasing models",
         findings.len(),
@@ -86,9 +104,12 @@ fn main() {
     ];
     for f in mem_bound {
         let hit = findings.iter().any(|x| x.function == f);
-        println!("  memory-bound {f}: {}", if hit { "flagged ✓" } else { "NOT flagged" });
+        println!(
+            "  memory-bound {f}: {}",
+            if hit { "flagged ✓" } else { "NOT flagged" }
+        );
     }
     println!("\nPaper shape: ~50% whole-app increase r=2→18; memory-bound kernels");
     println!("gain log2-family models; compute-only functions stay constant.");
-    let _ = analysis;
+    Ok(())
 }

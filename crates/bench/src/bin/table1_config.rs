@@ -17,11 +17,24 @@ fn main() {
     println!();
     println!("  This repo:  pt-mpisim analytical machine model");
     println!("    MPI latency (α)            {:>12.2e} s", m.latency);
-    println!("    network time/byte (β)      {:>12.2e} s  (~{:.1} GB/s)", m.byte_time, 1e-9 / m.byte_time);
-    println!("    scalar flop time           {:>12.2e} s  (~{:.1} GFLOP/s)", m.flop_time, 1e-9 / m.flop_time);
-    println!("    memory word time           {:>12.2e} s", m.mem_word_time);
+    println!(
+        "    network time/byte (β)      {:>12.2e} s  (~{:.1} GB/s)",
+        m.byte_time,
+        1e-9 / m.byte_time
+    );
+    println!(
+        "    scalar flop time           {:>12.2e} s  (~{:.1} GFLOP/s)",
+        m.flop_time,
+        1e-9 / m.flop_time
+    );
+    println!(
+        "    memory word time           {:>12.2e} s",
+        m.mem_word_time
+    );
     println!("    ranks per node             {:>12}", m.ranks_per_node);
-    println!("    contention model           1 + a·log2(r) + b·log2²(r), calibrated a=0.01 b=0.032");
+    println!(
+        "    contention model           1 + a·log2(r) + b·log2²(r), calibrated a=0.01 b=0.032"
+    );
     println!();
     println!("  Software:   pt-taint (DataFlowSanitizer stand-in), pt-measure (Score-P stand-in),");
     println!("              pt-extrap (Extra-P 3.0 reimplementation, PMNF n=2, I/J sets of §4.5)");

@@ -5,20 +5,31 @@
 //! (MILC's mass, beta, u0) performance-irrelevant.
 
 use perf_taint::report::render_table3;
-use pt_bench::analyze_app;
+use perf_taint::PtError;
+use pt_bench::try_analyze_app;
 
-fn main() {
+fn main() -> Result<(), PtError> {
     let lulesh = pt_apps::lulesh::build();
-    let analysis = analyze_app(&lulesh);
-    println!("{}", render_table3(&lulesh.name, &analysis.table3(&lulesh.module, ("p", "size"))));
+    let analysis = try_analyze_app(&lulesh)?;
+    println!(
+        "{}",
+        render_table3(
+            &lulesh.name,
+            &analysis.table3(&lulesh.module, ("p", "size"))
+        )
+    );
     println!();
 
     let milc = pt_apps::milc::build();
-    let analysis = analyze_app(&milc);
-    println!("{}", render_table3(&milc.name, &analysis.table3(&milc.module, ("p", "nx"))));
+    let analysis = try_analyze_app(&milc)?;
+    println!(
+        "{}",
+        render_table3(&milc.name, &analysis.table3(&milc.module, ("p", "nx")))
+    );
     println!();
     println!("Paper reference (LULESH): p 2/2, size 40/78, regions 13/27, iters 4/4,");
     println!("                          balance 9/20, cost 2/2 of 43 functions / 86 loops");
     println!("Paper reference (MILC):   p 54/187, size 53/161, trajecs/steps 12/39,");
     println!("                          warms/niter 9/31, mass,beta,u0 never in loop bounds");
+    Ok(())
 }

@@ -22,7 +22,7 @@
 //! Daint); the *shapes* — who wins, by what factor, where crossovers sit —
 //! are the reproduction targets (see EXPERIMENTS.md).
 
-use perf_taint::{analyze, Analysis, PipelineConfig};
+use perf_taint::{Analysis, PtError, Session, SessionBuilder};
 use pt_apps::AppSpec;
 use pt_measure::{run_sweep, Filter, PointProfile, SweepPoint};
 use pt_mpisim::{ContentionModel, MachineConfig};
@@ -69,16 +69,18 @@ pub fn machine(p: i64) -> MachineConfig {
         .with_ranks_per_node((p as u32).min(36))
 }
 
-/// Run the white-box pipeline on an application.
-pub fn analyze_app(app: &AppSpec) -> Analysis {
-    let cfg = PipelineConfig::with_mpi_defaults();
-    analyze(
-        &app.module,
-        &app.entry,
-        app.taint_run_params(),
-        &cfg,
-    )
-    .expect("taint analysis run")
+/// An analysis [`Session`] over an application (MPI defaults). Reuse it
+/// when a harness needs several taint runs — the static stage is shared.
+pub fn session_for(app: &AppSpec) -> Session<'_> {
+    SessionBuilder::new(&app.module, &app.entry).build()
+}
+
+/// Run the white-box pipeline on an application at its representative
+/// taint-run configuration. Failures propagate as [`PtError`] so harness
+/// binaries report them (`fn main() -> Result<(), PtError>`) instead of
+/// aborting.
+pub fn try_analyze_app(app: &AppSpec) -> Result<Analysis, PtError> {
+    session_for(app).taint_run(app.taint_run_params())
 }
 
 /// Build the full (size × p) grid of sweep points for an app, using its

@@ -108,7 +108,10 @@ pub fn table2(
         .count();
     Table2 {
         functions_total: module.functions.len() + mpi_functions,
-        pruned_static: kinds.iter().filter(|k| **k == FuncKind::ConstantStatic).count(),
+        pruned_static: kinds
+            .iter()
+            .filter(|k| **k == FuncKind::ConstantStatic)
+            .count(),
         pruned_dynamic: kinds
             .iter()
             .filter(|k| **k == FuncKind::ConstantDynamic)

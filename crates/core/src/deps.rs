@@ -16,8 +16,8 @@
 use crate::volume::DepStructure;
 use pt_ir::{Callee, FunctionId, InstKind, Module};
 use pt_mpisim::LibraryDb;
-use pt_taint::{LabelTable, ParamSet, TaintRecords};
 use pt_taint::prepared::PreparedModule;
+use pt_taint::{LabelTable, ParamSet, TaintRecords};
 use std::collections::BTreeMap;
 
 /// Extract the dependency structure of every function.
@@ -127,9 +127,9 @@ pub fn extern_deps(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pt_ir::{FunctionBuilder, Type, Value};
     use pt_mpisim::{MachineConfig, MpiHandler};
     use pt_taint::{InterpConfig, Interpreter, PreparedModule};
-    use pt_ir::{FunctionBuilder, Type, Value};
 
     /// kernel(n): loop n; comm(): allreduce; halo(s): send s*s words.
     fn test_module() -> Module {

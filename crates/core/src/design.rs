@@ -49,7 +49,7 @@ pub fn design_experiments(
 
     // Union-find over parameters: joined when they co-occur in a monomial.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

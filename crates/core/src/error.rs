@@ -1,0 +1,86 @@
+//! The workspace-wide error type of the public `perf_taint` API.
+//!
+//! Substrate crates keep their own error types (`pt_taint::InterpError`,
+//! `pt_ir::parser::ParseError`); everything exposed from this crate wraps
+//! them in [`PtError`] so callers program against one enum and substrate
+//! types stay free to evolve. Every variant carries enough context to name
+//! the failing artifact (entry point, parse location, offending setting)
+//! without consulting logs.
+
+use pt_ir::parser::ParseError;
+use pt_taint::InterpError;
+use std::fmt;
+
+/// Any failure of the perf-taint pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PtError {
+    /// The IR text failed to parse.
+    Parse(ParseError),
+    /// The requested entry function does not exist in the module.
+    EntryNotFound { entry: String },
+    /// The dynamic taint run failed inside the interpreter.
+    TaintRun { entry: String, source: InterpError },
+    /// A configuration value is unusable (bad machine shape, bad
+    /// parameter value, ...).
+    Config(String),
+}
+
+impl fmt::Display for PtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtError::Parse(e) => write!(f, "IR parse error: {e}"),
+            PtError::EntryNotFound { entry } => {
+                write!(f, "entry function `{entry}` not found in module")
+            }
+            PtError::TaintRun { entry, source } => {
+                write!(f, "taint run of `{entry}` failed: {source}")
+            }
+            PtError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PtError::Parse(e) => Some(e),
+            PtError::TaintRun { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for PtError {
+    fn from(e: ParseError) -> Self {
+        PtError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_artifact() {
+        let e = PtError::EntryNotFound {
+            entry: "main".into(),
+        };
+        assert!(e.to_string().contains("`main`"));
+        let e = PtError::TaintRun {
+            entry: "driver".into(),
+            source: InterpError::OutOfFuel,
+        };
+        let s = e.to_string();
+        assert!(s.contains("driver") && s.contains("out of fuel"), "{s}");
+    }
+
+    #[test]
+    fn source_chain_reaches_the_substrate_error() {
+        use std::error::Error;
+        let e = PtError::TaintRun {
+            entry: "m".into(),
+            source: InterpError::DivisionByZero { func: "f".into() },
+        };
+        assert!(e.source().unwrap().to_string().contains("division"));
+    }
+}

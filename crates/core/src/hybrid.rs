@@ -86,8 +86,7 @@ impl ModelComparison {
         if self.total == 0 {
             return 0.0;
         }
-        (self.false_dependencies.len() + self.overfitted_constants.len()) as f64
-            / self.total as f64
+        (self.false_dependencies.len() + self.overfitted_constants.len()) as f64 / self.total as f64
     }
 }
 

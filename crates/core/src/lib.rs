@@ -20,8 +20,32 @@
 //!   → validation (contention §C1, qualitative changes §C2)
 //! ```
 //!
+//! ## The staged session API
+//!
+//! The pipeline's stages have different costs and different inputs: the
+//! static stage depends only on the module, while every taint run also
+//! depends on parameter values. [`Session`] (built by [`SessionBuilder`])
+//! owns that split — it memoizes the static artifacts and shares them
+//! across any number of [`Session::taint_run`] calls or a parallel
+//! [`Session::analyze_batch`] fan-out:
+//!
+//! ```text
+//! let session = SessionBuilder::new(&module, "main").build();
+//! let statics = session.static_analysis();          // stage 1, memoized
+//! let a = session.taint_run(params_a)?;             // stages 2–3
+//! let results = session.analyze_batch(&param_sets); // parallel stages 2–3
+//! ```
+//!
+//! [`pipeline::analyze`] remains as a one-shot shim over a throwaway
+//! session. Every fallible API returns the unified [`PtError`]; substrate
+//! error types (`InterpError`, `ParseError`) never leak.
+//!
 //! ## Crate map
 //!
+//! * [`session`] — [`Session`] / [`SessionBuilder`]: memoized static stage
+//!   ([`StaticArtifacts`]), staged taint runs, parallel batching, and the
+//!   [`Analysis`] artifact they produce.
+//! * [`error`] — [`PtError`], the workspace-wide error enum.
 //! * [`volume`] — symbolic compute volumes (Claims 1–2, Theorem 1) and
 //!   [`volume::DepStructure`] monomial sets.
 //! * [`deps`] — from taint records to per-function dependency structures.
@@ -29,7 +53,8 @@
 //! * [`design`] — experiment-design reduction (§A2).
 //! * [`hybrid`] — the restricted PMNF modeler and black-box comparison (§B1).
 //! * [`validate`] — contention (§C1) and segmentation (§C2) detection.
-//! * [`pipeline`] — [`pipeline::analyze`]: one call running all of it.
+//! * [`pipeline`] — [`pipeline::analyze`]: the one-shot shim, plus
+//!   [`PipelineConfig`].
 //! * [`report`] — text rendering of every artifact.
 //!
 //! The substrates live in sibling crates: `pt-ir` (the compiler IR),
@@ -41,16 +66,20 @@
 pub mod census;
 pub mod deps;
 pub mod design;
+pub mod error;
 pub mod hybrid;
 pub mod pipeline;
 pub mod report;
+pub mod session;
 pub mod validate;
 pub mod volume;
 
 pub use census::{FuncKind, Table2, Table3};
 pub use design::{design_experiments, DesignReport};
+pub use error::PtError;
 pub use hybrid::{compare_against_truth, model_functions, FunctionModel, ModelComparison};
-pub use pipeline::{analyze, Analysis, PipelineConfig};
+pub use pipeline::{analyze, PipelineConfig};
+pub use session::{parse_module, Analysis, Session, SessionBuilder, StaticArtifacts};
 pub use validate::{
     detect_contention, detect_segmentation, BranchObservations, BranchSide, ContentionFinding,
     SegmentationWarning,

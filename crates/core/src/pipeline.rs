@@ -1,18 +1,17 @@
-//! The Perf-Taint pipeline (Fig. 2 of the paper): static analysis →
-//! dynamic taint run → dependency extraction → censuses, restrictions,
-//! instrumentation lists, and experiment designs.
+//! One-shot entry point to the Perf-Taint pipeline (Fig. 2 of the paper).
+//!
+//! [`analyze`] runs static analysis → dynamic taint run → dependency
+//! extraction in a single call. It is a thin shim over the staged
+//! [`crate::session`] API; when you analyze the same module more than once
+//! (sweeps over parameter values, batched coverage runs), build a
+//! [`crate::Session`] instead so the static stage is computed once and
+//! shared.
 
-use crate::census::{classify_kinds, table2, table3, FuncKind, Table2, Table3};
-use crate::deps::{extern_deps, extract_deps};
-use crate::validate::BranchObservations;
-use crate::volume::DepStructure;
-use pt_analysis::classify::{classify_module, StaticClassification};
-use pt_extrap::Restriction;
-use pt_ir::{FunctionId, Module};
-use pt_mpisim::{LibraryDb, MachineConfig, MpiHandler};
-use pt_taint::prepared::PreparedModule;
-use pt_taint::{InterpConfig, InterpError, Interpreter, LabelTable, TaintRecords};
-use std::collections::{BTreeMap, HashSet};
+use crate::error::PtError;
+pub use crate::session::Analysis;
+use crate::session::SessionBuilder;
+use pt_mpisim::{LibraryDb, MachineConfig};
+use pt_taint::InterpConfig;
 
 /// Configuration of the analysis pipeline.
 #[derive(Debug, Clone, Default)]
@@ -34,201 +33,32 @@ impl PipelineConfig {
     }
 }
 
-/// Everything the white-box analysis learned about a program.
-pub struct Analysis {
-    /// Marked parameter names, in taint-index order.
-    pub param_names: Vec<String>,
-    pub classification: StaticClassification,
-    pub kinds: Vec<FuncKind>,
-    /// Per-function dependency structures (internal functions).
-    pub deps: BTreeMap<FunctionId, DepStructure>,
-    /// Dependency structures of the MPI routines used.
-    pub extern_deps: BTreeMap<String, DepStructure>,
-    pub table2: Table2,
-    /// Precomputed static facts (reusable by measurement runs).
-    pub prepared: PreparedModule,
-    pub records: TaintRecords,
-    pub labels: LabelTable,
-    /// Simulated duration of the taint run (seconds).
-    pub taint_run_time: f64,
-    /// Core-hours spent on the taint run (§A3 accounting).
-    pub taint_run_core_hours: f64,
-}
-
-/// Run the full white-box analysis on `module`.
+/// Run the full white-box analysis on `module` — a one-shot
+/// [`crate::Session`].
+///
+/// **Migration note:** this used to return `Result<Analysis, InterpError>`
+/// and to recompute the static stage per call. It now returns the unified
+/// [`PtError`] and delegates to a throwaway session; repeated analyses of
+/// one module should use [`crate::SessionBuilder`] +
+/// [`crate::Session::taint_run`] / [`crate::Session::analyze_batch`]
+/// directly to amortize the static stage.
 pub fn analyze(
-    module: &Module,
+    module: &pt_ir::Module,
     entry: &str,
     params: Vec<(String, i64)>,
     cfg: &PipelineConfig,
-) -> Result<Analysis, InterpError> {
-    // Stage 1: static analysis (§5.1).
-    let relevant: HashSet<String> = cfg.db.relevant_names().map(String::from).collect();
-    let classification = classify_module(module, &relevant);
-    let prepared = PreparedModule::compute(module);
-
-    // Stage 2: dynamic taint run (§5.2) on a representative configuration.
-    let mut machine = cfg.machine.clone();
-    if let Some((_, p)) = params.iter().find(|(n, _)| n == "p") {
-        machine.ranks = *p as u32;
-    }
-    let ranks = machine.ranks;
-    let handler = MpiHandler::new(machine);
-    let interp = Interpreter::new(module, &prepared, handler, params, cfg.interp.clone());
-    let out = interp.run_named(entry, &[])?;
-
-    // Stage 3: dependency extraction (§4.2/§4.3 + §5.3).
-    let deps = extract_deps(module, &prepared, &out.records, &out.labels, &cfg.db);
-    let ext_deps = extern_deps(module, &out.records, &out.labels, &cfg.db);
-    let kinds = classify_kinds(module, &classification, &out.records, &cfg.db);
-    let t2 = table2(module, &prepared, &kinds, &classification, &out.records);
-
-    Ok(Analysis {
-        param_names: out.labels.param_names().to_vec(),
-        classification,
-        kinds,
-        deps,
-        extern_deps: ext_deps,
-        table2: t2,
-        prepared,
-        records: out.records,
-        labels: out.labels,
-        taint_run_time: out.time,
-        taint_run_core_hours: out.time * ranks as f64 / 3600.0,
-    })
-}
-
-impl Analysis {
-    /// Index of a parameter in taint order.
-    pub fn param_index(&self, name: &str) -> Option<usize> {
-        self.param_names.iter().position(|p| p == name)
-    }
-
-    /// The mapping from app-parameter indices to model-axis indices.
-    fn axis_mapping(&self, model_params: &[String]) -> Vec<(usize, usize)> {
-        model_params
-            .iter()
-            .enumerate()
-            .filter_map(|(axis, name)| self.param_index(name).map(|app| (app, axis)))
-            .collect()
-    }
-
-    /// A function's dependency structure projected onto the model axes.
-    pub fn model_deps(&self, f: FunctionId, model_params: &[String]) -> DepStructure {
-        self.deps[&f].remap(&self.axis_mapping(model_params))
-    }
-
-    /// Per-function search-space restrictions for the hybrid modeler,
-    /// keyed by function name (internal functions and MPI routines).
-    pub fn restrictions(
-        &self,
-        module: &Module,
-        model_params: &[String],
-    ) -> BTreeMap<String, Restriction> {
-        let mapping = self.axis_mapping(model_params);
-        let mut out = BTreeMap::new();
-        for f in module.function_ids() {
-            let name = module.function(f).name.clone();
-            let restriction = match self.kinds[f.index()] {
-                FuncKind::ConstantStatic | FuncKind::ConstantDynamic => Restriction::constant(),
-                _ => self.deps[&f].remap(&mapping).to_restriction(),
-            };
-            out.insert(name, restriction);
-        }
-        for (name, dep) in &self.extern_deps {
-            out.insert(name.clone(), dep.remap(&mapping).to_restriction());
-        }
-        out
-    }
-
-    /// Union dependency structure over all relevant functions, projected
-    /// onto the model axes — the input to experiment design (§A2).
-    pub fn global_deps(&self, model_params: &[String]) -> DepStructure {
-        let mapping = self.axis_mapping(model_params);
-        let mut global = DepStructure::constant();
-        for dep in self.deps.values() {
-            global.merge(&dep.remap(&mapping));
-        }
-        for dep in self.extern_deps.values() {
-            global.merge(&dep.remap(&mapping));
-        }
-        global
-    }
-
-    /// Names of the functions the taint-based filter instruments: executed,
-    /// not provably constant (§A3).
-    pub fn relevant_functions(&self, module: &Module) -> Vec<String> {
-        module
-            .function_ids()
-            .filter(|f| {
-                matches!(
-                    self.kinds[f.index()],
-                    FuncKind::Kernel | FuncKind::Comm
-                )
-            })
-            .map(|f| module.function(f).name.clone())
-            .collect()
-    }
-
-    /// Branch coverage in the shape `validate::detect_segmentation` expects.
-    pub fn branch_observations(&self, module: &Module) -> BranchObservations {
-        let mut out = BTreeMap::new();
-        for ((f, block), rec) in &self.records.branches {
-            if f.index() >= module.functions.len() {
-                continue;
-            }
-            let names: Vec<String> = rec
-                .params
-                .iter()
-                .filter_map(|i| self.param_names.get(i).cloned())
-                .collect();
-            out.insert(
-                (module.function(*f).name.clone(), *block),
-                (rec.taken_true, rec.taken_false, names),
-            );
-        }
-        out
-    }
-
-    /// §4.4: code paths never visited during the representative run, inside
-    /// functions that *were* executed — parameter-based algorithm selection
-    /// leaves exactly this signature (one side of a tainted branch dead).
-    /// Returns `(function name, unvisited block)` pairs.
-    pub fn never_visited_paths(&self, module: &Module) -> Vec<(String, pt_ir::BlockId)> {
-        let mut out = Vec::new();
-        for f in module.function_ids() {
-            if !self.records.executed[f.index()] {
-                continue; // whole function dead: reported as pruned-dynamic
-            }
-            let func = module.function(f);
-            for (i, visited) in self.records.visited_blocks[f.index()].iter().enumerate() {
-                if !visited {
-                    out.push((func.name.clone(), pt_ir::BlockId(i as u32)));
-                }
-            }
-        }
-        out.sort();
-        out
-    }
-
-    /// Table 3 for a chosen parameter pair.
-    pub fn table3(&self, module: &Module, pair: (&str, &str)) -> Table3 {
-        table3(
-            module,
-            &self.prepared,
-            &self.kinds,
-            &self.deps,
-            &self.records,
-            &self.param_names,
-            pair,
-        )
-    }
+) -> Result<Analysis, PtError> {
+    SessionBuilder::new(module, entry)
+        .config(cfg.clone())
+        .build()
+        .taint_run(params)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pt_ir::{FunctionBuilder, Type, Value};
+    use crate::census::FuncKind;
+    use pt_ir::{FunctionBuilder, Module, Type, Value};
 
     fn tiny_app() -> Module {
         let mut m = Module::new("tiny");
@@ -263,13 +93,8 @@ mod tests {
     fn end_to_end_analysis() {
         let m = tiny_app();
         let cfg = PipelineConfig::with_mpi_defaults();
-        let analysis = analyze(
-            &m,
-            "main",
-            vec![("size".into(), 6), ("p".into(), 4)],
-            &cfg,
-        )
-        .unwrap();
+        let analysis =
+            analyze(&m, "main", vec![("size".into(), 6), ("p".into(), 4)], &cfg).unwrap();
 
         assert_eq!(analysis.param_names, vec!["size", "p"]);
         let kernel = m.function_by_name("kernel").unwrap();
@@ -313,15 +138,30 @@ mod tests {
     fn machine_ranks_follow_p_parameter() {
         let m = tiny_app();
         let cfg = PipelineConfig::with_mpi_defaults();
-        let analysis = analyze(
-            &m,
-            "main",
-            vec![("size".into(), 2), ("p".into(), 16)],
-            &cfg,
-        )
-        .unwrap();
+        let analysis =
+            analyze(&m, "main", vec![("size".into(), 2), ("p".into(), 16)], &cfg).unwrap();
         // core-hours = time × 16 ranks; just verify the plumbing ran.
         assert!(analysis.taint_run_core_hours > 0.0);
         assert_eq!(analysis.param_index("p"), Some(1));
+    }
+
+    #[test]
+    fn user_errors_surface_as_pt_error_not_panics() {
+        let m = tiny_app();
+        let cfg = PipelineConfig::with_mpi_defaults();
+        // Unknown entry: named in the error, no panic.
+        let err = analyze(&m, "no_such_entry", vec![], &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            crate::PtError::EntryNotFound {
+                entry: "no_such_entry".into()
+            }
+        );
+        // Nonsensical rank counts: Config errors (zero, and u32 overflow —
+        // never a silent truncation).
+        let err = analyze(&m, "main", vec![("p".into(), 0)], &cfg).unwrap_err();
+        assert!(matches!(err, crate::PtError::Config(_)), "{err}");
+        let err = analyze(&m, "main", vec![("p".into(), u32::MAX as i64 + 2)], &cfg).unwrap_err();
+        assert!(matches!(err, crate::PtError::Config(_)), "{err}");
     }
 }

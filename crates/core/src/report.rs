@@ -25,7 +25,12 @@ pub fn render_table2(app: &str, t: &Table2) -> String {
     )
     .unwrap();
     writeln!(s, "  Loops                        {:>6}", t.loops_total).unwrap();
-    writeln!(s, "  Pruned Statically            {:>6}", t.loops_pruned_static).unwrap();
+    writeln!(
+        s,
+        "  Pruned Statically            {:>6}",
+        t.loops_pruned_static
+    )
+    .unwrap();
     writeln!(s, "  Relevant                     {:>6}", t.loops_relevant).unwrap();
     writeln!(
         s,
@@ -196,10 +201,18 @@ mod tests {
         assert!(s.contains("86.2%"));
 
         let mut t3 = Table3::default();
-        t3.per_param
-            .insert("size".into(), ParamCoverage { functions: 40, loops: 78 });
+        t3.per_param.insert(
+            "size".into(),
+            ParamCoverage {
+                functions: 40,
+                loops: 78,
+            },
+        );
         t3.union_pair = ("p".into(), "size".into());
-        t3.union_coverage = ParamCoverage { functions: 40, loops: 78 };
+        t3.union_coverage = ParamCoverage {
+            functions: 40,
+            loops: 78,
+        };
         t3.total_functions = 43;
         t3.total_loops = 86;
         let s = render_table3("mini-lulesh", &t3);

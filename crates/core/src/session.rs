@@ -1,0 +1,406 @@
+//! The staged session API (Fig. 2 of the paper, as an object).
+//!
+//! The pipeline is explicitly staged — static analysis → dynamic taint run
+//! → dependency extraction — and the static stage depends only on the
+//! module and the library database, not on parameter values. A [`Session`]
+//! owns that observation: it memoizes the static artifacts
+//! ([`StaticArtifacts`]: the §5.1 classification and the precomputed
+//! per-function facts) and lets any number of taint runs — sequential via
+//! [`Session::taint_run`] or fanned across threads via
+//! [`Session::analyze_batch`] — share them. Related systems lean on the
+//! same amortization: the Taint Rabbit caches pre-generated fast paths
+//! across runs, and partial-instrumentation tracking computes its scope
+//! once and reuses it.
+//!
+//! ```
+//! use perf_taint::{SessionBuilder, PipelineConfig};
+//! # use pt_ir::{FunctionBuilder, Module, Type, Value};
+//! # let mut m = Module::new("doc");
+//! # let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+//! # let n = b.call_external("pt_param_i64", vec![Value::int(0)], Type::I64);
+//! # b.for_loop(0i64, n, 1i64, |b, _| {
+//! #     b.call_external("pt_work_flops", vec![Value::int(1)], Type::Void);
+//! # });
+//! # b.ret(None);
+//! # m.add_function(b.finish());
+//! let session = SessionBuilder::new(&m, "main").build();
+//! let a = session.taint_run(vec![("n".into(), 8)]).unwrap();
+//! let b = session.taint_run(vec![("n".into(), 16)]).unwrap();
+//! // Both runs shared one static stage:
+//! assert!(std::sync::Arc::ptr_eq(&a.statics, &b.statics));
+//! ```
+
+use crate::census::{classify_kinds, table2, table3, FuncKind, Table2, Table3};
+use crate::deps::{extern_deps, extract_deps};
+use crate::error::PtError;
+use crate::pipeline::PipelineConfig;
+use crate::validate::BranchObservations;
+use crate::volume::DepStructure;
+use pt_analysis::classify::{classify_module, StaticClassification};
+use pt_extrap::Restriction;
+use pt_ir::{FunctionId, Module};
+use pt_mpisim::MpiHandler;
+use pt_taint::prepared::PreparedModule;
+use pt_taint::{Interpreter, LabelTable, TaintRecords};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Parse textual IR into a [`Module`], wrapping failures in [`PtError`].
+pub fn parse_module(text: &str) -> Result<Module, PtError> {
+    pt_ir::parser::parse_module(text).map_err(PtError::from)
+}
+
+/// Everything the static stage (§5.1) produces: computed once per
+/// [`Session`], shared by every taint run through an [`Arc`].
+pub struct StaticArtifacts {
+    /// Interprocedural constant-function classification.
+    pub classification: StaticClassification,
+    /// Precomputed per-function facts (loops, postdominators, trip counts).
+    pub prepared: PreparedModule,
+}
+
+/// Builder for a [`Session`]. Defaults to the MPI library database and
+/// machine ([`PipelineConfig::with_mpi_defaults`]).
+pub struct SessionBuilder<'m> {
+    module: &'m Module,
+    entry: String,
+    config: PipelineConfig,
+}
+
+impl<'m> SessionBuilder<'m> {
+    pub fn new(module: &'m Module, entry: impl Into<String>) -> SessionBuilder<'m> {
+        SessionBuilder {
+            module,
+            entry: entry.into(),
+            config: PipelineConfig::with_mpi_defaults(),
+        }
+    }
+
+    /// Replace the whole pipeline configuration.
+    pub fn config(mut self, config: PipelineConfig) -> SessionBuilder<'m> {
+        self.config = config;
+        self
+    }
+
+    pub fn build(self) -> Session<'m> {
+        Session {
+            module: self.module,
+            entry: self.entry,
+            config: self.config,
+            statics: OnceLock::new(),
+        }
+    }
+}
+
+/// A reusable analysis session over one module: the static stage is
+/// computed lazily, exactly once, and shared by all taint runs.
+pub struct Session<'m> {
+    module: &'m Module,
+    entry: String,
+    config: PipelineConfig,
+    statics: OnceLock<Arc<StaticArtifacts>>,
+}
+
+impl<'m> Session<'m> {
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    pub fn entry(&self) -> &str {
+        &self.entry
+    }
+
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Stage 1 (§5.1): classification + precomputed facts, memoized.
+    /// The first call computes; later calls (from any thread) are free.
+    pub fn static_analysis(&self) -> Arc<StaticArtifacts> {
+        self.statics
+            .get_or_init(|| {
+                let relevant: HashSet<String> =
+                    self.config.db.relevant_names().map(String::from).collect();
+                Arc::new(StaticArtifacts {
+                    classification: classify_module(self.module, &relevant),
+                    prepared: PreparedModule::compute(self.module),
+                })
+            })
+            .clone()
+    }
+
+    /// Stages 2–3 (§5.2–§5.3): one representative taint run plus dependency
+    /// extraction, against the memoized static artifacts.
+    pub fn taint_run(&self, params: Vec<(String, i64)>) -> Result<Analysis, PtError> {
+        if self.module.function_by_name(&self.entry).is_none() {
+            return Err(PtError::EntryNotFound {
+                entry: self.entry.clone(),
+            });
+        }
+        let statics = self.static_analysis();
+
+        // The machine's rank count follows the `p` parameter when present.
+        let mut machine = self.config.machine.clone();
+        if let Some((_, p)) = params.iter().find(|(n, _)| n == "p") {
+            machine.ranks = u32::try_from(*p).ok().filter(|&r| r > 0).ok_or_else(|| {
+                PtError::Config(format!(
+                    "parameter p must be a positive rank count, got {p}"
+                ))
+            })?;
+        }
+        if machine.ranks == 0 {
+            return Err(PtError::Config("machine has zero ranks".into()));
+        }
+        let ranks = machine.ranks;
+        let handler = MpiHandler::new(machine);
+        let interp = Interpreter::new(
+            self.module,
+            &statics.prepared,
+            handler,
+            params,
+            self.config.interp.clone(),
+        );
+        let out = interp
+            .run_named(&self.entry, &[])
+            .map_err(|source| PtError::TaintRun {
+                entry: self.entry.clone(),
+                source,
+            })?;
+
+        let deps = extract_deps(
+            self.module,
+            &statics.prepared,
+            &out.records,
+            &out.labels,
+            &self.config.db,
+        );
+        let ext_deps = extern_deps(self.module, &out.records, &out.labels, &self.config.db);
+        let kinds = classify_kinds(
+            self.module,
+            &statics.classification,
+            &out.records,
+            &self.config.db,
+        );
+        let t2 = table2(
+            self.module,
+            &statics.prepared,
+            &kinds,
+            &statics.classification,
+            &out.records,
+        );
+
+        Ok(Analysis {
+            param_names: out.labels.param_names().to_vec(),
+            statics,
+            kinds,
+            deps,
+            extern_deps: ext_deps,
+            table2: t2,
+            records: out.records,
+            labels: out.labels,
+            taint_run_time: out.time,
+            taint_run_core_hours: out.time * ranks as f64 / 3600.0,
+            axis_cache: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Run one taint analysis per parameter set, fanned across worker
+    /// threads, all sharing this session's static artifacts. Results keep
+    /// the input order; each entry fails independently.
+    pub fn analyze_batch(
+        &self,
+        param_sets: &[Vec<(String, i64)>],
+    ) -> Vec<Result<Analysis, PtError>> {
+        // Force the static stage once, outside the workers, so no two
+        // threads race to compute it redundantly.
+        self.static_analysis();
+
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        pt_util::parallel_map(param_sets, workers, |params| self.taint_run(params.clone()))
+    }
+}
+
+/// Pairs of `(app-parameter index, model-axis index)` shared through the
+/// per-`Analysis` projection cache.
+type AxisMapping = Arc<Vec<(usize, usize)>>;
+
+/// Everything one taint run learned about the program, on top of the
+/// session's shared static artifacts.
+pub struct Analysis {
+    /// Marked parameter names, in taint-index order.
+    pub param_names: Vec<String>,
+    /// The session's static stage (shared across runs; compare with
+    /// [`Arc::ptr_eq`] to verify memoization).
+    pub statics: Arc<StaticArtifacts>,
+    pub kinds: Vec<FuncKind>,
+    /// Per-function dependency structures (internal functions).
+    pub deps: BTreeMap<FunctionId, DepStructure>,
+    /// Dependency structures of the MPI routines used.
+    pub extern_deps: BTreeMap<String, DepStructure>,
+    pub table2: Table2,
+    pub records: TaintRecords,
+    pub labels: LabelTable,
+    /// Simulated duration of the taint run (seconds).
+    pub taint_run_time: f64,
+    /// Core-hours spent on the taint run (§A3 accounting).
+    pub taint_run_core_hours: f64,
+    /// Memoized app-parameter → model-axis mappings, keyed by the
+    /// `model_params` vector they were computed for.
+    axis_cache: Mutex<Vec<(Vec<String>, AxisMapping)>>,
+}
+
+impl std::fmt::Debug for Analysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Analysis")
+            .field("param_names", &self.param_names)
+            .field("functions", &self.kinds.len())
+            .field("taint_run_time", &self.taint_run_time)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Analysis {
+    /// The static classification (shared with the session).
+    pub fn classification(&self) -> &StaticClassification {
+        &self.statics.classification
+    }
+
+    /// The precomputed static facts (shared with the session; reusable by
+    /// measurement runs without recomputing).
+    pub fn prepared(&self) -> &PreparedModule {
+        &self.statics.prepared
+    }
+
+    /// Index of a parameter in taint order.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.param_names.iter().position(|p| p == name)
+    }
+
+    /// The mapping from app-parameter indices to model-axis indices,
+    /// memoized per `model_params` (every projection method needs it, and
+    /// harnesses call those in tight loops over the same axes).
+    fn axis_mapping(&self, model_params: &[String]) -> AxisMapping {
+        let mut cache = self.axis_cache.lock().unwrap();
+        if let Some((_, mapping)) = cache.iter().find(|(key, _)| key == model_params) {
+            return mapping.clone();
+        }
+        let mapping: AxisMapping = Arc::new(
+            model_params
+                .iter()
+                .enumerate()
+                .filter_map(|(axis, name)| self.param_index(name).map(|app| (app, axis)))
+                .collect(),
+        );
+        cache.push((model_params.to_vec(), mapping.clone()));
+        mapping
+    }
+
+    /// A function's dependency structure projected onto the model axes.
+    pub fn model_deps(&self, f: FunctionId, model_params: &[String]) -> DepStructure {
+        self.deps[&f].remap(&self.axis_mapping(model_params))
+    }
+
+    /// Per-function search-space restrictions for the hybrid modeler,
+    /// keyed by function name (internal functions and MPI routines).
+    pub fn restrictions(
+        &self,
+        module: &Module,
+        model_params: &[String],
+    ) -> BTreeMap<String, Restriction> {
+        let mapping = self.axis_mapping(model_params);
+        let mut out = BTreeMap::new();
+        for f in module.function_ids() {
+            let restriction = match self.kinds[f.index()] {
+                FuncKind::ConstantStatic | FuncKind::ConstantDynamic => Restriction::constant(),
+                _ => self.deps[&f].remap(&mapping).to_restriction(),
+            };
+            // Single clone at the insertion point; the decision above only
+            // borrowed the function.
+            out.insert(module.function(f).name.clone(), restriction);
+        }
+        for (name, dep) in &self.extern_deps {
+            out.insert(name.clone(), dep.remap(&mapping).to_restriction());
+        }
+        out
+    }
+
+    /// Union dependency structure over all relevant functions, projected
+    /// onto the model axes — the input to experiment design (§A2).
+    pub fn global_deps(&self, model_params: &[String]) -> DepStructure {
+        let mapping = self.axis_mapping(model_params);
+        let mut global = DepStructure::constant();
+        for dep in self.deps.values() {
+            global.merge(&dep.remap(&mapping));
+        }
+        for dep in self.extern_deps.values() {
+            global.merge(&dep.remap(&mapping));
+        }
+        global
+    }
+
+    /// Names of the functions the taint-based filter instruments: executed,
+    /// not provably constant (§A3).
+    pub fn relevant_functions(&self, module: &Module) -> Vec<String> {
+        module
+            .function_ids()
+            .filter(|f| matches!(self.kinds[f.index()], FuncKind::Kernel | FuncKind::Comm))
+            .map(|f| module.function(f).name.clone())
+            .collect()
+    }
+
+    /// Branch coverage in the shape `validate::detect_segmentation` expects.
+    pub fn branch_observations(&self, module: &Module) -> BranchObservations {
+        let mut out = BTreeMap::new();
+        for ((f, block), rec) in &self.records.branches {
+            if f.index() >= module.functions.len() {
+                continue;
+            }
+            let names: Vec<String> = rec
+                .params
+                .iter()
+                .filter_map(|i| self.param_names.get(i).cloned())
+                .collect();
+            out.insert(
+                (module.function(*f).name.clone(), *block),
+                (rec.taken_true, rec.taken_false, names),
+            );
+        }
+        out
+    }
+
+    /// §4.4: code paths never visited during the representative run, inside
+    /// functions that *were* executed — parameter-based algorithm selection
+    /// leaves exactly this signature (one side of a tainted branch dead).
+    /// Returns `(function name, unvisited block)` pairs.
+    pub fn never_visited_paths(&self, module: &Module) -> Vec<(String, pt_ir::BlockId)> {
+        let mut out = Vec::new();
+        for f in module.function_ids() {
+            if !self.records.executed[f.index()] {
+                continue; // whole function dead: reported as pruned-dynamic
+            }
+            let func = module.function(f);
+            for (i, visited) in self.records.visited_blocks[f.index()].iter().enumerate() {
+                if !visited {
+                    out.push((func.name.clone(), pt_ir::BlockId(i as u32)));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Table 3 for a chosen parameter pair.
+    pub fn table3(&self, module: &Module, pair: (&str, &str)) -> Table3 {
+        table3(
+            module,
+            &self.statics.prepared,
+            &self.kinds,
+            &self.deps,
+            &self.records,
+            &self.param_names,
+            pair,
+        )
+    }
+}

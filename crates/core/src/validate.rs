@@ -50,11 +50,7 @@ pub fn detect_contention(
         if set.points.len() < 3 {
             continue;
         }
-        let mut pts: Vec<(f64, f64)> = set
-            .points
-            .iter()
-            .map(|p| (p.coords[0], p.mean()))
-            .collect();
+        let mut pts: Vec<(f64, f64)> = set.points.iter().map(|p| (p.coords[0], p.mean())).collect();
         pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         let first = pts.first().unwrap().1;
         let last = pts.last().unwrap().1;
@@ -185,13 +181,7 @@ mod tests {
         }
         sets.insert("compute_kernel".to_string(), flat);
 
-        let findings = detect_contention(
-            &sets,
-            &|_| true,
-            &SearchSpace::default(),
-            0.1,
-            1.1,
-        );
+        let findings = detect_contention(&sets, &|_| true, &SearchSpace::default(), 0.1, 1.1);
         assert_eq!(findings.len(), 1);
         let f = &findings[0];
         assert_eq!(f.function, "memory_kernel");

@@ -301,9 +301,9 @@ mod tests {
     fn remapping_to_model_axes() {
         // App params: size=0, iters=4, p=5. Model axes: p→0, size→1.
         let d = DepStructure::from_monomials(vec![
-            ps(1 << 0 | 1 << 4),      // {size, iters}
-            ps(1 << 5),               // {p}
-            ps(1 << 4),               // {iters} alone
+            ps(1 << 0 | 1 << 4), // {size, iters}
+            ps(1 << 5),          // {p}
+            ps(1 << 4),          // {iters} alone
         ]);
         let remapped = d.remap(&[(5, 0), (0, 1)]);
         assert_eq!(remapped.monomials, vec![ps(0b01), ps(0b10)]);

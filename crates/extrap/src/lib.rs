@@ -25,6 +25,8 @@ pub mod segmented;
 pub mod term;
 
 pub use measurement::{MeasurePoint, MeasurementSet};
-pub use search::{fit_multi_param, fit_single_param, FittedModel, Quality, Restriction, SearchSpace};
+pub use search::{
+    fit_multi_param, fit_single_param, FittedModel, Quality, Restriction, SearchSpace,
+};
 pub use segmented::{fit_segmented, SegmentedModel};
 pub use term::{Factor, Model, Term};

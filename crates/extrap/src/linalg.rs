@@ -5,6 +5,10 @@
 //! in the fixed exponents), so fitting a hypothesis is a tiny OLS problem —
 //! at most `1 + n_terms ≤ 3` unknowns in the paper's configuration (§4.5).
 
+// In-place elimination and symmetric fill-in read clearest with explicit
+// indices.
+#![allow(clippy::needless_range_loop)]
+
 /// Solve `A x = b` in place for a small dense system. Returns `None` when
 /// the matrix is (numerically) singular.
 pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {

@@ -208,7 +208,13 @@ fn fit_hypothesis(terms: &[&Term], coords: &[Vec<f64>], ys: &[f64]) -> Option<(M
     Some((model, cv))
 }
 
-fn finalize(model: Model, cv: f64, coords: &[Vec<f64>], ys: &[f64], hypotheses: usize) -> FittedModel {
+fn finalize(
+    model: Model,
+    cv: f64,
+    coords: &[Vec<f64>],
+    ys: &[f64],
+    hypotheses: usize,
+) -> FittedModel {
     let pred: Vec<f64> = coords.iter().map(|c| model.eval(c)).collect();
     let design: Vec<Vec<f64>> = coords.iter().map(|_| vec![1.0]).collect();
     let _ = &design;
@@ -216,11 +222,7 @@ fn finalize(model: Model, cv: f64, coords: &[Vec<f64>], ys: &[f64], hypotheses: 
         cv_smape: cv,
         smape: smape(&pred, ys),
         r2: r_squared(&pred, ys),
-        rss: pred
-            .iter()
-            .zip(ys)
-            .map(|(p, a)| (p - a) * (p - a))
-            .sum(),
+        rss: pred.iter().zip(ys).map(|(p, a)| (p - a) * (p - a)).sum(),
         hypotheses,
     };
     FittedModel { model, quality }
@@ -233,12 +235,7 @@ fn hypothesis_complexity(model: &Model) -> f64 {
 
 /// Search the best single-parameter model for data `(xs, ys)`, where `xs`
 /// are values of parameter `param`.
-pub fn fit_single_param(
-    xs: &[f64],
-    ys: &[f64],
-    param: usize,
-    space: &SearchSpace,
-) -> FittedModel {
+pub fn fit_single_param(xs: &[f64], ys: &[f64], param: usize, space: &SearchSpace) -> FittedModel {
     let coords: Vec<Vec<f64>> = xs
         .iter()
         .map(|&x| {
@@ -327,8 +324,7 @@ pub fn fit_multi_param(
     // Forced-constant shortcut: nothing is allowed to vary.
     if matches!(restriction, Some(r) if r.forbids_everything()) {
         let mean = ys.iter().sum::<f64>() / ys.len() as f64;
-        let (model, cv) =
-            fit_hypothesis(&[], &coords, &ys).unwrap_or((Model::constant(mean), 0.0));
+        let (model, cv) = fit_hypothesis(&[], &coords, &ys).unwrap_or((Model::constant(mean), 0.0));
         return finalize(model, cv, &coords, &ys, 1);
     }
 
@@ -497,11 +493,7 @@ mod tests {
         assert!((t.exp - 0.5).abs() < 1e-9);
     }
 
-    fn grid2(
-        xs: &[f64],
-        ys: &[f64],
-        f: impl Fn(f64, f64) -> f64,
-    ) -> MeasurementSet {
+    fn grid2(xs: &[f64], ys: &[f64], f: impl Fn(f64, f64) -> f64) -> MeasurementSet {
         let mut s = MeasurementSet::new(vec!["p".into(), "size".into()]);
         for &x in xs {
             for &y in ys {
@@ -541,11 +533,7 @@ mod tests {
     #[test]
     fn restriction_forces_constant() {
         let ms = grid2(&[4.0, 8.0, 16.0], &[1.0, 2.0, 3.0], |p, _| 5.0 + 0.01 * p);
-        let fit = fit_multi_param(
-            &ms,
-            &SearchSpace::default(),
-            Some(&Restriction::constant()),
-        );
+        let fit = fit_multi_param(&ms, &SearchSpace::default(), Some(&Restriction::constant()));
         assert!(fit.model.is_constant());
     }
 

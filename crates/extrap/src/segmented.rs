@@ -108,14 +108,12 @@ pub fn fit_segmented(
         let left = fit_single_param(&sx[..split], &sy[..split], param, space);
         let right = fit_single_param(&sx[split..], &sy[split..], param, space);
         let score = left.quality.smape.max(right.quality.smape);
-        if best.as_ref().map_or(true, |(_, _, _, s)| score < *s) {
+        if best.as_ref().is_none_or(|(_, _, _, s)| score < *s) {
             best = Some((split, left, right, score));
         }
     }
     match best {
-        Some((split, left, right, score))
-            if score < single.quality.smape * improvement =>
-        {
+        Some((split, left, right, score)) if score < single.quality.smape * improvement => {
             SegmentedModel::Split {
                 boundary: (sx[split - 1], sx[split]),
                 left,
@@ -157,7 +155,11 @@ mod tests {
         let xs: Vec<f64> = vec![4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
         let ys: Vec<f64> = xs.iter().map(|&x| 2.0 + 0.5 * x).collect();
         let m = fit_segmented(&xs, &ys, 0, &SearchSpace::default(), 3, 0.5);
-        assert!(!m.is_split(), "smooth data must not split: {}", m.render("x"));
+        assert!(
+            !m.is_split(),
+            "smooth data must not split: {}",
+            m.render("x")
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl Term {
 
     /// Evaluate at a coordinate (indexed by parameter).
     pub fn eval(&self, coords: &[f64]) -> f64 {
-        self.factors.iter().map(|f| f.eval(coords[f.param])).product()
+        self.factors
+            .iter()
+            .map(|f| f.eval(coords[f.param]))
+            .product()
     }
 
     /// Parameters used by this term, as a bitmask.

@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a basic block within its function.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct BlockId(pub u32);
 
 impl BlockId {
@@ -26,9 +24,7 @@ impl fmt::Display for BlockId {
 }
 
 /// Index of a function within its module.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct FunctionId(pub u32);
 
 impl FunctionId {
@@ -39,9 +35,7 @@ impl FunctionId {
 }
 
 /// Index of a formal parameter of a function.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ParamId(pub u32);
 
 impl ParamId {

@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of an instruction inside its function's instruction arena.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct InstId(pub u32);
 
 impl InstId {
@@ -192,7 +190,11 @@ pub enum InstKind {
     /// Unary operation.
     Un { op: UnOp, operand: Value },
     /// Comparison; result type is `Bool`.
-    Cmp { pred: CmpPred, lhs: Value, rhs: Value },
+    Cmp {
+        pred: CmpPred,
+        lhs: Value,
+        rhs: Value,
+    },
     /// `cond ? then_v : else_v` without control flow.
     Select {
         cond: Value,

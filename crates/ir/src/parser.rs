@@ -54,12 +54,10 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
         }
         if let Some(rest) = line.strip_prefix("extern @") {
             // extern @name(arity) -> ty
-            let (name, rest) = rest
-                .split_once('(')
-                .ok_or_else(|| ParseError {
-                    line: i + 1,
-                    message: "malformed extern".into(),
-                })?;
+            let (name, rest) = rest.split_once('(').ok_or_else(|| ParseError {
+                line: i + 1,
+                message: "malformed extern".into(),
+            })?;
             let (arity_s, rest) = rest.split_once(')').ok_or_else(|| ParseError {
                 line: i + 1,
                 message: "malformed extern".into(),
@@ -135,12 +133,10 @@ struct PendingTerm {
 
 fn parse_function(lines: &[&str], start: usize) -> Result<(Function, usize), ParseError> {
     let header = strip_comment(lines[start]).trim();
-    let rest = header
-        .strip_prefix("func @")
-        .ok_or_else(|| ParseError {
-            line: start + 1,
-            message: "expected func".into(),
-        })?;
+    let rest = header.strip_prefix("func @").ok_or_else(|| ParseError {
+        line: start + 1,
+        message: "expected func".into(),
+    })?;
     let (name, rest) = rest.split_once('(').ok_or_else(|| ParseError {
         line: start + 1,
         message: "func missing (".into(),
@@ -376,19 +372,23 @@ fn parse_value_token(
     }
     if let Some(name) = tok.strip_prefix('%') {
         if let Ok(pid) = name.parse::<u32>() {
-            return id_map.get(&pid).copied().map(Value::Inst).ok_or_else(|| {
-                ParseError {
+            return id_map
+                .get(&pid)
+                .copied()
+                .map(Value::Inst)
+                .ok_or_else(|| ParseError {
                     line,
                     message: format!("undefined value %{pid}"),
-                }
-            });
+                });
         }
-        return params.get(name).copied().map(Value::Param).ok_or_else(|| {
-            ParseError {
+        return params
+            .get(name)
+            .copied()
+            .map(Value::Param)
+            .ok_or_else(|| ParseError {
                 line,
                 message: format!("unknown parameter %{name}"),
-            }
-        });
+            });
     }
     if tok.contains('.') || tok.contains('e') || tok.contains("inf") || tok.contains("nan") {
         if let Ok(f) = tok.parse::<f64>() {
@@ -510,12 +510,10 @@ fn parse_inst_kind(
                 message: format!("unknown type {ty_s}"),
             })?;
             let rest = rest.trim();
-            let name = rest
-                .strip_prefix('@')
-                .ok_or_else(|| ParseError {
-                    line,
-                    message: "call missing @callee".into(),
-                })?;
+            let name = rest.strip_prefix('@').ok_or_else(|| ParseError {
+                line,
+                message: "call missing @callee".into(),
+            })?;
             let (name, args_s) = name.split_once('(').ok_or_else(|| ParseError {
                 line,
                 message: "call missing (".into(),

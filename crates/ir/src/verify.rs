@@ -122,28 +122,26 @@ pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
                     return Err(VerifyError::NonBoolBranchCondition { block: bid });
                 }
             }
-            Terminator::Ret(v) => {
-                match (v, func.ret_ty) {
-                    (None, Type::Void) => {}
-                    (Some(val), ty) if ty != Type::Void => {
-                        check_value(*val, bid)?;
-                        let vt = func.value_type(*val);
-                        if vt != ty {
-                            return Err(VerifyError::ReturnTypeMismatch {
-                                detail: format!("{} returns {vt}, declared {ty}", func.name),
-                            });
-                        }
-                    }
-                    _ => {
+            Terminator::Ret(v) => match (v, func.ret_ty) {
+                (None, Type::Void) => {}
+                (Some(val), ty) if ty != Type::Void => {
+                    check_value(*val, bid)?;
+                    let vt = func.value_type(*val);
+                    if vt != ty {
                         return Err(VerifyError::ReturnTypeMismatch {
-                            detail: format!(
-                                "{}: value presence disagrees with declared {}",
-                                func.name, func.ret_ty
-                            ),
-                        })
+                            detail: format!("{} returns {vt}, declared {ty}", func.name),
+                        });
                     }
                 }
-            }
+                _ => {
+                    return Err(VerifyError::ReturnTypeMismatch {
+                        detail: format!(
+                            "{}: value presence disagrees with declared {}",
+                            func.name, func.ret_ty
+                        ),
+                    })
+                }
+            },
             _ => {}
         }
 

@@ -29,10 +29,7 @@ pub struct SweepPoint {
 
 impl SweepPoint {
     pub fn param(&self, name: &str) -> Option<i64> {
-        self.params
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.params.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// A short key identifying this point (stable across runs; used to seed
@@ -127,32 +124,10 @@ pub fn run_sweep(
     probe: &[f64],
     threads: usize,
 ) -> Vec<PointProfile> {
-    let threads = threads.max(1).min(points.len().max(1));
-    let results: Vec<parking_lot::Mutex<Option<PointProfile>>> =
-        (0..points.len()).map(|_| parking_lot::Mutex::new(None)).collect();
-    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-    for i in 0..points.len() {
-        tx.send(i).expect("queue");
-    }
-    drop(tx);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let rx = rx.clone();
-            let results = &results;
-            scope.spawn(move || {
-                while let Ok(i) = rx.recv() {
-                    let prof = run_point(module, prepared, entry, &points[i], probe)
-                        .unwrap_or_else(|e| panic!("sweep point {} failed: {e}", points[i].key()));
-                    *results[i].lock() = Some(prof);
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("all points completed"))
-        .collect()
+    pt_util::parallel_map(points, threads, |point| {
+        run_point(module, prepared, entry, point, probe)
+            .unwrap_or_else(|e| panic!("sweep point {} failed: {e}", point.key()))
+    })
 }
 
 /// Turn a sweep's deterministic profiles into per-function
@@ -315,20 +290,8 @@ mod tests {
         let pts = points();
         let probe = vec![0.0; m.functions.len() + m.used_externals().len()];
         let profiles = run_sweep(&m, &prepared, "main", &pts, &probe, 1);
-        let a = function_sets(
-            &profiles,
-            &["size".to_string()],
-            3,
-            &NoiseModel::CLUSTER,
-            7,
-        );
-        let b = function_sets(
-            &profiles,
-            &["size".to_string()],
-            3,
-            &NoiseModel::CLUSTER,
-            7,
-        );
+        let a = function_sets(&profiles, &["size".to_string()], 3, &NoiseModel::CLUSTER, 7);
+        let b = function_sets(&profiles, &["size".to_string()], 3, &NoiseModel::CLUSTER, 7);
         assert_eq!(a["kernel"].points, b["kernel"].points);
     }
 

@@ -86,7 +86,8 @@ mod tests {
 
     #[test]
     fn collectives_grow_logarithmically() {
-        for f in [barrier as fn(&MachineConfig) -> f64] {
+        {
+            let f = barrier as fn(&MachineConfig) -> f64;
             let t8 = f(&cfg(8));
             let t64 = f(&cfg(64));
             assert!((t64 / t8 - 2.0).abs() < 1e-9, "log2(64)/log2(8) = 2");

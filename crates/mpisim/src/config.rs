@@ -130,9 +130,13 @@ mod tests {
 
     #[test]
     fn node_count() {
-        let c = MachineConfig::default().with_ranks(64).with_ranks_per_node(18);
+        let c = MachineConfig::default()
+            .with_ranks(64)
+            .with_ranks_per_node(18);
         assert_eq!(c.nodes(), 4);
-        let c = MachineConfig::default().with_ranks(8).with_ranks_per_node(8);
+        let c = MachineConfig::default()
+            .with_ranks(8)
+            .with_ranks_per_node(8);
         assert_eq!(c.nodes(), 1);
     }
 

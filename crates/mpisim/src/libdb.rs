@@ -162,7 +162,10 @@ mod tests {
         assert!(db.is_relevant("MPI_Allreduce"));
         assert!(db.is_relevant("MPI_Barrier"));
         assert!(!db.is_relevant("MPI_Comm_rank"), "rank query is constant");
-        assert!(!db.is_relevant("pt_print_i64"), "unknown symbols irrelevant");
+        assert!(
+            !db.is_relevant("pt_print_i64"),
+            "unknown symbols irrelevant"
+        );
         let names: Vec<&str> = db.relevant_names().collect();
         assert!(names.contains(&"MPI_Send"));
         assert!(!names.contains(&"MPI_Comm_rank"));

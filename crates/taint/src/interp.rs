@@ -31,10 +31,8 @@ use crate::memory::{MemError, Memory, TVal};
 use crate::path::PathId;
 use crate::prepared::PreparedModule;
 use crate::profile::Profile;
-use crate::records::{BranchRecord, LoopKey, TaintRecords};
-use pt_ir::{
-    BinOp, BlockId, Callee, FunctionId, InstKind, Module, Terminator, Type, UnOp, Value,
-};
+use crate::records::{LoopKey, TaintRecords};
+use pt_ir::{BinOp, BlockId, Callee, FunctionId, InstKind, Module, Terminator, Type, UnOp, Value};
 
 /// How control-flow taint is applied (ablation knob; the paper's extension
 /// corresponds to `All`).
@@ -188,7 +186,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             .functions
             .iter()
             .map(|f| f.blocks.len())
-            .chain(std::iter::repeat(0).take(extern_names.len()))
+            .chain(std::iter::repeat_n(0, extern_names.len()))
             .collect();
         Interpreter {
             module,
@@ -336,9 +334,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         let (_, v) = incomings
                             .iter()
                             .find(|(b, _)| *b == pb)
-                            .unwrap_or_else(|| {
-                                panic!("phi %{} missing incoming for {pb}", iid.0)
-                            });
+                            .unwrap_or_else(|| panic!("phi %{} missing incoming for {pb}", iid.0));
                         let mut tv = self.eval(*v, &locals, &args);
                         if self.config.taint && self.config.policy == CtlFlowPolicy::All {
                             let ctx = cur_ctx(&ctl);
@@ -369,7 +365,15 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     Label::EMPTY
                 };
                 let out = self.exec_inst(
-                    fid, iid, func, prep, &args, &mut locals, ctx, path, &mut child_time,
+                    fid,
+                    iid,
+                    func,
+                    prep,
+                    &args,
+                    &mut locals,
+                    ctx,
+                    path,
+                    &mut child_time,
                 )?;
                 locals[iid.index()] = out;
             }
@@ -408,11 +412,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         // Branch coverage for tainted conditions (§4.4, §C2).
                         if self.config.coverage && !cv.label.is_empty() {
                             let pset = self.labels.params_of(cv.label);
-                            let rec = self
-                                .records
-                                .branches
-                                .entry((fid, block))
-                                .or_insert_with(BranchRecord::default);
+                            let rec = self.records.branches.entry((fid, block)).or_default();
                             rec.params = rec.params.union(pset);
                             if cv.as_bool() {
                                 rec.taken_true += 1;
@@ -436,10 +436,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     block = target;
                 }
                 Terminator::Ret(v) => {
-                    ret_val = match v {
-                        Some(val) => Some(self.eval(*val, &locals, &args)),
-                        None => None,
-                    };
+                    ret_val = v.as_ref().map(|val| self.eval(*val, &locals, &args));
                     break 'blocks;
                 }
                 Terminator::Unreachable => {
@@ -700,21 +697,26 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 let b = self.eval(*base, locals, args);
                 let i = self.eval(*index, locals, args);
                 let label = self.union(b.label, i.label);
-                let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride as i64));
+                let addr = b
+                    .as_i64()
+                    .wrapping_add(i.as_i64().wrapping_mul(*stride as i64));
                 TVal {
                     bits: addr as u64,
                     label,
                 }
             }
-            InstKind::Call { callee, args: call_args, .. } => {
+            InstKind::Call {
+                callee,
+                args: call_args,
+                ..
+            } => {
                 let argv: Vec<TVal> = call_args
                     .iter()
                     .map(|a| self.eval(*a, locals, args))
                     .collect();
                 match callee {
                     Callee::Internal(callee_id) => {
-                        let (ret, incl) =
-                            self.exec_function(*callee_id, argv, Some(path), ctx)?;
+                        let (ret, incl) = self.exec_function(*callee_id, argv, Some(path), ctx)?;
                         *child_time += incl;
                         ret.unwrap_or(TVal::UNTAINTED_ZERO)
                     }
@@ -740,11 +742,10 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         match name {
             "pt_param_i64" => {
                 let idx = argv[0].as_i64() as usize;
-                let (name, value) = self
-                    .params
-                    .get(idx)
-                    .cloned()
-                    .ok_or_else(|| InterpError::Trap(format!("pt_param_i64: no param {idx}")))?;
+                let (name, value) =
+                    self.params.get(idx).cloned().ok_or_else(|| {
+                        InterpError::Trap(format!("pt_param_i64: no param {idx}"))
+                    })?;
                 let label = if self.config.taint {
                     self.labels.base_label(&name)
                 } else {
@@ -755,13 +756,9 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             "pt_register_param" => {
                 let addr = argv[0].as_addr();
                 let idx = argv[1].as_i64() as usize;
-                let (name, _) = self
-                    .params
-                    .get(idx)
-                    .cloned()
-                    .ok_or_else(|| {
-                        InterpError::Trap(format!("pt_register_param: no param {idx}"))
-                    })?;
+                let (name, _) = self.params.get(idx).cloned().ok_or_else(|| {
+                    InterpError::Trap(format!("pt_register_param: no param {idx}"))
+                })?;
                 if self.config.taint {
                     let label = self.labels.base_label(&name);
                     self.mem.set_label(addr, label)?;
@@ -827,13 +824,12 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             params: &self.params,
             taint: self.config.taint,
         };
-        let (ret, cost) = self
-            .handler
-            .call(name, argv, &mut ctx)
-            .map_err(|message| InterpError::ExternalFailed {
+        let (ret, cost) = self.handler.call(name, argv, &mut ctx).map_err(|message| {
+            InterpError::ExternalFailed {
                 name: name.to_string(),
                 message,
-            })?;
+            }
+        })?;
         if name.starts_with("pt_") {
             self.clock += cost;
             return Ok(ret);

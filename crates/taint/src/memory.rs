@@ -88,7 +88,10 @@ impl std::fmt::Display for MemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MemError::OutOfBounds { addr, len } => {
-                write!(f, "memory access at word {addr} outside arena of {len} words")
+                write!(
+                    f,
+                    "memory access at word {addr} outside arena of {len} words"
+                )
             }
             MemError::NullAccess => write!(f, "null memory access"),
         }

@@ -13,7 +13,8 @@ fn run_module(
     config: InterpConfig,
 ) -> Result<RunOutput, InterpError> {
     let prepared = PreparedModule::compute(m);
-    Interpreter::new(m, &prepared, WorkOnlyHandler::default(), params, config).run_named("main", &[])
+    Interpreter::new(m, &prepared, WorkOnlyHandler::default(), params, config)
+        .run_named("main", &[])
 }
 
 fn run_default(m: &Module, params: Vec<(String, i64)>) -> RunOutput {
@@ -151,11 +152,7 @@ fn register_param_taints_existing_memory() {
     let mut b = FunctionBuilder::new("main", vec![], Type::Void);
     let opts = b.alloca(4i64);
     b.store(opts, Value::int(30)); // opts.nx = 30 (untainted so far)
-    b.call_external(
-        "pt_register_param",
-        vec![opts, Value::int(0)],
-        Type::Void,
-    );
+    b.call_external("pt_register_param", vec![opts, Value::int(0)], Type::Void);
     let nx = b.load(opts, Type::I64);
     b.call_external("pt_assert_has_param", vec![nx, Value::int(0)], Type::Void);
     b.ret(None);
@@ -488,7 +485,10 @@ fn taint_disabled_runs_clean_and_fast() {
         ..Default::default()
     };
     let out = run_module(&m, vec![("n".into(), 50)], cfg).unwrap();
-    assert!(out.records.loops.is_empty(), "no sink records without taint");
+    assert!(
+        out.records.loops.is_empty(),
+        "no sink records without taint"
+    );
     // Only the pre-interned base label for "n" exists; no unions happened.
     assert_eq!(out.labels.len(), 2, "no union labels allocated");
     assert!(out.time > 0.0, "time still accounted");

@@ -1,0 +1,73 @@
+//! Small utilities shared across the workspace.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` on up to `max_workers` scoped threads, preserving
+/// input order. With one worker (or one item) this degrades to a plain
+/// sequential map — no threads are spawned.
+///
+/// Workers pull indices from a shared atomic counter, so uneven item costs
+/// balance automatically. Panics in `f` propagate (the scope re-raises).
+pub fn parallel_map<T, R, F>(items: &[T], max_workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = max_workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *results[i].lock().unwrap() = Some(f(&items[i]));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker completed this slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parallel_map;
+
+    #[test]
+    fn preserves_order_and_maps_everything() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [1, 2, 8, 200] {
+            let out = parallel_map(&items, workers, |&x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<usize> = parallel_map(&[] as &[usize], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_costs_still_complete() {
+        let items: Vec<u64> = vec![30, 1, 1, 1, 20, 1, 1, 10];
+        let out = parallel_map(&items, 4, |&ms| {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            ms
+        });
+        assert_eq!(out, items);
+    }
+}

@@ -7,15 +7,18 @@
 
 use perf_taint::report::render_contention;
 use perf_taint::validate::detect_contention;
+use perf_taint::SessionBuilder;
 use pt_extrap::{MeasurementSet, SearchSpace};
 use pt_measure::{run_sweep, Filter, SweepPoint};
 use pt_mpisim::{ContentionModel, MachineConfig};
-use pt_taint::PreparedModule;
 use std::collections::BTreeMap;
 
 fn main() {
     let app = pt_apps::lulesh::build();
-    let prepared = PreparedModule::compute(&app.module);
+    // No taint run needed here — only the memoized static stage.
+    let session = SessionBuilder::new(&app.module, &app.entry).build();
+    let statics = session.static_analysis();
+    let prepared = &statics.prepared;
 
     // Fixed program configuration; only the node layout varies.
     let rpn = [2u32, 4, 8, 12, 16, 18];
@@ -30,7 +33,7 @@ fn main() {
         })
         .collect();
     let probe = Filter::None.probe_vector(&app.module, 0.0);
-    let profiles = run_sweep(&app.module, &prepared, &app.entry, &points, &probe, 4);
+    let profiles = run_sweep(&app.module, prepared, &app.entry, &points, &probe, 4);
 
     println!("wall time vs ranks per node (p=64, size fixed):");
     for (i, prof) in profiles.iter().enumerate() {
@@ -55,7 +58,10 @@ fn main() {
     }
     let findings = detect_contention(&sets, &|_| true, &SearchSpace::default(), 0.1, 1.05);
     println!();
-    println!("{}", render_contention(&findings[..findings.len().min(8)], "r"));
+    println!(
+        "{}",
+        render_contention(&findings[..findings.len().min(8)], "r")
+    );
     println!("Memory-bound kernels pick up log2(r)-family models — the §C1 signature");
     println!("of memory-bandwidth saturation, invisible to black-box modeling.");
 }

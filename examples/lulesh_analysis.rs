@@ -4,13 +4,13 @@
 //! Run with: `cargo run --release --example lulesh_analysis`
 
 use perf_taint::report::{render_design, render_table2, render_table3};
-use perf_taint::{analyze, design_experiments, PipelineConfig};
+use perf_taint::{design_experiments, PtError, SessionBuilder};
 
-fn main() {
+fn main() -> Result<(), PtError> {
     let app = pt_apps::lulesh::build();
-    let cfg = PipelineConfig::with_mpi_defaults();
-    let analysis = analyze(&app.module, &app.entry, app.taint_run_params(), &cfg)
-        .expect("taint analysis (size=5, 8 ranks — the paper's configuration)");
+    let session = SessionBuilder::new(&app.module, &app.entry).build();
+    // The paper's representative configuration: size=5 on 8 ranks.
+    let analysis = session.taint_run(app.taint_run_params())?;
 
     println!("{}", render_table2(&app.name, &analysis.table2));
     println!();
@@ -30,11 +30,7 @@ fn main() {
     }
 
     let model_params = vec!["p".to_string(), "size".to_string()];
-    let design = design_experiments(
-        &analysis.global_deps(&model_params),
-        &model_params,
-        &[5, 5],
-    );
+    let design = design_experiments(&analysis.global_deps(&model_params), &model_params, &[5, 5]);
     println!("\n{}", render_design(&design));
 
     let relevant = analysis.relevant_functions(&app.module);
@@ -48,4 +44,5 @@ fn main() {
         "Constant-function fraction: {:.1}% (paper: 86.2%)",
         100.0 * analysis.table2.constant_fraction()
     );
+    Ok(())
 }

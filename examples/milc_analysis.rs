@@ -6,13 +6,13 @@
 
 use perf_taint::report::{render_segmentation, render_table2};
 use perf_taint::validate::detect_segmentation;
-use perf_taint::{analyze, PipelineConfig};
+use perf_taint::{PtError, SessionBuilder};
 
-fn main() {
+fn main() -> Result<(), PtError> {
     let app = pt_apps::milc::build();
-    let cfg = PipelineConfig::with_mpi_defaults();
-    let analysis = analyze(&app.module, &app.entry, app.taint_run_params(), &cfg)
-        .expect("taint analysis (the paper: size 128 on 32 ranks)");
+    let session = SessionBuilder::new(&app.module, &app.entry).build();
+    // The paper's representative configuration: size 128 on 32 ranks.
+    let analysis = session.taint_run(app.taint_run_params())?;
 
     println!("{}", render_table2(&app.name, &analysis.table2));
 
@@ -22,12 +22,12 @@ fn main() {
     // experts in a laborious manual process".
     println!("\nParameter relevance (functions affected):");
     for (idx, name) in analysis.param_names.iter().enumerate() {
-        let affected = analysis
-            .deps
-            .values()
-            .filter(|d| d.depends_on(idx))
-            .count();
-        let verdict = if affected == 0 { "prune (irrelevant)" } else { "keep" };
+        let affected = analysis.deps.values().filter(|d| d.depends_on(idx)).count();
+        let verdict = if affected == 0 {
+            "prune (irrelevant)"
+        } else {
+            "keep"
+        };
         println!("  {name:<10} {affected:>4} functions → {verdict}");
     }
 
@@ -42,18 +42,17 @@ fn main() {
     }
 
     // §C2: coverage across the p domain reveals the gather's algorithm
-    // switch.
+    // switch. The batch reuses this session's static stage and fans the
+    // four coverage runs across worker threads.
+    let ranks = [4i64, 8, 16, 32];
+    let param_sets: Vec<Vec<(String, i64)>> = ranks
+        .iter()
+        .map(|&p| app.sweep_params(&[("nx", 16), ("p", p)]))
+        .collect();
     let mut observations = Vec::new();
     let mut names = Vec::new();
-    for p in [4i64, 8, 16, 32] {
-        let a = analyze(
-            &app.module,
-            &app.entry,
-            app.sweep_params(&[("nx", 16), ("p", p)]),
-            &cfg,
-        )
-        .expect("coverage run");
-        observations.push(a.branch_observations(&app.module));
+    for (p, result) in ranks.iter().zip(session.analyze_batch(&param_sets)) {
+        observations.push(result?.branch_observations(&app.module));
         names.push(format!("p={p}"));
     }
     println!();
@@ -61,4 +60,5 @@ fn main() {
         "{}",
         render_segmentation(&detect_segmentation(&observations), &names)
     );
+    Ok(())
 }

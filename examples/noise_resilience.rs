@@ -6,12 +6,11 @@
 //! Run with: `cargo run --release --example noise_resilience`
 
 use perf_taint::report::render_models;
-use perf_taint::{analyze, compare_against_truth, model_functions, PipelineConfig};
+use perf_taint::{compare_against_truth, model_functions, PtError, SessionBuilder};
 use pt_extrap::SearchSpace;
 use pt_ir::{FunctionBuilder, Module, Type, Value};
 use pt_measure::{function_sets, run_sweep, Filter, NoiseModel, SweepPoint};
 use pt_mpisim::MachineConfig;
-use pt_taint::PreparedModule;
 
 fn build_app() -> Module {
     let mut m = Module::new("noise-demo");
@@ -46,19 +45,12 @@ fn build_app() -> Module {
     m
 }
 
-fn main() {
+fn main() -> Result<(), PtError> {
     let module = build_app();
-    let cfg = PipelineConfig::with_mpi_defaults();
-    let analysis = analyze(
-        &module,
-        "main",
-        vec![("size".into(), 4), ("p".into(), 4)],
-        &cfg,
-    )
-    .expect("analysis");
+    let session = SessionBuilder::new(&module, "main").build();
+    let analysis = session.taint_run(vec![("size".into(), 4), ("p".into(), 4)])?;
 
     let model_params = vec!["p".to_string(), "size".to_string()];
-    let prepared = PreparedModule::compute(&module);
     let probe = Filter::Full.probe_vector(&module, 1e-6);
     let mut points = Vec::new();
     for &p in &[4i64, 8, 16, 32, 64] {
@@ -69,7 +61,7 @@ fn main() {
             });
         }
     }
-    let profiles = run_sweep(&module, &prepared, "main", &points, &probe, 4);
+    let profiles = run_sweep(&module, analysis.prepared(), "main", &points, &probe, 4);
     let sets = function_sets(&profiles, &model_params, 5, &NoiseModel::CLUSTER, 99);
 
     let space = SearchSpace::default();
@@ -96,4 +88,5 @@ fn main() {
         "hybrid models can never violate the taint structure"
     );
     println!("hybrid false models: 0 (by construction)");
+    Ok(())
 }

@@ -1,20 +1,34 @@
-//! Quickstart: annotate a program's parameters, run the taint analysis,
-//! and get clean performance models.
+//! Quickstart: annotate a program's parameters, run the taint analysis
+//! through a [`perf_taint::Session`], and get clean performance models.
 //!
 //! The program below is the paper's running example shape: a kernel looping
 //! over `size`, a communication phase depending on the implicit `p`, and a
 //! numerical parameter `eps` that never influences control flow. We write
-//! it in the textual IR, parse it, analyze it, measure a small sweep, and
-//! fit models with and without the taint prior.
+//! it in the textual IR, parse it, build a session, analyze it, measure a
+//! small sweep, and fit models with the taint prior.
+//!
+//! The walkthrough is staged exactly like the paper's Fig. 2:
+//!
+//! 1. `parse_module` — text → IR (parse failures are `PtError::Parse`).
+//! 2. `SessionBuilder::new(&module, "main").build()` — a session memoizes
+//!    the static stage (§5.1) so later taint runs share it.
+//! 3. `session.taint_run(params)` — one representative dynamic run (§5.2)
+//!    plus dependency extraction (§4.2–4.3); errors are `PtError`, never a
+//!    panic or a substrate type.
+//! 4. Experiment design, measurement, and hybrid modeling on the artifacts.
+//!
+//! Migrating from the old one-shot API is mechanical: `analyze(&m, entry,
+//! params, &cfg)` ≡ `SessionBuilder::new(&m, entry).config(cfg).build()
+//! .taint_run(params)` — and the session form lets you call `taint_run`
+//! (or `analyze_batch`) again without re-paying static analysis.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use perf_taint::report::render_models;
-use perf_taint::{analyze, design_experiments, model_functions, PipelineConfig};
+use perf_taint::{design_experiments, model_functions, parse_module, PtError, SessionBuilder};
 use pt_extrap::SearchSpace;
 use pt_measure::{function_sets, run_sweep, Filter, NoiseModel, SweepPoint};
 use pt_mpisim::MachineConfig;
-use pt_taint::PreparedModule;
 
 const PROGRAM: &str = r#"
 ; module quickstart
@@ -52,17 +66,15 @@ bb0:
 }
 "#;
 
-fn main() {
-    // 1. Parse and analyze: one representative taint run.
-    let module = pt_ir::parser::parse_module(PROGRAM).expect("parse");
-    let cfg = PipelineConfig::with_mpi_defaults();
-    let analysis = analyze(
-        &module,
-        "main",
-        vec![("size".into(), 8), ("eps".into(), 3), ("p".into(), 4)],
-        &cfg,
-    )
-    .expect("taint analysis");
+fn main() -> Result<(), PtError> {
+    // 1. Parse, then build a session: the static stage (§5.1) will be
+    //    computed once and shared by every run this session performs.
+    let module = parse_module(PROGRAM)?;
+    let session = SessionBuilder::new(&module, "main").build();
+
+    // 2. One representative taint run (stages 2–3 of Fig. 2).
+    let analysis =
+        session.taint_run(vec![("size".into(), 8), ("eps".into(), 3), ("p".into(), 4)])?;
 
     println!("== white-box analysis ==");
     for f in module.function_ids() {
@@ -74,7 +86,7 @@ fn main() {
         );
     }
 
-    // 2. Experiment design over (p, size).
+    // 3. Experiment design over (p, size).
     let model_params = vec!["p".to_string(), "size".to_string()];
     let design = design_experiments(&analysis.global_deps(&model_params), &model_params, &[4, 4]);
     println!(
@@ -84,8 +96,9 @@ fn main() {
         design.savings_percent()
     );
 
-    // 3. Measure a sweep (taint-selective instrumentation) and model.
-    let prepared = PreparedModule::compute(&module);
+    // 4. Measure a sweep (taint-selective instrumentation) and model. The
+    //    session already computed the prepared facts — no second
+    //    `PreparedModule::compute`.
     let filter = Filter::TaintBased {
         relevant: analysis.relevant_functions(&module).into_iter().collect(),
     };
@@ -94,16 +107,12 @@ fn main() {
     for &p in &[4i64, 8, 16, 32] {
         for &size in &[8i64, 16, 24, 32] {
             points.push(SweepPoint {
-                params: vec![
-                    ("size".into(), size),
-                    ("eps".into(), 3),
-                    ("p".into(), p),
-                ],
+                params: vec![("size".into(), size), ("eps".into(), 3), ("p".into(), p)],
                 machine: MachineConfig::default().with_ranks(p as u32),
             });
         }
     }
-    let profiles = run_sweep(&module, &prepared, "main", &points, &probe, 4);
+    let profiles = run_sweep(&module, analysis.prepared(), "main", &points, &probe, 4);
     let sets = function_sets(&profiles, &model_params, 5, &NoiseModel::CLUSTER, 7);
 
     let restrictions = analysis.restrictions(&module, &model_params);
@@ -112,4 +121,5 @@ fn main() {
     println!("{}", render_models(&hybrid, &model_params, 6));
     println!("kernel runs size² iterations -> expect a size^2 model;");
     println!("exchange is log2(p); eps never appears anywhere.");
+    Ok(())
 }

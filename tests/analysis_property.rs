@@ -28,7 +28,11 @@ fn check_dominator_laws(f: &Function) {
             continue;
         }
         // Entry dominates everything reachable; everything dominates itself.
-        assert!(dt.dominates(entry, b), "{}: entry must dominate {b}", f.name);
+        assert!(
+            dt.dominates(entry, b),
+            "{}: entry must dominate {b}",
+            f.name
+        );
         assert!(dt.dominates(b, b));
         // The idom strictly dominates, and depth increases by exactly one.
         if let Some(idom) = dt.idom_of(b) {
@@ -129,7 +133,11 @@ fn check_scev_against_structure(f: &Function) {
                     });
                     found
                 });
-                assert!(uses_param, "{}: Unknown trip without parameter bound", f.name);
+                assert!(
+                    uses_param,
+                    "{}: Unknown trip without parameter bound",
+                    f.name
+                );
             }
         }
     }
@@ -162,7 +170,10 @@ proptest! {
 
 #[test]
 fn invariants_hold_on_the_real_apps() {
-    for module in [pt_apps::lulesh::build().module, pt_apps::milc::build().module] {
+    for module in [
+        pt_apps::lulesh::build().module,
+        pt_apps::milc::build().module,
+    ] {
         for f in &module.functions {
             check_dominator_laws(f);
             check_loop_forest_invariants(f);

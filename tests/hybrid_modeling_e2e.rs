@@ -2,12 +2,11 @@
 //! functions are known, then check that the hybrid models recover the right
 //! shapes and that the restriction machinery holds under noise.
 
-use perf_taint::{analyze, compare_against_truth, model_functions, PipelineConfig};
+use perf_taint::{compare_against_truth, model_functions, SessionBuilder};
 use pt_extrap::SearchSpace;
 use pt_ir::{FunctionBuilder, Module, Type, Value};
 use pt_measure::{function_sets, run_sweep, Filter, NoiseModel, SweepPoint};
 use pt_mpisim::MachineConfig;
-use pt_taint::PreparedModule;
 
 /// quad(n): n² work; lin(n): n work; fixed(): constant; comm(): log p.
 fn app() -> Module {
@@ -49,17 +48,12 @@ fn app() -> Module {
 #[test]
 fn hybrid_models_recover_planted_shapes() {
     let module = app();
-    let cfg = PipelineConfig::with_mpi_defaults();
-    let analysis = analyze(
-        &module,
-        "main",
-        vec![("n".into(), 8), ("p".into(), 4)],
-        &cfg,
-    )
-    .unwrap();
+    let session = SessionBuilder::new(&module, "main").build();
+    let analysis = session
+        .taint_run(vec![("n".into(), 8), ("p".into(), 4)])
+        .unwrap();
 
     let model_params = vec!["p".to_string(), "n".to_string()];
-    let prepared = PreparedModule::compute(&module);
     let probe = Filter::None.probe_vector(&module, 0.0);
     let mut points = Vec::new();
     for &p in &[4i64, 8, 16, 32, 64] {
@@ -70,7 +64,7 @@ fn hybrid_models_recover_planted_shapes() {
             });
         }
     }
-    let profiles = run_sweep(&module, &prepared, "main", &points, &probe, 4);
+    let profiles = run_sweep(&module, analysis.prepared(), "main", &points, &probe, 4);
     let sets = function_sets(&profiles, &model_params, 3, &NoiseModel::NONE, 5);
 
     let restrictions = analysis.restrictions(&module, &model_params);
@@ -91,7 +85,10 @@ fn hybrid_models_recover_planted_shapes() {
         })
         .unwrap();
     assert_eq!(max_term.1.factors.len(), 1);
-    assert!((max_term.1.factors[0].exp - 2.0).abs() < 1e-9, "quad: {quad}");
+    assert!(
+        (max_term.1.factors[0].exp - 2.0).abs() < 1e-9,
+        "quad: {quad}"
+    );
 
     // lin: c·n.
     let lin = &models["lin"].fitted.model;
@@ -113,22 +110,20 @@ fn hybrid_models_recover_planted_shapes() {
 
     // No model may violate the taint structure.
     let cmp = compare_against_truth(&models, &restrictions);
-    assert_eq!(cmp.false_dependencies.len() + cmp.overfitted_constants.len(), 0);
+    assert_eq!(
+        cmp.false_dependencies.len() + cmp.overfitted_constants.len(),
+        0
+    );
 }
 
 #[test]
 fn noise_does_not_leak_into_hybrid_models() {
     let module = app();
-    let cfg = PipelineConfig::with_mpi_defaults();
-    let analysis = analyze(
-        &module,
-        "main",
-        vec![("n".into(), 8), ("p".into(), 4)],
-        &cfg,
-    )
-    .unwrap();
+    let session = SessionBuilder::new(&module, "main").build();
+    let analysis = session
+        .taint_run(vec![("n".into(), 8), ("p".into(), 4)])
+        .unwrap();
     let model_params = vec!["p".to_string(), "n".to_string()];
-    let prepared = PreparedModule::compute(&module);
     let probe = Filter::None.probe_vector(&module, 0.0);
     let mut points = Vec::new();
     for &p in &[4i64, 8, 16, 32] {
@@ -139,7 +134,7 @@ fn noise_does_not_leak_into_hybrid_models() {
             });
         }
     }
-    let profiles = run_sweep(&module, &prepared, "main", &points, &probe, 4);
+    let profiles = run_sweep(&module, analysis.prepared(), "main", &points, &probe, 4);
     // Heavy noise: 10% relative + 5µs floor.
     let noise = NoiseModel {
         rel_sigma: 0.10,

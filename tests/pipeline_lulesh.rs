@@ -1,13 +1,15 @@
 //! End-to-end pipeline assertions on mini-LULESH: the Table 2/3 shape, the
 //! §6 kernel dependency structures, and the instrumentation list.
 
-use perf_taint::{analyze, FuncKind, PipelineConfig};
+use perf_taint::{FuncKind, SessionBuilder};
 use pt_apps::lulesh;
 
 fn analysis() -> (pt_apps::AppSpec, perf_taint::Analysis) {
     let app = lulesh::build();
-    let cfg = PipelineConfig::with_mpi_defaults();
-    let a = analyze(&app.module, &app.entry, app.taint_run_params(), &cfg).unwrap();
+    let a = SessionBuilder::new(&app.module, &app.entry)
+        .build()
+        .taint_run(app.taint_run_params())
+        .unwrap();
     (app, a)
 }
 
@@ -22,8 +24,16 @@ fn census_matches_paper_shape() {
         t2.constant_fraction()
     );
     assert!((30..=50).contains(&t2.kernels), "kernels {}", t2.kernels);
-    assert!((1..=4).contains(&t2.comm_routines), "comm {}", t2.comm_routines);
-    assert!((5..=8).contains(&t2.mpi_functions), "mpi {}", t2.mpi_functions);
+    assert!(
+        (1..=4).contains(&t2.comm_routines),
+        "comm {}",
+        t2.comm_routines
+    );
+    assert!(
+        (5..=8).contains(&t2.mpi_functions),
+        "mpi {}",
+        t2.mpi_functions
+    );
     assert_eq!(t2.pruned_dynamic, 11, "the 11 never-executed functions");
     assert!(t2.loops_relevant > 20);
     assert!(t2.loops_pruned_static > 30);
@@ -54,7 +64,10 @@ fn kernel_dependencies_are_correct() {
     // The EOS repetition loop: cost.
     let d = dep_of("EvalEOSForElems");
     assert!(d.depends_on(idx("cost")));
-    assert!(!d.depends_on(idx("size")), "EvalEOS's own loop is over reps");
+    assert!(
+        !d.depends_on(idx("size")),
+        "EvalEOS's own loop is over reps"
+    );
     let d = dep_of("CalcEnergyForElems");
     assert!(d.depends_on(idx("cost")), "cost via the enclosing rep loop");
     assert!(d.depends_on(idx("size")));
@@ -116,7 +129,10 @@ fn instrumentation_list_is_selective() {
         assert!(relevant.contains(&must.to_string()), "{must} missing");
     }
     for must_not in ["Domain_x", "Domain_set_fx", "CalcElemVolume"] {
-        assert!(!relevant.contains(&must_not.to_string()), "{must_not} included");
+        assert!(
+            !relevant.contains(&must_not.to_string()),
+            "{must_not} included"
+        );
     }
 }
 
@@ -142,15 +158,17 @@ fn loop_iteration_counts_match_ground_truth() {
     // At size=5, numElem = 125: the element loops must iterate 125 times
     // per invocation; the main loop `iters` times.
     let app = lulesh::build();
-    let cfg = PipelineConfig::with_mpi_defaults();
-    let a = analyze(&app.module, &app.entry, app.taint_run_params(), &cfg).unwrap();
+    let a = SessionBuilder::new(&app.module, &app.entry)
+        .build()
+        .taint_run(app.taint_run_params())
+        .unwrap();
     let records = a.records.loops_by_function();
-    let f = app.module.function_by_name("UpdateVolumesForElems").unwrap();
+    let f = app
+        .module
+        .function_by_name("UpdateVolumesForElems")
+        .unwrap();
     let iters = 3; // taint-run value
-    let recs: Vec<_> = records
-        .iter()
-        .filter(|((fid, _), _)| *fid == f)
-        .collect();
+    let recs: Vec<_> = records.iter().filter(|((fid, _), _)| *fid == f).collect();
     assert_eq!(recs.len(), 1);
     assert_eq!(recs[0].1.iterations, 125 * iters);
     assert_eq!(recs[0].1.entries, iters);

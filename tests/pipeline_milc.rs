@@ -3,13 +3,15 @@
 //! coupling with p, and the §C2 gather detection.
 
 use perf_taint::validate::detect_segmentation;
-use perf_taint::{analyze, PipelineConfig};
+use perf_taint::SessionBuilder;
 use pt_apps::milc;
 
 fn analysis() -> (pt_apps::AppSpec, perf_taint::Analysis) {
     let app = milc::build();
-    let cfg = PipelineConfig::with_mpi_defaults();
-    let a = analyze(&app.module, &app.entry, app.taint_run_params(), &cfg).unwrap();
+    let a = SessionBuilder::new(&app.module, &app.entry)
+        .build()
+        .taint_run(app.taint_run_params())
+        .unwrap();
     (app, a)
 }
 
@@ -25,7 +27,11 @@ fn census_matches_paper_shape() {
     );
     assert_eq!(t2.pruned_dynamic, 188, "the unused suite code");
     assert!((40..=60).contains(&t2.kernels), "kernels {}", t2.kernels);
-    assert!((8..=14).contains(&t2.comm_routines), "comm {}", t2.comm_routines);
+    assert!(
+        (8..=14).contains(&t2.comm_routines),
+        "comm {}",
+        t2.comm_routines
+    );
 }
 
 #[test]
@@ -67,18 +73,17 @@ fn cg_depends_on_niter_and_trajectory_structure() {
 #[test]
 fn gather_branch_flips_across_p_domain() {
     let app = milc::build();
-    let cfg = PipelineConfig::with_mpi_defaults();
-    let mut observations = Vec::new();
-    for p in [4i64, 8, 16, 32] {
-        let a = analyze(
-            &app.module,
-            &app.entry,
-            app.sweep_params(&[("nx", 8), ("p", p)]),
-            &cfg,
-        )
-        .unwrap();
-        observations.push(a.branch_observations(&app.module));
-    }
+    // One session, four coverage runs: the batch shares the static stage.
+    let session = SessionBuilder::new(&app.module, &app.entry).build();
+    let param_sets: Vec<Vec<(String, i64)>> = [4i64, 8, 16, 32]
+        .iter()
+        .map(|&p| app.sweep_params(&[("nx", 8), ("p", p)]))
+        .collect();
+    let observations: Vec<_> = session
+        .analyze_batch(&param_sets)
+        .into_iter()
+        .map(|r| r.unwrap().branch_observations(&app.module))
+        .collect();
     let warnings = detect_segmentation(&observations);
     let gather: Vec<_> = warnings
         .iter()
@@ -121,29 +126,24 @@ fn do_gather_costs_switch_regimes() {
 #[test]
 fn never_visited_paths_expose_algorithm_selection() {
     // §4.4: at a fixed p only one side of do_gather's algorithm-selection
-    // branch executes — the other side is a never-visited path.
+    // branch executes — the other side is a never-visited path. Two runs
+    // on one session; the second reuses the static stage.
     let app = milc::build();
-    let cfg = PipelineConfig::with_mpi_defaults();
-    let a = analyze(
-        &app.module,
-        &app.entry,
-        app.sweep_params(&[("nx", 8), ("p", 4)]), // small communicator
-        &cfg,
-    )
-    .unwrap();
+    let session = SessionBuilder::new(&app.module, &app.entry).build();
+    let a = session
+        .taint_run(app.sweep_params(&[("nx", 8), ("p", 4)])) // small communicator
+        .unwrap();
     let dead = a.never_visited_paths(&app.module);
     assert!(
         dead.iter().any(|(f, _)| f == "do_gather"),
         "the collective path must be unvisited at p=4: {dead:?}"
     );
     // At p=32 the linear path is dead instead — still flagged.
-    let a32 = analyze(
-        &app.module,
-        &app.entry,
-        app.sweep_params(&[("nx", 8), ("p", 32)]),
-        &cfg,
-    )
-    .unwrap();
+    let a32 = session
+        .taint_run(app.sweep_params(&[("nx", 8), ("p", 32)]))
+        .unwrap();
     let dead32 = a32.never_visited_paths(&app.module);
     assert!(dead32.iter().any(|(f, _)| f == "do_gather"));
+    // The two analyses really shared one static stage.
+    assert!(std::sync::Arc::ptr_eq(&a.statics, &a32.statics));
 }

@@ -3,13 +3,15 @@
 //! structure and the exact iteration counts (Claims 1–2 / Theorem 1 of the
 //! paper, checked mechanically).
 
-use perf_taint::{analyze, PipelineConfig};
+use perf_taint::SessionBuilder;
 use proptest::prelude::*;
 use pt_apps::synth::{generate, SynthConfig};
 use pt_taint::ParamSet;
 
 fn run_synth(seed: u64, num_params: usize, num_kernels: usize) {
-    let values: Vec<i64> = (0..num_params).map(|k| 2 + (k as i64 + seed as i64) % 4).collect();
+    let values: Vec<i64> = (0..num_params)
+        .map(|k| 2 + (k as i64 + seed as i64) % 4)
+        .collect();
     let cfg = SynthConfig {
         seed,
         num_params,
@@ -18,14 +20,10 @@ fn run_synth(seed: u64, num_params: usize, num_kernels: usize) {
         param_values: values.clone(),
     };
     let synth = generate(&cfg);
-    let pipeline_cfg = PipelineConfig::with_mpi_defaults();
-    let analysis = analyze(
-        &synth.app.module,
-        &synth.app.entry,
-        synth.app.taint_run_params(),
-        &pipeline_cfg,
-    )
-    .expect("analysis");
+    let analysis = SessionBuilder::new(&synth.app.module, &synth.app.entry)
+        .build()
+        .taint_run(synth.app.taint_run_params())
+        .expect("analysis");
 
     for (name, truth_masks) in &synth.truth {
         let f = synth.app.module.function_by_name(name).unwrap();

@@ -128,8 +128,8 @@ fn label_table_capacity_is_dfsan_like() {
     for i in 0..16 {
         for j in 0..16 {
             let a = t.union(bases[i], bases[j]);
-            for k in 0..16 {
-                let _ = t.union(a, bases[k]);
+            for &base in &bases {
+                let _ = t.union(a, base);
             }
         }
     }

@@ -1,0 +1,156 @@
+//! Offline stand-in for `criterion` covering the surface this workspace
+//! uses: `Criterion::bench_function`, `benchmark_group` (with
+//! `sample_size`), `Bencher::iter`/`iter_batched`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then `samples`
+//! timed batches with `std::time::Instant`, reporting the median
+//! nanoseconds per iteration. Good enough to compare hot paths locally;
+//! not a statistics engine.
+
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    /// ns/iter of each measured batch.
+    samples: Vec<f64>,
+    batch_iters: u64,
+}
+
+impl Bencher {
+    fn new(batch_iters: u64, batches: usize) -> Bencher {
+        Bencher {
+            samples: Vec::with_capacity(batches),
+            batch_iters,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up.
+        for _ in 0..self.batch_iters.min(16) {
+            std::hint::black_box(routine());
+        }
+        let batches = self.samples.capacity().max(1);
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..self.batch_iters {
+                std::hint::black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64;
+            self.samples.push(ns / self.batch_iters as f64);
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..4 {
+            std::hint::black_box(routine(setup()));
+        }
+        let batches = self.samples.capacity().max(1);
+        for _ in 0..batches {
+            let inputs: Vec<I> = (0..self.batch_iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            let ns = start.elapsed().as_nanos() as f64;
+            self.samples.push(ns / self.batch_iters as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate batch size so one batch takes roughly a millisecond.
+    let mut probe = Bencher::new(1, 1);
+    f(&mut probe);
+    let per_iter = probe.median_ns().max(1.0);
+    let batch_iters = ((1.0e6 / per_iter) as u64).clamp(1, 100_000);
+    let mut b = Bencher::new(batch_iters, sample_size.max(3));
+    f(&mut b);
+    let ns = b.median_ns();
+    if ns >= 1.0e6 {
+        println!("{id:<44} {:>12.3} ms/iter", ns / 1.0e6);
+    } else if ns >= 1.0e3 {
+        println!("{id:<44} {:>12.3} µs/iter", ns / 1.0e3);
+    } else {
+        println!("{id:<44} {:>12.1} ns/iter", ns);
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, 10, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("# group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

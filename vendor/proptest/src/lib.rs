@@ -1,0 +1,237 @@
+//! Offline stand-in for `proptest` covering the surface this workspace
+//! uses: the `proptest!` macro with a `#![proptest_config(..)]` header,
+//! `prop_assert!`/`prop_assert_eq!`, integer/float range strategies,
+//! `proptest::bool::ANY`, and `proptest::collection::vec`.
+//!
+//! Inputs are sampled deterministically (seeded from the test's module
+//! path and name) so failures reproduce across runs. There is no
+//! shrinking: a failing case panics with the assertion message, which in
+//! this workspace's tests always embeds the generating seed.
+
+/// Runner configuration; only `cases` is consulted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic splitmix64 stream seeded from a test identifier.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> TestRng {
+            // FNV-1a over the test path gives every test its own stream.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of values for one macro-bound variable.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end as i128 - start as i128 + 1) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    /// Uniform `bool` (see [`crate::bool::ANY`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod bool {
+    /// `proptest::bool::ANY` — either boolean with equal probability.
+    pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: ::std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: ::std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// The test-definition macro. Each inner function is expanded to a normal
+/// `#[test]` that samples its bound variables `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )+
+        }
+    };
+}
+
+/// Assertion macro; without shrinking this is a plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges and collections stay in bounds.
+        #[test]
+        fn sampling_in_bounds(
+            x in 0usize..8,
+            y in 1u64..10_000,
+            f in 0.25f64..0.75,
+            b in crate::bool::ANY,
+            v in crate::collection::vec(0i64..3, 1..40),
+        ) {
+            prop_assert!(x < 8);
+            prop_assert!((1..10_000).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+            let _ = b;
+            prop_assert!(!v.is_empty() && v.len() < 40);
+            prop_assert!(v.iter().all(|e| (0..3).contains(e)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::from_name("t");
+        let mut b = crate::test_runner::TestRng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

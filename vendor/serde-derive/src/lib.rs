@@ -1,0 +1,16 @@
+//! No-op `Serialize` / `Deserialize` derive macros. The workspace derives
+//! the serde traits for forward compatibility but never serializes, so the
+//! derives may expand to nothing. `attributes(serde)` keeps field-level
+//! `#[serde(...)]` annotations (e.g. `#[serde(skip)]`) legal.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for the `serde` facade. Provides the derive macros (as
+//! no-ops) and empty marker traits so `use serde::{Deserialize, Serialize}`
+//! and `#[derive(Serialize, Deserialize)]` compile without crates.io.
+
+pub use serde_derive_stub::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never implemented by the
+/// no-op derive; present so trait-position uses would still name-resolve).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
