@@ -1,108 +1,10 @@
-//! §A2: taint-derived parameter dependencies reduce the experiment design.
-//!
-//! Additive-only dependencies allow single-parameter sweeps sharing one
-//! baseline (the paper's `p + s` example: 9 instead of 25 experiments);
-//! multiplicative dependencies force joint sampling. The harness also
-//! reports the LULESH `iters` insight: a parameter that only multiplies the
-//! whole computation linearly can be fixed, reducing dimensionality.
+//! §A2 (experiment-design reduction) — thin wrapper over the registered scenario of the same
+//! name; the implementation lives in `pt_bench::scenarios`. Run
+//! `bench_all` to execute any selection of scenarios in one process with
+//! a machine-readable report.
 
-use perf_taint::report::render_design;
-use perf_taint::{design_experiments, PtError, SessionBuilder};
-use pt_bench::try_analyze_app;
-
-/// The paper's §A2 example: `foo` with two *sequential* loops over p and s.
-fn papers_foo_example() -> Result<(), PtError> {
-    use pt_ir::{FunctionBuilder, Module, Type, Value};
-    let mut m = Module::new("a2-foo");
-    let mut b = FunctionBuilder::new("main", vec![], Type::Void);
-    let p = b.call_external("pt_param_i64", vec![Value::int(0)], Type::I64);
-    let s = b.call_external("pt_param_i64", vec![Value::int(1)], Type::I64);
-    b.for_loop(0i64, p, 1i64, |b, _| {
-        b.call_external("pt_work_flops", vec![Value::int(10)], Type::Void);
-    });
-    b.for_loop(0i64, s, 1i64, |b, _| {
-        b.call_external("pt_work_flops", vec![Value::int(10)], Type::Void);
-    });
-    b.ret(None);
-    m.add_function(b.finish());
-
-    let session = SessionBuilder::new(&m, "main").build();
-    let analysis = session.taint_run(vec![("p".into(), 4), ("s".into(), 5)])?;
-    let params = vec!["p".to_string(), "s".to_string()];
-    let global = analysis.global_deps(&params);
-    println!("== the paper's foo(p, s) example (two sequential loops) ==\n");
-    println!("  dependency structure: {}", global.render(&params));
-    println!(
-        "{}",
-        render_design(&design_experiments(&global, &params, &[5, 5]))
-    );
-    Ok(())
-}
+use perf_taint::PtError;
 
 fn main() -> Result<(), PtError> {
-    papers_foo_example()?;
-
-    // LULESH over (p, size): the halo exchange's count argument couples
-    // size with p multiplicatively; compute kernels are size-only.
-    let app = pt_apps::lulesh::build();
-    let analysis = try_analyze_app(&app)?;
-
-    println!("== mini-lulesh ==\n");
-    for params in [
-        vec!["p".to_string(), "size".to_string()],
-        vec![
-            "p".to_string(),
-            "size".to_string(),
-            "regions".to_string(),
-            "cost".to_string(),
-        ],
-    ] {
-        let global = analysis.global_deps(&params);
-        let names: Vec<String> = params.clone();
-        println!(
-            "  dependency structure over {params:?}: {}",
-            global.render(&names)
-        );
-        let values = vec![5; params.len()];
-        println!(
-            "{}",
-            render_design(&design_experiments(&global, &params, &values))
-        );
-    }
-
-    // The iters insight: iters multiplies everything (it appears in every
-    // monomial of the time-stepped kernels) and only linearly — fix it.
-    let with_iters = vec!["p".to_string(), "size".to_string(), "iters".to_string()];
-    let global = analysis.global_deps(&with_iters);
-    let iters_axis = 2usize;
-    let in_all = global
-        .monomials
-        .iter()
-        .filter(|m| m.contains(iters_axis))
-        .count();
-    println!(
-        "  `iters` appears in {}/{} monomials → multiplicative with the entire",
-        in_all,
-        global.monomials.len()
-    );
-    println!("  computation; linear effect ⇒ fix it and drop one dimension (§A2).\n");
-
-    // MILC over (p, nx): local volume = nx·ny·nz·nt/p makes nearly all site
-    // loops multiplicative in (nx, p) — no additive shortcut exists.
-    let app = pt_apps::milc::build();
-    let analysis = try_analyze_app(&app)?;
-    println!("== mini-milc ==\n");
-    let params = vec!["p".to_string(), "nx".to_string()];
-    let global = analysis.global_deps(&params);
-    println!(
-        "  dependency structure over {params:?}: {}",
-        global.render(&params)
-    );
-    println!(
-        "{}",
-        render_design(&design_experiments(&global, &params, &[5, 5]))
-    );
-    println!("Paper shape: additive structures collapse the design (9 vs 25);");
-    println!("multiplicative couplings (MILC's volume/p) need the full grid.");
-    Ok(())
+    pt_bench::scenarios::run_cli("a2_experiment_design")
 }

@@ -1,61 +1,10 @@
-//! §A3: the core-hour cost of modeling experiments under full vs
-//! taint-based selective instrumentation, including the cost of the taint
-//! analysis itself.
-//!
-//! Paper: LULESH experiments drop from 20483 to 547 core-hours (−97.3%)
-//! plus 1 hour of taint analysis; MILC from 364 to 321 (−13.4%) plus 16
-//! hours. The saving follows the instrumentation overhead: enormous for
-//! accessor-heavy C++, moderate for C.
+//! §A3 (core-hour accounting) — thin wrapper over the registered scenario of the same
+//! name; the implementation lives in `pt_bench::scenarios`. Run
+//! `bench_all` to execute any selection of scenarios in one process with
+//! a machine-readable report.
 
 use perf_taint::PtError;
-use pt_bench::*;
-use pt_measure::{total_core_hours, Filter};
 
 fn main() -> Result<(), PtError> {
-    println!("§A3 — experiment cost in (simulated) core-hours\n");
-    for (app, size_name, sizes, ranks, extra) in [
-        (
-            pt_apps::lulesh::build(),
-            "size",
-            lulesh_sizes(),
-            lulesh_ranks(),
-            vec![("iters", 2i64)],
-        ),
-        (
-            pt_apps::milc::build(),
-            "nx",
-            milc_sizes(),
-            milc_ranks(),
-            vec![],
-        ),
-    ] {
-        let analysis = try_analyze_app(&app)?;
-        // The session already computed the static facts; reuse them.
-        let prepared = analysis.prepared();
-        let points = grid(&app, size_name, &sizes, &ranks, &extra);
-
-        let full = run_filtered(&app, prepared, &points, &Filter::Full, threads());
-        let filter = Filter::TaintBased {
-            relevant: analysis
-                .relevant_functions(&app.module)
-                .into_iter()
-                .collect(),
-        };
-        let selective = run_filtered(&app, prepared, &points, &filter, threads());
-
-        let full_ch = total_core_hours(&full);
-        let sel_ch = total_core_hours(&selective);
-        let saving = 100.0 * (1.0 - sel_ch / full_ch);
-        println!("== {} ({} sweep points) ==", app.name, points.len());
-        println!("  full instrumentation:       {full_ch:>12.4} core-hours");
-        println!("  taint-based instrumentation:{sel_ch:>12.4} core-hours  ({saving:+.1}% saving)",);
-        println!(
-            "  taint analysis run:         {:>12.6} core-hours (amortized once)",
-            analysis.taint_run_core_hours
-        );
-        println!();
-    }
-    println!("Paper shape: LULESH −97.3% (20483→547 h), MILC −13.4% (364→321 h);");
-    println!("taint-analysis cost (1 h / 16 h) amortizes immediately.");
-    Ok(())
+    pt_bench::scenarios::run_cli("a3_cost_summary")
 }

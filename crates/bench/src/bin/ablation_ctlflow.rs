@@ -1,55 +1,10 @@
-//! Ablation: the control-flow taint policies.
-//!
-//! The paper's key extension to DataFlowSanitizer is control-flow tainting
-//! (§5.2) — without it, the LULESH `regElemSize` histogram dependence is
-//! invisible and the region loops lose their `size` dependency. This
-//! harness runs the taint analysis under all three policies and reports the
-//! dependency structures of the §5.2 kernels.
+//! ablation: control-flow taint policies — thin wrapper over the registered scenario of the same
+//! name; the implementation lives in `pt_bench::scenarios`. Run
+//! `bench_all` to execute any selection of scenarios in one process with
+//! a machine-readable report.
 
-use perf_taint::{PipelineConfig, PtError, SessionBuilder};
-use pt_taint::CtlFlowPolicy;
+use perf_taint::PtError;
 
 fn main() -> Result<(), PtError> {
-    let app = pt_apps::lulesh::build();
-    println!("Ablation — control-flow taint policy (mini-LULESH)\n");
-    let kernels = [
-        "CalcMonotonicQRegionForElems",
-        "CalcEnergyForElems",
-        "EvalEOSForElems",
-        "SetupRegionIndexSet",
-    ];
-    for policy in [
-        CtlFlowPolicy::Off,
-        CtlFlowPolicy::StoresOnly,
-        CtlFlowPolicy::All,
-    ] {
-        let mut cfg = PipelineConfig::with_mpi_defaults();
-        cfg.interp.policy = policy;
-        let session = SessionBuilder::new(&app.module, &app.entry)
-            .config(cfg)
-            .build();
-        let analysis = session.taint_run(app.taint_run_params())?;
-        println!("policy {policy:?}:");
-        for k in kernels {
-            let f = app.module.function_by_name(k).unwrap();
-            println!(
-                "  {k:<32} {}",
-                analysis.deps[&f].render(&analysis.param_names)
-            );
-        }
-        let t2 = &analysis.table2;
-        println!(
-            "  relevant loops: {} — labels on region loops {}",
-            t2.loops_relevant,
-            if policy == CtlFlowPolicy::Off {
-                "MISS the size dependency (histogram invisible)"
-            } else {
-                "include size via the histogram control dependence"
-            }
-        );
-        println!();
-    }
-    println!("Paper: the DataFlowSanitizer extension (policy All / StoresOnly) is");
-    println!("necessary to capture real-world dependencies like regElemSize.");
-    Ok(())
+    pt_bench::scenarios::run_cli("ablation_ctlflow")
 }

@@ -1,93 +1,10 @@
-//! §B1: noise resilience — the taint prior prunes false dependencies.
-//!
-//! Sweep (p, size), sample five noisy repetitions per point, and model every
-//! function twice: black-box (plain Extra-P) and hybrid (taint-restricted
-//! search space). Constant functions — above all short accessors, where the
-//! absolute noise floor dominates — tempt the black box into parametric
-//! models; the hybrid modeler is immune by construction.
-//!
-//! Paper shape: MILC had 77% of models corrected; four MPI_Comm_rank models
-//! became constant; for reliable kernels (CV ≤ 0.1) both approaches agree
-//! with the manually established ground truth.
+//! §B1 (false-dependency pruning) — thin wrapper over the registered scenario of the same
+//! name; the implementation lives in `pt_bench::scenarios`. Run
+//! `bench_all` to execute any selection of scenarios in one process with
+//! a machine-readable report.
 
-use perf_taint::report::render_models;
-use perf_taint::{compare_against_truth, model_functions, PtError};
-use pt_bench::*;
-use pt_extrap::SearchSpace;
-use pt_measure::{function_sets, Filter, NoiseModel};
+use perf_taint::PtError;
 
 fn main() -> Result<(), PtError> {
-    let app = pt_apps::lulesh::build();
-    let analysis = try_analyze_app(&app)?;
-    let model_params = vec!["p".to_string(), "size".to_string()];
-
-    let points = grid(
-        &app,
-        "size",
-        &lulesh_sizes(),
-        &lulesh_ranks(),
-        &[("iters", 2)],
-    );
-    let filter = Filter::TaintBased {
-        relevant: analysis
-            .relevant_functions(&app.module)
-            .into_iter()
-            .collect(),
-    };
-    let profiles = run_filtered(&app, analysis.prepared(), &points, &filter, threads());
-    let sets = function_sets(&profiles, &model_params, REPS, &NoiseModel::CLUSTER, SEED);
-    println!(
-        "§B1 — modeling {} functions from {} points × {} repetitions (noise: 2% rel + 2µs floor)",
-        sets.len(),
-        points.len(),
-        REPS
-    );
-
-    let space = SearchSpace::default();
-    let restrictions = analysis.restrictions(&app.module, &model_params);
-    let blackbox = model_functions(&sets, None, &space, 0.1);
-    let hybrid = model_functions(&sets, Some(&restrictions), &space, 0.1);
-
-    let cmp = compare_against_truth(&blackbox, &restrictions);
-    println!("\nblack-box Extra-P vs taint ground truth:");
-    println!(
-        "  {} of {} models carried false dependencies or overfitted constants ({:.0}%)",
-        cmp.false_dependencies.len() + cmp.overfitted_constants.len(),
-        cmp.total,
-        100.0 * cmp.corrected_fraction()
-    );
-    println!(
-        "  overfitted constants: {} (e.g. {:?})",
-        cmp.overfitted_constants.len(),
-        &cmp.overfitted_constants[..cmp.overfitted_constants.len().min(4)]
-    );
-    println!(
-        "  false parameter dependencies: {} (e.g. {:?})",
-        cmp.false_dependencies.len(),
-        &cmp.false_dependencies[..cmp.false_dependencies.len().min(4)]
-    );
-
-    // The §B1 headline case: environment queries must be constant.
-    for probe_fn in ["MPI_Comm_rank", "MPI_Comm_size"] {
-        if let (Some(bb), Some(hy)) = (blackbox.get(probe_fn), hybrid.get(probe_fn)) {
-            println!(
-                "\n  {probe_fn}: black-box → {}   hybrid → {}",
-                bb.fitted.model.render(&model_params),
-                hy.fitted.model.render(&model_params)
-            );
-        }
-    }
-
-    let hybrid_clean = compare_against_truth(&hybrid, &restrictions);
-    println!(
-        "\nhybrid models violating the taint structure: {} (must be 0)",
-        hybrid_clean.false_dependencies.len() + hybrid_clean.overfitted_constants.len()
-    );
-
-    println!("\nTop hybrid models by mean exclusive time:");
-    println!("{}", render_models(&hybrid, &model_params, 12));
-    println!("Paper shape: black-box overfits short/constant functions; the hybrid");
-    println!("modeler eliminates every false dependency and matches ground truth");
-    println!("on reliable (CV ≤ 0.1) kernels.");
-    Ok(())
+    pt_bench::scenarios::run_cli("b1_noise_resilience")
 }

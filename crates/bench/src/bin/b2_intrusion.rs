@@ -1,106 +1,10 @@
-//! §B2: instrumentation intrusion changes models qualitatively.
-//!
-//! Model the critical LULESH routine CalcQForElems (inclusive time) from
-//! fully instrumented runs and from selectively instrumented runs. Under
-//! full instrumentation the accessor probes inflate and distort the
-//! measurements; the paper observes the model flipping from the true
-//! multiplicative `2.4e-8·p^0.25·size³` to a distorted additive
-//! `3e-3·p^0.5 + 1e-5·size³`, and the default Score-P filter does not
-//! instrument the function at all (false negative).
+//! §B2 (instrumentation intrusion) — thin wrapper over the registered scenario of the same
+//! name; the implementation lives in `pt_bench::scenarios`. Run
+//! `bench_all` to execute any selection of scenarios in one process with
+//! a machine-readable report.
 
 use perf_taint::PtError;
-use pt_bench::*;
-use pt_extrap::{fit_multi_param, MeasurementSet, SearchSpace};
-use pt_measure::{Filter, NoiseModel, PointProfile};
-
-const TARGET: &str = "CalcQForElems";
-
-fn set_for(profiles: &[PointProfile], model_params: &[String], inclusive: bool) -> MeasurementSet {
-    let mut set = MeasurementSet::new(model_params.to_vec());
-    for prof in profiles {
-        let coords: Vec<f64> = model_params
-            .iter()
-            .map(|p| prof.point.param(p).unwrap() as f64)
-            .collect();
-        let t = prof
-            .functions
-            .get(TARGET)
-            .map(|f| if inclusive { f.inclusive } else { f.exclusive })
-            .unwrap_or(0.0);
-        let mut rng = pt_measure::rng_for(SEED, &format!("{TARGET}@{}", prof.point.key()));
-        set.push(coords, NoiseModel::CLUSTER.sample_reps(t, REPS, &mut rng));
-    }
-    set
-}
 
 fn main() -> Result<(), PtError> {
-    let app = pt_apps::lulesh::build();
-    let analysis = try_analyze_app(&app)?;
-    let prepared = analysis.prepared();
-    let model_params = vec!["p".to_string(), "size".to_string()];
-    let points = grid(
-        &app,
-        "size",
-        &lulesh_sizes(),
-        &lulesh_ranks(),
-        &[("iters", 2)],
-    );
-
-    let selective_filter = Filter::TaintBased {
-        relevant: analysis
-            .relevant_functions(&app.module)
-            .into_iter()
-            .collect(),
-    };
-    let full = run_filtered(&app, prepared, &points, &Filter::Full, threads());
-    let selective = run_filtered(&app, prepared, &points, &selective_filter, threads());
-
-    println!("§B2 — instrumentation intrusion on {TARGET} (inclusive time)\n");
-    let space = SearchSpace::default();
-    let mut models = Vec::new();
-    for (label, profiles) in [("full", &full), ("selective", &selective)] {
-        let set = set_for(profiles, &model_params, true);
-        let fit = fit_multi_param(&set, &space, None);
-        let mean = set.means().iter().sum::<f64>() / set.points.len() as f64;
-        println!(
-            "  {label:<10} mean {mean:>10.3e}s  model: {}",
-            fit.model.render(&model_params)
-        );
-        models.push((label, fit));
-    }
-
-    let ratio = {
-        let f = set_for(&full, &model_params, true);
-        let s = set_for(&selective, &model_params, true);
-        let fm = f.means().iter().sum::<f64>() / f.points.len() as f64;
-        let sm = s.means().iter().sum::<f64>() / s.points.len() as f64;
-        fm / sm
-    };
-    println!("\n  full-instrumentation measurements are ×{ratio:.0} the selective ones");
-    let full_p = models[0].1.model.uses_param(0);
-    let sel_p = models[1].1.model.uses_param(0);
-    println!("  model contains the communication p-term: full={full_p}  selective={sel_p}");
-    if full_p != sel_p
-        || models[0].1.model.has_multiplicative_term()
-            != models[1].1.model.has_multiplicative_term()
-    {
-        println!("  → the models differ qualitatively: probe cost (∝ accessor calls ∝ size³)");
-        println!("    swamps the physical p-dependent communication component.");
-    }
-
-    // The default filter's false negative: it skips the driver entirely.
-    let default_filter = Filter::Default {
-        inline_threshold: 12,
-    };
-    let probe = default_filter.probe_vector(&app.module, PROBE_COST);
-    let target_id = app.module.function_by_name(TARGET).unwrap();
-    let instrumented = probe[target_id.index()] > 0.0;
-    println!(
-        "\n  default Score-P filter instruments {TARGET}: {} (paper: false negative)",
-        instrumented
-    );
-    println!("\nPaper shape: full instrumentation inflates runtimes ~2 orders of");
-    println!("magnitude on C++ code and flips CalcQForElems' model; the filtered");
-    println!("model is validated by prior studies.");
-    Ok(())
+    pt_bench::scenarios::run_cli("b2_intrusion")
 }

@@ -1,0 +1,92 @@
+//! `bench_compare` — diff two `BENCH_*.json` reports and exit non-zero on
+//! regression: the CI perf gate.
+//!
+//! Usage:
+//!   bench_compare OLD.json NEW.json [--warn-only]
+//!                 [--metric-rel-pct N] [--wall-rel-pct N]
+//!
+//! * deterministic metrics gate at ±10% (override: `--metric-rel-pct`)
+//! * wall times gate at ±50% and a 0.25 s floor (`--wall-rel-pct`)
+//! * `--warn-only` prints the verdict but always exits 0 (the CI job uses
+//!   this while the gate is being calibrated)
+//!
+//! Exit codes: 0 = no regression (or `--warn-only`), 1 = regression,
+//! 2 = unusable input (missing file, parse failure, schema mismatch).
+
+use perf_taint::report::BenchReport;
+use pt_bench::compare::{compare_reports, CompareConfig};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut warn_only = false;
+    let mut cfg = CompareConfig::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--warn-only" => warn_only = true,
+            "--metric-rel-pct" | "--wall-rel-pct" => {
+                let Some(pct) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("{arg} requires a numeric percentage");
+                    return ExitCode::from(2);
+                };
+                if arg == "--metric-rel-pct" {
+                    cfg.metric.rel = pct / 100.0;
+                } else {
+                    cfg.wall.rel = pct / 100.0;
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bench_compare OLD.json NEW.json [--warn-only] \
+                     [--metric-rel-pct N] [--wall-rel-pct N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            f if f.starts_with('-') => {
+                eprintln!("unknown flag '{f}' (see --help)");
+                return ExitCode::from(2);
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_compare OLD.json NEW.json (see --help)");
+        return ExitCode::from(2);
+    }
+
+    let (old, new) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "baseline: {} ({}, quick={})   new: {} ({}, quick={})",
+        paths[0], old.git_sha, old.quick, paths[1], new.git_sha, new.quick
+    );
+    if old.quick != new.quick {
+        println!("WARNING: comparing a quick report against a full one — apples to oranges");
+    }
+
+    match compare_reports(&old, &new, &cfg) {
+        Ok(cmp) => {
+            print!("{}", cmp.render());
+            if cmp.has_regressions() && !warn_only {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

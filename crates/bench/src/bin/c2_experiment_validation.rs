@@ -1,87 +1,10 @@
-//! §C2: validating the experiment design — qualitative behavior changes.
-//!
-//! MILC's gather switches from a linear exchange to a collective when the
-//! communicator grows beyond 8 ranks. One PMNF cannot represent both
-//! regimes: the paper observes the largest black-box/white-box model
-//! differences exactly on MPI_Isend and the internal gather. The taint
-//! analysis instruments tainted branches, so per-configuration coverage
-//! shows both sides executing within the modeling domain — a warning that
-//! the design must be split at the boundary.
+//! §C2 (qualitative-change detection) — thin wrapper over the registered scenario of the same
+//! name; the implementation lives in `pt_bench::scenarios`. Run
+//! `bench_all` to execute any selection of scenarios in one process with
+//! a machine-readable report.
 
-use perf_taint::report::render_segmentation;
-use perf_taint::validate::detect_segmentation;
 use perf_taint::PtError;
-use pt_bench::*;
-use pt_extrap::{fit_single_param, SearchSpace};
-use pt_measure::{run_point, Filter, SweepPoint};
 
 fn main() -> Result<(), PtError> {
-    let app = pt_apps::milc::build();
-    let ranks = milc_ranks();
-
-    // Coverage runs: one (cheap) taint/coverage run per rank count, batched
-    // through one session so the static stage is computed exactly once.
-    let session = session_for(&app);
-    let param_sets: Vec<Vec<(String, i64)>> = ranks
-        .iter()
-        .map(|&p| app.sweep_params(&[("nx", 16), ("p", p)]))
-        .collect();
-    let mut observations = Vec::new();
-    let mut config_names = Vec::new();
-    for (&p, result) in ranks.iter().zip(session.analyze_batch(&param_sets)) {
-        let analysis = result?;
-        observations.push(analysis.branch_observations(&app.module));
-        config_names.push(format!("p={p}"));
-    }
-    let warnings = detect_segmentation(&observations);
-    println!("§C2 — experiment-design validation on mini-MILC, p ∈ {ranks:?}\n");
-    println!("{}", render_segmentation(&warnings, &config_names));
-
-    // Show the quantitative consequence: the gather's time across p has two
-    // regimes that a single PMNF fits poorly, while per-segment fits work.
-    let statics = session.static_analysis();
-    let prepared = &statics.prepared;
-    let probe = Filter::None.probe_vector(&app.module, 0.0);
-    let mut xs = Vec::new();
-    let mut ys = Vec::new();
-    for &p in &ranks {
-        let point = SweepPoint {
-            params: app.sweep_params(&[("nx", 64), ("p", p)]),
-            machine: machine(p),
-        };
-        let prof = run_point(&app.module, prepared, &app.entry, &point, &probe).unwrap();
-        let t = prof
-            .functions
-            .get("do_gather")
-            .map(|f| f.inclusive)
-            .unwrap_or(0.0);
-        xs.push(p as f64);
-        ys.push(t);
-    }
-    println!("  do_gather inclusive time across p:");
-    for (x, y) in xs.iter().zip(&ys) {
-        println!("    p={x:<4} {y:.3e} s");
-    }
-    let space = SearchSpace::default();
-    let whole = fit_single_param(&xs, &ys, 0, &space);
-    println!(
-        "\n  one model over the whole domain:  {}  (SMAPE {:.1}%)",
-        whole.model.render(&["p".to_string()]),
-        whole.quality.smape
-    );
-    let boundary = xs.iter().position(|&x| x > 8.0).unwrap_or(1).max(2);
-    let left = fit_single_param(&xs[..boundary], &ys[..boundary], 0, &space);
-    let right = fit_single_param(&xs[boundary - 1..], &ys[boundary - 1..], 0, &space);
-    println!(
-        "  per-segment models:  p≤8: {}   p>8: {}",
-        left.model.render(&["p".to_string()]),
-        right.model.render(&["p".to_string()])
-    );
-    // Automatic segmented search (Ilyas et al., the remedy the paper cites):
-    let auto = pt_extrap::fit_segmented(&xs, &ys, 0, &space, 2, 0.9);
-    println!("  automatic segmented fit: {}", auto.render("p"));
-    println!("\nPaper shape: behavior differs qualitatively between small and large");
-    println!("rank counts; the tainted-branch coverage pinpoints the boundary so the");
-    println!("user can split the experiment design.");
-    Ok(())
+    pt_bench::scenarios::run_cli("c2_experiment_validation")
 }

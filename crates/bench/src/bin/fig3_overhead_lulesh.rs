@@ -1,66 +1,10 @@
-//! Figure 3: Score-P instrumentation overhead of LULESH under the three
-//! filters — taint-based selective, default (inlining heuristic), and full
-//! program instrumentation.
-//!
-//! Paper shape: full instrumentation costs up to 45× native on the
-//! accessor-heavy C++ code; the default filter is moderate but misses more
-//! than half of the performance-relevant functions; the taint-based filter
-//! stays within ~5% of native.
+//! Figure 3 (instrumentation overhead, LULESH) — thin wrapper over the registered scenario of the same
+//! name; the implementation lives in `pt_bench::scenarios`. Run
+//! `bench_all` to execute any selection of scenarios in one process with
+//! a machine-readable report.
 
 use perf_taint::PtError;
-use pt_bench::*;
-use pt_measure::Filter;
 
 fn main() -> Result<(), PtError> {
-    let app = pt_apps::lulesh::build();
-    let analysis = try_analyze_app(&app)?;
-    let prepared = analysis.prepared();
-    let sizes = lulesh_sizes();
-    let ranks = lulesh_ranks();
-    let points = grid(&app, "size", &sizes, &ranks, &[("iters", 2)]);
-
-    let native = run_filtered(&app, prepared, &points, &Filter::None, threads());
-    println!("Figure 3 — LULESH instrumentation overhead [% over native]");
-    println!(
-        "  taint-based filter instruments {} of {} functions; default {}; full {}",
-        standard_filters(&analysis, &app)[0]
-            .1
-            .instrumented_count(&app.module),
-        app.module.functions.len(),
-        Filter::Default {
-            inline_threshold: 12
-        }
-        .instrumented_count(&app.module),
-        Filter::Full.instrumented_count(&app.module),
-    );
-
-    for (label, filter) in standard_filters(&analysis, &app) {
-        let instr = run_filtered(&app, prepared, &points, &filter, threads());
-        println!("\n  {label} instrumentation:");
-        print!("  {:>8}", "p\\size");
-        for &s in &sizes {
-            print!(" {s:>9}");
-        }
-        println!();
-        let mut all = Vec::new();
-        for (pi, &p) in ranks.iter().enumerate() {
-            print!("  {p:>8}");
-            for si in 0..sizes.len() {
-                let idx = pi * sizes.len() + si;
-                let ov = overhead_percent(&instr[idx], &native[idx]);
-                all.push((ov / 100.0 + 1.0).max(1e-9));
-                print!(" {ov:>8.1}%");
-            }
-            println!();
-        }
-        let max = all.iter().cloned().fold(0.0f64, f64::max);
-        println!(
-            "  -> slowdown factor: geomean {:.2}x, max {:.2}x",
-            geomean(&all),
-            max
-        );
-    }
-    println!("\nPaper shape: full up to 45x; default moderate but misses relevant");
-    println!("functions; taint-based within ~5% of native.");
-    Ok(())
+    pt_bench::scenarios::run_cli("fig3_overhead_lulesh")
 }

@@ -1,52 +1,10 @@
-//! Figure 4: Score-P instrumentation overhead of MILC under the three
-//! filters.
-//!
-//! Paper shape: MILC's C kernels make far fewer helper calls per site than
-//! LULESH's C++ accessors, so full/default instrumentation costs ~23%
-//! (geometric mean) instead of 45×, and the taint-based filter ~1.6%.
+//! Figure 4 (instrumentation overhead, MILC) — thin wrapper over the registered scenario of the same
+//! name; the implementation lives in `pt_bench::scenarios`. Run
+//! `bench_all` to execute any selection of scenarios in one process with
+//! a machine-readable report.
 
 use perf_taint::PtError;
-use pt_bench::*;
-use pt_measure::Filter;
 
 fn main() -> Result<(), PtError> {
-    let app = pt_apps::milc::build();
-    let analysis = try_analyze_app(&app)?;
-    let prepared = analysis.prepared();
-    let sizes = milc_sizes();
-    let ranks = milc_ranks();
-    let points = grid(&app, "nx", &sizes, &ranks, &[]);
-
-    let native = run_filtered(&app, prepared, &points, &Filter::None, threads());
-    println!("Figure 4 — MILC instrumentation overhead [% over native]");
-
-    for (label, filter) in standard_filters(&analysis, &app) {
-        let instr = run_filtered(&app, prepared, &points, &filter, threads());
-        println!(
-            "\n  {label} instrumentation ({} functions):",
-            filter.instrumented_count(&app.module)
-        );
-        print!("  {:>8}", "p\\size");
-        for &s in &sizes {
-            print!(" {s:>9}");
-        }
-        println!();
-        let mut factors = Vec::new();
-        for (pi, &p) in ranks.iter().enumerate() {
-            print!("  {p:>8}");
-            for si in 0..sizes.len() {
-                let idx = pi * sizes.len() + si;
-                let ov = overhead_percent(&instr[idx], &native[idx]);
-                factors.push(1.0 + ov / 100.0);
-                print!(" {ov:>8.1}%");
-            }
-            println!();
-        }
-        println!(
-            "  -> geometric-mean overhead {:.1}%",
-            (geomean(&factors) - 1.0) * 100.0
-        );
-    }
-    println!("\nPaper shape: ~23% geomean for full and default, ~1.6% for taint-based.");
-    Ok(())
+    pt_bench::scenarios::run_cli("fig4_overhead_milc")
 }

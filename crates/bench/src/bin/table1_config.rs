@@ -1,41 +1,10 @@
-//! Table 1 stand-in: the simulated hardware/software configuration.
-//!
-//! The paper evaluates on Piz Daint (2× Xeon E5-2695 v4) and a Skylake
-//! cluster (Xeon 6154). Our substrate is an analytical machine model; this
-//! binary prints its parameters next to the paper's testbeds so every other
-//! harness's outputs can be interpreted.
+//! Table 1 (simulated machine description) — thin wrapper over the registered scenario of the same
+//! name; the implementation lives in `pt_bench::scenarios`. Run
+//! `bench_all` to execute any selection of scenarios in one process with
+//! a machine-readable report.
 
-use pt_bench::machine;
+use perf_taint::PtError;
 
-fn main() {
-    let m = machine(64);
-    println!("Table 1 — evaluation platform (simulated stand-in)");
-    println!();
-    println!("  Paper:      Piz Daint (Xeon E5-2695 v4, 36c/node, 128 GB, Cray MPICH)");
-    println!("              Skylake cluster (Xeon 6154, 36c/node, 384 GB, OpenMPI)");
-    println!("              Score-P 6.0, Extra-P 3.0, LLVM 9.0");
-    println!();
-    println!("  This repo:  pt-mpisim analytical machine model");
-    println!("    MPI latency (α)            {:>12.2e} s", m.latency);
-    println!(
-        "    network time/byte (β)      {:>12.2e} s  (~{:.1} GB/s)",
-        m.byte_time,
-        1e-9 / m.byte_time
-    );
-    println!(
-        "    scalar flop time           {:>12.2e} s  (~{:.1} GFLOP/s)",
-        m.flop_time,
-        1e-9 / m.flop_time
-    );
-    println!(
-        "    memory word time           {:>12.2e} s",
-        m.mem_word_time
-    );
-    println!("    ranks per node             {:>12}", m.ranks_per_node);
-    println!(
-        "    contention model           1 + a·log2(r) + b·log2²(r), calibrated a=0.01 b=0.032"
-    );
-    println!();
-    println!("  Software:   pt-taint (DataFlowSanitizer stand-in), pt-measure (Score-P stand-in),");
-    println!("              pt-extrap (Extra-P 3.0 reimplementation, PMNF n=2, I/J sets of §4.5)");
+fn main() -> Result<(), PtError> {
+    pt_bench::scenarios::run_cli("table1_config")
 }

@@ -1,32 +1,10 @@
-//! Table 2: the two-phase identification of computational kernels,
-//! communication routines and MPI functions, and static/dynamic pruning,
-//! for mini-LULESH and mini-MILC.
-//!
-//! Paper reference values — LULESH: 356 functions, 296/11 pruned, 40/2/7
-//! kernels/comm/MPI, 275 loops (52 pruned statically, 78 relevant);
-//! MILC: 629 functions, 364/188 pruned, 56/13/8, 874 loops (96/196).
+//! Table 2 (function/loop censuses) — thin wrapper over the registered scenario of the same
+//! name; the implementation lives in `pt_bench::scenarios`. Run
+//! `bench_all` to execute any selection of scenarios in one process with
+//! a machine-readable report.
 
-use perf_taint::report::render_table2;
 use perf_taint::PtError;
-use pt_bench::try_analyze_app;
 
 fn main() -> Result<(), PtError> {
-    for app in [pt_apps::lulesh::build(), pt_apps::milc::build()] {
-        let analysis = try_analyze_app(&app)?;
-        println!("{}", render_table2(&app.name, &analysis.table2));
-        println!(
-            "  taint run: {:.3}s simulated on {} ranks = {:.4} core-hours",
-            analysis.taint_run_time,
-            app.params
-                .iter()
-                .find(|p| p.name == "p")
-                .map(|p| p.taint_run_value)
-                .unwrap_or(1),
-            analysis.taint_run_core_hours
-        );
-        println!();
-    }
-    println!("Paper reference: LULESH 356 fns (296/11 pruned, 40/2/7), 86.2% constant");
-    println!("                 MILC   629 fns (364/188 pruned, 56/13/8), 87.7% constant");
-    Ok(())
+    pt_bench::scenarios::run_cli("table2_overview")
 }

@@ -1,35 +1,10 @@
-//! Table 3: computational kernels and loops affected by each parameter
-//! (§A1 parameter pruning). The taint-based coverage tells the user which
-//! two parameters give the broadest coverage — size and p for LULESH, the
-//! lattice extents and p for MILC — and proves numerical parameters
-//! (MILC's mass, beta, u0) performance-irrelevant.
+//! Table 3 (per-parameter coverage, §A1) — thin wrapper over the registered scenario of the same
+//! name; the implementation lives in `pt_bench::scenarios`. Run
+//! `bench_all` to execute any selection of scenarios in one process with
+//! a machine-readable report.
 
-use perf_taint::report::render_table3;
 use perf_taint::PtError;
-use pt_bench::try_analyze_app;
 
 fn main() -> Result<(), PtError> {
-    let lulesh = pt_apps::lulesh::build();
-    let analysis = try_analyze_app(&lulesh)?;
-    println!(
-        "{}",
-        render_table3(
-            &lulesh.name,
-            &analysis.table3(&lulesh.module, ("p", "size"))
-        )
-    );
-    println!();
-
-    let milc = pt_apps::milc::build();
-    let analysis = try_analyze_app(&milc)?;
-    println!(
-        "{}",
-        render_table3(&milc.name, &analysis.table3(&milc.module, ("p", "nx")))
-    );
-    println!();
-    println!("Paper reference (LULESH): p 2/2, size 40/78, regions 13/27, iters 4/4,");
-    println!("                          balance 9/20, cost 2/2 of 43 functions / 86 loops");
-    println!("Paper reference (MILC):   p 54/187, size 53/161, trajecs/steps 12/39,");
-    println!("                          warms/niter 9/31, mass,beta,u0 never in loop bounds");
-    Ok(())
+    pt_bench::scenarios::run_cli("table3_param_pruning")
 }

@@ -1,8 +1,9 @@
 //! # pt-bench — harnesses regenerating every table and figure of the paper
 //!
-//! One binary per artifact (see DESIGN.md §4 for the index):
+//! Every artifact is a registered [`scenarios::Scenario`] (one shared
+//! implementation module per artifact under `scenarios/`):
 //!
-//! | binary | artifact |
+//! | scenario (= binary) | artifact |
 //! |---|---|
 //! | `table1_config` | Table 1 (simulated machine description) |
 //! | `table2_overview` | Table 2 (function/loop censuses) |
@@ -17,10 +18,20 @@
 //! | `c2_experiment_validation` | §C2 (qualitative-change detection) |
 //! | `ablation_ctlflow` | ablation: control-flow taint policies |
 //!
+//! The per-artifact binaries under `src/bin/` are thin wrappers over the
+//! registry. `bench_all` runs any tag/name selection in one process and
+//! writes a schema-versioned `BENCH_<git-sha>.json`; `bench_compare` diffs
+//! two such reports under per-metric tolerances ([`compare`]) and exits
+//! non-zero on regression — the CI perf gate. See `crates/bench/README.md`
+//! for the report schema and how to add a scenario.
+//!
 //! This library holds the shared sweep/configuration machinery. Absolute
 //! numbers differ from the paper (the substrate is an interpreter, not Piz
 //! Daint); the *shapes* — who wins, by what factor, where crossovers sit —
 //! are the reproduction targets (see EXPERIMENTS.md).
+
+pub mod compare;
+pub mod scenarios;
 
 use perf_taint::{Analysis, PtError, Session, SessionBuilder};
 use pt_apps::AppSpec;
@@ -123,12 +134,23 @@ pub fn overhead_percent(instrumented: &PointProfile, native: &PointProfile) -> f
     100.0 * (instrumented.wall - native.wall) / native.wall
 }
 
-/// Geometric mean (used for the Figure 4 summary numbers).
+/// Geometric mean (used for the Figure 3/4 summary numbers).
+///
+/// Total on every input instead of silently clamping: an empty slice
+/// yields 0.0, any zero factor collapses the product (and thus the mean)
+/// to 0.0, and negative or non-finite factors — which have no real
+/// geometric mean — also yield 0.0 rather than NaN.
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    let mut log_sum = 0.0;
+    for &v in values {
+        if v <= 0.0 || !v.is_finite() {
+            return 0.0;
+        }
+        log_sum += v.ln();
+    }
     (log_sum / values.len() as f64).exp()
 }
 
@@ -192,5 +214,20 @@ mod tests {
     fn geomean_basics() {
         assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
         assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_is_total_on_degenerate_input() {
+        // A zero factor makes the product (and the mean) zero.
+        assert_eq!(geomean(&[0.0, 10.0]), 0.0);
+        // Negative and non-finite factors have no real geometric mean;
+        // the total function maps them to 0.0 instead of NaN/panicking.
+        assert_eq!(geomean(&[-3.0, 10.0]), 0.0);
+        assert_eq!(geomean(&[f64::NAN]), 0.0);
+        assert_eq!(geomean(&[f64::INFINITY, 2.0]), 0.0);
+        assert_eq!(geomean(&[1.0, f64::NEG_INFINITY]), 0.0);
+        // Ordinary inputs are unaffected.
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
     }
 }

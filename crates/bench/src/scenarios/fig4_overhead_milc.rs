@@ -1,0 +1,76 @@
+//! Figure 4: Score-P instrumentation overhead of MILC under the three
+//! filters.
+//!
+//! Paper shape: MILC's C kernels make far fewer helper calls per site than
+//! LULESH's C++ accessors, so full/default instrumentation costs ~23%
+//! (geometric mean) instead of 45×, and the taint-based filter ~1.6%.
+
+use super::{out, outln, Scenario, ScenarioCtx, ScenarioResult};
+use crate::{geomean, grid, overhead_percent, run_filtered, standard_filters};
+use perf_taint::PtError;
+use pt_measure::Filter;
+
+pub struct Fig4OverheadMilc;
+
+impl Scenario for Fig4OverheadMilc {
+    fn name(&self) -> &'static str {
+        "fig4_overhead_milc"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["figure", "milc", "overhead"]
+    }
+
+    fn summary(&self) -> &'static str {
+        "Figure 4: instrumentation overhead of MILC per filter"
+    }
+
+    fn run(&self, cx: &ScenarioCtx) -> Result<ScenarioResult, PtError> {
+        let mut r = ScenarioResult::new();
+        let app = cx.milc();
+        let analysis = cx.analysis(app)?;
+        let prepared = analysis.prepared();
+        let sizes = cx.milc_sizes();
+        let ranks = cx.milc_ranks();
+        let points = grid(app, "nx", &sizes, &ranks, &[]);
+
+        let native = run_filtered(app, prepared, &points, &Filter::None, cx.threads);
+        outln!(
+            r,
+            "Figure 4 — MILC instrumentation overhead [% over native]"
+        );
+
+        for (label, filter) in standard_filters(&analysis, app) {
+            let instr = run_filtered(app, prepared, &points, &filter, cx.threads);
+            outln!(
+                r,
+                "\n  {label} instrumentation ({} functions):",
+                filter.instrumented_count(&app.module)
+            );
+            out!(r, "  {:>8}", "p\\size");
+            for &s in &sizes {
+                out!(r, " {s:>9}");
+            }
+            outln!(r);
+            let mut factors = Vec::new();
+            for (pi, &p) in ranks.iter().enumerate() {
+                out!(r, "  {p:>8}");
+                for si in 0..sizes.len() {
+                    let idx = pi * sizes.len() + si;
+                    let ov = overhead_percent(&instr[idx], &native[idx]);
+                    factors.push(1.0 + ov / 100.0);
+                    out!(r, " {ov:>8.1}%");
+                }
+                outln!(r);
+            }
+            let geo_pct = (geomean(&factors) - 1.0) * 100.0;
+            outln!(r, "  -> geometric-mean overhead {geo_pct:.1}%");
+            r.metric(format!("overhead_{label}_geomean_pct"), geo_pct);
+        }
+        outln!(
+            r,
+            "\nPaper shape: ~23% geomean for full and default, ~1.6% for taint-based."
+        );
+        Ok(r)
+    }
+}

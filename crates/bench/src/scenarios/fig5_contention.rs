@@ -1,0 +1,153 @@
+//! Figure 5 + §C1: detecting hardware contention.
+//!
+//! Keep p = 64 and size = 30 (scaled: 20) constant and vary the number of
+//! MPI ranks per node r from 2 to 18. Taint analysis proved the compute
+//! kernels independent of every program parameter that varies here (none
+//! do!), yet memory-bound kernels slow down — the white-box pipeline flags
+//! the discrepancy and fits `log²r`-shaped models, exposing memory-
+//! bandwidth saturation.
+//!
+//! Paper shape: whole-application time rises ~50% from r=2 to r=18 with
+//! model 2.86·log2²(r) + 127; kernels like CalcHourglassControlForElems get
+//! `11.63·log2(r) + 23.49`-style models; 31 of 73 functions show increasing
+//! models.
+
+use super::{outln, Scenario, ScenarioCtx, ScenarioResult};
+use crate::contended_machine;
+use perf_taint::report::render_contention;
+use perf_taint::validate::detect_contention;
+use perf_taint::PtError;
+use pt_extrap::SearchSpace;
+use pt_measure::{run_sweep, SweepPoint};
+use std::collections::BTreeMap;
+
+pub struct Fig5Contention;
+
+impl Scenario for Fig5Contention {
+    fn name(&self) -> &'static str {
+        "fig5_contention"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["figure", "lulesh", "contention"]
+    }
+
+    fn summary(&self) -> &'static str {
+        "Figure 5/§C1: contention detection across ranks per node"
+    }
+
+    fn run(&self, cx: &ScenarioCtx) -> Result<ScenarioResult, PtError> {
+        let mut r = ScenarioResult::new();
+        let app = cx.lulesh();
+        let analysis = cx.analysis(app)?;
+        let prepared = analysis.prepared();
+
+        let rpn = cx.contention_rpn();
+        let points: Vec<SweepPoint> = rpn
+            .iter()
+            .map(|&rank_per_node| SweepPoint {
+                params: app.sweep_params(&[("size", 20), ("p", 64), ("iters", 2)]),
+                machine: contended_machine(64, rank_per_node),
+            })
+            .collect();
+        let probe = vec![0.0; app.module.functions.len() + app.module.used_externals().len()];
+        let profiles = run_sweep(
+            &app.module,
+            prepared,
+            &app.entry,
+            &points,
+            &probe,
+            cx.threads,
+        );
+
+        outln!(
+            r,
+            "Figure 5 — relative time increase vs ranks per node (p=64, size fixed)"
+        );
+        outln!(r, "  {:>4}  {:>10}  {:>8}", "r", "wall [s]", "rel.");
+        let base = profiles[0].wall;
+        for (i, prof) in profiles.iter().enumerate() {
+            outln!(
+                r,
+                "  {:>4}  {:>10.4}  {:>8.3}",
+                rpn[i],
+                prof.wall,
+                prof.wall / base
+            );
+        }
+        let total_increase = profiles.last().unwrap().wall / base;
+        outln!(
+            r,
+            "  whole application: ×{total_increase:.2} from r={} to r={}",
+            rpn[0],
+            rpn[rpn.len() - 1]
+        );
+        r.metric("whole_app_increase_x", total_increase);
+
+        // Build per-function measurement sets over the r axis. `r` is a
+        // machine knob, not a program parameter, so every function is
+        // taint-proven independent of it.
+        let mut sets = BTreeMap::new();
+        let mut names: Vec<String> = profiles
+            .iter()
+            .flat_map(|p| p.functions.keys().cloned())
+            .collect();
+        names.sort();
+        names.dedup();
+        for name in names {
+            let mut set = pt_extrap::MeasurementSet::new(vec!["r".to_string()]);
+            for (i, prof) in profiles.iter().enumerate() {
+                let t = prof
+                    .functions
+                    .get(&name)
+                    .map(|f| f.exclusive)
+                    .unwrap_or(0.0);
+                set.push(vec![rpn[i] as f64], vec![t]);
+            }
+            sets.insert(name, set);
+        }
+
+        let findings = detect_contention(&sets, &|_| true, &SearchSpace::default(), 0.1, 1.05);
+        outln!(r);
+        outln!(
+            r,
+            "{}",
+            render_contention(&findings[..findings.len().min(12)], "r")
+        );
+        outln!(
+            r,
+            "  {} of {} measured functions show increasing models",
+            findings.len(),
+            sets.len()
+        );
+        let mem_bound = [
+            "CalcHourglassControlForElems",
+            "IntegrateStressForElems",
+            "CalcForceForNodes",
+        ];
+        let mut missed = 0usize;
+        for f in mem_bound {
+            let hit = findings.iter().any(|x| x.function == f);
+            if !hit {
+                missed += 1;
+            }
+            outln!(
+                r,
+                "  memory-bound {f}: {}",
+                if hit { "flagged ✓" } else { "NOT flagged" }
+            );
+        }
+        // Detection quality: memory-bound kernels the pipeline failed to
+        // flag (0 when contention detection works).
+        r.metric("membound_kernels_missed", missed as f64);
+        outln!(
+            r,
+            "\nPaper shape: ~50% whole-app increase r=2→18; memory-bound kernels"
+        );
+        outln!(
+            r,
+            "gain log2-family models; compute-only functions stay constant."
+        );
+        Ok(r)
+    }
+}

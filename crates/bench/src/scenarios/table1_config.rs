@@ -1,0 +1,84 @@
+//! Table 1 stand-in: the simulated hardware/software configuration.
+//!
+//! The paper evaluates on Piz Daint (2× Xeon E5-2695 v4) and a Skylake
+//! cluster (Xeon 6154). Our substrate is an analytical machine model; this
+//! scenario prints its parameters next to the paper's testbeds so every
+//! other scenario's outputs can be interpreted.
+
+use super::{outln, Scenario, ScenarioCtx, ScenarioResult};
+use crate::machine;
+use perf_taint::PtError;
+
+pub struct Table1Config;
+
+impl Scenario for Table1Config {
+    fn name(&self) -> &'static str {
+        "table1_config"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["table", "config", "machine"]
+    }
+
+    fn summary(&self) -> &'static str {
+        "Table 1: simulated machine description vs the paper's testbeds"
+    }
+
+    fn run(&self, _cx: &ScenarioCtx) -> Result<ScenarioResult, PtError> {
+        let mut r = ScenarioResult::new();
+        let m = machine(64);
+        outln!(r, "Table 1 — evaluation platform (simulated stand-in)");
+        outln!(r);
+        outln!(
+            r,
+            "  Paper:      Piz Daint (Xeon E5-2695 v4, 36c/node, 128 GB, Cray MPICH)"
+        );
+        outln!(
+            r,
+            "              Skylake cluster (Xeon 6154, 36c/node, 384 GB, OpenMPI)"
+        );
+        outln!(r, "              Score-P 6.0, Extra-P 3.0, LLVM 9.0");
+        outln!(r);
+        outln!(r, "  This repo:  pt-mpisim analytical machine model");
+        outln!(r, "    MPI latency (α)            {:>12.2e} s", m.latency);
+        outln!(
+            r,
+            "    network time/byte (β)      {:>12.2e} s  (~{:.1} GB/s)",
+            m.byte_time,
+            1e-9 / m.byte_time
+        );
+        outln!(
+            r,
+            "    scalar flop time           {:>12.2e} s  (~{:.1} GFLOP/s)",
+            m.flop_time,
+            1e-9 / m.flop_time
+        );
+        outln!(
+            r,
+            "    memory word time           {:>12.2e} s",
+            m.mem_word_time
+        );
+        outln!(r, "    ranks per node             {:>12}", m.ranks_per_node);
+        outln!(
+            r,
+            "    contention model           1 + a·log2(r) + b·log2²(r), calibrated a=0.01 b=0.032"
+        );
+        outln!(r);
+        outln!(
+            r,
+            "  Software:   pt-taint (DataFlowSanitizer stand-in), pt-measure (Score-P stand-in),"
+        );
+        outln!(
+            r,
+            "              pt-extrap (Extra-P 3.0 reimplementation, PMNF n=2, I/J sets of §4.5)"
+        );
+
+        // The machine constants pin the simulation; any drift re-baselines
+        // every downstream number, so the gate should see it.
+        r.metric("machine_latency_seconds", m.latency);
+        r.metric("machine_byte_time_seconds", m.byte_time);
+        r.metric("machine_flop_time_seconds", m.flop_time);
+        r.metric("machine_mem_word_time_seconds", m.mem_word_time);
+        Ok(r)
+    }
+}

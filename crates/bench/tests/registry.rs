@@ -1,0 +1,59 @@
+//! Registry contract: every registered scenario runs under `--quick`
+//! conditions from one shared context, publishes finite metrics, and the
+//! whole report round-trips through the JSON wire format and the
+//! regression gate.
+
+use perf_taint::report::{BenchReport, RunStatus, ScenarioRecord, BENCH_SCHEMA_VERSION};
+use pt_bench::compare::{compare_reports, CompareConfig};
+use pt_bench::scenarios::{registry, ScenarioCtx};
+
+#[test]
+fn every_registered_scenario_runs_under_quick() {
+    let cx = ScenarioCtx::new(true);
+    let mut records = Vec::new();
+    for s in registry() {
+        let result = s
+            .run(&cx)
+            .unwrap_or_else(|e| panic!("scenario {} failed under --quick: {e}", s.name()));
+        assert!(
+            !result.text.is_empty(),
+            "{} produced no text rendering",
+            s.name()
+        );
+        assert!(
+            !result.metrics.is_empty(),
+            "{} published no metrics for the report",
+            s.name()
+        );
+        for (metric, value) in &result.metrics {
+            assert!(
+                value.is_finite(),
+                "{}: metric '{metric}' is not finite",
+                s.name()
+            );
+        }
+        records.push(ScenarioRecord {
+            name: s.name().to_string(),
+            tags: s.tags().iter().map(|t| t.to_string()).collect(),
+            status: RunStatus::Ok,
+            wall_seconds: 0.1,
+            metrics: result.metrics,
+        });
+    }
+
+    // The full report round-trips through the wire format…
+    let report = BenchReport {
+        schema: BENCH_SCHEMA_VERSION,
+        git_sha: "test".into(),
+        created_unix: 0,
+        quick: true,
+        scenarios: records,
+    };
+    let parsed = BenchReport::parse(&report.to_json_string()).expect("report parses back");
+    assert_eq!(parsed, report);
+
+    // …and comparing a run against itself passes the perf gate clean.
+    let cmp = compare_reports(&report, &parsed, &CompareConfig::default()).unwrap();
+    assert!(!cmp.has_regressions(), "{:?}", cmp.regressions);
+    assert!(cmp.improvements.is_empty());
+}

@@ -1,11 +1,197 @@
-//! Text rendering of analysis artifacts (the harness binaries print these).
+//! Text rendering of analysis artifacts (the harness binaries print these)
+//! and the machine-readable bench-report structs (`BENCH_*.json`).
 
 use crate::census::{Table2, Table3};
 use crate::design::DesignReport;
 use crate::hybrid::FunctionModel;
 use crate::validate::{ContentionFinding, SegmentationWarning};
+use serde::json::Value;
 use std::collections::BTreeMap;
 use std::fmt::Write;
+
+/// Version of the `BENCH_*.json` schema. Bump on any breaking change to
+/// [`BenchReport`]'s wire shape; `bench_compare` refuses mixed versions.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    Ok,
+    /// The scenario returned an error (its message, for the report).
+    Error(String),
+}
+
+/// One scenario's entry in a bench report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRecord {
+    pub name: String,
+    pub tags: Vec<String>,
+    pub status: RunStatus,
+    /// Harness-measured wall time of the whole scenario (seconds). The only
+    /// nondeterministic number in the report — compared with a loose
+    /// tolerance.
+    pub wall_seconds: f64,
+    /// Named scalar metrics. Convention: **lower is better** for every
+    /// metric a regression gate should act on (costs, errors, overheads);
+    /// see `crates/bench/README.md`.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl ScenarioRecord {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("name", Value::str(&self.name)),
+            (
+                "tags",
+                Value::Arr(self.tags.iter().map(Value::str).collect()),
+            ),
+            (
+                "status",
+                Value::str(match &self.status {
+                    RunStatus::Ok => "ok",
+                    RunStatus::Error(_) => "error",
+                }),
+            ),
+            (
+                "error",
+                match &self.status {
+                    RunStatus::Ok => Value::Null,
+                    RunStatus::Error(e) => Value::str(e),
+                },
+            ),
+            ("wall_seconds", Value::Num(self.wall_seconds)),
+            (
+                "metrics",
+                Value::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<ScenarioRecord, String> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("scenario record missing 'name'")?
+            .to_string();
+        let tags = v
+            .get("tags")
+            .and_then(Value::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|t| t.as_str().map(String::from))
+            .collect();
+        let status = match v.get("status").and_then(Value::as_str) {
+            Some("ok") => RunStatus::Ok,
+            Some("error") => RunStatus::Error(
+                v.get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            ),
+            other => return Err(format!("scenario '{name}': bad status {other:?}")),
+        };
+        let wall_seconds = v
+            .get("wall_seconds")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("scenario '{name}' missing 'wall_seconds'"))?;
+        let mut metrics = BTreeMap::new();
+        if let Some(Value::Obj(fields)) = v.get("metrics") {
+            for (k, m) in fields {
+                metrics.insert(
+                    k.clone(),
+                    m.as_f64()
+                        .ok_or_else(|| format!("scenario '{name}': metric '{k}' not a number"))?,
+                );
+            }
+        }
+        Ok(ScenarioRecord {
+            name,
+            tags,
+            status,
+            wall_seconds,
+            metrics,
+        })
+    }
+}
+
+/// A complete bench run: what `bench_all` writes and `bench_compare` reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Wire-format version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// Commit the run was taken at (`unknown` outside a git checkout).
+    pub git_sha: String,
+    /// Seconds since the Unix epoch at report creation.
+    pub created_unix: u64,
+    /// Whether the run used the reduced `--quick` sweeps.
+    pub quick: bool,
+    pub scenarios: Vec<ScenarioRecord>,
+}
+
+impl BenchReport {
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("schema", Value::Num(self.schema as f64)),
+            ("tool", Value::str("pt-bench")),
+            ("git_sha", Value::str(&self.git_sha)),
+            ("created_unix", Value::Num(self.created_unix as f64)),
+            ("quick", Value::Bool(self.quick)),
+            (
+                "scenarios",
+                Value::Arr(self.scenarios.iter().map(ScenarioRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Pretty-printed JSON document (what lands in `BENCH_<sha>.json`).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    pub fn from_json(v: &Value) -> Result<BenchReport, String> {
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_u64)
+            .ok_or("report missing numeric 'schema'")?;
+        let git_sha = v
+            .get("git_sha")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let created_unix = v.get("created_unix").and_then(Value::as_u64).unwrap_or(0);
+        let quick = v.get("quick").and_then(Value::as_bool).unwrap_or(false);
+        let scenarios = v
+            .get("scenarios")
+            .and_then(Value::as_arr)
+            .ok_or("report missing 'scenarios' array")?
+            .iter()
+            .map(ScenarioRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            schema,
+            git_sha,
+            created_unix,
+            quick,
+            scenarios,
+        })
+    }
+
+    /// Parse a report from JSON text.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let v = Value::parse(text).map_err(|e| e.to_string())?;
+        BenchReport::from_json(&v)
+    }
+
+    /// Find a scenario record by name.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioRecord> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
 
 /// Render Table 2 in the paper's layout.
 pub fn render_table2(app: &str, t: &Table2) -> String {
@@ -218,6 +404,58 @@ mod tests {
         let s = render_table3("mini-lulesh", &t3);
         assert!(s.contains("size"));
         assert!(s.contains("78"));
+    }
+
+    #[test]
+    fn bench_report_roundtrips_through_json() {
+        let report = BenchReport {
+            schema: BENCH_SCHEMA_VERSION,
+            git_sha: "abc1234def".into(),
+            created_unix: 1_753_776_000,
+            quick: true,
+            scenarios: vec![
+                ScenarioRecord {
+                    name: "fig3_overhead_lulesh".into(),
+                    tags: vec!["figure".into(), "lulesh".into()],
+                    status: RunStatus::Ok,
+                    wall_seconds: 1.25,
+                    metrics: BTreeMap::from([
+                        ("overhead_taint_geomean_pct".into(), 4.9),
+                        ("overhead_full_geomean_pct".into(), 4400.0),
+                    ]),
+                },
+                ScenarioRecord {
+                    name: "b1_noise_resilience".into(),
+                    tags: vec![],
+                    status: RunStatus::Error("entry not found".into()),
+                    wall_seconds: 0.01,
+                    metrics: BTreeMap::new(),
+                },
+            ],
+        };
+        let text = report.to_json_string();
+        assert!(text.contains("\"schema\": 1"));
+        let parsed = BenchReport::parse(&text).expect("parse back");
+        assert_eq!(parsed, report);
+        assert_eq!(
+            parsed.scenario("fig3_overhead_lulesh").unwrap().metrics["overhead_taint_geomean_pct"],
+            4.9
+        );
+        assert!(parsed.scenario("nope").is_none());
+    }
+
+    #[test]
+    fn bench_report_parse_rejects_malformed_documents() {
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse("{}").is_err()); // no schema
+        assert!(BenchReport::parse(r#"{"schema": 1}"#).is_err()); // no scenarios
+                                                                  // A scenario without a name is rejected.
+        let bad = r#"{"schema": 1, "scenarios": [{"status": "ok", "wall_seconds": 1}]}"#;
+        assert!(BenchReport::parse(bad).is_err());
+        // Bad status string is rejected.
+        let bad =
+            r#"{"schema": 1, "scenarios": [{"name": "x", "status": "meh", "wall_seconds": 1}]}"#;
+        assert!(BenchReport::parse(bad).is_err());
     }
 
     #[test]

@@ -147,3 +147,28 @@ fn axis_mapping_cache_is_consistent_across_repeated_projections() {
         assert_eq!(a.restrictions(&app.module, &axes1), r1);
     }
 }
+
+#[test]
+fn session_cache_shares_statics_across_sessions_and_apps() {
+    use perf_taint::SessionCache;
+    let lulesh = lulesh::build();
+    let milc = pt_apps::milc::build();
+    let cache = SessionCache::new();
+    assert!(cache.is_empty());
+
+    // Two sessions over the same module share one static stage.
+    let s1 = cache.session(&lulesh.module, &lulesh.entry);
+    let s2 = cache.session(&lulesh.module, &lulesh.entry);
+    assert!(Arc::ptr_eq(&s1.static_analysis(), &s2.static_analysis()));
+    assert_eq!(cache.len(), 1);
+
+    // A different app gets its own entry, not the cached one.
+    let s3 = cache.session(&milc.module, &milc.entry);
+    assert!(!Arc::ptr_eq(&s1.static_analysis(), &s3.static_analysis()));
+    assert_eq!(cache.len(), 2);
+
+    // Cached sessions still produce working analyses, and the analysis
+    // carries the shared artifacts.
+    let a = s2.taint_run(lulesh.taint_run_params()).unwrap();
+    assert!(Arc::ptr_eq(&a.statics, &s1.static_analysis()));
+}

@@ -1,6 +1,10 @@
 //! Offline stand-in for the `serde` facade. Provides the derive macros (as
 //! no-ops) and empty marker traits so `use serde::{Deserialize, Serialize}`
-//! and `#[derive(Serialize, Deserialize)]` compile without crates.io.
+//! and `#[derive(Serialize, Deserialize)]` compile without crates.io, plus
+//! a minimal [`json`] document model (the `serde_json` subset the bench
+//! reports need: a value tree, renderer, and parser).
+
+pub mod json;
 
 pub use serde_derive_stub::{Deserialize, Serialize};
 
