@@ -2,12 +2,15 @@
 //! process and write a schema-versioned `BENCH_<git-sha>.json` report.
 //!
 //! Usage:
-//!   bench_all [--quick] [--list] [--verbose] [--out PATH] [FILTER...]
+//!   bench_all [--quick] [--list] [--verbose] [--quiet] [--out PATH] [FILTER...]
 //!
-//! * `FILTER...` — scenario names or tags (empty = all 12 scenarios)
+//! * `FILTER...` — scenario names or tags (empty = all registered scenarios)
 //! * `--quick`   — reduced sweeps (what CI and `cargo test` run)
 //! * `--verbose` — print every scenario's full text rendering, not just
 //!   the summary table
+//! * `--quiet`   — no stdout at all; pair with `--out` for a deterministic
+//!   report location (what CI and the server smoke job use). Failures
+//!   still go to stderr and the exit code.
 //! * `--out`     — report path (default `BENCH_<git-sha>.json`)
 //!
 //! Independent scenarios run concurrently via `pt_util::parallel_map`; the
@@ -52,6 +55,7 @@ fn print_list() {
 fn main() -> ExitCode {
     let mut quick = false;
     let mut verbose = false;
+    let mut quiet = false;
     let mut out_path: Option<String> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -59,6 +63,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => quick = true,
             "--verbose" => verbose = true,
+            "--quiet" => quiet = true,
             "--list" => {
                 print_list();
                 return ExitCode::SUCCESS;
@@ -71,7 +76,9 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("bench_all [--quick] [--list] [--verbose] [--out PATH] [FILTER...]");
+                println!(
+                    "bench_all [--quick] [--list] [--verbose] [--quiet] [--out PATH] [FILTER...]"
+                );
                 return ExitCode::SUCCESS;
             }
             f if f.starts_with('-') => {
@@ -96,12 +103,14 @@ fn main() -> ExitCode {
     let cx = ScenarioCtx::with_threads(quick, (total_threads / scenario_workers).max(1));
 
     let sha = git_sha();
-    eprintln!(
-        "bench_all: {} scenario(s), quick={quick}, {} worker(s) × {} thread(s), commit {sha}",
-        selected.len(),
-        scenario_workers,
-        cx.threads
-    );
+    if !quiet {
+        eprintln!(
+            "bench_all: {} scenario(s), quick={quick}, {} worker(s) × {} thread(s), commit {sha}",
+            selected.len(),
+            scenario_workers,
+            cx.threads
+        );
+    }
 
     let runs: Vec<(
         &dyn Scenario,
@@ -114,31 +123,40 @@ fn main() -> ExitCode {
 
     let mut scenarios = Vec::new();
     let mut failures = 0usize;
-    println!(
-        "{:<26} {:>9} {:>8}  status",
-        "scenario", "wall [s]", "metrics"
-    );
+    if !quiet {
+        println!(
+            "{:<26} {:>9} {:>8}  status",
+            "scenario", "wall [s]", "metrics"
+        );
+    }
     for (s, result, wall) in &runs {
         let (status, metrics, text) = match result {
             Ok(r) => (RunStatus::Ok, r.metrics.clone(), Some(&r.text)),
             Err(e) => {
                 failures += 1;
+                // Failures must reach stderr even under --quiet — the
+                // report alone would hide which scenario broke and why.
+                if quiet {
+                    eprintln!("{}: ERROR: {e}", s.name());
+                }
                 (RunStatus::Error(e.to_string()), Default::default(), None)
             }
         };
-        println!(
-            "{:<26} {:>9.3} {:>8}  {}",
-            s.name(),
-            wall,
-            metrics.len(),
-            match &status {
-                RunStatus::Ok => "ok".to_string(),
-                RunStatus::Error(e) => format!("ERROR: {e}"),
-            }
-        );
-        if verbose {
-            if let Some(text) = text {
-                println!("\n{text}");
+        if !quiet {
+            println!(
+                "{:<26} {:>9.3} {:>8}  {}",
+                s.name(),
+                wall,
+                metrics.len(),
+                match &status {
+                    RunStatus::Ok => "ok".to_string(),
+                    RunStatus::Error(e) => format!("ERROR: {e}"),
+                }
+            );
+            if verbose {
+                if let Some(text) = text {
+                    println!("\n{text}");
+                }
             }
         }
         scenarios.push(ScenarioRecord {
@@ -162,7 +180,9 @@ fn main() -> ExitCode {
         eprintln!("failed to write {path}: {e}");
         return ExitCode::from(2);
     }
-    println!("report: {path}");
+    if !quiet {
+        println!("report: {path}");
+    }
 
     if failures > 0 {
         eprintln!("{failures} scenario(s) failed");

@@ -30,6 +30,7 @@ mod c2_experiment_validation;
 mod fig3_overhead_lulesh;
 mod fig4_overhead_milc;
 mod fig5_contention;
+mod serve_throughput;
 mod table1_config;
 mod table2_overview;
 mod table3_param_pruning;
@@ -231,6 +232,7 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &b2_intrusion::B2Intrusion,
         &c2_experiment_validation::C2ExperimentValidation,
         &ablation_ctlflow::AblationCtlflow,
+        &serve_throughput::ServeThroughput,
     ]
 }
 
@@ -272,7 +274,10 @@ mod tests {
     fn registry_names_are_unique_and_tagged() {
         let mut names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
         let total = names.len();
-        assert_eq!(total, 12, "all 12 paper artifacts are registered");
+        assert_eq!(
+            total, 13,
+            "all 12 paper artifacts plus the service scenario are registered"
+        );
         names.sort();
         names.dedup();
         assert_eq!(names.len(), total, "scenario names must be unique");

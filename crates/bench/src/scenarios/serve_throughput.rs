@@ -1,0 +1,187 @@
+//! `serve_throughput` — the analysis service under load, through a real
+//! loopback socket.
+//!
+//! Stands a `pt-server` up on an ephemeral port with a throwaway store,
+//! then measures what the Taint Rabbit-style amortization buys: cold
+//! requests pay the full pipeline, warm requests are answered from the
+//! persistent content-addressed store. Reported numbers are the cold and
+//! warm per-request latencies and the warm requests/sec sustained by
+//! several concurrent clients (stored as its inverse, seconds for the
+//! whole burst, to keep the lower-is-better convention).
+
+use super::{outln, Scenario, ScenarioCtx, ScenarioResult};
+use perf_taint::PtError;
+use pt_server::{Client, Server, ServerConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct ServeThroughput;
+
+/// The loopback service bench: cold-vs-warm latency and warm throughput.
+impl Scenario for ServeThroughput {
+    fn name(&self) -> &'static str {
+        "serve_throughput"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["service", "infra", "throughput"]
+    }
+
+    fn summary(&self) -> &'static str {
+        "pt-serve over loopback: requests/sec and cold-vs-warm latency via the artifact store"
+    }
+
+    fn run(&self, cx: &ScenarioCtx) -> Result<ScenarioResult, PtError> {
+        let mut r = ScenarioResult::new();
+        let io_err = |what: &str, e: &dyn std::fmt::Display| {
+            PtError::Config(format!("serve_throughput: {what}: {e}"))
+        };
+
+        // Unique store root per run (bench_all may run this concurrently
+        // with `cargo test` on the same machine).
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let store_dir = std::env::temp_dir().join(format!(
+            "pt-serve-bench-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&store_dir);
+
+        let clients = cx.threads.clamp(2, 8);
+        let server = Server::bind(&ServerConfig::loopback(&store_dir, cx.threads.max(2)))
+            .map_err(|e| io_err("cannot bind loopback server", &e))?;
+        let addr = server
+            .local_addr()
+            .map_err(|e| io_err("cannot read bound address", &e))?;
+        let server_thread = std::thread::spawn(move || server.run());
+
+        let outcome = drive(&mut r, addr, clients, cx.quick);
+
+        // Always try to shut the server down, even when the drive failed
+        // (retry briefly: the failure mode is fd/port pressure from the
+        // burst, which drains quickly). `run` only returns once a shutdown
+        // request lands, so join ONLY after a successful one — otherwise
+        // report the error and leak the thread rather than hang the bench.
+        let mut shutdown = Err("never attempted".to_string());
+        for _ in 0..10 {
+            shutdown = Client::connect(addr)
+                .map_err(|e| e.to_string())
+                .and_then(|mut c| c.shutdown().map(|_| ()).map_err(|e| e.to_string()));
+            if shutdown.is_ok() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        if shutdown.is_ok() {
+            let _ = server_thread.join();
+        }
+        let _ = std::fs::remove_dir_all(&store_dir);
+        outcome?;
+        shutdown.map_err(|e| io_err("shutdown failed", &e))?;
+        Ok(r)
+    }
+}
+
+fn drive(
+    r: &mut ScenarioResult,
+    addr: std::net::SocketAddr,
+    clients: usize,
+    quick: bool,
+) -> Result<(), PtError> {
+    let client_err =
+        |what: &str, e: &dyn std::fmt::Display| PtError::Config(format!("{what}: {e}"));
+    let mut client = Client::connect(addr).map_err(|e| client_err("connect", &e))?;
+    let module = client
+        .submit_module(&pt_server::demo_module_text())
+        .map_err(|e| client_err("submit_module", &e))?;
+
+    // Cold latency: fresh parameter points, each paying the full pipeline
+    // (the static stage is shared in-process after the first, like any
+    // long-running server).
+    let cold_points: Vec<i64> = if quick {
+        vec![5, 9, 13]
+    } else {
+        vec![5, 9, 13, 17, 21]
+    };
+    let (cold_results, cold_wall) = pt_util::time(|| -> Result<(), PtError> {
+        for &n in &cold_points {
+            client
+                .taint_run(
+                    &module,
+                    "main",
+                    &[("n".to_string(), n), ("p".to_string(), 4)],
+                )
+                .map_err(|e| client_err("cold taint_run", &e))?;
+        }
+        Ok(())
+    });
+    cold_results?;
+    let cold_per_request = cold_wall / cold_points.len() as f64;
+
+    // Warm burst: every request repeats an already-stored analysis, fanned
+    // over concurrent client connections — the served-from-store fast path.
+    let burst = if quick { 120 } else { 1200 };
+    let requests: Vec<i64> = (0..burst)
+        .map(|i| cold_points[i % cold_points.len()])
+        .collect();
+    let (warm_results, warm_wall) = pt_util::time(|| {
+        pt_util::parallel_map(&requests, clients, |&n| {
+            let mut c = match Client::connect(addr) {
+                Ok(c) => c,
+                Err(e) => return Err(format!("connect: {e}")),
+            };
+            c.taint_run(
+                &module,
+                "main",
+                &[("n".to_string(), n), ("p".to_string(), 4)],
+            )
+            .map(|_| ())
+            .map_err(|e| format!("warm taint_run: {e}"))
+        })
+    });
+    let failures = warm_results.iter().filter(|x| x.is_err()).count();
+    if failures > 0 {
+        let first = warm_results.iter().find_map(|x| x.as_ref().err()).unwrap();
+        return Err(PtError::Config(format!(
+            "{failures}/{burst} warm requests failed; first: {first}"
+        )));
+    }
+    let warm_per_request = warm_wall / burst as f64;
+    let throughput = burst as f64 / warm_wall.max(1e-9);
+
+    let stats = client.stats().map_err(|e| client_err("stats", &e))?;
+    let served = stats
+        .get("served_from_store")
+        .and_then(serde::json::Value::as_u64)
+        .unwrap_or(0);
+
+    outln!(r, "pt-serve throughput (loopback {addr})");
+    outln!(
+        r,
+        "  cold   {:>8.3} ms/request over {} request(s)",
+        1e3 * cold_per_request,
+        cold_points.len()
+    );
+    outln!(
+        r,
+        "  warm   {:>8.3} ms/request over {} request(s), {} client(s)",
+        1e3 * warm_per_request,
+        burst,
+        clients
+    );
+    outln!(r, "  warm throughput {:>10.0} requests/sec", throughput);
+    outln!(
+        r,
+        "  served from persistent store: {served} of {} taint_run request(s)",
+        cold_points.len() + burst
+    );
+    outln!(
+        r,
+        "  cold/warm amortization: ×{:.1}",
+        cold_per_request / warm_per_request.max(1e-9)
+    );
+
+    r.metric("cold_request_wall_seconds", cold_per_request);
+    r.metric("warm_request_wall_seconds", warm_per_request);
+    r.metric("warm_burst_wall_seconds", warm_wall);
+    Ok(())
+}

@@ -79,7 +79,9 @@ pub use design::{design_experiments, DesignReport};
 pub use error::PtError;
 pub use hybrid::{compare_against_truth, model_functions, FunctionModel, ModelComparison};
 pub use pipeline::{analyze, PipelineConfig};
-pub use report::{BenchReport, RunStatus, ScenarioRecord, BENCH_SCHEMA_VERSION};
+pub use report::{
+    analysis_summary, static_summary, BenchReport, RunStatus, ScenarioRecord, BENCH_SCHEMA_VERSION,
+};
 pub use session::{parse_module, Analysis, Session, SessionBuilder, SessionCache, StaticArtifacts};
 pub use validate::{
     detect_contention, detect_segmentation, BranchObservations, BranchSide, ContentionFinding,

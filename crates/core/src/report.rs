@@ -1,10 +1,12 @@
 //! Text rendering of analysis artifacts (the harness binaries print these)
 //! and the machine-readable bench-report structs (`BENCH_*.json`).
 
-use crate::census::{Table2, Table3};
+use crate::census::{FuncKind, Table2, Table3};
 use crate::design::DesignReport;
 use crate::hybrid::FunctionModel;
+use crate::session::{Analysis, StaticArtifacts};
 use crate::validate::{ContentionFinding, SegmentationWarning};
+use pt_ir::Module;
 use serde::json::Value;
 use std::collections::BTreeMap;
 use std::fmt::Write;
@@ -191,6 +193,107 @@ impl BenchReport {
     pub fn scenario(&self, name: &str) -> Option<&ScenarioRecord> {
         self.scenarios.iter().find(|s| s.name == name)
     }
+}
+
+/// Wire name of a [`FuncKind`].
+pub fn func_kind_name(kind: FuncKind) -> &'static str {
+    match kind {
+        FuncKind::ConstantStatic => "constant_static",
+        FuncKind::ConstantDynamic => "constant_dynamic",
+        FuncKind::Comm => "comm",
+        FuncKind::Kernel => "kernel",
+    }
+}
+
+fn table2_json(t: &Table2) -> Value {
+    Value::obj(vec![
+        ("functions_total", Value::int(t.functions_total as i64)),
+        ("pruned_static", Value::int(t.pruned_static as i64)),
+        ("pruned_dynamic", Value::int(t.pruned_dynamic as i64)),
+        ("kernels", Value::int(t.kernels as i64)),
+        ("comm_routines", Value::int(t.comm_routines as i64)),
+        ("mpi_functions", Value::int(t.mpi_functions as i64)),
+        ("loops_total", Value::int(t.loops_total as i64)),
+        (
+            "loops_pruned_static",
+            Value::int(t.loops_pruned_static as i64),
+        ),
+        ("loops_relevant", Value::int(t.loops_relevant as i64)),
+    ])
+}
+
+/// The machine-readable summary of the static stage (§5.1) — what the
+/// analysis service answers `static_analysis` requests with. Everything in
+/// it is deterministic, so cached copies compare byte-identical to fresh
+/// computations.
+pub fn static_summary(statics: &StaticArtifacts, module: &Module) -> Value {
+    let (loops_total, loops_constant) = statics.classification.module_loop_totals();
+    Value::obj(vec![
+        ("module", Value::str(&module.name)),
+        ("functions_total", Value::int(module.functions.len() as i64)),
+        (
+            "pruned_static",
+            Value::int(statics.classification.pruned_count() as i64),
+        ),
+        ("loops_total", Value::int(loops_total as i64)),
+        ("loops_constant", Value::int(loops_constant as i64)),
+        (
+            "recursion_warnings",
+            Value::int(statics.classification.recursion_warnings.len() as i64),
+        ),
+        (
+            "irreducible_warnings",
+            Value::int(statics.classification.irreducible_warnings.len() as i64),
+        ),
+    ])
+}
+
+/// The machine-readable summary of one taint run — what the analysis
+/// service answers `taint_run` requests with. The fields are exactly the
+/// deterministic outputs of [`Analysis`]: parameter names, per-function
+/// classification and dependency structures (rendered against the run's
+/// parameter names), MPI dependency structures, Table 2, and the simulated
+/// run cost. Producing it through this one function is what makes the
+/// served and in-process paths byte-identical.
+pub fn analysis_summary(analysis: &Analysis, module: &Module) -> Value {
+    let names = &analysis.param_names;
+    let functions: Vec<(String, Value)> = module
+        .function_ids()
+        .map(|f| {
+            let mut fields = vec![(
+                "kind",
+                Value::str(func_kind_name(analysis.kinds[f.index()])),
+            )];
+            if let Some(dep) = analysis.deps.get(&f) {
+                fields.push(("deps", Value::str(dep.render(names))));
+            }
+            (module.function(f).name.clone(), Value::obj(fields))
+        })
+        .collect();
+    let extern_deps: Vec<(String, Value)> = analysis
+        .extern_deps
+        .iter()
+        .map(|(name, dep)| (name.clone(), Value::str(dep.render(names))))
+        .collect();
+    Value::obj(vec![
+        ("module", Value::str(&module.name)),
+        (
+            "param_names",
+            Value::Arr(names.iter().map(Value::str).collect()),
+        ),
+        ("functions", Value::Obj(functions)),
+        ("extern_deps", Value::Obj(extern_deps)),
+        ("table2", table2_json(&analysis.table2)),
+        (
+            "never_visited_paths",
+            Value::int(analysis.never_visited_paths(module).len() as i64),
+        ),
+        ("taint_run_time", Value::Num(analysis.taint_run_time)),
+        (
+            "taint_run_core_hours",
+            Value::Num(analysis.taint_run_core_hours),
+        ),
+    ])
 }
 
 /// Render Table 2 in the paper's layout.
@@ -456,6 +559,54 @@ mod tests {
         let bad =
             r#"{"schema": 1, "scenarios": [{"name": "x", "status": "meh", "wall_seconds": 1}]}"#;
         assert!(BenchReport::parse(bad).is_err());
+    }
+
+    #[test]
+    fn summaries_are_deterministic_and_roundtrip_the_wire() {
+        use pt_ir::{FunctionBuilder, Module, Type, Value as IrValue};
+        let mut m = Module::new("wire");
+        let mut b = FunctionBuilder::new("kernel", vec![("n".into(), Type::I64)], Type::Void);
+        b.for_loop(0i64, b.param(0), 1i64, |b, _| {
+            b.call_external("pt_work_flops", vec![IrValue::int(3)], Type::Void);
+        });
+        b.ret(None);
+        let kernel = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let n = b.call_external("pt_param_i64", vec![IrValue::int(0)], Type::I64);
+        b.call(kernel, vec![n], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish());
+
+        let session = crate::SessionBuilder::new(&m, "main").build();
+        let statics = session.static_analysis();
+        let s = static_summary(&statics, &m);
+        assert_eq!(s.get("module").and_then(Value::as_str), Some("wire"));
+        assert_eq!(s.get("functions_total").and_then(Value::as_u64), Some(2));
+
+        let a1 = session.taint_run(vec![("size".into(), 6)]).unwrap();
+        let a2 = session.taint_run(vec![("size".into(), 6)]).unwrap();
+        let r1 = analysis_summary(&a1, &m).render();
+        let r2 = analysis_summary(&a2, &m).render();
+        // Deterministic pipeline → byte-identical summaries, and the text
+        // survives a parse→render round trip (the service's warm path).
+        assert_eq!(r1, r2);
+        let reparsed = Value::parse(&r1).unwrap();
+        assert_eq!(reparsed.render(), r1);
+        assert_eq!(
+            reparsed
+                .get("functions")
+                .and_then(|f| f.get("kernel"))
+                .and_then(|k| k.get("kind"))
+                .and_then(Value::as_str),
+            Some("kernel")
+        );
+        assert_eq!(
+            reparsed
+                .get("param_names")
+                .and_then(Value::as_arr)
+                .map(|a| a.len()),
+            Some(1)
+        );
     }
 
     #[test]

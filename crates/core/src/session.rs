@@ -260,14 +260,23 @@ impl SessionCache {
     /// A session over `module` whose static stage is shared with every
     /// other session this cache produced for the same module name.
     pub fn session<'m>(&self, module: &'m Module, entry: &str) -> Session<'m> {
+        self.session_keyed(&module.name, module, entry)
+    }
+
+    /// Like [`SessionCache::session`], but sharing by an explicit
+    /// caller-chosen key instead of the module name. Long-running callers
+    /// that accept modules from many clients (the analysis service) key by
+    /// content hash, where two different submissions may legitimately carry
+    /// the same module name.
+    pub fn session_keyed<'m>(&self, key: &str, module: &'m Module, entry: &str) -> Session<'m> {
         let session = SessionBuilder::new(module, entry).build();
-        // Reserve the per-module slot under the lock, compute outside it:
+        // Reserve the per-key slot under the lock, compute outside it:
         // `OnceLock::get_or_init` blocks concurrent first callers until the
-        // winner finishes, so the static stage runs exactly once per module
+        // winner finishes, so the static stage runs exactly once per key
         // even when many sessions are requested at the same time.
         let slot = {
             let mut map = self.statics.lock().unwrap();
-            map.entry(module.name.clone()).or_default().clone()
+            map.entry(key.to_string()).or_default().clone()
         };
         let statics = slot.get_or_init(|| session.static_analysis()).clone();
         // No-op when this session was the one that just computed them.

@@ -1,0 +1,132 @@
+//! `pt-client` — drive a running pt-server from the command line.
+//!
+//! ```text
+//! pt-client [--addr HOST:PORT] demo
+//! pt-client [--addr HOST:PORT] submit <module.ptir | ->
+//! pt-client [--addr HOST:PORT] static <module-hash> <entry>
+//! pt-client [--addr HOST:PORT] run <module-hash> <entry> [name=value...]
+//! pt-client [--addr HOST:PORT] batch <module-hash> <entry> <set> [set...]
+//! pt-client [--addr HOST:PORT] fit <request.json | ->
+//! pt-client [--addr HOST:PORT] stats
+//! pt-client [--addr HOST:PORT] shutdown
+//! ```
+//!
+//! `demo` needs no server: it prints the canonical demo module's IR text
+//! (pipe it to a file, then `submit` it). A batch `set` is a comma-joined
+//! parameter list (`n=8,p=4`). `fit` reads a JSON document with the
+//! `fit_model` request parameters. Results print as pretty JSON.
+
+use pt_server::{Client, ClientError};
+use serde::json::Value;
+use std::io::Read;
+use std::process::ExitCode;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7421";
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    }
+}
+
+/// `name=value` pairs, order-preserving.
+fn parse_params(args: &[String]) -> Result<Vec<(String, i64)>, String> {
+    args.iter()
+        .map(|pair| {
+            let (name, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("'{pair}' is not name=value"))?;
+            let value = value
+                .parse()
+                .map_err(|_| format!("'{pair}' has a non-integer value"))?;
+            Ok((name.to_string(), value))
+        })
+        .collect()
+}
+
+fn run() -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().ok_or("--addr requires a value")?,
+            "--help" | "-h" => {
+                println!(
+                    "pt-client [--addr HOST:PORT] \
+                     <demo|submit|static|run|batch|fit|stats|shutdown> [args...]"
+                );
+                return Ok(());
+            }
+            _ => rest.push(arg),
+        }
+    }
+    let Some((command, args)) = rest.split_first() else {
+        return Err("no command (see --help)".into());
+    };
+
+    // `demo` is local — no connection needed.
+    if command == "demo" {
+        print!("{}", pt_server::demo_module_text());
+        return Ok(());
+    }
+
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let show = |result: Result<Value, ClientError>| -> Result<(), String> {
+        let value = result.map_err(|e| e.to_string())?;
+        print!("{}", value.render_pretty());
+        Ok(())
+    };
+
+    match (command.as_str(), args) {
+        ("submit", [path]) => {
+            let text = read_input(path)?;
+            show(client.request(
+                "submit_module",
+                Value::obj(vec![("text", Value::str(text))]),
+            ))
+        }
+        ("static", [module, entry]) => show(client.static_analysis(module, entry)),
+        ("run", [module, entry, params @ ..]) => {
+            show(client.taint_run(module, entry, &parse_params(params)?))
+        }
+        ("batch", [module, entry, sets @ ..]) if !sets.is_empty() => {
+            let param_sets = sets
+                .iter()
+                .map(|set| {
+                    let parts: Vec<String> = set.split(',').map(|s| s.trim().to_string()).collect();
+                    parse_params(&parts)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            show(client.analyze_batch(module, entry, &param_sets))
+        }
+        ("fit", [path]) => {
+            let text = read_input(path)?;
+            let params =
+                Value::parse(&text).map_err(|e| format!("fit request is not JSON: {e}"))?;
+            show(client.request("fit_model", params))
+        }
+        ("stats", []) => show(client.stats()),
+        ("shutdown", []) => show(client.shutdown()),
+        (other, _) => Err(format!(
+            "unknown command or wrong arguments: '{other}' (see --help)"
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("pt-client: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! `pt-server` — stand the analysis service up.
+//!
+//! ```text
+//! pt-server [--addr HOST:PORT] [--store DIR] [--workers N] [--queue N]
+//! ```
+//!
+//! Prints exactly one `pt-server listening on <addr>` line to stdout once
+//! the socket is bound (scripts parse this to learn an ephemeral port),
+//! then serves until a `shutdown` request arrives.
+
+use pt_server::{Server, ServerConfig};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7421".to_string(),
+        store_dir: "pt-store".into(),
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16),
+        queue_capacity: 64,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} requires a value"))
+        };
+        let result = match arg.as_str() {
+            "--addr" => take("--addr").map(|v| config.addr = v),
+            "--store" => take("--store").map(|v| config.store_dir = v.into()),
+            "--workers" => take("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n: usize| config.workers = n.max(1))
+                    .map_err(|_| "--workers requires an integer".to_string())
+            }),
+            "--queue" => take("--queue").and_then(|v| {
+                v.parse()
+                    .map(|n: usize| config.queue_capacity = n.max(1))
+                    .map_err(|_| "--queue requires an integer".to_string())
+            }),
+            "--help" | "-h" => {
+                println!("pt-server [--addr HOST:PORT] [--store DIR] [--workers N] [--queue N]");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag '{other}' (see --help)")),
+        };
+        if let Err(message) = result {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pt-server: cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            println!("pt-server listening on {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("pt-server: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "pt-server: store {}, {} worker(s), queue {}",
+        config.store_dir.display(),
+        config.workers,
+        config.queue_capacity
+    );
+    if let Err(e) = server.run() {
+        eprintln!("pt-server: serve loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("pt-server: shutdown complete");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,204 @@
+//! A blocking client for the pt-serve wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues requests serially
+//! (the protocol has no pipelining; ids exist so a future client could).
+//! [`Client::request`] is the generic entry point; thin typed helpers
+//! cover the common methods. `pt-client` (the binary) and the integration
+//! tests are both built on this type.
+
+use crate::protocol::{request_line, PROTOCOL_VERSION};
+use serde::json::Value;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A failure of a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connection refused, reset, ...).
+    Io(io::Error),
+    /// The server's bytes were not a valid response envelope.
+    Protocol(String),
+    /// The server answered with an error envelope.
+    Remote { kind: String, message: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Remote { kind, message } => write!(f, "server error [{kind}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The error-envelope kind, if this was a remote failure.
+    pub fn remote_kind(&self) -> Option<&str> {
+        match self {
+            ClientError::Remote { kind, .. } => Some(kind),
+            _ => None,
+        }
+    }
+}
+
+/// One connection to a pt-server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Issue one request and wait for its response. Returns the `result`
+    /// value of a success envelope.
+    pub fn request(&mut self, method: &str, params: Value) -> Result<Value, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = request_line(id, method, params);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection before responding".into(),
+            ));
+        }
+        let doc = Value::parse(response.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        match doc.get("v").and_then(Value::as_u64) {
+            Some(v) if v == PROTOCOL_VERSION => {}
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "response protocol version {other:?}, expected {PROTOCOL_VERSION}"
+                )))
+            }
+        }
+        if doc.get("id").and_then(Value::as_u64) != Some(id) {
+            return Err(ClientError::Protocol("response id mismatch".into()));
+        }
+        match doc.get("ok").and_then(Value::as_bool) {
+            Some(true) => doc
+                .get("result")
+                .cloned()
+                .ok_or_else(|| ClientError::Protocol("ok response without 'result'".into())),
+            Some(false) => {
+                let err = doc.get("error");
+                Err(ClientError::Remote {
+                    kind: err
+                        .and_then(|e| e.get("kind"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown")
+                        .to_string(),
+                    message: err
+                        .and_then(|e| e.get("message"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown error")
+                        .to_string(),
+                })
+            }
+            None => Err(ClientError::Protocol("response missing 'ok'".into())),
+        }
+    }
+
+    /// Submit module IR text; returns the content hash that later requests
+    /// name the module by.
+    pub fn submit_module(&mut self, text: &str) -> Result<String, ClientError> {
+        let result = self.request(
+            "submit_module",
+            Value::obj(vec![("text", Value::str(text))]),
+        )?;
+        result
+            .get("module")
+            .and_then(Value::as_str)
+            .map(String::from)
+            .ok_or_else(|| ClientError::Protocol("submit_module result missing 'module'".into()))
+    }
+
+    /// Run the static stage (§5.1) for `(module, entry)`.
+    pub fn static_analysis(&mut self, module: &str, entry: &str) -> Result<Value, ClientError> {
+        self.request(
+            "static_analysis",
+            Value::obj(vec![
+                ("module", Value::str(module)),
+                ("entry", Value::str(entry)),
+            ]),
+        )
+    }
+
+    /// Run (or fetch) one taint analysis at the given parameter values.
+    /// Pair order defines taint indices, exactly like the in-process API.
+    pub fn taint_run(
+        &mut self,
+        module: &str,
+        entry: &str,
+        params: &[(String, i64)],
+    ) -> Result<Value, ClientError> {
+        self.request(
+            "taint_run",
+            Value::obj(vec![
+                ("module", Value::str(module)),
+                ("entry", Value::str(entry)),
+                ("params", params_object(params)),
+            ]),
+        )
+    }
+
+    /// One taint run per parameter set, fanned across the server's workers.
+    pub fn analyze_batch(
+        &mut self,
+        module: &str,
+        entry: &str,
+        param_sets: &[Vec<(String, i64)>],
+    ) -> Result<Value, ClientError> {
+        self.request(
+            "analyze_batch",
+            Value::obj(vec![
+                ("module", Value::str(module)),
+                ("entry", Value::str(entry)),
+                (
+                    "param_sets",
+                    Value::Arr(param_sets.iter().map(|p| params_object(p)).collect()),
+                ),
+            ]),
+        )
+    }
+
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        self.request("stats", Value::Obj(Vec::new()))
+    }
+
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        self.request("shutdown", Value::Obj(Vec::new()))
+    }
+}
+
+/// Parameter pairs as an order-preserving JSON object.
+fn params_object(params: &[(String, i64)]) -> Value {
+    Value::Obj(
+        params
+            .iter()
+            .map(|(n, v)| (n.clone(), Value::int(*v)))
+            .collect(),
+    )
+}

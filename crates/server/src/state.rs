@@ -1,0 +1,464 @@
+//! Request routing and shared server state.
+//!
+//! One [`ServerState`] is shared by every worker thread. It owns the
+//! persistent [`Store`], an in-memory cache of parsed modules (keyed by
+//! content hash), and a [`SessionCache`] keyed by the same hashes so the
+//! static stage is computed at most once per module *per process* — with
+//! the store extending that guarantee across processes at the response
+//! granularity.
+//!
+//! Every handler returns `Result<Value, ServeError>`; the connection layer
+//! wraps dispatch in `catch_unwind`, so a bug in a handler costs one error
+//! response, never the server.
+
+use crate::protocol::{ServeError, PROTOCOL_VERSION};
+use crate::store::{content_key, Namespace, Store, CONFIG_FINGERPRINT};
+use perf_taint::report::{analysis_summary, static_summary};
+use perf_taint::{parse_module, PtError, SessionCache};
+use pt_extrap::{fit_multi_param, MeasurementSet, Restriction, SearchSpace};
+use pt_ir::Module;
+use serde::json::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A method handler in the dispatch table.
+type Handler = fn(&ServerState, &Value) -> Result<Value, ServeError>;
+
+/// Everything the worker threads share.
+pub struct ServerState {
+    store: Store,
+    /// Parsed modules by content hash (loaded lazily from the store, so a
+    /// restarted server can serve hashes submitted to a previous process).
+    modules: Mutex<HashMap<String, Arc<Module>>>,
+    /// In-process static-stage sharing, keyed by module content hash.
+    sessions: SessionCache,
+    /// Worker threads available to `analyze_batch` fan-out.
+    pub workers: usize,
+    /// Connection-queue bound (reported in `stats`).
+    pub queue_capacity: usize,
+    requests: AtomicU64,
+    /// Responses answered from the persistent store without touching the
+    /// pipeline (the acceptance observable for warm requests).
+    served_from_store: AtomicU64,
+    method_counts: Mutex<BTreeMap<String, u64>>,
+    /// Serializes `analyze_batch` fan-outs: each batch uses the full
+    /// worker budget, so concurrent batches must queue here rather than
+    /// multiply to workers² simultaneous taint runs.
+    batch_gate: Mutex<()>,
+    stopping: AtomicBool,
+}
+
+impl ServerState {
+    pub fn new(store: Store, workers: usize, queue_capacity: usize) -> ServerState {
+        ServerState {
+            store,
+            modules: Mutex::new(HashMap::new()),
+            sessions: SessionCache::new(),
+            workers: workers.max(1),
+            queue_capacity,
+            requests: AtomicU64::new(0),
+            served_from_store: AtomicU64::new(0),
+            method_counts: Mutex::new(BTreeMap::new()),
+            batch_gate: Mutex::new(()),
+            stopping: AtomicBool::new(false),
+        }
+    }
+
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Has a `shutdown` request been served?
+    pub fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::Relaxed)
+    }
+
+    /// Route one request. Counts it, then dispatches by method name.
+    /// Unrecognized names all share one `unknown` counter bucket — the map
+    /// must stay bounded no matter what clients send.
+    pub fn dispatch(&self, method: &str, params: &Value) -> Result<Value, ServeError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let handler: Option<Handler> = match method {
+            "submit_module" => Some(ServerState::submit_module),
+            "static_analysis" => Some(ServerState::static_analysis),
+            "taint_run" => Some(ServerState::taint_run),
+            "analyze_batch" => Some(ServerState::analyze_batch),
+            "fit_model" => Some(ServerState::fit_model),
+            "stats" => Some(|state, _| state.stats()),
+            "shutdown" => Some(|state, _| state.shutdown()),
+            _ => None,
+        };
+        *self
+            .method_counts
+            .lock()
+            .unwrap()
+            .entry(if handler.is_some() { method } else { "unknown" }.to_string())
+            .or_insert(0) += 1;
+        match handler {
+            Some(run) => run(self, params),
+            None => Err(ServeError::BadRequest(format!("unknown method '{method}'"))),
+        }
+    }
+
+    // ---- submit_module ---------------------------------------------------
+
+    /// Parse, verify, and persist a module; the returned content hash is
+    /// how every later request names it.
+    fn submit_module(&self, params: &Value) -> Result<Value, ServeError> {
+        let text = require_str(params, "text")?;
+        let module = parse_module(text).map_err(ServeError::from)?;
+        if let Err(errors) = pt_ir::verify_module(&module) {
+            let (func, err) = &errors[0];
+            return Err(ServeError::Pt(PtError::Config(format!(
+                "module failed verification: {func}: {err} ({} issue(s) total)",
+                errors.len()
+            ))));
+        }
+        let key = content_key(&["module", text]);
+        let known = self.store.contains(Namespace::Modules, &key);
+        if !known {
+            self.store
+                .put(Namespace::Modules, &key, text)
+                .map_err(|e| ServeError::Internal(format!("store write failed: {e}")))?;
+        }
+        let functions = module.functions.len();
+        let name = module.name.clone();
+        self.modules
+            .lock()
+            .unwrap()
+            .insert(key.clone(), Arc::new(module));
+        Ok(Value::obj(vec![
+            ("module", Value::str(&key)),
+            ("name", Value::str(name)),
+            ("functions", Value::int(functions as i64)),
+            ("known", Value::Bool(known)),
+        ]))
+    }
+
+    /// Resolve a module hash: in-memory first, then the persistent store
+    /// (how a restarted server recovers modules submitted to an earlier
+    /// process).
+    fn module_for(&self, key: &str) -> Result<Arc<Module>, ServeError> {
+        if let Some(m) = self.modules.lock().unwrap().get(key) {
+            return Ok(m.clone());
+        }
+        let text = self.store.get(Namespace::Modules, key).ok_or_else(|| {
+            ServeError::BadRequest(format!("unknown module '{key}' (submit_module it first)"))
+        })?;
+        let module = Arc::new(parse_module(&text).map_err(|e| {
+            ServeError::Internal(format!("stored module '{key}' no longer parses: {e}"))
+        })?);
+        self.modules
+            .lock()
+            .unwrap()
+            .entry(key.to_string())
+            .or_insert_with(|| module.clone());
+        Ok(module)
+    }
+
+    // ---- static_analysis -------------------------------------------------
+
+    fn static_analysis(&self, params: &Value) -> Result<Value, ServeError> {
+        let module_key = require_str(params, "module")?;
+        let entry = require_str(params, "entry")?;
+        // The static stage is entry-independent, so the artifact is keyed
+        // by (module, config) alone — every entry shares one object. The
+        // entry is still validated on every request (the module is
+        // memory-cached, so this is one map lookup on the warm path).
+        let module = self.module_for(module_key)?;
+        if module.function_by_name(entry).is_none() {
+            return Err(ServeError::Pt(PtError::EntryNotFound {
+                entry: entry.to_string(),
+            }));
+        }
+        let key = content_key(&["static", module_key, CONFIG_FINGERPRINT]);
+        if let Some(value) = self.stored(Namespace::Statics, &key) {
+            return Ok(value);
+        }
+        let session = self.sessions.session_keyed(module_key, &module, entry);
+        let summary = static_summary(&session.static_analysis(), &module);
+        self.persist(Namespace::Statics, &key, &summary);
+        Ok(summary)
+    }
+
+    // ---- taint_run -------------------------------------------------------
+
+    fn taint_run(&self, params: &Value) -> Result<Value, ServeError> {
+        let module_key = require_str(params, "module")?;
+        let entry = require_str(params, "entry")?;
+        let run_params = param_pairs(params.get("params"))?;
+        self.taint_run_inner(module_key, entry, &run_params)
+    }
+
+    fn taint_run_inner(
+        &self,
+        module_key: &str,
+        entry: &str,
+        run_params: &[(String, i64)],
+    ) -> Result<Value, ServeError> {
+        let key = content_key(&[
+            "analysis",
+            module_key,
+            entry,
+            CONFIG_FINGERPRINT,
+            &canonical_params(run_params),
+        ]);
+        if let Some(value) = self.stored(Namespace::Analyses, &key) {
+            return Ok(value);
+        }
+        let module = self.module_for(module_key)?;
+        let session = self.sessions.session_keyed(module_key, &module, entry);
+        let analysis = session
+            .taint_run(run_params.to_vec())
+            .map_err(ServeError::from)?;
+        let summary = analysis_summary(&analysis, &module);
+        self.persist(Namespace::Analyses, &key, &summary);
+        Ok(summary)
+    }
+
+    // ---- analyze_batch ---------------------------------------------------
+
+    /// One taint run per parameter set, fanned across this server's worker
+    /// budget. Each entry succeeds or fails independently, exactly like
+    /// `Session::analyze_batch` — and each entry goes through the same
+    /// persistent cache as a lone `taint_run`.
+    fn analyze_batch(&self, params: &Value) -> Result<Value, ServeError> {
+        let module_key = require_str(params, "module")?;
+        let entry = require_str(params, "entry")?;
+        let sets = params
+            .get("param_sets")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| ServeError::BadRequest("missing array 'param_sets'".into()))?;
+        let parsed: Vec<Result<Vec<(String, i64)>, ServeError>> =
+            sets.iter().map(|s| param_pairs(Some(s))).collect();
+        // Resolve the module once up front so a bad hash fails the whole
+        // request instead of failing N times in parallel.
+        self.module_for(module_key)?;
+        // One batch fans out at a time; the lock is not poisoned in
+        // practice (parallel_map catches worker panics), but recover
+        // rather than unwrap to keep the no-panics-across-the-wire rule.
+        let _fan_out = self
+            .batch_gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let results: Vec<Value> = pt_util::parallel_map(&parsed, self.workers, |set| {
+            let outcome = set
+                .clone()
+                .and_then(|run| self.taint_run_inner(module_key, entry, &run));
+            match outcome {
+                Ok(result) => Value::obj(vec![("ok", Value::Bool(true)), ("result", result)]),
+                Err(e) => Value::obj(vec![("ok", Value::Bool(false)), ("error", e.to_json())]),
+            }
+        });
+        Ok(Value::obj(vec![
+            ("entries", Value::int(results.len() as i64)),
+            ("results", Value::Arr(results)),
+        ]))
+    }
+
+    // ---- fit_model -------------------------------------------------------
+
+    /// Fit an Extra-P model to measurements, under an optional taint-derived
+    /// restriction (§4.5). Cached by the canonical request content.
+    fn fit_model(&self, params: &Value) -> Result<Value, ServeError> {
+        let canonical = params.render();
+        let key = content_key(&["model", CONFIG_FINGERPRINT, &canonical]);
+        if let Some(value) = self.stored(Namespace::Models, &key) {
+            return Ok(value);
+        }
+
+        let names: Vec<String> = params
+            .get("param_names")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| ServeError::BadRequest("missing array 'param_names'".into()))?
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(String::from)
+                    .ok_or_else(|| ServeError::BadRequest("'param_names' must be strings".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        if names.is_empty() {
+            return Err(ServeError::BadRequest("'param_names' is empty".into()));
+        }
+        let points = params
+            .get("points")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| ServeError::BadRequest("missing array 'points'".into()))?;
+        let mut ms = MeasurementSet::new(names.clone());
+        for (i, point) in points.iter().enumerate() {
+            let coords = f64_array(point.get("coords"), &format!("points[{i}].coords"))?;
+            let reps = f64_array(point.get("reps"), &format!("points[{i}].reps"))?;
+            if coords.len() != names.len() {
+                return Err(ServeError::BadRequest(format!(
+                    "points[{i}].coords has {} values for {} parameter(s)",
+                    coords.len(),
+                    names.len()
+                )));
+            }
+            if reps.is_empty() {
+                return Err(ServeError::BadRequest(format!("points[{i}].reps is empty")));
+            }
+            ms.push(coords, reps);
+        }
+        if ms.points.is_empty() {
+            return Err(ServeError::BadRequest("'points' is empty".into()));
+        }
+        let restriction = match params.get("restriction") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                let masks = v.as_arr().ok_or_else(|| {
+                    ServeError::BadRequest(
+                        "'restriction' must be an array of monomial masks".into(),
+                    )
+                })?;
+                let monomials = masks
+                    .iter()
+                    .map(|m| {
+                        m.as_u64().ok_or_else(|| {
+                            ServeError::BadRequest(
+                                "'restriction' masks must be non-negative integers".into(),
+                            )
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Some(Restriction::from_monomials(monomials))
+            }
+        };
+
+        let fitted = fit_multi_param(&ms, &SearchSpace::small(), restriction.as_ref());
+        let summary = Value::obj(vec![
+            ("model", Value::str(fitted.model.render(&names))),
+            ("cv_smape", Value::Num(fitted.quality.cv_smape)),
+            ("smape", Value::Num(fitted.quality.smape)),
+            ("r2", Value::Num(fitted.quality.r2)),
+            ("hypotheses", Value::int(fitted.quality.hypotheses as i64)),
+        ]);
+        self.persist(Namespace::Models, &key, &summary);
+        Ok(summary)
+    }
+
+    // ---- stats / shutdown ------------------------------------------------
+
+    fn stats(&self) -> Result<Value, ServeError> {
+        let store = self.store.stats();
+        let methods: Vec<(String, Value)> = self
+            .method_counts
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::int(*v as i64)))
+            .collect();
+        Ok(Value::obj(vec![
+            ("protocol", Value::int(PROTOCOL_VERSION as i64)),
+            (
+                "requests_total",
+                Value::int(self.requests.load(Ordering::Relaxed) as i64),
+            ),
+            ("methods", Value::Obj(methods)),
+            (
+                "served_from_store",
+                Value::int(self.served_from_store.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "store",
+                Value::obj(vec![
+                    ("hits", Value::int(store.hits as i64)),
+                    ("misses", Value::int(store.misses as i64)),
+                    ("writes", Value::int(store.writes as i64)),
+                    ("objects", Value::int(self.store.total_objects() as i64)),
+                ]),
+            ),
+            (
+                "modules_in_memory",
+                Value::int(self.modules.lock().unwrap().len() as i64),
+            ),
+            ("workers", Value::int(self.workers as i64)),
+            ("queue_capacity", Value::int(self.queue_capacity as i64)),
+        ]))
+    }
+
+    fn shutdown(&self) -> Result<Value, ServeError> {
+        self.stopping.store(true, Ordering::Relaxed);
+        Ok(Value::obj(vec![("stopping", Value::Bool(true))]))
+    }
+
+    // ---- shared helpers --------------------------------------------------
+
+    /// Fetch and parse a stored artifact. Our renderer and parser are
+    /// mutually inverse on documents the renderer produced, so the served
+    /// bytes equal the originally computed bytes. A missing *or corrupt*
+    /// object is a miss, not an error — the pipeline is deterministic, so
+    /// the caller recomputes and overwrites (mirroring the write side's
+    /// "a broken store degrades to compute-always" stance). Only a
+    /// successful parse counts as store-served.
+    fn stored(&self, ns: Namespace, key: &str) -> Option<Value> {
+        let text = self.store.get(ns, key)?;
+        match Value::parse(&text) {
+            Ok(value) => {
+                self.served_from_store.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Best-effort persist: a full disk degrades the service to
+    /// compute-always, it does not fail requests.
+    fn persist(&self, ns: Namespace, key: &str, doc: &Value) {
+        let _ = self.store.put(ns, key, &doc.render());
+    }
+}
+
+fn require_str<'v>(params: &'v Value, field: &str) -> Result<&'v str, ServeError> {
+    params
+        .get(field)
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::BadRequest(format!("missing string '{field}'")))
+}
+
+/// Parameter pairs from a JSON object, preserving the client's field order
+/// (the order defines taint indices, exactly like the `Vec` the in-process
+/// API takes).
+fn param_pairs(v: Option<&Value>) -> Result<Vec<(String, i64)>, ServeError> {
+    let fields = match v {
+        None => return Ok(Vec::new()),
+        Some(Value::Obj(fields)) => fields,
+        Some(_) => {
+            return Err(ServeError::BadRequest(
+                "'params' must be an object of integer parameter values".into(),
+            ))
+        }
+    };
+    fields
+        .iter()
+        .map(|(name, value)| {
+            value.as_i64().map(|n| (name.clone(), n)).ok_or_else(|| {
+                ServeError::BadRequest(format!("parameter '{name}' must be an integer"))
+            })
+        })
+        .collect()
+}
+
+/// Canonical text of a parameter list for key derivation.
+fn canonical_params(params: &[(String, i64)]) -> String {
+    Value::Obj(
+        params
+            .iter()
+            .map(|(n, v)| (n.clone(), Value::int(*v)))
+            .collect(),
+    )
+    .render()
+}
+
+fn f64_array(v: Option<&Value>, what: &str) -> Result<Vec<f64>, ServeError> {
+    v.and_then(Value::as_arr)
+        .ok_or_else(|| ServeError::BadRequest(format!("missing array '{what}'")))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| ServeError::BadRequest(format!("'{what}' must hold numbers")))
+        })
+        .collect()
+}

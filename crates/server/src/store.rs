@@ -1,0 +1,299 @@
+//! The persistent content-addressed artifact store — `SessionCache` made
+//! durable.
+//!
+//! Every artifact the service computes is cached on disk under a key
+//! derived from the *content* that produced it: module text for parsed
+//! modules, `(module, entry, config)` for static summaries,
+//! `(module, entry, config, params)` for taint-run analyses, and the full
+//! canonical request for fitted models. Repeat requests — from any client,
+//! in any later process — are answered from disk without re-running the
+//! pipeline, which is sound because the whole pipeline is deterministic:
+//! a cached response is byte-identical to a fresh computation.
+//!
+//! Layout: one subdirectory per [`Namespace`], one file per object, the
+//! hex key as the filename. Writes go through a temp file + rename so a
+//! crashed writer never leaves a torn object for a later reader.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fingerprint of the pipeline configuration baked into every derived-key
+/// computation. The service always analyzes under the default MPI
+/// configuration (like `SessionCache`); bump this string if that default
+/// ever changes meaning, and every derived artifact re-keys itself.
+pub const CONFIG_FINGERPRINT: &str = "mpi-default/1";
+
+/// Is this file name an (in-flight or orphaned) `put` temp file?
+fn is_temp(name: &std::ffi::OsStr) -> bool {
+    name.to_str().is_some_and(|n| n.contains(".tmp."))
+}
+
+/// 128-bit FNV-1a over length-prefixed parts. Not cryptographic — the
+/// store defends against accidents, not adversaries — but 128 bits keep
+/// accidental collisions out of reach for any realistic corpus, and the
+/// implementation is std-only.
+pub fn content_key(parts: &[&str]) -> String {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u128).wrapping_mul(PRIME);
+        }
+    };
+    for part in parts {
+        // Length-prefix each part so ("ab","c") and ("a","bc") differ.
+        eat(&(part.len() as u64).to_le_bytes());
+        eat(part.as_bytes());
+    }
+    format!("{h:032x}")
+}
+
+/// The artifact families the store knows, each in its own subdirectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Namespace {
+    /// Submitted module IR text, keyed by its own hash.
+    Modules,
+    /// Static-stage summaries (§5.1), keyed by (module, entry, config).
+    Statics,
+    /// Full taint-run analysis summaries, keyed by
+    /// (module, entry, config, params).
+    Analyses,
+    /// Fitted Extra-P models, keyed by the canonical fit request.
+    Models,
+}
+
+impl Namespace {
+    pub const ALL: [Namespace; 4] = [
+        Namespace::Modules,
+        Namespace::Statics,
+        Namespace::Analyses,
+        Namespace::Models,
+    ];
+
+    fn dir(self) -> &'static str {
+        match self {
+            Namespace::Modules => "modules",
+            Namespace::Statics => "statics",
+            Namespace::Analyses => "analyses",
+            Namespace::Models => "models",
+        }
+    }
+}
+
+/// Counters of one store's lifetime in this process (per-process, not
+/// persisted: a fresh process starts at zero, which is what lets a test
+/// observe "this hit came from disk, not from memory").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub writes: u64,
+}
+
+/// A content-addressed artifact store rooted at one directory.
+pub struct Store {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    /// Temp-file disambiguator for concurrent writers in one process.
+    seq: AtomicU64,
+}
+
+impl Store {
+    /// Open (creating if needed) a store rooted at `root`. Orphaned temp
+    /// files from writers that died mid-`put` are swept here — they are
+    /// garbage by construction (a completed put renames its temp file
+    /// away).
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        for ns in Namespace::ALL {
+            let dir = root.join(ns.dir());
+            fs::create_dir_all(&dir)?;
+            if let Ok(entries) = fs::read_dir(&dir) {
+                for entry in entries.filter_map(Result::ok) {
+                    if is_temp(&entry.file_name()) {
+                        let _ = fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+        Ok(Store {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, ns: Namespace, key: &str) -> PathBuf {
+        self.root.join(ns.dir()).join(key)
+    }
+
+    /// Fetch an object, counting a hit or a miss.
+    pub fn get(&self, ns: Namespace, key: &str) -> Option<String> {
+        match fs::read_to_string(self.path(ns, key)) {
+            Ok(text) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(text)
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Does an object exist? (No hit/miss accounting — for idempotent-put
+    /// checks, not for serving.)
+    pub fn contains(&self, ns: Namespace, key: &str) -> bool {
+        self.path(ns, key).exists()
+    }
+
+    /// Store an object atomically: write to a temp file in the same
+    /// directory, then rename over the final name. Concurrent writers of
+    /// the same key race benignly — content-addressing means they are
+    /// writing identical bytes.
+    pub fn put(&self, ns: Namespace, key: &str, text: &str) -> io::Result<()> {
+        let final_path = self.path(ns, key);
+        let tmp_path = final_path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            self.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp_path, text)?;
+        fs::rename(&tmp_path, &final_path)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Objects on disk in one namespace (directory scan; for `stats`).
+    /// In-flight or orphaned temp files are not objects.
+    pub fn object_count(&self, ns: Namespace) -> usize {
+        fs::read_dir(self.root.join(ns.dir()))
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| !is_temp(&e.file_name()))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Objects on disk across all namespaces.
+    pub fn total_objects(&self) -> usize {
+        Namespace::ALL.iter().map(|&ns| self.object_count(ns)).sum()
+    }
+
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!("pt-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir).expect("store opens")
+    }
+
+    #[test]
+    fn content_key_is_stable_and_part_sensitive() {
+        let a = content_key(&["module", "func @f() -> void {"]);
+        let b = content_key(&["module", "func @f() -> void {"]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        assert_ne!(a, content_key(&["module", "func @g() -> void {"]));
+        // Part boundaries matter: concatenation-equal inputs differ.
+        assert_ne!(content_key(&["ab", "c"]), content_key(&["a", "bc"]));
+        assert_ne!(content_key(&["ab"]), content_key(&["ab", ""]));
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_stats() {
+        let store = temp_store("roundtrip");
+        let key = content_key(&["module", "text"]);
+        assert_eq!(store.get(Namespace::Modules, &key), None);
+        store.put(Namespace::Modules, &key, "text").unwrap();
+        assert_eq!(store.get(Namespace::Modules, &key).as_deref(), Some("text"));
+        assert!(store.contains(Namespace::Modules, &key));
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                hits: 1,
+                misses: 1,
+                writes: 1
+            }
+        );
+        assert_eq!(store.object_count(Namespace::Modules), 1);
+        assert_eq!(store.total_objects(), 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("pt-store-test-{}-reopen", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let store = Store::open(&dir).unwrap();
+            store.put(Namespace::Analyses, "abc", "{\"x\":1}").unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        // Fresh process-equivalent: zero counters, object still there.
+        assert_eq!(store.stats(), StoreStats::default());
+        assert_eq!(
+            store.get(Namespace::Analyses, "abc").as_deref(),
+            Some("{\"x\":1}")
+        );
+        assert_eq!(store.stats().hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn temp_files_are_not_objects_and_orphans_are_swept_on_open() {
+        let dir = std::env::temp_dir().join(format!("pt-store-test-{}-tmp", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let store = Store::open(&dir).unwrap();
+            store.put(Namespace::Analyses, "good", "{}").unwrap();
+            // Simulate a writer that died between write and rename.
+            fs::write(dir.join("analyses").join("dead.tmp.1.0"), "partial").unwrap();
+            assert_eq!(store.object_count(Namespace::Analyses), 1);
+            assert_eq!(store.total_objects(), 1);
+        }
+        let store = Store::open(&dir).unwrap();
+        assert!(
+            !dir.join("analyses").join("dead.tmp.1.0").exists(),
+            "reopen sweeps orphaned temp files"
+        );
+        assert_eq!(
+            store.get(Namespace::Analyses, "good").as_deref(),
+            Some("{}")
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn namespaces_do_not_collide() {
+        let store = temp_store("ns");
+        store.put(Namespace::Modules, "k", "m").unwrap();
+        assert_eq!(store.get(Namespace::Statics, "k"), None);
+        assert_eq!(store.get(Namespace::Modules, "k").as_deref(), Some("m"));
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

@@ -1,5 +1,9 @@
 //! Small utilities shared across the workspace.
 
+mod queue;
+
+pub use queue::BoundedQueue;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -59,12 +63,26 @@ impl Default for Stopwatch {
     }
 }
 
+/// The human-readable message of a caught panic payload (`panic!` with a
+/// string literal or a formatted message covers essentially all of them);
+/// `fallback` for exotic payload types.
+pub fn panic_message(payload: &(dyn std::any::Any + Send), fallback: &str) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| fallback.to_string())
+}
+
 /// Map `f` over `items` on up to `max_workers` scoped threads, preserving
 /// input order. With one worker (or one item) this degrades to a plain
 /// sequential map — no threads are spawned.
 ///
 /// Workers pull indices from a shared atomic counter, so uneven item costs
-/// balance automatically. Panics in `f` propagate (the scope re-raises).
+/// balance automatically. A panic in `f` is caught on the worker, remaining
+/// work is abandoned, and the first panic's original payload is re-raised
+/// exactly once on the calling thread — never a `PoisonError` double-panic
+/// from the result slots.
 pub fn parallel_map<T, R, F>(items: &[T], max_workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -78,23 +96,47 @@ where
 
     let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let next = &next;
             let results = &results;
+            let panic_payload = &panic_payload;
             let f = &f;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                *results[i].lock().unwrap() = Some(f(&items[i]));
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(r) => *results[i].lock().unwrap() = Some(r),
+                    Err(payload) => {
+                        // First panic wins; park the counter past the end so
+                        // every worker stops handing out new work.
+                        next.store(items.len(), Ordering::Relaxed);
+                        panic_payload
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .get_or_insert(payload);
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some(payload) = panic_payload
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        std::panic::resume_unwind(payload);
+    }
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker completed this slot"))
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("worker completed this slot")
+        })
         .collect()
 }
 
@@ -145,6 +187,33 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<usize> = parallel_map(&[] as &[usize], 4, |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_once_with_its_message() {
+        let items: Vec<usize> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, 4, |&x| {
+                if x == 7 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("the worker panic must propagate");
+        assert_eq!(
+            super::panic_message(payload.as_ref(), "missing"),
+            "boom at 7"
+        );
+    }
+
+    #[test]
+    fn sequential_fallback_panics_cleanly_too() {
+        let items = [1usize];
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, 1, |_| -> usize { panic!("sequential boom") })
+        });
+        assert!(caught.is_err());
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! A bounded multi-producer multi-consumer queue on `Mutex` + `Condvar`.
+//!
+//! The server's worker pool needs exactly this shape: an acceptor thread
+//! pushes work (blocking when the pool is saturated — backpressure instead
+//! of unbounded growth) and a fixed set of workers pop until the queue is
+//! closed and drained. `std::sync::mpsc::sync_channel` is bounded but
+//! single-consumer; this queue is shareable by reference from any number
+//! of threads.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO queue, shareable across threads by reference.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    /// Signaled when an item is taken (room for producers).
+    not_full: Condvar,
+    /// Signaled when an item arrives or the queue closes (work for
+    /// consumers, or permission to exit).
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Block until there is room, then enqueue. Returns `Err(item)` if the
+    /// queue was closed (the item is handed back to the caller).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available or the queue is closed *and*
+    /// drained. `None` means no item will ever arrive again — the consumer
+    /// should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Close the queue: producers fail fast, consumers drain what is left
+    /// and then receive `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently waiting (racy by nature; for stats only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BoundedQueue;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.push("a").unwrap();
+        q.close();
+        assert_eq!(q.push("b"), Err("b"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn producers_block_on_a_full_queue_until_consumers_take() {
+        let q = BoundedQueue::new(1);
+        let consumed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // Second push blocks until the consumer below pops.
+                q.push(10).unwrap();
+                q.push(20).unwrap();
+                q.close();
+            });
+            scope.spawn(|| {
+                while let Some(_item) = q.pop() {
+                    consumed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            });
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything_once() {
+        let q = BoundedQueue::new(3);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for p in 0..4 {
+                let q = &q;
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        q.push(p * 100 + i).unwrap();
+                    }
+                });
+            }
+            for _ in 0..3 {
+                let q = &q;
+                let total = &total;
+                scope.spawn(move || {
+                    while q.pop().is_some() {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            // Close once everything is delivered so the consumers exit.
+            let q = &q;
+            let total = &total;
+            scope.spawn(move || loop {
+                if total.load(Ordering::Relaxed) >= 100 && q.is_empty() {
+                    q.close();
+                    break;
+                }
+                std::thread::yield_now();
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+    }
+}

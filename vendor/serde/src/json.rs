@@ -65,6 +65,33 @@ impl Value {
         }
     }
 
+    /// Integral numbers strictly inside f64's gap-free integer range
+    /// (|n| < 2⁵³) — what the service wire format carries parameter values
+    /// as. From 2⁵³ on, written integers may already have been rounded to a
+    /// neighboring double by the time they parse (9007199254740993 parses
+    /// to 9007199254740992.0), so the whole region — boundary included — is
+    /// rejected rather than ever handing back a silently altered value.
+    pub fn as_i64(&self) -> Option<i64> {
+        const EXACT: f64 = 9007199254740992.0; // 2^53
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && n.abs() < EXACT => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Number constructor for an integer (the wire format stores all
+    /// numbers as f64). The caller must stay strictly inside f64's
+    /// gap-free range |n| < 2⁵³ — the same contract [`Value::as_i64`]
+    /// enforces on the way out; beyond it the value would round silently,
+    /// so this is checked in debug builds.
+    pub fn int(n: i64) -> Value {
+        debug_assert!(
+            n.unsigned_abs() < 1u64 << 53,
+            "Value::int({n}) is outside f64's gap-free integer range"
+        );
+        Value::Num(n as f64)
+    }
+
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -473,6 +500,25 @@ mod tests {
         assert_eq!(v.get("d").and_then(Value::as_f64), Some(2.5));
         assert_eq!(v.get("d").and_then(Value::as_u64), None);
         assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn as_i64_accepts_integral_doubles_only() {
+        assert_eq!(Value::int(-12).as_i64(), Some(-12));
+        assert_eq!(
+            Value::parse("-9007199254740991").unwrap().as_i64(),
+            Some(-9007199254740991)
+        );
+        assert_eq!(Value::Num(2.5).as_i64(), None);
+        assert_eq!(Value::str("3").as_i64(), None);
+        // From 2^53 on the doubles have gaps: "9007199254740993" parses to
+        // the rounded neighbor 2^53, so the region is rejected — boundary
+        // included — rather than ever returning a silently altered value.
+        assert_eq!(Value::parse("9007199254740993").unwrap().as_i64(), None);
+        assert_eq!(Value::parse("9007199254740992").unwrap().as_i64(), None);
+        assert_eq!(Value::Num(2f64.powi(54)).as_i64(), None);
+        assert_eq!(Value::Num(2f64.powi(63)).as_i64(), None);
+        assert_eq!(Value::Num(f64::NAN).as_i64(), None);
     }
 
     #[test]
