@@ -158,7 +158,10 @@ pub fn compare_reports(
             // Metrics named `*_wall_seconds` are real wall-clock timings
             // (e.g. model-search cost) — nondeterministic like the
             // scenario wall time, so they share its loose tolerance.
-            let cfg = if metric.ends_with("_wall_seconds") {
+            // `wall_ratio_*` metrics are quotients of two wall timings
+            // (the engine-speedup gate): machine-speed-independent but
+            // still timing-derived, so they get the loose tolerance too.
+            let cfg = if metric.ends_with("_wall_seconds") || metric.starts_with("wall_ratio_") {
                 &cfg.wall
             } else {
                 &cfg.metric
@@ -305,6 +308,36 @@ mod tests {
         .unwrap();
         assert!(!cmp.has_regressions());
         assert_eq!(cmp.improvements.len(), 1);
+    }
+
+    #[test]
+    fn wall_ratio_metrics_use_the_loose_tolerance() {
+        let old = report(vec![record(
+            "s",
+            1.0,
+            &[("wall_ratio_decoded_over_legacy", 0.45)],
+        )]);
+        // +30%: inside the loose tolerance — timing noise.
+        let cmp = compare_reports(
+            &old,
+            &report(vec![record(
+                "s",
+                1.0,
+                &[("wall_ratio_decoded_over_legacy", 0.58)],
+            )]),
+            &CompareConfig::default(),
+        )
+        .unwrap();
+        assert!(!cmp.has_regressions());
+        // A deterministic metric with the same delta would regress.
+        let old = report(vec![record("s", 1.0, &[("miss_count", 0.45)])]);
+        let cmp = compare_reports(
+            &old,
+            &report(vec![record("s", 1.0, &[("miss_count", 0.58)])]),
+            &CompareConfig::default(),
+        )
+        .unwrap();
+        assert!(cmp.has_regressions());
     }
 
     #[test]

@@ -34,6 +34,7 @@ mod serve_throughput;
 mod table1_config;
 mod table2_overview;
 mod table3_param_pruning;
+mod taint_throughput;
 
 /// Append a line to a [`ScenarioResult`]'s text (infallible `writeln!`).
 macro_rules! outln {
@@ -233,6 +234,7 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &c2_experiment_validation::C2ExperimentValidation,
         &ablation_ctlflow::AblationCtlflow,
         &serve_throughput::ServeThroughput,
+        &taint_throughput::TaintThroughput,
     ]
 }
 
@@ -275,8 +277,8 @@ mod tests {
         let mut names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
         let total = names.len();
         assert_eq!(
-            total, 13,
-            "all 12 paper artifacts plus the service scenario are registered"
+            total, 14,
+            "all 12 paper artifacts plus the service and engine scenarios are registered"
         );
         names.sort();
         names.dedup();

@@ -1,0 +1,210 @@
+//! `taint_throughput` — the decode-once execution engine vs the legacy
+//! tree-walker, over the evaluation corpus.
+//!
+//! Every scenario in this registry bottoms out in the dynamic taint run,
+//! so this is the one number that moves all the others: interpreted
+//! instructions per second. The scenario runs the representative taint run
+//! of each corpus app (mini-LULESH, mini-MILC, and a family of synthetic
+//! loop-nest workloads) on both engines against one shared
+//! `PreparedModule`, first proving the outputs bit-identical (the
+//! differential contract), then timing repeated runs and reporting the
+//! best per engine. The headline gate metric is
+//! `wall_ratio_decoded_over_legacy` — decoded corpus wall time divided by
+//! legacy corpus wall time (lower is better; `0.5` means the decoded
+//! engine is 2× faster).
+
+use super::{outln, Scenario, ScenarioCtx, ScenarioResult};
+use perf_taint::report::EngineTiming;
+use perf_taint::PtError;
+use pt_apps::AppSpec;
+use pt_mpisim::{MachineConfig, MpiHandler};
+use pt_taint::{differential, InterpConfig, Interpreter, PreparedModule, ReferenceInterpreter};
+
+pub struct TaintThroughput;
+
+impl Scenario for TaintThroughput {
+    fn name(&self) -> &'static str {
+        "taint_throughput"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["infra", "taint", "throughput", "lulesh", "milc"]
+    }
+
+    fn summary(&self) -> &'static str {
+        "decode-once taint engine vs the legacy tree-walker: instructions/sec over the corpus"
+    }
+
+    fn run(&self, cx: &ScenarioCtx) -> Result<ScenarioResult, PtError> {
+        let mut r = ScenarioResult::new();
+        let reps = if cx.quick { 5 } else { 9 };
+
+        let mut corpus: Vec<AppSpec> = vec![pt_apps::lulesh::build(), pt_apps::milc::build()];
+        let synth_seeds: u64 = if cx.quick { 2 } else { 4 };
+        for seed in 0..synth_seeds {
+            corpus.push(
+                pt_apps::synth::generate(&pt_apps::synth::SynthConfig {
+                    seed,
+                    param_values: vec![6, 7, 8],
+                    ..Default::default()
+                })
+                .app,
+            );
+        }
+
+        outln!(
+            r,
+            "Taint execution engine throughput ({reps} reps, best-of)"
+        );
+        outln!(
+            r,
+            "  {:<14} {:>10} {:>14} {:>14} {:>9}",
+            "app",
+            "insts",
+            "decoded/s",
+            "legacy/s",
+            "speedup"
+        );
+
+        let mut decoded_total = 0.0f64;
+        let mut legacy_total = 0.0f64;
+        let mut decode_total = 0.0f64;
+        let mut insts_total = 0u64;
+        for app in &corpus {
+            let (decoded, legacy) = bench_app(app, reps)?;
+            outln!(
+                r,
+                "  {:<14} {:>10} {:>14.2e} {:>14.2e} {:>8.2}x",
+                app.name,
+                decoded.insts,
+                decoded.insts_per_second(),
+                legacy.insts_per_second(),
+                legacy.execute_seconds / decoded.execute_seconds
+            );
+            decoded_total += decoded.execute_seconds;
+            legacy_total += legacy.execute_seconds;
+            decode_total += decoded.decode_seconds;
+            insts_total += decoded.insts;
+        }
+
+        let ratio = decoded_total / legacy_total.max(1e-12);
+        outln!(r);
+        outln!(
+            r,
+            "  corpus: {} insts — decoded {:.2e}/s over {:.4}s, legacy {:.2e}/s over {:.4}s",
+            insts_total,
+            insts_total as f64 / decoded_total.max(1e-12),
+            decoded_total,
+            insts_total as f64 / legacy_total.max(1e-12),
+            legacy_total
+        );
+        outln!(
+            r,
+            "  decoded/legacy wall ratio: {ratio:.3} (speedup ×{:.2}); one-time decode: {:.4}s",
+            1.0 / ratio.max(1e-12),
+            decode_total
+        );
+
+        // Lower-is-better metrics for the perf gate. The ratio is the
+        // machine-independent gate number; the wall times carry the usual
+        // loose timing tolerance.
+        r.metric("taint_wall_seconds", decoded_total);
+        r.metric("legacy_taint_wall_seconds", legacy_total);
+        r.metric("wall_ratio_decoded_over_legacy", ratio);
+        r.metric("decode_wall_seconds", decode_total);
+        r.metric(
+            "seconds_per_million_insts",
+            decoded_total * 1e6 / (insts_total as f64).max(1.0),
+        );
+        Ok(r)
+    }
+}
+
+/// Mirror `Session::taint_run`'s machine setup (ranks follow `p`,
+/// non-positive values rejected exactly like the in-process path).
+fn machine_for(params: &[(String, i64)]) -> Result<MachineConfig, PtError> {
+    let mut machine = MachineConfig::default();
+    if let Some((_, p)) = params.iter().find(|(n, _)| n == "p") {
+        machine.ranks = u32::try_from(*p).ok().filter(|&r| r > 0).ok_or_else(|| {
+            PtError::Config(format!(
+                "parameter p must be a positive rank count, got {p}"
+            ))
+        })?;
+    }
+    if machine.ranks == 0 {
+        return Err(PtError::Config("machine has zero ranks".into()));
+    }
+    Ok(machine)
+}
+
+/// One app on both engines: differential check, then best-of-`reps` wall
+/// times as [`EngineTiming`] pairs `(decoded, legacy)`.
+fn bench_app(app: &AppSpec, reps: usize) -> Result<(EngineTiming, EngineTiming), PtError> {
+    let params = app.taint_run_params();
+    let machine = machine_for(&params)?;
+    let prepared = PreparedModule::compute(&app.module);
+
+    let run_decoded = || {
+        Interpreter::new(
+            &app.module,
+            &prepared,
+            MpiHandler::new(machine.clone()),
+            params.clone(),
+            InterpConfig::default(),
+        )
+        .run_named(&app.entry, &[])
+        .map_err(|source| PtError::TaintRun {
+            entry: app.entry.clone(),
+            source,
+        })
+    };
+    let run_legacy = || {
+        ReferenceInterpreter::new(
+            &app.module,
+            &prepared,
+            MpiHandler::new(machine.clone()),
+            params.clone(),
+            InterpConfig::default(),
+        )
+        .run_named(&app.entry, &[])
+        .map_err(|source| PtError::TaintRun {
+            entry: app.entry.clone(),
+            source,
+        })
+    };
+
+    // The engines must agree before their timings mean anything.
+    let d = run_decoded()?;
+    let l = run_legacy()?;
+    differential::compare_outputs(&d, &l).map_err(|divergence| {
+        PtError::Config(format!(
+            "taint_throughput: engines diverge on {}: {divergence}",
+            app.name
+        ))
+    })?;
+    let insts = d.insts;
+    let legacy_insts = l.insts;
+
+    let mut best_d = f64::MAX;
+    let mut best_l = f64::MAX;
+    for _ in 0..reps {
+        let (out, wall) = pt_util::time(run_decoded);
+        out?;
+        best_d = best_d.min(wall);
+        let (out, wall) = pt_util::time(run_legacy);
+        out?;
+        best_l = best_l.min(wall);
+    }
+    Ok((
+        EngineTiming {
+            decode_seconds: prepared.decode_seconds,
+            execute_seconds: best_d,
+            insts,
+        },
+        EngineTiming {
+            decode_seconds: 0.0,
+            execute_seconds: best_l,
+            insts: legacy_insts,
+        },
+    ))
+}

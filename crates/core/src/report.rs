@@ -195,6 +195,57 @@ impl BenchReport {
     }
 }
 
+/// Wall-clock timing of the decode-once execution engine over some
+/// workload: the one-time decode cost and the per-run execute cost. The
+/// `taint_throughput` scenario reports one of these per engine/app pair;
+/// unlike [`analysis_summary`] these numbers are *nondeterministic* by
+/// nature and therefore never enter the content-addressed store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineTiming {
+    /// Wall seconds compiling the module to bytecode (once per module).
+    pub decode_seconds: f64,
+    /// Wall seconds executing the run(s).
+    pub execute_seconds: f64,
+    /// IR instructions interpreted during `execute_seconds`.
+    pub insts: u64,
+}
+
+impl EngineTiming {
+    /// Interpreted instructions per second over the execute phase.
+    pub fn insts_per_second(&self) -> f64 {
+        if self.execute_seconds > 0.0 {
+            self.insts as f64 / self.execute_seconds
+        } else {
+            0.0
+        }
+    }
+
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("decode_seconds", Value::Num(self.decode_seconds)),
+            ("execute_seconds", Value::Num(self.execute_seconds)),
+            ("insts", Value::Num(self.insts as f64)),
+            ("insts_per_second", Value::Num(self.insts_per_second())),
+        ])
+    }
+
+    pub fn from_json(v: &Value) -> Result<EngineTiming, String> {
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("engine timing missing '{k}'"))
+        };
+        Ok(EngineTiming {
+            decode_seconds: num("decode_seconds")?,
+            execute_seconds: num("execute_seconds")?,
+            insts: v
+                .get("insts")
+                .and_then(Value::as_u64)
+                .ok_or("engine timing missing 'insts'")?,
+        })
+    }
+}
+
 /// Wire name of a [`FuncKind`].
 pub fn func_kind_name(kind: FuncKind) -> &'static str {
     match kind {
@@ -607,6 +658,25 @@ mod tests {
                 .map(|a| a.len()),
             Some(1)
         );
+    }
+
+    #[test]
+    fn engine_timing_roundtrips_and_rates() {
+        let t = EngineTiming {
+            decode_seconds: 0.002,
+            execute_seconds: 0.5,
+            insts: 25_000_000,
+        };
+        assert!((t.insts_per_second() - 5e7).abs() < 1e-6);
+        let parsed = EngineTiming::from_json(&t.to_json()).expect("roundtrip");
+        assert_eq!(parsed, t);
+        let zero = EngineTiming {
+            decode_seconds: 0.0,
+            execute_seconds: 0.0,
+            insts: 0,
+        };
+        assert_eq!(zero.insts_per_second(), 0.0);
+        assert!(EngineTiming::from_json(&Value::obj(vec![])).is_err());
     }
 
     #[test]

@@ -160,12 +160,14 @@ impl<'m> Session<'m> {
             params,
             self.config.interp.clone(),
         );
+        let t_exec = std::time::Instant::now();
         let out = interp
             .run_named(&self.entry, &[])
             .map_err(|source| PtError::TaintRun {
                 entry: self.entry.clone(),
                 source,
             })?;
+        let taint_wall_seconds = t_exec.elapsed().as_secs_f64();
 
         let deps = extract_deps(
             self.module,
@@ -200,6 +202,7 @@ impl<'m> Session<'m> {
             labels: out.labels,
             taint_run_time: out.time,
             taint_run_core_hours: out.time * ranks as f64 / 3600.0,
+            taint_wall_seconds,
             axis_cache: Mutex::new(Vec::new()),
         })
     }
@@ -318,6 +321,10 @@ pub struct Analysis {
     pub taint_run_time: f64,
     /// Core-hours spent on the taint run (§A3 accounting).
     pub taint_run_core_hours: f64,
+    /// Real wall-clock seconds the dynamic taint run took on the decoded
+    /// engine (nondeterministic — excluded from served summaries; see
+    /// [`crate::report::EngineTiming`]).
+    pub taint_wall_seconds: f64,
     /// Memoized app-parameter → model-axis mappings, keyed by the
     /// `model_params` vector they were computed for.
     axis_cache: Mutex<Vec<(Vec<String>, AxisMapping)>>,
@@ -343,6 +350,12 @@ impl Analysis {
     /// measurement runs without recomputing).
     pub fn prepared(&self) -> &PreparedModule {
         &self.statics.prepared
+    }
+
+    /// Wall seconds the decode stage of the shared static artifacts took
+    /// (paid once per module, amortized over every run).
+    pub fn decode_seconds(&self) -> f64 {
+        self.statics.prepared.decode_seconds
     }
 
     /// Index of a parameter in taint order.

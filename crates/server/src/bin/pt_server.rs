@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pt-server [--addr HOST:PORT] [--store DIR] [--workers N] [--queue N]
+//!           [--idle-timeout SECS] [--max-requests N]
 //! ```
 //!
 //! Prints exactly one `pt-server listening on <addr>` line to stdout once
@@ -21,6 +22,8 @@ fn main() -> ExitCode {
             .unwrap_or(4)
             .min(16),
         queue_capacity: 64,
+        idle_timeout: None,
+        max_requests_per_connection: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,8 +44,34 @@ fn main() -> ExitCode {
                     .map(|n: usize| config.queue_capacity = n.max(1))
                     .map_err(|_| "--queue requires an integer".to_string())
             }),
+            "--idle-timeout" => take("--idle-timeout").and_then(|v| {
+                // try_from_secs_f64 also rejects NaN and values that
+                // overflow Duration (e.g. 1e30) — no panic path.
+                match v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&secs| secs > 0.0)
+                    .and_then(|secs| std::time::Duration::try_from_secs_f64(secs).ok())
+                {
+                    Some(limit) => {
+                        config.idle_timeout = Some(limit);
+                        Ok(())
+                    }
+                    None => Err("--idle-timeout requires positive seconds".to_string()),
+                }
+            }),
+            "--max-requests" => take("--max-requests").and_then(|v| match v.parse::<u64>() {
+                Ok(n) if n > 0 => {
+                    config.max_requests_per_connection = Some(n);
+                    Ok(())
+                }
+                _ => Err("--max-requests requires a positive integer".to_string()),
+            }),
             "--help" | "-h" => {
-                println!("pt-server [--addr HOST:PORT] [--store DIR] [--workers N] [--queue N]");
+                println!(
+                    "pt-server [--addr HOST:PORT] [--store DIR] [--workers N] [--queue N] \
+                     [--idle-timeout SECS] [--max-requests N]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => Err(format!("unknown flag '{other}' (see --help)")),

@@ -54,6 +54,14 @@ pub struct ServerConfig {
     /// Bound of the pending-connection queue; acceptors block (backpressure)
     /// when it is full.
     pub queue_capacity: usize,
+    /// Keep-alive limit: a connection idle (no complete request) for
+    /// longer than this is closed, releasing its worker. `None` keeps
+    /// connections forever (the pre-limit behavior).
+    pub idle_timeout: Option<std::time::Duration>,
+    /// Keep-alive limit: a connection is closed after serving this many
+    /// requests; the client reconnects (cheap) and the workers rotate
+    /// fairly across chatty clients. `None` = unlimited.
+    pub max_requests_per_connection: Option<u64>,
 }
 
 impl ServerConfig {
@@ -65,6 +73,8 @@ impl ServerConfig {
             store_dir: store_dir.into(),
             workers,
             queue_capacity: 64,
+            idle_timeout: None,
+            max_requests_per_connection: None,
         }
     }
 }
@@ -81,11 +91,10 @@ impl Server {
     pub fn bind(config: &ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let store = Store::open(&config.store_dir)?;
-        let state = Arc::new(ServerState::new(
-            store,
-            config.workers,
-            config.queue_capacity,
-        ));
+        let state = Arc::new(
+            ServerState::new(store, config.workers, config.queue_capacity)
+                .with_keepalive_limits(config.idle_timeout, config.max_requests_per_connection),
+        );
         Ok(Server { listener, state })
     }
 
@@ -174,6 +183,10 @@ fn handle_connection(state: &ServerState, stream: TcpStream, nudge_addr: SocketA
     };
     let mut writer = BufWriter::new(stream);
     let mut buf: Vec<u8> = Vec::new();
+    // Keep-alive accounting: idleness is measured from the last completed
+    // response (or connection start) — a slow *computation* is not idle.
+    let mut last_activity = std::time::Instant::now();
+    let mut served: u64 = 0;
     loop {
         // Read raw bytes, not `read_line`: `read_until` keeps partially
         // read bytes in `buf` across timeouts unconditionally, whereas
@@ -196,6 +209,14 @@ fn handle_connection(state: &ServerState, stream: TcpStream, nudge_addr: SocketA
                 if state.stopping() {
                     break;
                 }
+                // Idle-connection limit: drop clients that sit silent
+                // (mid-request bytes count as activity only once the full
+                // line lands — a trickling client is still bounded).
+                if let Some(limit) = state.idle_timeout {
+                    if last_activity.elapsed() >= limit {
+                        break;
+                    }
+                }
                 continue;
             }
             Err(_) => break,
@@ -216,7 +237,18 @@ fn handle_connection(state: &ServerState, stream: TcpStream, nudge_addr: SocketA
         let was_stopping = state.stopping();
         let response = match std::str::from_utf8(&buf) {
             Ok(line) if line.trim().is_empty() => {
+                // Blank lines are not requests, but they must not bypass
+                // the connection limits either: a blank-line flood neither
+                // resets the idle clock nor dodges shutdown.
                 buf.clear();
+                if state.stopping() {
+                    break;
+                }
+                if let Some(limit) = state.idle_timeout {
+                    if last_activity.elapsed() >= limit {
+                        break;
+                    }
+                }
                 continue;
             }
             Ok(line) => handle_line(state, line),
@@ -231,6 +263,16 @@ fn handle_connection(state: &ServerState, stream: TcpStream, nudge_addr: SocketA
             .and_then(|_| writer.write_all(b"\n"))
             .and_then(|_| writer.flush())
             .is_err()
+        {
+            break;
+        }
+        served += 1;
+        last_activity = std::time::Instant::now();
+        // Per-connection request budget: close after the response so the
+        // client sees a clean EOF and reconnects.
+        if state
+            .max_requests_per_connection
+            .is_some_and(|limit| served >= limit)
         {
             break;
         }

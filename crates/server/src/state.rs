@@ -47,6 +47,10 @@ pub struct ServerState {
     /// multiply to workers² simultaneous taint runs.
     batch_gate: Mutex<()>,
     stopping: AtomicBool,
+    /// Close connections idle longer than this (keep-alive limit).
+    pub idle_timeout: Option<std::time::Duration>,
+    /// Close connections after serving this many requests.
+    pub max_requests_per_connection: Option<u64>,
 }
 
 impl ServerState {
@@ -62,7 +66,20 @@ impl ServerState {
             method_counts: Mutex::new(BTreeMap::new()),
             batch_gate: Mutex::new(()),
             stopping: AtomicBool::new(false),
+            idle_timeout: None,
+            max_requests_per_connection: None,
         }
+    }
+
+    /// Set the connection keep-alive limits (see [`crate::ServerConfig`]).
+    pub fn with_keepalive_limits(
+        mut self,
+        idle_timeout: Option<std::time::Duration>,
+        max_requests_per_connection: Option<u64>,
+    ) -> ServerState {
+        self.idle_timeout = idle_timeout;
+        self.max_requests_per_connection = max_requests_per_connection;
+        self
     }
 
     pub fn store(&self) -> &Store {

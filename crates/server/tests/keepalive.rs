@@ -1,0 +1,109 @@
+//! Keep-alive limit regression tests: an idle connection is disconnected
+//! after `idle_timeout`, a connection is closed after
+//! `max_requests_per_connection` served requests, and in both cases a
+//! fresh connection keeps working — limits recycle workers, they never
+//! take the service down.
+
+use pt_server::{Client, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn fresh_store_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pt-serve-ka-{}-{}-{tag}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_limited(
+    store_dir: &PathBuf,
+    idle: Option<Duration>,
+    max_requests: Option<u64>,
+) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let mut config = ServerConfig::loopback(store_dir, 2);
+    config.idle_timeout = idle;
+    config.max_requests_per_connection = max_requests;
+    let server = Server::bind(&config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("serve loop"));
+    (addr, handle)
+}
+
+fn shutdown(addr: SocketAddr, handle: std::thread::JoinHandle<()>) {
+    Client::connect(addr)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown");
+    handle.join().expect("server thread exits");
+}
+
+#[test]
+fn idle_connection_is_disconnected_and_fresh_ones_work() {
+    let store_dir = fresh_store_dir("idle");
+    // Idle limit of 400ms; the poll granularity is 200ms, so an idle
+    // client is dropped well within the 1.5s we wait.
+    let (addr, handle) = start_limited(&store_dir, Some(Duration::from_millis(400)), None);
+
+    let mut idler = Client::connect(addr).expect("connect");
+    idler.stats().expect("first request on a live connection");
+
+    std::thread::sleep(Duration::from_millis(1500));
+
+    // The server hung up while we sat idle: the next request fails on the
+    // old connection...
+    assert!(
+        idler.stats().is_err(),
+        "idle connection must be disconnected"
+    );
+
+    // ...but the service is healthy: a fresh connection works.
+    let mut fresh = Client::connect(addr).expect("reconnect");
+    fresh.stats().expect("fresh connection serves requests");
+
+    // Activity resets the idle clock: a client that keeps talking at a
+    // pace faster than the limit stays connected across several limits'
+    // worth of wall time.
+    let mut chatty = Client::connect(addr).expect("connect chatty");
+    for _ in 0..6 {
+        std::thread::sleep(Duration::from_millis(150));
+        chatty.stats().expect("active connection stays alive");
+    }
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn connection_closes_after_max_requests_but_service_continues() {
+    let store_dir = fresh_store_dir("maxreq");
+    let (addr, handle) = start_limited(&store_dir, None, Some(3));
+
+    let mut client = Client::connect(addr).expect("connect");
+    for i in 0..3 {
+        client
+            .stats()
+            .unwrap_or_else(|e| panic!("request {i} within the budget failed: {e}"));
+    }
+    // The 4th request on the same connection hits the closed socket.
+    assert!(
+        client.stats().is_err(),
+        "connection must close after its request budget"
+    );
+
+    // Reconnecting restores a full budget.
+    let mut again = Client::connect(addr).expect("reconnect");
+    for i in 0..3 {
+        again
+            .stats()
+            .unwrap_or_else(|e| panic!("request {i} after reconnect failed: {e}"));
+    }
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

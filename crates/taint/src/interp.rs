@@ -1,9 +1,8 @@
-//! The taint-propagating IR interpreter.
+//! The taint-propagating IR interpreter — a decode-once execution engine.
 //!
 //! This is the dynamic half of Perf-Taint (§5.2): where the original
 //! instruments LLVM IR with DataFlowSanitizer and runs the native binary, we
-//! interpret `pt-ir` directly and apply the same propagation rules per
-//! instruction:
+//! interpret `pt-ir` and apply the same propagation rules per instruction:
 //!
 //! * **data flow** — every instruction result's label is the union of its
 //!   operands' labels; loads union in the pointer's label (DFSan's
@@ -24,15 +23,32 @@
 //! infrastructure: it maintains a simulated clock (per-instruction cost,
 //! handler-returned costs for externals, per-function probe costs when
 //! instrumented) and produces a call-path [`Profile`].
+//!
+//! ## Execution engine
+//!
+//! Unlike the original tree-walker (preserved as
+//! [`crate::reference::ReferenceInterpreter`] for differential testing),
+//! this engine never touches the [`pt_ir`] instruction tree at run time.
+//! [`crate::prepared::PreparedModule`] carries a [`DecodedModule`] — a flat
+//! bytecode with operands pre-resolved to register indices or inline
+//! immediates, float-ness and result types folded into opcodes, callees
+//! pre-bound, per-edge phi move lists, and loop/postdominator metadata
+//! inlined into terminators (see [`crate::decode`]). The hot loop below is
+//! a dense dispatch over that program, operating on a pooled flat register
+//! file of [`TVal`]s, with consecutive back-edge bumps of the same loop
+//! record buffered to avoid a map lookup per iteration. The contract with
+//! the reference engine — bit-identical [`RunOutput`]s — is stated and
+//! checked by [`crate::differential`].
 
+use crate::decode::{DOp, DTerm, DecodedFunction, Edge, Intrinsic, Opnd};
 use crate::host::{ExternalHandler, HostCtx};
-use crate::label::{Label, LabelTable};
+use crate::label::{Label, LabelTable, ParamSet};
 use crate::memory::{MemError, Memory, TVal};
 use crate::path::PathId;
 use crate::prepared::PreparedModule;
 use crate::profile::Profile;
 use crate::records::{LoopKey, TaintRecords};
-use pt_ir::{BinOp, BlockId, Callee, FunctionId, InstKind, Module, Terminator, Type, UnOp, Value};
+use pt_ir::{BinOp, BlockId, FunctionId, Module};
 
 /// How control-flow taint is applied (ablation knob; the paper's extension
 /// corresponds to `All`).
@@ -137,11 +153,30 @@ pub struct RunOutput {
 
 /// One pushed control-flow taint scope.
 #[derive(Debug, Clone, Copy)]
-struct CtlScope {
+pub(crate) struct CtlScope {
     /// Scope closes when this block is entered (`None`: at function return).
-    join: Option<BlockId>,
+    pub(crate) join: Option<BlockId>,
     /// Accumulated label (already unioned with the enclosing scope).
-    label: Label,
+    pub(crate) label: Label,
+}
+
+/// Slots in the direct-mapped call-path intern cache (power of two).
+const PATH_CACHE_SLOTS: usize = 64;
+
+/// Stack-buffer capacity for call arguments; larger arities (none exist in
+/// the corpus) fall back to a heap vector.
+const ARG_BUF: usize = 8;
+
+/// Resolve a pre-decoded operand against the frame's register file.
+#[inline(always)]
+fn resolve(op: Opnd, regs: &[TVal]) -> TVal {
+    match op {
+        Opnd::Reg(r) => regs[r as usize],
+        Opnd::Imm(bits) => TVal {
+            bits,
+            label: Label::EMPTY,
+        },
+    }
 }
 
 /// The interpreter. Holds per-run mutable state; construct one per run.
@@ -158,9 +193,27 @@ pub struct Interpreter<'m, H: ExternalHandler> {
     clock: f64,
     insts: u64,
     depth: usize,
-    /// Pseudo function ids for externals: `module.functions.len() + i` for
-    /// external name `i` in `extern_names`.
-    extern_names: Vec<String>,
+    /// Frame pools: returned register files / scope stacks / argument
+    /// vectors are reused across calls so the many small accessor calls of
+    /// real programs do not allocate per frame.
+    reg_pool: Vec<Vec<TVal>>,
+    ctl_pool: Vec<Vec<CtlScope>>,
+    /// Staging buffer for phi parallel copies (read-all-then-write).
+    phi_stage: Vec<(u32, TVal)>,
+    /// Direct-mapped memo over `records.paths.intern` (pure memoization:
+    /// the table's answer for a `(parent, callee)` pair never changes), so
+    /// repeated calls to the same callee skip the hash lookup.
+    path_cache: Vec<Option<(Option<PathId>, FunctionId, PathId)>>,
+    /// Consecutive back-edge bumps of one loop record, buffered so the hot
+    /// loop pays one map lookup per *run* of iterations, not per iteration.
+    iter_buf: Option<(LoopKey, u64)>,
+    /// Last sink update applied: loop-exit conditions re-union the same
+    /// parameter set every iteration, and the union is idempotent — a
+    /// repeat of the previous `(key, set)` pair can be skipped outright.
+    sink_memo: Option<(LoopKey, ParamSet)>,
+    /// Consecutive coverage updates of one tainted branch, buffered like
+    /// `iter_buf` (a loop's exit branch is hit once per iteration).
+    branch_buf: Option<((FunctionId, BlockId), crate::records::BranchRecord)>,
 }
 
 impl<'m, H: ExternalHandler> Interpreter<'m, H> {
@@ -176,17 +229,13 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         for (name, _) in &params {
             labels.base_label(name);
         }
-        let extern_names: Vec<String> = module
-            .used_externals()
-            .into_iter()
-            .map(String::from)
-            .collect();
-        let nfuncs = module.functions.len() + extern_names.len();
+        let nexterns = prepared.decoded.extern_names.len();
+        let nfuncs = module.functions.len() + nexterns;
         let blocks_per_func: Vec<usize> = module
             .functions
             .iter()
             .map(|f| f.blocks.len())
-            .chain(std::iter::repeat_n(0, extern_names.len()))
+            .chain(std::iter::repeat_n(0, nexterns))
             .collect();
         Interpreter {
             module,
@@ -201,13 +250,21 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             clock: 0.0,
             insts: 0,
             depth: 0,
-            extern_names,
+            reg_pool: Vec::new(),
+            ctl_pool: Vec::new(),
+            phi_stage: Vec::new(),
+            path_cache: vec![None; PATH_CACHE_SLOTS],
+            iter_buf: None,
+            sink_memo: None,
+            branch_buf: None,
         }
     }
 
     /// The pseudo [`FunctionId`] of external `name`, if it is called anywhere.
     pub fn extern_id(&self, name: &str) -> Option<FunctionId> {
-        self.extern_names
+        self.prepared
+            .decoded
+            .extern_names
             .iter()
             .position(|n| n == name)
             .map(|i| FunctionId((self.module.functions.len() + i) as u32))
@@ -219,14 +276,16 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         if id.index() < n {
             self.module.function(id).name.clone()
         } else {
-            self.extern_names[id.index() - n].clone()
+            self.prepared.decoded.extern_names[id.index() - n].clone()
         }
     }
 
     /// Run `entry` with the given (untainted) integer arguments.
     pub fn run(mut self, entry: FunctionId, args: &[i64]) -> Result<RunOutput, InterpError> {
         let argv: Vec<TVal> = args.iter().map(|&a| TVal::from_i64(a)).collect();
-        let (ret, _incl) = self.exec_function(entry, argv, None, Label::EMPTY)?;
+        let (ret, _incl) = self.exec_function(entry, &argv, None, Label::EMPTY)?;
+        self.flush_iterations();
+        self.flush_branches();
         Ok(RunOutput {
             ret,
             time: self.clock,
@@ -254,10 +313,93 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         self.labels.union(a, b)
     }
 
+    #[inline]
+    fn bump_iterations(&mut self, key: LoopKey) {
+        match &mut self.iter_buf {
+            Some((k, n)) if *k == key => *n += 1,
+            _ => {
+                self.flush_iterations();
+                self.iter_buf = Some((key, 1));
+            }
+        }
+    }
+
+    fn flush_iterations(&mut self) {
+        if let Some((key, n)) = self.iter_buf.take() {
+            self.records.loops.entry(key).or_default().iterations += n;
+        }
+    }
+
+    /// Union `pset` into the sink record for `key`, skipping the map
+    /// lookup when the previous sink update was the identical (idempotent)
+    /// pair.
+    #[inline]
+    fn record_sink(&mut self, key: LoopKey, pset: ParamSet) {
+        if self.sink_memo == Some((key, pset)) {
+            return;
+        }
+        let rec = self.records.loops.entry(key).or_default();
+        rec.params = rec.params.union(pset);
+        self.sink_memo = Some((key, pset));
+    }
+
+    /// Accumulate coverage of one tainted branch, buffered across
+    /// consecutive hits of the same branch.
+    #[inline]
+    fn record_branch(&mut self, key: (FunctionId, BlockId), pset: ParamSet, taken: bool) {
+        match &mut self.branch_buf {
+            Some((k, rec)) if *k == key => {
+                rec.params = rec.params.union(pset);
+                if taken {
+                    rec.taken_true += 1;
+                } else {
+                    rec.taken_false += 1;
+                }
+            }
+            _ => {
+                self.flush_branches();
+                let mut rec = crate::records::BranchRecord {
+                    params: pset,
+                    ..Default::default()
+                };
+                if taken {
+                    rec.taken_true = 1;
+                } else {
+                    rec.taken_false = 1;
+                }
+                self.branch_buf = Some((key, rec));
+            }
+        }
+    }
+
+    fn flush_branches(&mut self) {
+        if let Some((key, buf)) = self.branch_buf.take() {
+            let rec = self.records.branches.entry(key).or_default();
+            rec.params = rec.params.union(buf.params);
+            rec.taken_true += buf.taken_true;
+            rec.taken_false += buf.taken_false;
+        }
+    }
+
+    /// `records.paths.intern` behind a direct-mapped cache keyed by the
+    /// callee id's low bits.
+    #[inline]
+    fn intern_path(&mut self, parent: Option<PathId>, fid: FunctionId) -> PathId {
+        let slot = fid.0 as usize & (PATH_CACHE_SLOTS - 1);
+        if let Some((p, f, path)) = self.path_cache[slot] {
+            if p == parent && f == fid {
+                return path;
+            }
+        }
+        let path = self.records.paths.intern(parent, fid);
+        self.path_cache[slot] = Some((parent, fid, path));
+        path
+    }
+
     fn exec_function(
         &mut self,
         fid: FunctionId,
-        args: Vec<TVal>,
+        args: &[TVal],
         parent: Option<PathId>,
         inherited_ctx: Label,
     ) -> Result<(Option<TVal>, f64), InterpError> {
@@ -274,214 +416,472 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
     fn exec_function_inner(
         &mut self,
         fid: FunctionId,
-        args: Vec<TVal>,
+        args: &[TVal],
         parent: Option<PathId>,
         inherited_ctx: Label,
     ) -> Result<(Option<TVal>, f64), InterpError> {
-        let func = self.module.function(fid);
-        let prep = self.prepared.func(fid);
-        let path = self.records.paths.intern(parent, fid);
+        // Reborrow through the `'m` reference so the decoded program can be
+        // held across `&mut self` calls.
+        let prepared: &'m PreparedModule = self.prepared;
+        let dfunc: &'m DecodedFunction = prepared.decoded.func(fid);
+        let path = self.intern_path(parent, fid);
         self.records.executed[fid.index()] = true;
 
-        let t_enter = self.clock;
+        // Hot per-instruction state lives in locals, synced with `self`
+        // around calls, so the dispatch loop keeps it in registers. The
+        // f64 additions happen in exactly the reference engine's order —
+        // only the storage location differs — so the clock stays
+        // bit-identical.
+        let inst_cost = self.config.inst_cost;
+        let fuel = self.config.fuel;
+        let taint = self.config.taint;
+        let policy = self.config.policy;
+        let coverage = self.config.coverage;
+        let combine_ptr = taint && self.config.combine_ptr_labels;
+        let store_ctx = taint && policy != CtlFlowPolicy::Off;
+        let mut insts = self.insts;
+        let mut clock = self.clock;
+
+        let t_enter = clock;
         // Probe cost: charged to this function's exclusive time when the
         // measurement filter instruments it.
         if let Some(&probe) = self.config.probe_cost.get(fid.index()) {
-            self.clock += probe;
+            clock += probe;
         }
         let mut child_time = 0.0f64;
 
         let frame_mark = self.mem.mark();
-        let mut locals: Vec<TVal> = vec![TVal::UNTAINTED_ZERO; func.insts.len()];
+        let mut regs = self.reg_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(dfunc.nregs, TVal::UNTAINTED_ZERO);
+        // Well-formed callers always pass matching arity (internal call
+        // sites are verified; `run` is the public entry). On a malformed
+        // short argument list the reference engine panics when the missing
+        // parameter is *read*; this engine reads an untainted zero instead
+        // — the one documented divergence, outside the differential
+        // contract's well-formed-input scope.
+        let ncopy = args.len().min(dfunc.nparams);
+        regs[..ncopy].copy_from_slice(&args[..ncopy]);
+
         // Control-flow taint scopes. The inherited scope (from tainted
         // control in the caller) never pops within this frame.
-        let mut ctl: Vec<CtlScope> = Vec::new();
-        let base_ctx = if self.config.policy == CtlFlowPolicy::Off {
+        let mut ctl = self.ctl_pool.pop().unwrap_or_default();
+        ctl.clear();
+        let base_ctx = if policy == CtlFlowPolicy::Off {
             Label::EMPTY
         } else {
             inherited_ctx
         };
 
-        let mut block = func.entry;
-        let mut prev_block: Option<BlockId> = None;
+        // Resolve a decoded argument list into `$argv: &[TVal]` — a stack
+        // buffer for the arities real call sites have, a heap vector
+        // beyond ARG_BUF. A macro because the buffer must live in the
+        // match arm's scope while four call kinds share the logic.
+        macro_rules! resolve_argv {
+            ($args:expr, $regs:expr, $argv:ident) => {
+                let mut buf = [TVal::UNTAINTED_ZERO; ARG_BUF];
+                let big: Vec<TVal>;
+                let $argv: &[TVal] = if $args.len() <= ARG_BUF {
+                    for (slot, &a) in buf.iter_mut().zip($args.iter()) {
+                        *slot = resolve(a, $regs);
+                    }
+                    &buf[..$args.len()]
+                } else {
+                    big = $args.iter().map(|&a| resolve(a, $regs)).collect();
+                    &big
+                };
+            };
+        }
+
+        let mut block = dfunc.entry;
         let ret_val: Option<TVal>;
 
         'blocks: loop {
-            if self.config.coverage {
+            if coverage {
                 self.records.visited_blocks[fid.index()][block.index()] = true;
             }
-            let cur_ctx = |ctl: &[CtlScope]| ctl.last().map_or(base_ctx, |s| s.label);
-
-            // Phi nodes execute first, in parallel, *under the closing
-            // scope* (the value choice is the control-dependent act), then
-            // scopes joining at this block pop.
-            let insts = &func.block(block).insts;
-            let mut phi_end = 0;
-            while phi_end < insts.len() {
-                let iid = insts[phi_end];
-                if !matches!(func.inst(iid).kind, InstKind::Phi { .. }) {
-                    break;
-                }
-                phi_end += 1;
-            }
-            if phi_end > 0 {
-                let pb = prev_block.expect("phi in entry block");
-                let mut staged: Vec<(usize, TVal)> = Vec::with_capacity(phi_end);
-                for &iid in &insts[..phi_end] {
-                    self.insts += 1;
-                    self.clock += self.config.inst_cost;
-                    if let InstKind::Phi { incomings, .. } = &func.inst(iid).kind {
-                        let (_, v) = incomings
-                            .iter()
-                            .find(|(b, _)| *b == pb)
-                            .unwrap_or_else(|| panic!("phi %{} missing incoming for {pb}", iid.0));
-                        let mut tv = self.eval(*v, &locals, &args);
-                        if self.config.taint && self.config.policy == CtlFlowPolicy::All {
-                            let ctx = cur_ctx(&ctl);
-                            tv.label = self.union(tv.label, ctx);
-                        }
-                        staged.push((iid.index(), tv));
-                    }
-                }
-                for (idx, tv) in staged {
-                    locals[idx] = tv;
-                }
-            }
-            if self.insts > self.config.fuel {
+            // The phi moves of the edge just taken already ran (at the
+            // branch site, under the pre-pop scope stack — the value choice
+            // is the control-dependent act); now scopes joining here close.
+            if insts > fuel {
                 return Err(InterpError::OutOfFuel);
             }
-            // Close scopes that join here.
             while matches!(ctl.last(), Some(s) if s.join == Some(block)) {
                 ctl.pop();
             }
 
-            // Straight-line instructions.
-            for &iid in &insts[phi_end..] {
-                self.insts += 1;
-                self.clock += self.config.inst_cost;
-                let ctx = if self.config.taint && self.config.policy != CtlFlowPolicy::Off {
-                    cur_ctx(&ctl)
-                } else {
-                    Label::EMPTY
+            // The control context is constant across a straight-line run:
+            // scopes only push at conditional branches and pop at block
+            // entries.
+            let ctx = if store_ctx {
+                ctl.last().map_or(base_ctx, |s| s.label)
+            } else {
+                Label::EMPTY
+            };
+            let apply_all = taint && policy == CtlFlowPolicy::All && !ctx.is_empty();
+
+            let dblock = &dfunc.blocks[block.index()];
+            for di in dblock.insts.iter() {
+                insts += 1;
+                clock += inst_cost;
+                let out: TVal = match &di.op {
+                    DOp::BinI { op, a, b } => {
+                        let a = resolve(*a, &regs);
+                        let b = resolve(*b, &regs);
+                        let label = self.union(a.label, b.label);
+                        let (x, y) = (a.as_i64(), b.as_i64());
+                        let r = match op {
+                            BinOp::Add => x.wrapping_add(y),
+                            BinOp::Sub => x.wrapping_sub(y),
+                            BinOp::Mul => x.wrapping_mul(y),
+                            BinOp::Div => {
+                                if y == 0 {
+                                    return Err(InterpError::DivisionByZero {
+                                        func: dfunc.name.clone(),
+                                    });
+                                }
+                                x.wrapping_div(y)
+                            }
+                            BinOp::Rem => {
+                                if y == 0 {
+                                    return Err(InterpError::DivisionByZero {
+                                        func: dfunc.name.clone(),
+                                    });
+                                }
+                                x.wrapping_rem(y)
+                            }
+                            BinOp::And => x & y,
+                            BinOp::Or => x | y,
+                            BinOp::Xor => x ^ y,
+                            BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+                            BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+                            BinOp::Min => x.min(y),
+                            BinOp::Max => x.max(y),
+                        };
+                        TVal {
+                            bits: r as u64,
+                            label,
+                        }
+                    }
+                    DOp::BinF { op, a, b } => {
+                        let a = resolve(*a, &regs);
+                        let b = resolve(*b, &regs);
+                        let label = self.union(a.label, b.label);
+                        let (x, y) = (a.as_f64(), b.as_f64());
+                        let r = match op {
+                            BinOp::Add => x + y,
+                            BinOp::Sub => x - y,
+                            BinOp::Mul => x * y,
+                            BinOp::Div => x / y,
+                            BinOp::Rem => x % y,
+                            BinOp::Min => x.min(y),
+                            BinOp::Max => x.max(y),
+                            _ => unreachable!("bitwise float ops decode to Trap"),
+                        };
+                        TVal {
+                            bits: r.to_bits(),
+                            label,
+                        }
+                    }
+                    DOp::NegI { a } => {
+                        let a = resolve(*a, &regs);
+                        TVal {
+                            bits: a.as_i64().wrapping_neg() as u64,
+                            label: a.label,
+                        }
+                    }
+                    DOp::NegF { a } => {
+                        let a = resolve(*a, &regs);
+                        TVal {
+                            bits: (-a.as_f64()).to_bits(),
+                            label: a.label,
+                        }
+                    }
+                    DOp::NotBool { a } => {
+                        let a = resolve(*a, &regs);
+                        TVal {
+                            bits: (a.bits == 0) as u64,
+                            label: a.label,
+                        }
+                    }
+                    DOp::NotInt { a } => {
+                        let a = resolve(*a, &regs);
+                        TVal {
+                            bits: !a.as_i64() as u64,
+                            label: a.label,
+                        }
+                    }
+                    DOp::IntToFloat { a } => {
+                        let a = resolve(*a, &regs);
+                        TVal {
+                            bits: (a.as_i64() as f64).to_bits(),
+                            label: a.label,
+                        }
+                    }
+                    DOp::FloatToInt { a } => {
+                        let a = resolve(*a, &regs);
+                        let f = a.as_f64();
+                        let clamped = if f.is_nan() {
+                            0
+                        } else {
+                            f.clamp(i64::MIN as f64, i64::MAX as f64) as i64
+                        };
+                        TVal {
+                            bits: clamped as u64,
+                            label: a.label,
+                        }
+                    }
+                    DOp::Sqrt { a } => {
+                        let a = resolve(*a, &regs);
+                        TVal {
+                            bits: a.as_f64().max(0.0).sqrt().to_bits(),
+                            label: a.label,
+                        }
+                    }
+                    DOp::AbsI { a } => {
+                        let a = resolve(*a, &regs);
+                        TVal {
+                            bits: a.as_i64().wrapping_abs() as u64,
+                            label: a.label,
+                        }
+                    }
+                    DOp::AbsF { a } => {
+                        let a = resolve(*a, &regs);
+                        TVal {
+                            bits: a.as_f64().abs().to_bits(),
+                            label: a.label,
+                        }
+                    }
+                    DOp::CmpI { pred, a, b } => {
+                        let a = resolve(*a, &regs);
+                        let b = resolve(*b, &regs);
+                        let label = self.union(a.label, b.label);
+                        TVal {
+                            bits: pred.eval(a.as_i64(), b.as_i64()) as u64,
+                            label,
+                        }
+                    }
+                    DOp::CmpF { pred, a, b } => {
+                        let a = resolve(*a, &regs);
+                        let b = resolve(*b, &regs);
+                        let label = self.union(a.label, b.label);
+                        TVal {
+                            bits: pred.eval(a.as_f64(), b.as_f64()) as u64,
+                            label,
+                        }
+                    }
+                    DOp::Select { c, t, e } => {
+                        let c = resolve(*c, &regs);
+                        let chosen = if c.as_bool() {
+                            resolve(*t, &regs)
+                        } else {
+                            resolve(*e, &regs)
+                        };
+                        let label = self.union(c.label, chosen.label);
+                        TVal {
+                            bits: chosen.bits,
+                            label,
+                        }
+                    }
+                    DOp::Alloca { words } => {
+                        let n = resolve(*words, &regs).as_i64();
+                        if n < 0 {
+                            return Err(InterpError::Trap(format!(
+                                "negative alloca in {}",
+                                dfunc.name
+                            )));
+                        }
+                        let addr = self.mem.alloc(n as usize);
+                        TVal::from_i64(addr as i64)
+                    }
+                    DOp::Load { addr } => {
+                        let a = resolve(*addr, &regs);
+                        let mut v = self.mem.load(a.as_addr())?;
+                        if combine_ptr {
+                            v.label = self.union(v.label, a.label);
+                        }
+                        v
+                    }
+                    DOp::Store { addr, value } => {
+                        let a = resolve(*addr, &regs);
+                        let mut v = resolve(*value, &regs);
+                        if store_ctx {
+                            // StoresOnly and All both taint stored values
+                            // with the control context.
+                            v.label = self.union(v.label, ctx);
+                        }
+                        self.mem.store(a.as_addr(), v)?;
+                        TVal::UNTAINTED_ZERO
+                    }
+                    DOp::Gep {
+                        base,
+                        index,
+                        stride,
+                    } => {
+                        let b = resolve(*base, &regs);
+                        let i = resolve(*index, &regs);
+                        let label = self.union(b.label, i.label);
+                        let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
+                        TVal {
+                            bits: addr as u64,
+                            label,
+                        }
+                    }
+                    DOp::CallInternal { callee, args } => {
+                        resolve_argv!(args, &regs, argv);
+                        self.insts = insts;
+                        self.clock = clock;
+                        let (ret, incl) = self.exec_function(*callee, argv, Some(path), ctx)?;
+                        insts = self.insts;
+                        clock = self.clock;
+                        child_time += incl;
+                        ret.unwrap_or(TVal::UNTAINTED_ZERO)
+                    }
+                    DOp::CallIntrinsic { which, args } => {
+                        // Intrinsics never touch the clock or instruction
+                        // count — no counter sync needed.
+                        resolve_argv!(args, &regs, argv);
+                        self.exec_intrinsic(*which, argv)?
+                    }
+                    DOp::CallHostPrim { name, args } => {
+                        resolve_argv!(args, &regs, argv);
+                        self.insts = insts;
+                        self.clock = clock;
+                        let r = self.exec_host_call(name, argv, fid, path, &mut child_time, None);
+                        insts = self.insts;
+                        clock = self.clock;
+                        r?
+                    }
+                    DOp::CallLibrary { name, ext_id, args } => {
+                        resolve_argv!(args, &regs, argv);
+                        self.insts = insts;
+                        self.clock = clock;
+                        let r = self.exec_host_call(
+                            name,
+                            argv,
+                            fid,
+                            path,
+                            &mut child_time,
+                            Some(*ext_id),
+                        );
+                        insts = self.insts;
+                        clock = self.clock;
+                        r?
+                    }
+                    DOp::Trap { message } => {
+                        return Err(InterpError::Trap(message.to_string()));
+                    }
                 };
-                let out = self.exec_inst(
-                    fid,
-                    iid,
-                    func,
-                    prep,
-                    &args,
-                    &mut locals,
-                    ctx,
-                    path,
-                    &mut child_time,
-                )?;
-                locals[iid.index()] = out;
+                let out = if apply_all {
+                    let mut t = out;
+                    t.label = self.union(t.label, ctx);
+                    t
+                } else {
+                    out
+                };
+                regs[di.dst as usize] = out;
             }
-            if self.insts > self.config.fuel {
+            if insts > fuel {
                 return Err(InterpError::OutOfFuel);
             }
 
-            // Terminator.
-            match func.block(block).term.as_ref().expect("verified IR") {
-                Terminator::Br(t) => {
-                    self.note_edge(fid, path, block, *t, prep);
-                    prev_block = Some(block);
-                    block = *t;
+            match &dblock.term {
+                DTerm::Br(edge) => {
+                    self.take_edge(
+                        edge, fid, path, &mut regs, &ctl, base_ctx, &mut insts, &mut clock,
+                    );
+                    block = edge.target;
                 }
-                Terminator::CondBr {
+                DTerm::CondBr {
                     cond,
-                    then_bb,
-                    else_bb,
+                    then_edge,
+                    else_edge,
+                    exiting,
+                    join,
                 } => {
-                    let cv = self.eval(*cond, &locals, &args);
-                    if self.config.taint {
+                    let cv = resolve(*cond, &regs);
+                    if taint {
                         // Sinks: loop-exit conditions (§4.1).
-                        for &lid in &prep.exiting_loops[block.index()] {
+                        for &lid in exiting.iter() {
                             let pset = self.labels.params_of(cv.label);
-                            let rec = self
-                                .records
-                                .loops
-                                .entry(LoopKey {
+                            self.record_sink(
+                                LoopKey {
                                     func: fid,
                                     loop_id: lid,
                                     path,
-                                })
-                                .or_default();
-                            rec.params = rec.params.union(pset);
+                                },
+                                pset,
+                            );
                         }
                         // Branch coverage for tainted conditions (§4.4, §C2).
-                        if self.config.coverage && !cv.label.is_empty() {
+                        if coverage && !cv.label.is_empty() {
                             let pset = self.labels.params_of(cv.label);
-                            let rec = self.records.branches.entry((fid, block)).or_default();
-                            rec.params = rec.params.union(pset);
-                            if cv.as_bool() {
-                                rec.taken_true += 1;
-                            } else {
-                                rec.taken_false += 1;
-                            }
+                            self.record_branch((fid, block), pset, cv.as_bool());
                         }
                         // Open a control scope for tainted branches.
-                        if self.config.policy != CtlFlowPolicy::Off && !cv.label.is_empty() {
+                        if policy != CtlFlowPolicy::Off && !cv.label.is_empty() {
                             let enclosing = ctl.last().map_or(base_ctx, |s| s.label);
                             let label = self.union(cv.label, enclosing);
-                            ctl.push(CtlScope {
-                                join: prep.ipostdom[block.index()],
-                                label,
-                            });
+                            ctl.push(CtlScope { join: *join, label });
                         }
                     }
-                    let target = if cv.as_bool() { *then_bb } else { *else_bb };
-                    self.note_edge(fid, path, block, target, prep);
-                    prev_block = Some(block);
-                    block = target;
+                    let edge = if cv.as_bool() { then_edge } else { else_edge };
+                    self.take_edge(
+                        edge, fid, path, &mut regs, &ctl, base_ctx, &mut insts, &mut clock,
+                    );
+                    block = edge.target;
                 }
-                Terminator::Ret(v) => {
-                    ret_val = v.as_ref().map(|val| self.eval(*val, &locals, &args));
+                DTerm::Ret(v) => {
+                    ret_val = (*v).map(|op| resolve(op, &regs));
                     break 'blocks;
                 }
-                Terminator::Unreachable => {
+                DTerm::Unreachable => {
                     return Err(InterpError::Trap(format!(
                         "reached unreachable in {}",
-                        func.name
+                        dfunc.name
                     )));
                 }
             }
         }
 
         self.mem.release_to(frame_mark);
-        let inclusive = self.clock - t_enter;
+        self.insts = insts;
+        self.clock = clock;
+        let inclusive = clock - t_enter;
         let exclusive = inclusive - child_time;
         self.profile.record_call(path, fid, inclusive, exclusive);
+        regs.clear();
+        self.reg_pool.push(regs);
+        ctl.clear();
+        self.ctl_pool.push(ctl);
         Ok((ret_val, inclusive))
     }
 
-    /// Track loop entries and iterations on a CFG edge.
+    /// Take a decoded CFG edge: loop bookkeeping, then the target's phi
+    /// parallel copy for this predecessor. Sources are all read before the
+    /// first write (staged), so swap / lost-copy cycles behave like the
+    /// reference engine's simultaneous assignment.
+    #[allow(clippy::too_many_arguments)]
     #[inline]
-    fn note_edge(
+    fn take_edge(
         &mut self,
+        edge: &'m Edge,
         fid: FunctionId,
         path: PathId,
-        from: BlockId,
-        to: BlockId,
-        prep: &crate::prepared::PreparedFunction,
+        regs: &mut [TVal],
+        ctl: &[CtlScope],
+        base_ctx: Label,
+        insts: &mut u64,
+        clock: &mut f64,
     ) {
-        if !self.config.taint {
-            return;
-        }
-        if let Some(&lid) = prep.back_edges.get(&(from, to)) {
-            let rec = self
-                .records
-                .loops
-                .entry(LoopKey {
+        if self.config.taint {
+            if let Some(lid) = edge.back_edge {
+                self.bump_iterations(LoopKey {
                     func: fid,
                     loop_id: lid,
                     path,
-                })
-                .or_default();
-            rec.iterations += 1;
-        } else if let Some(lid) = prep.header_of[to.index()] {
-            // Entering a header not via a back edge = a fresh loop entry.
-            if !prep.forest.get(lid).contains(from) {
+                });
+            } else if let Some(lid) = edge.enters {
                 let rec = self
                     .records
                     .loops
@@ -494,253 +894,49 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 rec.entries += 1;
             }
         }
-    }
-
-    #[inline]
-    fn eval(&self, v: Value, locals: &[TVal], args: &[TVal]) -> TVal {
-        match v {
-            Value::Const(c) => match c {
-                pt_ir::Const::Int(i) => TVal::from_i64(i),
-                pt_ir::Const::Float(f) => TVal::from_f64(f),
-                pt_ir::Const::Bool(b) => TVal::from_bool(b),
-            },
-            Value::Param(p) => args[p.index()],
-            Value::Inst(i) => locals[i.index()],
+        if edge.moves.is_empty() {
+            return;
         }
+        // Phis evaluate under the scope that closes at the target (it pops
+        // only after the copy) — including a scope this very branch pushed.
+        let apply = self.config.taint && self.config.policy == CtlFlowPolicy::All;
+        let ctx = ctl.last().map_or(base_ctx, |s| s.label);
+        let inst_cost = self.config.inst_cost;
+        if let [mv] = edge.moves.as_ref() {
+            // Single-phi edges (every builder loop's induction variable)
+            // need no staging: one move cannot hazard with itself reading
+            // its own register.
+            *insts += 1;
+            *clock += inst_cost;
+            let mut tv = resolve(mv.src, regs);
+            if apply {
+                tv.label = self.union(tv.label, ctx);
+            }
+            regs[mv.dst as usize] = tv;
+            return;
+        }
+        let mut stage = std::mem::take(&mut self.phi_stage);
+        stage.clear();
+        for mv in edge.moves.iter() {
+            *insts += 1;
+            *clock += inst_cost;
+            let mut tv = resolve(mv.src, regs);
+            if apply {
+                tv.label = self.union(tv.label, ctx);
+            }
+            stage.push((mv.dst, tv));
+        }
+        for (dst, tv) in stage.drain(..) {
+            regs[dst as usize] = tv;
+        }
+        self.phi_stage = stage;
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn exec_inst(
-        &mut self,
-        fid: FunctionId,
-        iid: pt_ir::InstId,
-        func: &pt_ir::Function,
-        prep: &crate::prepared::PreparedFunction,
-        args: &[TVal],
-        locals: &mut [TVal],
-        ctx: Label,
-        path: PathId,
-        child_time: &mut f64,
-    ) -> Result<TVal, InterpError> {
-        let is_float = prep.operand_float[iid.index()];
-        let apply_ctx = |me: &mut Self, mut t: TVal| -> TVal {
-            if me.config.taint && me.config.policy == CtlFlowPolicy::All && !ctx.is_empty() {
-                t.label = me.union(t.label, ctx);
-            }
-            t
-        };
-        let kind = &func.inst(iid).kind;
-        let out = match kind {
-            InstKind::Bin { op, lhs, rhs } => {
-                let a = self.eval(*lhs, locals, args);
-                let b = self.eval(*rhs, locals, args);
-                let label = self.union(a.label, b.label);
-                let bits = if is_float {
-                    let (x, y) = (a.as_f64(), b.as_f64());
-                    let r = match op {
-                        BinOp::Add => x + y,
-                        BinOp::Sub => x - y,
-                        BinOp::Mul => x * y,
-                        BinOp::Div => x / y,
-                        BinOp::Rem => x % y,
-                        BinOp::Min => x.min(y),
-                        BinOp::Max => x.max(y),
-                        _ => {
-                            return Err(InterpError::Trap(format!(
-                                "float {op:?} unsupported in {}",
-                                func.name
-                            )))
-                        }
-                    };
-                    r.to_bits()
-                } else {
-                    let (x, y) = (a.as_i64(), b.as_i64());
-                    let r = match op {
-                        BinOp::Add => x.wrapping_add(y),
-                        BinOp::Sub => x.wrapping_sub(y),
-                        BinOp::Mul => x.wrapping_mul(y),
-                        BinOp::Div => {
-                            if y == 0 {
-                                return Err(InterpError::DivisionByZero {
-                                    func: func.name.clone(),
-                                });
-                            }
-                            x.wrapping_div(y)
-                        }
-                        BinOp::Rem => {
-                            if y == 0 {
-                                return Err(InterpError::DivisionByZero {
-                                    func: func.name.clone(),
-                                });
-                            }
-                            x.wrapping_rem(y)
-                        }
-                        BinOp::And => x & y,
-                        BinOp::Or => x | y,
-                        BinOp::Xor => x ^ y,
-                        BinOp::Shl => x.wrapping_shl(y as u32 & 63),
-                        BinOp::Shr => x.wrapping_shr(y as u32 & 63),
-                        BinOp::Min => x.min(y),
-                        BinOp::Max => x.max(y),
-                    };
-                    r as u64
-                };
-                TVal { bits, label }
-            }
-            InstKind::Un { op, operand } => {
-                let a = self.eval(*operand, locals, args);
-                let bits = match op {
-                    UnOp::Neg => {
-                        if is_float {
-                            (-a.as_f64()).to_bits()
-                        } else {
-                            (a.as_i64().wrapping_neg()) as u64
-                        }
-                    }
-                    UnOp::Not => {
-                        if prep.result_tys[iid.index()] == Type::Bool {
-                            (a.bits == 0) as u64
-                        } else {
-                            !a.as_i64() as u64
-                        }
-                    }
-                    UnOp::IntToFloat => (a.as_i64() as f64).to_bits(),
-                    UnOp::FloatToInt => {
-                        let f = a.as_f64();
-                        let clamped = if f.is_nan() {
-                            0
-                        } else {
-                            f.clamp(i64::MIN as f64, i64::MAX as f64) as i64
-                        };
-                        clamped as u64
-                    }
-                    UnOp::Sqrt => a.as_f64().max(0.0).sqrt().to_bits(),
-                    UnOp::Abs => {
-                        if is_float {
-                            a.as_f64().abs().to_bits()
-                        } else {
-                            a.as_i64().wrapping_abs() as u64
-                        }
-                    }
-                };
-                TVal {
-                    bits,
-                    label: a.label,
-                }
-            }
-            InstKind::Cmp { pred, lhs, rhs } => {
-                let a = self.eval(*lhs, locals, args);
-                let b = self.eval(*rhs, locals, args);
-                let label = self.union(a.label, b.label);
-                let r = if is_float {
-                    pred.eval(a.as_f64(), b.as_f64())
-                } else {
-                    pred.eval(a.as_i64(), b.as_i64())
-                };
-                TVal {
-                    bits: r as u64,
-                    label,
-                }
-            }
-            InstKind::Select {
-                cond,
-                then_v,
-                else_v,
-            } => {
-                let c = self.eval(*cond, locals, args);
-                let chosen = if c.as_bool() {
-                    self.eval(*then_v, locals, args)
-                } else {
-                    self.eval(*else_v, locals, args)
-                };
-                let label = self.union(c.label, chosen.label);
-                TVal {
-                    bits: chosen.bits,
-                    label,
-                }
-            }
-            InstKind::Alloca { words } => {
-                let n = self.eval(*words, locals, args).as_i64();
-                if n < 0 {
-                    return Err(InterpError::Trap(format!(
-                        "negative alloca in {}",
-                        func.name
-                    )));
-                }
-                let addr = self.mem.alloc(n as usize);
-                TVal::from_i64(addr as i64)
-            }
-            InstKind::Load { addr, .. } => {
-                let a = self.eval(*addr, locals, args);
-                let mut v = self.mem.load(a.as_addr())?;
-                if self.config.taint && self.config.combine_ptr_labels {
-                    v.label = self.union(v.label, a.label);
-                }
-                v
-            }
-            InstKind::Store { addr, value } => {
-                let a = self.eval(*addr, locals, args);
-                let mut v = self.eval(*value, locals, args);
-                if self.config.taint && self.config.policy != CtlFlowPolicy::Off {
-                    // StoresOnly and All both taint stored values with the
-                    // control context.
-                    v.label = self.union(v.label, ctx);
-                }
-                self.mem.store(a.as_addr(), v)?;
-                TVal::UNTAINTED_ZERO
-            }
-            InstKind::Gep {
-                base,
-                index,
-                stride,
-            } => {
-                let b = self.eval(*base, locals, args);
-                let i = self.eval(*index, locals, args);
-                let label = self.union(b.label, i.label);
-                let addr = b
-                    .as_i64()
-                    .wrapping_add(i.as_i64().wrapping_mul(*stride as i64));
-                TVal {
-                    bits: addr as u64,
-                    label,
-                }
-            }
-            InstKind::Call {
-                callee,
-                args: call_args,
-                ..
-            } => {
-                let argv: Vec<TVal> = call_args
-                    .iter()
-                    .map(|a| self.eval(*a, locals, args))
-                    .collect();
-                match callee {
-                    Callee::Internal(callee_id) => {
-                        let (ret, incl) = self.exec_function(*callee_id, argv, Some(path), ctx)?;
-                        *child_time += incl;
-                        ret.unwrap_or(TVal::UNTAINTED_ZERO)
-                    }
-                    Callee::External(name) => {
-                        self.exec_external(name, &argv, fid, path, child_time)?
-                    }
-                }
-            }
-            InstKind::Phi { .. } => unreachable!("phis handled at block entry"),
-        };
-        Ok(apply_ctx(self, out))
-    }
-
-    fn exec_external(
-        &mut self,
-        name: &str,
-        argv: &[TVal],
-        caller: FunctionId,
-        path: PathId,
-        child_time: &mut f64,
-    ) -> Result<TVal, InterpError> {
-        // Intrinsics resolved by the interpreter itself.
-        match name {
-            "pt_param_i64" => {
+    /// Interpreter-resolved taint intrinsics (parameter sources and test
+    /// assertions).
+    fn exec_intrinsic(&mut self, which: Intrinsic, argv: &[TVal]) -> Result<TVal, InterpError> {
+        match which {
+            Intrinsic::ParamI64 => {
                 let idx = argv[0].as_i64() as usize;
                 let (name, value) =
                     self.params.get(idx).cloned().ok_or_else(|| {
@@ -751,9 +947,9 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 } else {
                     Label::EMPTY
                 };
-                return Ok(TVal::from_i64(value).with_label(label));
+                Ok(TVal::from_i64(value).with_label(label))
             }
-            "pt_register_param" => {
+            Intrinsic::RegisterParam => {
                 let addr = argv[0].as_addr();
                 let idx = argv[1].as_i64() as usize;
                 let (name, _) = self.params.get(idx).cloned().ok_or_else(|| {
@@ -763,9 +959,9 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     let label = self.labels.base_label(&name);
                     self.mem.set_label(addr, label)?;
                 }
-                return Ok(TVal::UNTAINTED_ZERO);
+                Ok(TVal::UNTAINTED_ZERO)
             }
-            "pt_assert_has_param" => {
+            Intrinsic::AssertHasParam => {
                 if self.config.taint {
                     let idx = argv[1].as_i64() as usize;
                     if !self.labels.params_of(argv[0].label).contains(idx) {
@@ -775,9 +971,9 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         )));
                     }
                 }
-                return Ok(TVal::UNTAINTED_ZERO);
+                Ok(TVal::UNTAINTED_ZERO)
             }
-            "pt_assert_not_param" => {
+            Intrinsic::AssertNotParam => {
                 if self.config.taint {
                     let idx = argv[1].as_i64() as usize;
                     if self.labels.params_of(argv[0].label).contains(idx) {
@@ -786,20 +982,33 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         )));
                     }
                 }
-                return Ok(TVal::UNTAINTED_ZERO);
+                Ok(TVal::UNTAINTED_ZERO)
             }
-            "pt_label_params" => {
+            Intrinsic::LabelParams => {
                 let set = self.labels.params_of(argv[0].label);
-                return Ok(TVal::from_i64(set.0 as i64));
+                Ok(TVal::from_i64(set.0 as i64))
             }
-            _ => {}
         }
+    }
 
+    /// Dispatch a non-intrinsic external to the handler. `ext_id` is
+    /// `None` for `pt_*` work primitives (cost charged inline to the
+    /// caller) and the pre-bound pseudo id for library routines (which get
+    /// their own profile entries, §B1).
+    fn exec_host_call(
+        &mut self,
+        name: &str,
+        argv: &[TVal],
+        caller: FunctionId,
+        path: PathId,
+        child_time: &mut f64,
+        ext_id: Option<FunctionId>,
+    ) -> Result<TVal, InterpError> {
         // Record the parameters tainting the call's arguments — the library
         // database turns these into parametric dependencies of the caller
         // (the count-argument mechanism of §5.3).
         if self.config.taint {
-            let mut pset = crate::label::ParamSet::EMPTY;
+            let mut pset = ParamSet::EMPTY;
             for a in argv {
                 pset = pset.union(self.labels.params_of(a.label));
             }
@@ -813,11 +1022,6 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             }
         }
 
-        // Externals go to the handler. Work primitives (`pt_*`) are inlined
-        // work of the *calling* function: their cost lands in the caller's
-        // exclusive time and they never appear as own profile entries.
-        // Library routines (MPI) get pseudo entries so they receive their
-        // own models (§B1).
         let mut ctx = HostCtx {
             mem: &mut self.mem,
             labels: &mut self.labels,
@@ -830,25 +1034,26 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 message,
             }
         })?;
-        if name.starts_with("pt_") {
-            self.clock += cost;
-            return Ok(ret);
+        match ext_id {
+            None => {
+                self.clock += cost;
+                Ok(ret)
+            }
+            Some(ext_id) => {
+                let probe = self
+                    .config
+                    .probe_cost
+                    .get(ext_id.index())
+                    .copied()
+                    .unwrap_or(0.0);
+                let total = cost + probe;
+                self.clock += total;
+                *child_time += total;
+                self.records.executed[ext_id.index()] = true;
+                let ext_path = self.records.paths.intern(Some(path), ext_id);
+                self.profile.record_call(ext_path, ext_id, total, total);
+                Ok(ret)
+            }
         }
-        let ext_id = self
-            .extern_id(name)
-            .ok_or_else(|| InterpError::UnknownExternal(name.to_string()))?;
-        let probe = self
-            .config
-            .probe_cost
-            .get(ext_id.index())
-            .copied()
-            .unwrap_or(0.0);
-        let total = cost + probe;
-        self.clock += total;
-        *child_time += total;
-        self.records.executed[ext_id.index()] = true;
-        let ext_path = self.records.paths.intern(Some(path), ext_id);
-        self.profile.record_call(ext_path, ext_id, total, total);
-        Ok(ret)
     }
 }

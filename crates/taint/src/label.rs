@@ -203,6 +203,7 @@ impl LabelTable {
     /// Union of two labels, allocating a tree node only when neither operand
     /// subsumes the other. This is the hot operation of the whole taint
     /// runtime — called for every instruction with two tainted operands.
+    #[inline]
     pub fn union(&mut self, a: Label, b: Label) -> Label {
         if a == b || b.is_empty() {
             return a;
@@ -248,6 +249,13 @@ impl LabelTable {
     /// Number of allocated labels (including the empty label).
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of memoized union pairs. Keys are canonicalized (smaller
+    /// label first), so `union(a, b)` and `union(b, a)` share one entry —
+    /// regression-tested to keep the memo from silently doubling.
+    pub fn union_memo_len(&self) -> usize {
+        self.union_memo.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -318,6 +326,28 @@ mod tests {
         let ab3 = t.union(a, b);
         assert_eq!(ab1, ab3);
         assert_eq!(t.len(), before, "no new node for repeated union");
+    }
+
+    #[test]
+    fn union_memo_keys_are_canonicalized() {
+        let mut t = LabelTable::new();
+        let a = t.base_label("a");
+        let b = t.base_label("b");
+        let c = t.base_label("c");
+        // Disjoint unions in both operand orders: one memo entry per pair,
+        // never one per ordering.
+        let ab = t.union(a, b);
+        assert_eq!(t.union_memo_len(), 1);
+        assert_eq!(t.union(b, a), ab);
+        assert_eq!(t.union_memo_len(), 1, "reversed operands reuse the memo");
+        let abc = t.union(c, ab); // deliberately (larger, smaller)
+        assert_eq!(t.union_memo_len(), 2);
+        assert_eq!(t.union(ab, c), abc);
+        assert_eq!(t.union_memo_len(), 2);
+        // Identity/subsumption fast paths never grow the memo.
+        t.union(a, a);
+        t.union(abc, b);
+        assert_eq!(t.union_memo_len(), 2);
     }
 
     #[test]

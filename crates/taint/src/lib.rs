@@ -8,14 +8,25 @@
 //! * [`memory`] — word-granular memory with a 1:1 shadow label per word.
 //! * [`path`] — calling-context interning (context-aware records, §5.2).
 //! * [`prepared`] — precomputed per-function facts (loops, postdominators,
-//!   back edges, trip counts) the interpreter consults at branches.
+//!   back edges, trip counts) plus the decoded program.
+//! * [`decode`] — the decode stage: each function compiled once into a
+//!   flat bytecode (pre-resolved operands, folded types, pre-bound
+//!   callees, per-edge phi move lists, inlined branch metadata).
 //! * [`host`] — the external-call interface; `pt-mpisim` plugs in here with
 //!   the MPI library database of §5.3.
-//! * [`interp`] — the instruction interpreter: data-flow propagation,
-//!   the control-flow tainting extension, loop-exit sinks, branch coverage,
-//!   simulated-time accounting, and call-path profiling.
+//! * [`interp`] — the execution engine: a dense dispatch loop over the
+//!   decoded bytecode implementing data-flow propagation, the control-flow
+//!   tainting extension, loop-exit sinks, branch coverage, simulated-time
+//!   accounting, and call-path profiling.
+//! * [`reference`] — the legacy tree-walking interpreter, kept as the
+//!   reference implementation for differential testing.
+//! * [`differential`] — the bit-identity contract between the two engines
+//!   and the comparison helpers that enforce it.
 //! * [`records`] / [`profile`] — run artifacts consumed by the `perf-taint`
 //!   pipeline and by `pt-measure`.
+//!
+//! See `crates/taint/README.md` for the decode pipeline and bytecode
+//! layout.
 //!
 //! ## Example
 //!
@@ -49,6 +60,8 @@
 //! assert_eq!(rec.iterations, 10);
 //! ```
 
+pub mod decode;
+pub mod differential;
 pub mod host;
 pub mod interp;
 pub mod label;
@@ -57,7 +70,9 @@ pub mod path;
 pub mod prepared;
 pub mod profile;
 pub mod records;
+pub mod reference;
 
+pub use decode::{DecodedFunction, DecodedModule};
 pub use host::{ExternResult, ExternalHandler, HostCtx, NullHandler, WorkOnlyHandler};
 pub use interp::{CtlFlowPolicy, InterpConfig, InterpError, Interpreter, RunOutput};
 pub use label::{Label, LabelTable, ParamSet};
@@ -66,3 +81,4 @@ pub use path::{CallPathTable, PathId};
 pub use prepared::{PreparedFunction, PreparedModule};
 pub use profile::{Profile, ProfileEntry};
 pub use records::{BranchRecord, LoopKey, LoopRecord, TaintRecords};
+pub use reference::ReferenceInterpreter;

@@ -100,11 +100,12 @@ impl std::fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
-/// The flat tainted memory arena.
+/// The flat tainted memory arena. Each word stores its value and shadow
+/// label together (one [`TVal`]), so a load touches one cache line, not
+/// two parallel arrays.
 #[derive(Debug)]
 pub struct Memory {
-    values: Vec<u64>,
-    shadow: Vec<Label>,
+    words: Vec<TVal>,
 }
 
 impl Default for Memory {
@@ -117,30 +118,27 @@ impl Memory {
     pub fn new() -> Memory {
         Memory {
             // Word 0 is the null guard.
-            values: vec![0],
-            shadow: vec![Label::EMPTY],
+            words: vec![TVal::UNTAINTED_ZERO],
         }
     }
 
     /// Current watermark (frame save point).
     #[inline]
     pub fn mark(&self) -> usize {
-        self.values.len()
+        self.words.len()
     }
 
     /// Release everything allocated after `mark`.
     pub fn release_to(&mut self, mark: usize) {
-        debug_assert!(mark >= 1 && mark <= self.values.len());
-        self.values.truncate(mark);
-        self.shadow.truncate(mark);
+        debug_assert!(mark >= 1 && mark <= self.words.len());
+        self.words.truncate(mark);
     }
 
     /// Allocate `words` zero-initialized, untainted words; returns the
     /// address of the first.
     pub fn alloc(&mut self, words: usize) -> usize {
-        let addr = self.values.len();
-        self.values.resize(addr + words, 0);
-        self.shadow.resize(addr + words, Label::EMPTY);
+        let addr = self.words.len();
+        self.words.resize(addr + words, TVal::UNTAINTED_ZERO);
         addr
     }
 
@@ -149,10 +147,10 @@ impl Memory {
         if addr == 0 {
             return Err(MemError::NullAccess);
         }
-        if addr >= self.values.len() {
+        if addr >= self.words.len() {
             return Err(MemError::OutOfBounds {
                 addr,
-                len: self.values.len(),
+                len: self.words.len(),
             });
         }
         Ok(())
@@ -162,18 +160,14 @@ impl Memory {
     #[inline]
     pub fn load(&self, addr: usize) -> Result<TVal, MemError> {
         self.check(addr)?;
-        Ok(TVal {
-            bits: self.values[addr],
-            label: self.shadow[addr],
-        })
+        Ok(self.words[addr])
     }
 
     /// Store a value and its label at `addr`.
     #[inline]
     pub fn store(&mut self, addr: usize, v: TVal) -> Result<(), MemError> {
         self.check(addr)?;
-        self.values[addr] = v.bits;
-        self.shadow[addr] = v.label;
+        self.words[addr] = v;
         Ok(())
     }
 
@@ -181,19 +175,19 @@ impl Memory {
     /// source of the paper, §3.2).
     pub fn set_label(&mut self, addr: usize, label: Label) -> Result<(), MemError> {
         self.check(addr)?;
-        self.shadow[addr] = label;
+        self.words[addr].label = label;
         Ok(())
     }
 
     /// Join `label` into the shadow at `addr` via the provided union.
     pub fn read_label(&self, addr: usize) -> Result<Label, MemError> {
         self.check(addr)?;
-        Ok(self.shadow[addr])
+        Ok(self.words[addr].label)
     }
 
     /// Total words allocated (including the null guard).
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.words.len()
     }
 
     pub fn is_empty(&self) -> bool {

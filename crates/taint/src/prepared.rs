@@ -6,7 +6,15 @@
 //! counting), and (c) the immediate postdominator of the branch block (the
 //! join point where a control-flow taint scope closes, §5.2 control-flow
 //! tainting). All of that is static, so we compute it once per module.
+//!
+//! On top of those facts, [`PreparedModule::compute`] runs the **decode
+//! stage** ([`crate::decode`]): each function is compiled once into a flat
+//! [`DecodedFunction`] bytecode that the production interpreter executes.
+//! Both live here so anything that shares a `PreparedModule` (a
+//! `perf_taint::Session`'s static artifacts, the bench scenario cache, the
+//! analysis service) automatically shares the decoded program too.
 
+use crate::decode::DecodedModule;
 use pt_analysis::dom::{DomTree, PostDomTree};
 use pt_analysis::loops::{LoopForest, LoopId};
 use pt_analysis::scev::{all_trip_counts, TripCount};
@@ -96,19 +104,30 @@ impl PreparedFunction {
     }
 }
 
-/// Static facts for every function of a module.
+/// Static facts for every function of a module, plus the decoded program.
 pub struct PreparedModule {
     pub functions: Vec<PreparedFunction>,
+    /// The flat bytecode the interpreter's hot loop executes.
+    pub decoded: DecodedModule,
+    /// Wall seconds the decode stage took (reported by the
+    /// `taint_throughput` bench scenario; *not* part of any deterministic
+    /// summary).
+    pub decode_seconds: f64,
 }
 
 impl PreparedModule {
     pub fn compute(module: &Module) -> PreparedModule {
+        let functions: Vec<PreparedFunction> = module
+            .functions
+            .iter()
+            .map(PreparedFunction::compute)
+            .collect();
+        let t0 = std::time::Instant::now();
+        let decoded = DecodedModule::decode(module, &functions);
         PreparedModule {
-            functions: module
-                .functions
-                .iter()
-                .map(PreparedFunction::compute)
-                .collect(),
+            functions,
+            decoded,
+            decode_seconds: t0.elapsed().as_secs_f64(),
         }
     }
 

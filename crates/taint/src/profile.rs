@@ -5,6 +5,11 @@
 //! hands to Extra-P in the paper's pipeline. Probe (instrumentation)
 //! overhead is included in these numbers when a function is instrumented,
 //! which is what makes the intrusion experiment (§B2) reproducible.
+//!
+//! [`PathId`]s are interned densely, so the profile stores entries in a
+//! flat per-path vector: [`Profile::record_call`] — executed once per
+//! function call in the interpreter hot path — is a direct index, not a
+//! hash lookup.
 
 use crate::path::{CallPathTable, PathId};
 use pt_ir::FunctionId;
@@ -32,10 +37,12 @@ impl ProfileEntry {
     }
 }
 
-/// A per-call-path profile.
+/// A per-call-path profile, indexed densely by [`PathId`].
 #[derive(Debug, Default)]
 pub struct Profile {
-    pub entries: HashMap<PathId, ProfileEntry>,
+    /// One slot per interned path; `None` until the first recorded call.
+    slots: Vec<Option<ProfileEntry>>,
+    recorded: usize,
 }
 
 impl Profile {
@@ -43,20 +50,52 @@ impl Profile {
         Profile::default()
     }
 
+    #[inline]
     pub fn record_call(&mut self, path: PathId, func: FunctionId, inclusive: f64, exclusive: f64) {
-        let e = self
-            .entries
-            .entry(path)
-            .or_insert_with(|| ProfileEntry::empty(func));
+        let idx = path.index();
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        let e = self.slots[idx].get_or_insert_with(|| {
+            self.recorded += 1;
+            ProfileEntry::empty(func)
+        });
         e.calls += 1;
         e.inclusive += inclusive;
         e.exclusive += exclusive;
     }
 
+    /// The entry for `path`, if any call was recorded under it.
+    pub fn entry(&self, path: PathId) -> Option<&ProfileEntry> {
+        self.slots.get(path.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Number of calling contexts with recorded calls.
+    pub fn len(&self) -> usize {
+        self.recorded
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.recorded == 0
+    }
+
+    /// Iterate recorded `(path, entry)` pairs in path-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PathId, &ProfileEntry)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (PathId(i as u32), e)))
+    }
+
+    /// Iterate recorded entries in path-id order.
+    pub fn entries(&self) -> impl Iterator<Item = &ProfileEntry> {
+        self.iter().map(|(_, e)| e)
+    }
+
     /// Aggregate per function name (merging calling contexts).
     pub fn by_function(&self) -> HashMap<FunctionId, ProfileEntry> {
         let mut out: HashMap<FunctionId, ProfileEntry> = HashMap::new();
-        for e in self.entries.values() {
+        for e in self.entries() {
             let agg = out
                 .entry(e.func)
                 .or_insert_with(|| ProfileEntry::empty(e.func));
@@ -70,7 +109,7 @@ impl Profile {
     /// Total exclusive time across all contexts — equals the wall time of
     /// the run (exclusive times partition the execution).
     pub fn total_exclusive(&self) -> f64 {
-        self.entries.values().map(|e| e.exclusive).sum()
+        self.entries().map(|e| e.exclusive).sum()
     }
 
     /// Render a sorted top-N table (diagnostics).
@@ -80,7 +119,7 @@ impl Profile {
         paths: &CallPathTable,
         name: &impl Fn(FunctionId) -> String,
     ) -> String {
-        let mut rows: Vec<(&PathId, &ProfileEntry)> = self.entries.iter().collect();
+        let mut rows: Vec<(PathId, &ProfileEntry)> = self.iter().collect();
         rows.sort_by(|a, b| b.1.exclusive.total_cmp(&a.1.exclusive));
         let mut out = String::new();
         for (path, e) in rows.into_iter().take(n) {
@@ -89,7 +128,7 @@ impl Profile {
                 e.exclusive,
                 e.inclusive,
                 e.calls,
-                paths.render(*path, name)
+                paths.render(path, name)
             ));
         }
         out
@@ -110,6 +149,10 @@ mod tests {
         p.record_call(k_via_main, FunctionId(1), 8.0, 8.0);
         p.record_call(k_via_main, FunctionId(1), 4.0, 4.0);
 
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.entry(k_via_main).unwrap().calls, 2);
+        assert!(p.entry(PathId(99)).is_none());
         let by_fn = p.by_function();
         assert_eq!(by_fn[&FunctionId(1)].calls, 2);
         assert!((by_fn[&FunctionId(1)].inclusive - 12.0).abs() < 1e-12);

@@ -1,11 +1,15 @@
 //! Artifacts of a dynamic taint run: loop sink records, branch coverage,
 //! visited code, and the calling-context table.
+//!
+//! The record maps are `BTreeMap`s on purpose: summaries and report JSON
+//! are built by iterating them, and ordered maps make that iteration —
+//! and therefore every rendered report — independent of hasher state.
 
 use crate::label::ParamSet;
 use crate::path::{CallPathTable, PathId};
 use pt_analysis::loops::LoopId;
 use pt_ir::{BlockId, FunctionId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Key of a loop record: one loop observed under one calling context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -16,7 +20,7 @@ pub struct LoopKey {
 }
 
 /// What the taint sinks observed for one loop (per calling context).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LoopRecord {
     /// Union of the parameter sets of all exit-condition labels observed.
     pub params: ParamSet,
@@ -28,7 +32,7 @@ pub struct LoopRecord {
 
 /// Coverage of one conditional branch whose condition was tainted (§4.4:
 /// detection of parameter-driven algorithm selection and never-taken paths).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BranchRecord {
     pub params: ParamSet,
     pub taken_true: u64,
@@ -45,12 +49,12 @@ impl BranchRecord {
 /// All records produced by a taint run.
 #[derive(Debug, Default)]
 pub struct TaintRecords {
-    pub loops: HashMap<LoopKey, LoopRecord>,
-    pub branches: HashMap<(FunctionId, BlockId), BranchRecord>,
+    pub loops: BTreeMap<LoopKey, LoopRecord>,
+    pub branches: BTreeMap<(FunctionId, BlockId), BranchRecord>,
     /// Per (calling function, external symbol): union of the parameter sets
     /// of all argument labels observed — feeds the library database's
     /// count-argument dependencies (§5.3).
-    pub extern_args: HashMap<(FunctionId, String), ParamSet>,
+    pub extern_args: BTreeMap<(FunctionId, String), ParamSet>,
     /// Per function: whether it was executed at all (dynamic pruning in
     /// Table 2: "Pruned Dynamically").
     pub executed: Vec<bool>,
@@ -62,9 +66,9 @@ pub struct TaintRecords {
 impl TaintRecords {
     pub fn new(nfuncs: usize, blocks_per_func: &[usize]) -> TaintRecords {
         TaintRecords {
-            loops: HashMap::new(),
-            branches: HashMap::new(),
-            extern_args: HashMap::new(),
+            loops: BTreeMap::new(),
+            branches: BTreeMap::new(),
+            extern_args: BTreeMap::new(),
             executed: vec![false; nfuncs],
             visited_blocks: blocks_per_func.iter().map(|&n| vec![false; n]).collect(),
             paths: CallPathTable::new(),
@@ -72,8 +76,8 @@ impl TaintRecords {
     }
 
     /// Aggregate loop records per (function, loop), merging calling contexts.
-    pub fn loops_by_function(&self) -> HashMap<(FunctionId, LoopId), LoopRecord> {
-        let mut out: HashMap<(FunctionId, LoopId), LoopRecord> = HashMap::new();
+    pub fn loops_by_function(&self) -> BTreeMap<(FunctionId, LoopId), LoopRecord> {
+        let mut out: BTreeMap<(FunctionId, LoopId), LoopRecord> = BTreeMap::new();
         for (k, r) in &self.loops {
             let e = out.entry((k.func, k.loop_id)).or_default();
             e.params = e.params.union(r.params);

@@ -80,7 +80,7 @@ proptest! {
             prop_assert_eq!(ra.iterations, rb.iterations);
             prop_assert_eq!(ra.params, rb.params);
         }
-        prop_assert_eq!(a.profile.entries.len(), b.profile.entries.len());
+        prop_assert_eq!(a.profile.len(), b.profile.len());
         prop_assert!((a.profile.total_exclusive() - b.profile.total_exclusive()).abs() < 1e-18);
     }
 
@@ -112,7 +112,7 @@ proptest! {
             (total_excl - out.time).abs() < 1e-12 * out.time.max(1.0),
             "exclusive sum {total_excl} vs wall {}", out.time
         );
-        for e in out.profile.entries.values() {
+        for e in out.profile.entries() {
             prop_assert!(e.inclusive >= e.exclusive - 1e-15);
             prop_assert!(e.calls > 0);
         }
