@@ -2,11 +2,17 @@
 //! regression: the CI perf gate.
 //!
 //! Usage:
-//!   bench_compare OLD.json NEW.json [--warn-only]
+//!   bench_compare OLD.json NEW.json [--warn-only] [--no-required]
 //!                 [--metric-rel-pct N] [--wall-rel-pct N]
 //!
 //! * deterministic metrics gate at ±10% (override: `--metric-rel-pct`)
 //! * wall times gate at ±50% and a 0.25 s floor (`--wall-rel-pct`)
+//! * required gate metrics (`pt_bench::compare::REQUIRED_GATE_METRICS`,
+//!   e.g. `taint_throughput/wall_ratio_decoded_over_legacy`) must be
+//!   present in the NEW report — a missing gate metric is a regression,
+//!   not a silent skip, even when the baseline lacks it too; pass
+//!   `--no-required` when deliberately comparing filtered reports
+//!   (`bench_all FILTER`) that never ran the gate scenario
 //! * `--warn-only` prints the verdict but always exits 0 (the CI job uses
 //!   this while the gate is being calibrated)
 //!
@@ -24,12 +30,13 @@ fn load(path: &str) -> Result<BenchReport, String> {
 
 fn main() -> ExitCode {
     let mut warn_only = false;
-    let mut cfg = CompareConfig::default();
+    let mut cfg = CompareConfig::ci_gate();
     let mut paths: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--warn-only" => warn_only = true,
+            "--no-required" => cfg.required.clear(),
             "--metric-rel-pct" | "--wall-rel-pct" => {
                 let Some(pct) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
                     eprintln!("{arg} requires a numeric percentage");
@@ -43,7 +50,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "bench_compare OLD.json NEW.json [--warn-only] \
+                    "bench_compare OLD.json NEW.json [--warn-only] [--no-required] \
                      [--metric-rel-pct N] [--wall-rel-pct N]"
                 );
                 return ExitCode::SUCCESS;

@@ -42,13 +42,25 @@ impl Tolerance {
     }
 }
 
+/// Gate metrics the CI gate must always see in the *new* report. A
+/// baseline regenerated after a metric silently vanished would otherwise
+/// let the gate pass with nothing to compare — silence must never read
+/// as health.
+pub const REQUIRED_GATE_METRICS: &[(&str, &str)] =
+    &[("taint_throughput", "wall_ratio_decoded_over_legacy")];
+
 /// Gate thresholds. Defaults: deterministic metrics move ≤10% (or 1e-9
 /// absolute — exact-count metrics like violation tallies effectively gate
 /// at equality); wall times move ≤50% and ≥0.25 s before they count.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CompareConfig {
     pub metric: Tolerance,
     pub wall: Tolerance,
+    /// `(scenario, metric)` pairs that must be present (with an `Ok`
+    /// scenario status) in the new report — their absence is a regression
+    /// even when the baseline lacks them too. Empty by default; the CI
+    /// binary uses [`CompareConfig::ci_gate`].
+    pub required: Vec<(String, String)>,
 }
 
 impl Default for CompareConfig {
@@ -56,6 +68,21 @@ impl Default for CompareConfig {
         CompareConfig {
             metric: Tolerance::new(0.10, 1e-9),
             wall: Tolerance::new(0.50, 0.25),
+            required: Vec::new(),
+        }
+    }
+}
+
+impl CompareConfig {
+    /// The configuration the `bench_compare` CI gate runs with:
+    /// default tolerances plus [`REQUIRED_GATE_METRICS`].
+    pub fn ci_gate() -> CompareConfig {
+        CompareConfig {
+            required: REQUIRED_GATE_METRICS
+                .iter()
+                .map(|(s, m)| (s.to_string(), m.to_string()))
+                .collect(),
+            ..Default::default()
         }
     }
 }
@@ -185,6 +212,19 @@ pub fn compare_reports(
         if old.scenario(&new_s.name).is_none() {
             out.notes
                 .push(format!("{}: new scenario (not in baseline)", new_s.name));
+        }
+    }
+    // Required gate metrics must exist in the new report regardless of
+    // what the baseline recorded — a regenerated baseline must not launder
+    // a vanished gate metric into silence.
+    for (scen, metric) in &cfg.required {
+        let present = new
+            .scenario(scen)
+            .is_some_and(|s| matches!(s.status, RunStatus::Ok) && s.metrics.contains_key(metric));
+        if !present {
+            out.regressions.push(format!(
+                "{scen}: required gate metric '{metric}' missing from new report"
+            ));
         }
     }
     Ok(out)
@@ -387,6 +427,45 @@ mod tests {
         let cmp = compare_reports(&old, &new, &CompareConfig::default()).unwrap();
         assert_eq!(cmp.regressions.len(), 1);
         assert!(cmp.regressions[0].contains("cost"));
+    }
+
+    #[test]
+    fn missing_required_gate_metric_is_a_regression_even_when_baseline_lacks_it() {
+        // Neither report carries the gate metric: the per-metric diff has
+        // nothing to flag, so without the required list this would pass
+        // silently.
+        let old = report(vec![record("other", 1.0, &[("cost", 1.0)])]);
+        let new = report(vec![record("other", 1.0, &[("cost", 1.0)])]);
+        let cmp = compare_reports(&old, &new, &CompareConfig::default()).unwrap();
+        assert!(!cmp.has_regressions(), "default config has no requirements");
+
+        let cmp = compare_reports(&old, &new, &CompareConfig::ci_gate()).unwrap();
+        assert!(cmp.has_regressions());
+        assert!(cmp.regressions[0].contains("required gate metric"));
+        assert!(cmp.regressions[0].contains("wall_ratio_decoded_over_legacy"));
+
+        // Present (and Ok) in the new report: satisfied.
+        let ok = report(vec![
+            record("other", 1.0, &[("cost", 1.0)]),
+            record(
+                "taint_throughput",
+                1.0,
+                &[("wall_ratio_decoded_over_legacy", 0.4)],
+            ),
+        ]);
+        let cmp = compare_reports(&old, &ok, &CompareConfig::ci_gate()).unwrap();
+        assert!(!cmp.has_regressions());
+
+        // Scenario present but failing: the metric is not trustworthy.
+        let mut failing = record(
+            "taint_throughput",
+            1.0,
+            &[("wall_ratio_decoded_over_legacy", 0.4)],
+        );
+        failing.status = RunStatus::Error("boom".into());
+        let failing_report = report(vec![record("other", 1.0, &[("cost", 1.0)]), failing]);
+        let cmp = compare_reports(&old, &failing_report, &CompareConfig::ci_gate()).unwrap();
+        assert!(cmp.has_regressions());
     }
 
     #[test]

@@ -466,7 +466,7 @@ impl Analysis {
                 continue; // whole function dead: reported as pruned-dynamic
             }
             let func = module.function(f);
-            for (i, visited) in self.records.visited_blocks[f.index()].iter().enumerate() {
+            for (i, visited) in self.records.visited_blocks.func(f).iter().enumerate() {
                 if !visited {
                     out.push((func.name.clone(), pt_ir::BlockId(i as u32)));
                 }

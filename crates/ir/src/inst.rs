@@ -27,6 +27,13 @@ impl fmt::Display for InstId {
 ///
 /// Integer division and remainder trap on a zero divisor at interpretation
 /// time, matching hardware semantics rather than LLVM's poison values.
+///
+/// Shifts are defined over the sole integer type, `i64` (pt-ir has **no**
+/// 32-bit integer type): the amount is reduced modulo 64 — like x86's
+/// 64-bit `shl`/`sar`, and unlike LLVM where an amount ≥ the bit width is
+/// poison — so 64 shifts by 0, 65 by 1, and negative amounts reduce
+/// through the same mask. `Shr` is arithmetic (sign-propagating). The
+/// executable definition both engines share is `pt_taint::ops`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BinOp {
     Add,
@@ -37,7 +44,9 @@ pub enum BinOp {
     And,
     Or,
     Xor,
+    /// Left shift; amount reduced modulo 64.
     Shl,
+    /// Arithmetic right shift; amount reduced modulo 64.
     Shr,
     Min,
     Max,

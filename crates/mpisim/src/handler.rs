@@ -31,28 +31,74 @@ impl MpiHandler {
     }
 }
 
+/// Dense dispatch tokens ([`ExternalHandler::resolve`] /
+/// [`ExternalHandler::call_token`]): the decode-once engine resolves each
+/// symbol once per run, so the hot path never string-matches a name.
+mod token {
+    pub const WORK_FLOPS: u32 = 0;
+    pub const WORK_MEM: u32 = 1;
+    pub const PRINT_I64: u32 = 2;
+    pub const COMM_SIZE: u32 = 3;
+    pub const COMM_RANK: u32 = 4;
+    pub const P2P: u32 = 5;
+    pub const WAITALL: u32 = 6;
+    pub const BARRIER: u32 = 7;
+    pub const ALLREDUCE: u32 = 8;
+    pub const REDUCE: u32 = 9;
+    pub const BCAST: u32 = 10;
+    pub const ALLGATHER: u32 = 11;
+    pub const GATHER: u32 = 12;
+}
+
 impl ExternalHandler for MpiHandler {
     fn call(&mut self, name: &str, args: &[TVal], ctx: &mut HostCtx<'_>) -> ExternResult {
+        match self.resolve(name) {
+            Some(t) => self.call_token(t, args, ctx),
+            None => Err(format!("MpiHandler: unknown external {name}")),
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Option<u32> {
+        Some(match name {
+            "pt_work_flops" => token::WORK_FLOPS,
+            "pt_work_mem" => token::WORK_MEM,
+            "pt_print_i64" => token::PRINT_I64,
+            "MPI_Comm_size" => token::COMM_SIZE,
+            "MPI_Comm_rank" => token::COMM_RANK,
+            // The four point-to-point routines share one cost model.
+            "MPI_Send" | "MPI_Recv" | "MPI_Isend" | "MPI_Irecv" => token::P2P,
+            "MPI_Waitall" => token::WAITALL,
+            "MPI_Barrier" => token::BARRIER,
+            "MPI_Allreduce" => token::ALLREDUCE,
+            "MPI_Reduce" => token::REDUCE,
+            "MPI_Bcast" => token::BCAST,
+            "MPI_Allgather" => token::ALLGATHER,
+            "MPI_Gather" => token::GATHER,
+            _ => return None,
+        })
+    }
+
+    fn call_token(&mut self, tok: u32, args: &[TVal], ctx: &mut HostCtx<'_>) -> ExternResult {
         let cfg = &self.config;
         let arg_i64 = |i: usize| args.get(i).map(|a| a.as_i64()).unwrap_or(0);
-        match name {
+        match tok {
             // ---- work primitives --------------------------------------
-            "pt_work_flops" => {
+            token::WORK_FLOPS => {
                 let n = arg_i64(0).max(0) as f64;
                 Ok((TVal::UNTAINTED_ZERO, n * cfg.flop_time))
             }
-            "pt_work_mem" => {
+            token::WORK_MEM => {
                 // Memory-bound work experiences node-level contention.
                 let n = arg_i64(0).max(0) as f64;
                 Ok((TVal::UNTAINTED_ZERO, n * cfg.contended_mem_word_time()))
             }
-            "pt_print_i64" => {
+            token::PRINT_I64 => {
                 self.printed.push(arg_i64(0));
                 Ok((TVal::UNTAINTED_ZERO, 0.0))
             }
 
             // ---- MPI environment ---------------------------------------
-            "MPI_Comm_size" => {
+            token::COMM_SIZE => {
                 let addr = args
                     .first()
                     .ok_or("MPI_Comm_size needs a pointer argument")?
@@ -71,7 +117,7 @@ impl ExternalHandler for MpiHandler {
                 ctx.mem.store(addr, val).map_err(|e| e.to_string())?;
                 Ok((TVal::UNTAINTED_ZERO, 50e-9))
             }
-            "MPI_Comm_rank" => {
+            token::COMM_RANK => {
                 let addr = args
                     .first()
                     .ok_or("MPI_Comm_rank needs a pointer argument")?
@@ -83,7 +129,7 @@ impl ExternalHandler for MpiHandler {
             }
 
             // ---- point-to-point ----------------------------------------
-            "MPI_Send" | "MPI_Recv" | "MPI_Isend" | "MPI_Irecv" => {
+            token::P2P => {
                 let t = if cfg.ranks <= 1 {
                     0.0
                 } else {
@@ -91,32 +137,32 @@ impl ExternalHandler for MpiHandler {
                 };
                 Ok((TVal::UNTAINTED_ZERO, t))
             }
-            "MPI_Waitall" => Ok((TVal::UNTAINTED_ZERO, 100e-9)),
+            token::WAITALL => Ok((TVal::UNTAINTED_ZERO, 100e-9)),
 
             // ---- collectives -------------------------------------------
-            "MPI_Barrier" => Ok((TVal::UNTAINTED_ZERO, comm::barrier(cfg))),
-            "MPI_Allreduce" => Ok((
+            token::BARRIER => Ok((TVal::UNTAINTED_ZERO, comm::barrier(cfg))),
+            token::ALLREDUCE => Ok((
                 TVal::UNTAINTED_ZERO,
                 comm::allreduce(cfg, Self::bytes(arg_i64(0))),
             )),
-            "MPI_Reduce" => Ok((
+            token::REDUCE => Ok((
                 TVal::UNTAINTED_ZERO,
                 comm::reduce(cfg, Self::bytes(arg_i64(0))),
             )),
-            "MPI_Bcast" => Ok((
+            token::BCAST => Ok((
                 TVal::UNTAINTED_ZERO,
                 comm::bcast(cfg, Self::bytes(arg_i64(0))),
             )),
-            "MPI_Allgather" => Ok((
+            token::ALLGATHER => Ok((
                 TVal::UNTAINTED_ZERO,
                 comm::allgather(cfg, Self::bytes(arg_i64(0))),
             )),
-            "MPI_Gather" => Ok((
+            token::GATHER => Ok((
                 TVal::UNTAINTED_ZERO,
                 comm::gather(cfg, Self::bytes(arg_i64(0))),
             )),
 
-            other => Err(format!("MpiHandler: unknown external {other}")),
+            _ => unreachable!("token not produced by resolve()"),
         }
     }
 }

@@ -32,9 +32,17 @@
 //!
 //! Decoding is part of the static stage ([`crate::prepared`]), so a
 //! `perf_taint::Session`-style cache shares the decoded program across
-//! every run of a module. The legacy tree-walker survives as
+//! every run of a module. After the straight translation below, the
+//! [`passes`] pipeline rewrites each function in place: superinstruction
+//! fusion collapses the hot `cmp+condbr` and `gep+load` / `gep+store`
+//! pairs into single fused operations ([`DOp::LoadIdx`], [`DOp::StoreIdx`],
+//! [`DTerm::CondBrCmp`]), and a linear-scan register allocation renumbers
+//! virtual registers by live range so pooled frames shrink to the
+//! function's true register pressure. The legacy tree-walker survives as
 //! [`crate::reference`], and [`crate::differential`] states the contract
 //! between the two: bit-identical run artifacts.
+
+pub mod passes;
 
 use crate::prepared::PreparedFunction;
 use pt_analysis::loops::LoopId;
@@ -185,10 +193,44 @@ pub enum DOp {
         index: Opnd,
         stride: i64,
     },
+    /// Fused `gep+load` ([`passes::fuse`]): load the word at
+    /// `base + index * stride`. Retires as **two** instructions (the gep
+    /// and the load it replaces) so instruction counts and the simulated
+    /// clock stay bit-identical to the reference engine.
+    LoadIdx {
+        base: Opnd,
+        index: Opnd,
+        stride: i64,
+    },
+    /// Fused `gep+store`: store `value` at `base + index * stride`.
+    /// Retires as two instructions, like [`DOp::LoadIdx`].
+    StoreIdx {
+        base: Opnd,
+        index: Opnd,
+        stride: i64,
+        value: Opnd,
+    },
     /// Call to a function of the same module, pre-bound to its id.
     CallInternal {
         callee: FunctionId,
         args: Box<[Opnd]>,
+    },
+    /// A whole leaf call fused into the caller ([`passes::inline_leaf_calls`]):
+    /// the callee is single-block, call-free, and alloca-free, its body's
+    /// operands rewritten into the caller's frame (arguments substituted
+    /// in place, locals renumbered into fresh caller slots). One dispatch
+    /// replaces the entire frame push/pop; the call bookkeeping the
+    /// reference engine performs (depth, path interning, executed/visited
+    /// marks, probe cost, per-call profile entry, fuel boundaries) is
+    /// replayed inline so every observable stays bit-identical.
+    CallInlined {
+        callee: FunctionId,
+        /// The callee's entry (and only) block, for the visited mark.
+        entry: BlockId,
+        /// Callee body, operands already in caller register space.
+        body: Box<[DInst]>,
+        /// The callee's return operand, likewise rewritten.
+        ret: Option<Opnd>,
     },
     /// One of the interpreter-resolved taint intrinsics.
     CallIntrinsic {
@@ -197,8 +239,12 @@ pub enum DOp {
     },
     /// A `pt_*` work/host primitive: handled by the external handler, its
     /// cost charged inline to the calling function (no profile entry).
+    /// `prim` indexes [`DecodedModule::host_prim_names`]; the interpreter
+    /// resolves it to a handler dispatch token once per run, so the hot
+    /// path never string-matches the name.
     CallHostPrim {
         name: Box<str>,
+        prim: u32,
         args: Box<[Opnd]>,
     },
     /// A library routine (MPI): handled by the external handler, charged
@@ -237,6 +283,22 @@ pub enum DTerm {
         /// here closes (`None`: at function return).
         join: Option<BlockId>,
     },
+    /// Fused `cmp+condbr` ([`passes::fuse`]): evaluate the comparison and
+    /// branch on it in one dispatch. The comparison half retires as one
+    /// instruction (count + clock), exactly where the standalone `cmp`
+    /// did, so fuel exhaustion lands on the same instruction boundary as
+    /// in the reference engine.
+    CondBrCmp {
+        pred: CmpPred,
+        /// Float comparison (`CmpF`) vs integer (`CmpI`).
+        float: bool,
+        a: Opnd,
+        b: Opnd,
+        then_edge: Edge,
+        else_edge: Edge,
+        exiting: Box<[LoopId]>,
+        join: Option<BlockId>,
+    },
     Ret(Option<Opnd>),
     Unreachable,
 }
@@ -255,8 +317,19 @@ pub struct DecodedFunction {
     /// Function name (runtime error messages).
     pub name: String,
     pub nparams: usize,
-    /// Frame size: `nparams` argument registers + one per instruction.
+    /// Frame size in registers. Straight out of [`DecodedModule::decode`]
+    /// this is `nparams` argument registers + one per instruction; after
+    /// [`passes::allocate_registers`] it is the function's true register
+    /// pressure (registers renumbered by live range, never larger).
     pub nregs: usize,
+    /// Whether the function passed semantic SSA verification (definitions
+    /// dominate uses, `pt_analysis::ssa_verify`). Register allocation and
+    /// the interpreter's skip-the-frame-clear fast path are only sound
+    /// under that property, so both are gated on it; a function that fails
+    /// it keeps the naive one-register-per-instruction frame and gets a
+    /// zeroed frame per call — exactly the reference engine's observable
+    /// behavior for such malformed programs.
+    pub ssa_clean: bool,
     pub entry: BlockId,
     pub blocks: Vec<DecodedBlock>,
 }
@@ -270,6 +343,28 @@ pub struct DecodedModule {
     /// [`FunctionId`] `module.functions.len() + i` — the convention shared
     /// with the legacy engine, `pt-measure`, and the profile consumers.
     pub extern_names: Vec<String>,
+    /// Distinct `pt_*` host-primitive names, indexed by
+    /// [`DOp::CallHostPrim::prim`] (first-appearance order).
+    pub host_prim_names: Vec<String>,
+}
+
+/// Interns host-primitive names into dense indices during decode.
+#[derive(Default)]
+pub(crate) struct PrimInterner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl PrimInterner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        i
+    }
 }
 
 impl DecodedModule {
@@ -287,15 +382,17 @@ impl DecodedModule {
             .map(|(i, n)| (n.as_str(), i as u32))
             .collect();
         let nfuncs = module.functions.len();
+        let mut prims = PrimInterner::default();
         let functions = module
             .functions
             .iter()
             .zip(prepared)
-            .map(|(f, p)| decode_function(f, p, &ext_index, nfuncs))
+            .map(|(f, p)| decode_function(f, p, &ext_index, nfuncs, &mut prims))
             .collect();
         DecodedModule {
             functions,
             extern_names,
+            host_prim_names: prims.names,
         }
     }
 
@@ -318,6 +415,7 @@ fn decode_function(
     prep: &PreparedFunction,
     ext_index: &HashMap<&str, u32>,
     nfuncs: usize,
+    prims: &mut PrimInterner,
 ) -> DecodedFunction {
     let nparams = func.params.len();
     let opnd = |v: Value| -> Opnd {
@@ -384,7 +482,7 @@ fn decode_function(
                 );
                 DInst {
                     dst: (nparams + iid.index()) as u32,
-                    op: decode_op(func, prep, iid, &opnd, ext_index, nfuncs),
+                    op: decode_op(func, prep, iid, &opnd, ext_index, nfuncs, prims),
                 }
             })
             .collect();
@@ -414,11 +512,14 @@ fn decode_function(
         name: func.name.clone(),
         nparams,
         nregs: nparams + func.insts.len(),
+        // Conservative until the pass pipeline proves dominance.
+        ssa_clean: false,
         entry: func.entry,
         blocks,
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn decode_op(
     func: &Function,
     prep: &PreparedFunction,
@@ -426,6 +527,7 @@ fn decode_op(
     opnd: &impl Fn(Value) -> Opnd,
     ext_index: &HashMap<&str, u32>,
     nfuncs: usize,
+    prims: &mut PrimInterner,
 ) -> DOp {
     let is_float = prep.operand_float[iid.index()];
     match &func.inst(iid).kind {
@@ -522,6 +624,7 @@ fn decode_op(
                     } else if name.starts_with("pt_") {
                         DOp::CallHostPrim {
                             name: name.as_str().into(),
+                            prim: prims.intern(name),
                             args,
                         }
                     } else {
@@ -557,7 +660,9 @@ mod tests {
         let p = PreparedModule::compute(&m);
         let d = p.decoded.func(FunctionId(0));
         assert_eq!(d.nparams, 1);
-        assert_eq!(d.nregs, 1 + m.function(FunctionId(0)).insts.len());
+        // Register allocation may only shrink the frame below the naive
+        // one-register-per-instruction layout.
+        assert!(d.nregs <= 1 + m.function(FunctionId(0)).insts.len());
 
         // Exactly one back edge and one fresh-entry edge somewhere.
         let mut back = 0;
@@ -572,6 +677,11 @@ mod tests {
             match &blk.term {
                 DTerm::Br(e) => visit(e),
                 DTerm::CondBr {
+                    then_edge,
+                    else_edge,
+                    ..
+                }
+                | DTerm::CondBrCmp {
                     then_edge,
                     else_edge,
                     ..
@@ -603,7 +713,9 @@ mod tests {
         let p = PreparedModule::compute(&m);
         let d = p.decoded.func(main);
         let ops: Vec<&DOp> = d.blocks[0].insts.iter().map(|i| &i.op).collect();
-        assert!(matches!(ops[0], DOp::CallInternal { callee, .. } if *callee == leaf));
+        // The empty leaf qualifies for whole-call inlining; the binding
+        // to its id survives in the fused superinstruction.
+        assert!(matches!(ops[0], DOp::CallInlined { callee, .. } if *callee == leaf));
         assert!(matches!(
             ops[1],
             DOp::CallIntrinsic {
@@ -627,7 +739,7 @@ mod tests {
         b.ret(Some(v));
         let f = b.finish();
         let prep = PreparedFunction::compute(&f);
-        let d = decode_function(&f, &prep, &HashMap::new(), 0);
+        let d = decode_function(&f, &prep, &HashMap::new(), 0, &mut PrimInterner::default());
         assert!(
             matches!(&d.blocks[0].insts[0].op, DOp::Trap { message } if message.contains("float"))
         );

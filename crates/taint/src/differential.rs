@@ -14,12 +14,23 @@
 //! even perform their label *unions in the same order*). Errors must match
 //! exactly too.
 //!
+//! The contract has **no carve-outs**: malformed inputs are covered too.
+//! A function entered with fewer arguments than parameters is a defined
+//! [`InterpError::ArityMismatch`] in both engines (checked at frame
+//! setup), functions that fail SSA verification execute with the naive
+//! zero-initialized frame in the decoded engine (matching the reference's
+//! zeroed locals), and the post-decode pass pipeline (superinstruction
+//! fusion, leaf-call inlining, register allocation) is constructed to be
+//! observably invisible — fused pairs retire the same instruction counts,
+//! clock additions, and label unions in the same order.
+//!
 //! [`compare_outputs`] / [`compare_results`] check that contract and
 //! return a human-readable description of the first divergence. The
 //! differential suites (`crates/taint/tests/differential.rs` for IR-level
-//! edge cases and phi parallel-copy hazards, `tests/engine_differential.rs`
-//! for the full evaluation apps) and the `taint_throughput` bench scenario
-//! are built on them.
+//! edge cases and phi parallel-copy hazards, `differential_prop.rs` for
+//! property-generated programs, `tests/engine_differential.rs` for the
+//! full evaluation apps) and the `taint_throughput` bench scenario are
+//! built on them.
 
 use crate::interp::{InterpError, RunOutput};
 

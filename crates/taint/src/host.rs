@@ -27,8 +27,29 @@ pub struct HostCtx<'a> {
 pub type ExternResult = Result<(TVal, f64), String>;
 
 /// Resolver for external symbols.
+///
+/// Handlers that dispatch on the symbol name per call should also
+/// implement [`ExternalHandler::resolve`] / [`ExternalHandler::call_token`]:
+/// the decode-once engine resolves every external symbol **once per run**
+/// and then calls through the dense token, skipping the per-call string
+/// match entirely (the reference engine keeps calling [`ExternalHandler::call`]
+/// by name, which pins the two dispatch paths against each other in the
+/// differential suites).
 pub trait ExternalHandler {
     fn call(&mut self, name: &str, args: &[TVal], ctx: &mut HostCtx<'_>) -> ExternResult;
+
+    /// Pre-resolve `name` to a dense dispatch token. `None` (the default)
+    /// means the engine falls back to by-name [`ExternalHandler::call`]
+    /// for that symbol.
+    fn resolve(&self, _name: &str) -> Option<u32> {
+        None
+    }
+
+    /// Call a primitive previously resolved by [`ExternalHandler::resolve`].
+    /// Must be observably identical to `call` with the resolving name.
+    fn call_token(&mut self, _token: u32, _args: &[TVal], _ctx: &mut HostCtx<'_>) -> ExternResult {
+        unreachable!("call_token requires resolve() to have returned Some")
+    }
 }
 
 /// A handler that rejects every call — for pure compute tests.
@@ -61,24 +82,45 @@ impl Default for WorkOnlyHandler {
     }
 }
 
+/// Token values for [`WorkOnlyHandler`]'s primitives.
+const WO_FLOPS: u32 = 0;
+const WO_MEM: u32 = 1;
+const WO_PRINT: u32 = 2;
+
 impl ExternalHandler for WorkOnlyHandler {
-    fn call(&mut self, name: &str, args: &[TVal], _ctx: &mut HostCtx<'_>) -> ExternResult {
-        match name {
-            "pt_work_flops" => {
+    fn call(&mut self, name: &str, args: &[TVal], ctx: &mut HostCtx<'_>) -> ExternResult {
+        match self.resolve(name) {
+            Some(token) => self.call_token(token, args, ctx),
+            None => Err(format!("WorkOnlyHandler: unknown external {name}")),
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Option<u32> {
+        Some(match name {
+            "pt_work_flops" => WO_FLOPS,
+            "pt_work_mem" => WO_MEM,
+            "pt_print_i64" => WO_PRINT,
+            _ => return None,
+        })
+    }
+
+    fn call_token(&mut self, token: u32, args: &[TVal], _ctx: &mut HostCtx<'_>) -> ExternResult {
+        match token {
+            WO_FLOPS => {
                 let n = args.first().map(|a| a.as_i64().max(0)).unwrap_or(0) as f64;
                 Ok((TVal::UNTAINTED_ZERO, n * self.flop_cost))
             }
-            "pt_work_mem" => {
+            WO_MEM => {
                 let n = args.first().map(|a| a.as_i64().max(0)).unwrap_or(0) as f64;
                 Ok((TVal::UNTAINTED_ZERO, n * self.mem_cost))
             }
-            "pt_print_i64" => {
+            WO_PRINT => {
                 if let Some(a) = args.first() {
                     self.printed.push(a.as_i64());
                 }
                 Ok((TVal::UNTAINTED_ZERO, 0.0))
             }
-            other => Err(format!("WorkOnlyHandler: unknown external {other}")),
+            _ => unreachable!("token not produced by resolve()"),
         }
     }
 }

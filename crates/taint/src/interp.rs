@@ -40,7 +40,7 @@
 //! the reference engine — bit-identical [`RunOutput`]s — is stated and
 //! checked by [`crate::differential`].
 
-use crate::decode::{DOp, DTerm, DecodedFunction, Edge, Intrinsic, Opnd};
+use crate::decode::{DInst, DOp, DTerm, DecodedFunction, Edge, Intrinsic, Opnd};
 use crate::host::{ExternalHandler, HostCtx};
 use crate::label::{Label, LabelTable, ParamSet};
 use crate::memory::{MemError, Memory, TVal};
@@ -104,13 +104,26 @@ impl Default for InterpConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub enum InterpError {
     Mem(MemError),
-    DivisionByZero { func: String },
+    DivisionByZero {
+        func: String,
+    },
     UnknownExternal(String),
-    ExternalFailed { name: String, message: String },
+    ExternalFailed {
+        name: String,
+        message: String,
+    },
     OutOfFuel,
     CallDepthExceeded,
     Trap(String),
     UnknownFunction(String),
+    /// A function was entered with fewer arguments than parameters. Both
+    /// engines check at frame setup, so a missing argument is a defined
+    /// error rather than a read of garbage (or a panic).
+    ArityMismatch {
+        func: String,
+        expected: usize,
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for InterpError {
@@ -126,6 +139,16 @@ impl std::fmt::Display for InterpError {
             InterpError::CallDepthExceeded => write!(f, "call depth exceeded"),
             InterpError::Trap(m) => write!(f, "trap: {m}"),
             InterpError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            InterpError::ArityMismatch {
+                func,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "call to {func} with {got} arguments, expected {expected}"
+                )
+            }
         }
     }
 }
@@ -214,6 +237,18 @@ pub struct Interpreter<'m, H: ExternalHandler> {
     /// Consecutive coverage updates of one tainted branch, buffered like
     /// `iter_buf` (a loop's exit branch is hit once per iteration).
     branch_buf: Option<((FunctionId, BlockId), crate::records::BranchRecord)>,
+    /// Handler dispatch tokens for host primitives, indexed by
+    /// [`crate::decode::DecodedModule::host_prim_names`] — resolved once
+    /// per run so the hot path never string-matches a symbol.
+    prim_tokens: Vec<Option<u32>>,
+    /// Same, for library externals (indexed by extern index).
+    lib_tokens: Vec<Option<u32>>,
+    /// Last extern-argument record applied, keyed by `(caller, symbol)`
+    /// (symbol = prim/extern index, kind-tagged in the low bit). Work
+    /// calls inside loops re-union the same parameter set every
+    /// iteration and the union is idempotent, so a repeat skips the
+    /// string-keyed map entirely.
+    extern_arg_memo: Option<((FunctionId, u32), ParamSet)>,
 }
 
 impl<'m, H: ExternalHandler> Interpreter<'m, H> {
@@ -237,6 +272,18 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             .map(|f| f.blocks.len())
             .chain(std::iter::repeat_n(0, nexterns))
             .collect();
+        let prim_tokens = prepared
+            .decoded
+            .host_prim_names
+            .iter()
+            .map(|n| handler.resolve(n))
+            .collect();
+        let lib_tokens = prepared
+            .decoded
+            .extern_names
+            .iter()
+            .map(|n| handler.resolve(n))
+            .collect();
         Interpreter {
             module,
             prepared,
@@ -257,6 +304,9 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             iter_buf: None,
             sink_memo: None,
             branch_buf: None,
+            prim_tokens,
+            lib_tokens,
+            extern_arg_memo: None,
         }
     }
 
@@ -281,9 +331,18 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
     }
 
     /// Run `entry` with the given (untainted) integer arguments.
+    ///
+    /// Dispatches to one of two monomorphized engines: the full taint
+    /// engine, or the measurement-mode (`taint: false`) specialization in
+    /// which label propagation, shadow-label combining, control scopes,
+    /// and record taint-merging compile out of the hot loop entirely.
     pub fn run(mut self, entry: FunctionId, args: &[i64]) -> Result<RunOutput, InterpError> {
         let argv: Vec<TVal> = args.iter().map(|&a| TVal::from_i64(a)).collect();
-        let (ret, _incl) = self.exec_function(entry, &argv, None, Label::EMPTY)?;
+        let (ret, _incl) = if self.config.taint {
+            self.exec_function::<true>(entry, &argv, None, Label::EMPTY)?
+        } else {
+            self.exec_function::<false>(entry, &argv, None, Label::EMPTY)?
+        };
         self.flush_iterations();
         self.flush_branches();
         Ok(RunOutput {
@@ -305,9 +364,12 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         self.run(fid, args)
     }
 
-    #[inline]
-    fn union(&mut self, a: Label, b: Label) -> Label {
-        if !self.config.taint {
+    /// Label union, compiled out of the measurement-mode engine: with
+    /// `TAINT == false` every call collapses to `Label::EMPTY` at
+    /// monomorphization time and the label table is never touched.
+    #[inline(always)]
+    fn union_t<const TAINT: bool>(&mut self, a: Label, b: Label) -> Label {
+        if !TAINT {
             return Label::EMPTY;
         }
         self.labels.union(a, b)
@@ -396,7 +458,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         path
     }
 
-    fn exec_function(
+    fn exec_function<const TAINT: bool>(
         &mut self,
         fid: FunctionId,
         args: &[TVal],
@@ -408,22 +470,32 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             self.depth -= 1;
             return Err(InterpError::CallDepthExceeded);
         }
-        let result = self.exec_function_inner(fid, args, parent, inherited_ctx);
+        let result = self.exec_function_inner::<TAINT>(fid, args, parent, inherited_ctx);
         self.depth -= 1;
         result
     }
 
-    fn exec_function_inner(
+    fn exec_function_inner<const TAINT: bool>(
         &mut self,
         fid: FunctionId,
         args: &[TVal],
         parent: Option<PathId>,
         inherited_ctx: Label,
     ) -> Result<(Option<TVal>, f64), InterpError> {
+        debug_assert_eq!(TAINT, self.config.taint);
         // Reborrow through the `'m` reference so the decoded program can be
         // held across `&mut self` calls.
         let prepared: &'m PreparedModule = self.prepared;
         let dfunc: &'m DecodedFunction = prepared.decoded.func(fid);
+        // A missing argument is a defined error in both engines (shared
+        // differential behavior; previously the engines diverged here).
+        if args.len() < dfunc.nparams {
+            return Err(InterpError::ArityMismatch {
+                func: dfunc.name.clone(),
+                expected: dfunc.nparams,
+                got: args.len(),
+            });
+        }
         let path = self.intern_path(parent, fid);
         self.records.executed[fid.index()] = true;
 
@@ -434,11 +506,10 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         // bit-identical.
         let inst_cost = self.config.inst_cost;
         let fuel = self.config.fuel;
-        let taint = self.config.taint;
         let policy = self.config.policy;
         let coverage = self.config.coverage;
-        let combine_ptr = taint && self.config.combine_ptr_labels;
-        let store_ctx = taint && policy != CtlFlowPolicy::Off;
+        let combine_ptr = TAINT && self.config.combine_ptr_labels;
+        let store_ctx = TAINT && policy != CtlFlowPolicy::Off;
         let mut insts = self.insts;
         let mut clock = self.clock;
 
@@ -452,16 +523,19 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
 
         let frame_mark = self.mem.mark();
         let mut regs = self.reg_pool.pop().unwrap_or_default();
-        regs.clear();
-        regs.resize(dfunc.nregs, TVal::UNTAINTED_ZERO);
-        // Well-formed callers always pass matching arity (internal call
-        // sites are verified; `run` is the public entry). On a malformed
-        // short argument list the reference engine panics when the missing
-        // parameter is *read*; this engine reads an untainted zero instead
-        // — the one documented divergence, outside the differential
-        // contract's well-formed-input scope.
-        let ncopy = args.len().min(dfunc.nparams);
-        regs[..ncopy].copy_from_slice(&args[..ncopy]);
+        if dfunc.ssa_clean {
+            // Definitions dominate uses (verified at decode time), so no
+            // register is ever read before this frame writes it: stale
+            // pooled contents are unobservable and the per-call frame
+            // clear is skipped.
+            regs.resize(dfunc.nregs, TVal::UNTAINTED_ZERO);
+        } else {
+            regs.clear();
+            regs.resize(dfunc.nregs, TVal::UNTAINTED_ZERO);
+        }
+        // Arity was checked on entry; register allocation pins parameters
+        // to the first `nparams` frame slots, so this stays one memcpy.
+        regs[..dfunc.nparams].copy_from_slice(&args[..dfunc.nparams]);
 
         // Control-flow taint scopes. The inherited scope (from tainted
         // control in the caller) never pops within this frame.
@@ -479,26 +553,50 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         // match arm's scope while four call kinds share the logic.
         macro_rules! resolve_argv {
             ($args:expr, $regs:expr, $argv:ident) => {
-                let mut buf = [TVal::UNTAINTED_ZERO; ARG_BUF];
+                // Arity-specialized buffers: most host/work primitives take
+                // 0–2 arguments, and fully initializing the 8-slot buffer
+                // per call was a measurable memset on the hot path.
+                let b1: [TVal; 1];
+                let b2: [TVal; 2];
+                let b8: [TVal; ARG_BUF];
                 let big: Vec<TVal>;
-                let $argv: &[TVal] = if $args.len() <= ARG_BUF {
-                    for (slot, &a) in buf.iter_mut().zip($args.iter()) {
-                        *slot = resolve(a, $regs);
+                let $argv: &[TVal] = match $args.len() {
+                    0 => &[],
+                    1 => {
+                        b1 = [resolve($args[0], $regs)];
+                        &b1
                     }
-                    &buf[..$args.len()]
-                } else {
-                    big = $args.iter().map(|&a| resolve(a, $regs)).collect();
-                    &big
+                    2 => {
+                        b2 = [resolve($args[0], $regs), resolve($args[1], $regs)];
+                        &b2
+                    }
+                    n if n <= ARG_BUF => {
+                        b8 = std::array::from_fn(|i| {
+                            if i < n {
+                                resolve($args[i], $regs)
+                            } else {
+                                TVal::UNTAINTED_ZERO
+                            }
+                        });
+                        &b8[..n]
+                    }
+                    _ => {
+                        big = $args.iter().map(|&a| resolve(a, $regs)).collect();
+                        &big
+                    }
                 };
             };
         }
 
         let mut block = dfunc.entry;
         let ret_val: Option<TVal>;
+        // Base of this function's flat visit flags, hoisted so the
+        // per-block mark is one bounds check and one store.
+        let vb_base = self.records.visited_blocks.offset(fid);
 
         'blocks: loop {
             if coverage {
-                self.records.visited_blocks[fid.index()][block.index()] = true;
+                self.records.visited_blocks.set(vb_base + block.index());
             }
             // The phi moves of the edge just taken already ran (at the
             // branch site, under the pre-pop scope stack — the value choice
@@ -518,7 +616,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             } else {
                 Label::EMPTY
             };
-            let apply_all = taint && policy == CtlFlowPolicy::All && !ctx.is_empty();
+            let apply_all = TAINT && policy == CtlFlowPolicy::All && !ctx.is_empty();
 
             let dblock = &dfunc.blocks[block.index()];
             for di in dblock.insts.iter() {
@@ -528,7 +626,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     DOp::BinI { op, a, b } => {
                         let a = resolve(*a, &regs);
                         let b = resolve(*b, &regs);
-                        let label = self.union(a.label, b.label);
+                        let label = self.union_t::<TAINT>(a.label, b.label);
                         let (x, y) = (a.as_i64(), b.as_i64());
                         let r = match op {
                             BinOp::Add => x.wrapping_add(y),
@@ -553,8 +651,8 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                             BinOp::And => x & y,
                             BinOp::Or => x | y,
                             BinOp::Xor => x ^ y,
-                            BinOp::Shl => x.wrapping_shl(y as u32 & 63),
-                            BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+                            BinOp::Shl => crate::ops::shl_i64(x, y),
+                            BinOp::Shr => crate::ops::shr_i64(x, y),
                             BinOp::Min => x.min(y),
                             BinOp::Max => x.max(y),
                         };
@@ -566,7 +664,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     DOp::BinF { op, a, b } => {
                         let a = resolve(*a, &regs);
                         let b = resolve(*b, &regs);
-                        let label = self.union(a.label, b.label);
+                        let label = self.union_t::<TAINT>(a.label, b.label);
                         let (x, y) = (a.as_f64(), b.as_f64());
                         let r = match op {
                             BinOp::Add => x + y,
@@ -655,7 +753,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     DOp::CmpI { pred, a, b } => {
                         let a = resolve(*a, &regs);
                         let b = resolve(*b, &regs);
-                        let label = self.union(a.label, b.label);
+                        let label = self.union_t::<TAINT>(a.label, b.label);
                         TVal {
                             bits: pred.eval(a.as_i64(), b.as_i64()) as u64,
                             label,
@@ -664,7 +762,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     DOp::CmpF { pred, a, b } => {
                         let a = resolve(*a, &regs);
                         let b = resolve(*b, &regs);
-                        let label = self.union(a.label, b.label);
+                        let label = self.union_t::<TAINT>(a.label, b.label);
                         TVal {
                             bits: pred.eval(a.as_f64(), b.as_f64()) as u64,
                             label,
@@ -677,7 +775,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         } else {
                             resolve(*e, &regs)
                         };
-                        let label = self.union(c.label, chosen.label);
+                        let label = self.union_t::<TAINT>(c.label, chosen.label);
                         TVal {
                             bits: chosen.bits,
                             label,
@@ -698,7 +796,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         let a = resolve(*addr, &regs);
                         let mut v = self.mem.load(a.as_addr())?;
                         if combine_ptr {
-                            v.label = self.union(v.label, a.label);
+                            v.label = self.union_t::<TAINT>(v.label, a.label);
                         }
                         v
                     }
@@ -708,7 +806,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         if store_ctx {
                             // StoresOnly and All both taint stored values
                             // with the control context.
-                            v.label = self.union(v.label, ctx);
+                            v.label = self.union_t::<TAINT>(v.label, ctx);
                         }
                         self.mem.store(a.as_addr(), v)?;
                         TVal::UNTAINTED_ZERO
@@ -720,53 +818,136 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     } => {
                         let b = resolve(*base, &regs);
                         let i = resolve(*index, &regs);
-                        let label = self.union(b.label, i.label);
+                        let label = self.union_t::<TAINT>(b.label, i.label);
                         let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
                         TVal {
                             bits: addr as u64,
                             label,
                         }
                     }
+                    DOp::LoadIdx {
+                        base,
+                        index,
+                        stride,
+                    } => {
+                        // Fused gep+load: this dispatch retires both. The
+                        // loop header charged the gep; its label unions run
+                        // here in the original order, then the load half
+                        // charges itself before touching memory.
+                        let b = resolve(*base, &regs);
+                        let i = resolve(*index, &regs);
+                        let mut la = self.union_t::<TAINT>(b.label, i.label);
+                        if apply_all {
+                            la = self.union_t::<TAINT>(la, ctx);
+                        }
+                        let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
+                        insts += 1;
+                        clock += inst_cost;
+                        let mut v = self.mem.load(addr as u64 as usize)?;
+                        if combine_ptr {
+                            v.label = self.union_t::<TAINT>(v.label, la);
+                        }
+                        v
+                    }
+                    DOp::StoreIdx {
+                        base,
+                        index,
+                        stride,
+                        value,
+                    } => {
+                        // Fused gep+store, charged like LoadIdx.
+                        let b = resolve(*base, &regs);
+                        let i = resolve(*index, &regs);
+                        let gep_label = self.union_t::<TAINT>(b.label, i.label);
+                        if apply_all {
+                            // The fused-away gep result would have carried
+                            // the control context; the union must still
+                            // happen so the label table stays identical.
+                            let _ = self.union_t::<TAINT>(gep_label, ctx);
+                        }
+                        let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
+                        insts += 1;
+                        clock += inst_cost;
+                        let mut v = resolve(*value, &regs);
+                        if store_ctx {
+                            v.label = self.union_t::<TAINT>(v.label, ctx);
+                        }
+                        self.mem.store(addr as u64 as usize, v)?;
+                        TVal::UNTAINTED_ZERO
+                    }
                     DOp::CallInternal { callee, args } => {
                         resolve_argv!(args, &regs, argv);
                         self.insts = insts;
                         self.clock = clock;
-                        let (ret, incl) = self.exec_function(*callee, argv, Some(path), ctx)?;
+                        let (ret, incl) =
+                            self.exec_function::<TAINT>(*callee, argv, Some(path), ctx)?;
                         insts = self.insts;
                         clock = self.clock;
                         child_time += incl;
                         ret.unwrap_or(TVal::UNTAINTED_ZERO)
                     }
+                    DOp::CallInlined {
+                        callee,
+                        entry,
+                        body,
+                        ret,
+                    } => self.exec_inlined::<TAINT>(
+                        *callee,
+                        *entry,
+                        body,
+                        *ret,
+                        &mut regs,
+                        &mut insts,
+                        &mut clock,
+                        &mut child_time,
+                        path,
+                        ctx,
+                        apply_all,
+                        store_ctx,
+                        combine_ptr,
+                        coverage,
+                        fuel,
+                        inst_cost,
+                    )?,
                     DOp::CallIntrinsic { which, args } => {
                         // Intrinsics never touch the clock or instruction
                         // count — no counter sync needed.
                         resolve_argv!(args, &regs, argv);
                         self.exec_intrinsic(*which, argv)?
                     }
-                    DOp::CallHostPrim { name, args } => {
+                    DOp::CallHostPrim { name, prim, args } => {
+                        // Host calls never touch the instruction counter,
+                        // and the clock rides along by reference — no
+                        // round-trip through `self`.
                         resolve_argv!(args, &regs, argv);
-                        self.insts = insts;
-                        self.clock = clock;
-                        let r = self.exec_host_call(name, argv, fid, path, &mut child_time, None);
-                        insts = self.insts;
-                        clock = self.clock;
-                        r?
-                    }
-                    DOp::CallLibrary { name, ext_id, args } => {
-                        resolve_argv!(args, &regs, argv);
-                        self.insts = insts;
-                        self.clock = clock;
-                        let r = self.exec_host_call(
+                        let token = self.prim_tokens[*prim as usize];
+                        self.exec_host_call(
                             name,
+                            token,
+                            *prim << 1,
                             argv,
                             fid,
                             path,
+                            &mut clock,
+                            &mut child_time,
+                            None,
+                        )?
+                    }
+                    DOp::CallLibrary { name, ext_id, args } => {
+                        resolve_argv!(args, &regs, argv);
+                        let ext_index = ext_id.index() - self.module.functions.len();
+                        let token = self.lib_tokens[ext_index];
+                        self.exec_host_call(
+                            name,
+                            token,
+                            (ext_index as u32) << 1 | 1,
+                            argv,
+                            fid,
+                            path,
+                            &mut clock,
                             &mut child_time,
                             Some(*ext_id),
-                        );
-                        insts = self.insts;
-                        clock = self.clock;
-                        r?
+                        )?
                     }
                     DOp::Trap { message } => {
                         return Err(InterpError::Trap(message.to_string()));
@@ -774,7 +955,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 };
                 let out = if apply_all {
                     let mut t = out;
-                    t.label = self.union(t.label, ctx);
+                    t.label = self.union_t::<TAINT>(t.label, ctx);
                     t
                 } else {
                     out
@@ -787,7 +968,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
 
             match &dblock.term {
                 DTerm::Br(edge) => {
-                    self.take_edge(
+                    self.take_edge::<TAINT>(
                         edge, fid, path, &mut regs, &ctl, base_ctx, &mut insts, &mut clock,
                     );
                     block = edge.target;
@@ -800,7 +981,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     join,
                 } => {
                     let cv = resolve(*cond, &regs);
-                    if taint {
+                    if TAINT {
                         // Sinks: loop-exit conditions (§4.1).
                         for &lid in exiting.iter() {
                             let pset = self.labels.params_of(cv.label);
@@ -821,12 +1002,71 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         // Open a control scope for tainted branches.
                         if policy != CtlFlowPolicy::Off && !cv.label.is_empty() {
                             let enclosing = ctl.last().map_or(base_ctx, |s| s.label);
-                            let label = self.union(cv.label, enclosing);
+                            let label = self.union_t::<TAINT>(cv.label, enclosing);
                             ctl.push(CtlScope { join: *join, label });
                         }
                     }
                     let edge = if cv.as_bool() { then_edge } else { else_edge };
-                    self.take_edge(
+                    self.take_edge::<TAINT>(
+                        edge, fid, path, &mut regs, &ctl, base_ctx, &mut insts, &mut clock,
+                    );
+                    block = edge.target;
+                }
+                DTerm::CondBrCmp {
+                    pred,
+                    float,
+                    a,
+                    b,
+                    then_edge,
+                    else_edge,
+                    exiting,
+                    join,
+                } => {
+                    // Fused cmp+condbr. The comparison half retires here —
+                    // count, clock, and label unions in exactly the order
+                    // the standalone cmp produced them — then the fuel
+                    // boundary that used to sit between the cmp and the
+                    // branch is re-checked before any branch effect.
+                    insts += 1;
+                    clock += inst_cost;
+                    let av = resolve(*a, &regs);
+                    let bv = resolve(*b, &regs);
+                    let mut cond_label = self.union_t::<TAINT>(av.label, bv.label);
+                    let taken = if *float {
+                        pred.eval(av.as_f64(), bv.as_f64())
+                    } else {
+                        pred.eval(av.as_i64(), bv.as_i64())
+                    };
+                    if apply_all {
+                        cond_label = self.union_t::<TAINT>(cond_label, ctx);
+                    }
+                    if insts > fuel {
+                        return Err(InterpError::OutOfFuel);
+                    }
+                    if TAINT {
+                        for &lid in exiting.iter() {
+                            let pset = self.labels.params_of(cond_label);
+                            self.record_sink(
+                                LoopKey {
+                                    func: fid,
+                                    loop_id: lid,
+                                    path,
+                                },
+                                pset,
+                            );
+                        }
+                        if coverage && !cond_label.is_empty() {
+                            let pset = self.labels.params_of(cond_label);
+                            self.record_branch((fid, block), pset, taken);
+                        }
+                        if policy != CtlFlowPolicy::Off && !cond_label.is_empty() {
+                            let enclosing = ctl.last().map_or(base_ctx, |s| s.label);
+                            let label = self.union_t::<TAINT>(cond_label, enclosing);
+                            ctl.push(CtlScope { join: *join, label });
+                        }
+                    }
+                    let edge = if taken { then_edge } else { else_edge };
+                    self.take_edge::<TAINT>(
                         edge, fid, path, &mut regs, &ctl, base_ctx, &mut insts, &mut clock,
                     );
                     block = edge.target;
@@ -850,7 +1090,9 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         let inclusive = clock - t_enter;
         let exclusive = inclusive - child_time;
         self.profile.record_call(path, fid, inclusive, exclusive);
-        regs.clear();
+        // Returned frames keep their (stale) contents: SSA-clean callees
+        // never read a register before writing it, and unclean callees
+        // clear explicitly at frame setup.
         self.reg_pool.push(regs);
         ctl.clear();
         self.ctl_pool.push(ctl);
@@ -863,7 +1105,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
     /// reference engine's simultaneous assignment.
     #[allow(clippy::too_many_arguments)]
     #[inline]
-    fn take_edge(
+    fn take_edge<const TAINT: bool>(
         &mut self,
         edge: &'m Edge,
         fid: FunctionId,
@@ -874,7 +1116,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         insts: &mut u64,
         clock: &mut f64,
     ) {
-        if self.config.taint {
+        if TAINT {
             if let Some(lid) = edge.back_edge {
                 self.bump_iterations(LoopKey {
                     func: fid,
@@ -899,7 +1141,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         }
         // Phis evaluate under the scope that closes at the target (it pops
         // only after the copy) — including a scope this very branch pushed.
-        let apply = self.config.taint && self.config.policy == CtlFlowPolicy::All;
+        let apply = TAINT && self.config.policy == CtlFlowPolicy::All;
         let ctx = ctl.last().map_or(base_ctx, |s| s.label);
         let inst_cost = self.config.inst_cost;
         if let [mv] = edge.moves.as_ref() {
@@ -910,7 +1152,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             *clock += inst_cost;
             let mut tv = resolve(mv.src, regs);
             if apply {
-                tv.label = self.union(tv.label, ctx);
+                tv.label = self.union_t::<TAINT>(tv.label, ctx);
             }
             regs[mv.dst as usize] = tv;
             return;
@@ -922,7 +1164,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             *clock += inst_cost;
             let mut tv = resolve(mv.src, regs);
             if apply {
-                tv.label = self.union(tv.label, ctx);
+                tv.label = self.union_t::<TAINT>(tv.label, ctx);
             }
             stage.push((mv.dst, tv));
         }
@@ -930,6 +1172,364 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             regs[dst as usize] = tv;
         }
         self.phi_stage = stage;
+    }
+
+    /// Execute a [`DOp::CallInlined`] superinstruction: an entire leaf
+    /// call — depth and fuel boundaries, path interning, executed/visited
+    /// marks, probe cost, body, per-call profile entry — replayed inline
+    /// over the caller's frame. The caller's loop header already charged
+    /// the call instruction itself; the callee's control context equals
+    /// the caller's at the call site (a single-block callee can neither
+    /// push nor pop scopes), so `ctx`/`apply_all`/`store_ctx` carry over
+    /// unchanged.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_inlined<const TAINT: bool>(
+        &mut self,
+        callee: FunctionId,
+        entry: BlockId,
+        body: &[DInst],
+        ret: Option<Opnd>,
+        regs: &mut [TVal],
+        insts: &mut u64,
+        clock: &mut f64,
+        child_time: &mut f64,
+        path: PathId,
+        ctx: Label,
+        apply_all: bool,
+        store_ctx: bool,
+        combine_ptr: bool,
+        coverage: bool,
+        fuel: u64,
+        inst_cost: f64,
+    ) -> Result<TVal, InterpError> {
+        self.depth += 1;
+        if self.depth > self.config.max_depth {
+            self.depth -= 1;
+            return Err(InterpError::CallDepthExceeded);
+        }
+        let ipath = self.intern_path(Some(path), callee);
+        self.records.executed[callee.index()] = true;
+        let t_enter = *clock;
+        if let Some(&probe) = self.config.probe_cost.get(callee.index()) {
+            *clock += probe;
+        }
+        if coverage {
+            self.records.visited_blocks.mark(callee, entry);
+        }
+        let result = self.exec_inlined_body::<TAINT>(
+            body,
+            regs,
+            insts,
+            clock,
+            ctx,
+            apply_all,
+            store_ctx,
+            combine_ptr,
+            fuel,
+            inst_cost,
+            callee,
+        );
+        self.depth -= 1;
+        result?;
+        let rv = ret.map_or(TVal::UNTAINTED_ZERO, |o| resolve(o, regs));
+        // No children and no alloca: exclusive == inclusive, and the
+        // memory watermark is untouched.
+        let inclusive = *clock - t_enter;
+        self.profile
+            .record_call(ipath, callee, inclusive, inclusive);
+        *child_time += inclusive;
+        Ok(rv)
+    }
+
+    /// The restricted dispatch for inlined bodies: pure scalar ops and
+    /// memory accesses only (the inlining pass guarantees it). Mirrors
+    /// the corresponding arms of the main loop exactly — the differential
+    /// suites pin the two against the reference engine.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_inlined_body<const TAINT: bool>(
+        &mut self,
+        body: &[DInst],
+        regs: &mut [TVal],
+        insts: &mut u64,
+        clock: &mut f64,
+        ctx: Label,
+        apply_all: bool,
+        store_ctx: bool,
+        combine_ptr: bool,
+        fuel: u64,
+        inst_cost: f64,
+        callee: FunctionId,
+    ) -> Result<(), InterpError> {
+        // The fuel boundary the reference engine checks at the callee's
+        // block entry.
+        if *insts > fuel {
+            return Err(InterpError::OutOfFuel);
+        }
+        // Copy out the `'m` reference so error paths can read the callee
+        // name without borrowing `self`.
+        let decoded: &'m crate::decode::DecodedModule = &self.prepared.decoded;
+        let callee_name = move || decoded.func(callee).name.clone();
+        for di in body {
+            *insts += 1;
+            *clock += inst_cost;
+            let out: TVal = match &di.op {
+                DOp::BinI { op, a, b } => {
+                    let a = resolve(*a, regs);
+                    let b = resolve(*b, regs);
+                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let (x, y) = (a.as_i64(), b.as_i64());
+                    let r = match op {
+                        BinOp::Add => x.wrapping_add(y),
+                        BinOp::Sub => x.wrapping_sub(y),
+                        BinOp::Mul => x.wrapping_mul(y),
+                        BinOp::Div => {
+                            if y == 0 {
+                                return Err(InterpError::DivisionByZero {
+                                    func: callee_name(),
+                                });
+                            }
+                            x.wrapping_div(y)
+                        }
+                        BinOp::Rem => {
+                            if y == 0 {
+                                return Err(InterpError::DivisionByZero {
+                                    func: callee_name(),
+                                });
+                            }
+                            x.wrapping_rem(y)
+                        }
+                        BinOp::And => x & y,
+                        BinOp::Or => x | y,
+                        BinOp::Xor => x ^ y,
+                        BinOp::Shl => crate::ops::shl_i64(x, y),
+                        BinOp::Shr => crate::ops::shr_i64(x, y),
+                        BinOp::Min => x.min(y),
+                        BinOp::Max => x.max(y),
+                    };
+                    TVal {
+                        bits: r as u64,
+                        label,
+                    }
+                }
+                DOp::BinF { op, a, b } => {
+                    let a = resolve(*a, regs);
+                    let b = resolve(*b, regs);
+                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let (x, y) = (a.as_f64(), b.as_f64());
+                    let r = match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => x / y,
+                        BinOp::Rem => x % y,
+                        BinOp::Min => x.min(y),
+                        BinOp::Max => x.max(y),
+                        _ => unreachable!("bitwise float ops decode to Trap"),
+                    };
+                    TVal {
+                        bits: r.to_bits(),
+                        label,
+                    }
+                }
+                DOp::NegI { a } => {
+                    let a = resolve(*a, regs);
+                    TVal {
+                        bits: a.as_i64().wrapping_neg() as u64,
+                        label: a.label,
+                    }
+                }
+                DOp::NegF { a } => {
+                    let a = resolve(*a, regs);
+                    TVal {
+                        bits: (-a.as_f64()).to_bits(),
+                        label: a.label,
+                    }
+                }
+                DOp::NotBool { a } => {
+                    let a = resolve(*a, regs);
+                    TVal {
+                        bits: (a.bits == 0) as u64,
+                        label: a.label,
+                    }
+                }
+                DOp::NotInt { a } => {
+                    let a = resolve(*a, regs);
+                    TVal {
+                        bits: !a.as_i64() as u64,
+                        label: a.label,
+                    }
+                }
+                DOp::IntToFloat { a } => {
+                    let a = resolve(*a, regs);
+                    TVal {
+                        bits: (a.as_i64() as f64).to_bits(),
+                        label: a.label,
+                    }
+                }
+                DOp::FloatToInt { a } => {
+                    let a = resolve(*a, regs);
+                    let f = a.as_f64();
+                    let clamped = if f.is_nan() {
+                        0
+                    } else {
+                        f.clamp(i64::MIN as f64, i64::MAX as f64) as i64
+                    };
+                    TVal {
+                        bits: clamped as u64,
+                        label: a.label,
+                    }
+                }
+                DOp::Sqrt { a } => {
+                    let a = resolve(*a, regs);
+                    TVal {
+                        bits: a.as_f64().max(0.0).sqrt().to_bits(),
+                        label: a.label,
+                    }
+                }
+                DOp::AbsI { a } => {
+                    let a = resolve(*a, regs);
+                    TVal {
+                        bits: a.as_i64().wrapping_abs() as u64,
+                        label: a.label,
+                    }
+                }
+                DOp::AbsF { a } => {
+                    let a = resolve(*a, regs);
+                    TVal {
+                        bits: a.as_f64().abs().to_bits(),
+                        label: a.label,
+                    }
+                }
+                DOp::CmpI { pred, a, b } => {
+                    let a = resolve(*a, regs);
+                    let b = resolve(*b, regs);
+                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    TVal {
+                        bits: pred.eval(a.as_i64(), b.as_i64()) as u64,
+                        label,
+                    }
+                }
+                DOp::CmpF { pred, a, b } => {
+                    let a = resolve(*a, regs);
+                    let b = resolve(*b, regs);
+                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    TVal {
+                        bits: pred.eval(a.as_f64(), b.as_f64()) as u64,
+                        label,
+                    }
+                }
+                DOp::Select { c, t, e } => {
+                    let c = resolve(*c, regs);
+                    let chosen = if c.as_bool() {
+                        resolve(*t, regs)
+                    } else {
+                        resolve(*e, regs)
+                    };
+                    let label = self.union_t::<TAINT>(c.label, chosen.label);
+                    TVal {
+                        bits: chosen.bits,
+                        label,
+                    }
+                }
+                DOp::Load { addr } => {
+                    let a = resolve(*addr, regs);
+                    let mut v = self.mem.load(a.as_addr())?;
+                    if combine_ptr {
+                        v.label = self.union_t::<TAINT>(v.label, a.label);
+                    }
+                    v
+                }
+                DOp::Store { addr, value } => {
+                    let a = resolve(*addr, regs);
+                    let mut v = resolve(*value, regs);
+                    if store_ctx {
+                        v.label = self.union_t::<TAINT>(v.label, ctx);
+                    }
+                    self.mem.store(a.as_addr(), v)?;
+                    TVal::UNTAINTED_ZERO
+                }
+                DOp::Gep {
+                    base,
+                    index,
+                    stride,
+                } => {
+                    let b = resolve(*base, regs);
+                    let i = resolve(*index, regs);
+                    let label = self.union_t::<TAINT>(b.label, i.label);
+                    let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
+                    TVal {
+                        bits: addr as u64,
+                        label,
+                    }
+                }
+                DOp::LoadIdx {
+                    base,
+                    index,
+                    stride,
+                } => {
+                    let b = resolve(*base, regs);
+                    let i = resolve(*index, regs);
+                    let mut la = self.union_t::<TAINT>(b.label, i.label);
+                    if apply_all {
+                        la = self.union_t::<TAINT>(la, ctx);
+                    }
+                    let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
+                    *insts += 1;
+                    *clock += inst_cost;
+                    let mut v = self.mem.load(addr as u64 as usize)?;
+                    if combine_ptr {
+                        v.label = self.union_t::<TAINT>(v.label, la);
+                    }
+                    v
+                }
+                DOp::StoreIdx {
+                    base,
+                    index,
+                    stride,
+                    value,
+                } => {
+                    let b = resolve(*base, regs);
+                    let i = resolve(*index, regs);
+                    let gep_label = self.union_t::<TAINT>(b.label, i.label);
+                    if apply_all {
+                        let _ = self.union_t::<TAINT>(gep_label, ctx);
+                    }
+                    let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
+                    *insts += 1;
+                    *clock += inst_cost;
+                    let mut v = resolve(*value, regs);
+                    if store_ctx {
+                        v.label = self.union_t::<TAINT>(v.label, ctx);
+                    }
+                    self.mem.store(addr as u64 as usize, v)?;
+                    TVal::UNTAINTED_ZERO
+                }
+                DOp::Trap { message } => {
+                    return Err(InterpError::Trap(message.to_string()));
+                }
+                DOp::Alloca { .. }
+                | DOp::CallInternal { .. }
+                | DOp::CallIntrinsic { .. }
+                | DOp::CallHostPrim { .. }
+                | DOp::CallLibrary { .. }
+                | DOp::CallInlined { .. } => {
+                    unreachable!("op excluded from inlined bodies by the pass")
+                }
+            };
+            let out = if apply_all {
+                let mut t = out;
+                t.label = self.union_t::<TAINT>(t.label, ctx);
+                t
+            } else {
+                out
+            };
+            regs[di.dst as usize] = out;
+        }
+        // The fuel boundary after the callee's straight-line body.
+        if *insts > fuel {
+            return Err(InterpError::OutOfFuel);
+        }
+        Ok(())
     }
 
     /// Interpreter-resolved taint intrinsics (parameter sources and test
@@ -994,31 +1594,40 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
     /// Dispatch a non-intrinsic external to the handler. `ext_id` is
     /// `None` for `pt_*` work primitives (cost charged inline to the
     /// caller) and the pre-bound pseudo id for library routines (which get
-    /// their own profile entries, §B1).
+    /// their own profile entries, §B1). `token` is the handler dispatch
+    /// token pre-resolved at construction; symbols the handler does not
+    /// resolve fall back to by-name dispatch.
+    #[allow(clippy::too_many_arguments)]
     fn exec_host_call(
         &mut self,
         name: &str,
+        token: Option<u32>,
+        sym: u32,
         argv: &[TVal],
         caller: FunctionId,
         path: PathId,
+        clock: &mut f64,
         child_time: &mut f64,
         ext_id: Option<FunctionId>,
     ) -> Result<TVal, InterpError> {
         // Record the parameters tainting the call's arguments — the library
         // database turns these into parametric dependencies of the caller
-        // (the count-argument mechanism of §5.3).
+        // (the count-argument mechanism of §5.3). Unions are idempotent,
+        // so a repeat of the previous `(caller, symbol, set)` triple skips
+        // the string-keyed map (and its key allocation) outright.
         if self.config.taint {
             let mut pset = ParamSet::EMPTY;
             for a in argv {
                 pset = pset.union(self.labels.params_of(a.label));
             }
-            if !pset.is_empty() {
+            if !pset.is_empty() && self.extern_arg_memo != Some(((caller, sym), pset)) {
                 let e = self
                     .records
                     .extern_args
                     .entry((caller, name.to_string()))
                     .or_default();
                 *e = e.union(pset);
+                self.extern_arg_memo = Some(((caller, sym), pset));
             }
         }
 
@@ -1028,15 +1637,17 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             params: &self.params,
             taint: self.config.taint,
         };
-        let (ret, cost) = self.handler.call(name, argv, &mut ctx).map_err(|message| {
-            InterpError::ExternalFailed {
-                name: name.to_string(),
-                message,
-            }
+        let called = match token {
+            Some(t) => self.handler.call_token(t, argv, &mut ctx),
+            None => self.handler.call(name, argv, &mut ctx),
+        };
+        let (ret, cost) = called.map_err(|message| InterpError::ExternalFailed {
+            name: name.to_string(),
+            message,
         })?;
         match ext_id {
             None => {
-                self.clock += cost;
+                *clock += cost;
                 Ok(ret)
             }
             Some(ext_id) => {
@@ -1047,7 +1658,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     .copied()
                     .unwrap_or(0.0);
                 let total = cost + probe;
-                self.clock += total;
+                *clock += total;
                 *child_time += total;
                 self.records.executed[ext_id.index()] = true;
                 let ext_path = self.records.paths.intern(Some(path), ext_id);

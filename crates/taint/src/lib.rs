@@ -11,7 +11,12 @@
 //!   back edges, trip counts) plus the decoded program.
 //! * [`decode`] — the decode stage: each function compiled once into a
 //!   flat bytecode (pre-resolved operands, folded types, pre-bound
-//!   callees, per-edge phi move lists, inlined branch metadata).
+//!   callees, per-edge phi move lists, inlined branch metadata), then
+//!   rewritten by the [`decode::passes`] pipeline (superinstruction
+//!   fusion of `cmp+condbr` and `gep+load`/`gep+store`, linear-scan
+//!   register allocation shrinking frames to true register pressure).
+//! * [`ops`] — scalar semantics shared by both engines (shift behavior),
+//!   defined once so the engines cannot diverge on them.
 //! * [`host`] — the external-call interface; `pt-mpisim` plugs in here with
 //!   the MPI library database of §5.3.
 //! * [`interp`] — the execution engine: a dense dispatch loop over the
@@ -66,12 +71,14 @@ pub mod host;
 pub mod interp;
 pub mod label;
 pub mod memory;
+pub mod ops;
 pub mod path;
 pub mod prepared;
 pub mod profile;
 pub mod records;
 pub mod reference;
 
+pub use decode::passes::PassStats;
 pub use decode::{DecodedFunction, DecodedModule};
 pub use host::{ExternResult, ExternalHandler, HostCtx, NullHandler, WorkOnlyHandler};
 pub use interp::{CtlFlowPolicy, InterpConfig, InterpError, Interpreter, RunOutput};

@@ -1,0 +1,75 @@
+//! Shared scalar-operation semantics used by **both** execution engines.
+//!
+//! The differential contract ([`crate::differential`]) forbids the decoded
+//! engine and the reference tree-walker from disagreeing on any value bit,
+//! so semantics that are easy to get subtly wrong twice live here, defined
+//! once and unit-tested against the documented behavior.
+//!
+//! ## Shift semantics
+//!
+//! `pt-ir` has exactly one integer type, `i64` (there is **no** 32-bit
+//! integer type, so no 32-bit masking case exists — audited against
+//! [`pt_ir::Type`]). `shl`/`shr` are defined over the full `i64` domain:
+//!
+//! * the shift amount is reduced **modulo 64** (`amount & 63`), like
+//!   x86's `shl`/`sar` on 64-bit operands and Rust's `wrapping_shl`; an
+//!   amount of 64 therefore shifts by 0, and 65 by 1 — never UB, never a
+//!   trap;
+//! * negative amounts are reduced the same way through the mask (e.g.
+//!   `-1 & 63 == 63`);
+//! * `shr` is an **arithmetic** right shift (the operand is `i64`, so the
+//!   sign bit propagates).
+
+/// Reduce a shift amount to the defined `0..=63` range.
+#[inline(always)]
+pub fn shift_amount(amount: i64) -> u32 {
+    (amount & 63) as u32
+}
+
+/// `shl` on the 64-bit integer domain: amount reduced modulo 64.
+#[inline(always)]
+pub fn shl_i64(x: i64, amount: i64) -> i64 {
+    x.wrapping_shl(shift_amount(amount))
+}
+
+/// `shr` on the 64-bit integer domain: arithmetic (sign-propagating),
+/// amount reduced modulo 64.
+#[inline(always)]
+pub fn shr_i64(x: i64, amount: i64) -> i64 {
+    x.wrapping_shr(shift_amount(amount))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact amounts the ISSUE calls out: 31 and 63 in range, 32 well
+    /// inside the 64-bit domain (no 32-bit wrap may occur), 64 reducing
+    /// to 0.
+    #[test]
+    fn shift_amounts_31_32_63_64() {
+        assert_eq!(shl_i64(1, 31), 1 << 31);
+        assert_eq!(shl_i64(1, 32), 1 << 32, "no 32-bit masking: 2^32, not 1");
+        assert_eq!(shl_i64(1, 63), i64::MIN);
+        assert_eq!(shl_i64(1, 64), 1, "64 reduces to 0: identity");
+        assert_eq!(shl_i64(3, 65), 6, "65 reduces to 1");
+
+        assert_eq!(shr_i64(i64::MIN, 31), i64::MIN >> 31);
+        assert_eq!(shr_i64(i64::MIN, 32), i64::MIN >> 32);
+        assert_eq!(shr_i64(i64::MIN, 63), -1, "arithmetic: sign propagates");
+        assert_eq!(shr_i64(i64::MIN, 64), i64::MIN, "64 reduces to 0");
+    }
+
+    #[test]
+    fn negative_amounts_reduce_through_the_mask() {
+        assert_eq!(shift_amount(-1), 63);
+        assert_eq!(shl_i64(1, -1), i64::MIN);
+        assert_eq!(shr_i64(-2, -1), -1);
+    }
+
+    #[test]
+    fn shr_is_arithmetic_not_logical() {
+        assert_eq!(shr_i64(-8, 1), -4);
+        assert_eq!(shr_i64(-1, 40), -1);
+    }
+}

@@ -14,6 +14,7 @@
 //! `perf_taint::Session`'s static artifacts, the bench scenario cache, the
 //! analysis service) automatically shares the decoded program too.
 
+use crate::decode::passes::PassStats;
 use crate::decode::DecodedModule;
 use pt_analysis::dom::{DomTree, PostDomTree};
 use pt_analysis::loops::{LoopForest, LoopId};
@@ -107,11 +108,17 @@ impl PreparedFunction {
 /// Static facts for every function of a module, plus the decoded program.
 pub struct PreparedModule {
     pub functions: Vec<PreparedFunction>,
-    /// The flat bytecode the interpreter's hot loop executes.
+    /// The flat bytecode the interpreter's hot loop executes: decoded,
+    /// superinstruction-fused, and register-allocated (frame sizes in
+    /// each [`crate::decode::DecodedFunction::nregs`] reflect the
+    /// allocated register pressure, not the instruction count).
     pub decoded: DecodedModule,
-    /// Wall seconds the decode stage took (reported by the
-    /// `taint_throughput` bench scenario; *not* part of any deterministic
-    /// summary).
+    /// What the post-decode pass pipeline ([`crate::decode::passes`]) did:
+    /// fused pair counts and frame registers before/after allocation.
+    pub pass_stats: PassStats,
+    /// Wall seconds the decode stage (including the pass pipeline) took
+    /// (reported by the `taint_throughput` bench scenario; *not* part of
+    /// any deterministic summary).
     pub decode_seconds: f64,
 }
 
@@ -123,10 +130,21 @@ impl PreparedModule {
             .map(PreparedFunction::compute)
             .collect();
         let t0 = std::time::Instant::now();
-        let decoded = DecodedModule::decode(module, &functions);
+        let mut decoded = DecodedModule::decode(module, &functions);
+        // Register allocation (and the frame fast path it unlocks) is only
+        // sound when definitions dominate uses; malformed programs keep
+        // the naive frame so both engines observe identical zero-filled
+        // registers.
+        let ssa_clean: Vec<bool> = module
+            .functions
+            .iter()
+            .map(|f| pt_analysis::ssa_verify::verify_ssa(f).is_ok())
+            .collect();
+        let pass_stats = crate::decode::passes::optimize(&mut decoded, &ssa_clean);
         PreparedModule {
             functions,
             decoded,
+            pass_stats,
             decode_seconds: t0.elapsed().as_secs_f64(),
         }
     }

@@ -46,6 +46,58 @@ impl BranchRecord {
     }
 }
 
+/// Per-function, per-block visit flags, stored as one flat vector with a
+/// per-function offset table. The interpreter marks a block on every
+/// entry — the hottest record write of a run — so the layout is one
+/// bounds check and one store, with the function's base offset hoisted
+/// out of the block loop ([`BlockCoverage::offset`] + [`BlockCoverage::set`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BlockCoverage {
+    flags: Vec<bool>,
+    /// `offsets[f]..offsets[f + 1]` is function `f`'s slice of `flags`.
+    offsets: Vec<u32>,
+}
+
+impl BlockCoverage {
+    pub fn new(blocks_per_func: &[usize]) -> BlockCoverage {
+        let mut offsets = Vec::with_capacity(blocks_per_func.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &n in blocks_per_func {
+            total += n as u32;
+            offsets.push(total);
+        }
+        BlockCoverage {
+            flags: vec![false; total as usize],
+            offsets,
+        }
+    }
+
+    /// Base index of `func`'s flags (hoist out of hot loops, then [`Self::set`]).
+    #[inline]
+    pub fn offset(&self, func: FunctionId) -> usize {
+        self.offsets[func.index()] as usize
+    }
+
+    /// Mark the flat index `offset(func) + block.index()` visited.
+    #[inline]
+    pub fn set(&mut self, flat: usize) {
+        self.flags[flat] = true;
+    }
+
+    /// Mark `block` of `func` visited (cold-path convenience).
+    #[inline]
+    pub fn mark(&mut self, func: FunctionId, block: BlockId) {
+        let base = self.offset(func);
+        self.set(base + block.index());
+    }
+
+    /// The visit flags of `func`, indexed by block.
+    pub fn func(&self, func: FunctionId) -> &[bool] {
+        &self.flags[self.offsets[func.index()] as usize..self.offsets[func.index() + 1] as usize]
+    }
+}
+
 /// All records produced by a taint run.
 #[derive(Debug, Default)]
 pub struct TaintRecords {
@@ -59,18 +111,19 @@ pub struct TaintRecords {
     /// Table 2: "Pruned Dynamically").
     pub executed: Vec<bool>,
     /// Per function, per block: executed? (never-visited code, §4.4).
-    pub visited_blocks: Vec<Vec<bool>>,
+    pub visited_blocks: BlockCoverage,
     pub paths: CallPathTable,
 }
 
 impl TaintRecords {
     pub fn new(nfuncs: usize, blocks_per_func: &[usize]) -> TaintRecords {
+        debug_assert_eq!(nfuncs, blocks_per_func.len());
         TaintRecords {
             loops: BTreeMap::new(),
             branches: BTreeMap::new(),
             extern_args: BTreeMap::new(),
             executed: vec![false; nfuncs],
-            visited_blocks: blocks_per_func.iter().map(|&n| vec![false; n]).collect(),
+            visited_blocks: BlockCoverage::new(blocks_per_func),
             paths: CallPathTable::new(),
         }
     }

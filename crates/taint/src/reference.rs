@@ -150,6 +150,17 @@ impl<'m, H: ExternalHandler> ReferenceInterpreter<'m, H> {
         inherited_ctx: Label,
     ) -> Result<(Option<TVal>, f64), InterpError> {
         let func = self.module.function(fid);
+        // A missing argument is a defined error, checked at frame setup in
+        // both engines (historically this engine panicked when the missing
+        // parameter was *read*; the decoded engine read an untainted zero —
+        // the differential contract now covers the case instead).
+        if args.len() < func.params.len() {
+            return Err(InterpError::ArityMismatch {
+                func: func.name.clone(),
+                expected: func.params.len(),
+                got: args.len(),
+            });
+        }
         let prep = self.prepared.func(fid);
         let path = self.records.paths.intern(parent, fid);
         self.records.executed[fid.index()] = true;
@@ -179,7 +190,7 @@ impl<'m, H: ExternalHandler> ReferenceInterpreter<'m, H> {
 
         'blocks: loop {
             if self.config.coverage {
-                self.records.visited_blocks[fid.index()][block.index()] = true;
+                self.records.visited_blocks.mark(fid, block);
             }
             let cur_ctx = |ctl: &[CtlScope]| ctl.last().map_or(base_ctx, |s| s.label);
 
@@ -449,8 +460,8 @@ impl<'m, H: ExternalHandler> ReferenceInterpreter<'m, H> {
                         BinOp::And => x & y,
                         BinOp::Or => x | y,
                         BinOp::Xor => x ^ y,
-                        BinOp::Shl => x.wrapping_shl(y as u32 & 63),
-                        BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+                        BinOp::Shl => crate::ops::shl_i64(x, y),
+                        BinOp::Shr => crate::ops::shr_i64(x, y),
                         BinOp::Min => x.min(y),
                         BinOp::Max => x.max(y),
                     };

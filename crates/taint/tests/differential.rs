@@ -444,6 +444,145 @@ fn wide_external_calls_match_reference() {
     );
 }
 
+/// Entering a function with fewer arguments than parameters is a defined
+/// error in both engines (PR 4 shipped this as a documented divergence:
+/// the reference panicked on the read, the decoded engine yielded an
+/// untainted zero — both now fail identically at frame setup).
+#[test]
+fn missing_arguments_fail_identically() {
+    let mut b = FunctionBuilder::new("main", vec![("n".into(), Type::I64)], Type::I64);
+    let v = b.add(b.param(0), Value::int(1));
+    b.ret(Some(v));
+    let mut m = Module::new("missing-arg");
+    m.add_function(b.finish());
+    // `run_named("main", &[])` passes no arguments to a unary function.
+    let err = assert_identical_failure(&m, vec![], InterpConfig::default());
+    assert!(
+        matches!(
+            err,
+            InterpError::ArityMismatch {
+                expected: 1,
+                got: 0,
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+}
+
+/// Shift semantics are defined in one shared helper (`pt_taint::ops`):
+/// amounts reduced modulo 64 over the sole 64-bit integer domain, `shr`
+/// arithmetic. Locked in differentially at the boundary amounts.
+#[test]
+fn shift_amounts_match_reference() {
+    for amount in [31i64, 32, 63, 64] {
+        let mut b = tainted_main(Type::I64);
+        let n = b.call_external("pt_param_i64", vec![Value::int(0)], Type::I64);
+        let shl = b.bin(BinOp::Shl, n, Value::int(amount));
+        let shr = b.bin(BinOp::Shr, shl, Value::int(amount));
+        let neg = b.sub(Value::int(0), n);
+        let sar = b.bin(BinOp::Shr, neg, Value::int(amount));
+        let out = b.add(shr, sar);
+        b.ret(Some(out));
+        let mut m = Module::new("shifts");
+        m.add_function(b.finish());
+        let out = assert_identical(&m, vec![("n".into(), 3)], InterpConfig::default());
+        let expect = pt_taint::ops::shr_i64(pt_taint::ops::shl_i64(3, amount), amount)
+            + pt_taint::ops::shr_i64(-3, amount);
+        assert_eq!(out.ret.unwrap().as_i64(), expect, "amount {amount}");
+    }
+}
+
+/// Array accesses with a tainted index exercise the fused `gep+load` /
+/// `gep+store` superinstructions under every control-flow policy — the
+/// pointer-label combining and control-context unions must happen in the
+/// reference engine's exact order.
+#[test]
+fn fused_indexed_memory_matches_reference() {
+    for policy in [
+        CtlFlowPolicy::All,
+        CtlFlowPolicy::StoresOnly,
+        CtlFlowPolicy::Off,
+    ] {
+        let mut b = tainted_main(Type::I64);
+        let n = b.call_external("pt_param_i64", vec![Value::int(0)], Type::I64);
+        let buf = b.alloca(8i64);
+        let idx = b.bin(BinOp::And, n, Value::int(3));
+        // Store through a tainted index under a tainted branch, then load
+        // it back: gep+store and gep+load both fuse.
+        let cond = b.cmp(CmpPred::Gt, n, Value::int(0));
+        b.if_then(cond, |b| {
+            let a1 = b.gep(buf, idx, 1);
+            b.store(a1, n);
+        });
+        let a2 = b.gep(buf, idx, 1);
+        let v = b.load(a2, Type::I64);
+        b.ret(Some(v));
+        let mut m = Module::new("fused-mem");
+        m.add_function(b.finish());
+        let config = InterpConfig {
+            policy,
+            ..Default::default()
+        };
+        let out = assert_identical(&m, vec![("n".into(), 6)], config);
+        assert_eq!(out.ret.unwrap().as_i64(), 6);
+    }
+}
+
+/// A hot leaf call (single-block, call-free accessor) is flattened into a
+/// `CallInlined` superinstruction — its per-call profile entries, path
+/// interning, executed marks, and fuel boundaries must stay bit-identical
+/// to the reference's real frames.
+#[test]
+fn inlined_leaf_calls_match_reference() {
+    let mut m = Module::new("leaf-inline");
+    // leaf(x): single block, pure arithmetic — inlinable.
+    let mut b = FunctionBuilder::new("leaf", vec![("x".into(), Type::I64)], Type::I64);
+    let t = b.mul(b.param(0), Value::int(3));
+    let r = b.add(t, Value::int(1));
+    b.ret(Some(r));
+    let leaf = m.add_function(b.finish());
+
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+    let n = b.call_external("pt_param_i64", vec![Value::int(0)], Type::I64);
+    let acc = b.alloca(1i64);
+    b.store(acc, Value::int(0));
+    b.for_loop(0i64, n, 1i64, |b, iv| {
+        let leafv = b.call(leaf, vec![iv], Type::I64);
+        let cur = b.load(acc, Type::I64);
+        let nxt = b.add(cur, leafv);
+        b.store(acc, nxt);
+    });
+    let out = b.load(acc, Type::I64);
+    b.ret(Some(out));
+    m.add_function(b.finish());
+
+    // The pass must actually fire for this shape.
+    let prepared = PreparedModule::compute(&m);
+    assert!(prepared.pass_stats.inlined_calls >= 1, "leaf call inlined");
+
+    // Fuel swept across the inlined body so exhaustion lands on the same
+    // instruction boundary inside the flattened call.
+    for fuel in [u64::MAX, 0, 3, 5, 8, 13, 21] {
+        let config = InterpConfig {
+            fuel,
+            ..Default::default()
+        };
+        let (decoded, legacy) = run_both(&m, vec![("n".into(), 5)], config);
+        compare_results(&decoded, &legacy).unwrap_or_else(|e| panic!("fuel {fuel}: {e}"));
+    }
+    let out = assert_identical(&m, vec![("n".into(), 5)], InterpConfig::default());
+    assert_eq!(
+        out.ret.unwrap().as_i64(),
+        (0..5).map(|i| 3 * i + 1).sum::<i64>()
+    );
+    // The leaf still gets its own per-context profile entry.
+    assert!(
+        out.profile.by_function().keys().any(|fid| *fid == leaf),
+        "leaf profiled despite inlining"
+    );
+}
+
 #[test]
 fn unreachable_traps_identically() {
     let mut b = tainted_main(Type::Void);
