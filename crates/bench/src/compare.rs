@@ -46,8 +46,10 @@ impl Tolerance {
 /// baseline regenerated after a metric silently vanished would otherwise
 /// let the gate pass with nothing to compare — silence must never read
 /// as health.
-pub const REQUIRED_GATE_METRICS: &[(&str, &str)] =
-    &[("taint_throughput", "wall_ratio_decoded_over_legacy")];
+pub const REQUIRED_GATE_METRICS: &[(&str, &str)] = &[
+    ("taint_throughput", "wall_ratio_decoded_over_legacy"),
+    ("serve_saturation", "saturated_p99_wall_seconds"),
+];
 
 /// Gate thresholds. Defaults: deterministic metrics move ≤10% (or 1e-9
 /// absolute — exact-count metrics like violation tallies effectively gate
@@ -187,8 +189,13 @@ pub fn compare_reports(
             // scenario wall time, so they share its loose tolerance.
             // `wall_ratio_*` metrics are quotients of two wall timings
             // (the engine-speedup gate): machine-speed-independent but
-            // still timing-derived, so they get the loose tolerance too.
-            let cfg = if metric.ends_with("_wall_seconds") || metric.starts_with("wall_ratio_") {
+            // still timing-derived, so they get the loose tolerance too,
+            // as do `*_shed_fraction` metrics (how much load a saturated
+            // server sheds depends on machine-speed race outcomes).
+            let cfg = if metric.ends_with("_wall_seconds")
+                || metric.starts_with("wall_ratio_")
+                || metric.ends_with("_shed_fraction")
+            {
                 &cfg.wall
             } else {
                 &cfg.metric
@@ -381,6 +388,19 @@ mod tests {
     }
 
     #[test]
+    fn shed_fraction_metrics_use_the_loose_tolerance() {
+        let old = report(vec![record("s", 1.0, &[("saturated_shed_fraction", 0.40)])]);
+        // +30%: timing-derived, forgiven (also under the 0.25 absolute floor).
+        let cmp = compare_reports(
+            &old,
+            &report(vec![record("s", 1.0, &[("saturated_shed_fraction", 0.52)])]),
+            &CompareConfig::default(),
+        )
+        .unwrap();
+        assert!(!cmp.has_regressions());
+    }
+
+    #[test]
     fn wall_time_uses_the_loose_tolerance() {
         let old = report(vec![record("s", 1.0, &[])]);
         // +30% wall: inside the 50% tolerance — noise, not regression.
@@ -444,7 +464,7 @@ mod tests {
         assert!(cmp.regressions[0].contains("required gate metric"));
         assert!(cmp.regressions[0].contains("wall_ratio_decoded_over_legacy"));
 
-        // Present (and Ok) in the new report: satisfied.
+        // All gate metrics present (and Ok) in the new report: satisfied.
         let ok = report(vec![
             record("other", 1.0, &[("cost", 1.0)]),
             record(
@@ -452,9 +472,26 @@ mod tests {
                 1.0,
                 &[("wall_ratio_decoded_over_legacy", 0.4)],
             ),
+            record(
+                "serve_saturation",
+                1.0,
+                &[("saturated_p99_wall_seconds", 0.2)],
+            ),
         ]);
         let cmp = compare_reports(&old, &ok, &CompareConfig::ci_gate()).unwrap();
         assert!(!cmp.has_regressions());
+
+        // One of several gate metrics missing still fails.
+        let partial = report(vec![record(
+            "taint_throughput",
+            1.0,
+            &[("wall_ratio_decoded_over_legacy", 0.4)],
+        )]);
+        let cmp = compare_reports(&old, &partial, &CompareConfig::ci_gate()).unwrap();
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|m| m.contains("saturated_p99_wall_seconds")));
 
         // Scenario present but failing: the metric is not trustworthy.
         let mut failing = record(

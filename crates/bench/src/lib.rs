@@ -18,10 +18,11 @@
 //! | `c2_experiment_validation` | §C2 (qualitative-change detection) |
 //! | `ablation_ctlflow` | ablation: control-flow taint policies |
 //! | `serve_throughput` | pt-serve service: warm/cold latency, requests/sec |
+//! | `serve_saturation` | pt-serve under overload: latency/goodput/shed sweep |
 //!
 //! The per-artifact binaries under `src/bin/` are thin wrappers over the
-//! registry (`serve_throughput` is registry-only — it benches the service
-//! layer, not a paper artifact). `bench_all` runs any tag/name selection in one process and
+//! registry (`serve_throughput` and `serve_saturation` are registry-only —
+//! they bench the service layer, not a paper artifact). `bench_all` runs any tag/name selection in one process and
 //! writes a schema-versioned `BENCH_<git-sha>.json`; `bench_compare` diffs
 //! two such reports under per-metric tolerances ([`compare`]) and exits
 //! non-zero on regression — the CI perf gate. See `crates/bench/README.md`

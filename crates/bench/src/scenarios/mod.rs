@@ -30,6 +30,7 @@ mod c2_experiment_validation;
 mod fig3_overhead_lulesh;
 mod fig4_overhead_milc;
 mod fig5_contention;
+mod serve_saturation;
 mod serve_throughput;
 mod table1_config;
 mod table2_overview;
@@ -234,6 +235,7 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &c2_experiment_validation::C2ExperimentValidation,
         &ablation_ctlflow::AblationCtlflow,
         &serve_throughput::ServeThroughput,
+        &serve_saturation::ServeSaturation,
         &taint_throughput::TaintThroughput,
     ]
 }
@@ -277,8 +279,8 @@ mod tests {
         let mut names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
         let total = names.len();
         assert_eq!(
-            total, 14,
-            "all 12 paper artifacts plus the service and engine scenarios are registered"
+            total, 15,
+            "all 12 paper artifacts plus the service, saturation, and engine scenarios are registered"
         );
         names.sort();
         names.dedup();

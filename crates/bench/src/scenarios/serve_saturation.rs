@@ -1,0 +1,250 @@
+//! `serve_saturation` — pt-serve's graceful-degradation envelope.
+//!
+//! Stands a deliberately small server up (2 workers, 2 queue slots,
+//! shedding enabled) and sweeps offered load from parity to several times
+//! capacity, with every request a *cold* taint run (unique parameter
+//! value) over a fresh connection. At each level the scenario reports the
+//! accepted requests' latency distribution (p50/p99/p999), the goodput,
+//! and the shed fraction; the gate metrics come from the most saturated
+//! level — the admission-control contract is that accepted-request tail
+//! latency stays bounded by the queue, not by the offered load, while the
+//! overflow is answered immediately with `overloaded` + `retry_after_ms`.
+
+use super::{outln, Scenario, ScenarioCtx, ScenarioResult};
+use perf_taint::PtError;
+use pt_server::{Client, Server, ServerConfig};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+const WORKERS: usize = 2;
+const QUEUE: usize = 2;
+const RETRY_AFTER_MS: u64 = 10;
+
+pub struct ServeSaturation;
+
+impl Scenario for ServeSaturation {
+    fn name(&self) -> &'static str {
+        "serve_saturation"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["service", "infra", "saturation", "ops"]
+    }
+
+    fn summary(&self) -> &'static str {
+        "pt-serve under overload: offered-load sweep vs latency, goodput, and shed rate"
+    }
+
+    fn run(&self, cx: &ScenarioCtx) -> Result<ScenarioResult, PtError> {
+        let mut r = ScenarioResult::new();
+        let io_err = |what: &str, e: &dyn std::fmt::Display| {
+            PtError::Config(format!("serve_saturation: {what}: {e}"))
+        };
+
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let store_dir = std::env::temp_dir().join(format!(
+            "pt-saturation-bench-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&store_dir);
+
+        let config = ServerConfig {
+            workers: WORKERS,
+            queue_capacity: QUEUE,
+            shed: true,
+            retry_after_ms: RETRY_AFTER_MS,
+            ..ServerConfig::loopback(&store_dir, WORKERS)
+        };
+        let server = Server::bind(&config).map_err(|e| io_err("cannot bind", &e))?;
+        let addr = server
+            .local_addr()
+            .map_err(|e| io_err("cannot read bound address", &e))?;
+        let server_thread = std::thread::spawn(move || server.run());
+
+        let outcome = drive(&mut r, addr, cx.quick);
+
+        // Shut down exactly like serve_throughput: retry briefly, join only
+        // after a successful shutdown (never hang the bench on a wedged
+        // server). In shed mode the shutdown request itself can be shed
+        // while the storm drains — the retry loop absorbs that too.
+        let mut shutdown = Err("never attempted".to_string());
+        for _ in 0..20 {
+            shutdown = Client::connect(addr)
+                .map_err(|e| e.to_string())
+                .and_then(|mut c| c.shutdown().map(|_| ()).map_err(|e| e.to_string()));
+            if shutdown.is_ok() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        if shutdown.is_ok() {
+            let _ = server_thread.join();
+        }
+        let _ = std::fs::remove_dir_all(&store_dir);
+        outcome?;
+        shutdown.map_err(|e| io_err("shutdown failed", &e))?;
+        Ok(r)
+    }
+}
+
+struct LevelOutcome {
+    offered: usize,
+    ok: usize,
+    shed: usize,
+    wall: f64,
+    latencies: Vec<f64>,
+}
+
+/// Offer `threads × per_thread` cold requests over connection-per-request
+/// clients. A shed attempt counts as offered-but-not-served (no retry —
+/// the scenario measures degradation, not eventual completion); transport
+/// races with the shed-side close count as sheds too.
+fn drive_level(
+    addr: std::net::SocketAddr,
+    module: &str,
+    threads: usize,
+    per_thread: usize,
+    next_n: &AtomicI64,
+) -> Result<LevelOutcome, PtError> {
+    let ok = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    let failures = Mutex::new(Vec::<String>::new());
+    let latencies = Mutex::new(Vec::<f64>::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let (ok, shed, failures, latencies) = (&ok, &shed, &failures, &latencies);
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    let n = next_n.fetch_add(1, Ordering::Relaxed);
+                    let Ok(mut client) = Client::connect(addr) else {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    };
+                    let t0 = Instant::now();
+                    match client.taint_run(module, "main", &[("n".to_string(), n)]) {
+                        Ok(_) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            latencies.lock().unwrap().push(t0.elapsed().as_secs_f64());
+                        }
+                        Err(e) if e.remote_kind() == Some("overloaded") => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            let backoff = e.retry_after_ms().unwrap_or(RETRY_AFTER_MS);
+                            std::thread::sleep(std::time::Duration::from_millis(backoff));
+                        }
+                        Err(pt_server::ClientError::Remote { kind, message, .. }) => {
+                            failures.lock().unwrap().push(format!("[{kind}] {message}"));
+                        }
+                        Err(_) => {
+                            // Raced the shed-side close (envelope write
+                            // timed out or the read saw EOF).
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let failures = failures.into_inner().unwrap();
+    if !failures.is_empty() {
+        return Err(PtError::Config(format!(
+            "serve_saturation: {} request(s) failed; first: {}",
+            failures.len(),
+            failures[0]
+        )));
+    }
+    Ok(LevelOutcome {
+        offered: threads * per_thread,
+        ok: ok.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        wall: started.elapsed().as_secs_f64(),
+        latencies: latencies.into_inner().unwrap(),
+    })
+}
+
+fn drive(r: &mut ScenarioResult, addr: std::net::SocketAddr, quick: bool) -> Result<(), PtError> {
+    let client_err =
+        |what: &str, e: &dyn std::fmt::Display| PtError::Config(format!("{what}: {e}"));
+    let mut client = Client::connect(addr).map_err(|e| client_err("connect", &e))?;
+    let module = client
+        .submit_module(&pt_server::demo_module_text())
+        .map_err(|e| client_err("submit_module", &e))?;
+
+    // Offered-load levels as multiples of the worker count; the top level
+    // is well past 2× capacity (workers + queue slots).
+    let levels: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
+    let per_thread = if quick { 6 } else { 12 };
+    let next_n = AtomicI64::new(2_000);
+
+    outln!(
+        r,
+        "pt-serve saturation (loopback {addr}; {WORKERS} workers, queue {QUEUE}, \
+         shed on, retry-after {RETRY_AFTER_MS} ms)"
+    );
+    outln!(
+        r,
+        "  {:>7} {:>8} {:>6} {:>6} {:>7} {:>9} {:>9} {:>9} {:>10}",
+        "offered",
+        "clients",
+        "ok",
+        "shed",
+        "shed%",
+        "p50 ms",
+        "p99 ms",
+        "p999 ms",
+        "goodput/s"
+    );
+
+    let mut top: Option<LevelOutcome> = None;
+    for &mult in levels {
+        let threads = WORKERS * mult;
+        let outcome = drive_level(addr, &module, threads, per_thread, &next_n)?;
+        let q = |q: f64| pt_util::metrics::exact_quantile_seconds(&outcome.latencies, q);
+        outln!(
+            r,
+            "  {:>6}x {:>8} {:>6} {:>6} {:>6.1}% {:>9.2} {:>9.2} {:>9.2} {:>10.1}",
+            mult,
+            threads,
+            outcome.ok,
+            outcome.shed,
+            100.0 * outcome.shed as f64 / outcome.offered.max(1) as f64,
+            1e3 * q(0.50),
+            1e3 * q(0.99),
+            1e3 * q(0.999),
+            outcome.ok as f64 / outcome.wall.max(1e-9)
+        );
+        top = Some(outcome);
+    }
+
+    // Gate metrics come from the most saturated level (lower is better for
+    // all of them; shed fraction and wall-derived numbers get the loose
+    // timing tolerance in bench_compare).
+    let top = top.expect("at least one load level");
+    if top.ok == 0 {
+        return Err(PtError::Config(
+            "serve_saturation: saturated level served nothing — admission control is starving"
+                .into(),
+        ));
+    }
+    let q = |q: f64| pt_util::metrics::exact_quantile_seconds(&top.latencies, q);
+    r.metric("saturated_p50_wall_seconds", q(0.50));
+    r.metric("saturated_p99_wall_seconds", q(0.99));
+    r.metric("saturated_p999_wall_seconds", q(0.999));
+    r.metric("saturated_per_ok_wall_seconds", top.wall / top.ok as f64);
+    r.metric(
+        "saturated_shed_fraction",
+        top.shed as f64 / top.offered.max(1) as f64,
+    );
+    outln!(r);
+    outln!(
+        r,
+        "  saturated level: {} offered, {} served, {} shed — accepted p99 {:.2} ms",
+        top.offered,
+        top.ok,
+        top.shed,
+        1e3 * q(0.99)
+    );
+    Ok(())
+}

@@ -1,25 +1,38 @@
 //! `pt-client` — drive a running pt-server from the command line.
 //!
 //! ```text
-//! pt-client [--addr HOST:PORT] demo
-//! pt-client [--addr HOST:PORT] submit <module.ptir | ->
-//! pt-client [--addr HOST:PORT] static <module-hash> <entry>
-//! pt-client [--addr HOST:PORT] run <module-hash> <entry> [name=value...]
-//! pt-client [--addr HOST:PORT] batch <module-hash> <entry> <set> [set...]
-//! pt-client [--addr HOST:PORT] fit <request.json | ->
-//! pt-client [--addr HOST:PORT] stats
-//! pt-client [--addr HOST:PORT] shutdown
+//! pt-client [--addr HOST:PORT] [--repeat N] [--concurrency K] <command>
+//!
+//! pt-client demo
+//! pt-client submit <module.ptir | ->
+//! pt-client static <module-hash> <entry>
+//! pt-client run <module-hash> <entry> [name=value...]
+//! pt-client batch <module-hash> <entry> <set> [set...]
+//! pt-client fit <request.json | ->
+//! pt-client stats
+//! pt-client metrics
+//! pt-client shutdown
 //! ```
 //!
 //! `demo` needs no server: it prints the canonical demo module's IR text
 //! (pipe it to a file, then `submit` it). A batch `set` is a comma-joined
 //! parameter list (`n=8,p=4`). `fit` reads a JSON document with the
 //! `fit_model` request parameters. Results print as pretty JSON.
+//!
+//! `--repeat N` issues the same request N times; `--concurrency K` spreads
+//! those requests over K connections on K threads (a minimal load
+//! generator for saturation experiments). In load mode the output is a
+//! JSON summary — ok/overloaded/error counts, wall time, and exact
+//! p50/p99/p999 latency over the successful requests — instead of N
+//! response bodies. `demo` and `shutdown` refuse load mode.
 
 use pt_server::{Client, ClientError};
 use serde::json::Value;
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7421";
 
@@ -50,17 +63,127 @@ fn parse_params(args: &[String]) -> Result<Vec<(String, i64)>, String> {
         .collect()
 }
 
+/// Parameter pairs as an order-preserving JSON object.
+fn params_object(params: &[(String, i64)]) -> Value {
+    Value::Obj(
+        params
+            .iter()
+            .map(|(n, v)| (n.clone(), Value::int(*v)))
+            .collect(),
+    )
+}
+
+/// Issue `(method, params)` `total` times over `concurrency` connections
+/// and summarize. Overloaded sheds are first-class outcomes (counted, and
+/// the hinted backoff is honored before the thread reconnects), not
+/// failures of the harness.
+fn run_load(
+    addr: &str,
+    method: &str,
+    params: &Value,
+    total: usize,
+    concurrency: usize,
+) -> Result<Value, String> {
+    let next = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let overloaded = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(total));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency.max(1).min(total.max(1)) {
+            scope.spawn(|| {
+                let mut conn: Option<Client> = None;
+                loop {
+                    if next.fetch_add(1, Ordering::Relaxed) >= total {
+                        break;
+                    }
+                    let client = match conn.take().map(Ok).unwrap_or_else(|| Client::connect(addr))
+                    {
+                        Ok(c) => conn.insert(c),
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    let t0 = Instant::now();
+                    match client.request(method, params.clone()) {
+                        Ok(_) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            latencies.lock().unwrap().push(t0.elapsed().as_secs_f64());
+                        }
+                        Err(e) if e.remote_kind() == Some("overloaded") => {
+                            overloaded.fetch_add(1, Ordering::Relaxed);
+                            // The server closed the shed connection; back
+                            // off as hinted, then reconnect on next loop.
+                            conn = None;
+                            let backoff = e.retry_after_ms().unwrap_or(50).min(1_000);
+                            std::thread::sleep(std::time::Duration::from_millis(backoff));
+                        }
+                        Err(ClientError::Remote { .. }) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // Transport/protocol failure: the connection is
+                            // suspect, rebuild it.
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            conn = None;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let latencies = latencies.into_inner().unwrap();
+    let q = |q: f64| pt_util::metrics::exact_quantile_seconds(&latencies, q) * 1e3;
+    Ok(Value::obj(vec![
+        ("method", Value::str(method)),
+        ("requests", Value::int(total as i64)),
+        ("ok", Value::int(ok.load(Ordering::Relaxed) as i64)),
+        (
+            "overloaded",
+            Value::int(overloaded.load(Ordering::Relaxed) as i64),
+        ),
+        ("errors", Value::int(errors.load(Ordering::Relaxed) as i64)),
+        ("wall_seconds", Value::Num(wall)),
+        (
+            "requests_per_second",
+            Value::Num(if wall > 0.0 { total as f64 / wall } else { 0.0 }),
+        ),
+        ("p50_ms", Value::Num(q(0.50))),
+        ("p99_ms", Value::Num(q(0.99))),
+        ("p999_ms", Value::Num(q(0.999))),
+    ]))
+}
+
 fn run() -> Result<(), String> {
     let mut addr = DEFAULT_ADDR.to_string();
+    let mut repeat: usize = 1;
+    let mut concurrency: usize = 1;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next().ok_or("--addr requires a value")?,
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--repeat requires a positive integer")?
+            }
+            "--concurrency" => {
+                concurrency = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--concurrency requires a positive integer")?
+            }
             "--help" | "-h" => {
                 println!(
-                    "pt-client [--addr HOST:PORT] \
-                     <demo|submit|static|run|batch|fit|stats|shutdown> [args...]"
+                    "pt-client [--addr HOST:PORT] [--repeat N] [--concurrency K] \
+                     <demo|submit|static|run|batch|fit|stats|metrics|shutdown> [args...]"
                 );
                 return Ok(());
             }
@@ -77,48 +200,78 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    let mut client =
-        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let show = |result: Result<Value, ClientError>| -> Result<(), String> {
-        let value = result.map_err(|e| e.to_string())?;
-        print!("{}", value.render_pretty());
-        Ok(())
-    };
-
-    match (command.as_str(), args) {
+    // Every remote command reduces to one (method, params) pair, which is
+    // what makes --repeat/--concurrency uniform across them.
+    let (method, params): (&str, Value) = match (command.as_str(), args) {
         ("submit", [path]) => {
             let text = read_input(path)?;
-            show(client.request(
+            (
                 "submit_module",
                 Value::obj(vec![("text", Value::str(text))]),
-            ))
+            )
         }
-        ("static", [module, entry]) => show(client.static_analysis(module, entry)),
-        ("run", [module, entry, params @ ..]) => {
-            show(client.taint_run(module, entry, &parse_params(params)?))
-        }
+        ("static", [module, entry]) => (
+            "static_analysis",
+            Value::obj(vec![
+                ("module", Value::str(module)),
+                ("entry", Value::str(entry)),
+            ]),
+        ),
+        ("run", [module, entry, params @ ..]) => (
+            "taint_run",
+            Value::obj(vec![
+                ("module", Value::str(module)),
+                ("entry", Value::str(entry)),
+                ("params", params_object(&parse_params(params)?)),
+            ]),
+        ),
         ("batch", [module, entry, sets @ ..]) if !sets.is_empty() => {
             let param_sets = sets
                 .iter()
                 .map(|set| {
                     let parts: Vec<String> = set.split(',').map(|s| s.trim().to_string()).collect();
-                    parse_params(&parts)
+                    parse_params(&parts).map(|p| params_object(&p))
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            show(client.analyze_batch(module, entry, &param_sets))
+            (
+                "analyze_batch",
+                Value::obj(vec![
+                    ("module", Value::str(module)),
+                    ("entry", Value::str(entry)),
+                    ("param_sets", Value::Arr(param_sets)),
+                ]),
+            )
         }
         ("fit", [path]) => {
             let text = read_input(path)?;
             let params =
                 Value::parse(&text).map_err(|e| format!("fit request is not JSON: {e}"))?;
-            show(client.request("fit_model", params))
+            ("fit_model", params)
         }
-        ("stats", []) => show(client.stats()),
-        ("shutdown", []) => show(client.shutdown()),
-        (other, _) => Err(format!(
-            "unknown command or wrong arguments: '{other}' (see --help)"
-        )),
+        ("stats", []) => ("stats", Value::Obj(Vec::new())),
+        ("metrics", []) => ("metrics", Value::Obj(Vec::new())),
+        ("shutdown", []) => ("shutdown", Value::Obj(Vec::new())),
+        (other, _) => {
+            return Err(format!(
+                "unknown command or wrong arguments: '{other}' (see --help)"
+            ))
+        }
+    };
+
+    if repeat > 1 || concurrency > 1 {
+        if method == "shutdown" {
+            return Err("shutdown does not combine with --repeat/--concurrency".into());
+        }
+        let summary = run_load(&addr, method, &params, repeat, concurrency)?;
+        print!("{}", summary.render_pretty());
+        return Ok(());
     }
+
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let value = client.request(method, params).map_err(|e| e.to_string())?;
+    print!("{}", value.render_pretty());
+    Ok(())
 }
 
 fn main() -> ExitCode {

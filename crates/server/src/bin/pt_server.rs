@@ -3,7 +3,13 @@
 //! ```text
 //! pt-server [--addr HOST:PORT] [--store DIR] [--workers N] [--queue N]
 //!           [--idle-timeout SECS] [--max-requests N]
+//!           [--shed] [--retry-after-ms N] [--store-budget-bytes N]
 //! ```
+//!
+//! `--max-queue` is an alias of `--queue` (the admission-control reading
+//! of the same bound). `--shed` turns blocking backpressure into
+//! shed-with-`overloaded`; `--store-budget-bytes` caps the artifact store
+//! with LRU eviction.
 //!
 //! Prints exactly one `pt-server listening on <addr>` line to stdout once
 //! the socket is bound (scripts parse this to learn an ephemeral port),
@@ -24,6 +30,9 @@ fn main() -> ExitCode {
         queue_capacity: 64,
         idle_timeout: None,
         max_requests_per_connection: None,
+        shed: false,
+        retry_after_ms: 100,
+        store_budget_bytes: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,10 +48,24 @@ fn main() -> ExitCode {
                     .map(|n: usize| config.workers = n.max(1))
                     .map_err(|_| "--workers requires an integer".to_string())
             }),
-            "--queue" => take("--queue").and_then(|v| {
+            "--queue" | "--max-queue" => take(&arg).and_then(|v| {
                 v.parse()
                     .map(|n: usize| config.queue_capacity = n.max(1))
-                    .map_err(|_| "--queue requires an integer".to_string())
+                    .map_err(|_| format!("{arg} requires an integer"))
+            }),
+            "--shed" => {
+                config.shed = true;
+                Ok(())
+            }
+            "--retry-after-ms" => take("--retry-after-ms").and_then(|v| {
+                v.parse()
+                    .map(|n: u64| config.retry_after_ms = n)
+                    .map_err(|_| "--retry-after-ms requires an integer".to_string())
+            }),
+            "--store-budget-bytes" => take("--store-budget-bytes").and_then(|v| {
+                v.parse()
+                    .map(|n: u64| config.store_budget_bytes = Some(n))
+                    .map_err(|_| "--store-budget-bytes requires an integer".to_string())
             }),
             "--idle-timeout" => take("--idle-timeout").and_then(|v| {
                 // try_from_secs_f64 also rejects NaN and values that
@@ -70,7 +93,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "pt-server [--addr HOST:PORT] [--store DIR] [--workers N] [--queue N] \
-                     [--idle-timeout SECS] [--max-requests N]"
+                     [--idle-timeout SECS] [--max-requests N] [--shed] [--retry-after-ms N] \
+                     [--store-budget-bytes N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -100,10 +124,19 @@ fn main() -> ExitCode {
         }
     }
     eprintln!(
-        "pt-server: store {}, {} worker(s), queue {}",
+        "pt-server: store {}{}, {} worker(s), queue {}{}",
         config.store_dir.display(),
+        match config.store_budget_bytes {
+            Some(b) => format!(" (budget {b} B, LRU eviction)"),
+            None => String::new(),
+        },
         config.workers,
-        config.queue_capacity
+        config.queue_capacity,
+        if config.shed {
+            format!(" (shed, retry-after {} ms)", config.retry_after_ms)
+        } else {
+            String::new()
+        }
     );
     if let Err(e) = server.run() {
         eprintln!("pt-server: serve loop failed: {e}");

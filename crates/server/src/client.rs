@@ -18,8 +18,13 @@ pub enum ClientError {
     Io(io::Error),
     /// The server's bytes were not a valid response envelope.
     Protocol(String),
-    /// The server answered with an error envelope.
-    Remote { kind: String, message: String },
+    /// The server answered with an error envelope. `retry_after_ms` is
+    /// populated for `overloaded` envelopes (the server's backoff hint).
+    Remote {
+        kind: String,
+        message: String,
+        retry_after_ms: Option<u64>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -27,7 +32,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
-            ClientError::Remote { kind, message } => write!(f, "server error [{kind}]: {message}"),
+            ClientError::Remote { kind, message, .. } => {
+                write!(f, "server error [{kind}]: {message}")
+            }
         }
     }
 }
@@ -45,6 +52,14 @@ impl ClientError {
     pub fn remote_kind(&self) -> Option<&str> {
         match self {
             ClientError::Remote { kind, .. } => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// The server's backoff hint, if this was an `overloaded` envelope.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ClientError::Remote { retry_after_ms, .. } => *retry_after_ms,
             _ => None,
         }
     }
@@ -94,10 +109,18 @@ impl Client {
                 )))
             }
         }
+        let ok = doc.get("ok").and_then(Value::as_bool);
         if doc.get("id").and_then(Value::as_u64) != Some(id) {
-            return Err(ClientError::Protocol("response id mismatch".into()));
+            // A null-id error envelope is legitimate: the server answered
+            // before reading a request (admission shed) or could not parse
+            // one. Surface it as the remote error it is; any other id is a
+            // protocol violation.
+            let id_is_null = matches!(doc.get("id"), Some(Value::Null));
+            if !(id_is_null && ok == Some(false)) {
+                return Err(ClientError::Protocol("response id mismatch".into()));
+            }
         }
-        match doc.get("ok").and_then(Value::as_bool) {
+        match ok {
             Some(true) => doc
                 .get("result")
                 .cloned()
@@ -115,6 +138,9 @@ impl Client {
                         .and_then(Value::as_str)
                         .unwrap_or("unknown error")
                         .to_string(),
+                    retry_after_ms: err
+                        .and_then(|e| e.get("retry_after_ms"))
+                        .and_then(Value::as_u64),
                 })
             }
             None => Err(ClientError::Protocol("response missing 'ok'".into())),
@@ -186,6 +212,11 @@ impl Client {
 
     pub fn stats(&mut self) -> Result<Value, ClientError> {
         self.request("stats", Value::Obj(Vec::new()))
+    }
+
+    /// The protocol-v1.1 observability readout (queue, methods, store).
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        self.request("metrics", Value::Obj(Vec::new()))
     }
 
     pub fn shutdown(&mut self) -> Result<Value, ClientError> {

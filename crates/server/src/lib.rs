@@ -14,26 +14,30 @@
 //!
 //! ```text
 //! acceptor ──▶ BoundedQueue<TcpStream> ──▶ N worker threads
-//!                (backpressure when full)     └─ per line: parse → dispatch
-//!                                                (catch_unwind; PtError →
-//!                                                 error envelope) → respond
+//!     │          (backpressure when full)     └─ per line: parse → dispatch
+//!     └─ shed mode: full queue answers           (catch_unwind; PtError →
+//!        `overloaded` + retry_after_ms            error envelope) → respond
 //! ```
 //!
 //! The request catalogue (`submit_module`, `static_analysis`, `taint_run`,
-//! `analyze_batch`, `fit_model`, `stats`, `shutdown`) lives in [`state`];
-//! the wire shapes are documented in `crates/server/README.md`.
+//! `analyze_batch`, `fit_model`, `stats`, `metrics`, `shutdown`) lives in
+//! [`state`]; production-operations concerns — per-method latency metrics,
+//! admission control, store eviction budgets — live in [`ops`] and
+//! [`store`]; the wire shapes are documented in `crates/server/README.md`.
 
 pub mod client;
+pub mod ops;
 pub mod protocol;
 pub mod state;
 pub mod store;
 
 pub use client::{Client, ClientError};
-pub use protocol::{ServeError, PROTOCOL_VERSION};
+pub use ops::AdmissionPolicy;
+pub use protocol::{ServeError, PROTOCOL_MINOR, PROTOCOL_VERSION};
 pub use state::ServerState;
 pub use store::{content_key, Namespace, Store, CONFIG_FINGERPRINT};
 
-use pt_util::BoundedQueue;
+use pt_util::{BoundedQueue, TryPushError};
 use serde::json::Value;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -62,6 +66,15 @@ pub struct ServerConfig {
     /// requests; the client reconnects (cheap) and the workers rotate
     /// fairly across chatty clients. `None` = unlimited.
     pub max_requests_per_connection: Option<u64>,
+    /// `true`: a full connection queue sheds new arrivals with an
+    /// `overloaded` envelope (protocol v1.1) instead of blocking the
+    /// accept loop. `false` (default): classic blocking backpressure.
+    pub shed: bool,
+    /// Backoff hint (milliseconds) carried in shed envelopes.
+    pub retry_after_ms: u64,
+    /// Size budget for the artifact store; when total object bytes exceed
+    /// it, the coldest objects are evicted (LRU). `None` = unbounded.
+    pub store_budget_bytes: Option<u64>,
 }
 
 impl ServerConfig {
@@ -75,6 +88,9 @@ impl ServerConfig {
             queue_capacity: 64,
             idle_timeout: None,
             max_requests_per_connection: None,
+            shed: false,
+            retry_after_ms: 100,
+            store_budget_bytes: None,
         }
     }
 }
@@ -90,10 +106,14 @@ impl Server {
     /// Bind the listener and open the store.
     pub fn bind(config: &ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let store = Store::open(&config.store_dir)?;
+        let store = Store::open(&config.store_dir)?.with_budget(config.store_budget_bytes);
         let state = Arc::new(
             ServerState::new(store, config.workers, config.queue_capacity)
-                .with_keepalive_limits(config.idle_timeout, config.max_requests_per_connection),
+                .with_keepalive_limits(config.idle_timeout, config.max_requests_per_connection)
+                .with_admission(AdmissionPolicy {
+                    shed: config.shed,
+                    retry_after_ms: config.retry_after_ms,
+                }),
         );
         Ok(Server { listener, state })
     }
@@ -135,19 +155,35 @@ impl Server {
                 let queue = &queue;
                 scope.spawn(move || {
                     while let Some(stream) = queue.pop() {
+                        state.ops().queue_depth.dec();
                         handle_connection(state, stream, nudge_addr);
                     }
                 });
             }
-            for incoming in self.listener.incoming() {
+            'accept: for incoming in self.listener.incoming() {
                 if state.stopping() {
                     break;
                 }
                 match incoming {
+                    Ok(stream) if state.admission.shed => {
+                        // Admission control: never block the accept path. A
+                        // full queue answers the newcomer immediately with
+                        // `overloaded` + retry_after_ms and moves on.
+                        match queue.try_push(stream) {
+                            Ok(()) => state.ops().queue_depth.inc(),
+                            Err(TryPushError::Full(stream)) => {
+                                state.ops().shed_total.inc();
+                                ops::shed_connection(stream, state.admission.retry_after_ms);
+                            }
+                            Err(TryPushError::Closed(_)) => break 'accept,
+                        }
+                    }
                     Ok(stream) => {
+                        // Classic backpressure: block until a slot frees.
                         if queue.push(stream).is_err() {
                             break;
                         }
+                        state.ops().queue_depth.inc();
                     }
                     // Transient accept failures (EMFILE, aborted handshake)
                     // should not kill the service.

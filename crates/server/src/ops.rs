@@ -1,0 +1,205 @@
+//! Production operations: observability and admission control.
+//!
+//! PR 3 made the pipeline a standing service; this module makes that
+//! service *operable*. [`Ops`] is the server's self-observation surface —
+//! uptime, queue depth, shed counts, and a per-method request counter +
+//! latency histogram (`pt_util::metrics`; lock-free, one atomic add per
+//! event) — read out by the protocol-v1.1 `metrics` method and, in
+//! abbreviated form, by `stats`. [`AdmissionPolicy`] is the overload
+//! stance: with shedding enabled, a full connection queue answers new
+//! arrivals *immediately* with an `overloaded` envelope carrying
+//! `retry_after_ms` instead of blocking the accept path — bounded latency
+//! for admitted work, an honest backoff signal for the rest.
+
+use crate::protocol::{self, ServeError};
+use pt_util::metrics::{Counter, Gauge, Histogram};
+use serde::json::Value;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Every method the dispatcher knows, plus the shared bucket for
+/// everything else. One fixed slot per name keeps metrics lookup
+/// lock-free and the cardinality bounded no matter what clients send.
+pub const METHODS: &[&str] = &[
+    "submit_module",
+    "static_analysis",
+    "taint_run",
+    "analyze_batch",
+    "fit_model",
+    "stats",
+    "metrics",
+    "shutdown",
+    "unknown",
+];
+
+/// How the server behaves when the connection queue is full.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// `true`: shed new connections with an `overloaded` envelope when the
+    /// queue is full. `false` (default): block the accept loop until a
+    /// slot frees — the pre-v1.1 backpressure behavior.
+    pub shed: bool,
+    /// Backoff hint carried in shed envelopes.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy {
+            shed: false,
+            retry_after_ms: 100,
+        }
+    }
+}
+
+/// Counters and latency histogram of one method.
+#[derive(Debug)]
+pub struct MethodMetrics {
+    /// Requests dispatched (counted before the handler runs, so a
+    /// panicking handler is still visible here).
+    pub calls: Counter,
+    /// Requests answered with an error envelope.
+    pub errors: Counter,
+    /// Handler latency (dispatch to response document, excluding network).
+    pub latency: Histogram,
+}
+
+impl MethodMetrics {
+    fn new() -> MethodMetrics {
+        MethodMetrics {
+            calls: Counter::new(),
+            errors: Counter::new(),
+            latency: Histogram::new(),
+        }
+    }
+}
+
+/// The server's operational self-observation state, shared by the
+/// acceptor, the worker pool, and the dispatch layer.
+pub struct Ops {
+    started: Instant,
+    /// Connections currently waiting in the admission queue.
+    pub queue_depth: Gauge,
+    /// Connections answered `overloaded` instead of being queued.
+    pub shed_total: Counter,
+    methods: Vec<(&'static str, MethodMetrics)>,
+}
+
+impl Ops {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Ops {
+        Ops {
+            started: Instant::now(),
+            queue_depth: Gauge::new(),
+            shed_total: Counter::new(),
+            methods: METHODS.iter().map(|&m| (m, MethodMetrics::new())).collect(),
+        }
+    }
+
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// The metrics slot for a method name; anything unrecognized shares
+    /// the bounded `unknown` slot.
+    pub fn method(&self, name: &str) -> &MethodMetrics {
+        self.methods
+            .iter()
+            .find(|(m, _)| *m == name)
+            .map(|(_, metrics)| metrics)
+            .unwrap_or_else(|| self.method("unknown"))
+    }
+
+    /// Per-method request counts (only methods that have been called), for
+    /// the `stats` summary.
+    pub fn method_counts(&self) -> Vec<(String, Value)> {
+        self.methods
+            .iter()
+            .filter(|(_, m)| m.calls.get() > 0)
+            .map(|(name, m)| (name.to_string(), Value::int(m.calls.get() as i64)))
+            .collect()
+    }
+
+    /// The `methods` object of the `metrics` response: per-method count,
+    /// error count, and latency histogram readout in milliseconds.
+    pub fn methods_json(&self) -> Value {
+        Value::Obj(
+            self.methods
+                .iter()
+                .filter(|(_, m)| m.calls.get() > 0)
+                .map(|(name, m)| {
+                    let snap = m.latency.snapshot();
+                    (
+                        name.to_string(),
+                        Value::obj(vec![
+                            ("count", Value::int(m.calls.get() as i64)),
+                            ("errors", Value::int(m.errors.get() as i64)),
+                            ("mean_ms", Value::Num(snap.mean_micros / 1e3)),
+                            ("p50_ms", Value::Num(snap.p50_micros as f64 / 1e3)),
+                            ("p99_ms", Value::Num(snap.p99_micros as f64 / 1e3)),
+                            ("p999_ms", Value::Num(snap.p999_micros as f64 / 1e3)),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Answer a connection the admission queue declined: one `overloaded`
+/// envelope (id `null` — the request was never read), then close. The
+/// write runs on the accept path, so it is strictly bounded: a client that
+/// won't take the bytes within the timeout forfeits its envelope — the
+/// acceptor never blocks on a shed connection.
+pub fn shed_connection(stream: TcpStream, retry_after_ms: u64) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let envelope =
+        protocol::error_response(&Value::Null, &ServeError::Overloaded { retry_after_ms });
+    let mut stream = stream;
+    let _ = stream
+        .write_all(envelope.render().as_bytes())
+        .and_then(|_| stream.write_all(b"\n"))
+        .and_then(|_| stream.flush());
+    // Dropping the stream closes the connection; the client reconnects
+    // after the hinted backoff.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_slots_cover_the_dispatch_table_and_bound_unknowns() {
+        let ops = Ops::new();
+        ops.method("taint_run").calls.inc();
+        ops.method("taint_run").calls.inc();
+        ops.method("nope").calls.inc();
+        ops.method("also-nope").calls.inc();
+        assert_eq!(ops.method("taint_run").calls.get(), 2);
+        // Arbitrary names share one bounded slot.
+        assert_eq!(ops.method("unknown").calls.get(), 2);
+        let counts = ops.method_counts();
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn methods_json_reports_latency_in_ms() {
+        let ops = Ops::new();
+        let m = ops.method("stats");
+        m.calls.inc();
+        m.latency.record_micros(2_000);
+        let json = ops.methods_json();
+        let stats = json.get("stats").expect("called methods are present");
+        assert_eq!(stats.get("count").and_then(Value::as_u64), Some(1));
+        assert_eq!(stats.get("p50_ms").and_then(Value::as_f64), Some(2.0));
+        assert!(json.get("taint_run").is_none(), "uncalled methods omitted");
+    }
+
+    #[test]
+    fn uptime_advances() {
+        let ops = Ops::new();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(ops.uptime_seconds() >= 0.004);
+    }
+}

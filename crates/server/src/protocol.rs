@@ -1,4 +1,4 @@
-//! The wire protocol: newline-delimited JSON, version 1.
+//! The wire protocol: newline-delimited JSON, version 1 (revision 1.1).
 //!
 //! One request per line, one response per line, both single JSON objects
 //! rendered compactly (the renderer escapes every control character, so a
@@ -24,6 +24,12 @@ use serde::json::Value;
 /// kind `bad_request` before dispatch).
 pub const PROTOCOL_VERSION: u64 = 1;
 
+/// Backward-compatible revision within [`PROTOCOL_VERSION`]. Revision 1
+/// ("protocol v1.1") added the `metrics` method and the `overloaded`
+/// error envelope (with `retry_after_ms`); v1 clients are unaffected —
+/// the wire `v` field stays `1`.
+pub const PROTOCOL_MINOR: u64 = 1;
+
 /// A parsed request envelope.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -44,6 +50,11 @@ pub enum ServeError {
     BadRequest(String),
     /// The pipeline rejected the work.
     Pt(PtError),
+    /// Admission control shed the request: the queue was full and the
+    /// server chose to answer immediately instead of making the client
+    /// wait unboundedly. `retry_after_ms` is the server's backoff hint,
+    /// carried as its own envelope field.
+    Overloaded { retry_after_ms: u64 },
     /// A handler panicked; the payload message, never a propagated panic.
     Internal(String),
 }
@@ -57,6 +68,7 @@ impl ServeError {
             ServeError::Pt(PtError::EntryNotFound { .. }) => "entry_not_found",
             ServeError::Pt(PtError::TaintRun { .. }) => "taint_run",
             ServeError::Pt(PtError::Config(_)) => "config",
+            ServeError::Overloaded { .. } => "overloaded",
             ServeError::Internal(_) => "internal",
         }
     }
@@ -65,15 +77,24 @@ impl ServeError {
         match self {
             ServeError::BadRequest(m) | ServeError::Internal(m) => m.clone(),
             ServeError::Pt(e) => e.to_string(),
+            ServeError::Overloaded { retry_after_ms } => {
+                format!("server overloaded (admission queue full); retry after {retry_after_ms} ms")
+            }
         }
     }
 
-    /// The error envelope: `{"kind": ..., "message": ...}`.
+    /// The error envelope: `{"kind": ..., "message": ...}` — plus
+    /// `retry_after_ms` on `overloaded`, so clients back off by number
+    /// instead of parsing the message.
     pub fn to_json(&self) -> Value {
-        Value::obj(vec![
+        let mut fields = vec![
             ("kind", Value::str(self.kind())),
             ("message", Value::str(self.message())),
-        ])
+        ];
+        if let ServeError::Overloaded { retry_after_ms } = self {
+            fields.push(("retry_after_ms", Value::int(*retry_after_ms as i64)));
+        }
+        Value::obj(fields)
     }
 }
 
@@ -183,6 +204,22 @@ mod tests {
         let (_, err) =
             parse_request(r#"{"v": 1, "id": 1, "method": "stats", "params": [1]}"#).unwrap_err();
         assert!(err.message().contains("params"));
+    }
+
+    #[test]
+    fn overloaded_envelope_carries_retry_after_ms() {
+        let e = ServeError::Overloaded {
+            retry_after_ms: 250,
+        };
+        assert_eq!(e.kind(), "overloaded");
+        assert!(e.message().contains("250 ms"));
+        let env = error_response(&Value::Null, &e);
+        let err = env.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Value::as_str), Some("overloaded"));
+        assert_eq!(err.get("retry_after_ms").and_then(Value::as_u64), Some(250));
+        // Other kinds do not grow the field.
+        let env = error_response(&Value::Null, &ServeError::Internal("x".into()));
+        assert!(env.get("error").unwrap().get("retry_after_ms").is_none());
     }
 
     #[test]

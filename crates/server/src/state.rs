@@ -11,16 +11,18 @@
 //! wraps dispatch in `catch_unwind`, so a bug in a handler costs one error
 //! response, never the server.
 
-use crate::protocol::{ServeError, PROTOCOL_VERSION};
+use crate::ops::{AdmissionPolicy, Ops, METHODS};
+use crate::protocol::{ServeError, PROTOCOL_MINOR, PROTOCOL_VERSION};
 use crate::store::{content_key, Namespace, Store, CONFIG_FINGERPRINT};
 use perf_taint::report::{analysis_summary, static_summary};
 use perf_taint::{parse_module, PtError, SessionCache};
 use pt_extrap::{fit_multi_param, MeasurementSet, Restriction, SearchSpace};
 use pt_ir::Module;
 use serde::json::Value;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// A method handler in the dispatch table.
 type Handler = fn(&ServerState, &Value) -> Result<Value, ServeError>;
@@ -41,7 +43,11 @@ pub struct ServerState {
     /// Responses answered from the persistent store without touching the
     /// pipeline (the acceptance observable for warm requests).
     served_from_store: AtomicU64,
-    method_counts: Mutex<BTreeMap<String, u64>>,
+    /// Operational self-observation: uptime, queue depth, shed counts,
+    /// per-method counters and latency histograms (read out by `metrics`).
+    ops: Ops,
+    /// Overload stance of the accept path (see [`AdmissionPolicy`]).
+    pub admission: AdmissionPolicy,
     /// Serializes `analyze_batch` fan-outs: each batch uses the full
     /// worker budget, so concurrent batches must queue here rather than
     /// multiply to workers² simultaneous taint runs.
@@ -63,7 +69,8 @@ impl ServerState {
             queue_capacity,
             requests: AtomicU64::new(0),
             served_from_store: AtomicU64::new(0),
-            method_counts: Mutex::new(BTreeMap::new()),
+            ops: Ops::new(),
+            admission: AdmissionPolicy::default(),
             batch_gate: Mutex::new(()),
             stopping: AtomicBool::new(false),
             idle_timeout: None,
@@ -82,8 +89,19 @@ impl ServerState {
         self
     }
 
+    /// Set the overload stance (see [`AdmissionPolicy`]).
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> ServerState {
+        self.admission = admission;
+        self
+    }
+
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// Operational metrics (the acceptor and tests read/poke these too).
+    pub fn ops(&self) -> &Ops {
+        &self.ops
     }
 
     /// Has a `shutdown` request been served?
@@ -91,9 +109,10 @@ impl ServerState {
         self.stopping.load(Ordering::Relaxed)
     }
 
-    /// Route one request. Counts it, then dispatches by method name.
-    /// Unrecognized names all share one `unknown` counter bucket — the map
-    /// must stay bounded no matter what clients send.
+    /// Route one request. Counts it (call count before the handler runs,
+    /// latency + error count after), then dispatches by method name.
+    /// Unrecognized names all share one bounded `unknown` metrics slot —
+    /// cardinality must stay fixed no matter what clients send.
     pub fn dispatch(&self, method: &str, params: &Value) -> Result<Value, ServeError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let handler: Option<Handler> = match method {
@@ -103,19 +122,28 @@ impl ServerState {
             "analyze_batch" => Some(ServerState::analyze_batch),
             "fit_model" => Some(ServerState::fit_model),
             "stats" => Some(|state, _| state.stats()),
+            "metrics" => Some(|state, _| state.metrics()),
             "shutdown" => Some(|state, _| state.shutdown()),
             _ => None,
         };
-        *self
-            .method_counts
-            .lock()
-            .unwrap()
-            .entry(if handler.is_some() { method } else { "unknown" }.to_string())
-            .or_insert(0) += 1;
-        match handler {
+        debug_assert!(
+            handler.is_none() || METHODS.contains(&method),
+            "dispatch table and ops::METHODS must agree on '{method}'"
+        );
+        let slot = self
+            .ops
+            .method(if handler.is_some() { method } else { "unknown" });
+        slot.calls.inc();
+        let started = Instant::now();
+        let outcome = match handler {
             Some(run) => run(self, params),
             None => Err(ServeError::BadRequest(format!("unknown method '{method}'"))),
+        };
+        slot.latency.record(started.elapsed());
+        if outcome.is_err() {
+            slot.errors.inc();
         }
+        outcome
     }
 
     // ---- submit_module ---------------------------------------------------
@@ -356,24 +384,19 @@ impl ServerState {
         Ok(summary)
     }
 
-    // ---- stats / shutdown ------------------------------------------------
+    // ---- stats / metrics / shutdown --------------------------------------
 
     fn stats(&self) -> Result<Value, ServeError> {
         let store = self.store.stats();
-        let methods: Vec<(String, Value)> = self
-            .method_counts
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(k, v)| (k.clone(), Value::int(*v as i64)))
-            .collect();
         Ok(Value::obj(vec![
             ("protocol", Value::int(PROTOCOL_VERSION as i64)),
+            ("protocol_minor", Value::int(PROTOCOL_MINOR as i64)),
+            ("uptime_seconds", Value::Num(self.ops.uptime_seconds())),
             (
                 "requests_total",
                 Value::int(self.requests.load(Ordering::Relaxed) as i64),
             ),
-            ("methods", Value::Obj(methods)),
+            ("methods", Value::Obj(self.ops.method_counts())),
             (
                 "served_from_store",
                 Value::int(self.served_from_store.load(Ordering::Relaxed) as i64),
@@ -384,6 +407,7 @@ impl ServerState {
                     ("hits", Value::int(store.hits as i64)),
                     ("misses", Value::int(store.misses as i64)),
                     ("writes", Value::int(store.writes as i64)),
+                    ("evictions", Value::int(store.evictions as i64)),
                     ("objects", Value::int(self.store.total_objects() as i64)),
                 ]),
             ),
@@ -393,6 +417,52 @@ impl ServerState {
             ),
             ("workers", Value::int(self.workers as i64)),
             ("queue_capacity", Value::int(self.queue_capacity as i64)),
+            ("queue_depth", Value::int(self.ops.queue_depth.get().max(0))),
+        ]))
+    }
+
+    /// The protocol-v1.1 observability surface: everything `stats` knows is
+    /// a counter; this adds uptime, queue occupancy, shed totals, store
+    /// sizing (bytes / budget / evictions), and per-method latency
+    /// histograms (p50/p99/p999, milliseconds).
+    fn metrics(&self) -> Result<Value, ServeError> {
+        let store = self.store.stats();
+        Ok(Value::obj(vec![
+            ("protocol", Value::int(PROTOCOL_VERSION as i64)),
+            ("protocol_minor", Value::int(PROTOCOL_MINOR as i64)),
+            ("uptime_seconds", Value::Num(self.ops.uptime_seconds())),
+            (
+                "queue",
+                Value::obj(vec![
+                    ("depth", Value::int(self.ops.queue_depth.get().max(0))),
+                    ("capacity", Value::int(self.queue_capacity as i64)),
+                    ("shed_total", Value::int(self.ops.shed_total.get() as i64)),
+                ]),
+            ),
+            ("methods", self.ops.methods_json()),
+            (
+                "store",
+                Value::obj(vec![
+                    ("hits", Value::int(store.hits as i64)),
+                    ("misses", Value::int(store.misses as i64)),
+                    ("writes", Value::int(store.writes as i64)),
+                    ("evictions", Value::int(store.evictions as i64)),
+                    ("objects", Value::int(self.store.total_objects() as i64)),
+                    ("bytes", Value::int(self.store.total_bytes() as i64)),
+                    (
+                        "budget_bytes",
+                        match self.store.budget_bytes() {
+                            Some(b) => Value::int(b as i64),
+                            None => Value::Null,
+                        },
+                    ),
+                ]),
+            ),
+            (
+                "served_from_store",
+                Value::int(self.served_from_store.load(Ordering::Relaxed) as i64),
+            ),
+            ("workers", Value::int(self.workers as i64)),
         ]))
     }
 

@@ -13,17 +13,42 @@
 //! Layout: one subdirectory per [`Namespace`], one file per object, the
 //! hex key as the filename. Writes go through a temp file + rename so a
 //! crashed writer never leaves a torn object for a later reader.
+//!
+//! ## Eviction
+//!
+//! An append-only cache grows without bound; a production store must not.
+//! [`Store::with_budget`] caps the total object bytes on disk: the store
+//! keeps an access-ordered (LRU) index over every object, and a `put`
+//! that pushes the total past the budget deletes the coldest objects —
+//! atomically, per namespace directory — until the store fits again.
+//! Deterministic recomputation makes this always safe: an evicted object
+//! is a future cache miss, never an error (the pipeline recomputes
+//! byte-identical bytes and re-heals the store). The access order is
+//! persisted in a sidecar file (`lru-index`) so recency survives
+//! restarts; the sidecar is advisory — a missing or stale index is
+//! rebuilt from the directory scan on open.
 
+use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Fingerprint of the pipeline configuration baked into every derived-key
 /// computation. The service always analyzes under the default MPI
 /// configuration (like `SessionCache`); bump this string if that default
 /// ever changes meaning, and every derived artifact re-keys itself.
 pub const CONFIG_FINGERPRINT: &str = "mpi-default/1";
+
+/// The access-order sidecar's filename (lives next to the namespace
+/// directories; never counted as an object).
+const SIDECAR: &str = "lru-index";
+
+/// Persist the sidecar after this many unsaved access-order touches even
+/// when nothing was written — a warm-heavy workload still leaves a
+/// usefully fresh index behind for the next process.
+const TOUCH_PERSIST_INTERVAL: u64 = 256;
 
 /// Is this file name an (in-flight or orphaned) `put` temp file?
 fn is_temp(name: &std::ffi::OsStr) -> bool {
@@ -52,7 +77,7 @@ pub fn content_key(parts: &[&str]) -> String {
 }
 
 /// The artifact families the store knows, each in its own subdirectory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Namespace {
     /// Submitted module IR text, keyed by its own hash.
     Modules,
@@ -81,6 +106,10 @@ impl Namespace {
             Namespace::Models => "models",
         }
     }
+
+    fn from_dir(dir: &str) -> Option<Namespace> {
+        Namespace::ALL.into_iter().find(|ns| ns.dir() == dir)
+    }
 }
 
 /// Counters of one store's lifetime in this process (per-process, not
@@ -91,14 +120,66 @@ pub struct StoreStats {
     pub hits: u64,
     pub misses: u64,
     pub writes: u64,
+    /// Objects deleted by the size-budget enforcer.
+    pub evictions: u64,
 }
 
-/// A content-addressed artifact store rooted at one directory.
+#[derive(Debug, Clone, Copy)]
+struct EntryMeta {
+    seq: u64,
+    bytes: u64,
+}
+
+/// The in-memory access-order index: every object's size and last-access
+/// sequence number, plus the seq-ordered view eviction walks. `clock`
+/// only grows; the lowest live seq is always the coldest object.
+#[derive(Debug, Default)]
+struct LruIndex {
+    clock: u64,
+    total_bytes: u64,
+    entries: HashMap<(Namespace, String), EntryMeta>,
+    order: BTreeMap<u64, (Namespace, String)>,
+    /// Access-order touches since the sidecar was last persisted.
+    unsaved_touches: u64,
+}
+
+impl LruIndex {
+    /// Record (or refresh) an object at the warm end of the order.
+    fn upsert(&mut self, ns: Namespace, key: &str, bytes: u64) {
+        self.remove(ns, key);
+        let seq = self.clock;
+        self.clock += 1;
+        self.entries
+            .insert((ns, key.to_string()), EntryMeta { seq, bytes });
+        self.order.insert(seq, (ns, key.to_string()));
+        self.total_bytes += bytes;
+    }
+
+    /// Drop an object from the index (not from disk). Returns its size.
+    fn remove(&mut self, ns: Namespace, key: &str) -> Option<u64> {
+        let meta = self.entries.remove(&(ns, key.to_string()))?;
+        self.order.remove(&meta.seq);
+        self.total_bytes -= meta.bytes;
+        Some(meta.bytes)
+    }
+
+    /// The coldest object, if any.
+    fn coldest(&self) -> Option<(Namespace, String)> {
+        self.order.values().next().cloned()
+    }
+}
+
+/// A content-addressed artifact store rooted at one directory, optionally
+/// capped by a size budget ([`Store::with_budget`]).
 pub struct Store {
     root: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
+    evictions: AtomicU64,
+    /// Total object bytes the store may hold; `None` = unbounded.
+    budget_bytes: Option<u64>,
+    lru: Mutex<LruIndex>,
     /// Temp-file disambiguator for concurrent writers in one process.
     seq: AtomicU64,
 }
@@ -107,9 +188,15 @@ impl Store {
     /// Open (creating if needed) a store rooted at `root`. Orphaned temp
     /// files from writers that died mid-`put` are swept here — they are
     /// garbage by construction (a completed put renames its temp file
-    /// away).
+    /// away). The access-order index is rebuilt from the sidecar plus a
+    /// directory scan: objects the sidecar knows keep their relative
+    /// recency, unknown objects (written by another process) are treated
+    /// as cold-but-present.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
         let root = root.into();
+        // (sidecar seq if known, namespace, key, bytes on disk)
+        let mut found: Vec<(Option<u64>, Namespace, String, u64)> = Vec::new();
+        let saved = load_sidecar(&root);
         for ns in Namespace::ALL {
             let dir = root.join(ns.dir());
             fs::create_dir_all(&dir)?;
@@ -117,43 +204,108 @@ impl Store {
                 for entry in entries.filter_map(Result::ok) {
                     if is_temp(&entry.file_name()) {
                         let _ = fs::remove_file(entry.path());
+                        continue;
                     }
+                    let Some(key) = entry.file_name().to_str().map(String::from) else {
+                        continue;
+                    };
+                    let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                    let seq = saved.get(&(ns, key.clone())).copied();
+                    found.push((seq, ns, key, bytes));
                 }
             }
+        }
+        // Normalize seqs: sidecar order first (unknown objects sort before
+        // everything the sidecar remembers — they have no recency claim),
+        // then reassign a dense 0..n clock so stale sidecars can never
+        // collide.
+        found.sort_by(|a, b| {
+            let rank = |s: &Option<u64>| s.unwrap_or(0);
+            (a.0.is_some(), rank(&a.0), a.1, a.2.clone()).cmp(&(
+                b.0.is_some(),
+                rank(&b.0),
+                b.1,
+                b.2.clone(),
+            ))
+        });
+        let mut lru = LruIndex::default();
+        for (_, ns, key, bytes) in found {
+            lru.upsert(ns, &key, bytes);
         }
         Ok(Store {
             root,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            budget_bytes: None,
+            lru: Mutex::new(lru),
             seq: AtomicU64::new(0),
         })
+    }
+
+    /// Cap the store at `budget_bytes` total object bytes (`None` lifts
+    /// the cap). Enforced immediately — opening an over-budget store
+    /// evicts its coldest objects right away — and after every `put`.
+    pub fn with_budget(mut self, budget_bytes: Option<u64>) -> Store {
+        self.budget_bytes = budget_bytes;
+        {
+            let mut lru = self.lru.lock().unwrap();
+            self.enforce_budget(&mut lru);
+            self.persist_sidecar(&mut lru);
+        }
+        self
     }
 
     pub fn root(&self) -> &Path {
         &self.root
     }
 
+    /// The configured size budget, if any.
+    pub fn budget_bytes(&self) -> Option<u64> {
+        self.budget_bytes
+    }
+
+    /// Total object bytes currently indexed (excludes the sidecar).
+    pub fn total_bytes(&self) -> u64 {
+        self.lru.lock().unwrap().total_bytes
+    }
+
     fn path(&self, ns: Namespace, key: &str) -> PathBuf {
         self.root.join(ns.dir()).join(key)
     }
 
-    /// Fetch an object, counting a hit or a miss.
+    /// Fetch an object, counting a hit or a miss. A hit refreshes the
+    /// object's position in the access order (LRU touch).
     pub fn get(&self, ns: Namespace, key: &str) -> Option<String> {
         match fs::read_to_string(self.path(ns, key)) {
             Ok(text) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                let mut lru = self.lru.lock().unwrap();
+                let bytes = lru
+                    .entries
+                    .get(&(ns, key.to_string()))
+                    .map(|m| m.bytes)
+                    .unwrap_or(text.len() as u64);
+                lru.upsert(ns, key, bytes);
+                lru.unsaved_touches += 1;
+                if lru.unsaved_touches >= TOUCH_PERSIST_INTERVAL {
+                    self.persist_sidecar(&mut lru);
+                }
                 Some(text)
             }
             Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                // Keep the index honest if the file vanished under us
+                // (another process evicted it).
+                self.lru.lock().unwrap().remove(ns, key);
                 None
             }
         }
     }
 
-    /// Does an object exist? (No hit/miss accounting — for idempotent-put
-    /// checks, not for serving.)
+    /// Does an object exist? (No hit/miss accounting, no LRU touch — for
+    /// idempotent-put checks, not for serving.)
     pub fn contains(&self, ns: Namespace, key: &str) -> bool {
         self.path(ns, key).exists()
     }
@@ -161,7 +313,8 @@ impl Store {
     /// Store an object atomically: write to a temp file in the same
     /// directory, then rename over the final name. Concurrent writers of
     /// the same key race benignly — content-addressing means they are
-    /// writing identical bytes.
+    /// writing identical bytes. A put that pushes the store past its
+    /// budget evicts the coldest objects before returning.
     pub fn put(&self, ns: Namespace, key: &str, text: &str) -> io::Result<()> {
         let final_path = self.path(ns, key);
         let tmp_path = final_path.with_extension(format!(
@@ -172,7 +325,54 @@ impl Store {
         fs::write(&tmp_path, text)?;
         fs::rename(&tmp_path, &final_path)?;
         self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut lru = self.lru.lock().unwrap();
+        lru.upsert(ns, key, text.len() as u64);
+        self.enforce_budget(&mut lru);
+        // Puts are the cold path (each one paid a pipeline computation),
+        // so persisting the sidecar here costs nothing that matters.
+        self.persist_sidecar(&mut lru);
         Ok(())
+    }
+
+    /// Evict coldest-first until the store fits its budget. Deletion is
+    /// per-object `remove_file` (atomic at the filesystem level); a
+    /// concurrently evicted file is simply already gone. The just-written
+    /// object carries the warmest seq, so it is evicted only when it
+    /// alone exceeds the budget — still correct, just never warm.
+    fn enforce_budget(&self, lru: &mut LruIndex) {
+        let Some(budget) = self.budget_bytes else {
+            return;
+        };
+        while lru.total_bytes > budget {
+            let Some((ns, key)) = lru.coldest() else {
+                break;
+            };
+            let _ = fs::remove_file(self.path(ns, &key));
+            lru.remove(ns, &key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Best-effort sidecar write (tmp + rename, like objects): losing it
+    /// costs recency information on the next open, never correctness.
+    fn persist_sidecar(&self, lru: &mut LruIndex) {
+        lru.unsaved_touches = 0;
+        let mut text = String::new();
+        for (seq, (ns, key)) in &lru.order {
+            let bytes = lru
+                .entries
+                .get(&(*ns, key.clone()))
+                .map(|m| m.bytes)
+                .unwrap_or(0);
+            text.push_str(&format!("{seq} {} {bytes} {key}\n", ns.dir()));
+        }
+        let final_path = self.root.join(SIDECAR);
+        let tmp_path = final_path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            self.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::write(&tmp_path, &text).and_then(|_| fs::rename(&tmp_path, &final_path));
     }
 
     /// Objects on disk in one namespace (directory scan; for `stats`).
@@ -198,8 +398,45 @@ impl Store {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
+}
+
+impl Drop for Store {
+    /// Graceful close persists the freshest access order (get-touches
+    /// between the periodic flushes would otherwise be lost). A killed
+    /// process skips this — which is exactly the staleness the advisory
+    /// sidecar is designed to absorb.
+    fn drop(&mut self) {
+        if let Ok(mut lru) = self.lru.lock() {
+            if lru.unsaved_touches > 0 {
+                self.persist_sidecar(&mut lru);
+            }
+        }
+    }
+}
+
+/// Parse the sidecar into `(namespace, key) -> seq`. Malformed lines (or
+/// a missing file) are silently ignored — the sidecar is advisory.
+fn load_sidecar(root: &Path) -> HashMap<(Namespace, String), u64> {
+    let mut saved = HashMap::new();
+    let Ok(text) = fs::read_to_string(root.join(SIDECAR)) else {
+        return saved;
+    };
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        let (Some(seq), Some(dir), Some(_bytes), Some(key)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let (Ok(seq), Some(ns)) = (seq.parse::<u64>(), Namespace::from_dir(dir)) else {
+            continue;
+        };
+        saved.insert((ns, key.to_string()), seq);
+    }
+    saved
 }
 
 #[cfg(test)]
@@ -237,11 +474,13 @@ mod tests {
             StoreStats {
                 hits: 1,
                 misses: 1,
-                writes: 1
+                writes: 1,
+                evictions: 0,
             }
         );
         assert_eq!(store.object_count(Namespace::Modules), 1);
         assert_eq!(store.total_objects(), 1);
+        assert_eq!(store.total_bytes(), 4);
         let _ = fs::remove_dir_all(store.root());
     }
 
@@ -295,5 +534,137 @@ mod tests {
         assert_eq!(store.get(Namespace::Statics, "k"), None);
         assert_eq!(store.get(Namespace::Modules, "k").as_deref(), Some("m"));
         let _ = fs::remove_dir_all(store.root());
+    }
+
+    // ---- eviction ---------------------------------------------------------
+
+    #[test]
+    fn budget_evicts_coldest_first_and_respects_lru_touches() {
+        let store = temp_store("lru").with_budget(Some(25));
+        store.put(Namespace::Analyses, "a", "aaaaaaaaaa").unwrap(); // 10 B
+        store.put(Namespace::Analyses, "b", "bbbbbbbbbb").unwrap(); // 10 B
+                                                                    // Touch "a": it is now warmer than "b".
+        assert!(store.get(Namespace::Analyses, "a").is_some());
+        // +10 B pushes past 25: the coldest ("b") is evicted, not "a".
+        store.put(Namespace::Analyses, "c", "cccccccccc").unwrap();
+        assert!(store.contains(Namespace::Analyses, "a"), "warm survives");
+        assert!(!store.contains(Namespace::Analyses, "b"), "cold evicted");
+        assert!(store.contains(Namespace::Analyses, "c"), "new survives");
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.total_bytes() <= 25);
+        // An evicted object is a miss, and re-putting heals it.
+        assert_eq!(store.get(Namespace::Analyses, "b"), None);
+        store.put(Namespace::Analyses, "b", "bbbbbbbbbb").unwrap();
+        assert_eq!(
+            store.get(Namespace::Analyses, "b").as_deref(),
+            Some("bbbbbbbbbb")
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_on_disk() {
+        let store = temp_store("budget").with_budget(Some(64));
+        for i in 0..20 {
+            let key = format!("obj{i}");
+            store
+                .put(Namespace::Analyses, &key, &"x".repeat(10))
+                .unwrap();
+            // Invariant after every put: indexed bytes and on-disk bytes
+            // both fit the budget.
+            assert!(store.total_bytes() <= 64, "index over budget at {i}");
+            let on_disk: u64 = fs::read_dir(store.root().join("analyses"))
+                .unwrap()
+                .filter_map(Result::ok)
+                .filter(|e| !is_temp(&e.file_name()))
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum();
+            assert!(on_disk <= 64, "disk over budget at {i}: {on_disk}");
+        }
+        assert!(store.stats().evictions >= 14);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn oversized_single_object_is_evicted_but_computation_still_worked() {
+        let store = temp_store("oversize").with_budget(Some(8));
+        // The object alone exceeds the budget: stored then immediately
+        // evicted — a degenerate cache, never an error.
+        store
+            .put(Namespace::Models, "big", "0123456789abcdef")
+            .unwrap();
+        assert!(!store.contains(Namespace::Models, "big"));
+        assert_eq!(store.total_bytes(), 0);
+        assert_eq!(store.get(Namespace::Models, "big"), None);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn access_order_survives_reopen_via_the_sidecar() {
+        let dir =
+            std::env::temp_dir().join(format!("pt-store-test-{}-sidecar", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let store = Store::open(&dir).unwrap();
+            store
+                .put(Namespace::Analyses, "old", &"o".repeat(10))
+                .unwrap();
+            store
+                .put(Namespace::Analyses, "mid", &"m".repeat(10))
+                .unwrap();
+            store
+                .put(Namespace::Analyses, "new", &"n".repeat(10))
+                .unwrap();
+            // Touch "old" so it is the warmest at close.
+            assert!(store.get(Namespace::Analyses, "old").is_some());
+        }
+        // Reopen with a budget that only fits two objects: the coldest by
+        // *persisted access order* ("mid") must be the one evicted.
+        let store = Store::open(&dir).unwrap().with_budget(Some(25));
+        assert!(
+            store.contains(Namespace::Analyses, "old"),
+            "touched survives"
+        );
+        assert!(store.contains(Namespace::Analyses, "new"));
+        assert!(
+            !store.contains(Namespace::Analyses, "mid"),
+            "coldest evicted"
+        );
+        assert_eq!(store.stats().evictions, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sidecar_is_advisory_and_unknown_objects_count_as_cold() {
+        let dir =
+            std::env::temp_dir().join(format!("pt-store-test-{}-advisory", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let store = Store::open(&dir).unwrap();
+            store
+                .put(Namespace::Analyses, "known", &"k".repeat(10))
+                .unwrap();
+        }
+        // A file written behind the store's back (another process) plus a
+        // corrupt sidecar: open must absorb both.
+        fs::write(dir.join("analyses").join("alien"), "a".repeat(10)).unwrap();
+        fs::write(dir.join(SIDECAR), "garbage\n1 not-a-ns 3 x\n").unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.total_bytes(), 20);
+        assert_eq!(
+            store
+                .get(Namespace::Analyses, "alien")
+                .as_deref()
+                .map(str::len),
+            Some(10)
+        );
+        // Budget of one object: the alien (no recency claim, then un-touched
+        // "known" — but "known" was also sidecar-less here) — either way the
+        // store converges to a single object within budget.
+        let store = store.with_budget(Some(10));
+        assert!(store.total_bytes() <= 10);
+        assert_eq!(store.total_objects(), 1);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

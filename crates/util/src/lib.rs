@@ -1,8 +1,9 @@
 //! Small utilities shared across the workspace.
 
+pub mod metrics;
 mod queue;
 
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, TryPushError};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

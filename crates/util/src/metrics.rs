@@ -1,0 +1,330 @@
+//! Std-only metrics primitives: atomic counters, gauges, and fixed-bucket
+//! latency histograms.
+//!
+//! The service layer needs to *observe itself* — request counts, queue
+//! depth, tail latency — without a metrics dependency and without
+//! contending on the hot path. Everything here is lock-free: counters and
+//! gauges are single atomics, a [`Histogram`] is a fixed array of atomic
+//! bucket counters (one `fetch_add` per recording). Readouts are racy by
+//! nature, which is exactly right for monitoring: a snapshot taken while
+//! traffic flows is approximate by definition.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level that can move both ways (queue depth,
+/// connections in flight).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Clamped at zero on readout: transient inc/dec races can dip the raw
+    /// value below zero for a moment, and a negative queue depth is noise,
+    /// not information.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed).max(0)
+    }
+}
+
+/// Upper bucket bounds in microseconds: a 1–2–5 progression from 1 µs to
+/// 100 s. Latencies above the last bound land in an overflow bucket.
+const BUCKET_BOUNDS_MICROS: [u64; 25] = [
+    1,
+    2,
+    5,
+    10,
+    20,
+    50,
+    100,
+    200,
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+];
+
+const BUCKETS: usize = BUCKET_BOUNDS_MICROS.len() + 1; // + overflow
+
+/// A fixed-bucket latency histogram with p50/p99/p999 readout.
+///
+/// Buckets follow a 1–2–5 progression (±~25% relative resolution), which
+/// is plenty for tail-latency monitoring; quantiles report the *upper
+/// bound* of the bucket the rank lands in, so a reported p99 is never an
+/// underestimate within the bucket resolution.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&self, latency: Duration) {
+        self.record_micros(latency.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one latency sample given in (non-negative) seconds.
+    pub fn record_seconds(&self, secs: f64) {
+        self.record_micros((secs.max(0.0) * 1e6).round() as u64);
+    }
+
+    pub fn record_micros(&self, micros: u64) {
+        let idx = BUCKET_BOUNDS_MICROS
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum_micros() as f64 / count as f64
+    }
+
+    /// The quantile `q` (in `[0, 1]`) as the upper bound of the bucket the
+    /// rank lands in, in microseconds. Empty histograms report 0; samples
+    /// in the overflow bucket report the last bound (a floor, flagged by
+    /// [`HistogramSnapshot::saturated`]).
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return BUCKET_BOUNDS_MICROS
+                    .get(idx)
+                    .copied()
+                    .unwrap_or(BUCKET_BOUNDS_MICROS[BUCKETS - 2]);
+            }
+        }
+        BUCKET_BOUNDS_MICROS[BUCKETS - 2]
+    }
+
+    /// A consistent-enough snapshot for reporting (each field is read
+    /// atomically; cross-field skew under live traffic is fine for
+    /// monitoring).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            mean_micros: self.mean_micros(),
+            p50_micros: self.quantile_micros(0.50),
+            p99_micros: self.quantile_micros(0.99),
+            p999_micros: self.quantile_micros(0.999),
+            saturated: self.buckets[BUCKETS - 1].load(Ordering::Relaxed) > 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum_micros", &self.sum_micros())
+            .finish()
+    }
+}
+
+/// One histogram readout (microseconds; divide by 1e3 for ms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub mean_micros: f64,
+    pub p50_micros: u64,
+    pub p99_micros: u64,
+    pub p999_micros: u64,
+    /// Any sample exceeded the last bucket bound (100 s): the reported
+    /// tail quantiles are floors, not estimates.
+    pub saturated: bool,
+}
+
+/// Exact quantile over a *finished* set of latency samples, in seconds.
+/// Sorts a copy; for bench/report code where the sample list is in hand
+/// and bucket resolution would waste precision. Empty input reports 0.
+pub fn exact_quantile_seconds(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // raw value dips negative...
+        assert_eq!(g.get(), 0); // ...readout clamps
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_empty_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_micros(0.5), 0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p99_micros, 0);
+        assert!(!snap.saturated);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let h = Histogram::new();
+        // 99 fast samples at ~100 µs, one slow at ~80 ms.
+        for _ in 0..99 {
+            h.record_micros(95);
+        }
+        h.record_micros(80_000);
+        assert_eq!(h.count(), 100);
+        // p50 lands in the ≤100 µs bucket, p99 still fast, p999 catches
+        // the straggler (≤100 ms bucket).
+        assert_eq!(h.quantile_micros(0.50), 100);
+        assert_eq!(h.quantile_micros(0.99), 100);
+        assert_eq!(h.quantile_micros(0.999), 100_000);
+        let snap = h.snapshot();
+        assert!(snap.mean_micros > 95.0 && snap.mean_micros < 1000.0);
+        assert!(!snap.saturated);
+    }
+
+    #[test]
+    fn histogram_records_durations_and_seconds_identically() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(Duration::from_millis(3));
+        b.record_seconds(0.003);
+        assert_eq!(a.quantile_micros(1.0), b.quantile_micros(1.0));
+        assert_eq!(a.sum_micros(), b.sum_micros());
+    }
+
+    #[test]
+    fn histogram_overflow_is_flagged() {
+        let h = Histogram::new();
+        h.record_seconds(250.0); // past the 100 s top bound
+        let snap = h.snapshot();
+        assert!(snap.saturated);
+        assert_eq!(snap.p50_micros, 100_000_000); // floor, not estimate
+    }
+
+    #[test]
+    fn histogram_is_safe_under_concurrent_recording() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..1000u64 {
+                        h.record_micros(i % 500);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn exact_quantiles_over_sample_lists() {
+        assert_eq!(exact_quantile_seconds(&[], 0.5), 0.0);
+        let samples: Vec<f64> = (1..=100).map(|n| n as f64).collect();
+        assert_eq!(exact_quantile_seconds(&samples, 0.50), 50.0);
+        assert_eq!(exact_quantile_seconds(&samples, 0.99), 99.0);
+        assert_eq!(exact_quantile_seconds(&samples, 1.0), 100.0);
+        // Order-independent.
+        let mut rev = samples.clone();
+        rev.reverse();
+        assert_eq!(exact_quantile_seconds(&rev, 0.99), 99.0);
+    }
+}

@@ -15,6 +15,26 @@ struct Inner<T> {
     closed: bool,
 }
 
+/// Why a [`BoundedQueue::try_push`] declined an item. Both variants hand
+/// the item back so the caller can respond to its originator (e.g. an
+/// `overloaded` envelope for a shed connection).
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity right now — shed or retry later.
+    Full(T),
+    /// The queue is closed — no item will ever be accepted again.
+    Closed(T),
+}
+
+impl<T> TryPushError<T> {
+    /// The declined item, regardless of why.
+    pub fn into_item(self) -> T {
+        match self {
+            TryPushError::Full(item) | TryPushError::Closed(item) => item,
+        }
+    }
+}
+
 /// A bounded FIFO queue, shareable across threads by reference.
 pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
@@ -53,6 +73,24 @@ impl<T> BoundedQueue<T> {
         }
         if inner.closed {
             return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue without blocking: admission control's primitive. A full
+    /// queue returns [`TryPushError::Full`] *immediately* instead of
+    /// parking the caller — the producer (e.g. a server's accept loop)
+    /// stays responsive and decides what to do with the shed item.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
         }
         inner.items.push_back(item);
         drop(inner);
@@ -100,7 +138,7 @@ impl<T> BoundedQueue<T> {
 
 #[cfg(test)]
 mod tests {
-    use super::BoundedQueue;
+    use super::{BoundedQueue, TryPushError};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -144,6 +182,108 @@ mod tests {
             });
         });
         assert_eq!(consumed.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn try_push_sheds_on_a_full_queue_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        // Full: the item comes straight back, no parking.
+        assert_eq!(q.try_push(3), Err(TryPushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        // Draining one slot readmits.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(4).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn try_push_on_a_closed_queue_reports_closed_even_when_full() {
+        let q = BoundedQueue::new(1);
+        q.try_push("queued").unwrap();
+        q.close();
+        // Close wins over full: the producer must learn the queue is gone
+        // for good, not keep retrying a "temporarily" full queue.
+        let err = q.try_push("late").unwrap_err();
+        assert_eq!(err, TryPushError::Closed("late"));
+        assert_eq!(err.into_item(), "late");
+        // The queued item still drains; then consumers see the close.
+        assert_eq!(q.pop(), Some("queued"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_while_shedding_never_loses_or_duplicates_items() {
+        // Producers shed against a tiny queue while a consumer drains and
+        // the queue closes mid-flight: every accepted item is delivered
+        // exactly once, every shed item is handed back.
+        let q = BoundedQueue::new(2);
+        let delivered = AtomicUsize::new(0);
+        let accepted = AtomicUsize::new(0);
+        let shed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let (q, accepted, shed) = (&q, &accepted, &shed);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        match q.try_push(i) {
+                            Ok(()) => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(TryPushError::Full(_)) => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                                std::thread::yield_now();
+                            }
+                            Err(TryPushError::Closed(_)) => break,
+                        }
+                    }
+                });
+            }
+            let (q, delivered) = (&q, &delivered);
+            scope.spawn(move || {
+                // Drain roughly half, then close mid-stream; the contract
+                // is that the already-accepted remainder still drains.
+                for _ in 0..100 {
+                    if q.pop().is_none() {
+                        break;
+                    }
+                    delivered.fetch_add(1, Ordering::Relaxed);
+                }
+                q.close();
+                while q.pop().is_some() {
+                    delivered.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert_eq!(
+            delivered.load(Ordering::Relaxed),
+            accepted.load(Ordering::Relaxed),
+            "every accepted item is delivered exactly once"
+        );
+        assert!(shed.load(Ordering::Relaxed) > 0, "the tiny queue must shed");
+    }
+
+    #[test]
+    fn fifo_is_preserved_under_mixed_push_and_try_push() {
+        let q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.push(3).unwrap();
+        q.try_push(4).unwrap();
+        for expect in 1..=4 {
+            assert_eq!(q.pop(), Some(expect));
+        }
+        // Shed items leave no hole in the order.
+        let q = BoundedQueue::new(2);
+        q.push(10).unwrap();
+        q.try_push(11).unwrap();
+        assert!(matches!(q.try_push(12), Err(TryPushError::Full(12))));
+        assert_eq!(q.pop(), Some(10));
+        q.try_push(13).unwrap();
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), Some(13));
     }
 
     #[test]
