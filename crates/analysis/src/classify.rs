@@ -15,7 +15,7 @@ use crate::callgraph::CallGraph;
 use crate::dom::DomTree;
 use crate::loops::LoopForest;
 use crate::scev::{all_trip_counts, TripCount};
-use pt_ir::{Callee, FunctionId, InstKind, Module};
+use pt_ir::{Callee, Function, FunctionId, InstKind, Module};
 use std::collections::HashSet;
 
 /// Why a function was kept (not statically pruned).
@@ -85,6 +85,100 @@ impl StaticClassification {
     }
 }
 
+/// Function-local classification facts: every [`KeepReason`] except
+/// `ParametricCallee` (which needs resolved callee classes — see
+/// [`resolve_class`]), plus the loop statistics.
+///
+/// This is the per-unit half of [`classify_module`], split out so the
+/// incremental static stage can classify one function at a time against
+/// cached callee classes and still produce bit-identical results.
+#[derive(Debug, Clone)]
+pub struct LocalClassification {
+    /// Local reasons in canonical order: `NonConstantLoop`, `Irreducible`,
+    /// `Recursive`, then `RelevantExternal` in instruction order (deduped).
+    pub reasons: Vec<KeepReason>,
+    pub loop_stats: LoopStats,
+}
+
+impl LocalClassification {
+    pub fn irreducible(&self) -> bool {
+        self.reasons.contains(&KeepReason::Irreducible)
+    }
+
+    pub fn recursive(&self) -> bool {
+        self.reasons.contains(&KeepReason::Recursive)
+    }
+}
+
+/// Local classification of one function, given its precomputed loop forest
+/// and trip counts (the same values `PreparedFunction` derives, so the
+/// incremental path computes them once).
+pub fn classify_function_local(
+    func: &Function,
+    forest: &LoopForest,
+    trips: &[TripCount],
+    recursive: bool,
+    relevant_externals: &HashSet<String>,
+) -> LocalClassification {
+    let mut reasons = Vec::new();
+    let loop_stats = LoopStats {
+        total: forest.len(),
+        constant_trip: trips.iter().filter(|t| t.is_constant()).count(),
+    };
+    if trips.contains(&TripCount::Unknown) {
+        reasons.push(KeepReason::NonConstantLoop);
+    }
+    if !forest.irreducible.is_empty() {
+        reasons.push(KeepReason::Irreducible);
+    }
+    if recursive {
+        reasons.push(KeepReason::Recursive);
+    }
+    for inst in &func.insts {
+        if let InstKind::Call {
+            callee: Callee::External(name),
+            ..
+        } = &inst.kind
+        {
+            if relevant_externals.contains(name) {
+                let reason = KeepReason::RelevantExternal(name.clone());
+                if !reasons.contains(&reason) {
+                    reasons.push(reason);
+                }
+            }
+        }
+    }
+    LocalClassification {
+        reasons,
+        loop_stats,
+    }
+}
+
+/// Final class of a function from its local reasons plus its resolved
+/// callees, visited in call-site order. `callees` yields `(name,
+/// is_parametric)` for every *resolved* non-self callee (callers skip self
+/// edges and still-unresolved in-SCC members, exactly as
+/// [`classify_module`]'s bottom-up pass does).
+pub fn resolve_class<'a>(
+    local_reasons: &[KeepReason],
+    callees: impl Iterator<Item = (&'a str, bool)>,
+) -> FunctionClass {
+    let mut reasons = local_reasons.to_vec();
+    for (name, parametric) in callees {
+        if parametric {
+            let reason = KeepReason::ParametricCallee(name.to_string());
+            if !reasons.contains(&reason) {
+                reasons.push(reason);
+            }
+        }
+    }
+    if reasons.is_empty() {
+        FunctionClass::StaticallyConstant
+    } else {
+        FunctionClass::PotentiallyParametric(reasons)
+    }
+}
+
 /// Classify every function of `module`. `relevant_externals` is the library
 /// database's set of performance-relevant external symbols (§5.3) — e.g.
 /// every `MPI_*` routine and the work-charging intrinsics.
@@ -107,60 +201,43 @@ pub fn classify_module(
         let dt = DomTree::dominators(func);
         let forest = LoopForest::compute(func, &dt);
         let trips = all_trip_counts(func, &forest);
-        let total = forest.len();
-        let constant_trip = trips.iter().filter(|t| t.is_constant()).count();
-        loop_stats[fid.index()] = LoopStats {
-            total,
-            constant_trip,
-        };
-        if trips.contains(&TripCount::Unknown) {
-            local_reasons[fid.index()].push(KeepReason::NonConstantLoop);
-        }
-        if !forest.irreducible.is_empty() {
-            local_reasons[fid.index()].push(KeepReason::Irreducible);
+        let local = classify_function_local(
+            func,
+            &forest,
+            &trips,
+            cg.is_recursive(fid),
+            relevant_externals,
+        );
+        loop_stats[fid.index()] = local.loop_stats;
+        if local.irreducible() {
             irreducible_warnings.push(fid);
         }
-        if cg.is_recursive(fid) {
-            local_reasons[fid.index()].push(KeepReason::Recursive);
+        if local.recursive() {
             recursion_warnings.push(fid);
         }
-        for inst in &func.insts {
-            if let InstKind::Call {
-                callee: Callee::External(name),
-                ..
-            } = &inst.kind
-            {
-                if relevant_externals.contains(name) {
-                    let reason = KeepReason::RelevantExternal(name.clone());
-                    if !local_reasons[fid.index()].contains(&reason) {
-                        local_reasons[fid.index()].push(reason);
-                    }
-                }
-            }
-        }
+        local_reasons[fid.index()] = local.reasons;
     }
 
     // Bottom-up propagation: a caller of a parametric function is parametric.
+    // Within an SCC the callee may be unresolved; recursion reasons already
+    // keep both sides.
     for fid in cg.bottom_up_order() {
-        let mut reasons = local_reasons[fid.index()].clone();
-        for &callee in &cg.callees[fid.index()] {
-            if callee == fid {
-                continue; // self edge already flagged as recursion
-            }
-            // Within an SCC the callee may be unresolved; recursion reasons
-            // already keep both sides.
-            if let Some(FunctionClass::PotentiallyParametric(_)) = &classes[callee.index()] {
-                let reason = KeepReason::ParametricCallee(module.function(callee).name.clone());
-                if !reasons.contains(&reason) {
-                    reasons.push(reason);
-                }
-            }
-        }
-        classes[fid.index()] = Some(if reasons.is_empty() {
-            FunctionClass::StaticallyConstant
-        } else {
-            FunctionClass::PotentiallyParametric(reasons)
-        });
+        let resolved = cg.callees[fid.index()]
+            .iter()
+            .filter(|&&callee| callee != fid) // self edge already flagged as recursion
+            .filter_map(|&callee| {
+                classes[callee.index()].as_ref().map(|c| {
+                    (
+                        module.function(callee).name.as_str(),
+                        matches!(c, FunctionClass::PotentiallyParametric(_)),
+                    )
+                })
+            })
+            .collect::<Vec<_>>();
+        classes[fid.index()] = Some(resolve_class(
+            &local_reasons[fid.index()],
+            resolved.into_iter(),
+        ));
     }
 
     StaticClassification {

@@ -31,6 +31,7 @@ pub mod dom;
 pub mod loops;
 pub mod scev;
 pub mod ssa_verify;
+pub mod unitkey;
 
 pub use callgraph::CallGraph;
 pub use classify::{classify_module, FunctionClass, StaticClassification};

@@ -220,6 +220,28 @@ impl LoopForest {
         self.block_loop.get(b.index()).copied().flatten()
     }
 
+    /// The innermost-loop-per-block table (index = block index). Exposed so
+    /// a forest can be serialized and rebuilt via [`LoopForest::from_parts`]
+    /// without recomputing loop detection.
+    pub fn block_map(&self) -> &[Option<LoopId>] {
+        &self.block_loop
+    }
+
+    /// Reassemble a forest from its parts (deserialization path). The caller
+    /// is responsible for internal consistency — `block_loop` must be the
+    /// innermost-loop table matching `loops`.
+    pub fn from_parts(
+        loops: Vec<LoopInfo>,
+        block_loop: Vec<Option<LoopId>>,
+        irreducible: Vec<(BlockId, BlockId)>,
+    ) -> LoopForest {
+        LoopForest {
+            loops,
+            block_loop,
+            irreducible,
+        }
+    }
+
     /// The loop headed at `header`, if any.
     pub fn loop_with_header(&self, header: BlockId) -> Option<&LoopInfo> {
         self.loops.iter().find(|l| l.header == header)

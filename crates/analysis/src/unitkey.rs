@@ -1,0 +1,164 @@
+//! Content-addressed keys for per-function static artifacts.
+//!
+//! The incremental static stage caches one artifact per function (loop
+//! facts, classification, decoded+optimized bytecode). A cached artifact is
+//! valid exactly when *everything that influenced it* is unchanged, so each
+//! function's key must close over:
+//!
+//! * the **environment**: the module's function-name table (which binds
+//!   `@name` call sites to numeric ids) and its external-symbol table
+//!   (which binds library calls and host primitives to slots), plus a
+//!   caller-provided salt for configuration (the relevant-externals set);
+//! * its **own printed body** ([`pt_ir::fingerprint`]);
+//! * its **strongly connected component**: any recursive cycle through a
+//!   function lies entirely inside its SCC, so all members share a joint
+//!   digest over their bodies in member order — an edit to any member
+//!   invalidates the whole component, and the `Recursive` classification
+//!   fact is covered;
+//! * the **keys of its out-of-component callees**, in call-site order —
+//!   this transitively reaches everything interprocedural (leaf-call
+//!   inline specs, `ParametricCallee` classification).
+//!
+//! Keys are computed bottom-up over the call-graph condensation (Tarjan
+//! emits SCCs callees-first), so callee keys always exist when a component
+//! is processed. Editing one function therefore invalidates exactly that
+//! function, its SCC co-members, and its transitive callers — everything
+//! else keeps its key and its cached artifact.
+
+use crate::callgraph::CallGraph;
+use pt_ir::fingerprint::{digest_parts, function_digest};
+use pt_ir::Module;
+
+/// Per-function artifact keys for one module (index = function index).
+#[derive(Debug, Clone)]
+pub struct UnitKeys {
+    /// Environment digest shared by every key (function names in order,
+    /// external symbols, salt).
+    pub env: String,
+    /// Artifact key per function.
+    pub keys: Vec<String>,
+}
+
+/// Compute the per-function artifact keys of `module`. `salt` folds in any
+/// configuration the artifacts depend on beyond the module text (e.g. the
+/// relevant-externals set and an artifact schema version).
+pub fn unit_keys(module: &Module, cg: &CallGraph, salt: &str) -> UnitKeys {
+    let n = module.functions.len();
+    let bodies: Vec<String> = module
+        .function_ids()
+        .map(|fid| function_digest(module, fid))
+        .collect();
+
+    let mut env_parts: Vec<&str> = vec!["env", salt];
+    for f in &module.functions {
+        env_parts.push(&f.name);
+    }
+    env_parts.push("externals");
+    let externals = module.used_externals();
+    env_parts.extend(externals.iter().copied());
+    let env = digest_parts(&env_parts);
+
+    let mut keys = vec![String::new(); n];
+    // Tarjan emits SCCs in reverse topological order: every out-of-component
+    // callee's key is already computed when its caller's SCC is reached.
+    for (si, scc) in cg.sccs.iter().enumerate() {
+        let mut parts: Vec<&str> = vec!["scc", &env];
+        for &m in scc {
+            parts.push(&bodies[m.index()]);
+        }
+        for &m in scc {
+            for &c in &cg.callees[m.index()] {
+                if cg.scc_of[c.index()] != si {
+                    parts.push(&keys[c.index()]);
+                }
+            }
+        }
+        let joint = digest_parts(&parts);
+        for (pos, &m) in scc.iter().enumerate() {
+            let pos = pos.to_string();
+            keys[m.index()] = digest_parts(&["unit", &joint, &pos]);
+        }
+    }
+    UnitKeys { env, keys }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_ir::{FunctionBuilder, FunctionId, Type};
+
+    /// kernel(n) loops; wrapper calls kernel; free stands alone.
+    fn module(kernel_bound: i64) -> Module {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("kernel", vec![("n".into(), Type::I64)], Type::Void);
+        b.for_loop(kernel_bound, b.param(0), 1i64, |_, _| {});
+        b.ret(None);
+        let kernel = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("wrapper", vec![("n".into(), Type::I64)], Type::Void);
+        b.call(kernel, vec![b.param(0)], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("free", vec![], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    fn keys(m: &Module) -> Vec<String> {
+        unit_keys(m, &CallGraph::build(m), "salt").keys
+    }
+
+    #[test]
+    fn editing_a_callee_invalidates_its_callers_only() {
+        let before = keys(&module(0));
+        let after = keys(&module(1));
+        assert_ne!(before[0], after[0], "edited kernel must re-key");
+        assert_ne!(before[1], after[1], "caller of edited kernel must re-key");
+        assert_eq!(before[2], after[2], "unrelated function keeps its key");
+    }
+
+    #[test]
+    fn keys_are_deterministic_and_distinct() {
+        let a = keys(&module(0));
+        let b = keys(&module(0));
+        assert_eq!(a, b);
+        assert_eq!(a.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+
+    #[test]
+    fn salt_and_environment_invalidate_everything() {
+        let m = module(0);
+        let cg = CallGraph::build(&m);
+        let a = unit_keys(&m, &cg, "salt-a");
+        let b = unit_keys(&m, &cg, "salt-b");
+        for i in 0..3 {
+            assert_ne!(a.keys[i], b.keys[i]);
+        }
+    }
+
+    #[test]
+    fn scc_members_share_fate() {
+        // mutually recursive pair: ping <-> pong
+        let mk = |ret_const: i64| {
+            let mut m = Module::new("m");
+            let pong_id = FunctionId(1);
+            let mut b = FunctionBuilder::new("ping", vec![("n".into(), Type::I64)], Type::Void);
+            b.call(pong_id, vec![b.param(0)], Type::Void);
+            b.ret(None);
+            let ping = m.add_function(b.finish());
+            let mut b = FunctionBuilder::new("pong", vec![("n".into(), Type::I64)], Type::Void);
+            let v = b.add(b.param(0), ret_const);
+            b.call(ping, vec![v], Type::Void);
+            b.ret(None);
+            m.add_function(b.finish());
+            m
+        };
+        let before = keys(&mk(1));
+        let after = keys(&mk(2));
+        // Editing pong must re-key ping too (same SCC).
+        assert_ne!(before[0], after[0]);
+        assert_ne!(before[1], after[1]);
+        // And within one module the two members still have distinct keys.
+        assert_ne!(before[0], before[1]);
+    }
+}

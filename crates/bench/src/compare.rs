@@ -49,6 +49,7 @@ impl Tolerance {
 pub const REQUIRED_GATE_METRICS: &[(&str, &str)] = &[
     ("taint_throughput", "wall_ratio_decoded_over_legacy"),
     ("serve_saturation", "saturated_p99_wall_seconds"),
+    ("incremental_edit", "edit_loop_warm_wall_seconds"),
 ];
 
 /// Gate thresholds. Defaults: deterministic metrics move ≤10% (or 1e-9
@@ -476,6 +477,11 @@ mod tests {
                 "serve_saturation",
                 1.0,
                 &[("saturated_p99_wall_seconds", 0.2)],
+            ),
+            record(
+                "incremental_edit",
+                1.0,
+                &[("edit_loop_warm_wall_seconds", 0.1)],
             ),
         ]);
         let cmp = compare_reports(&old, &ok, &CompareConfig::ci_gate()).unwrap();

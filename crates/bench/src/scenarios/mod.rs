@@ -30,6 +30,7 @@ mod c2_experiment_validation;
 mod fig3_overhead_lulesh;
 mod fig4_overhead_milc;
 mod fig5_contention;
+mod incremental_edit;
 mod serve_saturation;
 mod serve_throughput;
 mod table1_config;
@@ -141,7 +142,7 @@ impl ScenarioCtx {
 
     /// A session over `app` sharing the context-wide static stage.
     pub fn session<'m>(&self, app: &'m AppSpec) -> Session<'m> {
-        self.cache.session(&app.module, &app.entry)
+        self.cache.get_or_compute(&app.module, &app.entry)
     }
 
     /// The representative taint run of `app`, computed once per context:
@@ -237,6 +238,7 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &serve_throughput::ServeThroughput,
         &serve_saturation::ServeSaturation,
         &taint_throughput::TaintThroughput,
+        &incremental_edit::IncrementalEdit,
     ]
 }
 
@@ -279,8 +281,8 @@ mod tests {
         let mut names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
         let total = names.len();
         assert_eq!(
-            total, 15,
-            "all 12 paper artifacts plus the service, saturation, and engine scenarios are registered"
+            total, 16,
+            "all 12 paper artifacts plus the service, saturation, engine, and edit-loop scenarios are registered"
         );
         names.sort();
         names.dedup();

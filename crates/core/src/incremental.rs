@@ -1,0 +1,557 @@
+//! The incremental static stage: a content-addressed per-function artifact
+//! cache making repeated analysis of *edited* modules near-constant-time.
+//!
+//! [`crate::Session::static_analysis`] normally runs the whole §5.1 static
+//! stage — classification, loop facts, decode, the pass pipeline — module
+//! at a time. All of that decomposes per function
+//! ([`pt_taint::unit::compute_unit`] packages the per-function slice, and
+//! [`pt_analysis::classify::classify_function_local`] /
+//! [`pt_analysis::classify::resolve_class`] split the classification the
+//! same way), and every per-function result is a pure function of a
+//! content key ([`pt_analysis::unitkey`]): the function's printed body,
+//! its strongly connected component, its out-of-component callees'
+//! keys, the module symbol environment, and the configuration salt.
+//!
+//! [`FunctionArtifactCache`] exploits that: it memoizes one
+//! [`FunctionArtifact`] per key — in memory always, and through an optional
+//! [`UnitStore`] on disk — so re-analyzing a module after editing one
+//! function recomputes exactly that function, its SCC co-members, and its
+//! transitive callers. Everything else is assembled from the cache,
+//! *bit-identically* to a cold recompute (the differential tests below and
+//! the `incremental_static_stage` integration suite assert this).
+//!
+//! [`ReuseStats`] is the accounting that proves it: every
+//! [`crate::StaticArtifacts`] reports how many units were reused from
+//! memory, reused from the store, or recomputed.
+
+use crate::session::StaticArtifacts;
+use pt_analysis::classify::{
+    classify_function_local, resolve_class, FunctionClass, KeepReason, LoopStats,
+    StaticClassification,
+};
+use pt_analysis::unitkey::unit_keys;
+use pt_analysis::CallGraph;
+use pt_ir::fingerprint::digest_parts;
+use pt_ir::Module;
+use pt_taint::decode::passes::InlineSpec;
+use pt_taint::decode::DecodeEnv;
+use pt_taint::unit::{assemble, compute_unit, FunctionUnit};
+use pt_taint::unit_io::{unit_from_json, unit_to_json, UNIT_SCHEMA_VERSION};
+use serde::json::Value;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How a static stage was obtained, unit by unit: the reuse ledger every
+/// [`StaticArtifacts`] carries. `total` counts the module's functions;
+/// the three buckets partition it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    pub total: usize,
+    /// Units served from the in-process artifact cache.
+    pub reused_memory: usize,
+    /// Units deserialized from a persistent [`UnitStore`] (a prior
+    /// process computed them).
+    pub reused_store: usize,
+    /// Units computed from scratch this time.
+    pub recomputed: usize,
+}
+
+impl ReuseStats {
+    /// The ledger of a plain (non-incremental) static stage.
+    pub fn all_recomputed(total: usize) -> ReuseStats {
+        ReuseStats {
+            total,
+            recomputed: total,
+            ..ReuseStats::default()
+        }
+    }
+
+    /// Units not recomputed, wherever they came from.
+    pub fn reused(&self) -> usize {
+        self.reused_memory + self.reused_store
+    }
+}
+
+/// A persistent byte store for serialized [`FunctionArtifact`]s — the hook
+/// `pt-serve` plugs its content-addressed store into. Both operations are
+/// best-effort: a failed `save` degrades to compute-always, and `load`
+/// returning garbage is harmless (undecodable documents count as misses).
+pub trait UnitStore: Send + Sync {
+    fn load(&self, key: &str) -> Option<String>;
+    fn save(&self, key: &str, doc: &str);
+}
+
+/// Everything the static stage produces for one function: the
+/// decode-stage unit plus this function's slice of the §5.1
+/// classification. A cached artifact is valid exactly as long as its
+/// content key is — see [`pt_analysis::unitkey`] for what the key closes
+/// over.
+#[derive(Debug, Clone)]
+pub struct FunctionArtifact {
+    pub unit: FunctionUnit,
+    pub class: FunctionClass,
+    pub loop_stats: LoopStats,
+    /// Participates in recursion (feeds the module's recursion warnings).
+    pub recursive: bool,
+    /// Contains irreducible control flow (feeds the module's warnings).
+    pub irreducible: bool,
+}
+
+/// The content-addressed per-function artifact cache. One of these lives
+/// in every [`crate::SessionCache`]; long-running services share one
+/// across all submissions, so an edited module reuses every untouched
+/// function's artifact no matter which session computed it first.
+#[derive(Default)]
+pub struct FunctionArtifactCache {
+    mem: Mutex<HashMap<String, Arc<FunctionArtifact>>>,
+    store: Option<Arc<dyn UnitStore>>,
+    // Cumulative process-lifetime counters (served via `pt-serve` stats).
+    total: AtomicU64,
+    reused_memory: AtomicU64,
+    reused_store: AtomicU64,
+    recomputed: AtomicU64,
+}
+
+impl FunctionArtifactCache {
+    pub fn new() -> FunctionArtifactCache {
+        FunctionArtifactCache::default()
+    }
+
+    /// A cache that additionally persists every artifact through `store`,
+    /// extending reuse across process restarts.
+    pub fn with_store(store: Arc<dyn UnitStore>) -> FunctionArtifactCache {
+        FunctionArtifactCache {
+            store: Some(store),
+            ..FunctionArtifactCache::default()
+        }
+    }
+
+    /// Cumulative reuse accounting over every `compute` this cache served.
+    pub fn cumulative(&self) -> ReuseStats {
+        ReuseStats {
+            total: self.total.load(Ordering::Relaxed) as usize,
+            reused_memory: self.reused_memory.load(Ordering::Relaxed) as usize,
+            reused_store: self.reused_store.load(Ordering::Relaxed) as usize,
+            recomputed: self.recomputed.load(Ordering::Relaxed) as usize,
+        }
+    }
+
+    /// Run the static stage for `module` against the cache: bottom-up over
+    /// the call graph, each function's artifact is taken from memory, the
+    /// store, or recomputed — then the whole is assembled bit-identically
+    /// to a cold [`pt_taint::PreparedModule::compute`] +
+    /// [`pt_analysis::classify::classify_module`].
+    pub fn compute(&self, module: &Module, relevant: &HashSet<String>) -> StaticArtifacts {
+        let t0 = std::time::Instant::now();
+        let cg = CallGraph::build(module);
+        let keys = unit_keys(module, &cg, &config_salt(relevant));
+        let env = DecodeEnv::of(module);
+        let n = module.functions.len();
+
+        let mut artifacts: Vec<Option<Arc<FunctionArtifact>>> = vec![None; n];
+        let mut reuse = ReuseStats {
+            total: n,
+            ..ReuseStats::default()
+        };
+        // Bottom-up: callees before callers, so recomputation always has
+        // resolved callee classes and inline specs at hand — and cache hits
+        // observe the same order, keeping classification bit-identical.
+        for fid in cg.bottom_up_order() {
+            let key = &keys.keys[fid.index()];
+            let memory_hit = self.mem.lock().unwrap().get(key).cloned();
+            let artifact = if let Some(hit) = memory_hit {
+                reuse.reused_memory += 1;
+                hit
+            } else if let Some(stored) = self.load_from_store(key) {
+                reuse.reused_store += 1;
+                stored
+            } else {
+                reuse.recomputed += 1;
+                let specs: Vec<Option<&InlineSpec>> = artifacts
+                    .iter()
+                    .map(|a| a.as_ref().and_then(|a| a.unit.inline_spec.as_ref()))
+                    .collect();
+                let unit = compute_unit(module, fid, &env, &specs);
+                let local = classify_function_local(
+                    module.function(fid),
+                    &unit.prepared.forest,
+                    &unit.prepared.trip_counts,
+                    cg.is_recursive(fid),
+                    relevant,
+                );
+                // Resolved non-self callees in call-site order — exactly
+                // the visibility `classify_module`'s bottom-up pass has
+                // (in-SCC members later in the order are still `None`).
+                let resolved: Vec<(&str, bool)> = cg.callees[fid.index()]
+                    .iter()
+                    .filter(|&&callee| callee != fid)
+                    .filter_map(|&callee| {
+                        artifacts[callee.index()].as_ref().map(|a| {
+                            (
+                                module.function(callee).name.as_str(),
+                                matches!(a.class, FunctionClass::PotentiallyParametric(_)),
+                            )
+                        })
+                    })
+                    .collect();
+                let class = resolve_class(&local.reasons, resolved.into_iter());
+                let artifact = Arc::new(FunctionArtifact {
+                    recursive: local.recursive(),
+                    irreducible: local.irreducible(),
+                    loop_stats: local.loop_stats,
+                    class,
+                    unit,
+                });
+                if let Some(store) = &self.store {
+                    store.save(key, &artifact_to_json(&artifact).render());
+                }
+                self.mem
+                    .lock()
+                    .unwrap()
+                    .insert(key.clone(), artifact.clone());
+                artifact
+            };
+            artifacts[fid.index()] = Some(artifact);
+        }
+
+        self.total.fetch_add(reuse.total as u64, Ordering::Relaxed);
+        self.reused_memory
+            .fetch_add(reuse.reused_memory as u64, Ordering::Relaxed);
+        self.reused_store
+            .fetch_add(reuse.reused_store as u64, Ordering::Relaxed);
+        self.recomputed
+            .fetch_add(reuse.recomputed as u64, Ordering::Relaxed);
+
+        let artifacts: Vec<Arc<FunctionArtifact>> =
+            artifacts.into_iter().map(|a| a.unwrap()).collect();
+        let units: Vec<&FunctionUnit> = artifacts.iter().map(|a| &a.unit).collect();
+        let prepared = assemble(&env, &units, t0.elapsed().as_secs_f64());
+
+        let mut recursion_warnings = Vec::new();
+        let mut irreducible_warnings = Vec::new();
+        for fid in module.function_ids() {
+            let a = &artifacts[fid.index()];
+            if a.irreducible {
+                irreducible_warnings.push(fid);
+            }
+            if a.recursive {
+                recursion_warnings.push(fid);
+            }
+        }
+        let classification = StaticClassification {
+            classes: artifacts.iter().map(|a| a.class.clone()).collect(),
+            loop_stats: artifacts.iter().map(|a| a.loop_stats).collect(),
+            recursion_warnings,
+            irreducible_warnings,
+        };
+
+        StaticArtifacts {
+            classification,
+            prepared,
+            reuse,
+        }
+    }
+
+    fn load_from_store(&self, key: &str) -> Option<Arc<FunctionArtifact>> {
+        let text = self.store.as_ref()?.load(key)?;
+        let doc = Value::parse(&text).ok()?;
+        let artifact = Arc::new(artifact_from_json(&doc)?);
+        self.mem
+            .lock()
+            .unwrap()
+            .insert(key.to_string(), artifact.clone());
+        Some(artifact)
+    }
+}
+
+/// The configuration salt folded into every artifact key: the artifact
+/// schema version (a bump silently invalidates old store entries) and the
+/// relevant-externals set, sorted (the only configuration the static stage
+/// reads).
+fn config_salt(relevant: &HashSet<String>) -> String {
+    let schema = UNIT_SCHEMA_VERSION.to_string();
+    let mut names: Vec<&str> = relevant.iter().map(String::as_str).collect();
+    names.sort_unstable();
+    let mut parts: Vec<&str> = vec!["statics-config", &schema];
+    parts.extend(names);
+    digest_parts(&parts)
+}
+
+// ---- artifact serialization -------------------------------------------
+//
+// The classification wrapper around `pt_taint::unit_io`'s unit encoding.
+// Decoding is total: malformed documents yield `None` (a cache miss),
+// never a wrong artifact.
+
+fn artifact_to_json(a: &FunctionArtifact) -> Value {
+    Value::obj(vec![
+        ("class", class_to_json(&a.class)),
+        (
+            "loops",
+            Value::Arr(vec![
+                Value::int(a.loop_stats.total as i64),
+                Value::int(a.loop_stats.constant_trip as i64),
+            ]),
+        ),
+        ("rec", Value::Bool(a.recursive)),
+        ("irr", Value::Bool(a.irreducible)),
+        ("unit", unit_to_json(&a.unit)),
+    ])
+}
+
+fn artifact_from_json(v: &Value) -> Option<FunctionArtifact> {
+    let loops = v.get("loops")?.as_arr()?;
+    if loops.len() != 2 {
+        return None;
+    }
+    Some(FunctionArtifact {
+        class: class_from_json(v.get("class")?)?,
+        loop_stats: LoopStats {
+            total: loops[0].as_u64()? as usize,
+            constant_trip: loops[1].as_u64()? as usize,
+        },
+        recursive: v.get("rec")?.as_bool()?,
+        irreducible: v.get("irr")?.as_bool()?,
+        unit: unit_from_json(v.get("unit")?)?,
+    })
+}
+
+fn class_to_json(c: &FunctionClass) -> Value {
+    match c {
+        FunctionClass::StaticallyConstant => Value::Null,
+        FunctionClass::PotentiallyParametric(reasons) => {
+            Value::Arr(reasons.iter().map(reason_to_json).collect())
+        }
+    }
+}
+
+fn class_from_json(v: &Value) -> Option<FunctionClass> {
+    match v {
+        Value::Null => Some(FunctionClass::StaticallyConstant),
+        Value::Arr(items) => {
+            let reasons = items
+                .iter()
+                .map(reason_from_json)
+                .collect::<Option<Vec<_>>>()?;
+            Some(FunctionClass::PotentiallyParametric(reasons))
+        }
+        _ => None,
+    }
+}
+
+fn reason_to_json(r: &KeepReason) -> Value {
+    match r {
+        KeepReason::NonConstantLoop => Value::str("loop"),
+        KeepReason::Recursive => Value::str("rec"),
+        KeepReason::Irreducible => Value::str("irr"),
+        KeepReason::RelevantExternal(name) => Value::Arr(vec![Value::str("ext"), Value::str(name)]),
+        KeepReason::ParametricCallee(name) => {
+            Value::Arr(vec![Value::str("callee"), Value::str(name)])
+        }
+    }
+}
+
+fn reason_from_json(v: &Value) -> Option<KeepReason> {
+    match v {
+        Value::Str(s) => match s.as_str() {
+            "loop" => Some(KeepReason::NonConstantLoop),
+            "rec" => Some(KeepReason::Recursive),
+            "irr" => Some(KeepReason::Irreducible),
+            _ => None,
+        },
+        Value::Arr(items) if items.len() == 2 => {
+            let name = items[1].as_str()?.to_string();
+            match items[0].as_str()? {
+                "ext" => Some(KeepReason::RelevantExternal(name)),
+                "callee" => Some(KeepReason::ParametricCallee(name)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_analysis::classify::classify_module;
+    use pt_ir::{FunctionBuilder, FunctionId, Type, Value as IrValue};
+    use pt_taint::prepared::PreparedModule;
+
+    fn relevant() -> HashSet<String> {
+        [
+            "MPI_Allreduce",
+            "MPI_Barrier",
+            "pt_work_flops",
+            "pt_work_mem",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    /// leaf (inlinable) ← kernel (parametric loop) ← main; ping ↔ pong
+    /// mutual recursion; `konst` parameterizes the leaf body so tests can
+    /// "edit" one function.
+    fn app(konst: i64) -> Module {
+        let mut m = Module::new("app");
+        let mut b = FunctionBuilder::new("leaf", vec![("x".into(), Type::I64)], Type::I64);
+        let v = b.add(b.param(0), konst);
+        b.ret(Some(v));
+        let leaf = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("kernel", vec![("n".into(), Type::I64)], Type::Void);
+        b.for_loop(0i64, b.param(0), 1i64, |b, iv| {
+            b.call_external("pt_work_flops", vec![IrValue::int(2)], Type::Void);
+            b.call(leaf, vec![iv], Type::I64);
+        });
+        b.ret(None);
+        let kernel = m.add_function(b.finish());
+        let pong_id = FunctionId(3);
+        let mut b = FunctionBuilder::new("ping", vec![("n".into(), Type::I64)], Type::Void);
+        b.call(pong_id, vec![b.param(0)], Type::Void);
+        b.ret(None);
+        let ping = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("pong", vec![("n".into(), Type::I64)], Type::Void);
+        b.call(ping, vec![b.param(0)], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let n = b.call_external("pt_param_i64", vec![IrValue::int(0)], Type::I64);
+        b.call(kernel, vec![n], Type::Void);
+        b.call(ping, vec![n], Type::Void);
+        b.call_external("MPI_Barrier", vec![], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    fn assert_statics_identical(warm: &StaticArtifacts, module: &Module) {
+        let cold_class = classify_module(module, &relevant());
+        let cold_prep = PreparedModule::compute(module);
+        assert_eq!(
+            format!("{:?}", warm.classification),
+            format!("{cold_class:?}"),
+            "classification must be bit-identical to a cold run"
+        );
+        assert_eq!(warm.prepared.pass_stats, cold_prep.pass_stats);
+        assert_eq!(
+            format!("{:?}", warm.prepared.decoded.functions),
+            format!("{:?}", cold_prep.decoded.functions),
+            "decoded bytecode must be bit-identical to a cold run"
+        );
+    }
+
+    #[test]
+    fn cold_compute_matches_plain_static_stage() {
+        let m = app(3);
+        let cache = FunctionArtifactCache::new();
+        let warm = cache.compute(&m, &relevant());
+        assert_eq!(warm.reuse, ReuseStats::all_recomputed(5));
+        assert_statics_identical(&warm, &m);
+    }
+
+    #[test]
+    fn editing_one_function_recomputes_only_its_cone() {
+        let cache = FunctionArtifactCache::new();
+        let before = app(3);
+        let first = cache.compute(&before, &relevant());
+        assert_eq!(first.reuse.recomputed, 5);
+
+        // Resubmit unchanged: everything comes from memory.
+        let again = cache.compute(&before, &relevant());
+        assert_eq!(again.reuse.reused_memory, 5);
+        assert_eq!(again.reuse.recomputed, 0);
+        assert_statics_identical(&again, &before);
+
+        // Edit the leaf: leaf + kernel + main recompute; ping/pong reuse.
+        let edited = app(4);
+        let warm = cache.compute(&edited, &relevant());
+        assert_eq!(warm.reuse.recomputed, 3, "leaf, kernel, main");
+        assert_eq!(warm.reuse.reused_memory, 2, "ping and pong");
+        assert_statics_identical(&warm, &edited);
+        assert_eq!(cache.cumulative().total, 15);
+    }
+
+    /// An in-memory [`UnitStore`] standing in for the server's disk store.
+    #[derive(Default)]
+    struct MapStore(Mutex<HashMap<String, String>>);
+
+    impl UnitStore for MapStore {
+        fn load(&self, key: &str) -> Option<String> {
+            self.0.lock().unwrap().get(key).cloned()
+        }
+        fn save(&self, key: &str, doc: &str) {
+            self.0
+                .lock()
+                .unwrap()
+                .insert(key.to_string(), doc.to_string());
+        }
+    }
+
+    #[test]
+    fn store_extends_reuse_across_cache_instances() {
+        let store = Arc::new(MapStore::default());
+        let m = app(3);
+        // First process: computes and persists.
+        let cache1 = FunctionArtifactCache::with_store(store.clone());
+        cache1.compute(&m, &relevant());
+        assert_eq!(store.0.lock().unwrap().len(), 5);
+
+        // "Restarted process": fresh cache, same store — everything is
+        // reused from disk, and the result is still bit-identical.
+        let cache2 = FunctionArtifactCache::with_store(store.clone());
+        let warm = cache2.compute(&m, &relevant());
+        assert_eq!(warm.reuse.reused_store, 5);
+        assert_eq!(warm.reuse.recomputed, 0);
+        assert_statics_identical(&warm, &m);
+
+        // An edit after the restart recomputes only its cone.
+        let edited = app(4);
+        let warm = cache2.compute(&edited, &relevant());
+        assert_eq!(warm.reuse.recomputed, 3);
+        assert_eq!(warm.reuse.reused_memory + warm.reuse.reused_store, 2);
+        assert_statics_identical(&warm, &edited);
+    }
+
+    #[test]
+    fn corrupt_store_entries_degrade_to_recompute() {
+        let store = Arc::new(MapStore::default());
+        let m = app(3);
+        FunctionArtifactCache::with_store(store.clone()).compute(&m, &relevant());
+        // Corrupt every stored document.
+        for doc in store.0.lock().unwrap().values_mut() {
+            *doc = "{broken".to_string();
+        }
+        let cache = FunctionArtifactCache::with_store(store.clone());
+        let warm = cache.compute(&m, &relevant());
+        assert_eq!(warm.reuse.recomputed, 5, "corrupt entries are misses");
+        assert_statics_identical(&warm, &m);
+    }
+
+    #[test]
+    fn config_change_invalidates_everything() {
+        let cache = FunctionArtifactCache::new();
+        let m = app(3);
+        cache.compute(&m, &relevant());
+        let fewer: HashSet<String> = ["MPI_Barrier"].iter().map(|s| s.to_string()).collect();
+        let warm = cache.compute(&m, &fewer);
+        assert_eq!(warm.reuse.recomputed, 5, "salt covers the relevant set");
+    }
+
+    #[test]
+    fn artifact_json_roundtrips_classification() {
+        let m = app(3);
+        let cache = FunctionArtifactCache::new();
+        cache.compute(&m, &relevant());
+        // Round-trip every artifact currently in memory.
+        for artifact in cache.mem.lock().unwrap().values() {
+            let doc = artifact_to_json(artifact).render();
+            let back = artifact_from_json(&Value::parse(&doc).unwrap()).unwrap();
+            assert_eq!(format!("{:?}", back.class), format!("{:?}", artifact.class));
+            assert_eq!(back.recursive, artifact.recursive);
+            assert_eq!(back.irreducible, artifact.irreducible);
+            assert_eq!(back.loop_stats.total, artifact.loop_stats.total);
+        }
+    }
+}

@@ -36,15 +36,22 @@
 //! let results = session.analyze_batch(&param_sets); // parallel stages 2–3
 //! ```
 //!
-//! [`pipeline::analyze`] remains as a one-shot shim over a throwaway
-//! session. Every fallible API returns the unified [`PtError`]; substrate
-//! error types (`InterpError`, `ParseError`) never leak.
+//! One-shot use is just a throwaway session (`SessionBuilder::new(&m,
+//! entry).build().taint_run(params)`). Long-lived callers share static
+//! stages across sessions — and across module *edits* — through a
+//! content-keyed [`SessionCache`] backed by the per-function artifact
+//! cache of [`incremental`]. Every fallible API returns the unified
+//! [`PtError`]; substrate error types (`InterpError`, `ParseError`) never
+//! leak.
 //!
 //! ## Crate map
 //!
 //! * [`session`] — [`Session`] / [`SessionBuilder`]: memoized static stage
 //!   ([`StaticArtifacts`]), staged taint runs, parallel batching, and the
 //!   [`Analysis`] artifact they produce.
+//! * [`incremental`] — the content-addressed per-function artifact cache
+//!   ([`FunctionArtifactCache`], [`ReuseStats`], [`UnitStore`]) behind
+//!   [`SessionCache`]'s near-constant-time edit loops.
 //! * [`error`] — [`PtError`], the workspace-wide error enum.
 //! * [`volume`] — symbolic compute volumes (Claims 1–2, Theorem 1) and
 //!   [`volume::DepStructure`] monomial sets.
@@ -53,8 +60,7 @@
 //! * [`design`] — experiment-design reduction (§A2).
 //! * [`hybrid`] — the restricted PMNF modeler and black-box comparison (§B1).
 //! * [`validate`] — contention (§C1) and segmentation (§C2) detection.
-//! * [`pipeline`] — [`pipeline::analyze`]: the one-shot shim, plus
-//!   [`PipelineConfig`].
+//! * [`pipeline`] — [`PipelineConfig`].
 //! * [`report`] — text rendering of every artifact.
 //!
 //! The substrates live in sibling crates: `pt-ir` (the compiler IR),
@@ -68,6 +74,7 @@ pub mod deps;
 pub mod design;
 pub mod error;
 pub mod hybrid;
+pub mod incremental;
 pub mod pipeline;
 pub mod report;
 pub mod session;
@@ -78,7 +85,8 @@ pub use census::{FuncKind, Table2, Table3};
 pub use design::{design_experiments, DesignReport};
 pub use error::PtError;
 pub use hybrid::{compare_against_truth, model_functions, FunctionModel, ModelComparison};
-pub use pipeline::{analyze, PipelineConfig};
+pub use incremental::{FunctionArtifact, FunctionArtifactCache, ReuseStats, UnitStore};
+pub use pipeline::PipelineConfig;
 pub use report::{
     analysis_summary, static_summary, BenchReport, RunStatus, ScenarioRecord, BENCH_SCHEMA_VERSION,
 };

@@ -1,15 +1,15 @@
-//! One-shot entry point to the Perf-Taint pipeline (Fig. 2 of the paper).
+//! Configuration of the Perf-Taint pipeline (Fig. 2 of the paper).
 //!
-//! [`analyze`] runs static analysis → dynamic taint run → dependency
-//! extraction in a single call. It is a thin shim over the staged
-//! [`crate::session`] API; when you analyze the same module more than once
-//! (sweeps over parameter values, batched coverage runs), build a
-//! [`crate::Session`] instead so the static stage is computed once and
-//! shared.
+//! [`PipelineConfig`] bundles everything a [`crate::Session`] needs beyond
+//! the module itself: the library database (§5.3), the simulated machine,
+//! and the interpreter configuration. The staged [`crate::session`] API is
+//! the sole entry point — `SessionBuilder::new(&module, entry).build()
+//! .taint_run(params)` is the one-shot form, and keeping the session
+//! around amortizes the static stage over sweeps, batches, and edits (the
+//! deprecated one-shot `analyze()` shim this module used to export was
+//! exactly that expression).
 
-use crate::error::PtError;
 pub use crate::session::Analysis;
-use crate::session::SessionBuilder;
 use pt_mpisim::{LibraryDb, MachineConfig};
 use pt_taint::InterpConfig;
 
@@ -33,32 +33,26 @@ impl PipelineConfig {
     }
 }
 
-/// Run the full white-box analysis on `module` — a one-shot
-/// [`crate::Session`].
-///
-/// **Migration note:** this used to return `Result<Analysis, InterpError>`
-/// and to recompute the static stage per call. It now returns the unified
-/// [`PtError`] and delegates to a throwaway session; repeated analyses of
-/// one module should use [`crate::SessionBuilder`] +
-/// [`crate::Session::taint_run`] / [`crate::Session::analyze_batch`]
-/// directly to amortize the static stage.
-pub fn analyze(
-    module: &pt_ir::Module,
-    entry: &str,
-    params: Vec<(String, i64)>,
-    cfg: &PipelineConfig,
-) -> Result<Analysis, PtError> {
-    SessionBuilder::new(module, entry)
-        .config(cfg.clone())
-        .build()
-        .taint_run(params)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::census::FuncKind;
+    use crate::error::PtError;
+    use crate::session::SessionBuilder;
     use pt_ir::{FunctionBuilder, Module, Type, Value};
+
+    /// The one-shot form the retired `analyze()` shim used to package.
+    fn analyze(
+        module: &Module,
+        entry: &str,
+        params: Vec<(String, i64)>,
+        cfg: &PipelineConfig,
+    ) -> Result<Analysis, PtError> {
+        SessionBuilder::new(module, entry)
+            .config(cfg.clone())
+            .build()
+            .taint_run(params)
+    }
 
     fn tiny_app() -> Module {
         let mut m = Module::new("tiny");

@@ -33,6 +33,7 @@
 use crate::census::{classify_kinds, table2, table3, FuncKind, Table2, Table3};
 use crate::deps::{extern_deps, extract_deps};
 use crate::error::PtError;
+use crate::incremental::{FunctionArtifactCache, ReuseStats, UnitStore};
 use crate::pipeline::PipelineConfig;
 use crate::validate::BranchObservations;
 use crate::volume::DepStructure;
@@ -57,6 +58,11 @@ pub struct StaticArtifacts {
     pub classification: StaticClassification,
     /// Precomputed per-function facts (loops, postdominators, trip counts).
     pub prepared: PreparedModule,
+    /// How this stage was obtained, unit by unit: recomputed from scratch,
+    /// or assembled from the per-function artifact cache (see
+    /// [`crate::incremental`]). Accounting only — never part of any
+    /// deterministic summary.
+    pub reuse: ReuseStats,
 }
 
 /// Builder for a [`Session`]. Defaults to the MPI library database and
@@ -65,6 +71,7 @@ pub struct SessionBuilder<'m> {
     module: &'m Module,
     entry: String,
     config: PipelineConfig,
+    units: Option<Arc<FunctionArtifactCache>>,
 }
 
 impl<'m> SessionBuilder<'m> {
@@ -73,6 +80,7 @@ impl<'m> SessionBuilder<'m> {
             module,
             entry: entry.into(),
             config: PipelineConfig::with_mpi_defaults(),
+            units: None,
         }
     }
 
@@ -82,11 +90,20 @@ impl<'m> SessionBuilder<'m> {
         self
     }
 
+    /// Run the static stage incrementally against a shared per-function
+    /// artifact cache instead of recomputing it whole (see
+    /// [`crate::incremental`]). [`SessionCache`] wires this automatically.
+    pub fn units(mut self, cache: Arc<FunctionArtifactCache>) -> SessionBuilder<'m> {
+        self.units = Some(cache);
+        self
+    }
+
     pub fn build(self) -> Session<'m> {
         Session {
             module: self.module,
             entry: self.entry,
             config: self.config,
+            units: self.units,
             statics: OnceLock::new(),
         }
     }
@@ -98,6 +115,7 @@ pub struct Session<'m> {
     module: &'m Module,
     entry: String,
     config: PipelineConfig,
+    units: Option<Arc<FunctionArtifactCache>>,
     statics: OnceLock<Arc<StaticArtifacts>>,
 }
 
@@ -121,9 +139,16 @@ impl<'m> Session<'m> {
             .get_or_init(|| {
                 let relevant: HashSet<String> =
                     self.config.db.relevant_names().map(String::from).collect();
-                Arc::new(StaticArtifacts {
-                    classification: classify_module(self.module, &relevant),
-                    prepared: PreparedModule::compute(self.module),
+                Arc::new(match &self.units {
+                    // Incremental: assemble from the per-function artifact
+                    // cache, recomputing only what the content keys say
+                    // changed. Bit-identical to the plain path below.
+                    Some(cache) => cache.compute(self.module, &relevant),
+                    None => StaticArtifacts {
+                        classification: classify_module(self.module, &relevant),
+                        prepared: PreparedModule::compute(self.module),
+                        reuse: ReuseStats::all_recomputed(self.module.functions.len()),
+                    },
                 })
             })
             .clone()
@@ -233,53 +258,77 @@ impl<'m> Session<'m> {
     }
 }
 
-/// A cross-app cache of static-stage artifacts, keyed by module name.
+/// A cross-app cache of static-stage artifacts, keyed by module *content*.
 ///
 /// A [`Session`] memoizes the static stage for *one* module, but its
 /// lifetime is tied to the borrow of that module — callers that create
 /// sessions on demand (the bench scenario registry runs 12 scenarios over
-/// the same two apps) would recompute the §5.1 classification every time.
-/// The cache outlives the sessions: the first session built for a module
-/// name computes the artifacts, every later one is seeded with the shared
+/// the same two apps; the analysis service accepts modules from many
+/// clients) would recompute the §5.1 classification every time. The cache
+/// outlives the sessions: [`SessionCache::get_or_compute`] is the single
+/// entry point, and the first session obtained for a module content hash
+/// computes the artifacts while every later one is seeded with the shared
 /// [`Arc`], whatever its lifetime.
 ///
-/// Two caveats, both by construction of the keying:
-/// * module names must be unique per distinct module (true for the
-///   evaluation apps, which name their modules after themselves);
-/// * cached sessions use the default MPI pipeline configuration — custom
-///   configurations (e.g. ablated taint policies) change what the static
-///   stage may legitimately observe downstream, so build those sessions
-///   directly via [`SessionBuilder`] instead.
-#[derive(Default)]
+/// Two granularities of sharing compose here:
+/// * **whole-module**: an unchanged module resubmitted under any name hits
+///   the content-keyed slot and pays nothing;
+/// * **per-function**: an *edited* module misses the slot but assembles
+///   its static stage from the [`FunctionArtifactCache`] the sessions
+///   share, recomputing only the edited function's invalidation cone (see
+///   [`crate::incremental`]) — and persisting units through a
+///   [`UnitStore`] when the cache was built
+///   [`with_store`](SessionCache::with_store), so reuse survives process
+///   restarts.
+///
+/// One caveat: cached sessions use the default MPI pipeline configuration
+/// — custom configurations (e.g. ablated taint policies) change what the
+/// static stage may legitimately observe downstream, so build those
+/// sessions directly via [`SessionBuilder`] instead.
 pub struct SessionCache {
     statics: Mutex<BTreeMap<String, Arc<OnceLock<Arc<StaticArtifacts>>>>>,
+    units: Arc<FunctionArtifactCache>,
+}
+
+impl Default for SessionCache {
+    fn default() -> SessionCache {
+        SessionCache::new()
+    }
 }
 
 impl SessionCache {
     pub fn new() -> SessionCache {
-        SessionCache::default()
+        SessionCache {
+            statics: Mutex::new(BTreeMap::new()),
+            units: Arc::new(FunctionArtifactCache::new()),
+        }
+    }
+
+    /// A cache whose per-function artifacts are additionally persisted
+    /// through `store`, extending reuse across process restarts.
+    pub fn with_store(store: Arc<dyn UnitStore>) -> SessionCache {
+        SessionCache {
+            statics: Mutex::new(BTreeMap::new()),
+            units: Arc::new(FunctionArtifactCache::with_store(store)),
+        }
     }
 
     /// A session over `module` whose static stage is shared with every
-    /// other session this cache produced for the same module name.
-    pub fn session<'m>(&self, module: &'m Module, entry: &str) -> Session<'m> {
-        self.session_keyed(&module.name, module, entry)
-    }
-
-    /// Like [`SessionCache::session`], but sharing by an explicit
-    /// caller-chosen key instead of the module name. Long-running callers
-    /// that accept modules from many clients (the analysis service) key by
-    /// content hash, where two different submissions may legitimately carry
-    /// the same module name.
-    pub fn session_keyed<'m>(&self, key: &str, module: &'m Module, entry: &str) -> Session<'m> {
-        let session = SessionBuilder::new(module, entry).build();
+    /// other session this cache produced for the same module *content* —
+    /// and assembled incrementally from the per-function artifact cache
+    /// when the content is new.
+    pub fn get_or_compute<'m>(&self, module: &'m Module, entry: &str) -> Session<'m> {
+        let key = pt_ir::fingerprint::module_digest(module);
+        let session = SessionBuilder::new(module, entry)
+            .units(self.units.clone())
+            .build();
         // Reserve the per-key slot under the lock, compute outside it:
         // `OnceLock::get_or_init` blocks concurrent first callers until the
         // winner finishes, so the static stage runs exactly once per key
         // even when many sessions are requested at the same time.
         let slot = {
             let mut map = self.statics.lock().unwrap();
-            map.entry(key.to_string()).or_default().clone()
+            map.entry(key).or_default().clone()
         };
         let statics = slot.get_or_init(|| session.static_analysis()).clone();
         // No-op when this session was the one that just computed them.
@@ -287,7 +336,13 @@ impl SessionCache {
         session
     }
 
-    /// Number of distinct modules cached so far.
+    /// Cumulative per-function reuse accounting over every static stage
+    /// this cache computed (the observable `pt-serve` reports in `stats`).
+    pub fn unit_reuse(&self) -> ReuseStats {
+        self.units.cumulative()
+    }
+
+    /// Number of distinct module contents cached so far.
     pub fn len(&self) -> usize {
         self.statics.lock().unwrap().len()
     }

@@ -1,0 +1,96 @@
+//! Stable content fingerprints over the printed IR form.
+//!
+//! The incremental static stage keys every per-function artifact by a
+//! content hash of the function's *printed* body ([`crate::printer`]), not
+//! by name or index: two textually identical functions hash identically no
+//! matter where they sit in the module, and any edit — however small —
+//! changes the hash. The printed form spells out callee names (`call
+//! @kernel(...)`), so a function's digest pins down its outgoing call
+//! *names* while staying independent of the callees' numeric ids.
+//!
+//! The hash is 128-bit FNV-1a over length-prefixed parts, rendered as 32
+//! hex digits — deliberately the same construction as the server store's
+//! content keys so a digest can be embedded in a store key without
+//! re-hashing. FNV is not cryptographic; the cache only needs collision
+//! resistance against *accidental* collisions, and 128 bits of FNV over
+//! kilobyte inputs is far beyond what a build farm can collide by chance.
+
+use crate::printer::print_function;
+use crate::{FunctionId, Module};
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// 128-bit FNV-1a over length-prefixed parts, as 32 lowercase hex digits.
+///
+/// Length prefixes make the encoding injective: `["ab", "c"]` and
+/// `["a", "bc"]` hash differently.
+pub fn digest_parts(parts: &[&str]) -> String {
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u128;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for part in parts {
+        eat(&(part.len() as u64).to_le_bytes());
+        eat(part.as_bytes());
+    }
+    format!("{h:032x}")
+}
+
+/// Content digest of one function's printed body.
+///
+/// Printing with the module in scope resolves internal callees to `@name`
+/// form, so the digest covers the call-graph *names* this function depends
+/// on (binding names to ids is the job of the environment digest, not this
+/// one).
+pub fn function_digest(module: &Module, fid: FunctionId) -> String {
+    let text = print_function(module.function(fid), Some(module));
+    digest_parts(&["fn", &text])
+}
+
+/// Content digest of a whole module's printed form — the key long-lived
+/// caches use to share artifacts across sessions, where two different
+/// submissions may legitimately carry the same module *name*.
+pub fn module_digest(module: &Module) -> String {
+    digest_parts(&["module", &crate::printer::print_module(module)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, Type};
+
+    fn two_fn_module(konst: i64) -> Module {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("a", vec![("n".into(), Type::I64)], Type::I64);
+        let v = b.add(b.param(0), konst);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("b", vec![], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn digest_is_stable_and_edit_sensitive() {
+        let m1 = two_fn_module(1);
+        let m2 = two_fn_module(1);
+        let m3 = two_fn_module(2);
+        let d = |m: &Module, i: u32| function_digest(m, FunctionId(i));
+        assert_eq!(d(&m1, 0), d(&m2, 0));
+        assert_eq!(d(&m1, 1), d(&m2, 1));
+        assert_ne!(d(&m1, 0), d(&m3, 0), "body edit must change the digest");
+        assert_eq!(d(&m1, 1), d(&m3, 1), "untouched function digest survives");
+        assert_ne!(d(&m1, 0), d(&m1, 1));
+    }
+
+    #[test]
+    fn length_prefix_is_injective() {
+        assert_ne!(digest_parts(&["ab", "c"]), digest_parts(&["a", "bc"]));
+        assert_ne!(digest_parts(&[""]), digest_parts(&[]));
+    }
+}

@@ -30,6 +30,7 @@
 //! dominator tree.
 
 pub mod builder;
+pub mod fingerprint;
 pub mod function;
 pub mod inst;
 pub mod module;

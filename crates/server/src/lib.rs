@@ -35,7 +35,7 @@ pub use client::{Client, ClientError};
 pub use ops::AdmissionPolicy;
 pub use protocol::{ServeError, PROTOCOL_MINOR, PROTOCOL_VERSION};
 pub use state::ServerState;
-pub use store::{content_key, Namespace, Store, CONFIG_FINGERPRINT};
+pub use store::{content_key, ArtifactKind, Store, StoreKey, CONFIG_FINGERPRINT};
 
 use pt_util::{BoundedQueue, TryPushError};
 use serde::json::Value;

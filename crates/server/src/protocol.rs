@@ -26,9 +26,13 @@ pub const PROTOCOL_VERSION: u64 = 1;
 
 /// Backward-compatible revision within [`PROTOCOL_VERSION`]. Revision 1
 /// ("protocol v1.1") added the `metrics` method and the `overloaded`
-/// error envelope (with `retry_after_ms`); v1 clients are unaffected —
-/// the wire `v` field stays `1`.
-pub const PROTOCOL_MINOR: u64 = 1;
+/// error envelope (with `retry_after_ms`). Revision 2 ("protocol v1.2")
+/// added the `functions` object to `stats` and `metrics` — the
+/// per-function static-stage reuse ledger (`total` / `reused_memory` /
+/// `reused_store` / `recomputed`) behind the content-addressed edit loop.
+/// All additions are additive; v1 clients are unaffected — the wire `v`
+/// field stays `1`.
+pub const PROTOCOL_MINOR: u64 = 2;
 
 /// A parsed request envelope.
 #[derive(Debug, Clone)]

@@ -13,9 +13,9 @@
 
 use crate::ops::{AdmissionPolicy, Ops, METHODS};
 use crate::protocol::{ServeError, PROTOCOL_MINOR, PROTOCOL_VERSION};
-use crate::store::{content_key, Namespace, Store, CONFIG_FINGERPRINT};
+use crate::store::{Store, StoreKey};
 use perf_taint::report::{analysis_summary, static_summary};
-use perf_taint::{parse_module, PtError, SessionCache};
+use perf_taint::{parse_module, PtError, SessionCache, UnitStore};
 use pt_extrap::{fit_multi_param, MeasurementSet, Restriction, SearchSpace};
 use pt_ir::Module;
 use serde::json::Value;
@@ -27,13 +27,34 @@ use std::time::Instant;
 /// A method handler in the dispatch table.
 type Handler = fn(&ServerState, &Value) -> Result<Value, ServeError>;
 
+/// The [`Store`]-backed [`UnitStore`]: per-function static-stage artifacts
+/// persist under [`ArtifactKind::Functions`](crate::store::ArtifactKind),
+/// so a restarted server reuses every untouched function of an edited
+/// module from disk. Both directions are best-effort — a broken store
+/// degrades the edit loop to compute-always, never to an error.
+struct StoreUnitStore(Arc<Store>);
+
+impl UnitStore for StoreUnitStore {
+    fn load(&self, key: &str) -> Option<String> {
+        let k = StoreKey::function_unit(key);
+        self.0.get(k.kind, &k.hash)
+    }
+
+    fn save(&self, key: &str, doc: &str) {
+        let k = StoreKey::function_unit(key);
+        let _ = self.0.put(k.kind, &k.hash, doc);
+    }
+}
+
 /// Everything the worker threads share.
 pub struct ServerState {
-    store: Store,
+    store: Arc<Store>,
     /// Parsed modules by content hash (loaded lazily from the store, so a
     /// restarted server can serve hashes submitted to a previous process).
     modules: Mutex<HashMap<String, Arc<Module>>>,
-    /// In-process static-stage sharing, keyed by module content hash.
+    /// In-process static-stage sharing, keyed by module content hash —
+    /// backed by a store-persistent per-function artifact cache, so an
+    /// edited module recomputes only the edited function's cone.
     sessions: SessionCache,
     /// Worker threads available to `analyze_batch` fan-out.
     pub workers: usize,
@@ -61,10 +82,12 @@ pub struct ServerState {
 
 impl ServerState {
     pub fn new(store: Store, workers: usize, queue_capacity: usize) -> ServerState {
+        let store = Arc::new(store);
+        let units = Arc::new(StoreUnitStore(store.clone()));
         ServerState {
             store,
             modules: Mutex::new(HashMap::new()),
-            sessions: SessionCache::new(),
+            sessions: SessionCache::with_store(units),
             workers: workers.max(1),
             queue_capacity,
             requests: AtomicU64::new(0),
@@ -160,11 +183,11 @@ impl ServerState {
                 errors.len()
             ))));
         }
-        let key = content_key(&["module", text]);
-        let known = self.store.contains(Namespace::Modules, &key);
+        let key = StoreKey::module(text);
+        let known = self.store.contains(key.kind, &key.hash);
         if !known {
             self.store
-                .put(Namespace::Modules, &key, text)
+                .put(key.kind, &key.hash, text)
                 .map_err(|e| ServeError::Internal(format!("store write failed: {e}")))?;
         }
         let functions = module.functions.len();
@@ -172,9 +195,9 @@ impl ServerState {
         self.modules
             .lock()
             .unwrap()
-            .insert(key.clone(), Arc::new(module));
+            .insert(key.hash.clone(), Arc::new(module));
         Ok(Value::obj(vec![
-            ("module", Value::str(&key)),
+            ("module", Value::str(&key.hash)),
             ("name", Value::str(name)),
             ("functions", Value::int(functions as i64)),
             ("known", Value::Bool(known)),
@@ -188,7 +211,8 @@ impl ServerState {
         if let Some(m) = self.modules.lock().unwrap().get(key) {
             return Ok(m.clone());
         }
-        let text = self.store.get(Namespace::Modules, key).ok_or_else(|| {
+        let k = StoreKey::module_by_hash(key);
+        let text = self.store.get(k.kind, &k.hash).ok_or_else(|| {
             ServeError::BadRequest(format!("unknown module '{key}' (submit_module it first)"))
         })?;
         let module = Arc::new(parse_module(&text).map_err(|e| {
@@ -217,13 +241,13 @@ impl ServerState {
                 entry: entry.to_string(),
             }));
         }
-        let key = content_key(&["static", module_key, CONFIG_FINGERPRINT]);
-        if let Some(value) = self.stored(Namespace::Statics, &key) {
+        let key = StoreKey::static_summary(module_key);
+        if let Some(value) = self.stored(&key) {
             return Ok(value);
         }
-        let session = self.sessions.session_keyed(module_key, &module, entry);
+        let session = self.sessions.get_or_compute(&module, entry);
         let summary = static_summary(&session.static_analysis(), &module);
-        self.persist(Namespace::Statics, &key, &summary);
+        self.persist(&key, &summary);
         Ok(summary)
     }
 
@@ -242,23 +266,17 @@ impl ServerState {
         entry: &str,
         run_params: &[(String, i64)],
     ) -> Result<Value, ServeError> {
-        let key = content_key(&[
-            "analysis",
-            module_key,
-            entry,
-            CONFIG_FINGERPRINT,
-            &canonical_params(run_params),
-        ]);
-        if let Some(value) = self.stored(Namespace::Analyses, &key) {
+        let key = StoreKey::analysis(module_key, entry, &canonical_params(run_params));
+        if let Some(value) = self.stored(&key) {
             return Ok(value);
         }
         let module = self.module_for(module_key)?;
-        let session = self.sessions.session_keyed(module_key, &module, entry);
+        let session = self.sessions.get_or_compute(&module, entry);
         let analysis = session
             .taint_run(run_params.to_vec())
             .map_err(ServeError::from)?;
         let summary = analysis_summary(&analysis, &module);
-        self.persist(Namespace::Analyses, &key, &summary);
+        self.persist(&key, &summary);
         Ok(summary)
     }
 
@@ -307,9 +325,8 @@ impl ServerState {
     /// Fit an Extra-P model to measurements, under an optional taint-derived
     /// restriction (§4.5). Cached by the canonical request content.
     fn fit_model(&self, params: &Value) -> Result<Value, ServeError> {
-        let canonical = params.render();
-        let key = content_key(&["model", CONFIG_FINGERPRINT, &canonical]);
-        if let Some(value) = self.stored(Namespace::Models, &key) {
+        let key = StoreKey::model(&params.render());
+        if let Some(value) = self.stored(&key) {
             return Ok(value);
         }
 
@@ -380,11 +397,26 @@ impl ServerState {
             ("r2", Value::Num(fitted.quality.r2)),
             ("hypotheses", Value::int(fitted.quality.hypotheses as i64)),
         ]);
-        self.persist(Namespace::Models, &key, &summary);
+        self.persist(&key, &summary);
         Ok(summary)
     }
 
     // ---- stats / metrics / shutdown --------------------------------------
+
+    /// Protocol v1.2: the `functions` object reports the per-function
+    /// static-stage ledger — of all function units the static stage has
+    /// needed, how many were reused from memory, reused from the store, or
+    /// recomputed. An edit loop is warm exactly when `recomputed` grows by
+    /// the edited cone only.
+    fn function_reuse_json(&self) -> Value {
+        let reuse = self.sessions.unit_reuse();
+        Value::obj(vec![
+            ("total", Value::int(reuse.total as i64)),
+            ("reused_memory", Value::int(reuse.reused_memory as i64)),
+            ("reused_store", Value::int(reuse.reused_store as i64)),
+            ("recomputed", Value::int(reuse.recomputed as i64)),
+        ])
+    }
 
     fn stats(&self) -> Result<Value, ServeError> {
         let store = self.store.stats();
@@ -411,6 +443,7 @@ impl ServerState {
                     ("objects", Value::int(self.store.total_objects() as i64)),
                 ]),
             ),
+            ("functions", self.function_reuse_json()),
             (
                 "modules_in_memory",
                 Value::int(self.modules.lock().unwrap().len() as i64),
@@ -421,10 +454,11 @@ impl ServerState {
         ]))
     }
 
-    /// The protocol-v1.1 observability surface: everything `stats` knows is
-    /// a counter; this adds uptime, queue occupancy, shed totals, store
-    /// sizing (bytes / budget / evictions), and per-method latency
-    /// histograms (p50/p99/p999, milliseconds).
+    /// The protocol-v1.1+ observability surface: everything `stats` knows
+    /// is a counter; this adds uptime, queue occupancy, shed totals, store
+    /// sizing (bytes / budget / evictions), per-method latency histograms
+    /// (p50/p99/p999, milliseconds), and — since v1.2 — the per-function
+    /// static-stage reuse ledger.
     fn metrics(&self) -> Result<Value, ServeError> {
         let store = self.store.stats();
         Ok(Value::obj(vec![
@@ -462,6 +496,7 @@ impl ServerState {
                 "served_from_store",
                 Value::int(self.served_from_store.load(Ordering::Relaxed) as i64),
             ),
+            ("functions", self.function_reuse_json()),
             ("workers", Value::int(self.workers as i64)),
         ]))
     }
@@ -480,8 +515,8 @@ impl ServerState {
     /// the caller recomputes and overwrites (mirroring the write side's
     /// "a broken store degrades to compute-always" stance). Only a
     /// successful parse counts as store-served.
-    fn stored(&self, ns: Namespace, key: &str) -> Option<Value> {
-        let text = self.store.get(ns, key)?;
+    fn stored(&self, key: &StoreKey) -> Option<Value> {
+        let text = self.store.get(key.kind, &key.hash)?;
         match Value::parse(&text) {
             Ok(value) => {
                 self.served_from_store.fetch_add(1, Ordering::Relaxed);
@@ -493,8 +528,8 @@ impl ServerState {
 
     /// Best-effort persist: a full disk degrades the service to
     /// compute-always, it does not fail requests.
-    fn persist(&self, ns: Namespace, key: &str, doc: &Value) {
-        let _ = self.store.put(ns, key, &doc.render());
+    fn persist(&self, key: &StoreKey, doc: &Value) {
+        let _ = self.store.put(key.kind, &key.hash, &doc.render());
     }
 }
 

@@ -10,7 +10,7 @@
 //! pipeline, which is sound because the whole pipeline is deterministic:
 //! a cached response is byte-identical to a fresh computation.
 //!
-//! Layout: one subdirectory per [`Namespace`], one file per object, the
+//! Layout: one subdirectory per [`ArtifactKind`], one file per object, the
 //! hex key as the filename. Writes go through a temp file + rename so a
 //! crashed writer never leaves a torn object for a later reader.
 //!
@@ -77,8 +77,11 @@ pub fn content_key(parts: &[&str]) -> String {
 }
 
 /// The artifact families the store knows, each in its own subdirectory.
+/// Derived keys are built only through the typed [`StoreKey`] constructors,
+/// so two families can never collide on a key — the family is part of the
+/// type, not a string convention.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Namespace {
+pub enum ArtifactKind {
     /// Submitted module IR text, keyed by its own hash.
     Modules,
     /// Static-stage summaries (§5.1), keyed by (module, entry, config).
@@ -88,27 +91,101 @@ pub enum Namespace {
     Analyses,
     /// Fitted Extra-P models, keyed by the canonical fit request.
     Models,
+    /// Per-function static-stage units (`perf_taint::incremental`), keyed
+    /// by the function's content-addressed unit key.
+    Functions,
 }
 
-impl Namespace {
-    pub const ALL: [Namespace; 4] = [
-        Namespace::Modules,
-        Namespace::Statics,
-        Namespace::Analyses,
-        Namespace::Models,
+impl ArtifactKind {
+    pub const ALL: [ArtifactKind; 5] = [
+        ArtifactKind::Modules,
+        ArtifactKind::Statics,
+        ArtifactKind::Analyses,
+        ArtifactKind::Models,
+        ArtifactKind::Functions,
     ];
 
     fn dir(self) -> &'static str {
         match self {
-            Namespace::Modules => "modules",
-            Namespace::Statics => "statics",
-            Namespace::Analyses => "analyses",
-            Namespace::Models => "models",
+            ArtifactKind::Modules => "modules",
+            ArtifactKind::Statics => "statics",
+            ArtifactKind::Analyses => "analyses",
+            ArtifactKind::Models => "models",
+            ArtifactKind::Functions => "functions",
         }
     }
 
-    fn from_dir(dir: &str) -> Option<Namespace> {
-        Namespace::ALL.into_iter().find(|ns| ns.dir() == dir)
+    fn from_dir(dir: &str) -> Option<ArtifactKind> {
+        ArtifactKind::ALL.into_iter().find(|ns| ns.dir() == dir)
+    }
+}
+
+/// A typed store key: the artifact family plus the content hash naming the
+/// object within it. Built only through the constructors below, which bake
+/// the derivation (including [`CONFIG_FINGERPRINT`] where the artifact
+/// depends on the pipeline configuration) into one place each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreKey {
+    pub kind: ArtifactKind,
+    pub hash: String,
+}
+
+impl StoreKey {
+    /// A submitted module, keyed by its own text.
+    pub fn module(text: &str) -> StoreKey {
+        StoreKey {
+            kind: ArtifactKind::Modules,
+            hash: content_key(&["module", text]),
+        }
+    }
+
+    /// A module named by an already-derived hash (how clients refer to
+    /// submissions on every later request).
+    pub fn module_by_hash(hash: &str) -> StoreKey {
+        StoreKey {
+            kind: ArtifactKind::Modules,
+            hash: hash.to_string(),
+        }
+    }
+
+    /// A static-stage summary for a submitted module.
+    pub fn static_summary(module_hash: &str) -> StoreKey {
+        StoreKey {
+            kind: ArtifactKind::Statics,
+            hash: content_key(&["static", module_hash, CONFIG_FINGERPRINT]),
+        }
+    }
+
+    /// A taint-run analysis summary.
+    pub fn analysis(module_hash: &str, entry: &str, canonical_params: &str) -> StoreKey {
+        StoreKey {
+            kind: ArtifactKind::Analyses,
+            hash: content_key(&[
+                "analysis",
+                module_hash,
+                entry,
+                CONFIG_FINGERPRINT,
+                canonical_params,
+            ]),
+        }
+    }
+
+    /// A fitted model, keyed by the canonical fit request.
+    pub fn model(canonical_request: &str) -> StoreKey {
+        StoreKey {
+            kind: ArtifactKind::Models,
+            hash: content_key(&["model", CONFIG_FINGERPRINT, canonical_request]),
+        }
+    }
+
+    /// A per-function static-stage unit. `unit_key` is already a content
+    /// digest (`pt_analysis::unitkey`) closing over the function body, its
+    /// callees, and the static-stage configuration salt.
+    pub fn function_unit(unit_key: &str) -> StoreKey {
+        StoreKey {
+            kind: ArtifactKind::Functions,
+            hash: content_key(&["function", unit_key, CONFIG_FINGERPRINT]),
+        }
     }
 }
 
@@ -137,15 +214,15 @@ struct EntryMeta {
 struct LruIndex {
     clock: u64,
     total_bytes: u64,
-    entries: HashMap<(Namespace, String), EntryMeta>,
-    order: BTreeMap<u64, (Namespace, String)>,
+    entries: HashMap<(ArtifactKind, String), EntryMeta>,
+    order: BTreeMap<u64, (ArtifactKind, String)>,
     /// Access-order touches since the sidecar was last persisted.
     unsaved_touches: u64,
 }
 
 impl LruIndex {
     /// Record (or refresh) an object at the warm end of the order.
-    fn upsert(&mut self, ns: Namespace, key: &str, bytes: u64) {
+    fn upsert(&mut self, ns: ArtifactKind, key: &str, bytes: u64) {
         self.remove(ns, key);
         let seq = self.clock;
         self.clock += 1;
@@ -156,7 +233,7 @@ impl LruIndex {
     }
 
     /// Drop an object from the index (not from disk). Returns its size.
-    fn remove(&mut self, ns: Namespace, key: &str) -> Option<u64> {
+    fn remove(&mut self, ns: ArtifactKind, key: &str) -> Option<u64> {
         let meta = self.entries.remove(&(ns, key.to_string()))?;
         self.order.remove(&meta.seq);
         self.total_bytes -= meta.bytes;
@@ -164,7 +241,7 @@ impl LruIndex {
     }
 
     /// The coldest object, if any.
-    fn coldest(&self) -> Option<(Namespace, String)> {
+    fn coldest(&self) -> Option<(ArtifactKind, String)> {
         self.order.values().next().cloned()
     }
 }
@@ -195,9 +272,9 @@ impl Store {
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
         let root = root.into();
         // (sidecar seq if known, namespace, key, bytes on disk)
-        let mut found: Vec<(Option<u64>, Namespace, String, u64)> = Vec::new();
+        let mut found: Vec<(Option<u64>, ArtifactKind, String, u64)> = Vec::new();
         let saved = load_sidecar(&root);
-        for ns in Namespace::ALL {
+        for ns in ArtifactKind::ALL {
             let dir = root.join(ns.dir());
             fs::create_dir_all(&dir)?;
             if let Ok(entries) = fs::read_dir(&dir) {
@@ -271,13 +348,13 @@ impl Store {
         self.lru.lock().unwrap().total_bytes
     }
 
-    fn path(&self, ns: Namespace, key: &str) -> PathBuf {
+    fn path(&self, ns: ArtifactKind, key: &str) -> PathBuf {
         self.root.join(ns.dir()).join(key)
     }
 
     /// Fetch an object, counting a hit or a miss. A hit refreshes the
     /// object's position in the access order (LRU touch).
-    pub fn get(&self, ns: Namespace, key: &str) -> Option<String> {
+    pub fn get(&self, ns: ArtifactKind, key: &str) -> Option<String> {
         match fs::read_to_string(self.path(ns, key)) {
             Ok(text) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -306,7 +383,7 @@ impl Store {
 
     /// Does an object exist? (No hit/miss accounting, no LRU touch — for
     /// idempotent-put checks, not for serving.)
-    pub fn contains(&self, ns: Namespace, key: &str) -> bool {
+    pub fn contains(&self, ns: ArtifactKind, key: &str) -> bool {
         self.path(ns, key).exists()
     }
 
@@ -315,7 +392,7 @@ impl Store {
     /// the same key race benignly — content-addressing means they are
     /// writing identical bytes. A put that pushes the store past its
     /// budget evicts the coldest objects before returning.
-    pub fn put(&self, ns: Namespace, key: &str, text: &str) -> io::Result<()> {
+    pub fn put(&self, ns: ArtifactKind, key: &str, text: &str) -> io::Result<()> {
         let final_path = self.path(ns, key);
         let tmp_path = final_path.with_extension(format!(
             "tmp.{}.{}",
@@ -377,7 +454,7 @@ impl Store {
 
     /// Objects on disk in one namespace (directory scan; for `stats`).
     /// In-flight or orphaned temp files are not objects.
-    pub fn object_count(&self, ns: Namespace) -> usize {
+    pub fn object_count(&self, ns: ArtifactKind) -> usize {
         fs::read_dir(self.root.join(ns.dir()))
             .map(|entries| {
                 entries
@@ -390,7 +467,10 @@ impl Store {
 
     /// Objects on disk across all namespaces.
     pub fn total_objects(&self) -> usize {
-        Namespace::ALL.iter().map(|&ns| self.object_count(ns)).sum()
+        ArtifactKind::ALL
+            .iter()
+            .map(|&ns| self.object_count(ns))
+            .sum()
     }
 
     pub fn stats(&self) -> StoreStats {
@@ -419,7 +499,7 @@ impl Drop for Store {
 
 /// Parse the sidecar into `(namespace, key) -> seq`. Malformed lines (or
 /// a missing file) are silently ignored — the sidecar is advisory.
-fn load_sidecar(root: &Path) -> HashMap<(Namespace, String), u64> {
+fn load_sidecar(root: &Path) -> HashMap<(ArtifactKind, String), u64> {
     let mut saved = HashMap::new();
     let Ok(text) = fs::read_to_string(root.join(SIDECAR)) else {
         return saved;
@@ -431,7 +511,7 @@ fn load_sidecar(root: &Path) -> HashMap<(Namespace, String), u64> {
         else {
             continue;
         };
-        let (Ok(seq), Some(ns)) = (seq.parse::<u64>(), Namespace::from_dir(dir)) else {
+        let (Ok(seq), Some(ns)) = (seq.parse::<u64>(), ArtifactKind::from_dir(dir)) else {
             continue;
         };
         saved.insert((ns, key.to_string()), seq);
@@ -465,10 +545,13 @@ mod tests {
     fn put_get_roundtrip_and_stats() {
         let store = temp_store("roundtrip");
         let key = content_key(&["module", "text"]);
-        assert_eq!(store.get(Namespace::Modules, &key), None);
-        store.put(Namespace::Modules, &key, "text").unwrap();
-        assert_eq!(store.get(Namespace::Modules, &key).as_deref(), Some("text"));
-        assert!(store.contains(Namespace::Modules, &key));
+        assert_eq!(store.get(ArtifactKind::Modules, &key), None);
+        store.put(ArtifactKind::Modules, &key, "text").unwrap();
+        assert_eq!(
+            store.get(ArtifactKind::Modules, &key).as_deref(),
+            Some("text")
+        );
+        assert!(store.contains(ArtifactKind::Modules, &key));
         assert_eq!(
             store.stats(),
             StoreStats {
@@ -478,7 +561,7 @@ mod tests {
                 evictions: 0,
             }
         );
-        assert_eq!(store.object_count(Namespace::Modules), 1);
+        assert_eq!(store.object_count(ArtifactKind::Modules), 1);
         assert_eq!(store.total_objects(), 1);
         assert_eq!(store.total_bytes(), 4);
         let _ = fs::remove_dir_all(store.root());
@@ -490,13 +573,15 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         {
             let store = Store::open(&dir).unwrap();
-            store.put(Namespace::Analyses, "abc", "{\"x\":1}").unwrap();
+            store
+                .put(ArtifactKind::Analyses, "abc", "{\"x\":1}")
+                .unwrap();
         }
         let store = Store::open(&dir).unwrap();
         // Fresh process-equivalent: zero counters, object still there.
         assert_eq!(store.stats(), StoreStats::default());
         assert_eq!(
-            store.get(Namespace::Analyses, "abc").as_deref(),
+            store.get(ArtifactKind::Analyses, "abc").as_deref(),
             Some("{\"x\":1}")
         );
         assert_eq!(store.stats().hits, 1);
@@ -509,10 +594,10 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         {
             let store = Store::open(&dir).unwrap();
-            store.put(Namespace::Analyses, "good", "{}").unwrap();
+            store.put(ArtifactKind::Analyses, "good", "{}").unwrap();
             // Simulate a writer that died between write and rename.
             fs::write(dir.join("analyses").join("dead.tmp.1.0"), "partial").unwrap();
-            assert_eq!(store.object_count(Namespace::Analyses), 1);
+            assert_eq!(store.object_count(ArtifactKind::Analyses), 1);
             assert_eq!(store.total_objects(), 1);
         }
         let store = Store::open(&dir).unwrap();
@@ -521,7 +606,7 @@ mod tests {
             "reopen sweeps orphaned temp files"
         );
         assert_eq!(
-            store.get(Namespace::Analyses, "good").as_deref(),
+            store.get(ArtifactKind::Analyses, "good").as_deref(),
             Some("{}")
         );
         let _ = fs::remove_dir_all(&dir);
@@ -530,10 +615,60 @@ mod tests {
     #[test]
     fn namespaces_do_not_collide() {
         let store = temp_store("ns");
-        store.put(Namespace::Modules, "k", "m").unwrap();
-        assert_eq!(store.get(Namespace::Statics, "k"), None);
-        assert_eq!(store.get(Namespace::Modules, "k").as_deref(), Some("m"));
+        store.put(ArtifactKind::Modules, "k", "m").unwrap();
+        assert_eq!(store.get(ArtifactKind::Statics, "k"), None);
+        assert_eq!(store.get(ArtifactKind::Modules, "k").as_deref(), Some("m"));
+        // The per-function namespace is its own directory too.
+        store.put(ArtifactKind::Functions, "k", "f").unwrap();
+        assert_eq!(store.get(ArtifactKind::Modules, "k").as_deref(), Some("m"));
+        assert_eq!(
+            store.get(ArtifactKind::Functions, "k").as_deref(),
+            Some("f")
+        );
         let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn typed_keys_derive_kind_and_hash_together() {
+        // The same seed text lands in different families with different
+        // hashes — the constructors bake the derivation scheme, so no two
+        // families can ever alias a key.
+        let text = "func @f() -> void {";
+        let module = StoreKey::module(text);
+        assert_eq!(module.kind, ArtifactKind::Modules);
+        assert_eq!(module.hash, content_key(&["module", text]));
+        assert_eq!(StoreKey::module_by_hash(&module.hash), module);
+
+        let statics = StoreKey::static_summary(&module.hash);
+        let analysis = StoreKey::analysis(&module.hash, "main", "{}");
+        let model = StoreKey::model(text);
+        let unit = StoreKey::function_unit("deadbeef");
+        assert_eq!(statics.kind, ArtifactKind::Statics);
+        assert_eq!(analysis.kind, ArtifactKind::Analyses);
+        assert_eq!(model.kind, ArtifactKind::Models);
+        assert_eq!(unit.kind, ArtifactKind::Functions);
+
+        let mut hashes = vec![
+            module.hash.clone(),
+            statics.hash.clone(),
+            analysis.hash.clone(),
+            model.hash.clone(),
+            unit.hash.clone(),
+        ];
+        hashes.sort();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 5, "typed keys never alias");
+
+        // Derived keys fold the config fingerprint: a config change is a
+        // different object, not a stale hit.
+        assert_ne!(
+            StoreKey::function_unit("deadbeef").hash,
+            content_key(&["function", "deadbeef", "some-other-config"])
+        );
+        assert_ne!(
+            StoreKey::analysis(&module.hash, "main", "{}").hash,
+            StoreKey::analysis(&module.hash, "other", "{}").hash
+        );
     }
 
     // ---- eviction ---------------------------------------------------------
@@ -541,22 +676,30 @@ mod tests {
     #[test]
     fn budget_evicts_coldest_first_and_respects_lru_touches() {
         let store = temp_store("lru").with_budget(Some(25));
-        store.put(Namespace::Analyses, "a", "aaaaaaaaaa").unwrap(); // 10 B
-        store.put(Namespace::Analyses, "b", "bbbbbbbbbb").unwrap(); // 10 B
-                                                                    // Touch "a": it is now warmer than "b".
-        assert!(store.get(Namespace::Analyses, "a").is_some());
+        store
+            .put(ArtifactKind::Analyses, "a", "aaaaaaaaaa")
+            .unwrap(); // 10 B
+        store
+            .put(ArtifactKind::Analyses, "b", "bbbbbbbbbb")
+            .unwrap(); // 10 B
+                       // Touch "a": it is now warmer than "b".
+        assert!(store.get(ArtifactKind::Analyses, "a").is_some());
         // +10 B pushes past 25: the coldest ("b") is evicted, not "a".
-        store.put(Namespace::Analyses, "c", "cccccccccc").unwrap();
-        assert!(store.contains(Namespace::Analyses, "a"), "warm survives");
-        assert!(!store.contains(Namespace::Analyses, "b"), "cold evicted");
-        assert!(store.contains(Namespace::Analyses, "c"), "new survives");
+        store
+            .put(ArtifactKind::Analyses, "c", "cccccccccc")
+            .unwrap();
+        assert!(store.contains(ArtifactKind::Analyses, "a"), "warm survives");
+        assert!(!store.contains(ArtifactKind::Analyses, "b"), "cold evicted");
+        assert!(store.contains(ArtifactKind::Analyses, "c"), "new survives");
         assert_eq!(store.stats().evictions, 1);
         assert!(store.total_bytes() <= 25);
         // An evicted object is a miss, and re-putting heals it.
-        assert_eq!(store.get(Namespace::Analyses, "b"), None);
-        store.put(Namespace::Analyses, "b", "bbbbbbbbbb").unwrap();
+        assert_eq!(store.get(ArtifactKind::Analyses, "b"), None);
+        store
+            .put(ArtifactKind::Analyses, "b", "bbbbbbbbbb")
+            .unwrap();
         assert_eq!(
-            store.get(Namespace::Analyses, "b").as_deref(),
+            store.get(ArtifactKind::Analyses, "b").as_deref(),
             Some("bbbbbbbbbb")
         );
         let _ = fs::remove_dir_all(store.root());
@@ -568,7 +711,7 @@ mod tests {
         for i in 0..20 {
             let key = format!("obj{i}");
             store
-                .put(Namespace::Analyses, &key, &"x".repeat(10))
+                .put(ArtifactKind::Analyses, &key, &"x".repeat(10))
                 .unwrap();
             // Invariant after every put: indexed bytes and on-disk bytes
             // both fit the budget.
@@ -592,11 +735,11 @@ mod tests {
         // The object alone exceeds the budget: stored then immediately
         // evicted — a degenerate cache, never an error.
         store
-            .put(Namespace::Models, "big", "0123456789abcdef")
+            .put(ArtifactKind::Models, "big", "0123456789abcdef")
             .unwrap();
-        assert!(!store.contains(Namespace::Models, "big"));
+        assert!(!store.contains(ArtifactKind::Models, "big"));
         assert_eq!(store.total_bytes(), 0);
-        assert_eq!(store.get(Namespace::Models, "big"), None);
+        assert_eq!(store.get(ArtifactKind::Models, "big"), None);
         let _ = fs::remove_dir_all(store.root());
     }
 
@@ -608,27 +751,27 @@ mod tests {
         {
             let store = Store::open(&dir).unwrap();
             store
-                .put(Namespace::Analyses, "old", &"o".repeat(10))
+                .put(ArtifactKind::Analyses, "old", &"o".repeat(10))
                 .unwrap();
             store
-                .put(Namespace::Analyses, "mid", &"m".repeat(10))
+                .put(ArtifactKind::Analyses, "mid", &"m".repeat(10))
                 .unwrap();
             store
-                .put(Namespace::Analyses, "new", &"n".repeat(10))
+                .put(ArtifactKind::Analyses, "new", &"n".repeat(10))
                 .unwrap();
             // Touch "old" so it is the warmest at close.
-            assert!(store.get(Namespace::Analyses, "old").is_some());
+            assert!(store.get(ArtifactKind::Analyses, "old").is_some());
         }
         // Reopen with a budget that only fits two objects: the coldest by
         // *persisted access order* ("mid") must be the one evicted.
         let store = Store::open(&dir).unwrap().with_budget(Some(25));
         assert!(
-            store.contains(Namespace::Analyses, "old"),
+            store.contains(ArtifactKind::Analyses, "old"),
             "touched survives"
         );
-        assert!(store.contains(Namespace::Analyses, "new"));
+        assert!(store.contains(ArtifactKind::Analyses, "new"));
         assert!(
-            !store.contains(Namespace::Analyses, "mid"),
+            !store.contains(ArtifactKind::Analyses, "mid"),
             "coldest evicted"
         );
         assert_eq!(store.stats().evictions, 1);
@@ -643,7 +786,7 @@ mod tests {
         {
             let store = Store::open(&dir).unwrap();
             store
-                .put(Namespace::Analyses, "known", &"k".repeat(10))
+                .put(ArtifactKind::Analyses, "known", &"k".repeat(10))
                 .unwrap();
         }
         // A file written behind the store's back (another process) plus a
@@ -654,7 +797,7 @@ mod tests {
         assert_eq!(store.total_bytes(), 20);
         assert_eq!(
             store
-                .get(Namespace::Analyses, "alien")
+                .get(ArtifactKind::Analyses, "alien")
                 .as_deref()
                 .map(str::len),
             Some(10)

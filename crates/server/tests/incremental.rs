@@ -1,0 +1,160 @@
+//! Function-granular incremental analysis through the server: editing one
+//! function of a 20-function module recomputes only that function's cone
+//! (the function plus its callers), both within one process and across a
+//! server restart on the same store — and the served static summary is
+//! byte-identical to a cold recompute every time.
+
+use pt_server::{ServerState, Store};
+use serde::json::Value;
+
+/// The editable app: `KERNELS` loop kernels plus `main` (20 functions).
+/// `edited` replaces one kernel's work constant — the smallest edit, whose
+/// cone is exactly {kernel, main}.
+const KERNELS: usize = 19;
+
+fn module_text(edited: Option<(usize, i64)>) -> String {
+    use pt_ir::{FunctionBuilder, Module, Type, Value as IrValue};
+    let mut m = Module::new("edit_app");
+    let mut ids = Vec::new();
+    for i in 0..KERNELS {
+        let flops = match edited {
+            Some((j, v)) if j == i => v,
+            _ => 2 + (i as i64 % 5),
+        };
+        let mut b = FunctionBuilder::new(
+            format!("work_{i:02}"),
+            vec![("n".into(), Type::I64)],
+            Type::Void,
+        );
+        b.for_loop(0i64, b.param(0), 1i64, |b, _| {
+            b.call_external("pt_work_flops", vec![IrValue::int(flops)], Type::Void);
+        });
+        b.ret(None);
+        ids.push(m.add_function(b.finish()));
+    }
+    let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+    let n = b.call_external("pt_param_i64", vec![IrValue::int(0)], Type::I64);
+    for &f in &ids {
+        b.call(f, vec![n], Type::Void);
+    }
+    b.ret(None);
+    m.add_function(b.finish());
+    pt_ir::printer::print_module(&m)
+}
+
+fn fresh_store_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pt-serve-incr-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn state_on(dir: &std::path::Path) -> ServerState {
+    ServerState::new(Store::open(dir).expect("store opens"), 2, 4)
+}
+
+/// Submit `text` and return (module hash, rendered static summary).
+fn submit_and_static(state: &ServerState, text: &str) -> (String, String) {
+    let params = Value::obj(vec![("text", Value::str(text))]);
+    let resp = state.dispatch("submit_module", &params).expect("submit");
+    let hash = resp
+        .get("module")
+        .and_then(Value::as_str)
+        .expect("module hash")
+        .to_string();
+    let params = Value::obj(vec![
+        ("module", Value::str(&hash)),
+        ("entry", Value::str("main")),
+    ]);
+    let summary = state
+        .dispatch("static_analysis", &params)
+        .expect("static_analysis");
+    (hash, summary.render())
+}
+
+/// The `functions` reuse ledger from `stats`, as (total, memory, store,
+/// recomputed).
+fn ledger(state: &ServerState) -> (u64, u64, u64, u64) {
+    let stats = state.dispatch("stats", &Value::Null).expect("stats");
+    let f = stats.get("functions").expect("v1.2 functions object");
+    let field = |name: &str| f.get(name).and_then(Value::as_u64).expect(name);
+    (
+        field("total"),
+        field("reused_memory"),
+        field("reused_store"),
+        field("recomputed"),
+    )
+}
+
+/// What a process that has never seen any of this would serve: a fresh
+/// state over a fresh store. The incremental answers must match its bytes.
+fn cold_bytes(text: &str, tag: &str) -> String {
+    let dir = fresh_store_dir(tag);
+    let (_, summary) = submit_and_static(&state_on(&dir), text);
+    let _ = std::fs::remove_dir_all(&dir);
+    summary
+}
+
+#[test]
+fn editing_one_function_recomputes_only_its_cone_in_process() {
+    let dir = fresh_store_dir("inproc");
+    let state = state_on(&dir);
+    let n = KERNELS + 1;
+
+    // Cold submission: every function is computed once.
+    let base = module_text(None);
+    let (base_hash, base_summary) = submit_and_static(&state, &base);
+    assert_eq!(ledger(&state), (n as u64, 0, 0, n as u64));
+    assert_eq!(base_summary, cold_bytes(&base, "inproc-cold0"));
+
+    // Edit one kernel: a new module hash, but only {kernel, main} is
+    // recomputed — the other 18 functions come from the in-memory cache.
+    let edited = module_text(Some((7, 1234)));
+    let (edit_hash, edit_summary) = submit_and_static(&state, &edited);
+    assert_ne!(edit_hash, base_hash, "an edit is a new module identity");
+    let (total, mem, store, recomputed) = ledger(&state);
+    assert_eq!(total, 2 * n as u64);
+    assert_eq!(recomputed, n as u64 + 2, "edited kernel + its caller only");
+    assert_eq!(mem, n as u64 - 2, "all untouched functions reused");
+    assert_eq!(store, 0, "same process: memory wins before the store");
+
+    // Incrementality must be invisible in the output.
+    assert_eq!(edit_summary, cold_bytes(&edited, "inproc-cold1"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn function_units_survive_a_server_restart() {
+    let dir = fresh_store_dir("restart");
+    let n = KERNELS + 1;
+
+    // First process: compute and persist the base module's units.
+    let base = module_text(None);
+    {
+        let state = state_on(&dir);
+        submit_and_static(&state, &base);
+        assert_eq!(ledger(&state), (n as u64, 0, 0, n as u64));
+    }
+
+    // Second process, same store, an edit it has never analyzed: the
+    // untouched functions load from disk; only the cone is recomputed.
+    let edited = module_text(Some((3, 4321)));
+    let restarted = state_on(&dir);
+    let (_, edit_summary) = submit_and_static(&restarted, &edited);
+    let (total, mem, store, recomputed) = ledger(&restarted);
+    assert_eq!(total, n as u64);
+    assert_eq!(store, n as u64 - 2, "untouched units reused from the store");
+    assert_eq!(recomputed, 2, "edited kernel + its caller only");
+    assert_eq!(mem, 0);
+
+    // Byte-identical to what a never-cached process would serve.
+    assert_eq!(edit_summary, cold_bytes(&edited, "restart-cold"));
+
+    // Resubmitting the *base* module costs nothing at all: process one
+    // persisted its whole static summary, so the response-granular store
+    // answers before the per-function cache is even consulted — the
+    // ledger does not move, and the bytes still match a cold process.
+    let (_, base_summary) = submit_and_static(&restarted, &base);
+    assert_eq!(ledger(&restarted), (total, mem, store, recomputed));
+    assert_eq!(base_summary, cold_bytes(&base, "restart-cold2"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

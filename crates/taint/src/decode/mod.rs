@@ -305,14 +305,14 @@ pub enum DTerm {
 
 /// A decoded basic block: the straight-line (non-phi) instructions and the
 /// terminator. Phi nodes live on incoming [`Edge`]s as move lists.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DecodedBlock {
     pub insts: Box<[DInst]>,
     pub term: DTerm,
 }
 
 /// One function's flat bytecode.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DecodedFunction {
     /// Function name (runtime error messages).
     pub name: String,
@@ -344,26 +344,59 @@ pub struct DecodedModule {
     /// with the legacy engine, `pt-measure`, and the profile consumers.
     pub extern_names: Vec<String>,
     /// Distinct `pt_*` host-primitive names, indexed by
-    /// [`DOp::CallHostPrim::prim`] (first-appearance order).
+    /// [`DOp::CallHostPrim::prim`] (sorted [`Module::used_externals`]
+    /// order, so the table is a pure function of the module's external
+    /// symbol set — decoding functions in any order, or one at a time,
+    /// yields identical indices).
     pub host_prim_names: Vec<String>,
 }
 
-/// Interns host-primitive names into dense indices during decode.
-#[derive(Default)]
-pub(crate) struct PrimInterner {
-    names: Vec<String>,
-    index: HashMap<String, u32>,
+/// The module-level symbol environment one function's decode depends on:
+/// the function-id space (internal calls embed raw ids), the external
+/// symbol table (library calls embed pseudo ids `nfuncs + ext_index`),
+/// and the host-primitive table. It is a pure function of the module's
+/// function-name list and external-symbol set — *not* of any function
+/// body — which is what lets a per-function artifact cache decode one
+/// edited function against an otherwise unchanged environment.
+pub struct DecodeEnv {
+    pub nfuncs: usize,
+    /// [`Module::used_externals`] order (sorted).
+    pub extern_names: Vec<String>,
+    /// `pt_*` non-intrinsic externals, in `extern_names` (sorted) order.
+    pub host_prim_names: Vec<String>,
+    ext_index: HashMap<String, u32>,
+    prim_index: HashMap<String, u32>,
 }
 
-impl PrimInterner {
-    fn intern(&mut self, name: &str) -> u32 {
-        if let Some(&i) = self.index.get(name) {
-            return i;
+impl DecodeEnv {
+    pub fn of(module: &Module) -> DecodeEnv {
+        let extern_names: Vec<String> = module
+            .used_externals()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        let ext_index: HashMap<String, u32> = extern_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        let host_prim_names: Vec<String> = extern_names
+            .iter()
+            .filter(|n| n.starts_with("pt_") && Intrinsic::by_name(n).is_none())
+            .cloned()
+            .collect();
+        let prim_index: HashMap<String, u32> = host_prim_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        DecodeEnv {
+            nfuncs: module.functions.len(),
+            extern_names,
+            host_prim_names,
+            ext_index,
+            prim_index,
         }
-        let i = self.names.len() as u32;
-        self.names.push(name.to_string());
-        self.index.insert(name.to_string(), i);
-        i
     }
 }
 
@@ -371,28 +404,17 @@ impl DecodedModule {
     /// Decode every function of `module` against its precomputed facts
     /// (`prepared[i]` must correspond to `module.functions[i]`).
     pub fn decode(module: &Module, prepared: &[PreparedFunction]) -> DecodedModule {
-        let extern_names: Vec<String> = module
-            .used_externals()
-            .into_iter()
-            .map(String::from)
-            .collect();
-        let ext_index: HashMap<&str, u32> = extern_names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.as_str(), i as u32))
-            .collect();
-        let nfuncs = module.functions.len();
-        let mut prims = PrimInterner::default();
+        let env = DecodeEnv::of(module);
         let functions = module
             .functions
             .iter()
             .zip(prepared)
-            .map(|(f, p)| decode_function(f, p, &ext_index, nfuncs, &mut prims))
+            .map(|(f, p)| decode_function(f, p, &env))
             .collect();
         DecodedModule {
             functions,
-            extern_names,
-            host_prim_names: prims.names,
+            extern_names: env.extern_names,
+            host_prim_names: env.host_prim_names,
         }
     }
 
@@ -410,12 +432,13 @@ fn const_bits(c: Const) -> u64 {
     }
 }
 
-fn decode_function(
+/// Decode one function against the module symbol environment. This is the
+/// per-function entry point the incremental static stage uses; the
+/// whole-module [`DecodedModule::decode`] is a loop over it.
+pub fn decode_function(
     func: &Function,
     prep: &PreparedFunction,
-    ext_index: &HashMap<&str, u32>,
-    nfuncs: usize,
-    prims: &mut PrimInterner,
+    env: &DecodeEnv,
 ) -> DecodedFunction {
     let nparams = func.params.len();
     let opnd = |v: Value| -> Opnd {
@@ -482,7 +505,7 @@ fn decode_function(
                 );
                 DInst {
                     dst: (nparams + iid.index()) as u32,
-                    op: decode_op(func, prep, iid, &opnd, ext_index, nfuncs, prims),
+                    op: decode_op(func, prep, iid, &opnd, env),
                 }
             })
             .collect();
@@ -519,15 +542,12 @@ fn decode_function(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn decode_op(
     func: &Function,
     prep: &PreparedFunction,
     iid: pt_ir::InstId,
     opnd: &impl Fn(Value) -> Opnd,
-    ext_index: &HashMap<&str, u32>,
-    nfuncs: usize,
-    prims: &mut PrimInterner,
+    env: &DecodeEnv,
 ) -> DOp {
     let is_float = prep.operand_float[iid.index()];
     match &func.inst(iid).kind {
@@ -624,14 +644,14 @@ fn decode_op(
                     } else if name.starts_with("pt_") {
                         DOp::CallHostPrim {
                             name: name.as_str().into(),
-                            prim: prims.intern(name),
+                            prim: env.prim_index[name.as_str()],
                             args,
                         }
                     } else {
-                        let idx = ext_index[name.as_str()];
+                        let idx = env.ext_index[name.as_str()];
                         DOp::CallLibrary {
                             name: name.as_str().into(),
-                            ext_id: FunctionId((nfuncs + idx as usize) as u32),
+                            ext_id: FunctionId((env.nfuncs + idx as usize) as u32),
                             args,
                         }
                     }
@@ -739,7 +759,7 @@ mod tests {
         b.ret(Some(v));
         let f = b.finish();
         let prep = PreparedFunction::compute(&f);
-        let d = decode_function(&f, &prep, &HashMap::new(), 0, &mut PrimInterner::default());
+        let d = decode_function(&f, &prep, &DecodeEnv::of(&Module::new("empty")));
         assert!(
             matches!(&d.blocks[0].insts[0].op, DOp::Trap { message } if message.contains("float"))
         );

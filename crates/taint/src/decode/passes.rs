@@ -98,13 +98,43 @@ const INLINE_MAX_BODY: usize = 48;
 
 /// A callee eligible for whole-call inlining, captured pre-regalloc so
 /// register `nparams + i` is still "instruction `i`".
-struct InlineSpec {
-    entry: pt_ir::BlockId,
-    nparams: usize,
+///
+/// Public (and cached per function by the incremental static stage) so an
+/// edited caller can be re-optimized against its callees' specs without
+/// re-decoding the callees: the spec is exactly the slice of callee state
+/// the inlining pass reads.
+#[derive(Debug, Clone)]
+pub struct InlineSpec {
+    pub entry: pt_ir::BlockId,
+    pub nparams: usize,
     /// Callee local register count (`nregs - nparams`, pre-allocation).
-    nlocals: usize,
-    body: Vec<DInst>,
-    ret: Option<Opnd>,
+    pub nlocals: usize,
+    pub body: Vec<DInst>,
+    pub ret: Option<Opnd>,
+}
+
+/// The [`InlineSpec`] of `f`, if it qualifies for whole-call inlining:
+/// SSA-verified, single-block, call-free, alloca-free, and small. Must be
+/// captured after [`fuse`] but before [`allocate_registers`] and before
+/// inlining into `f` (inlining into an *eligible* function is vacuous —
+/// its body has no calls — so capture order against other functions does
+/// not matter).
+pub fn inline_spec_of(f: &DecodedFunction, clean: bool) -> Option<InlineSpec> {
+    let eligible = clean
+        && f.blocks.len() == 1
+        && f.blocks[0].insts.len() <= INLINE_MAX_BODY
+        && matches!(f.blocks[0].term, DTerm::Ret(_))
+        && f.blocks[0].insts.iter().all(|di| inlinable_op(&di.op));
+    eligible.then(|| InlineSpec {
+        entry: f.entry,
+        nparams: f.nparams,
+        nlocals: f.nregs - f.nparams,
+        body: f.blocks[0].insts.to_vec(),
+        ret: match &f.blocks[0].term {
+            DTerm::Ret(v) => *v,
+            _ => unreachable!("matched above"),
+        },
+    })
 }
 
 /// Whether an operation may appear in an inlined body: pure scalar ops
@@ -131,75 +161,74 @@ fn inlinable_op(op: &DOp) -> bool {
 /// its locals are renumbered into fresh slots appended to the caller's
 /// frame — which the subsequent register allocation then collapses).
 pub fn inline_leaf_calls(module: &mut DecodedModule, ssa_clean: &[bool]) -> usize {
-    let mut specs: Vec<Option<InlineSpec>> = Vec::with_capacity(module.functions.len());
-    for (f, &clean) in module.functions.iter().zip(ssa_clean) {
-        let eligible = clean
-            && f.blocks.len() == 1
-            && f.blocks[0].insts.len() <= INLINE_MAX_BODY
-            && matches!(f.blocks[0].term, DTerm::Ret(_))
-            && f.blocks[0].insts.iter().all(|di| inlinable_op(&di.op));
-        specs.push(eligible.then(|| InlineSpec {
-            entry: f.entry,
-            nparams: f.nparams,
-            nlocals: f.nregs - f.nparams,
-            body: f.blocks[0].insts.to_vec(),
-            ret: match &f.blocks[0].term {
-                DTerm::Ret(v) => *v,
-                _ => unreachable!("matched above"),
-            },
-        }));
-    }
+    let specs: Vec<Option<InlineSpec>> = module
+        .functions
+        .iter()
+        .zip(ssa_clean)
+        .map(|(f, &clean)| inline_spec_of(f, clean))
+        .collect();
+    let refs: Vec<Option<&InlineSpec>> = specs.iter().map(|s| s.as_ref()).collect();
+    module
+        .functions
+        .iter_mut()
+        .map(|f| inline_calls_in(f, &refs))
+        .sum()
+}
 
+/// Rewrite every inlinable call site of one caller against the callee
+/// specs (`specs[i]` = spec of function `i`, `None` when ineligible or —
+/// in the incremental path — still unresolved within the caller's own
+/// SCC, whose members are never eligible anyway since their bodies
+/// contain calls). Returns the number of call sites inlined.
+pub fn inline_calls_in(f: &mut DecodedFunction, specs: &[Option<&InlineSpec>]) -> usize {
     let mut inlined = 0usize;
-    for f in &mut module.functions {
-        let mut nregs = f.nregs;
-        for blk in &mut f.blocks {
-            for di in blk.insts.iter_mut() {
-                let DOp::CallInternal { callee, args } = &di.op else {
-                    continue;
-                };
-                let callee = *callee;
-                let Some(spec) = &specs[callee.index()] else {
-                    continue;
-                };
-                if args.len() != spec.nparams {
-                    // Malformed arity: leave the real call so the runtime
-                    // arity error fires exactly like the reference's.
-                    continue;
-                }
-                let args = args.clone();
-                let base = nregs as u32;
-                let remap = |o: Opnd| -> Opnd {
-                    match o {
-                        Opnd::Reg(r) if (r as usize) < spec.nparams => args[r as usize],
-                        Opnd::Reg(r) => Opnd::Reg(base + r - spec.nparams as u32),
-                        imm => imm,
-                    }
-                };
-                let body: Box<[DInst]> = spec
-                    .body
-                    .iter()
-                    .map(|bi| {
-                        let mut op = bi.op.clone();
-                        rewrite_op(&mut op, &|o: &mut Opnd| *o = remap(*o));
-                        DInst {
-                            dst: base + bi.dst - spec.nparams as u32,
-                            op,
-                        }
-                    })
-                    .collect();
-                di.op = DOp::CallInlined {
-                    callee,
-                    entry: spec.entry,
-                    body,
-                    ret: spec.ret.map(remap),
-                };
-                nregs += spec.nlocals;
-                inlined += 1;
+    let mut nregs = f.nregs;
+    for blk in &mut f.blocks {
+        for di in blk.insts.iter_mut() {
+            let DOp::CallInternal { callee, args } = &di.op else {
+                continue;
+            };
+            let callee = *callee;
+            let Some(spec) = specs[callee.index()] else {
+                continue;
+            };
+            if args.len() != spec.nparams {
+                // Malformed arity: leave the real call so the runtime
+                // arity error fires exactly like the reference's.
+                continue;
             }
+            let args = args.clone();
+            let base = nregs as u32;
+            let remap = |o: Opnd| -> Opnd {
+                match o {
+                    Opnd::Reg(r) if (r as usize) < spec.nparams => args[r as usize],
+                    Opnd::Reg(r) => Opnd::Reg(base + r - spec.nparams as u32),
+                    imm => imm,
+                }
+            };
+            let body: Box<[DInst]> = spec
+                .body
+                .iter()
+                .map(|bi| {
+                    let mut op = bi.op.clone();
+                    rewrite_op(&mut op, &|o: &mut Opnd| *o = remap(*o));
+                    DInst {
+                        dst: base + bi.dst - spec.nparams as u32,
+                        op,
+                    }
+                })
+                .collect();
+            di.op = DOp::CallInlined {
+                callee,
+                entry: spec.entry,
+                body,
+                ret: spec.ret.map(remap),
+            };
+            nregs += spec.nlocals;
+            inlined += 1;
         }
-        f.nregs = nregs;
     }
+    f.nregs = nregs;
     inlined
 }
 
@@ -755,18 +784,11 @@ mod tests {
     use super::*;
     use crate::prepared::PreparedFunction;
     use pt_ir::{FunctionBuilder, Module, Type, Value};
-    use std::collections::HashMap;
 
     fn decode_one(m: &Module) -> DecodedFunction {
         let f = &m.functions[0];
         let prep = PreparedFunction::compute(f);
-        super::super::decode_function(
-            f,
-            &prep,
-            &HashMap::new(),
-            m.functions.len(),
-            &mut super::super::PrimInterner::default(),
-        )
+        super::super::decode_function(f, &prep, &super::super::DecodeEnv::of(m))
     }
 
     /// A builder loop header compares the induction variable and branches

@@ -16,16 +16,21 @@
 
 use crate::decode::passes::PassStats;
 use crate::decode::DecodedModule;
-use pt_analysis::dom::{DomTree, PostDomTree};
+use pt_analysis::dom::DomTree;
 use pt_analysis::loops::{LoopForest, LoopId};
 use pt_analysis::scev::{all_trip_counts, TripCount};
 use pt_ir::{BlockId, Function, FunctionId, InstKind, Module, Type};
 use std::collections::HashMap;
 
 /// Static facts about one function.
+///
+/// Everything in here is a pure function of the function body alone (no
+/// module-level inputs), which is what lets the incremental static stage
+/// cache and reuse it per function; `Clone` supports assembling a
+/// [`PreparedModule`] from cached units.
+#[derive(Debug, Clone)]
 pub struct PreparedFunction {
     pub forest: LoopForest,
-    pub postdom: PostDomTree,
     pub trip_counts: Vec<TripCount>,
     /// For each block: the loops for which this block is an exiting block.
     pub exiting_loops: Vec<Vec<LoopId>>,
@@ -86,7 +91,6 @@ impl PreparedFunction {
 
         PreparedFunction {
             forest,
-            postdom,
             trip_counts,
             exiting_loops,
             back_edges,

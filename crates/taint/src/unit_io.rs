@@ -1,0 +1,877 @@
+//! JSON round-trip for [`FunctionUnit`]s — the disk format of the
+//! per-function artifact cache.
+//!
+//! Hand-written against the service JSON model ([`serde::json::Value`]).
+//! Design constraints:
+//!
+//! * the wire model stores numbers as `f64`, so anything that can exceed
+//!   2⁵³ — immediate bit patterns (`Opnd::Imm` carries raw f64 bits),
+//!   `gep` strides, constant trip counts — is encoded as a decimal
+//!   *string*;
+//! * decoding is total: any malformed document yields `None`, which the
+//!   cache treats as a miss and recomputes — a corrupt store entry can
+//!   never poison an analysis;
+//! * the schema is versioned ([`UNIT_SCHEMA_VERSION`]); the version is
+//!   folded into the artifact *key* by the cache layer, so a schema bump
+//!   silently invalidates old entries instead of misreading them.
+
+use crate::decode::passes::{InlineSpec, PassStats};
+use crate::decode::{
+    DInst, DOp, DTerm, DecodedBlock, DecodedFunction, Edge, Intrinsic, Opnd, PhiMove,
+};
+use crate::prepared::PreparedFunction;
+use crate::unit::FunctionUnit;
+use pt_analysis::loops::{LoopForest, LoopId, LoopInfo};
+use pt_analysis::scev::TripCount;
+use pt_ir::{BinOp, BlockId, CmpPred, FunctionId, Type};
+use serde::json::Value;
+use std::collections::HashMap;
+
+/// Bump when the encoding below changes shape. Folded into artifact keys.
+pub const UNIT_SCHEMA_VERSION: u32 = 1;
+
+pub fn unit_to_json(u: &FunctionUnit) -> Value {
+    Value::obj(vec![
+        ("v", Value::int(UNIT_SCHEMA_VERSION as i64)),
+        ("prep", prep_to(&u.prepared)),
+        ("dec", func_to(&u.decoded)),
+        (
+            "spec",
+            match &u.inline_spec {
+                Some(s) => spec_to(s),
+                None => Value::Null,
+            },
+        ),
+        ("ssa", Value::Bool(u.ssa_clean)),
+        ("stats", stats_to(&u.stats)),
+    ])
+}
+
+pub fn unit_from_json(v: &Value) -> Option<FunctionUnit> {
+    if v.get("v")?.as_u64()? != UNIT_SCHEMA_VERSION as u64 {
+        return None;
+    }
+    Some(FunctionUnit {
+        prepared: prep_from(v.get("prep")?)?,
+        decoded: func_from(v.get("dec")?)?,
+        inline_spec: match v.get("spec")? {
+            Value::Null => None,
+            s => Some(spec_from(s)?),
+        },
+        ssa_clean: v.get("ssa")?.as_bool()?,
+        stats: stats_from(v.get("stats")?)?,
+    })
+}
+
+// ---- small scalar helpers ---------------------------------------------
+
+fn u(n: impl TryInto<i64>) -> Value {
+    Value::int(n.try_into().ok().expect("index fits i64"))
+}
+
+fn arr(items: impl IntoIterator<Item = Value>) -> Value {
+    Value::Arr(items.into_iter().collect())
+}
+
+fn as_usize(v: &Value) -> Option<usize> {
+    v.as_u64().map(|n| n as usize)
+}
+
+fn as_u32(v: &Value) -> Option<u32> {
+    v.as_u64().and_then(|n| u32::try_from(n).ok())
+}
+
+/// u64 as decimal string (raw bit patterns exceed f64's exact range).
+fn u64_to(n: u64) -> Value {
+    Value::str(n.to_string())
+}
+
+fn u64_from(v: &Value) -> Option<u64> {
+    v.as_str()?.parse().ok()
+}
+
+fn i64_to(n: i64) -> Value {
+    Value::str(n.to_string())
+}
+
+fn i64_from(v: &Value) -> Option<i64> {
+    v.as_str()?.parse().ok()
+}
+
+fn opt_to(o: Option<Value>) -> Value {
+    o.unwrap_or(Value::Null)
+}
+
+fn block_to(b: BlockId) -> Value {
+    u(b.0)
+}
+
+fn block_from(v: &Value) -> Option<BlockId> {
+    as_u32(v).map(BlockId)
+}
+
+fn opt_block_to(b: Option<BlockId>) -> Value {
+    opt_to(b.map(block_to))
+}
+
+fn opt_block_from(v: &Value) -> Option<Option<BlockId>> {
+    match v {
+        Value::Null => Some(None),
+        other => Some(Some(block_from(other)?)),
+    }
+}
+
+fn loop_to(l: LoopId) -> Value {
+    u(l.0)
+}
+
+fn loop_from(v: &Value) -> Option<LoopId> {
+    as_u32(v).map(LoopId)
+}
+
+fn opt_loop_to(l: Option<LoopId>) -> Value {
+    opt_to(l.map(loop_to))
+}
+
+fn opt_loop_from(v: &Value) -> Option<Option<LoopId>> {
+    match v {
+        Value::Null => Some(None),
+        other => Some(Some(loop_from(other)?)),
+    }
+}
+
+// ---- operands, instructions, terminators ------------------------------
+
+fn opnd_to(o: &Opnd) -> Value {
+    match o {
+        Opnd::Reg(r) => arr([Value::str("r"), u(*r)]),
+        Opnd::Imm(bits) => arr([Value::str("i"), u64_to(*bits)]),
+    }
+}
+
+fn opnd_from(v: &Value) -> Option<Opnd> {
+    let a = v.as_arr()?;
+    match a.first()?.as_str()? {
+        "r" => Some(Opnd::Reg(as_u32(a.get(1)?)?)),
+        "i" => Some(Opnd::Imm(u64_from(a.get(1)?)?)),
+        _ => None,
+    }
+}
+
+fn opt_opnd_to(o: &Option<Opnd>) -> Value {
+    opt_to(o.as_ref().map(opnd_to))
+}
+
+fn opt_opnd_from(v: &Value) -> Option<Option<Opnd>> {
+    match v {
+        Value::Null => Some(None),
+        other => Some(Some(opnd_from(other)?)),
+    }
+}
+
+fn opnds_to(os: &[Opnd]) -> Value {
+    arr(os.iter().map(opnd_to))
+}
+
+fn opnds_from(v: &Value) -> Option<Box<[Opnd]>> {
+    v.as_arr()?.iter().map(opnd_from).collect()
+}
+
+fn edge_to(e: &Edge) -> Value {
+    arr([
+        block_to(e.target),
+        arr(e.moves.iter().map(|m| arr([u(m.dst), opnd_to(&m.src)]))),
+        opt_loop_to(e.back_edge),
+        opt_loop_to(e.enters),
+    ])
+}
+
+fn edge_from(v: &Value) -> Option<Edge> {
+    let a = v.as_arr()?;
+    let moves: Option<Box<[PhiMove]>> = a
+        .get(1)?
+        .as_arr()?
+        .iter()
+        .map(|m| {
+            let m = m.as_arr()?;
+            Some(PhiMove {
+                dst: as_u32(m.first()?)?,
+                src: opnd_from(m.get(1)?)?,
+            })
+        })
+        .collect();
+    Some(Edge {
+        target: block_from(a.first()?)?,
+        moves: moves?,
+        back_edge: opt_loop_from(a.get(2)?)?,
+        enters: opt_loop_from(a.get(3)?)?,
+    })
+}
+
+fn bin_op_to(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+    }
+}
+
+fn bin_op_from(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "min" => BinOp::Min,
+        "max" => BinOp::Max,
+        _ => return None,
+    })
+}
+
+fn pred_to(p: CmpPred) -> &'static str {
+    match p {
+        CmpPred::Eq => "eq",
+        CmpPred::Ne => "ne",
+        CmpPred::Lt => "lt",
+        CmpPred::Le => "le",
+        CmpPred::Gt => "gt",
+        CmpPred::Ge => "ge",
+    }
+}
+
+fn pred_from(s: &str) -> Option<CmpPred> {
+    Some(match s {
+        "eq" => CmpPred::Eq,
+        "ne" => CmpPred::Ne,
+        "lt" => CmpPred::Lt,
+        "le" => CmpPred::Le,
+        "gt" => CmpPred::Gt,
+        "ge" => CmpPred::Ge,
+        _ => return None,
+    })
+}
+
+fn intrinsic_to(i: Intrinsic) -> &'static str {
+    match i {
+        Intrinsic::ParamI64 => "pt_param_i64",
+        Intrinsic::RegisterParam => "pt_register_param",
+        Intrinsic::AssertHasParam => "pt_assert_has_param",
+        Intrinsic::AssertNotParam => "pt_assert_not_param",
+        Intrinsic::LabelParams => "pt_label_params",
+    }
+}
+
+fn op_to(op: &DOp) -> Value {
+    let tag = |t: &str, rest: Vec<Value>| {
+        let mut items = vec![Value::str(t)];
+        items.extend(rest);
+        Value::Arr(items)
+    };
+    match op {
+        DOp::BinI { op, a, b } => tag(
+            "bi",
+            vec![Value::str(bin_op_to(*op)), opnd_to(a), opnd_to(b)],
+        ),
+        DOp::BinF { op, a, b } => tag(
+            "bf",
+            vec![Value::str(bin_op_to(*op)), opnd_to(a), opnd_to(b)],
+        ),
+        DOp::NegI { a } => tag("negi", vec![opnd_to(a)]),
+        DOp::NegF { a } => tag("negf", vec![opnd_to(a)]),
+        DOp::NotBool { a } => tag("notb", vec![opnd_to(a)]),
+        DOp::NotInt { a } => tag("noti", vec![opnd_to(a)]),
+        DOp::IntToFloat { a } => tag("itof", vec![opnd_to(a)]),
+        DOp::FloatToInt { a } => tag("ftoi", vec![opnd_to(a)]),
+        DOp::Sqrt { a } => tag("sqrt", vec![opnd_to(a)]),
+        DOp::AbsI { a } => tag("absi", vec![opnd_to(a)]),
+        DOp::AbsF { a } => tag("absf", vec![opnd_to(a)]),
+        DOp::CmpI { pred, a, b } => tag(
+            "ci",
+            vec![Value::str(pred_to(*pred)), opnd_to(a), opnd_to(b)],
+        ),
+        DOp::CmpF { pred, a, b } => tag(
+            "cf",
+            vec![Value::str(pred_to(*pred)), opnd_to(a), opnd_to(b)],
+        ),
+        DOp::Select { c, t, e } => tag("sel", vec![opnd_to(c), opnd_to(t), opnd_to(e)]),
+        DOp::Alloca { words } => tag("alloca", vec![opnd_to(words)]),
+        DOp::Load { addr } => tag("ld", vec![opnd_to(addr)]),
+        DOp::Store { addr, value } => tag("st", vec![opnd_to(addr), opnd_to(value)]),
+        DOp::Gep {
+            base,
+            index,
+            stride,
+        } => tag("gep", vec![opnd_to(base), opnd_to(index), i64_to(*stride)]),
+        DOp::LoadIdx {
+            base,
+            index,
+            stride,
+        } => tag("ldx", vec![opnd_to(base), opnd_to(index), i64_to(*stride)]),
+        DOp::StoreIdx {
+            base,
+            index,
+            stride,
+            value,
+        } => tag(
+            "stx",
+            vec![
+                opnd_to(base),
+                opnd_to(index),
+                i64_to(*stride),
+                opnd_to(value),
+            ],
+        ),
+        DOp::CallInternal { callee, args } => tag("call", vec![u(callee.0), opnds_to(args)]),
+        DOp::CallInlined {
+            callee,
+            entry,
+            body,
+            ret,
+        } => tag(
+            "inl",
+            vec![
+                u(callee.0),
+                block_to(*entry),
+                arr(body.iter().map(inst_to)),
+                opt_opnd_to(ret),
+            ],
+        ),
+        DOp::CallIntrinsic { which, args } => tag(
+            "intr",
+            vec![Value::str(intrinsic_to(*which)), opnds_to(args)],
+        ),
+        DOp::CallHostPrim { name, prim, args } => {
+            tag("prim", vec![Value::str(&**name), u(*prim), opnds_to(args)])
+        }
+        DOp::CallLibrary { name, ext_id, args } => tag(
+            "lib",
+            vec![Value::str(&**name), u(ext_id.0), opnds_to(args)],
+        ),
+        DOp::Trap { message } => tag("trap", vec![Value::str(&**message)]),
+    }
+}
+
+fn op_from(v: &Value) -> Option<DOp> {
+    let a = v.as_arr()?;
+    let o = |i: usize| opnd_from(a.get(i)?);
+    Some(match a.first()?.as_str()? {
+        "bi" => DOp::BinI {
+            op: bin_op_from(a.get(1)?.as_str()?)?,
+            a: o(2)?,
+            b: o(3)?,
+        },
+        "bf" => DOp::BinF {
+            op: bin_op_from(a.get(1)?.as_str()?)?,
+            a: o(2)?,
+            b: o(3)?,
+        },
+        "negi" => DOp::NegI { a: o(1)? },
+        "negf" => DOp::NegF { a: o(1)? },
+        "notb" => DOp::NotBool { a: o(1)? },
+        "noti" => DOp::NotInt { a: o(1)? },
+        "itof" => DOp::IntToFloat { a: o(1)? },
+        "ftoi" => DOp::FloatToInt { a: o(1)? },
+        "sqrt" => DOp::Sqrt { a: o(1)? },
+        "absi" => DOp::AbsI { a: o(1)? },
+        "absf" => DOp::AbsF { a: o(1)? },
+        "ci" => DOp::CmpI {
+            pred: pred_from(a.get(1)?.as_str()?)?,
+            a: o(2)?,
+            b: o(3)?,
+        },
+        "cf" => DOp::CmpF {
+            pred: pred_from(a.get(1)?.as_str()?)?,
+            a: o(2)?,
+            b: o(3)?,
+        },
+        "sel" => DOp::Select {
+            c: o(1)?,
+            t: o(2)?,
+            e: o(3)?,
+        },
+        "alloca" => DOp::Alloca { words: o(1)? },
+        "ld" => DOp::Load { addr: o(1)? },
+        "st" => DOp::Store {
+            addr: o(1)?,
+            value: o(2)?,
+        },
+        "gep" => DOp::Gep {
+            base: o(1)?,
+            index: o(2)?,
+            stride: i64_from(a.get(3)?)?,
+        },
+        "ldx" => DOp::LoadIdx {
+            base: o(1)?,
+            index: o(2)?,
+            stride: i64_from(a.get(3)?)?,
+        },
+        "stx" => DOp::StoreIdx {
+            base: o(1)?,
+            index: o(2)?,
+            stride: i64_from(a.get(3)?)?,
+            value: o(4)?,
+        },
+        "call" => DOp::CallInternal {
+            callee: FunctionId(as_u32(a.get(1)?)?),
+            args: opnds_from(a.get(2)?)?,
+        },
+        "inl" => DOp::CallInlined {
+            callee: FunctionId(as_u32(a.get(1)?)?),
+            entry: block_from(a.get(2)?)?,
+            body: a
+                .get(3)?
+                .as_arr()?
+                .iter()
+                .map(inst_from)
+                .collect::<Option<_>>()?,
+            ret: opt_opnd_from(a.get(4)?)?,
+        },
+        "intr" => DOp::CallIntrinsic {
+            which: Intrinsic::by_name(a.get(1)?.as_str()?)?,
+            args: opnds_from(a.get(2)?)?,
+        },
+        "prim" => DOp::CallHostPrim {
+            name: a.get(1)?.as_str()?.into(),
+            prim: as_u32(a.get(2)?)?,
+            args: opnds_from(a.get(3)?)?,
+        },
+        "lib" => DOp::CallLibrary {
+            name: a.get(1)?.as_str()?.into(),
+            ext_id: FunctionId(as_u32(a.get(2)?)?),
+            args: opnds_from(a.get(3)?)?,
+        },
+        "trap" => DOp::Trap {
+            message: a.get(1)?.as_str()?.into(),
+        },
+        _ => return None,
+    })
+}
+
+fn inst_to(di: &DInst) -> Value {
+    arr([u(di.dst), op_to(&di.op)])
+}
+
+fn inst_from(v: &Value) -> Option<DInst> {
+    let a = v.as_arr()?;
+    Some(DInst {
+        dst: as_u32(a.first()?)?,
+        op: op_from(a.get(1)?)?,
+    })
+}
+
+fn term_to(t: &DTerm) -> Value {
+    match t {
+        DTerm::Br(e) => arr([Value::str("br"), edge_to(e)]),
+        DTerm::CondBr {
+            cond,
+            then_edge,
+            else_edge,
+            exiting,
+            join,
+        } => arr([
+            Value::str("cbr"),
+            opnd_to(cond),
+            edge_to(then_edge),
+            edge_to(else_edge),
+            arr(exiting.iter().map(|l| loop_to(*l))),
+            opt_block_to(*join),
+        ]),
+        DTerm::CondBrCmp {
+            pred,
+            float,
+            a,
+            b,
+            then_edge,
+            else_edge,
+            exiting,
+            join,
+        } => arr([
+            Value::str("cbrc"),
+            Value::str(pred_to(*pred)),
+            Value::Bool(*float),
+            opnd_to(a),
+            opnd_to(b),
+            edge_to(then_edge),
+            edge_to(else_edge),
+            arr(exiting.iter().map(|l| loop_to(*l))),
+            opt_block_to(*join),
+        ]),
+        DTerm::Ret(v) => arr([Value::str("ret"), opt_opnd_to(v)]),
+        DTerm::Unreachable => arr([Value::str("unr")]),
+    }
+}
+
+fn loops_from(v: &Value) -> Option<Box<[LoopId]>> {
+    v.as_arr()?.iter().map(loop_from).collect()
+}
+
+fn term_from(v: &Value) -> Option<DTerm> {
+    let a = v.as_arr()?;
+    Some(match a.first()?.as_str()? {
+        "br" => DTerm::Br(edge_from(a.get(1)?)?),
+        "cbr" => DTerm::CondBr {
+            cond: opnd_from(a.get(1)?)?,
+            then_edge: edge_from(a.get(2)?)?,
+            else_edge: edge_from(a.get(3)?)?,
+            exiting: loops_from(a.get(4)?)?,
+            join: opt_block_from(a.get(5)?)?,
+        },
+        "cbrc" => DTerm::CondBrCmp {
+            pred: pred_from(a.get(1)?.as_str()?)?,
+            float: a.get(2)?.as_bool()?,
+            a: opnd_from(a.get(3)?)?,
+            b: opnd_from(a.get(4)?)?,
+            then_edge: edge_from(a.get(5)?)?,
+            else_edge: edge_from(a.get(6)?)?,
+            exiting: loops_from(a.get(7)?)?,
+            join: opt_block_from(a.get(8)?)?,
+        },
+        "ret" => DTerm::Ret(opt_opnd_from(a.get(1)?)?),
+        "unr" => DTerm::Unreachable,
+        _ => return None,
+    })
+}
+
+fn func_to(f: &DecodedFunction) -> Value {
+    Value::obj(vec![
+        ("name", Value::str(&f.name)),
+        ("nparams", u(f.nparams as u64)),
+        ("nregs", u(f.nregs as u64)),
+        ("ssa", Value::Bool(f.ssa_clean)),
+        ("entry", block_to(f.entry)),
+        (
+            "blocks",
+            arr(f
+                .blocks
+                .iter()
+                .map(|b| arr([arr(b.insts.iter().map(inst_to)), term_to(&b.term)]))),
+        ),
+    ])
+}
+
+fn func_from(v: &Value) -> Option<DecodedFunction> {
+    let blocks: Option<Vec<DecodedBlock>> = v
+        .get("blocks")?
+        .as_arr()?
+        .iter()
+        .map(|b| {
+            let b = b.as_arr()?;
+            let insts: Option<Box<[DInst]>> = b.first()?.as_arr()?.iter().map(inst_from).collect();
+            Some(DecodedBlock {
+                insts: insts?,
+                term: term_from(b.get(1)?)?,
+            })
+        })
+        .collect();
+    Some(DecodedFunction {
+        name: v.get("name")?.as_str()?.to_string(),
+        nparams: as_usize(v.get("nparams")?)?,
+        nregs: as_usize(v.get("nregs")?)?,
+        ssa_clean: v.get("ssa")?.as_bool()?,
+        entry: block_from(v.get("entry")?)?,
+        blocks: blocks?,
+    })
+}
+
+fn spec_to(s: &InlineSpec) -> Value {
+    Value::obj(vec![
+        ("entry", block_to(s.entry)),
+        ("nparams", u(s.nparams as u64)),
+        ("nlocals", u(s.nlocals as u64)),
+        ("body", arr(s.body.iter().map(inst_to))),
+        ("ret", opt_opnd_to(&s.ret)),
+    ])
+}
+
+fn spec_from(v: &Value) -> Option<InlineSpec> {
+    let body: Option<Vec<DInst>> = v.get("body")?.as_arr()?.iter().map(inst_from).collect();
+    Some(InlineSpec {
+        entry: block_from(v.get("entry")?)?,
+        nparams: as_usize(v.get("nparams")?)?,
+        nlocals: as_usize(v.get("nlocals")?)?,
+        body: body?,
+        ret: opt_opnd_from(v.get("ret")?)?,
+    })
+}
+
+fn stats_to(s: &PassStats) -> Value {
+    arr([
+        u(s.fused_cmp_br as u64),
+        u(s.fused_loads as u64),
+        u(s.fused_stores as u64),
+        u(s.inlined_calls as u64),
+        u(s.regs_before as u64),
+        u(s.regs_after as u64),
+    ])
+}
+
+fn stats_from(v: &Value) -> Option<PassStats> {
+    let a = v.as_arr()?;
+    Some(PassStats {
+        fused_cmp_br: as_usize(a.first()?)?,
+        fused_loads: as_usize(a.get(1)?)?,
+        fused_stores: as_usize(a.get(2)?)?,
+        inlined_calls: as_usize(a.get(3)?)?,
+        regs_before: as_usize(a.get(4)?)?,
+        regs_after: as_usize(a.get(5)?)?,
+    })
+}
+
+// ---- prepared facts ----------------------------------------------------
+
+fn trip_to(t: &TripCount) -> Value {
+    match t {
+        TripCount::Constant(n) => u64_to(*n),
+        TripCount::Unknown => Value::Null,
+    }
+}
+
+fn trip_from(v: &Value) -> Option<TripCount> {
+    match v {
+        Value::Null => Some(TripCount::Unknown),
+        other => Some(TripCount::Constant(u64_from(other)?)),
+    }
+}
+
+fn blocks_to(bs: &[BlockId]) -> Value {
+    arr(bs.iter().map(|b| block_to(*b)))
+}
+
+fn blocks_from(v: &Value) -> Option<Vec<BlockId>> {
+    v.as_arr()?.iter().map(block_from).collect()
+}
+
+fn loop_info_to(l: &LoopInfo) -> Value {
+    arr([
+        block_to(l.header),
+        blocks_to(&l.latches),
+        blocks_to(&l.blocks),
+        opt_loop_to(l.parent),
+        arr(l.children.iter().map(|c| loop_to(*c))),
+        blocks_to(&l.exiting),
+        blocks_to(&l.exits),
+        u(l.depth),
+    ])
+}
+
+fn loop_info_from(id: usize, v: &Value) -> Option<LoopInfo> {
+    let a = v.as_arr()?;
+    Some(LoopInfo {
+        id: LoopId(id as u32),
+        header: block_from(a.first()?)?,
+        latches: blocks_from(a.get(1)?)?,
+        blocks: blocks_from(a.get(2)?)?,
+        parent: opt_loop_from(a.get(3)?)?,
+        children: a
+            .get(4)?
+            .as_arr()?
+            .iter()
+            .map(loop_from)
+            .collect::<Option<_>>()?,
+        exiting: blocks_from(a.get(5)?)?,
+        exits: blocks_from(a.get(6)?)?,
+        depth: as_u32(a.get(7)?)?,
+    })
+}
+
+fn ty_to(t: Type) -> &'static str {
+    match t {
+        Type::I64 => "i",
+        Type::F64 => "f",
+        Type::Bool => "b",
+        Type::Ptr => "p",
+        Type::Void => "v",
+    }
+}
+
+fn ty_from(s: &str) -> Option<Type> {
+    Some(match s {
+        "i" => Type::I64,
+        "f" => Type::F64,
+        "b" => Type::Bool,
+        "p" => Type::Ptr,
+        "v" => Type::Void,
+        _ => return None,
+    })
+}
+
+fn prep_to(p: &PreparedFunction) -> Value {
+    // Back edges sorted for a deterministic document (the in-memory map is
+    // unordered; artifact bytes should not depend on hash order).
+    let mut back: Vec<(&(BlockId, BlockId), &LoopId)> = p.back_edges.iter().collect();
+    back.sort();
+    Value::obj(vec![
+        ("loops", arr(p.forest.loops.iter().map(loop_info_to))),
+        (
+            "bl",
+            arr(p.forest.block_map().iter().map(|l| opt_loop_to(*l))),
+        ),
+        (
+            "irr",
+            arr(p
+                .forest
+                .irreducible
+                .iter()
+                .map(|(a, b)| arr([block_to(*a), block_to(*b)]))),
+        ),
+        ("trips", arr(p.trip_counts.iter().map(trip_to))),
+        (
+            "exiting",
+            arr(p
+                .exiting_loops
+                .iter()
+                .map(|ls| arr(ls.iter().map(|l| loop_to(*l))))),
+        ),
+        (
+            "back",
+            arr(back
+                .iter()
+                .map(|((from, to), lid)| arr([block_to(*from), block_to(*to), loop_to(**lid)]))),
+        ),
+        ("inner", arr(p.innermost.iter().map(|l| opt_loop_to(*l)))),
+        ("header", arr(p.header_of.iter().map(|l| opt_loop_to(*l)))),
+        ("ipd", arr(p.ipostdom.iter().map(|b| opt_block_to(*b)))),
+        (
+            "rty",
+            arr(p.result_tys.iter().map(|t| Value::str(ty_to(*t)))),
+        ),
+        ("ofl", arr(p.operand_float.iter().map(|b| Value::Bool(*b)))),
+    ])
+}
+
+fn prep_from(v: &Value) -> Option<PreparedFunction> {
+    let loops: Option<Vec<LoopInfo>> = v
+        .get("loops")?
+        .as_arr()?
+        .iter()
+        .enumerate()
+        .map(|(i, l)| loop_info_from(i, l))
+        .collect();
+    let block_loop: Option<Vec<Option<LoopId>>> =
+        v.get("bl")?.as_arr()?.iter().map(opt_loop_from).collect();
+    let irreducible: Option<Vec<(BlockId, BlockId)>> = v
+        .get("irr")?
+        .as_arr()?
+        .iter()
+        .map(|e| {
+            let e = e.as_arr()?;
+            Some((block_from(e.first()?)?, block_from(e.get(1)?)?))
+        })
+        .collect();
+    let forest = LoopForest::from_parts(loops?, block_loop?, irreducible?);
+    let trip_counts: Option<Vec<TripCount>> =
+        v.get("trips")?.as_arr()?.iter().map(trip_from).collect();
+    let exiting_loops: Option<Vec<Vec<LoopId>>> = v
+        .get("exiting")?
+        .as_arr()?
+        .iter()
+        .map(|ls| ls.as_arr()?.iter().map(loop_from).collect())
+        .collect();
+    let mut back_edges = HashMap::new();
+    for e in v.get("back")?.as_arr()? {
+        let e = e.as_arr()?;
+        back_edges.insert(
+            (block_from(e.first()?)?, block_from(e.get(1)?)?),
+            loop_from(e.get(2)?)?,
+        );
+    }
+    let innermost: Option<Vec<Option<LoopId>>> = v
+        .get("inner")?
+        .as_arr()?
+        .iter()
+        .map(opt_loop_from)
+        .collect();
+    let header_of: Option<Vec<Option<LoopId>>> = v
+        .get("header")?
+        .as_arr()?
+        .iter()
+        .map(opt_loop_from)
+        .collect();
+    let ipostdom: Option<Vec<Option<BlockId>>> =
+        v.get("ipd")?.as_arr()?.iter().map(opt_block_from).collect();
+    let result_tys: Option<Vec<Type>> = v
+        .get("rty")?
+        .as_arr()?
+        .iter()
+        .map(|t| ty_from(t.as_str()?))
+        .collect();
+    let operand_float: Option<Vec<bool>> = v
+        .get("ofl")?
+        .as_arr()?
+        .iter()
+        .map(|b| b.as_bool())
+        .collect();
+    Some(PreparedFunction {
+        forest,
+        trip_counts: trip_counts?,
+        exiting_loops: exiting_loops?,
+        back_edges,
+        innermost: innermost?,
+        header_of: header_of?,
+        ipostdom: ipostdom?,
+        result_tys: result_tys?,
+        operand_float: operand_float?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::compute_units;
+    use pt_ir::{FunctionBuilder, Module, Value as IrValue};
+
+    fn roundtrip(u: &FunctionUnit) -> FunctionUnit {
+        let text = unit_to_json(u).render();
+        let doc = Value::parse(&text).expect("rendered JSON reparses");
+        unit_from_json(&doc).expect("decodes")
+    }
+
+    #[test]
+    fn units_roundtrip_bit_identically() {
+        let mut m = Module::new("rt");
+        let mut b = FunctionBuilder::new("leaf", vec![("x".into(), Type::F64)], Type::F64);
+        let v = b.bin(BinOp::Mul, b.param(0), 2.5f64);
+        b.ret(Some(v));
+        let leaf = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("kern", vec![("n".into(), Type::I64)], Type::I64);
+        let buf = b.alloca(16i64);
+        b.for_loop(0i64, b.param(0), 1i64, |b, iv| {
+            let a = b.gep(buf, iv, 1);
+            b.store(a, iv);
+            b.call_external("pt_work_flops", vec![IrValue::int(1)], Type::Void);
+        });
+        b.call(leaf, vec![IrValue::float(1.0)], Type::F64);
+        b.call_external("MPI_Allreduce", vec![IrValue::int(0)], Type::Void);
+        let out = b.load(buf, Type::I64);
+        b.ret(Some(out));
+        m.add_function(b.finish());
+
+        for unit in &compute_units(&m) {
+            let rt = roundtrip(unit);
+            assert_eq!(format!("{rt:?}"), format!("{unit:?}"));
+        }
+    }
+
+    #[test]
+    fn malformed_documents_decode_to_none() {
+        for text in ["{}", "{\"v\": 999}", "{\"v\": 1, \"prep\": 3}", "[1, 2, 3]"] {
+            let doc = Value::parse(text).expect("valid JSON");
+            assert!(unit_from_json(&doc).is_none(), "{text} must be rejected");
+        }
+    }
+}

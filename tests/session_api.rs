@@ -3,7 +3,7 @@
 //! exactly while computing the static stage once, and user errors surface
 //! as `PtError` values — never panics, never substrate error types.
 
-use perf_taint::{analyze, PipelineConfig, PtError, SessionBuilder};
+use perf_taint::{PtError, SessionBuilder};
 use pt_apps::lulesh;
 use std::sync::Arc;
 
@@ -65,12 +65,15 @@ fn analyze_batch_matches_sequential_analyze() {
         );
     }
 
-    // Results are identical to one-shot sequential `analyze` calls.
-    let cfg = PipelineConfig::with_mpi_defaults();
+    // Results are identical to one-shot sequential runs (a throwaway
+    // session per parameter set — the retired `analyze()` shim's shape).
     let model_params = app.model_params.clone();
     for (params, result) in param_sets.iter().zip(&batch) {
         let batched = result.as_ref().unwrap();
-        let sequential = analyze(&app.module, &app.entry, params.clone(), &cfg).unwrap();
+        let sequential = SessionBuilder::new(&app.module, &app.entry)
+            .build()
+            .taint_run(params.clone())
+            .unwrap();
         assert_eq!(batched.param_names, sequential.param_names);
         assert_eq!(batched.kinds, sequential.kinds);
         assert_eq!(batched.deps, sequential.deps);
@@ -156,14 +159,20 @@ fn session_cache_shares_statics_across_sessions_and_apps() {
     let cache = SessionCache::new();
     assert!(cache.is_empty());
 
-    // Two sessions over the same module share one static stage.
-    let s1 = cache.session(&lulesh.module, &lulesh.entry);
-    let s2 = cache.session(&lulesh.module, &lulesh.entry);
+    // Two sessions over the same module content share one static stage.
+    let s1 = cache.get_or_compute(&lulesh.module, &lulesh.entry);
+    let s2 = cache.get_or_compute(&lulesh.module, &lulesh.entry);
     assert!(Arc::ptr_eq(&s1.static_analysis(), &s2.static_analysis()));
     assert_eq!(cache.len(), 1);
 
+    // The whole-module slot absorbed the second request: the per-function
+    // ledger shows exactly one compute pass over the module's functions.
+    let reuse = cache.unit_reuse();
+    assert_eq!(reuse.total, lulesh.module.functions.len());
+    assert_eq!(reuse.recomputed, lulesh.module.functions.len());
+
     // A different app gets its own entry, not the cached one.
-    let s3 = cache.session(&milc.module, &milc.entry);
+    let s3 = cache.get_or_compute(&milc.module, &milc.entry);
     assert!(!Arc::ptr_eq(&s1.static_analysis(), &s3.static_analysis()));
     assert_eq!(cache.len(), 2);
 

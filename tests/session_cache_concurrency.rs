@@ -43,7 +43,7 @@ fn racing_threads_share_one_static_stage_per_module() {
                     // Line every thread up so the first-computation race is
                     // as hot as we can make it.
                     barrier.wait();
-                    cache.session(module, "main").static_analysis()
+                    cache.get_or_compute(module, "main").static_analysis()
                 })
             })
             .collect();
@@ -78,7 +78,9 @@ fn distinct_modules_do_not_share_or_block() {
                     barrier.wait();
                     (
                         which,
-                        cache.session(&modules[which], "main").static_analysis(),
+                        cache
+                            .get_or_compute(&modules[which], "main")
+                            .static_analysis(),
                     )
                 })
             })
@@ -100,7 +102,7 @@ fn distinct_modules_do_not_share_or_block() {
     assert_eq!(cache.len(), modules.len());
 
     // And a session built *after* the race still joins the shared stage.
-    let late = cache.session(&modules[0], "main").static_analysis();
+    let late = cache.get_or_compute(&modules[0], "main").static_analysis();
     let first = &artifacts.iter().find(|(i, _)| *i == 0).unwrap().1;
     assert!(Arc::ptr_eq(first, &late));
 }
