@@ -186,6 +186,7 @@ pub fn classify_module(
     module: &Module,
     relevant_externals: &HashSet<String>,
 ) -> StaticClassification {
+    let _span = pt_util::trace::span("analysis", "classify");
     let n = module.functions.len();
     let cg = CallGraph::build(module);
 

@@ -2,7 +2,8 @@
 //! process and write a schema-versioned `BENCH_<git-sha>.json` report.
 //!
 //! Usage:
-//!   bench_all [--quick] [--list] [--verbose] [--quiet] [--out PATH] [FILTER...]
+//!   bench_all [--quick] [--list] [--verbose] [--quiet] [--out PATH]
+//!             [--trace-out PATH] [FILTER...]
 //!
 //! * `FILTER...` — scenario names or tags (empty = all registered scenarios)
 //! * `--quick`   — reduced sweeps (what CI and `cargo test` run)
@@ -12,6 +13,10 @@
 //!   report location (what CI and the server smoke job use). Failures
 //!   still go to stderr and the exit code.
 //! * `--out`     — report path (default `BENCH_<git-sha>.json`)
+//! * `--trace-out` — enable the pipeline tracer for the whole run and
+//!   write every recorded span as Chrome `trace_event` JSON to PATH
+//!   (open in `chrome://tracing` / Perfetto). Tracing adds a few ns per
+//!   span, so don't compare a traced report against an untraced baseline.
 //!
 //! Independent scenarios run concurrently via `pt_util::parallel_map`; the
 //! per-app static stage is computed once and shared through the context's
@@ -57,6 +62,7 @@ fn main() -> ExitCode {
     let mut verbose = false;
     let mut quiet = false;
     let mut out_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -75,9 +81,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--trace-out" => match args.next() {
+                Some(p) => trace_out = Some(p),
+                None => {
+                    eprintln!("--trace-out requires a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "bench_all [--quick] [--list] [--verbose] [--quiet] [--out PATH] [FILTER...]"
+                    "bench_all [--quick] [--list] [--verbose] [--quiet] [--out PATH] \
+                     [--trace-out PATH] [FILTER...]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -87,6 +101,13 @@ fn main() -> ExitCode {
             }
             f => filters.push(f.to_string()),
         }
+    }
+
+    // Pin the tracer on for the whole process before any scenario runs:
+    // `force_enable` (not a scoped guard) so spans from scenario worker
+    // threads are captured no matter when those threads start.
+    if trace_out.is_some() {
+        pt_util::trace::force_enable();
     }
 
     let selected = matching(&filters);
@@ -182,6 +203,22 @@ fn main() -> ExitCode {
     }
     if !quiet {
         println!("report: {path}");
+    }
+
+    if let Some(trace_path) = trace_out {
+        let events = pt_util::trace::drain_all();
+        let chrome = pt_util::trace::chrome_trace(&events).render();
+        if let Err(e) = std::fs::write(&trace_path, chrome) {
+            eprintln!("failed to write trace {trace_path}: {e}");
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            println!(
+                "trace: {trace_path} ({} span(s), {} dropped)",
+                events.len(),
+                pt_util::trace::dropped_total()
+            );
+        }
     }
 
     if failures > 0 {

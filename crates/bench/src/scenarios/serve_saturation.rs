@@ -54,7 +54,7 @@ impl Scenario for ServeSaturation {
             workers: WORKERS,
             queue_capacity: QUEUE,
             shed: true,
-            retry_after_ms: RETRY_AFTER_MS,
+            retry_after_ms: Some(RETRY_AFTER_MS),
             ..ServerConfig::loopback(&store_dir, WORKERS)
         };
         let server = Server::bind(&config).map_err(|e| io_err("cannot bind", &e))?;

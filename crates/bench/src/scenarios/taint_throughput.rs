@@ -81,6 +81,7 @@ impl Scenario for TaintThroughput {
         let mut measure_total = 0.0f64;
         let mut legacy_measure_total = 0.0f64;
         let mut decode_total = 0.0f64;
+        let mut pass_total = 0.0f64;
         let mut insts_total = 0u64;
         let mut passes = PassStats::default();
         for app in &corpus {
@@ -110,6 +111,7 @@ impl Scenario for TaintThroughput {
             measure_total += m_decoded.execute_seconds;
             legacy_measure_total += m_legacy.execute_seconds;
             decode_total += decoded.decode_seconds;
+            pass_total += prepared.pass_seconds;
             insts_total += decoded.insts;
             let s = prepared.pass_stats;
             passes.fused_cmp_br += s.fused_cmp_br;
@@ -162,6 +164,11 @@ impl Scenario for TaintThroughput {
         r.metric("wall_ratio_decoded_over_legacy", ratio);
         r.metric("wall_ratio_measure_decoded_over_legacy", m_ratio);
         r.metric("decode_wall_seconds", decode_total);
+        // Per-stage wall attribution: the pass pipeline's share of the
+        // one-time decode, and the best-of execution wall for the full
+        // taint configuration — the same stages the tracer reports.
+        r.metric("pass_wall_seconds", pass_total);
+        r.metric("exec_wall_seconds", decoded_total);
         r.metric(
             "seconds_per_million_insts",
             decoded_total * 1e6 / (insts_total as f64).max(1.0),

@@ -143,6 +143,7 @@ impl FunctionArtifactCache {
     /// to a cold [`pt_taint::PreparedModule::compute`] +
     /// [`pt_analysis::classify::classify_module`].
     pub fn compute(&self, module: &Module, relevant: &HashSet<String>) -> StaticArtifacts {
+        let _span = pt_util::trace::span("taint", "decode");
         let t0 = std::time::Instant::now();
         let cg = CallGraph::build(module);
         let keys = unit_keys(module, &cg, &config_salt(relevant));
@@ -162,17 +163,31 @@ impl FunctionArtifactCache {
             let memory_hit = self.mem.lock().unwrap().get(key).cloned();
             let artifact = if let Some(hit) = memory_hit {
                 reuse.reused_memory += 1;
+                pt_util::trace::event_with("unit", || {
+                    format!("hit_memory:{}", module.function(fid).name)
+                });
                 hit
             } else if let Some(stored) = self.load_from_store(key) {
                 reuse.reused_store += 1;
+                pt_util::trace::event_with("unit", || {
+                    format!("hit_store:{}", module.function(fid).name)
+                });
                 stored
             } else {
                 reuse.recomputed += 1;
+                let _unit_span = pt_util::trace::span_with("unit", || {
+                    format!("compute:{}", module.function(fid).name)
+                });
                 let specs: Vec<Option<&InlineSpec>> = artifacts
                     .iter()
                     .map(|a| a.as_ref().and_then(|a| a.unit.inline_spec.as_ref()))
                     .collect();
                 let unit = compute_unit(module, fid, &env, &specs);
+                // The per-function slice of the §5.1 classification: same
+                // "classify" label as the module-wide `classify_module`,
+                // so traces show the classify stage under either
+                // static-stage path.
+                let classify_span = pt_util::trace::span("analysis", "classify");
                 let local = classify_function_local(
                     module.function(fid),
                     &unit.prepared.forest,
@@ -196,6 +211,7 @@ impl FunctionArtifactCache {
                     })
                     .collect();
                 let class = resolve_class(&local.reasons, resolved.into_iter());
+                drop(classify_span);
                 let artifact = Arc::new(FunctionArtifact {
                     recursive: local.recursive(),
                     irreducible: local.irreducible(),

@@ -137,6 +137,7 @@ impl<'m> Session<'m> {
     pub fn static_analysis(&self) -> Arc<StaticArtifacts> {
         self.statics
             .get_or_init(|| {
+                let _span = pt_util::trace::span("session", "static_stage");
                 let relevant: HashSet<String> =
                     self.config.db.relevant_names().map(String::from).collect();
                 Arc::new(match &self.units {
@@ -185,6 +186,7 @@ impl<'m> Session<'m> {
             params,
             self.config.interp.clone(),
         );
+        let exec_span = pt_util::trace::span("session", "exec");
         let t_exec = std::time::Instant::now();
         let out = interp
             .run_named(&self.entry, &[])
@@ -193,6 +195,49 @@ impl<'m> Session<'m> {
                 source,
             })?;
         let taint_wall_seconds = t_exec.elapsed().as_secs_f64();
+        // Per-function self-time attribution: scale the profile's
+        // simulated exclusive seconds onto the measured exec wall and lay
+        // the shares out sequentially inside the exec span. The *shares*
+        // are exact (the profile is deterministic); the placement is
+        // synthetic — these children attribute duration, not timeline
+        // position.
+        if let Some(parent) = exec_span.id() {
+            let trace_id = pt_util::trace::current_context().trace_id;
+            let total = out.profile.total_exclusive();
+            if total > 0.0 {
+                let exec_start = pt_util::trace::nanos_since_epoch(t_exec);
+                let exec_nanos = (taint_wall_seconds * 1e9) as u64;
+                let mut by_fn: Vec<_> = out.profile.by_function().into_values().collect();
+                by_fn.sort_by_key(|e| e.func);
+                let mut cursor = exec_start;
+                for entry in by_fn {
+                    let share = ((entry.exclusive / total) * exec_nanos as f64) as u64;
+                    // Ids past the function table are the interpreter's
+                    // pseudo-externals (MPI calls, work intrinsics).
+                    let idx = entry.func.index();
+                    let name = match self.module.functions.get(idx) {
+                        Some(f) => f.name.clone(),
+                        None => statics
+                            .prepared
+                            .decoded
+                            .extern_names
+                            .get(idx - self.module.functions.len())
+                            .cloned()
+                            .unwrap_or_else(|| format!("extern#{idx}")),
+                    };
+                    pt_util::trace::record_span(
+                        trace_id,
+                        parent,
+                        "function",
+                        name,
+                        cursor,
+                        cursor + share,
+                    );
+                    cursor += share;
+                }
+            }
+        }
+        drop(exec_span);
 
         let deps = extract_deps(
             self.module,
@@ -286,8 +331,23 @@ impl<'m> Session<'m> {
 /// static stage may legitimately observe downstream, so build those
 /// sessions directly via [`SessionBuilder`] instead.
 pub struct SessionCache {
-    statics: Mutex<BTreeMap<String, Arc<OnceLock<Arc<StaticArtifacts>>>>>,
+    statics: Mutex<CacheMap>,
     units: Arc<FunctionArtifactCache>,
+    /// Maximum number of module-content entries kept in memory (`None` =
+    /// unbounded, the pre-LRU behavior).
+    capacity: Option<usize>,
+    evictions: pt_util::metrics::Counter,
+}
+
+/// The module-content map plus the logical clock backing its LRU order.
+struct CacheMap {
+    entries: BTreeMap<String, CacheEntry>,
+    tick: u64,
+}
+
+struct CacheEntry {
+    slot: Arc<OnceLock<Arc<StaticArtifacts>>>,
+    last_used: u64,
 }
 
 impl Default for SessionCache {
@@ -298,19 +358,37 @@ impl Default for SessionCache {
 
 impl SessionCache {
     pub fn new() -> SessionCache {
-        SessionCache {
-            statics: Mutex::new(BTreeMap::new()),
-            units: Arc::new(FunctionArtifactCache::new()),
-        }
+        SessionCache::with_units(Arc::new(FunctionArtifactCache::new()))
     }
 
     /// A cache whose per-function artifacts are additionally persisted
     /// through `store`, extending reuse across process restarts.
     pub fn with_store(store: Arc<dyn UnitStore>) -> SessionCache {
+        SessionCache::with_units(Arc::new(FunctionArtifactCache::with_store(store)))
+    }
+
+    fn with_units(units: Arc<FunctionArtifactCache>) -> SessionCache {
         SessionCache {
-            statics: Mutex::new(BTreeMap::new()),
-            units: Arc::new(FunctionArtifactCache::with_store(store)),
+            statics: Mutex::new(CacheMap {
+                entries: BTreeMap::new(),
+                tick: 0,
+            }),
+            units,
+            capacity: None,
+            evictions: pt_util::metrics::Counter::new(),
         }
+    }
+
+    /// Bound the module map to `entries` distinct module contents,
+    /// evicting least-recently-used entries past the cap (each counted in
+    /// [`SessionCache::evictions`]). A capacity of 0 is treated as 1 —
+    /// the entry being requested is never evicted under its requester.
+    /// Eviction is pure degradation: a dropped module recomputes its
+    /// static stage on the next request (assembled from the per-function
+    /// unit cache, which this bound does not touch).
+    pub fn with_capacity(mut self, entries: Option<usize>) -> SessionCache {
+        self.capacity = entries.map(|n| n.max(1));
+        self
     }
 
     /// A session over `module` whose static stage is shared with every
@@ -328,7 +406,37 @@ impl SessionCache {
         // even when many sessions are requested at the same time.
         let slot = {
             let mut map = self.statics.lock().unwrap();
-            map.entry(key).or_default().clone()
+            map.tick += 1;
+            let tick = map.tick;
+            let slot = {
+                let entry = map
+                    .entries
+                    .entry(key.clone())
+                    .or_insert_with(|| CacheEntry {
+                        slot: Arc::default(),
+                        last_used: 0,
+                    });
+                entry.last_used = tick;
+                entry.slot.clone()
+            };
+            // LRU bound: evict coldest-first until within capacity. The
+            // just-touched key holds the newest tick, so it survives; a
+            // concurrently computing entry another thread holds a slot
+            // Arc for merely drops out of the map — the computation
+            // finishes on the orphaned slot unharmed.
+            if let Some(cap) = self.capacity {
+                while map.entries.len() > cap {
+                    let coldest = map
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone())
+                        .expect("map is non-empty past its cap");
+                    map.entries.remove(&coldest);
+                    self.evictions.inc();
+                }
+            }
+            slot
         };
         let statics = slot.get_or_init(|| session.static_analysis()).clone();
         // No-op when this session was the one that just computed them.
@@ -342,9 +450,20 @@ impl SessionCache {
         self.units.cumulative()
     }
 
+    /// Module-map entries evicted by the LRU bound so far (0 when
+    /// unbounded).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// The configured module-map bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// Number of distinct module contents cached so far.
     pub fn len(&self) -> usize {
-        self.statics.lock().unwrap().len()
+        self.statics.lock().unwrap().entries.len()
     }
 
     pub fn is_empty(&self) -> bool {

@@ -311,6 +311,7 @@ pub fn fit_multi_param(
     space: &SearchSpace,
     restriction: Option<&Restriction>,
 ) -> FittedModel {
+    let _span = pt_util::trace::span("extrap", "fit");
     let nparams = ms.num_params();
     let coords: Vec<Vec<f64>> = ms.points.iter().map(|p| p.coords.clone()).collect();
     let ys = ms.means();

@@ -9,6 +9,7 @@
 //! pt-client run <module-hash> <entry> [name=value...]
 //! pt-client batch <module-hash> <entry> <set> [set...]
 //! pt-client fit <request.json | ->
+//! pt-client trace <command> [args...]
 //! pt-client stats
 //! pt-client metrics
 //! pt-client shutdown
@@ -17,7 +18,10 @@
 //! `demo` needs no server: it prints the canonical demo module's IR text
 //! (pipe it to a file, then `submit` it). A batch `set` is a comma-joined
 //! parameter list (`n=8,p=4`). `fit` reads a JSON document with the
-//! `fit_model` request parameters. Results print as pretty JSON.
+//! `fit_model` request parameters. `trace` wraps any other remote command
+//! in the protocol v1.3 request tracer — `pt-client trace run <hash> main
+//! n=8` prints the span tree alongside the run's result. Results print as
+//! pretty JSON.
 //!
 //! `--repeat N` issues the same request N times; `--concurrency K` spreads
 //! those requests over K connections on K threads (a minimal load
@@ -183,7 +187,7 @@ fn run() -> Result<(), String> {
             "--help" | "-h" => {
                 println!(
                     "pt-client [--addr HOST:PORT] [--repeat N] [--concurrency K] \
-                     <demo|submit|static|run|batch|fit|stats|metrics|shutdown> [args...]"
+                     <demo|submit|static|run|batch|fit|trace|stats|metrics|shutdown> [args...]"
                 );
                 return Ok(());
             }
@@ -200,9 +204,29 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    // Every remote command reduces to one (method, params) pair, which is
-    // what makes --repeat/--concurrency uniform across them.
-    let (method, params): (&str, Value) = match (command.as_str(), args) {
+    let (method, params) = command_request(command, args)?;
+
+    if repeat > 1 || concurrency > 1 {
+        if method == "shutdown" {
+            return Err("shutdown does not combine with --repeat/--concurrency".into());
+        }
+        let summary = run_load(&addr, &method, &params, repeat, concurrency)?;
+        print!("{}", summary.render_pretty());
+        return Ok(());
+    }
+
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let value = client.request(&method, params).map_err(|e| e.to_string())?;
+    print!("{}", value.render_pretty());
+    Ok(())
+}
+
+/// Reduce one remote command to its `(method, params)` pair — what makes
+/// `--repeat`/`--concurrency` uniform across commands, and what lets
+/// `trace` wrap any of them in the protocol v1.3 trace envelope.
+fn command_request(command: &str, args: &[String]) -> Result<(String, Value), String> {
+    let (method, params): (&str, Value) = match (command, args) {
         ("submit", [path]) => {
             let text = read_input(path)?;
             (
@@ -251,27 +275,26 @@ fn run() -> Result<(), String> {
         ("stats", []) => ("stats", Value::Obj(Vec::new())),
         ("metrics", []) => ("metrics", Value::Obj(Vec::new())),
         ("shutdown", []) => ("shutdown", Value::Obj(Vec::new())),
+        ("trace", [inner, rest @ ..]) => {
+            if inner == "trace" || inner == "demo" {
+                return Err(format!("'{inner}' cannot be traced"));
+            }
+            let (inner_method, inner_params) = command_request(inner, rest)?;
+            return Ok((
+                "trace".to_string(),
+                Value::obj(vec![
+                    ("method", Value::str(inner_method)),
+                    ("params", inner_params),
+                ]),
+            ));
+        }
         (other, _) => {
             return Err(format!(
                 "unknown command or wrong arguments: '{other}' (see --help)"
             ))
         }
     };
-
-    if repeat > 1 || concurrency > 1 {
-        if method == "shutdown" {
-            return Err("shutdown does not combine with --repeat/--concurrency".into());
-        }
-        let summary = run_load(&addr, method, &params, repeat, concurrency)?;
-        print!("{}", summary.render_pretty());
-        return Ok(());
-    }
-
-    let mut client =
-        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let value = client.request(method, params).map_err(|e| e.to_string())?;
-    print!("{}", value.render_pretty());
-    Ok(())
+    Ok((method.to_string(), params))
 }
 
 fn main() -> ExitCode {

@@ -4,12 +4,21 @@
 //! pt-server [--addr HOST:PORT] [--store DIR] [--workers N] [--queue N]
 //!           [--idle-timeout SECS] [--max-requests N]
 //!           [--shed] [--retry-after-ms N] [--store-budget-bytes N]
+//!           [--session-cache-entries N] [--slow-request-ms N]
+//!           [--trace-out PATH]
 //! ```
 //!
 //! `--max-queue` is an alias of `--queue` (the admission-control reading
 //! of the same bound). `--shed` turns blocking backpressure into
-//! shed-with-`overloaded`; `--store-budget-bytes` caps the artifact store
-//! with LRU eviction.
+//! shed-with-`overloaded`; without `--retry-after-ms`, shed envelopes
+//! carry an adaptive hint derived from observed p99 service time.
+//! `--store-budget-bytes` caps the artifact store with LRU eviction and
+//! `--session-cache-entries` does the same for the in-process session
+//! cache. `--slow-request-ms` logs one structured stderr line (with a
+//! per-stage wall breakdown) for each request slower than the threshold.
+//! `--trace-out` keeps pipeline tracing on for the whole process and
+//! writes a Chrome `trace_event` JSON file on shutdown — load it in
+//! `chrome://tracing` or Perfetto.
 //!
 //! Prints exactly one `pt-server listening on <addr>` line to stdout once
 //! the socket is bound (scripts parse this to learn an ephemeral port),
@@ -31,9 +40,12 @@ fn main() -> ExitCode {
         idle_timeout: None,
         max_requests_per_connection: None,
         shed: false,
-        retry_after_ms: 100,
+        retry_after_ms: None,
         store_budget_bytes: None,
+        session_cache_entries: None,
+        slow_request_ms: None,
     };
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |what: &str| {
@@ -59,9 +71,20 @@ fn main() -> ExitCode {
             }
             "--retry-after-ms" => take("--retry-after-ms").and_then(|v| {
                 v.parse()
-                    .map(|n: u64| config.retry_after_ms = n)
+                    .map(|n: u64| config.retry_after_ms = Some(n))
                     .map_err(|_| "--retry-after-ms requires an integer".to_string())
             }),
+            "--session-cache-entries" => take("--session-cache-entries").and_then(|v| {
+                v.parse()
+                    .map(|n: usize| config.session_cache_entries = Some(n))
+                    .map_err(|_| "--session-cache-entries requires an integer".to_string())
+            }),
+            "--slow-request-ms" => take("--slow-request-ms").and_then(|v| {
+                v.parse()
+                    .map(|n: u64| config.slow_request_ms = Some(n))
+                    .map_err(|_| "--slow-request-ms requires an integer".to_string())
+            }),
+            "--trace-out" => take("--trace-out").map(|v| trace_out = Some(v.into())),
             "--store-budget-bytes" => take("--store-budget-bytes").and_then(|v| {
                 v.parse()
                     .map(|n: u64| config.store_budget_bytes = Some(n))
@@ -94,7 +117,8 @@ fn main() -> ExitCode {
                 println!(
                     "pt-server [--addr HOST:PORT] [--store DIR] [--workers N] [--queue N] \
                      [--idle-timeout SECS] [--max-requests N] [--shed] [--retry-after-ms N] \
-                     [--store-budget-bytes N]"
+                     [--store-budget-bytes N] [--session-cache-entries N] \
+                     [--slow-request-ms N] [--trace-out PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -104,6 +128,12 @@ fn main() -> ExitCode {
             eprintln!("{message}");
             return ExitCode::from(2);
         }
+    }
+
+    if trace_out.is_some() {
+        // Whole-process tracing: on before the first request, exported
+        // after the serve loop drains.
+        pt_util::trace::force_enable();
     }
 
     let server = match Server::bind(&config) {
@@ -133,7 +163,10 @@ fn main() -> ExitCode {
         config.workers,
         config.queue_capacity,
         if config.shed {
-            format!(" (shed, retry-after {} ms)", config.retry_after_ms)
+            match config.retry_after_ms {
+                Some(ms) => format!(" (shed, retry-after {ms} ms)"),
+                None => " (shed, adaptive retry-after)".to_string(),
+            }
         } else {
             String::new()
         }
@@ -141,6 +174,22 @@ fn main() -> ExitCode {
     if let Err(e) = server.run() {
         eprintln!("pt-server: serve loop failed: {e}");
         return ExitCode::FAILURE;
+    }
+    if let Some(path) = trace_out {
+        let events = pt_util::trace::drain_all();
+        let doc = pt_util::trace::chrome_trace(&events).render();
+        match std::fs::write(&path, doc) {
+            Ok(()) => eprintln!(
+                "pt-server: wrote {} trace event(s) to {} ({} dropped)",
+                events.len(),
+                path.display(),
+                pt_util::trace::dropped_total()
+            ),
+            Err(e) => {
+                eprintln!("pt-server: cannot write trace to {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     eprintln!("pt-server: shutdown complete");
     ExitCode::SUCCESS

@@ -210,6 +210,16 @@ impl Client {
         )
     }
 
+    /// Run `method` under the server's request tracer (protocol v1.3).
+    /// The result carries `trace_id`, the nested `spans` tree, the
+    /// per-stage `stages_ms` totals, and the inner method's `result`.
+    pub fn trace(&mut self, method: &str, params: Value) -> Result<Value, ClientError> {
+        self.request(
+            "trace",
+            Value::obj(vec![("method", Value::str(method)), ("params", params)]),
+        )
+    }
+
     pub fn stats(&mut self) -> Result<Value, ClientError> {
         self.request("stats", Value::Obj(Vec::new()))
     }

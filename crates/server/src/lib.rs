@@ -20,10 +20,12 @@
 //! ```
 //!
 //! The request catalogue (`submit_module`, `static_analysis`, `taint_run`,
-//! `analyze_batch`, `fit_model`, `stats`, `metrics`, `shutdown`) lives in
-//! [`state`]; production-operations concerns — per-method latency metrics,
-//! admission control, store eviction budgets — live in [`ops`] and
-//! [`store`]; the wire shapes are documented in `crates/server/README.md`.
+//! `analyze_batch`, `fit_model`, `trace`, `stats`, `metrics`, `shutdown`)
+//! lives in [`state`]; production-operations concerns — per-method latency
+//! metrics, admission control, store eviction budgets, request tracing and
+//! the slow-request log — live in [`ops`], [`store`], and
+//! [`pt_util::trace`]; the wire shapes are documented in
+//! `crates/server/README.md`.
 
 pub mod client;
 pub mod ops;
@@ -70,11 +72,23 @@ pub struct ServerConfig {
     /// `overloaded` envelope (protocol v1.1) instead of blocking the
     /// accept loop. `false` (default): classic blocking backpressure.
     pub shed: bool,
-    /// Backoff hint (milliseconds) carried in shed envelopes.
-    pub retry_after_ms: u64,
+    /// Fixed backoff hint (milliseconds) carried in shed envelopes.
+    /// `None` (protocol v1.3): derive the hint adaptively from the worst
+    /// observed per-method p99 service time.
+    pub retry_after_ms: Option<u64>,
     /// Size budget for the artifact store; when total object bytes exceed
     /// it, the coldest objects are evicted (LRU). `None` = unbounded.
     pub store_budget_bytes: Option<u64>,
+    /// Bound on the in-process session cache (module content → shared
+    /// static stage): at most this many module contents stay resident,
+    /// coldest evicted first. `None` = unbounded (the pre-v1.3 behavior).
+    pub session_cache_entries: Option<usize>,
+    /// Slow-request log (protocol v1.3): any request slower than this
+    /// many milliseconds is reported as one structured stderr line with
+    /// its per-stage wall breakdown. Enabling it traces *every* request
+    /// (the breakdown must exist before the request proves slow), so it
+    /// carries tracing's small bookkeeping overhead. `None` = off.
+    pub slow_request_ms: Option<u64>,
 }
 
 impl ServerConfig {
@@ -89,8 +103,10 @@ impl ServerConfig {
             idle_timeout: None,
             max_requests_per_connection: None,
             shed: false,
-            retry_after_ms: 100,
+            retry_after_ms: None,
             store_budget_bytes: None,
+            session_cache_entries: None,
+            slow_request_ms: None,
         }
     }
 }
@@ -113,7 +129,9 @@ impl Server {
                 .with_admission(AdmissionPolicy {
                     shed: config.shed,
                     retry_after_ms: config.retry_after_ms,
-                }),
+                })
+                .with_session_cache_entries(config.session_cache_entries)
+                .with_slow_request_log(config.slow_request_ms),
         );
         Ok(Server { listener, state })
     }
@@ -148,14 +166,27 @@ impl Server {
         } else {
             addr
         };
-        let queue = BoundedQueue::<TcpStream>::new(self.state.queue_capacity);
+        // Connections carry their accept instant so the time spent waiting
+        // for a worker is attributable ("server"/"queue_wait" spans in the
+        // `--trace-out` export).
+        let queue = BoundedQueue::<(TcpStream, std::time::Instant)>::new(self.state.queue_capacity);
         let state = &self.state;
         std::thread::scope(|scope| {
             for _ in 0..state.workers {
                 let queue = &queue;
                 scope.spawn(move || {
-                    while let Some(stream) = queue.pop() {
+                    while let Some((stream, accepted)) = queue.pop() {
                         state.ops().queue_depth.dec();
+                        if pt_util::trace::enabled() {
+                            pt_util::trace::record_span(
+                                0,
+                                0,
+                                "server",
+                                "queue_wait",
+                                pt_util::trace::nanos_since_epoch(accepted),
+                                pt_util::trace::nanos_since_epoch(std::time::Instant::now()),
+                            );
+                        }
                         handle_connection(state, stream, nudge_addr);
                     }
                 });
@@ -169,18 +200,18 @@ impl Server {
                         // Admission control: never block the accept path. A
                         // full queue answers the newcomer immediately with
                         // `overloaded` + retry_after_ms and moves on.
-                        match queue.try_push(stream) {
+                        match queue.try_push((stream, std::time::Instant::now())) {
                             Ok(()) => state.ops().queue_depth.inc(),
-                            Err(TryPushError::Full(stream)) => {
+                            Err(TryPushError::Full((stream, _))) => {
                                 state.ops().shed_total.inc();
-                                ops::shed_connection(stream, state.admission.retry_after_ms);
+                                ops::shed_connection(stream, state.retry_hint());
                             }
                             Err(TryPushError::Closed(_)) => break 'accept,
                         }
                     }
                     Ok(stream) => {
                         // Classic backpressure: block until a slot frees.
-                        if queue.push(stream).is_err() {
+                        if queue.push((stream, std::time::Instant::now())).is_err() {
                             break;
                         }
                         state.ops().queue_depth.inc();
@@ -327,14 +358,53 @@ fn handle_connection(state: &ServerState, stream: TcpStream, nudge_addr: SocketA
 /// One request line → one response document. Dispatch runs under
 /// `catch_unwind`: a handler bug costs the client an `internal` error
 /// envelope, never the server process ("no panics across the wire").
+///
+/// With the slow-request log configured (`--slow-request-ms`), every
+/// request runs under its own trace so the ones that cross the threshold
+/// report *where* the time went, not merely that it went: one stderr line
+/// with method, trace id, wall time, and the per-stage breakdown.
 pub fn handle_line(state: &ServerState, line: &str) -> Value {
     let request = match protocol::parse_request(line) {
         Ok(r) => r,
         Err((id, e)) => return protocol::error_response(&id, &e),
     };
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        state.dispatch(&request.method, &request.params)
-    }));
+    let slow = state.slow_request_ms.map(|limit_ms| {
+        (
+            limit_ms,
+            pt_util::trace::enable_scoped(),
+            pt_util::trace::next_trace_id(),
+        )
+    });
+    let started = std::time::Instant::now();
+    let outcome = {
+        let _bind = slow
+            .as_ref()
+            .map(|(_, _, trace_id)| pt_util::trace::set_thread_trace(*trace_id));
+        let _root = slow
+            .as_ref()
+            .map(|_| pt_util::trace::span("server", "request"));
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.dispatch(&request.method, &request.params)
+        }))
+    };
+    if let Some((limit_ms, _scope, trace_id)) = slow {
+        // Always drain this request's events — a fast request must not
+        // leave its spans behind to bloat the sink or leak into later
+        // slow-request reports.
+        let events = pt_util::trace::take_trace(trace_id);
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        if wall_ms >= limit_ms as f64 {
+            let stages = pt_util::trace::stage_totals_ms(&events)
+                .into_iter()
+                .map(|(name, ms)| format!("{name}:{ms:.1}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            eprintln!(
+                "pt-server: slow-request method={} trace={} wall_ms={:.1} stages_ms={}",
+                request.method, trace_id, wall_ms, stages
+            );
+        }
+    }
     match outcome {
         Ok(Ok(result)) => protocol::ok_response(&request.id, result),
         Ok(Err(e)) => protocol::error_response(&request.id, &e),

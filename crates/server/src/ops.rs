@@ -27,6 +27,7 @@ pub const METHODS: &[&str] = &[
     "taint_run",
     "analyze_batch",
     "fit_model",
+    "trace",
     "stats",
     "metrics",
     "shutdown",
@@ -34,24 +35,28 @@ pub const METHODS: &[&str] = &[
 ];
 
 /// How the server behaves when the connection queue is full.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct AdmissionPolicy {
     /// `true`: shed new connections with an `overloaded` envelope when the
     /// queue is full. `false` (default): block the accept loop until a
     /// slot frees — the pre-v1.1 backpressure behavior.
     pub shed: bool,
-    /// Backoff hint carried in shed envelopes.
-    pub retry_after_ms: u64,
+    /// Fixed backoff hint carried in shed envelopes. `None` (default,
+    /// protocol v1.3): derive the hint adaptively from observed service
+    /// time — [`Ops::derived_retry_hint_ms`] — so a server doing 2 ms
+    /// `stats` calls and one doing 800 ms `analyze_batch` fan-outs each
+    /// tell clients an honest backoff without operator tuning.
+    pub retry_after_ms: Option<u64>,
 }
 
-impl Default for AdmissionPolicy {
-    fn default() -> AdmissionPolicy {
-        AdmissionPolicy {
-            shed: false,
-            retry_after_ms: 100,
-        }
-    }
-}
+/// Bounds of the adaptive backoff hint: never tell a client to hammer a
+/// saturated server faster than this...
+pub const MIN_RETRY_HINT_MS: u64 = 25;
+/// ...and never park one longer than this, however slow a batch was.
+pub const MAX_RETRY_HINT_MS: u64 = 5_000;
+/// The hint before any request has been measured (also the pre-v1.3
+/// fixed default).
+pub const DEFAULT_RETRY_HINT_MS: u64 = 100;
 
 /// Counters and latency histogram of one method.
 #[derive(Debug)]
@@ -119,6 +124,25 @@ impl Ops {
             .filter(|(_, m)| m.calls.get() > 0)
             .map(|(name, m)| (name.to_string(), Value::int(m.calls.get() as i64)))
             .collect()
+    }
+
+    /// The adaptive shed backoff hint (milliseconds): the worst per-method
+    /// p99 service time observed so far, clamped to
+    /// [[`MIN_RETRY_HINT_MS`], [`MAX_RETRY_HINT_MS`]]. The p99 — not the
+    /// mean — because a shed client that waits one worst-case service
+    /// time finds a drained queue slot with high probability; a
+    /// mean-based hint under a bimodal mix (cheap `stats`, expensive
+    /// `analyze_batch`) would have it reconnect into a still-full queue.
+    /// Before any request has completed the hint falls back to
+    /// [`DEFAULT_RETRY_HINT_MS`].
+    pub fn derived_retry_hint_ms(&self) -> u64 {
+        self.methods
+            .iter()
+            .filter(|(_, m)| m.calls.get() > 0)
+            .map(|(_, m)| m.latency.snapshot().p99_micros / 1_000)
+            .max()
+            .map(|p99_ms| p99_ms.clamp(MIN_RETRY_HINT_MS, MAX_RETRY_HINT_MS))
+            .unwrap_or(DEFAULT_RETRY_HINT_MS)
     }
 
     /// The `methods` object of the `metrics` response: per-method count,
@@ -194,6 +218,30 @@ mod tests {
         assert_eq!(stats.get("count").and_then(Value::as_u64), Some(1));
         assert_eq!(stats.get("p50_ms").and_then(Value::as_f64), Some(2.0));
         assert!(json.get("taint_run").is_none(), "uncalled methods omitted");
+    }
+
+    #[test]
+    fn derived_retry_hint_tracks_the_worst_p99_and_clamps() {
+        let ops = Ops::new();
+        // No data: the fixed default.
+        assert_eq!(ops.derived_retry_hint_ms(), DEFAULT_RETRY_HINT_MS);
+        // Sub-millisecond service clamps up to the floor.
+        let fast = ops.method("stats");
+        fast.calls.inc();
+        fast.latency.record_micros(90);
+        assert_eq!(ops.derived_retry_hint_ms(), MIN_RETRY_HINT_MS);
+        // The worst method's p99 wins (bucketed upward by the histogram).
+        let slow = ops.method("analyze_batch");
+        slow.calls.inc();
+        slow.latency.record_micros(180_000);
+        let hint = ops.derived_retry_hint_ms();
+        assert!(
+            (180..=MAX_RETRY_HINT_MS).contains(&hint),
+            "hint {hint} should reflect the 180 ms batch"
+        );
+        // Absurdly slow work clamps down to the ceiling.
+        slow.latency.record_micros(60_000_000);
+        assert_eq!(ops.derived_retry_hint_ms(), MAX_RETRY_HINT_MS);
     }
 
     #[test]

@@ -30,9 +30,14 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// added the `functions` object to `stats` and `metrics` — the
 /// per-function static-stage reuse ledger (`total` / `reused_memory` /
 /// `reused_store` / `recomputed`) behind the content-addressed edit loop.
+/// Revision 3 ("protocol v1.3") added the `trace` method — run any other
+/// method under a request-scoped tracer and get its structured span tree
+/// back alongside the result — plus the `session_cache` object in `stats`
+/// and `metrics`, and adaptive `retry_after_ms` hints derived from
+/// observed per-method p99 latency when no fixed hint is configured.
 /// All additions are additive; v1 clients are unaffected — the wire `v`
 /// field stays `1`.
-pub const PROTOCOL_MINOR: u64 = 2;
+pub const PROTOCOL_MINOR: u64 = 3;
 
 /// A parsed request envelope.
 #[derive(Debug, Clone)]

@@ -78,6 +78,9 @@ pub struct ServerState {
     pub idle_timeout: Option<std::time::Duration>,
     /// Close connections after serving this many requests.
     pub max_requests_per_connection: Option<u64>,
+    /// Emit a structured stderr line for requests slower than this
+    /// (protocol v1.3 slow-request log; `None` = off).
+    pub slow_request_ms: Option<u64>,
 }
 
 impl ServerState {
@@ -98,6 +101,7 @@ impl ServerState {
             stopping: AtomicBool::new(false),
             idle_timeout: None,
             max_requests_per_connection: None,
+            slow_request_ms: None,
         }
     }
 
@@ -116,6 +120,29 @@ impl ServerState {
     pub fn with_admission(mut self, admission: AdmissionPolicy) -> ServerState {
         self.admission = admission;
         self
+    }
+
+    /// Bound the in-process session cache to `entries` module contents
+    /// (LRU eviction; `None` = unbounded, the pre-v1.3 behavior).
+    pub fn with_session_cache_entries(mut self, entries: Option<usize>) -> ServerState {
+        self.sessions = self.sessions.with_capacity(entries);
+        self
+    }
+
+    /// Log one structured stderr line for any request slower than this
+    /// (`None` disables the log; see [`crate::handle_line`]).
+    pub fn with_slow_request_log(mut self, slow_request_ms: Option<u64>) -> ServerState {
+        self.slow_request_ms = slow_request_ms;
+        self
+    }
+
+    /// The backoff hint for the next shed envelope: the configured fixed
+    /// value when one was given, else adaptive from observed per-method
+    /// p99 service time.
+    pub fn retry_hint(&self) -> u64 {
+        self.admission
+            .retry_after_ms
+            .unwrap_or_else(|| self.ops.derived_retry_hint_ms())
     }
 
     pub fn store(&self) -> &Store {
@@ -144,6 +171,7 @@ impl ServerState {
             "taint_run" => Some(ServerState::taint_run),
             "analyze_batch" => Some(ServerState::analyze_batch),
             "fit_model" => Some(ServerState::fit_model),
+            "trace" => Some(ServerState::trace_request),
             "stats" => Some(|state, _| state.stats()),
             "metrics" => Some(|state, _| state.metrics()),
             "shutdown" => Some(|state, _| state.shutdown()),
@@ -401,6 +429,60 @@ impl ServerState {
         Ok(summary)
     }
 
+    // ---- trace -----------------------------------------------------------
+
+    /// Protocol v1.3: run any other method under a request-scoped tracer
+    /// and return its structured span tree alongside the result. Params:
+    /// `{"method": <inner method>, "params": <inner params>}`. The inner
+    /// dispatch goes through the normal table, so it is counted in the
+    /// per-method metrics exactly like an untraced call; `trace` itself is
+    /// counted too (the cost of the wrapper is itself observable).
+    ///
+    /// Tracing is enabled only for the guard's lifetime (refcounted, so
+    /// concurrent traced and untraced requests coexist; untraced requests
+    /// running meanwhile pay one relaxed load per instrumentation point
+    /// plus buffered span recording). The fresh trace id keeps this
+    /// request's spans — including those from `analyze_batch` workers —
+    /// separate from any concurrent traced request.
+    fn trace_request(&self, params: &Value) -> Result<Value, ServeError> {
+        let method = require_str(params, "method")?;
+        if method == "trace" {
+            return Err(ServeError::BadRequest("'trace' cannot wrap itself".into()));
+        }
+        let empty = Value::Obj(Vec::new());
+        let inner = params.get("params").unwrap_or(&empty);
+        if !matches!(inner, Value::Obj(_)) {
+            return Err(ServeError::BadRequest("'params' must be an object".into()));
+        }
+        let _on = pt_util::trace::enable_scoped();
+        let trace_id = pt_util::trace::next_trace_id();
+        let started = Instant::now();
+        let outcome = {
+            let _bind = pt_util::trace::set_thread_trace(trace_id);
+            let _root = pt_util::trace::span("server", "request");
+            self.dispatch(method, inner)
+        };
+        let wall = started.elapsed();
+        // The root guard dropped above, flushing this thread's buffer, and
+        // `analyze_batch` workers flushed when their scope closed — the
+        // sink now holds the complete trace.
+        let events = pt_util::trace::take_trace(trace_id);
+        let result = outcome?;
+        let stages = pt_util::trace::stage_totals_ms(&events)
+            .into_iter()
+            .map(|(name, ms)| (name, Value::Num(ms)))
+            .collect();
+        Ok(Value::obj(vec![
+            ("trace_id", Value::int(trace_id as i64)),
+            ("method", Value::str(method)),
+            ("wall_us", Value::Num(wall.as_secs_f64() * 1e6)),
+            ("events", Value::int(events.len() as i64)),
+            ("stages_ms", Value::Obj(stages)),
+            ("spans", pt_util::trace::report(&events)),
+            ("result", result),
+        ]))
+    }
+
     // ---- stats / metrics / shutdown --------------------------------------
 
     /// Protocol v1.2: the `functions` object reports the per-function
@@ -415,6 +497,22 @@ impl ServerState {
             ("reused_memory", Value::int(reuse.reused_memory as i64)),
             ("reused_store", Value::int(reuse.reused_store as i64)),
             ("recomputed", Value::int(reuse.recomputed as i64)),
+        ])
+    }
+
+    /// Protocol v1.3: the in-process session cache (module content →
+    /// static stage) — occupancy, configured LRU bound, and evictions.
+    fn session_cache_json(&self) -> Value {
+        Value::obj(vec![
+            ("entries", Value::int(self.sessions.len() as i64)),
+            (
+                "capacity",
+                match self.sessions.capacity() {
+                    Some(c) => Value::int(c as i64),
+                    None => Value::Null,
+                },
+            ),
+            ("evictions", Value::int(self.sessions.evictions() as i64)),
         ])
     }
 
@@ -444,6 +542,7 @@ impl ServerState {
                 ]),
             ),
             ("functions", self.function_reuse_json()),
+            ("session_cache", self.session_cache_json()),
             (
                 "modules_in_memory",
                 Value::int(self.modules.lock().unwrap().len() as i64),
@@ -497,6 +596,7 @@ impl ServerState {
                 Value::int(self.served_from_store.load(Ordering::Relaxed) as i64),
             ),
             ("functions", self.function_reuse_json()),
+            ("session_cache", self.session_cache_json()),
             ("workers", Value::int(self.workers as i64)),
         ]))
     }

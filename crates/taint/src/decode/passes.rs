@@ -72,21 +72,31 @@ pub struct PassStats {
 /// fast path it unlocks — are only sound when definitions dominate uses,
 /// so unverified functions keep the naive layout.
 pub fn optimize(module: &mut DecodedModule, ssa_clean: &[bool]) -> PassStats {
+    let _span = pt_util::trace::span("taint", "passes");
     let mut stats = PassStats::default();
-    for f in &mut module.functions {
-        stats.regs_before += f.nregs;
-        let (cb, ld, st) = fuse(f);
-        stats.fused_cmp_br += cb;
-        stats.fused_loads += ld;
-        stats.fused_stores += st;
-    }
-    stats.inlined_calls = inline_leaf_calls(module, ssa_clean);
-    for (f, &clean) in module.functions.iter_mut().zip(ssa_clean) {
-        if clean {
-            allocate_registers(f);
-            f.ssa_clean = true;
+    {
+        let _fuse = pt_util::trace::span("pass", "fuse");
+        for f in &mut module.functions {
+            stats.regs_before += f.nregs;
+            let (cb, ld, st) = fuse(f);
+            stats.fused_cmp_br += cb;
+            stats.fused_loads += ld;
+            stats.fused_stores += st;
         }
-        stats.regs_after += f.nregs;
+    }
+    {
+        let _inline = pt_util::trace::span("pass", "inline_leaf_calls");
+        stats.inlined_calls = inline_leaf_calls(module, ssa_clean);
+    }
+    {
+        let _regalloc = pt_util::trace::span("pass", "allocate_registers");
+        for (f, &clean) in module.functions.iter_mut().zip(ssa_clean) {
+            if clean {
+                allocate_registers(f);
+                f.ssa_clean = true;
+            }
+            stats.regs_after += f.nregs;
+        }
     }
     stats
 }

@@ -124,10 +124,15 @@ pub struct PreparedModule {
     /// (reported by the `taint_throughput` bench scenario; *not* part of
     /// any deterministic summary).
     pub decode_seconds: f64,
+    /// Wall seconds of `decode_seconds` spent inside the post-decode pass
+    /// pipeline alone (fusion + inlining + register allocation) — the
+    /// per-stage attribution `bench_compare` localizes regressions with.
+    pub pass_seconds: f64,
 }
 
 impl PreparedModule {
     pub fn compute(module: &Module) -> PreparedModule {
+        let _span = pt_util::trace::span("taint", "decode");
         let functions: Vec<PreparedFunction> = module
             .functions
             .iter()
@@ -144,12 +149,15 @@ impl PreparedModule {
             .iter()
             .map(|f| pt_analysis::ssa_verify::verify_ssa(f).is_ok())
             .collect();
+        let p0 = std::time::Instant::now();
         let pass_stats = crate::decode::passes::optimize(&mut decoded, &ssa_clean);
+        let pass_seconds = p0.elapsed().as_secs_f64();
         PreparedModule {
             functions,
             decoded,
             pass_stats,
             decode_seconds: t0.elapsed().as_secs_f64(),
+            pass_seconds,
         }
     }
 

@@ -67,6 +67,10 @@ pub fn compute_unit(
         regs_before: decoded.nregs,
         ..PassStats::default()
     };
+    // The per-function slice of the pass pipeline: same "passes" label as
+    // the module-wide `passes::optimize`, so trace consumers see the pass
+    // stage under either static-stage path.
+    let _passes_span = pt_util::trace::span("taint", "passes");
     let (cb, ld, st) = fuse(&mut decoded);
     stats.fused_cmp_br = cb;
     stats.fused_loads = ld;
@@ -131,6 +135,9 @@ pub fn assemble(env: &DecodeEnv, units: &[&FunctionUnit], decode_seconds: f64) -
         },
         pass_stats,
         decode_seconds,
+        // Units interleave decode and passes per function; the pass-only
+        // wall split is not tracked on this path.
+        pass_seconds: 0.0,
     }
 }
 

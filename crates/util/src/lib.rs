@@ -1,7 +1,38 @@
 //! Small utilities shared across the workspace.
+//!
+//! # Tracing the pipeline
+//!
+//! [`trace`] is the workspace's structured tracing layer: std-only,
+//! thread-local span stacks, a bounded global sink, and **zero cost when
+//! disabled** (one relaxed atomic load per call site, no allocation).
+//! Every pipeline layer is instrumented — the static stage
+//! (`session/static_stage`, `taint/decode`, `taint/passes`, the
+//! individual `pass/...` spans, per-function `unit/compute:<fn>` spans
+//! with cache-hit events, `analysis/classify`), execution
+//! (`session/exec` with per-function self-time children), model fitting
+//! (`extrap/fit`), and the server path (`server/request`,
+//! `server/queue_wait`).
+//!
+//! Three ways to turn it on:
+//!
+//! * [`trace::enable_scoped`] — refcounted guard; what the server's
+//!   v1.3 `trace` method and `--slow-request-ms` use per request.
+//! * [`trace::force_enable`] — pin it on for the whole process; what
+//!   `pt-server --trace-out` and `bench_all --trace-out` use, paired
+//!   with [`trace::drain_all`] + [`trace::chrome_trace`] to export
+//!   Chrome `trace_event` JSON for `chrome://tracing` / Perfetto.
+//! * [`trace::set_thread_trace`] — bind a request-scoped trace id to
+//!   the current thread; [`trace::TraceContext`] carries it across
+//!   [`parallel_map`] workers, and [`trace::take_trace`] collects one
+//!   request's spans without disturbing concurrent traces.
+//!
+//! [`trace::report`] renders a span slice as a nested JSON tree;
+//! [`trace::stage_totals_ms`] sums durations by span name for quick
+//! per-stage attribution.
 
 pub mod metrics;
 mod queue;
+pub mod trace;
 
 pub use queue::{BoundedQueue, TryPushError};
 
@@ -84,6 +115,10 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send), fallback: &str) -> St
 /// work is abandoned, and the first panic's original payload is re-raised
 /// exactly once on the calling thread — never a `PoisonError` double-panic
 /// from the result slots.
+///
+/// When tracing is enabled ([`trace::enabled`]), each worker adopts the
+/// caller's trace context, so spans opened inside `f` land in the
+/// caller's trace, nested under its currently open span.
 pub fn parallel_map<T, R, F>(items: &[T], max_workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -95,6 +130,7 @@ where
         return items.iter().map(f).collect();
     }
 
+    let ctx = trace::current_context();
     let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
@@ -104,22 +140,25 @@ where
             let results = &results;
             let panic_payload = &panic_payload;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))) {
-                    Ok(r) => *results[i].lock().unwrap() = Some(r),
-                    Err(payload) => {
-                        // First panic wins; park the counter past the end so
-                        // every worker stops handing out new work.
-                        next.store(items.len(), Ordering::Relaxed);
-                        panic_payload
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .get_or_insert(payload);
+            scope.spawn(move || {
+                let _trace_ctx = ctx.adopt();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
                         break;
+                    }
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))) {
+                        Ok(r) => *results[i].lock().unwrap() = Some(r),
+                        Err(payload) => {
+                            // First panic wins; park the counter past the end so
+                            // every worker stops handing out new work.
+                            next.store(items.len(), Ordering::Relaxed);
+                            panic_payload
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .get_or_insert(payload);
+                            break;
+                        }
                     }
                 }
             });

@@ -1,0 +1,237 @@
+//! Functional trace correctness: span nesting and balance — through
+//! `parallel_map` fan-out and across worker panics — plus the JSON
+//! exports round-tripping through the vendored parser.
+//!
+//! These tests share one process (and therefore one global sink), so
+//! each works strictly within its own trace id via `take_trace`; none of
+//! them calls `drain_all`, which would race the others. The
+//! disabled-mode zero-allocation check lives in `trace_alloc.rs` (its
+//! counting allocator needs a binary that never enables tracing).
+
+use pt_util::trace::{self, SpanEvent};
+use serde::json::Value;
+
+/// A traced request: enable scoped, adopt a fresh trace id, run `f`
+/// under a root span named `root`, and return the trace's events.
+fn traced(root: &'static str, f: impl FnOnce()) -> (u64, Vec<SpanEvent>) {
+    let _on = trace::enable_scoped();
+    let trace_id = trace::next_trace_id();
+    let _ctx = trace::set_thread_trace(trace_id);
+    {
+        let _root = trace::span("test", root);
+        f();
+    }
+    (trace_id, trace::take_trace(trace_id))
+}
+
+fn find<'e>(events: &'e [SpanEvent], name: &str) -> &'e SpanEvent {
+    events
+        .iter()
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| panic!("span {name} missing from {events:?}"))
+}
+
+#[test]
+fn spans_nest_and_balance_in_a_single_thread() {
+    let (trace_id, events) = traced("root", || {
+        let _outer = trace::span("stage", "outer");
+        {
+            let _inner = trace::span_with("stage", || "inner".to_string());
+        }
+        trace::event("stage", "tick");
+    });
+
+    assert_eq!(events.len(), 4, "{events:?}");
+    let root = find(&events, "root");
+    let outer = find(&events, "outer");
+    let inner = find(&events, "inner");
+    let tick = find(&events, "tick");
+    assert_eq!(root.parent, 0);
+    assert_eq!(outer.parent, root.id);
+    assert_eq!(inner.parent, outer.id);
+    assert_eq!(tick.parent, outer.id, "instant event under the open span");
+    assert!(events.iter().all(|e| e.trace_id == trace_id));
+    // Temporal nesting: child intervals inside parent intervals.
+    assert!(outer.start_nanos >= root.start_nanos && outer.end_nanos <= root.end_nanos);
+    assert!(inner.start_nanos >= outer.start_nanos && inner.end_nanos <= outer.end_nanos);
+    assert_eq!(tick.duration_nanos(), 0, "events are zero-duration");
+}
+
+#[test]
+fn parallel_map_workers_nest_under_the_callers_open_span() {
+    let items: Vec<usize> = (0..16).collect();
+    let (trace_id, events) = traced("root", || {
+        let fanout = trace::span("test", "fanout");
+        let fanout_id = fanout.id().expect("tracing is on");
+        let out = pt_util::parallel_map(&items, 4, |&i| {
+            let _s = trace::span_with("work", || format!("item-{i}"));
+            i * 2
+        });
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+        drop(fanout);
+        // Worker threads have exited (scoped threads), so their buffers
+        // are already flushed; everything must be parented at `fanout`.
+        let _ = fanout_id;
+    });
+
+    let fanout = find(&events, "fanout");
+    let workers: Vec<&SpanEvent> = events
+        .iter()
+        .filter(|e| e.name.starts_with("item-"))
+        .collect();
+    assert_eq!(workers.len(), items.len(), "one span per item: {events:?}");
+    for w in &workers {
+        assert_eq!(
+            w.parent, fanout.id,
+            "worker span must nest under the caller's open span"
+        );
+        assert_eq!(w.trace_id, trace_id, "worker span joins the caller's trace");
+        assert!(w.start_nanos >= fanout.start_nanos && w.end_nanos <= fanout.end_nanos);
+    }
+    // More than one distinct worker thread actually participated.
+    let caller_thread = fanout.thread;
+    assert!(
+        workers.iter().any(|w| w.thread != caller_thread),
+        "fan-out must run on worker threads"
+    );
+}
+
+#[test]
+fn worker_panic_leaves_the_trace_balanced() {
+    let items: Vec<usize> = (0..32).collect();
+    let (_trace_id, events) = traced("root", || {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pt_util::parallel_map(&items, 4, |&i| {
+                let _s = trace::span_with("work", || format!("worker-{i}"));
+                if i == 3 {
+                    panic!("worker boom");
+                }
+                i
+            })
+        }));
+        assert!(caught.is_err(), "the worker panic must propagate");
+        // The thread's span stack must be intact after the unwind: a new
+        // span parents at root, not at some leaked worker frame.
+        let _after = trace::span("test", "after-panic");
+    });
+
+    let root = find(&events, "root");
+    let after = find(&events, "after-panic");
+    assert_eq!(
+        after.parent, root.id,
+        "span stack must be balanced after a worker panic: {events:?}"
+    );
+    // The panicking worker's own span was closed by unwinding — every
+    // recorded event has an end (take_trace only ever returns completed
+    // spans, so presence is the check) and nests under root.
+    let boom = find(&events, "worker-3");
+    assert_eq!(boom.trace_id, root.trace_id);
+    assert!(boom.end_nanos >= boom.start_nanos);
+}
+
+#[test]
+fn report_builds_the_nested_tree() {
+    let (_trace_id, events) = traced("root", || {
+        let _a = trace::span("stage", "a");
+        let _b = trace::span("stage", "b");
+    });
+    let tree = trace::report(&events);
+    let roots = tree.as_arr().expect("report returns an array of roots");
+    assert_eq!(roots.len(), 1, "{}", tree.render());
+    let root = &roots[0];
+    assert_eq!(root.get("name").and_then(Value::as_str), Some("root"));
+    let children = root.get("children").and_then(Value::as_arr).unwrap();
+    assert_eq!(children.len(), 1);
+    let a = &children[0];
+    assert_eq!(a.get("name").and_then(Value::as_str), Some("a"));
+    let a_children = a.get("children").and_then(Value::as_arr).unwrap();
+    assert_eq!(a_children.len(), 1);
+    assert_eq!(a_children[0].get("name").and_then(Value::as_str), Some("b"));
+    assert!(a.get("dur_us").and_then(Value::as_f64).unwrap() >= 0.0);
+}
+
+#[test]
+fn chrome_export_round_trips_through_the_vendored_parser() {
+    let (trace_id, events) = traced("root", || {
+        let _a = trace::span("taint", "decode");
+        trace::event("unit", "hit");
+    });
+    assert!(!events.is_empty());
+
+    let rendered = trace::chrome_trace(&events).render();
+    let parsed = Value::parse(&rendered).expect("chrome export must be valid JSON");
+    let arr = parsed.as_arr().expect("trace_event array format");
+    assert_eq!(arr.len(), events.len());
+    for (ev, obj) in events.iter().zip(arr) {
+        assert_eq!(obj.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(
+            obj.get("name").and_then(Value::as_str),
+            Some(ev.name.as_ref())
+        );
+        assert_eq!(obj.get("cat").and_then(Value::as_str), Some(ev.cat));
+        assert_eq!(obj.get("pid").and_then(Value::as_u64), Some(1));
+        let ts = obj.get("ts").and_then(Value::as_f64).unwrap();
+        let dur = obj.get("dur").and_then(Value::as_f64).unwrap();
+        assert!((ts - ev.start_nanos as f64 / 1e3).abs() < 1e-6);
+        assert!((dur - ev.duration_nanos() as f64 / 1e3).abs() < 1e-6);
+        let args = obj.get("args").expect("args object");
+        assert_eq!(args.get("trace").and_then(Value::as_u64), Some(trace_id));
+    }
+}
+
+#[test]
+fn take_trace_isolates_concurrent_trace_ids() {
+    let _on = trace::enable_scoped();
+    let id_a = trace::next_trace_id();
+    let id_b = trace::next_trace_id();
+    {
+        let _ctx = trace::set_thread_trace(id_a);
+        let _s = trace::span("test", "a-side");
+    }
+    {
+        let _ctx = trace::set_thread_trace(id_b);
+        let _s = trace::span("test", "b-side");
+    }
+    let a = trace::take_trace(id_a);
+    assert_eq!(a.len(), 1);
+    assert_eq!(a[0].name, "a-side");
+    let b = trace::take_trace(id_b);
+    assert_eq!(b.len(), 1);
+    assert_eq!(b[0].name, "b-side");
+    assert!(trace::take_trace(id_a).is_empty(), "take_trace removes");
+}
+
+#[test]
+fn stage_totals_aggregate_by_name() {
+    let (_trace_id, events) = traced("root", || {
+        for _ in 0..3 {
+            let _d = trace::span("taint", "decode");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    });
+    let totals = trace::stage_totals_ms(&events);
+    let decode = totals
+        .iter()
+        .find(|(name, _)| name == "decode")
+        .expect("decode stage present");
+    assert!(decode.1 >= 3.0, "three 1ms spans sum: {totals:?}");
+    // Sorted descending; root (which contains the sleeps) comes first.
+    assert_eq!(totals[0].0, "root");
+}
+
+#[test]
+fn record_span_attaches_out_of_band_intervals() {
+    let _on = trace::enable_scoped();
+    let trace_id = trace::next_trace_id();
+    let _ctx = trace::set_thread_trace(trace_id);
+    let parent_id;
+    {
+        let root = trace::span("server", "request");
+        parent_id = root.id().unwrap();
+        trace::record_span(trace_id, parent_id, "server", "queue", 100, 250);
+    }
+    let events = trace::take_trace(trace_id);
+    let queue = find(&events, "queue");
+    assert_eq!(queue.parent, parent_id);
+    assert_eq!(queue.duration_nanos(), 150);
+}

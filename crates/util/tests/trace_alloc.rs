@@ -1,0 +1,76 @@
+//! The "zero cost when disabled" claim, enforced: with tracing off, the
+//! instrumentation entry points must not allocate — not for the span
+//! guard, and not for the lazy label closures (which must not even run).
+//!
+//! A counting global allocator makes the check exact. This test binary
+//! never enables tracing, so the count is deterministic; the functional
+//! trace tests live in `trace.rs` (a different binary, hence a different
+//! allocator) to keep the two concerns isolated.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_tracing_allocates_nothing() {
+    use pt_util::trace;
+
+    assert!(!trace::enabled(), "this test binary never enables tracing");
+
+    // Warm up thread-local machinery outside the measured window (the
+    // first TLS touch may allocate; a disabled span must not touch TLS
+    // at all, but keep the measurement honest regardless).
+    {
+        let _g = trace::span("warmup", "warmup");
+        trace::event("warmup", "warmup");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        let _g = trace::span("taint", "decode");
+        let _h = trace::span_with("taint", || {
+            panic!("label closure must not run when tracing is disabled")
+        });
+        trace::event("unit", "hit");
+        trace::event_with("unit", || {
+            panic!("event closure must not run when tracing is disabled")
+        });
+        trace::record_span(1, 0, "server", "queue", 0, 10);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-mode instrumentation must be allocation-free"
+    );
+
+    // And the context-propagation pair is equally free.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        let ctx = trace::current_context();
+        let _g = ctx.adopt();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-mode context is allocation-free"
+    );
+}
