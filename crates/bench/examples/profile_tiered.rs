@@ -1,0 +1,56 @@
+//! Profiling harness for the tiered-vs-decoded gate: runs one engine
+//! over the lulesh proxy N times so `perf stat` can attribute retired
+//! instructions / branch misses to a single engine.
+//!
+//! Usage: `profile_tiered <decoded|tiered> [reps]`
+
+use pt_mpisim::{MachineConfig, MpiHandler};
+use pt_taint::{tier, InterpConfig, Interpreter, PreparedModule, TierConfig, TierMode, TierPlan};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let engine = args.next().unwrap_or_else(|| "tiered".into());
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    let app = pt_apps::lulesh::build();
+    let params = app.taint_run_params();
+    let mut machine = MachineConfig::default();
+    if let Some((_, p)) = params.iter().find(|(n, _)| n == "p") {
+        machine.ranks = *p as u32;
+    }
+    let prepared = PreparedModule::compute(&app.module);
+    let config = InterpConfig {
+        tier: TierConfig {
+            mode: TierMode::Off,
+            ..TierConfig::default()
+        },
+        ..Default::default()
+    };
+    let tier_cfg = TierConfig {
+        mode: TierMode::Force,
+        ..TierConfig::default()
+    };
+    let spec = tier::specialize(
+        &prepared.decoded,
+        &TierPlan::all(app.module.functions.len()),
+        &tier_cfg,
+        None,
+    );
+
+    let mut acc = 0u64;
+    for _ in 0..reps {
+        let mut interp = Interpreter::new(
+            &app.module,
+            &prepared,
+            MpiHandler::new(machine.clone()),
+            params.clone(),
+            config.clone(),
+        );
+        if engine == "tiered" {
+            interp.set_tier(&spec);
+        }
+        let out = interp.run_named(&app.entry, &[]).expect("run");
+        acc = acc.wrapping_add(out.insts);
+    }
+    println!("{engine}: {reps} reps, {acc} insts total");
+}

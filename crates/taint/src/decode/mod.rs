@@ -121,6 +121,14 @@ impl Intrinsic {
 /// is folded into the variant; operands are pre-resolved [`Opnd`]s.
 #[derive(Debug, Clone)]
 pub enum DOp {
+    /// A constant result, produced by the constant-folding pass
+    /// ([`passes::fold_constants`]) from an operation whose operands were
+    /// all immediates. Retires as **one** instruction (the op it
+    /// replaces); the result label is empty exactly as the original op's
+    /// union of immediate (empty) labels would have been.
+    Const {
+        bits: u64,
+    },
     /// Integer binary op (wrapping; `Div`/`Rem` trap on zero).
     BinI {
         op: BinOp,

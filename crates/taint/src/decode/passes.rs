@@ -49,6 +49,10 @@ use std::collections::BinaryHeap;
 /// `taint_throughput`, asserted by tests).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PassStats {
+    /// Immediate-only operations folded into [`DOp::Const`].
+    pub folded: usize,
+    /// `gep`s with a constant index strength-reduced to a unit stride.
+    pub reduced_geps: usize,
     /// `cmp+condbr` pairs fused into [`DTerm::CondBrCmp`].
     pub fused_cmp_br: usize,
     /// `gep+load` pairs fused into [`DOp::LoadIdx`].
@@ -75,6 +79,14 @@ pub fn optimize(module: &mut DecodedModule, ssa_clean: &[bool]) -> PassStats {
     let _span = pt_util::trace::span("taint", "passes");
     let mut stats = PassStats::default();
     {
+        let _fold = pt_util::trace::span("pass", "fold_constants");
+        for f in &mut module.functions {
+            let (folded, reduced) = fold_constants(f);
+            stats.folded += folded;
+            stats.reduced_geps += reduced;
+        }
+    }
+    {
         let _fuse = pt_util::trace::span("pass", "fuse");
         for f in &mut module.functions {
             stats.regs_before += f.nregs;
@@ -99,6 +111,145 @@ pub fn optimize(module: &mut DecodedModule, ssa_clean: &[bool]) -> PassStats {
         }
     }
     stats
+}
+
+/// Fold operations whose operands are all immediates into [`DOp::Const`],
+/// and strength-reduce `gep`s with an immediate index to a unit stride
+/// (the scaled offset is precomputed into the index), so the address
+/// arithmetic left at run time is a single add. Returns
+/// `(folded, reduced_geps)`.
+///
+/// Every fold computes its value with the *exact* expressions the
+/// dispatch loop would have used (wrapping integer ops, IEEE float ops on
+/// the same bit patterns), so results — including NaN payloads — are
+/// bit-identical. `Div`/`Rem` by an immediate zero stay unfolded so the
+/// runtime division-by-zero error (which names the function) fires
+/// exactly as before. Label behavior is unchanged: an all-immediate op's
+/// label was the union of empty labels — empty, produced without touching
+/// the label table (the union early-outs) — which is precisely what
+/// [`DOp::Const`] yields. A `select` folds only when its immediate
+/// condition chooses an immediate arm (the other arm's label is never
+/// read by either engine).
+///
+/// Folded values are **not** forwarded into downstream operand slots:
+/// under control-flow policy `All` the register written by a folded op
+/// carries the control context of its program point, which an immediate
+/// operand would not — forwarding would change the label unions.
+pub fn fold_constants(f: &mut DecodedFunction) -> (usize, usize) {
+    use pt_ir::BinOp;
+    let (mut folded, mut reduced) = (0usize, 0usize);
+    for blk in &mut f.blocks {
+        for di in blk.insts.iter_mut() {
+            let bits: Option<u64> = match &di.op {
+                DOp::BinI {
+                    op,
+                    a: Opnd::Imm(a),
+                    b: Opnd::Imm(b),
+                } => {
+                    let (x, y) = (*a as i64, *b as i64);
+                    match op {
+                        BinOp::Add => Some(x.wrapping_add(y) as u64),
+                        BinOp::Sub => Some(x.wrapping_sub(y) as u64),
+                        BinOp::Mul => Some(x.wrapping_mul(y) as u64),
+                        BinOp::Div => (y != 0).then(|| x.wrapping_div(y) as u64),
+                        BinOp::Rem => (y != 0).then(|| x.wrapping_rem(y) as u64),
+                        BinOp::And => Some((x & y) as u64),
+                        BinOp::Or => Some((x | y) as u64),
+                        BinOp::Xor => Some((x ^ y) as u64),
+                        BinOp::Shl => Some(crate::ops::shl_i64(x, y) as u64),
+                        BinOp::Shr => Some(crate::ops::shr_i64(x, y) as u64),
+                        BinOp::Min => Some(x.min(y) as u64),
+                        BinOp::Max => Some(x.max(y) as u64),
+                    }
+                }
+                DOp::BinF {
+                    op,
+                    a: Opnd::Imm(a),
+                    b: Opnd::Imm(b),
+                } => {
+                    let (x, y) = (f64::from_bits(*a), f64::from_bits(*b));
+                    let r = match op {
+                        BinOp::Add => Some(x + y),
+                        BinOp::Sub => Some(x - y),
+                        BinOp::Mul => Some(x * y),
+                        BinOp::Div => Some(x / y),
+                        BinOp::Rem => Some(x % y),
+                        BinOp::Min => Some(x.min(y)),
+                        BinOp::Max => Some(x.max(y)),
+                        // Bitwise float ops decode to Trap; unreachable
+                        // here, but folding nothing is always sound.
+                        _ => None,
+                    };
+                    r.map(f64::to_bits)
+                }
+                DOp::NegI { a: Opnd::Imm(a) } => Some((*a as i64).wrapping_neg() as u64),
+                DOp::NegF { a: Opnd::Imm(a) } => Some((-f64::from_bits(*a)).to_bits()),
+                DOp::NotBool { a: Opnd::Imm(a) } => Some((*a == 0) as u64),
+                DOp::NotInt { a: Opnd::Imm(a) } => Some(!(*a as i64) as u64),
+                DOp::IntToFloat { a: Opnd::Imm(a) } => Some(((*a as i64) as f64).to_bits()),
+                DOp::FloatToInt { a: Opnd::Imm(a) } => {
+                    let f = f64::from_bits(*a);
+                    let clamped = if f.is_nan() {
+                        0
+                    } else {
+                        f.clamp(i64::MIN as f64, i64::MAX as f64) as i64
+                    };
+                    Some(clamped as u64)
+                }
+                DOp::Sqrt { a: Opnd::Imm(a) } => Some(f64::from_bits(*a).max(0.0).sqrt().to_bits()),
+                DOp::AbsI { a: Opnd::Imm(a) } => Some((*a as i64).wrapping_abs() as u64),
+                DOp::AbsF { a: Opnd::Imm(a) } => Some(f64::from_bits(*a).abs().to_bits()),
+                DOp::CmpI {
+                    pred,
+                    a: Opnd::Imm(a),
+                    b: Opnd::Imm(b),
+                } => Some(pred.eval(*a as i64, *b as i64) as u64),
+                DOp::CmpF {
+                    pred,
+                    a: Opnd::Imm(a),
+                    b: Opnd::Imm(b),
+                } => Some(pred.eval(f64::from_bits(*a), f64::from_bits(*b)) as u64),
+                DOp::Select {
+                    c: Opnd::Imm(c),
+                    t,
+                    e,
+                } => match if *c != 0 { t } else { e } {
+                    Opnd::Imm(b) => Some(*b),
+                    Opnd::Reg(_) => None,
+                },
+                DOp::Gep {
+                    base: Opnd::Imm(b),
+                    index: Opnd::Imm(i),
+                    stride,
+                } => Some((*b as i64).wrapping_add((*i as i64).wrapping_mul(*stride)) as u64),
+                _ => None,
+            };
+            if let Some(bits) = bits {
+                di.op = DOp::Const { bits };
+                folded += 1;
+                continue;
+            }
+            // Constant-index gep: precompute `index * stride` so the
+            // remaining runtime arithmetic (and the fused LoadIdx /
+            // StoreIdx address computation) is `base + k * 1`. Wrapping
+            // multiplication is associative with the later `* 1`, so the
+            // address bits are unchanged.
+            if let DOp::Gep {
+                base: Opnd::Reg(_),
+                index: index @ Opnd::Imm(_),
+                stride,
+            } = &mut di.op
+            {
+                if *stride != 1 {
+                    let Opnd::Imm(i) = *index else { unreachable!() };
+                    *index = Opnd::Imm((i as i64).wrapping_mul(*stride) as u64);
+                    *stride = 1;
+                    reduced += 1;
+                }
+            }
+        }
+    }
+    (folded, reduced)
 }
 
 /// Upper bound on the body size of an inlinable callee: beyond this the
@@ -147,16 +298,20 @@ pub fn inline_spec_of(f: &DecodedFunction, clean: bool) -> Option<InlineSpec> {
     })
 }
 
-/// Whether an operation may appear in an inlined body: pure scalar ops
-/// and memory accesses only — no calls of any kind (they need real
-/// frames) and no `alloca` (its arena lifetime is the callee frame's).
+/// Whether an operation may appear in an inlined body: pure scalar ops,
+/// memory accesses, and host-primitive calls. Excluded: internal and
+/// inlined calls (they need real frames), `alloca` (its arena lifetime
+/// is the callee frame's), intrinsics (parameter sources interact with
+/// frame-level state), and library calls (they charge the caller's
+/// *child* time and own a profile entry, which would break the inlined
+/// frame's `exclusive == inclusive` invariant — host primitives charge
+/// the clock only, so they preserve it).
 fn inlinable_op(op: &DOp) -> bool {
     !matches!(
         op,
         DOp::Alloca { .. }
             | DOp::CallInternal { .. }
             | DOp::CallIntrinsic { .. }
-            | DOp::CallHostPrim { .. }
             | DOp::CallLibrary { .. }
             | DOp::CallInlined { .. }
     )
@@ -245,6 +400,7 @@ pub fn inline_calls_in(f: &mut DecodedFunction, specs: &[Option<&InlineSpec>]) -
 /// Call `visit` with every operand the operation *reads*.
 fn for_each_src(op: &DOp, visit: &mut dyn FnMut(Opnd)) {
     match op {
+        DOp::Const { .. } => {}
         DOp::BinI { a, b, .. }
         | DOp::BinF { a, b, .. }
         | DOp::CmpI { a, b, .. }
@@ -727,6 +883,7 @@ fn rewrite_edge(e: &mut Edge, map: &impl Fn(&mut Opnd)) {
 
 fn rewrite_op(op: &mut DOp, map: &impl Fn(&mut Opnd)) {
     match op {
+        DOp::Const { .. } => {}
         DOp::BinI { a, b, .. }
         | DOp::BinF { a, b, .. }
         | DOp::CmpI { a, b, .. }

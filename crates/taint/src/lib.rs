@@ -77,6 +77,7 @@ pub mod prepared;
 pub mod profile;
 pub mod records;
 pub mod reference;
+pub mod tier;
 pub mod unit;
 pub mod unit_io;
 
@@ -91,3 +92,4 @@ pub use prepared::{PreparedFunction, PreparedModule};
 pub use profile::{Profile, ProfileEntry};
 pub use records::{BranchRecord, LoopKey, LoopRecord, TaintRecords};
 pub use reference::ReferenceInterpreter;
+pub use tier::{SpecializedModule, TierConfig, TierMode, TierPlan, TierStats};

@@ -1,0 +1,1386 @@
+//! Tiered execution: profile-guided re-specialization of hot functions.
+//!
+//! The decode-once engine ([`crate::interp`]) is tier 0: one generic
+//! dispatch loop over [`crate::decode::DOp`] bytecode. This module adds a
+//! second tier, built *from runtime evidence* — the per-call profile and
+//! loop records of a warmup run (or the live counters of the current run)
+//! pick the hot functions, and each hot function is re-specialized three
+//! ways, every one individually toggleable for A/B benchmarking:
+//!
+//! * **all-operands-untainted fast path** ([`TierConfig::fast_path`]) —
+//!   the interpreter's general loop switches to a label-free instruction
+//!   loop while every value in flight is untainted, guarded exactly (the
+//!   Taint Rabbit move): the frame enters fast mode only when every
+//!   argument and the inherited control context are label-free, and bails
+//!   back to the general loop the moment a tainted value appears (a load
+//!   from tainted shadow memory, a call returning a tainted value). The
+//!   guard is sound, never predictive, so the bailout — *deoptimization*
+//!   — re-executes nothing that had visible effects and the run output
+//!   stays bit-identical.
+//! * **superblock formation** ([`TierConfig::superblocks`]) — hot-path
+//!   straightening: blocks are laid out in warmup-biased trace order
+//!   (branch records say which way each recorded conditional usually
+//!   goes), and an unconditional branch to the next block in layout order
+//!   is elided entirely — the side not taken keeps a full entry point, so
+//!   side exits fall back into ordinary dispatch.
+//! * **direct-threaded dispatch** ([`TierConfig::threaded`]) — the
+//!   function is compiled into a flat [`TInst`] array: one opcode per
+//!   handler (binop/compare selectors folded into the opcode at
+//!   specialization time), block boundaries as explicit [`TInst::Enter`]
+//!   ops, terminators as self-contained branch ops ([`TInst::Jmp`],
+//!   [`TInst::CondBr`], [`TInst::CondBrCmp`], [`TInst::Ret`]) whose edge
+//!   data and jump targets are pre-resolved into side tables, and the
+//!   rare heavyweight ops (calls, traps) as [`TInst::Slow`] indices into
+//!   a dense clone of those instructions. The interpreter runs a single
+//!   `pc`-driven loop over this array ([`crate::interp`]'s threaded
+//!   executor).
+//!
+//! Specialization is gated per function on `pt_analysis::ssa_verify`
+//! (`DecodedFunction::ssa_clean`): the register-renumbered, read-after-
+//! write-safe layout both tiers rely on only exists for verified
+//! functions.
+//!
+//! **The bit-identity contract is unconditional.** A function may run in
+//! tier 0, tier 1, or deoptimize mid-run; the [`crate::interp::RunOutput`]
+//! — clock bits, instruction counts, records, paths, profile, label table
+//! — is identical in every case, and [`crate::differential`] pins all of
+//! it against the reference engine. [`TierStats`] is the only addition,
+//! and it is deliberately excluded from the differential comparison.
+
+use crate::decode::{DInst, DOp, DTerm, DecodedFunction, DecodedModule, Edge, Opnd};
+use crate::label::Label;
+use crate::memory::TVal;
+use crate::profile::Profile;
+use crate::records::{BranchRecord, TaintRecords};
+use pt_analysis::loops::LoopId;
+use pt_ir::{BinOp, BlockId, CmpPred, FunctionId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// When tier-1 specialization happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TierMode {
+    /// Never specialize (tier 0 only).
+    Off,
+    /// Specialize a function when it crosses the hotness thresholds
+    /// ([`TierConfig::hot_calls`] live in-run; [`TierPlan::from_run`]
+    /// additionally consults loop records between runs).
+    #[default]
+    Warmup,
+    /// Specialize every eligible function up front (CI runs the
+    /// differential suites this way so tier-1 paths are always
+    /// exercised).
+    Force,
+}
+
+impl TierMode {
+    /// Read the mode from the `PT_TIER` environment variable:
+    /// `off`, `force`, or anything else / unset → [`TierMode::Warmup`].
+    pub fn from_env() -> TierMode {
+        match std::env::var("PT_TIER").as_deref() {
+            Ok("off") => TierMode::Off,
+            Ok("force") => TierMode::Force,
+            _ => TierMode::Warmup,
+        }
+    }
+}
+
+/// Tier-1 policy knobs. Defaults come from the environment
+/// ([`TierMode::from_env`]) so the whole test matrix can be flipped to
+/// forced tiering (`PT_TIER=force`) without touching any call site.
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    pub mode: TierMode,
+    /// Enable the all-operands-untainted fast path.
+    pub fast_path: bool,
+    /// Enable warmup-biased superblock layout (trace straightening).
+    pub superblocks: bool,
+    /// Enable direct-threaded dispatch for specialized functions.
+    pub threaded: bool,
+    /// Calls to one function before it is specialized mid-run
+    /// ([`TierMode::Warmup`]).
+    pub hot_calls: u64,
+    /// Total loop iterations inside one function before a between-runs
+    /// plan ([`TierPlan::from_run`]) marks it hot.
+    pub hot_iters: u64,
+    /// Chaos knob for tests: force a fast-path deoptimization every N
+    /// guard checks (0 = never). Deopts are bit-identical by contract,
+    /// so any value must leave outputs unchanged.
+    pub deopt_every: u64,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            mode: TierMode::from_env(),
+            fast_path: true,
+            superblocks: true,
+            threaded: true,
+            hot_calls: 64,
+            hot_iters: 256,
+            deopt_every: 0,
+        }
+    }
+}
+
+/// What the tiers did during one run. Carried on
+/// [`crate::interp::RunOutput`] but **excluded** from the differential
+/// comparison: it describes *how* the run executed, never *what* it
+/// observed.
+#[derive(Debug, Clone, Default)]
+pub struct TierStats {
+    /// Functions with at least one specialization active at run start.
+    pub specialized: u64,
+    /// Functions specialized mid-run on the hotness threshold.
+    pub respecialized: u64,
+    /// Frames entered through the threaded executor.
+    pub threaded_entries: u64,
+    /// Threaded ops dispatched (includes block entries and terminators).
+    pub threaded_insts: u64,
+    /// Frames that entered the untainted fast path.
+    pub fast_entries: u64,
+    /// Fast-path bailouts to the general loop.
+    pub fast_deopts: u64,
+    /// Instructions retired while the fast path was driving (descendant
+    /// calls included).
+    pub fast_insts: u64,
+}
+
+/// Which functions to specialize.
+#[derive(Debug, Clone)]
+pub struct TierPlan {
+    pub hot: Vec<bool>,
+}
+
+impl TierPlan {
+    /// Every function (the [`TierMode::Force`] plan).
+    pub fn all(nfuncs: usize) -> TierPlan {
+        TierPlan {
+            hot: vec![true; nfuncs],
+        }
+    }
+
+    /// Hotness from a finished run: a function is hot when its merged
+    /// profile entry crossed [`TierConfig::hot_calls`] calls or its loops
+    /// accumulated [`TierConfig::hot_iters`] iterations (the paper's loop
+    /// records double as the hotness signal — a function called once that
+    /// spins a large loop is exactly as hot as a small accessor called
+    /// thousands of times).
+    pub fn from_run(
+        profile: &Profile,
+        records: &TaintRecords,
+        nfuncs: usize,
+        cfg: &TierConfig,
+    ) -> TierPlan {
+        let mut hot = vec![false; nfuncs];
+        for e in profile.by_function().values() {
+            if e.calls >= cfg.hot_calls && e.func.index() < nfuncs {
+                hot[e.func.index()] = true;
+            }
+        }
+        let mut iters: BTreeMap<usize, u64> = BTreeMap::new();
+        for (key, rec) in &records.loops {
+            if key.func.index() < nfuncs {
+                *iters.entry(key.func.index()).or_default() += rec.iterations;
+            }
+        }
+        for (i, n) in iters {
+            if n >= cfg.hot_iters {
+                hot[i] = true;
+            }
+        }
+        TierPlan { hot }
+    }
+}
+
+/// The tier-1 artifact for a module: per-function threaded code (when
+/// compiled) and fast-path eligibility. Shareable across runs — the code
+/// is immutable once built.
+#[derive(Debug, Clone, Default)]
+pub struct SpecializedModule {
+    /// Per internal function: threaded code, if compiled.
+    pub funcs: Vec<Option<Arc<ThreadedFunction>>>,
+    /// Per internal function: fast path enabled.
+    pub fast_ok: Vec<bool>,
+    /// Functions with at least one specialization.
+    pub specialized: usize,
+}
+
+/// Build the tier-1 artifact for `plan`'s hot set. `branches` is the
+/// warmup run's branch coverage (biases superblock layout); `None` falls
+/// back to the static then-edge preference.
+pub fn specialize(
+    decoded: &DecodedModule,
+    plan: &TierPlan,
+    cfg: &TierConfig,
+    branches: Option<&BTreeMap<(FunctionId, BlockId), BranchRecord>>,
+) -> SpecializedModule {
+    let n = decoded.functions.len();
+    let mut funcs: Vec<Option<Arc<ThreadedFunction>>> = vec![None; n];
+    let mut fast_ok = vec![false; n];
+    let mut specialized = 0usize;
+    for (i, f) in decoded.functions.iter().enumerate() {
+        if !plan.hot.get(i).copied().unwrap_or(false) || !f.ssa_clean {
+            continue;
+        }
+        let mut any = false;
+        if cfg.fast_path {
+            fast_ok[i] = true;
+            any = true;
+        }
+        if cfg.threaded {
+            let tf = compile_function(f, FunctionId(i as u32), branches, cfg);
+            // Verification backing the executor's unchecked register and
+            // pool access: a function whose compiled code fails the bounds
+            // audit stays on the general loop (never expected — the audit
+            // is defense in depth against compiler bugs).
+            if tf.check_bounds() {
+                funcs[i] = Some(Arc::new(tf));
+                any = true;
+            }
+        }
+        if any {
+            specialized += 1;
+        }
+    }
+    SpecializedModule {
+        funcs,
+        fast_ok,
+        specialized,
+    }
+}
+
+/// One function compiled for direct-threaded dispatch: a flat op array
+/// driven by a single program counter.
+#[derive(Debug)]
+pub struct ThreadedFunction {
+    pub ops: Vec<TInst>,
+    /// Immediate pool: [`TOp`] operands with the constant bit address
+    /// this table. Deduplicated per function.
+    pub consts: Vec<u64>,
+    /// Unconditional-branch data ([`TInst::Jmp`]), cloned out of the
+    /// decoded terminators so a taken block boundary never detours back
+    /// through [`DecodedFunction`]'s block table.
+    pub jumps: Vec<TJump>,
+    /// Conditional-branch data ([`TInst::CondBr`] / [`TInst::CondBrCmp`]).
+    pub branches: Vec<TBranch>,
+    /// Heavyweight ops ([`TInst::Slow`]: calls, traps), cloned into a
+    /// dense table so call sites load one instruction directly instead of
+    /// detouring through the decoded block table.
+    pub slow_ops: Vec<DInst>,
+    /// Block index → position of its [`TInst::Enter`] in `ops`.
+    pub entry_of: Vec<u32>,
+    /// Position of the entry block's `Enter`.
+    pub entry: u32,
+    /// Unconditional fallthrough branches elided by the layout.
+    pub straightened: u32,
+    /// The register-frame size every operand index in `ops` was audited
+    /// against ([`Self::check_bounds`]). The executor refuses to run this
+    /// code against a frame of any other size.
+    pub nregs: u32,
+}
+
+/// Compiled unconditional branch: the cloned CFG edge (phi moves, loop
+/// bookkeeping) plus its pre-resolved jump target (one past the target's
+/// [`TInst::Enter`]).
+#[derive(Debug, Clone)]
+pub struct TJump {
+    pub edge: Edge,
+    pub pc: u32,
+}
+
+/// Compiled conditional branch: both cloned edges, the sink/scope
+/// metadata, and both pre-resolved jump targets. Self-contained so the
+/// executor's block boundaries never re-read the decoded terminator.
+#[derive(Debug, Clone)]
+pub struct TBranch {
+    pub then_edge: Edge,
+    pub else_edge: Edge,
+    pub exiting: Box<[LoopId]>,
+    pub join: Option<BlockId>,
+    pub then_pc: u32,
+    pub else_pc: u32,
+    /// The branching block (branch-coverage record key).
+    pub block: BlockId,
+}
+
+impl ThreadedFunction {
+    /// Audit backing the executor's unchecked register/pool access: every
+    /// index this code can present is within the frame (`nregs`), the
+    /// immediate pool, the side tables, or the block table; the program
+    /// counter can never run off the end of `ops` (the last op is a
+    /// terminator, and every jump target — `entry`, `entry_of`, and the
+    /// pre-resolved branch pcs — lands on or one past an `Enter`, which
+    /// is never last).
+    pub fn check_bounds(&self) -> bool {
+        let nregs = self.nregs as usize;
+        let r = |o: TOp| {
+            if o.is_const() {
+                o.index() < self.consts.len()
+            } else {
+                o.index() < nregs
+            }
+        };
+        let d = |dst: u32| (dst as usize) < nregs;
+        let blk = |b: BlockId| b.index() < self.entry_of.len();
+        let jump_target = |e: u32| matches!(self.ops.get(e as usize), Some(TInst::Enter { .. }));
+        // Branch pcs point one past an `Enter` (the inlined block-entry
+        // bookkeeping at the jump site replaces the elided dispatch).
+        let past_enter = |pc: u32| pc >= 1 && jump_target(pc - 1);
+        if !matches!(
+            self.ops.last(),
+            Some(
+                TInst::Jmp { .. }
+                    | TInst::AddIcJmp { .. }
+                    | TInst::CondBr { .. }
+                    | TInst::CondBrCmp { .. }
+                    | TInst::Ret { .. }
+                    | TInst::RetVoid
+                    | TInst::Unreachable
+            )
+        ) {
+            return false;
+        }
+        if !jump_target(self.entry) || !self.entry_of.iter().all(|&e| jump_target(e)) {
+            return false;
+        }
+        if !self
+            .jumps
+            .iter()
+            .all(|j| past_enter(j.pc) && blk(j.edge.target))
+        {
+            return false;
+        }
+        if !self.branches.iter().all(|b| {
+            past_enter(b.then_pc)
+                && past_enter(b.else_pc)
+                && blk(b.then_edge.target)
+                && blk(b.else_edge.target)
+                && blk(b.block)
+        }) {
+            return false;
+        }
+        self.ops.iter().all(|op| match *op {
+            TInst::Enter { block } => blk(block),
+            TInst::Slow { slow } => (slow as usize) < self.slow_ops.len(),
+            TInst::Jmp { jump } => (jump as usize) < self.jumps.len(),
+            TInst::AddIcJmp { dst, a, jump, .. } => {
+                d(dst) && r(a) && (jump as usize) < self.jumps.len()
+            }
+            TInst::CondBr { cond, br } => r(cond) && (br as usize) < self.branches.len(),
+            TInst::CondBrCmp { a, b, br, .. } => {
+                r(a) && r(b) && (br as usize) < self.branches.len()
+            }
+            TInst::Ret { val } => r(val),
+            TInst::RetVoid | TInst::Unreachable => true,
+            TInst::Const { dst, .. } => d(dst),
+            TInst::AddI { dst, a, b }
+            | TInst::SubI { dst, a, b }
+            | TInst::MulI { dst, a, b }
+            | TInst::DivI { dst, a, b }
+            | TInst::RemI { dst, a, b }
+            | TInst::AndI { dst, a, b }
+            | TInst::OrI { dst, a, b }
+            | TInst::XorI { dst, a, b }
+            | TInst::ShlI { dst, a, b }
+            | TInst::ShrI { dst, a, b }
+            | TInst::MinI { dst, a, b }
+            | TInst::MaxI { dst, a, b }
+            | TInst::AddF { dst, a, b }
+            | TInst::SubF { dst, a, b }
+            | TInst::MulF { dst, a, b }
+            | TInst::DivF { dst, a, b }
+            | TInst::RemF { dst, a, b }
+            | TInst::MinF { dst, a, b }
+            | TInst::MaxF { dst, a, b }
+            | TInst::CmpI { dst, a, b, .. }
+            | TInst::CmpF { dst, a, b, .. } => d(dst) && r(a) && r(b),
+            TInst::NegI { dst, a }
+            | TInst::NegF { dst, a }
+            | TInst::NotBool { dst, a }
+            | TInst::NotInt { dst, a }
+            | TInst::IntToFloat { dst, a }
+            | TInst::FloatToInt { dst, a }
+            | TInst::Sqrt { dst, a }
+            | TInst::AbsI { dst, a }
+            | TInst::AbsF { dst, a }
+            | TInst::AddIC { dst, a, .. }
+            | TInst::SubIC { dst, a, .. }
+            | TInst::MulIC { dst, a, .. }
+            | TInst::AndIC { dst, a, .. }
+            | TInst::OrIC { dst, a, .. }
+            | TInst::XorIC { dst, a, .. }
+            | TInst::ShlIC { dst, a, .. }
+            | TInst::ShrIC { dst, a, .. }
+            | TInst::CmpIC { dst, a, .. }
+            | TInst::DivIC { dst, a, .. }
+            | TInst::RemIC { dst, a, .. }
+            | TInst::AddFC { dst, a, .. }
+            | TInst::MulFC { dst, a, .. }
+            | TInst::SubFC { dst, a, .. }
+            | TInst::DivFC { dst, a, .. } => d(dst) && r(a),
+            TInst::Sel { dst, c, t, e } => d(dst) && r(c) && r(t) && r(e),
+            TInst::Alloca { dst, words } => d(dst) && r(words),
+            TInst::Load { dst, addr } => d(dst) && r(addr),
+            TInst::Store { dst, addr, value } => d(dst) && r(addr) && r(value),
+            TInst::Gep {
+                dst,
+                base,
+                index,
+                stride,
+            }
+            | TInst::LoadIdx {
+                dst,
+                base,
+                index,
+                stride,
+            } => d(dst) && r(base) && r(index) && (stride as usize) < self.consts.len(),
+            TInst::StoreIdx {
+                dst,
+                base,
+                index,
+                stride,
+                value,
+            } => d(dst) && r(base) && r(index) && r(value) && (stride as usize) < self.consts.len(),
+        })
+    }
+}
+
+/// A compact threaded operand: a register index, or — with the top bit
+/// set — an index into [`ThreadedFunction::consts`]. Four bytes instead
+/// of the decoded program's 16-byte [`Opnd`], which keeps [`TInst`] small
+/// enough (24 bytes) that fetching one per dispatch is a single cache
+/// line's worth of work instead of a 64-byte struct copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TOp(pub u32);
+
+impl TOp {
+    const CONST: u32 = 1 << 31;
+
+    /// True when this operand addresses the immediate pool. Immediates
+    /// are untainted by construction, exactly like [`Opnd::Imm`] in the
+    /// general loop.
+    #[inline(always)]
+    pub fn is_const(self) -> bool {
+        self.0 & TOp::CONST != 0
+    }
+
+    /// Register or pool index, depending on [`Self::is_const`].
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        (self.0 & !TOp::CONST) as usize
+    }
+
+    /// Checked resolution against a frame and pool (tests and cold
+    /// paths; the executor uses its audited unchecked equivalent).
+    #[inline(always)]
+    pub fn resolve(self, regs: &[TVal], consts: &[u64]) -> TVal {
+        if self.is_const() {
+            TVal {
+                bits: consts[self.index()],
+                label: Label::EMPTY,
+            }
+        } else {
+            regs[self.index()]
+        }
+    }
+}
+
+/// The per-function immediate pool under construction.
+#[derive(Default)]
+struct Pool {
+    consts: Vec<u64>,
+    index: BTreeMap<u64, u32>,
+}
+
+impl Pool {
+    fn intern(&mut self, bits: u64) -> u32 {
+        if let Some(&i) = self.index.get(&bits) {
+            return i;
+        }
+        let i = self.consts.len() as u32;
+        self.consts.push(bits);
+        self.index.insert(bits, i);
+        i
+    }
+
+    fn op(&mut self, o: Opnd) -> TOp {
+        match o {
+            // Register indices come from decode's dense value numbering,
+            // bounded by function size — nowhere near the 2^31 tag bit.
+            Opnd::Reg(r) => TOp(r),
+            Opnd::Imm(v) => TOp(self.intern(v) | TOp::CONST),
+        }
+    }
+}
+
+/// A threaded op. Selector dimensions that the generic loop dispatches on
+/// at run time (int vs float binop kind, compare predicate location) are
+/// folded into the opcode here, so the hot loop is a single jump-table
+/// dispatch per op. Calls and traps — where dispatch cost is irrelevant —
+/// stay in the decoded program and are reached through [`TInst::Slow`].
+#[derive(Debug, Clone, Copy)]
+pub enum TInst {
+    /// Block entry: coverage mark, fuel boundary, control-scope pops,
+    /// context recompute. Not an executed instruction.
+    Enter {
+        block: BlockId,
+    },
+    AddI {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    SubI {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    MulI {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    DivI {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    RemI {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    AndI {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    OrI {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    XorI {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    ShlI {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    ShrI {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    MinI {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    MaxI {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    AddF {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    SubF {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    MulF {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    DivF {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    RemF {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    MinF {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    MaxF {
+        dst: u32,
+        a: TOp,
+        b: TOp,
+    },
+    NegI {
+        dst: u32,
+        a: TOp,
+    },
+    NegF {
+        dst: u32,
+        a: TOp,
+    },
+    NotBool {
+        dst: u32,
+        a: TOp,
+    },
+    NotInt {
+        dst: u32,
+        a: TOp,
+    },
+    IntToFloat {
+        dst: u32,
+        a: TOp,
+    },
+    FloatToInt {
+        dst: u32,
+        a: TOp,
+    },
+    Sqrt {
+        dst: u32,
+        a: TOp,
+    },
+    AbsI {
+        dst: u32,
+        a: TOp,
+    },
+    AbsF {
+        dst: u32,
+        a: TOp,
+    },
+    CmpI {
+        dst: u32,
+        pred: CmpPred,
+        a: TOp,
+        b: TOp,
+    },
+    CmpF {
+        dst: u32,
+        pred: CmpPred,
+        a: TOp,
+        b: TOp,
+    },
+    /// Immediate forms: one constant operand, folded into the op at
+    /// specialization time. No pool load, no operand-kind branch in the
+    /// hot arm, and the label union is skipped outright — an immediate's
+    /// label is statically empty and `union(l, EMPTY)` is `l` with no
+    /// table effect, so the result is bit-identical to the generic form.
+    /// Commutative integer ops with the immediate on the left are
+    /// swapped here (value and label results are order-exact); float and
+    /// non-commutative shapes keep their operand order or stay generic.
+    AddIC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    SubIC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    MulIC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    AndIC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    OrIC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    XorIC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    ShlIC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    ShrIC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    CmpIC {
+        dst: u32,
+        pred: CmpPred,
+        a: TOp,
+        imm: u64,
+    },
+    /// Integer divide by a nonzero immediate: the zero-divisor trap is
+    /// decided at specialize time, so the runtime check disappears.
+    DivIC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    /// Integer remainder by a nonzero immediate (see [`TInst::DivIC`]).
+    RemIC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    AddFC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    MulFC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    SubFC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    DivFC {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+    },
+    Sel {
+        dst: u32,
+        c: TOp,
+        t: TOp,
+        e: TOp,
+    },
+    Const {
+        dst: u32,
+        bits: u64,
+    },
+    Alloca {
+        dst: u32,
+        words: TOp,
+    },
+    Load {
+        dst: u32,
+        addr: TOp,
+    },
+    Store {
+        dst: u32,
+        addr: TOp,
+        value: TOp,
+    },
+    Gep {
+        dst: u32,
+        base: TOp,
+        index: TOp,
+        stride: u32,
+    },
+    LoadIdx {
+        dst: u32,
+        base: TOp,
+        index: TOp,
+        stride: u32,
+    },
+    StoreIdx {
+        dst: u32,
+        base: TOp,
+        index: TOp,
+        stride: u32,
+        value: TOp,
+    },
+    /// A call or trap: executed by the general arm on the instruction
+    /// cloned into [`ThreadedFunction::slow_ops`].
+    Slow {
+        slow: u32,
+    },
+    /// Unconditional branch: fuel boundary, edge effects (phi moves, loop
+    /// bookkeeping) from [`ThreadedFunction::jumps`], then a direct `pc`
+    /// jump. One dispatch per block boundary — the decoded terminator is
+    /// never re-read.
+    Jmp {
+        jump: u32,
+    },
+    /// Fused loop latch: an [`TInst::AddIC`] whose very next op would be
+    /// an unconditional [`TInst::Jmp`] — the common `iv += step; br
+    /// header` back-edge. One dispatch per iteration instead of two; the
+    /// add retires through the same bump/write-back sequence, then the
+    /// jump half runs verbatim.
+    AddIcJmp {
+        dst: u32,
+        a: TOp,
+        imm: u64,
+        jump: u32,
+    },
+    /// Conditional branch on an already-computed condition, through
+    /// [`ThreadedFunction::branches`].
+    CondBr {
+        cond: TOp,
+        br: u32,
+    },
+    /// Fused `cmp+condbr` (mirrors [`DTerm::CondBrCmp`]): the comparison
+    /// half retires as one instruction here, then the branch half runs.
+    CondBrCmp {
+        pred: CmpPred,
+        float: bool,
+        a: TOp,
+        b: TOp,
+        br: u32,
+    },
+    /// Return a value.
+    Ret {
+        val: TOp,
+    },
+    /// Return nothing.
+    RetVoid,
+    /// `DTerm::Unreachable`: always a trap.
+    Unreachable,
+}
+
+/// Compile one function to threaded code. `branches` biases the block
+/// layout ([`TierConfig::superblocks`]); the code itself is layout-
+/// independent (every block keeps its entry point).
+pub fn compile_function(
+    f: &DecodedFunction,
+    fid: FunctionId,
+    branches: Option<&BTreeMap<(FunctionId, BlockId), BranchRecord>>,
+    cfg: &TierConfig,
+) -> ThreadedFunction {
+    let order = if cfg.superblocks {
+        layout(f, fid, branches)
+    } else {
+        (0..f.blocks.len() as u32).map(BlockId).collect()
+    };
+    let mut ops: Vec<TInst> = Vec::new();
+    let mut pool = Pool::default();
+    let mut jumps: Vec<TJump> = Vec::new();
+    let mut branches_tbl: Vec<TBranch> = Vec::new();
+    let mut slow_ops: Vec<DInst> = Vec::new();
+    let mut entry_of = vec![0u32; f.blocks.len()];
+    let mut straightened = 0u32;
+    for (oi, &b) in order.iter().enumerate() {
+        entry_of[b.index()] = ops.len() as u32;
+        ops.push(TInst::Enter { block: b });
+        let blk = &f.blocks[b.index()];
+        for di in blk.insts.iter() {
+            ops.push(lower(di, &mut pool, &mut slow_ops));
+        }
+        // Terminators compile into the stream with their edge data cloned
+        // into the side tables, so a block boundary is one dispatch that
+        // never detours back through the decoded program. Target pcs are
+        // patched below, once every block's position is known.
+        match &blk.term {
+            DTerm::Br(e) => {
+                // Fallthrough elision: an unconditional branch with no phi
+                // moves and no loop bookkeeping, whose target is laid out
+                // next, has no observable effect at all — the target's
+                // `Enter` replays the same coverage mark and fuel boundary
+                // the branch separated.
+                let elide = e.moves.is_empty()
+                    && e.back_edge.is_none()
+                    && e.enters.is_none()
+                    && order.get(oi + 1) == Some(&e.target);
+                if elide {
+                    straightened += 1;
+                } else {
+                    let jump = jumps.len() as u32;
+                    // Latch fusion: `iv += imm; br` collapses to one
+                    // dispatch — the dominant shape of counted-loop
+                    // back-edges.
+                    if let Some(&TInst::AddIC { dst, a, imm }) = ops.last() {
+                        *ops.last_mut().unwrap() = TInst::AddIcJmp { dst, a, imm, jump };
+                    } else {
+                        ops.push(TInst::Jmp { jump });
+                    }
+                    jumps.push(TJump {
+                        edge: e.clone(),
+                        pc: 0,
+                    });
+                }
+            }
+            DTerm::CondBr {
+                cond,
+                then_edge,
+                else_edge,
+                exiting,
+                join,
+            } => {
+                ops.push(TInst::CondBr {
+                    cond: pool.op(*cond),
+                    br: branches_tbl.len() as u32,
+                });
+                branches_tbl.push(TBranch {
+                    then_edge: then_edge.clone(),
+                    else_edge: else_edge.clone(),
+                    exiting: exiting.clone(),
+                    join: *join,
+                    then_pc: 0,
+                    else_pc: 0,
+                    block: b,
+                });
+            }
+            DTerm::CondBrCmp {
+                pred,
+                float,
+                a,
+                b: rhs,
+                then_edge,
+                else_edge,
+                exiting,
+                join,
+            } => {
+                ops.push(TInst::CondBrCmp {
+                    pred: *pred,
+                    float: *float,
+                    a: pool.op(*a),
+                    b: pool.op(*rhs),
+                    br: branches_tbl.len() as u32,
+                });
+                branches_tbl.push(TBranch {
+                    then_edge: then_edge.clone(),
+                    else_edge: else_edge.clone(),
+                    exiting: exiting.clone(),
+                    join: *join,
+                    then_pc: 0,
+                    else_pc: 0,
+                    block: b,
+                });
+            }
+            DTerm::Ret(v) => ops.push(match v {
+                Some(op) => TInst::Ret { val: pool.op(*op) },
+                None => TInst::RetVoid,
+            }),
+            DTerm::Unreachable => ops.push(TInst::Unreachable),
+        }
+    }
+    // Patch jump targets: one past the target's `Enter` (the jump site
+    // inlines the block-entry bookkeeping).
+    for j in jumps.iter_mut() {
+        j.pc = entry_of[j.edge.target.index()] + 1;
+    }
+    for br in branches_tbl.iter_mut() {
+        br.then_pc = entry_of[br.then_edge.target.index()] + 1;
+        br.else_pc = entry_of[br.else_edge.target.index()] + 1;
+    }
+    let tf = ThreadedFunction {
+        entry: entry_of[f.entry.index()],
+        ops,
+        consts: pool.consts,
+        jumps,
+        branches: branches_tbl,
+        slow_ops,
+        entry_of,
+        straightened,
+        nregs: f.nregs as u32,
+    };
+    debug_assert!(tf.check_bounds());
+    tf
+}
+
+/// Trace-biased block layout: grow chains from the entry, at each
+/// conditional following the direction the warmup run took more often
+/// (then-edge when unrecorded — branch records exist only for tainted
+/// conditions), queuing the other side as a later chain head.
+fn layout(
+    f: &DecodedFunction,
+    fid: FunctionId,
+    branches: Option<&BTreeMap<(FunctionId, BlockId), BranchRecord>>,
+) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let mut placed = vec![false; n];
+    let mut order: Vec<BlockId> = Vec::with_capacity(n);
+    let mut pending: Vec<BlockId> = vec![f.entry];
+    while order.len() < n {
+        let head = match pending.pop() {
+            Some(b) if !placed[b.index()] => b,
+            Some(_) => continue,
+            // Unreachable blocks: append in index order so every block
+            // keeps an entry point.
+            None => BlockId(placed.iter().position(|p| !p).expect("unplaced") as u32),
+        };
+        let mut cur = head;
+        loop {
+            placed[cur.index()] = true;
+            order.push(cur);
+            let next = match &f.blocks[cur.index()].term {
+                DTerm::Br(e) => {
+                    if placed[e.target.index()] {
+                        None
+                    } else {
+                        Some(e.target)
+                    }
+                }
+                DTerm::CondBr {
+                    then_edge,
+                    else_edge,
+                    ..
+                }
+                | DTerm::CondBrCmp {
+                    then_edge,
+                    else_edge,
+                    ..
+                } => {
+                    let prefer_then = branches
+                        .and_then(|b| b.get(&(fid, cur)))
+                        .is_none_or(|r| r.taken_true >= r.taken_false);
+                    let (first, second) = if prefer_then {
+                        (then_edge.target, else_edge.target)
+                    } else {
+                        (else_edge.target, then_edge.target)
+                    };
+                    if !placed[second.index()] {
+                        pending.push(second);
+                    }
+                    if !placed[first.index()] {
+                        Some(first)
+                    } else if !placed[second.index()] {
+                        Some(second)
+                    } else {
+                        None
+                    }
+                }
+                DTerm::Ret(_) | DTerm::Unreachable => None,
+            };
+            match next {
+                Some(nb) => cur = nb,
+                None => break,
+            }
+        }
+    }
+    order
+}
+
+/// Lower one decoded instruction to a threaded op. Total: anything
+/// without a dedicated opcode becomes [`TInst::Slow`].
+fn lower(di: &DInst, pool: &mut Pool, slow_ops: &mut Vec<DInst>) -> TInst {
+    let dst = di.dst;
+    let mut slow = || {
+        slow_ops.push(di.clone());
+        TInst::Slow {
+            slow: (slow_ops.len() - 1) as u32,
+        }
+    };
+    match &di.op {
+        DOp::Const { bits } => TInst::Const { dst, bits: *bits },
+        DOp::BinI { op, a, b } => {
+            // Immediate forms: right-immediate always; left-immediate
+            // only for commutative ops, where swapping is exact for both
+            // the bits (integer commutativity) and the label (the union
+            // of a label with EMPTY is order-independent).
+            let imm_rhs = match (op, a, b) {
+                (_, _, Opnd::Imm(v)) => Some((*a, *v)),
+                (
+                    BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor,
+                    Opnd::Imm(v),
+                    _,
+                ) => Some((*b, *v)),
+                _ => None,
+            };
+            if let Some((ra, imm)) = imm_rhs {
+                let a = pool.op(ra);
+                match op {
+                    BinOp::Add => return TInst::AddIC { dst, a, imm },
+                    BinOp::Sub => return TInst::SubIC { dst, a, imm },
+                    BinOp::Mul => return TInst::MulIC { dst, a, imm },
+                    BinOp::And => return TInst::AndIC { dst, a, imm },
+                    BinOp::Or => return TInst::OrIC { dst, a, imm },
+                    BinOp::Xor => return TInst::XorIC { dst, a, imm },
+                    BinOp::Shl => return TInst::ShlIC { dst, a, imm },
+                    BinOp::Shr => return TInst::ShrIC { dst, a, imm },
+                    // The zero-divisor trap is static for an immediate
+                    // divisor: nonzero compiles to a checkless form, zero
+                    // keeps the generic op (traps at runtime, as tier 0).
+                    BinOp::Div if imm != 0 => return TInst::DivIC { dst, a, imm },
+                    BinOp::Rem if imm != 0 => return TInst::RemIC { dst, a, imm },
+                    // Div/Rem by zero and Min/Max (rare) stay generic.
+                    _ => {}
+                }
+            }
+            let (a, b) = (pool.op(*a), pool.op(*b));
+            match op {
+                BinOp::Add => TInst::AddI { dst, a, b },
+                BinOp::Sub => TInst::SubI { dst, a, b },
+                BinOp::Mul => TInst::MulI { dst, a, b },
+                BinOp::Div => TInst::DivI { dst, a, b },
+                BinOp::Rem => TInst::RemI { dst, a, b },
+                BinOp::And => TInst::AndI { dst, a, b },
+                BinOp::Or => TInst::OrI { dst, a, b },
+                BinOp::Xor => TInst::XorI { dst, a, b },
+                BinOp::Shl => TInst::ShlI { dst, a, b },
+                BinOp::Shr => TInst::ShrI { dst, a, b },
+                BinOp::Min => TInst::MinI { dst, a, b },
+                BinOp::Max => TInst::MaxI { dst, a, b },
+            }
+        }
+        DOp::BinF { op, a, b } => {
+            // Right-immediate only: float operand order is preserved
+            // exactly (no commutativity assumptions on NaN payloads).
+            if let (BinOp::Add | BinOp::Mul | BinOp::Sub | BinOp::Div, _, Opnd::Imm(imm)) =
+                (op, a, b)
+            {
+                let a = pool.op(*a);
+                return match op {
+                    BinOp::Add => TInst::AddFC { dst, a, imm: *imm },
+                    BinOp::Mul => TInst::MulFC { dst, a, imm: *imm },
+                    BinOp::Sub => TInst::SubFC { dst, a, imm: *imm },
+                    _ => TInst::DivFC { dst, a, imm: *imm },
+                };
+            }
+            let (a, b) = (pool.op(*a), pool.op(*b));
+            match op {
+                BinOp::Add => TInst::AddF { dst, a, b },
+                BinOp::Sub => TInst::SubF { dst, a, b },
+                BinOp::Mul => TInst::MulF { dst, a, b },
+                BinOp::Div => TInst::DivF { dst, a, b },
+                BinOp::Rem => TInst::RemF { dst, a, b },
+                BinOp::Min => TInst::MinF { dst, a, b },
+                BinOp::Max => TInst::MaxF { dst, a, b },
+                // Bitwise float ops decode to Trap; unreachable, but a
+                // Slow fallback keeps lowering total.
+                _ => slow(),
+            }
+        }
+        DOp::NegI { a } => TInst::NegI {
+            dst,
+            a: pool.op(*a),
+        },
+        DOp::NegF { a } => TInst::NegF {
+            dst,
+            a: pool.op(*a),
+        },
+        DOp::NotBool { a } => TInst::NotBool {
+            dst,
+            a: pool.op(*a),
+        },
+        DOp::NotInt { a } => TInst::NotInt {
+            dst,
+            a: pool.op(*a),
+        },
+        DOp::IntToFloat { a } => TInst::IntToFloat {
+            dst,
+            a: pool.op(*a),
+        },
+        DOp::FloatToInt { a } => TInst::FloatToInt {
+            dst,
+            a: pool.op(*a),
+        },
+        DOp::Sqrt { a } => TInst::Sqrt {
+            dst,
+            a: pool.op(*a),
+        },
+        DOp::AbsI { a } => TInst::AbsI {
+            dst,
+            a: pool.op(*a),
+        },
+        DOp::AbsF { a } => TInst::AbsF {
+            dst,
+            a: pool.op(*a),
+        },
+        DOp::CmpI { pred, a, b } => match b {
+            Opnd::Imm(imm) => TInst::CmpIC {
+                dst,
+                pred: *pred,
+                a: pool.op(*a),
+                imm: *imm,
+            },
+            _ => TInst::CmpI {
+                dst,
+                pred: *pred,
+                a: pool.op(*a),
+                b: pool.op(*b),
+            },
+        },
+        DOp::CmpF { pred, a, b } => TInst::CmpF {
+            dst,
+            pred: *pred,
+            a: pool.op(*a),
+            b: pool.op(*b),
+        },
+        DOp::Select { c, t, e } => TInst::Sel {
+            dst,
+            c: pool.op(*c),
+            t: pool.op(*t),
+            e: pool.op(*e),
+        },
+        DOp::Alloca { words } => TInst::Alloca {
+            dst,
+            words: pool.op(*words),
+        },
+        DOp::Load { addr } => TInst::Load {
+            dst,
+            addr: pool.op(*addr),
+        },
+        DOp::Store { addr, value } => TInst::Store {
+            dst,
+            addr: pool.op(*addr),
+            value: pool.op(*value),
+        },
+        DOp::Gep {
+            base,
+            index,
+            stride,
+        } => TInst::Gep {
+            dst,
+            base: pool.op(*base),
+            index: pool.op(*index),
+            stride: pool.intern(*stride as u64),
+        },
+        DOp::LoadIdx {
+            base,
+            index,
+            stride,
+        } => TInst::LoadIdx {
+            dst,
+            base: pool.op(*base),
+            index: pool.op(*index),
+            stride: pool.intern(*stride as u64),
+        },
+        DOp::StoreIdx {
+            base,
+            index,
+            stride,
+            value,
+        } => TInst::StoreIdx {
+            dst,
+            base: pool.op(*base),
+            index: pool.op(*index),
+            stride: pool.intern(*stride as u64),
+            value: pool.op(*value),
+        },
+        DOp::CallInternal { .. }
+        | DOp::CallInlined { .. }
+        | DOp::CallIntrinsic { .. }
+        | DOp::CallHostPrim { .. }
+        | DOp::CallLibrary { .. }
+        | DOp::Trap { .. } => slow(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepared::PreparedModule;
+    use pt_ir::{FunctionBuilder, Module, Type, Value};
+
+    fn cfg() -> TierConfig {
+        TierConfig {
+            mode: TierMode::Force,
+            ..TierConfig::default()
+        }
+    }
+
+    /// Loop + diamond: pre/header/body/latch/exit plus an if/else join.
+    fn shapes_module() -> Module {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![("n".into(), Type::I64)], Type::I64);
+        let slot = b.alloca(1i64);
+        b.for_loop(0i64, b.param(0), 1i64, |b, iv| {
+            let c = b.cmp(pt_ir::CmpPred::Lt, iv, 10i64);
+            b.if_then_else(
+                c,
+                |b| b.store(slot, Value::int(1)),
+                |b| b.store(slot, Value::int(2)),
+            );
+            b.call_external("pt_work_flops", vec![Value::int(1)], Type::Void);
+        });
+        let v = b.load(slot, Type::I64);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn every_block_keeps_an_entry_point() {
+        let m = shapes_module();
+        let prepared = PreparedModule::compute(&m);
+        let f = &prepared.decoded.functions[0];
+        let tf = compile_function(f, FunctionId(0), None, &cfg());
+        assert_eq!(tf.entry_of.len(), f.blocks.len());
+        for &pc in &tf.entry_of {
+            assert!(
+                matches!(tf.ops[pc as usize], TInst::Enter { .. }),
+                "entry_of must point at an Enter"
+            );
+        }
+        assert!(matches!(
+            tf.ops[tf.entry as usize],
+            TInst::Enter { block } if block == f.entry
+        ));
+        // Layouts never drop or duplicate a block.
+        let enters = tf
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TInst::Enter { .. }))
+            .count();
+        assert_eq!(enters, f.blocks.len());
+    }
+
+    #[test]
+    fn straightline_brs_are_elided() {
+        let m = shapes_module();
+        let prepared = PreparedModule::compute(&m);
+        let f = &prepared.decoded.functions[0];
+        let tf = compile_function(f, FunctionId(0), None, &cfg());
+        // Every block ends in a terminator op or an elided fallthrough,
+        // and only moveless, bookkeeping-free unconditional branches are
+        // elided.
+        let terms = tf
+            .ops
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    TInst::Jmp { .. }
+                        | TInst::AddIcJmp { .. }
+                        | TInst::CondBr { .. }
+                        | TInst::CondBrCmp { .. }
+                        | TInst::Ret { .. }
+                        | TInst::RetVoid
+                        | TInst::Unreachable
+                )
+            })
+            .count();
+        let plain_brs = f
+            .blocks
+            .iter()
+            .filter(|b| {
+                matches!(&b.term, DTerm::Br(e)
+                    if e.moves.is_empty() && e.back_edge.is_none() && e.enters.is_none())
+            })
+            .count();
+        assert_eq!(terms + tf.straightened as usize, f.blocks.len());
+        assert!(tf.straightened as usize <= plain_brs);
+        assert!(
+            tf.straightened > 0,
+            "the diamond join must yield at least one fallthrough"
+        );
+    }
+
+    #[test]
+    fn plan_from_run_uses_calls_and_loop_records() {
+        let mut profile = Profile::new();
+        let records = TaintRecords::new(3, &[1, 1, 1]);
+        // Function 1 called 100 times under one path.
+        for _ in 0..100 {
+            profile.record_call(crate::path::PathId(0), FunctionId(1), 1e-6, 1e-6);
+        }
+        let cfg = TierConfig {
+            hot_calls: 64,
+            hot_iters: 256,
+            ..cfg()
+        };
+        let plan = TierPlan::from_run(&profile, &records, 3, &cfg);
+        assert!(!plan.hot[0]);
+        assert!(plan.hot[1]);
+        assert!(!plan.hot[2]);
+    }
+}

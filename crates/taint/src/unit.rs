@@ -24,7 +24,8 @@
 //! for recomputation.
 
 use crate::decode::passes::{
-    allocate_registers, fuse, inline_calls_in, inline_spec_of, InlineSpec, PassStats,
+    allocate_registers, fold_constants, fuse, inline_calls_in, inline_spec_of, InlineSpec,
+    PassStats,
 };
 use crate::decode::{decode_function, DecodeEnv, DecodedFunction, DecodedModule};
 use crate::prepared::{PreparedFunction, PreparedModule};
@@ -71,6 +72,9 @@ pub fn compute_unit(
     // the module-wide `passes::optimize`, so trace consumers see the pass
     // stage under either static-stage path.
     let _passes_span = pt_util::trace::span("taint", "passes");
+    let (folded, reduced) = fold_constants(&mut decoded);
+    stats.folded = folded;
+    stats.reduced_geps = reduced;
     let (cb, ld, st) = fuse(&mut decoded);
     stats.fused_cmp_br = cb;
     stats.fused_loads = ld;
@@ -119,6 +123,8 @@ pub fn compute_units(module: &Module) -> Vec<FunctionUnit> {
 pub fn assemble(env: &DecodeEnv, units: &[&FunctionUnit], decode_seconds: f64) -> PreparedModule {
     let mut pass_stats = PassStats::default();
     for u in units {
+        pass_stats.folded += u.stats.folded;
+        pass_stats.reduced_geps += u.stats.reduced_geps;
         pass_stats.fused_cmp_br += u.stats.fused_cmp_br;
         pass_stats.fused_loads += u.stats.fused_loads;
         pass_stats.fused_stores += u.stats.fused_stores;

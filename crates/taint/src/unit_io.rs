@@ -28,7 +28,8 @@ use serde::json::Value;
 use std::collections::HashMap;
 
 /// Bump when the encoding below changes shape. Folded into artifact keys.
-pub const UNIT_SCHEMA_VERSION: u32 = 1;
+/// v2: `DOp::Const` ("const"), `PassStats::{folded, reduced_geps}`.
+pub const UNIT_SCHEMA_VERSION: u32 = 2;
 
 pub fn unit_to_json(u: &FunctionUnit) -> Value {
     Value::obj(vec![
@@ -283,6 +284,7 @@ fn op_to(op: &DOp) -> Value {
         Value::Arr(items)
     };
     match op {
+        DOp::Const { bits } => tag("const", vec![u64_to(*bits)]),
         DOp::BinI { op, a, b } => tag(
             "bi",
             vec![Value::str(bin_op_to(*op)), opnd_to(a), opnd_to(b)],
@@ -370,6 +372,9 @@ fn op_from(v: &Value) -> Option<DOp> {
     let a = v.as_arr()?;
     let o = |i: usize| opnd_from(a.get(i)?);
     Some(match a.first()?.as_str()? {
+        "const" => DOp::Const {
+            bits: u64_from(a.get(1)?)?,
+        },
         "bi" => DOp::BinI {
             op: bin_op_from(a.get(1)?.as_str()?)?,
             a: o(2)?,
@@ -617,6 +622,8 @@ fn stats_to(s: &PassStats) -> Value {
         u(s.inlined_calls as u64),
         u(s.regs_before as u64),
         u(s.regs_after as u64),
+        u(s.folded as u64),
+        u(s.reduced_geps as u64),
     ])
 }
 
@@ -629,6 +636,8 @@ fn stats_from(v: &Value) -> Option<PassStats> {
         inlined_calls: as_usize(a.get(3)?)?,
         regs_before: as_usize(a.get(4)?)?,
         regs_after: as_usize(a.get(5)?)?,
+        folded: as_usize(a.get(6)?)?,
+        reduced_geps: as_usize(a.get(7)?)?,
     })
 }
 

@@ -16,7 +16,8 @@ use proptest::prelude::*;
 use pt_ir::{BinOp, CmpPred, FunctionBuilder, Module, Type, UnOp, Value};
 use pt_taint::differential::compare_results;
 use pt_taint::{
-    CtlFlowPolicy, InterpConfig, Interpreter, PreparedModule, ReferenceInterpreter, WorkOnlyHandler,
+    CtlFlowPolicy, InterpConfig, Interpreter, PreparedModule, ReferenceInterpreter, TierConfig,
+    TierMode, WorkOnlyHandler,
 };
 
 /// Tiny deterministic RNG so one proptest-sampled `u64` seed expands into
@@ -197,7 +198,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Both engines, bit-identical, over random structured programs ×
-    /// all policies × taint on/off × a fuel slice.
+    /// all policies × taint on/off × a fuel slice × every execution
+    /// tier (off, forced threaded, fast-path-only with chaos deopts,
+    /// mid-run warmup respecialization).
     #[test]
     fn engines_agree_on_generated_programs(
         seed in 0u64..1 << 48,
@@ -206,13 +209,31 @@ proptest! {
         n in 1i64..7,
         k in 1i64..5,
         tight_fuel in proptest::bool::ANY,
+        tier_idx in 0usize..4,
     ) {
         let m = build_module(seed);
         let policy = [CtlFlowPolicy::All, CtlFlowPolicy::StoresOnly, CtlFlowPolicy::Off][policy_idx];
         // A tight fuel budget lands exhaustion mid-program (including
         // inside inlined bodies and fused pairs); a loose one completes.
         let fuel = if tight_fuel { 40 + seed % 200 } else { u64::MAX };
-        let config = InterpConfig { policy, taint, coverage: taint, fuel, ..Default::default() };
+        // The tier dimension: every specialization the second execution
+        // tier can apply, including its chaos knob (forced deopts every 3
+        // guards) and an aggressive warmup threshold so respecialization
+        // lands mid-run. The reference engine never tiers, so agreement
+        // here is the bit-identity contract of `pt_taint::tier`.
+        let tier = [
+            TierConfig { mode: TierMode::Off, ..TierConfig::default() },
+            TierConfig { mode: TierMode::Force, ..TierConfig::default() },
+            TierConfig {
+                mode: TierMode::Force,
+                threaded: false,
+                fast_path: true,
+                deopt_every: 3,
+                ..TierConfig::default()
+            },
+            TierConfig { mode: TierMode::Warmup, hot_calls: 2, ..TierConfig::default() },
+        ][tier_idx].clone();
+        let config = InterpConfig { policy, taint, coverage: taint, fuel, tier, ..Default::default() };
         let params = vec![("n".to_string(), n), ("k".to_string(), k)];
 
         let prepared = PreparedModule::compute(&m);

@@ -1,0 +1,220 @@
+//! Tier-1 deoptimization behavior: the untainted fast path must engage,
+//! bail soundly when taint appears (or when the chaos knob forces it),
+//! and never change a bit of the run's output; the threaded executor and
+//! the warmup→hot transition get the same treatment. Every test is a
+//! differential check against an engine that never tiers.
+
+use pt_ir::{CmpPred, FunctionBuilder, Module, Type, Value};
+use pt_taint::differential::{compare_outputs, compare_results};
+use pt_taint::{
+    tier, InterpConfig, Interpreter, PreparedModule, ReferenceInterpreter, RunOutput, TierConfig,
+    TierMode, TierPlan, WorkOnlyHandler,
+};
+
+/// A program whose frames *start* untainted (no arguments) but turn
+/// tainted mid-run: the loop bound comes from `pt_param_i64`, and the
+/// loop body stores/loads tainted values through a buffer. The fast path
+/// engages at every call and must deopt when the first labeled value
+/// shows up.
+fn taint_midway_module() -> Module {
+    let mut m = Module::new("tier_deopt");
+
+    let mut h = FunctionBuilder::new(
+        "helper",
+        vec![("a".into(), Type::I64), ("b".into(), Type::I64)],
+        Type::I64,
+    );
+    // Multi-block on purpose: a single-block body would be inlined at
+    // the call site and never reach the tier dispatch in `exec_function`.
+    let (p0, p1) = (h.param(0), h.param(1));
+    let x = h.mul(p0, Value::int(3));
+    let c = h.cmp(CmpPred::Lt, x, Value::int(100));
+    let t = h.new_block();
+    let e = h.new_block();
+    let join = h.new_block();
+    h.cond_br(c, t, e);
+    h.switch_to(t);
+    let tv = h.add(x, p1);
+    h.br(join);
+    h.switch_to(e);
+    let ev = h.sub(x, p1);
+    h.br(join);
+    h.switch_to(join);
+    let phi = h.phi(Type::I64);
+    h.add_incoming(phi, t, tv);
+    h.add_incoming(phi, e, ev);
+    h.ret(Some(Value::Inst(phi)));
+    let helper = m.add_function(h.finish());
+
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+    let n = b.call_external("pt_param_i64", vec![Value::int(0)], Type::I64);
+    let buf = b.alloca(8i64);
+    b.for_loop(0i64, n, 1i64, |b, iv| {
+        let idx = b.bin(pt_ir::BinOp::And, iv, Value::int(7));
+        let addr = b.gep(buf, idx, 1);
+        let hv = b.call(helper, vec![iv, n], Type::I64);
+        b.store(addr, hv);
+        let back = b.load(addr, Type::I64);
+        b.call_external("pt_work_flops", vec![back], Type::Void);
+    });
+    let final_addr = b.gep(buf, Value::int(2), 1);
+    let out = b.load(final_addr, Type::I64);
+    b.ret(Some(out));
+    m.add_function(b.finish());
+    m
+}
+
+fn run_with_tier(m: &Module, tier: TierConfig) -> RunOutput {
+    let config = InterpConfig {
+        taint: true,
+        coverage: true,
+        tier,
+        ..InterpConfig::default()
+    };
+    let prepared = PreparedModule::compute(m);
+    let params = vec![("n".to_string(), 6)];
+    Interpreter::new(m, &prepared, WorkOnlyHandler::default(), params, config)
+        .run_named("main", &[])
+        .expect("run failed")
+}
+
+fn off() -> TierConfig {
+    TierConfig {
+        mode: TierMode::Off,
+        ..TierConfig::default()
+    }
+}
+
+#[test]
+fn fast_path_engages_and_deopts_on_taint() {
+    let m = taint_midway_module();
+    let baseline = run_with_tier(&m, off());
+    let tiered = run_with_tier(
+        &m,
+        TierConfig {
+            mode: TierMode::Force,
+            fast_path: true,
+            threaded: false,
+            ..TierConfig::default()
+        },
+    );
+    compare_outputs(&baseline, &tiered).expect("fast path changed output");
+    assert!(tiered.tier.fast_entries > 0, "fast path never engaged");
+    // Taint appears mid-frame (tainted loop bound, tainted loads), so
+    // sound guards must have bailed at least once.
+    assert!(tiered.tier.fast_deopts > 0, "fast path never deopted");
+    assert_eq!(baseline.tier.fast_entries, 0);
+}
+
+#[test]
+fn forced_deopt_chaos_sweep_is_bit_identical() {
+    let m = taint_midway_module();
+    let baseline = run_with_tier(&m, off());
+    for deopt_every in [1, 2, 3, 5, 8] {
+        let tiered = run_with_tier(
+            &m,
+            TierConfig {
+                mode: TierMode::Force,
+                fast_path: true,
+                threaded: false,
+                deopt_every,
+                ..TierConfig::default()
+            },
+        );
+        compare_outputs(&baseline, &tiered)
+            .unwrap_or_else(|e| panic!("deopt_every={deopt_every} changed output: {e}"));
+        assert!(
+            tiered.tier.fast_deopts > 0,
+            "deopt_every={deopt_every} never tripped"
+        );
+    }
+}
+
+#[test]
+fn forced_threaded_agrees_with_reference_engine() {
+    let m = taint_midway_module();
+    let config = InterpConfig {
+        taint: true,
+        coverage: true,
+        tier: TierConfig {
+            mode: TierMode::Force,
+            ..TierConfig::default()
+        },
+        ..InterpConfig::default()
+    };
+    let prepared = PreparedModule::compute(&m);
+    let params = vec![("n".to_string(), 6)];
+    let tiered = Interpreter::new(
+        &m,
+        &prepared,
+        WorkOnlyHandler::default(),
+        params.clone(),
+        config.clone(),
+    )
+    .run_named("main", &[]);
+    let legacy =
+        ReferenceInterpreter::new(&m, &prepared, WorkOnlyHandler::default(), params, config)
+            .run_named("main", &[]);
+    compare_results(&tiered, &legacy).expect("threaded tier diverged from reference");
+    assert!(tiered.unwrap().tier.threaded_insts > 0);
+}
+
+#[test]
+fn warmup_respecializes_mid_run_without_output_change() {
+    let m = taint_midway_module();
+    let baseline = run_with_tier(&m, off());
+    let tiered = run_with_tier(
+        &m,
+        TierConfig {
+            mode: TierMode::Warmup,
+            // The helper crosses this threshold mid-run: later calls go
+            // through code specialized from this very run's records.
+            hot_calls: 2,
+            ..TierConfig::default()
+        },
+    );
+    compare_outputs(&baseline, &tiered).expect("mid-run respecialization changed output");
+    assert!(tiered.tier.respecialized > 0, "warmup never respecialized");
+    assert!(tiered.tier.threaded_insts > 0);
+}
+
+#[test]
+fn mismatched_tier_artifact_falls_back_to_general_loop() {
+    // A specialization built for a *different* module must be refused by
+    // the frame-shape guard, not executed: the run completes on the
+    // general loop with identical output.
+    let m = taint_midway_module();
+    let mut other = Module::new("other");
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+    let mut acc = Value::int(1);
+    for i in 0..24 {
+        acc = b.add(acc, Value::int(i));
+    }
+    b.ret(Some(acc));
+    other.add_function(b.finish());
+    let other_prepared = PreparedModule::compute(&other);
+    let foreign = tier::specialize(
+        &other_prepared.decoded,
+        &TierPlan::all(other.functions.len()),
+        &TierConfig {
+            mode: TierMode::Force,
+            ..TierConfig::default()
+        },
+        None,
+    );
+
+    let baseline = run_with_tier(&m, off());
+    let config = InterpConfig {
+        taint: true,
+        coverage: true,
+        tier: off(),
+        ..InterpConfig::default()
+    };
+    let prepared = PreparedModule::compute(&m);
+    let params = vec![("n".to_string(), 6)];
+    let mut interp = Interpreter::new(&m, &prepared, WorkOnlyHandler::default(), params, config);
+    interp.set_tier(&foreign);
+    let out = interp.run_named("main", &[]).expect("run failed");
+    compare_outputs(&baseline, &out).expect("foreign artifact changed output");
+    assert_eq!(out.tier.threaded_insts, 0, "foreign threaded code ran");
+}
