@@ -13,9 +13,13 @@
 //!   switches algorithm with `p` (the §C2 validation case).
 //! * [`synth`] — random loop-nest programs with known ground-truth
 //!   dependency structure (for property-based tests of the pipeline).
+//! * [`security`] — mini-SecSrv: a request-processing service exercising
+//!   the security taint policy (sources, sanitizers, sink checks) with
+//!   parametric work so the perf model stays non-trivial.
 pub mod common;
 pub mod lulesh;
 pub mod milc;
+pub mod security;
 pub mod synth;
 
 pub use common::{AppSpec, ParamSpec};

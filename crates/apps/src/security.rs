@@ -1,0 +1,228 @@
+//! Mini-SecSrv: a request-processing service workload for the security
+//! taint policy (source/sink/sanitizer lattice).
+//!
+//! The HPC mini-apps exercise the paper's parameter-label policy; this app
+//! exercises the *pluggable* side of the policy seam. It is a small
+//! network-service skeleton: `requests` incoming messages are parsed
+//! (every payload passes through the `pt_taint_source` intrinsic — the
+//! "untrusted input" source, id 1), alternately sanitized
+//! (`pt_sanitize` on even request indices) or forwarded raw, and every
+//! message reaches the audit sink (`pt_sink_check`, sink id 1). A second
+//! sink (id 2) checks a value derived from the *marked parameter*
+//! `requests` joined with source id 2 — its record shows a parameter base
+//! and a source base meeting in one label.
+//!
+//! Ground truth under the security policy with an even taint-run
+//! `requests = R`:
+//!
+//! * sink 1: `checks == R`, `violations == R/2` (the unsanitized odd
+//!   indices), params = `{src#1}`;
+//! * sink 2: `checks == 1`, `violations == 1`, params =
+//!   `{requests, src#2}`.
+//!
+//! Under the default param-set policy all three intrinsics are identity
+//! pass-throughs, no sink records exist, and the run is bit-identical to
+//! a build of the same module without the intrinsic calls' label effects —
+//! the zero-carve-out contract the differential suites enforce.
+//!
+//! The work content stays parametric so the perf-model side is
+//! non-trivial: the per-request kernel loops over `payload`, and the
+//! batch aggregation does an `MPI_Allreduce` — so both marked parameters
+//! and the implicit `p` appear in the model exactly as in the HPC apps.
+//!
+//! Parameter indices (taint order): 0 = requests, 1 = payload,
+//! 2 = p (implicit).
+
+use crate::common::{add_dead_parametric, add_scalar_getter, add_tiny_helper, AppSpec, ParamSpec};
+use pt_ir::{BinOp, CmpPred, FunctionBuilder, Module, Type, Value};
+
+// ---- service header layout (word offsets) --------------------------------
+const REQS: i64 = 0;
+const PAYLOAD: i64 = 1;
+const P_SLOT: i64 = 2;
+const RANK: i64 = 3;
+const HEADER_WORDS: i64 = 16;
+
+/// Audit sink for request payloads (every request, sanitized or not).
+pub const SINK_AUDIT: i64 = 1;
+/// Config sink checked once with a parameter-tainted value.
+pub const SINK_CONFIG: i64 = 2;
+/// Source id for untrusted request payloads.
+pub const SOURCE_REQUEST: i64 = 1;
+/// Source id joined into the config value.
+pub const SOURCE_CONFIG: i64 = 2;
+
+/// Build the mini security-service application.
+pub fn build() -> AppSpec {
+    let mut m = Module::new("mini-secsrv");
+
+    let srv_requests = add_scalar_getter(&mut m, "srv_requests", REQS);
+    let srv_payload = add_scalar_getter(&mut m, "srv_payload", PAYLOAD);
+    // Small pure helpers (statically constant — pruned by the static
+    // stage, mirroring the accessor families of the HPC apps).
+    for h in ["hash_fnv", "checksum16", "hex_decode", "header_len"] {
+        add_tiny_helper(&mut m, h, 2);
+    }
+    // Linked-but-unused administration paths (pruned dynamically).
+    for dead in ["admin_console", "debug_dump", "replay_journal"] {
+        add_dead_parametric(&mut m, dead);
+    }
+
+    // parse_request(d, i) -> i64: synthesize the i-th payload word and
+    // mark it untrusted at the trust boundary (source id 1).
+    let parse_request = {
+        let mut b = FunctionBuilder::new(
+            "parse_request",
+            vec![("d".into(), Type::Ptr), ("i".into(), Type::I64)],
+            Type::I64,
+        );
+        let i = b.param(1);
+        let scaled = b.bin(BinOp::Mul, i, 31i64);
+        let raw = b.add(scaled, 7i64);
+        let tainted = b.call_external(
+            "pt_taint_source",
+            vec![raw, Value::int(SOURCE_REQUEST)],
+            Type::I64,
+        );
+        b.call_external("pt_work_flops", vec![Value::int(12)], Type::Void);
+        b.ret(Some(tainted));
+        m.add_function(b.finish())
+    };
+
+    // sanitize_field(x) -> i64: the validator — under the security policy
+    // the returned value's label is bottom.
+    let sanitize_field = {
+        let mut b =
+            FunctionBuilder::new("sanitize_field", vec![("x".into(), Type::I64)], Type::I64);
+        let clean = b.call_external("pt_sanitize", vec![b.param(0)], Type::I64);
+        b.call_external("pt_work_flops", vec![Value::int(8)], Type::Void);
+        b.ret(Some(clean));
+        m.add_function(b.finish())
+    };
+
+    // audit_sink(x) -> i64: the audit log write — the sink every request
+    // payload must reach.
+    let audit_sink = {
+        let mut b = FunctionBuilder::new("audit_sink", vec![("x".into(), Type::I64)], Type::I64);
+        let out = b.call_external(
+            "pt_sink_check",
+            vec![b.param(0), Value::int(SINK_AUDIT)],
+            Type::I64,
+        );
+        b.call_external("pt_work_mem", vec![Value::int(4)], Type::Void);
+        b.ret(Some(out));
+        m.add_function(b.finish())
+    };
+
+    // handle_request(d): the per-request kernel — `payload` loop trips, so
+    // the model in `payload` is linear per request.
+    let handle_request = {
+        let mut b =
+            FunctionBuilder::new("handle_request", vec![("d".into(), Type::Ptr)], Type::Void);
+        let d = b.param(0);
+        let payload = b.call(srv_payload, vec![d], Type::I64);
+        b.for_loop(0i64, payload, 1i64, |b, _| {
+            b.call_external("pt_work_flops", vec![Value::int(64)], Type::Void);
+            b.call_external("pt_work_mem", vec![Value::int(16)], Type::Void);
+        });
+        b.ret(None);
+        m.add_function(b.finish())
+    };
+
+    // aggregate(d): end-of-batch reduction across ranks (the `p` term).
+    let aggregate = {
+        let mut b = FunctionBuilder::new("aggregate", vec![("d".into(), Type::Ptr)], Type::Void);
+        b.call_external("MPI_Allreduce", vec![Value::int(1)], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish())
+    };
+
+    // ---- main ---------------------------------------------------------------
+    {
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let requests = b.call_external("pt_param_i64", vec![Value::int(0)], Type::I64);
+        let payload = b.call_external("pt_param_i64", vec![Value::int(1)], Type::I64);
+
+        let d = b.alloca(HEADER_WORDS);
+        let pslot = b.gep(d, Value::int(P_SLOT), 1);
+        b.call_external("MPI_Comm_size", vec![pslot], Type::Void);
+        let rslot = b.gep(d, Value::int(RANK), 1);
+        b.call_external("MPI_Comm_rank", vec![rslot], Type::Void);
+        for (slot, v) in [(REQS, requests), (PAYLOAD, payload)] {
+            let addr = b.gep(d, Value::int(slot), 1);
+            b.store(addr, v);
+        }
+
+        let n = b.call(srv_requests, vec![d], Type::I64);
+        b.for_loop(0i64, n, 1i64, |b, i| {
+            let v = b.call(parse_request, vec![d, i], Type::I64);
+            // Even request indices go through the validator; odd ones are
+            // forwarded raw — the audit sink sees both kinds, so its
+            // violation count is exactly the unsanitized half.
+            let clean = b.call(sanitize_field, vec![v], Type::I64);
+            let parity = b.bin(BinOp::Rem, i, 2i64);
+            let even = b.cmp(CmpPred::Eq, parity, 0i64);
+            let picked = b.select(even, clean, v);
+            b.call(audit_sink, vec![picked], Type::I64);
+            b.call(handle_request, vec![d], Type::Void);
+        });
+
+        // Config sink: a value carrying both a *parameter* base (requests
+        // taints it through `pt_param_i64`) and a *source* base (id 2) —
+        // the two halves of the security lattice meeting in one label.
+        let cfg = b.call_external(
+            "pt_taint_source",
+            vec![requests, Value::int(SOURCE_CONFIG)],
+            Type::I64,
+        );
+        b.call_external(
+            "pt_sink_check",
+            vec![cfg, Value::int(SINK_CONFIG)],
+            Type::I64,
+        );
+
+        b.call(aggregate, vec![d], Type::Void);
+        b.ret(None);
+        m.add_function(b.finish());
+    }
+
+    pt_ir::verify_module(&m).expect("mini-secsrv verifies");
+
+    AppSpec {
+        name: "mini-secsrv".into(),
+        module: m,
+        entry: "main".into(),
+        params: vec![
+            // Even taint-run request count: the audit sink's ground-truth
+            // violation count is exactly requests/2.
+            ParamSpec::new("requests", 8, 64),
+            ParamSpec::new("payload", 6, 32),
+            ParamSpec::new("p", 4, 4),
+        ],
+        model_params: vec!["p".into(), "requests".into(), "payload".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_verifies() {
+        let app = build();
+        assert!(app.module.function_by_name("parse_request").is_some());
+        assert!(app.module.function_by_name("sanitize_field").is_some());
+        assert!(app.module.function_by_name("audit_sink").is_some());
+        let externs = app.module.used_externals();
+        for intrinsic in ["pt_taint_source", "pt_sanitize", "pt_sink_check"] {
+            assert!(externs.contains(&intrinsic), "{intrinsic} not referenced");
+        }
+    }
+
+    #[test]
+    fn taint_run_request_count_is_even() {
+        let app = build();
+        let r = app.params.iter().find(|p| p.name == "requests").unwrap();
+        assert_eq!(r.taint_run_value % 2, 0, "ground truth needs an even count");
+    }
+}

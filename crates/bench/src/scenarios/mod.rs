@@ -31,6 +31,7 @@ mod fig3_overhead_lulesh;
 mod fig4_overhead_milc;
 mod fig5_contention;
 mod incremental_edit;
+mod security_taint;
 mod serve_saturation;
 mod serve_throughput;
 mod table1_config;
@@ -238,6 +239,7 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &serve_throughput::ServeThroughput,
         &serve_saturation::ServeSaturation,
         &taint_throughput::TaintThroughput,
+        &security_taint::SecurityTaint,
         &incremental_edit::IncrementalEdit,
     ]
 }
@@ -281,8 +283,8 @@ mod tests {
         let mut names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
         let total = names.len();
         assert_eq!(
-            total, 16,
-            "all 12 paper artifacts plus the service, saturation, engine, and edit-loop scenarios are registered"
+            total, 17,
+            "all 12 paper artifacts plus the service, saturation, engine, security-policy, and edit-loop scenarios are registered"
         );
         names.sort();
         names.dedup();

@@ -35,6 +35,7 @@ use pt_ir::fingerprint::digest_parts;
 use pt_ir::Module;
 use pt_taint::decode::passes::InlineSpec;
 use pt_taint::decode::DecodeEnv;
+use pt_taint::policy::PolicyKind;
 use pt_taint::unit::{assemble, compute_unit, FunctionUnit};
 use pt_taint::unit_io::{unit_from_json, unit_to_json, UNIT_SCHEMA_VERSION};
 use serde::json::Value;
@@ -142,11 +143,21 @@ impl FunctionArtifactCache {
     /// store, or recomputed — then the whole is assembled bit-identically
     /// to a cold [`pt_taint::PreparedModule::compute`] +
     /// [`pt_analysis::classify::classify_module`].
-    pub fn compute(&self, module: &Module, relevant: &HashSet<String>) -> StaticArtifacts {
+    ///
+    /// `policy` is the taint policy the session will run under; it salts
+    /// every artifact key (two policies must never share cached units —
+    /// the decoded program is policy-independent today, but the key
+    /// contract is "everything the result could depend on").
+    pub fn compute(
+        &self,
+        module: &Module,
+        relevant: &HashSet<String>,
+        policy: PolicyKind,
+    ) -> StaticArtifacts {
         let _span = pt_util::trace::span("taint", "decode");
         let t0 = std::time::Instant::now();
         let cg = CallGraph::build(module);
-        let keys = unit_keys(module, &cg, &config_salt(relevant));
+        let keys = unit_keys(module, &cg, &config_salt(relevant, policy));
         let env = DecodeEnv::of(module);
         let n = module.functions.len();
 
@@ -282,14 +293,14 @@ impl FunctionArtifactCache {
 }
 
 /// The configuration salt folded into every artifact key: the artifact
-/// schema version (a bump silently invalidates old store entries) and the
-/// relevant-externals set, sorted (the only configuration the static stage
-/// reads).
-fn config_salt(relevant: &HashSet<String>) -> String {
+/// schema version (a bump silently invalidates old store entries), the
+/// taint-policy identity, and the relevant-externals set, sorted (the
+/// only configuration the static stage reads).
+fn config_salt(relevant: &HashSet<String>, policy: PolicyKind) -> String {
     let schema = UNIT_SCHEMA_VERSION.to_string();
     let mut names: Vec<&str> = relevant.iter().map(String::as_str).collect();
     names.sort_unstable();
-    let mut parts: Vec<&str> = vec!["statics-config", &schema];
+    let mut parts: Vec<&str> = vec!["statics-config", &schema, policy.name()];
     parts.extend(names);
     digest_parts(&parts)
 }
@@ -462,7 +473,7 @@ mod tests {
     fn cold_compute_matches_plain_static_stage() {
         let m = app(3);
         let cache = FunctionArtifactCache::new();
-        let warm = cache.compute(&m, &relevant());
+        let warm = cache.compute(&m, &relevant(), PolicyKind::default());
         assert_eq!(warm.reuse, ReuseStats::all_recomputed(5));
         assert_statics_identical(&warm, &m);
     }
@@ -471,18 +482,18 @@ mod tests {
     fn editing_one_function_recomputes_only_its_cone() {
         let cache = FunctionArtifactCache::new();
         let before = app(3);
-        let first = cache.compute(&before, &relevant());
+        let first = cache.compute(&before, &relevant(), PolicyKind::default());
         assert_eq!(first.reuse.recomputed, 5);
 
         // Resubmit unchanged: everything comes from memory.
-        let again = cache.compute(&before, &relevant());
+        let again = cache.compute(&before, &relevant(), PolicyKind::default());
         assert_eq!(again.reuse.reused_memory, 5);
         assert_eq!(again.reuse.recomputed, 0);
         assert_statics_identical(&again, &before);
 
         // Edit the leaf: leaf + kernel + main recompute; ping/pong reuse.
         let edited = app(4);
-        let warm = cache.compute(&edited, &relevant());
+        let warm = cache.compute(&edited, &relevant(), PolicyKind::default());
         assert_eq!(warm.reuse.recomputed, 3, "leaf, kernel, main");
         assert_eq!(warm.reuse.reused_memory, 2, "ping and pong");
         assert_statics_identical(&warm, &edited);
@@ -511,20 +522,20 @@ mod tests {
         let m = app(3);
         // First process: computes and persists.
         let cache1 = FunctionArtifactCache::with_store(store.clone());
-        cache1.compute(&m, &relevant());
+        cache1.compute(&m, &relevant(), PolicyKind::default());
         assert_eq!(store.0.lock().unwrap().len(), 5);
 
         // "Restarted process": fresh cache, same store — everything is
         // reused from disk, and the result is still bit-identical.
         let cache2 = FunctionArtifactCache::with_store(store.clone());
-        let warm = cache2.compute(&m, &relevant());
+        let warm = cache2.compute(&m, &relevant(), PolicyKind::default());
         assert_eq!(warm.reuse.reused_store, 5);
         assert_eq!(warm.reuse.recomputed, 0);
         assert_statics_identical(&warm, &m);
 
         // An edit after the restart recomputes only its cone.
         let edited = app(4);
-        let warm = cache2.compute(&edited, &relevant());
+        let warm = cache2.compute(&edited, &relevant(), PolicyKind::default());
         assert_eq!(warm.reuse.recomputed, 3);
         assert_eq!(warm.reuse.reused_memory + warm.reuse.reused_store, 2);
         assert_statics_identical(&warm, &edited);
@@ -534,13 +545,17 @@ mod tests {
     fn corrupt_store_entries_degrade_to_recompute() {
         let store = Arc::new(MapStore::default());
         let m = app(3);
-        FunctionArtifactCache::with_store(store.clone()).compute(&m, &relevant());
+        FunctionArtifactCache::with_store(store.clone()).compute(
+            &m,
+            &relevant(),
+            PolicyKind::default(),
+        );
         // Corrupt every stored document.
         for doc in store.0.lock().unwrap().values_mut() {
             *doc = "{broken".to_string();
         }
         let cache = FunctionArtifactCache::with_store(store.clone());
-        let warm = cache.compute(&m, &relevant());
+        let warm = cache.compute(&m, &relevant(), PolicyKind::default());
         assert_eq!(warm.reuse.recomputed, 5, "corrupt entries are misses");
         assert_statics_identical(&warm, &m);
     }
@@ -549,17 +564,30 @@ mod tests {
     fn config_change_invalidates_everything() {
         let cache = FunctionArtifactCache::new();
         let m = app(3);
-        cache.compute(&m, &relevant());
+        cache.compute(&m, &relevant(), PolicyKind::default());
         let fewer: HashSet<String> = ["MPI_Barrier"].iter().map(|s| s.to_string()).collect();
-        let warm = cache.compute(&m, &fewer);
+        let warm = cache.compute(&m, &fewer, PolicyKind::default());
         assert_eq!(warm.reuse.recomputed, 5, "salt covers the relevant set");
+    }
+
+    #[test]
+    fn policy_change_invalidates_everything() {
+        let cache = FunctionArtifactCache::new();
+        let m = app(3);
+        let cold = cache.compute(&m, &relevant(), PolicyKind::ParamSet);
+        assert_eq!(cold.reuse.recomputed, 5);
+        let other = cache.compute(&m, &relevant(), PolicyKind::Security);
+        assert_eq!(other.reuse.recomputed, 5, "salt covers the taint policy");
+        // Artifacts under either policy stay cached independently.
+        let warm = cache.compute(&m, &relevant(), PolicyKind::ParamSet);
+        assert_eq!(warm.reuse.reused_memory, 5);
     }
 
     #[test]
     fn artifact_json_roundtrips_classification() {
         let m = app(3);
         let cache = FunctionArtifactCache::new();
-        cache.compute(&m, &relevant());
+        cache.compute(&m, &relevant(), PolicyKind::default());
         // Round-trip every artifact currently in memory.
         for artifact in cache.mem.lock().unwrap().values() {
             let doc = artifact_to_json(artifact).render();

@@ -96,3 +96,6 @@ pub use validate::{
     SegmentationWarning,
 };
 pub use volume::{DepStructure, VolExpr};
+// The taint-policy selector is part of the session-facing API (it keys
+// `SessionCache` slots and salts unit keys), so re-export it here.
+pub use pt_taint::PolicyKind;

@@ -326,7 +326,32 @@ pub fn analysis_summary(analysis: &Analysis, module: &Module) -> Value {
         .iter()
         .map(|(name, dep)| (name.clone(), Value::str(dep.render(names))))
         .collect();
-    Value::obj(vec![
+    // The security policy's per-sink ledger (`pt_sink_check` sites). The
+    // param-set policy never populates it, and the field is omitted when
+    // empty so default-policy summaries stay byte-identical across
+    // protocol revisions.
+    let sink_checks: Vec<(String, Value)> = analysis
+        .records
+        .sink_checks
+        .iter()
+        .map(|(id, rec)| {
+            let bases = analysis.labels.param_names();
+            let params: Vec<Value> = rec
+                .params
+                .iter()
+                .filter_map(|i| bases.get(i).map(Value::str))
+                .collect();
+            (
+                id.to_string(),
+                Value::obj(vec![
+                    ("checks", Value::int(rec.checks as i64)),
+                    ("violations", Value::int(rec.violations as i64)),
+                    ("params", Value::Arr(params)),
+                ]),
+            )
+        })
+        .collect();
+    let mut doc = Value::obj(vec![
         ("module", Value::str(&module.name)),
         (
             "param_names",
@@ -344,7 +369,13 @@ pub fn analysis_summary(analysis: &Analysis, module: &Module) -> Value {
             "taint_run_core_hours",
             Value::Num(analysis.taint_run_core_hours),
         ),
-    ])
+    ]);
+    if !sink_checks.is_empty() {
+        if let Value::Obj(entries) = &mut doc {
+            entries.push(("sink_checks".to_string(), Value::Obj(sink_checks)));
+        }
+    }
+    doc
 }
 
 /// Render Table 2 in the paper's layout.

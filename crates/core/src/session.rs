@@ -43,7 +43,8 @@ use pt_ir::{FunctionId, Module};
 use pt_mpisim::MpiHandler;
 use pt_taint::prepared::PreparedModule;
 use pt_taint::{
-    tier, Interpreter, LabelTable, SpecializedModule, TaintRecords, TierMode, TierPlan, TierStats,
+    tier, Interpreter, LabelTable, PolicyKind, SpecializedModule, TaintRecords, TierMode, TierPlan,
+    TierStats,
 };
 use std::collections::{BTreeMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -89,6 +90,15 @@ impl<'m> SessionBuilder<'m> {
     /// Replace the whole pipeline configuration.
     pub fn config(mut self, config: PipelineConfig) -> SessionBuilder<'m> {
         self.config = config;
+        self
+    }
+
+    /// Select the taint policy the session's runs execute under (see
+    /// [`pt_taint::policy`]). Shorthand for mutating
+    /// [`PipelineConfig::interp`]'s `taint_policy`; the default is
+    /// [`PolicyKind::from_env`].
+    pub fn policy(mut self, policy: PolicyKind) -> SessionBuilder<'m> {
+        self.config.interp.taint_policy = policy;
         self
     }
 
@@ -153,7 +163,9 @@ impl<'m> Session<'m> {
                     // Incremental: assemble from the per-function artifact
                     // cache, recomputing only what the content keys say
                     // changed. Bit-identical to the plain path below.
-                    Some(cache) => cache.compute(self.module, &relevant),
+                    Some(cache) => {
+                        cache.compute(self.module, &relevant, self.config.interp.taint_policy)
+                    }
                     None => StaticArtifacts {
                         classification: classify_module(self.module, &relevant),
                         prepared: PreparedModule::compute(self.module),
@@ -171,6 +183,15 @@ impl<'m> Session<'m> {
             return Err(PtError::EntryNotFound {
                 entry: self.entry.clone(),
             });
+        }
+        // The label domain carries at most 64 base labels; reject oversized
+        // parameter vectors up front with a configuration error instead of
+        // surfacing a mid-run [`pt_taint::InterpError::LabelCapacity`].
+        if params.len() > 64 {
+            return Err(PtError::Config(format!(
+                "at most 64 marked parameters supported, got {}",
+                params.len()
+            )));
         }
         let statics = self.static_analysis();
 
@@ -445,8 +466,26 @@ impl SessionCache {
     /// and assembled incrementally from the per-function artifact cache
     /// when the content is new.
     pub fn get_or_compute<'m>(&self, module: &'m Module, entry: &str) -> Session<'m> {
-        let key = pt_ir::fingerprint::module_digest(module);
+        self.get_or_compute_with_policy(module, entry, PolicyKind::from_env())
+    }
+
+    /// [`SessionCache::get_or_compute`] under an explicit taint policy.
+    /// The cache slot is keyed by module content *and* policy, so sessions
+    /// under different policies never share static artifacts (their unit
+    /// keys differ too — see [`crate::incremental`]).
+    pub fn get_or_compute_with_policy<'m>(
+        &self,
+        module: &'m Module,
+        entry: &str,
+        policy: PolicyKind,
+    ) -> Session<'m> {
+        let key = format!(
+            "{}|{}",
+            pt_ir::fingerprint::module_digest(module),
+            policy.name()
+        );
         let session = SessionBuilder::new(module, entry)
+            .policy(policy)
             .units(self.units.clone())
             .build();
         // Reserve the per-key slot under the lock, compute outside it:

@@ -241,14 +241,24 @@ fn command_request(command: &str, args: &[String]) -> Result<(String, Value), St
                 ("entry", Value::str(entry)),
             ]),
         ),
-        ("run", [module, entry, params @ ..]) => (
-            "taint_run",
-            Value::obj(vec![
+        ("run", [module, entry, rest @ ..]) => {
+            // `run <module> <entry> [--policy NAME] [name=value ...]` —
+            // the optional policy selects the taint policy (protocol
+            // v1.4); omitted means the server default (param-set).
+            let (policy, params) = match rest {
+                [flag, name, tail @ ..] if flag == "--policy" => (Some(name.as_str()), tail),
+                _ => (None, rest),
+            };
+            let mut fields = vec![
                 ("module", Value::str(module)),
                 ("entry", Value::str(entry)),
                 ("params", params_object(&parse_params(params)?)),
-            ]),
-        ),
+            ];
+            if let Some(policy) = policy {
+                fields.push(("policy", Value::str(policy)));
+            }
+            ("taint_run", Value::obj(fields))
+        }
         ("batch", [module, entry, sets @ ..]) if !sets.is_empty() => {
             let param_sets = sets
                 .iter()

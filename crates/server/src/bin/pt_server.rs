@@ -5,7 +5,7 @@
 //!           [--idle-timeout SECS] [--max-requests N]
 //!           [--shed] [--retry-after-ms N] [--store-budget-bytes N]
 //!           [--session-cache-entries N] [--slow-request-ms N]
-//!           [--trace-out PATH]
+//!           [--trace-sample-every N] [--trace-out PATH]
 //! ```
 //!
 //! `--max-queue` is an alias of `--queue` (the admission-control reading
@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         store_budget_bytes: None,
         session_cache_entries: None,
         slow_request_ms: None,
+        trace_sample_every: Some(64),
     };
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -84,6 +85,13 @@ fn main() -> ExitCode {
                     .map(|n: u64| config.slow_request_ms = Some(n))
                     .map_err(|_| "--slow-request-ms requires an integer".to_string())
             }),
+            // Sampled always-on tracing: every Nth request feeds the
+            // `sampled_profile` object in `metrics`. 0 disables it.
+            "--trace-sample-every" => take("--trace-sample-every").and_then(|v| {
+                v.parse()
+                    .map(|n: u64| config.trace_sample_every = (n > 0).then_some(n))
+                    .map_err(|_| "--trace-sample-every requires an integer".to_string())
+            }),
             "--trace-out" => take("--trace-out").map(|v| trace_out = Some(v.into())),
             "--store-budget-bytes" => take("--store-budget-bytes").and_then(|v| {
                 v.parse()
@@ -118,7 +126,7 @@ fn main() -> ExitCode {
                     "pt-server [--addr HOST:PORT] [--store DIR] [--workers N] [--queue N] \
                      [--idle-timeout SECS] [--max-requests N] [--shed] [--retry-after-ms N] \
                      [--store-budget-bytes N] [--session-cache-entries N] \
-                     [--slow-request-ms N] [--trace-out PATH]"
+                     [--slow-request-ms N] [--trace-sample-every N] [--trace-out PATH]"
                 );
                 return ExitCode::SUCCESS;
             }

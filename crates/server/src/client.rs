@@ -180,14 +180,28 @@ impl Client {
         entry: &str,
         params: &[(String, i64)],
     ) -> Result<Value, ClientError> {
-        self.request(
-            "taint_run",
-            Value::obj(vec![
-                ("module", Value::str(module)),
-                ("entry", Value::str(entry)),
-                ("params", params_object(params)),
-            ]),
-        )
+        self.taint_run_with_policy(module, entry, params, None)
+    }
+
+    /// [`Client::taint_run`] under an explicit taint policy (protocol
+    /// v1.4): `Some("security")` etc.; `None` omits the field, leaving
+    /// the server's default (param-set).
+    pub fn taint_run_with_policy(
+        &mut self,
+        module: &str,
+        entry: &str,
+        params: &[(String, i64)],
+        policy: Option<&str>,
+    ) -> Result<Value, ClientError> {
+        let mut fields = vec![
+            ("module", Value::str(module)),
+            ("entry", Value::str(entry)),
+            ("params", params_object(params)),
+        ];
+        if let Some(policy) = policy {
+            fields.push(("policy", Value::str(policy)));
+        }
+        self.request("taint_run", Value::obj(fields))
     }
 
     /// One taint run per parameter set, fanned across the server's workers.
@@ -197,17 +211,30 @@ impl Client {
         entry: &str,
         param_sets: &[Vec<(String, i64)>],
     ) -> Result<Value, ClientError> {
-        self.request(
-            "analyze_batch",
-            Value::obj(vec![
-                ("module", Value::str(module)),
-                ("entry", Value::str(entry)),
-                (
-                    "param_sets",
-                    Value::Arr(param_sets.iter().map(|p| params_object(p)).collect()),
-                ),
-            ]),
-        )
+        self.analyze_batch_with_policy(module, entry, param_sets, None)
+    }
+
+    /// [`Client::analyze_batch`] under an explicit taint policy (protocol
+    /// v1.4); `None` omits the field, leaving the server's default.
+    pub fn analyze_batch_with_policy(
+        &mut self,
+        module: &str,
+        entry: &str,
+        param_sets: &[Vec<(String, i64)>],
+        policy: Option<&str>,
+    ) -> Result<Value, ClientError> {
+        let mut fields = vec![
+            ("module", Value::str(module)),
+            ("entry", Value::str(entry)),
+            (
+                "param_sets",
+                Value::Arr(param_sets.iter().map(|p| params_object(p)).collect()),
+            ),
+        ];
+        if let Some(policy) = policy {
+            fields.push(("policy", Value::str(policy)));
+        }
+        self.request("analyze_batch", Value::obj(fields))
     }
 
     /// Run `method` under the server's request tracer (protocol v1.3).

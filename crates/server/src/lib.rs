@@ -89,6 +89,14 @@ pub struct ServerConfig {
     /// (the breakdown must exist before the request proves slow), so it
     /// carries tracing's small bookkeeping overhead. `None` = off.
     pub slow_request_ms: Option<u64>,
+    /// Sampled always-on tracing (protocol v1.4): every Nth request runs
+    /// under the request tracer and its per-stage wall totals are folded
+    /// into a bounded in-memory profile that `metrics` reports as
+    /// `sampled_profile`. Unlike the slow-request log, which only
+    /// surfaces outliers, this keeps a continuous picture of where
+    /// *typical* request time goes, at 1/N of tracing's bookkeeping cost.
+    /// `None` = off.
+    pub trace_sample_every: Option<u64>,
 }
 
 impl ServerConfig {
@@ -107,6 +115,7 @@ impl ServerConfig {
             store_budget_bytes: None,
             session_cache_entries: None,
             slow_request_ms: None,
+            trace_sample_every: Some(64),
         }
     }
 }
@@ -131,7 +140,8 @@ impl Server {
                     retry_after_ms: config.retry_after_ms,
                 })
                 .with_session_cache_entries(config.session_cache_entries)
-                .with_slow_request_log(config.slow_request_ms),
+                .with_slow_request_log(config.slow_request_ms)
+                .with_trace_sampling(config.trace_sample_every),
         );
         Ok(Server { listener, state })
     }
@@ -362,40 +372,51 @@ fn handle_connection(state: &ServerState, stream: TcpStream, nudge_addr: SocketA
 /// With the slow-request log configured (`--slow-request-ms`), every
 /// request runs under its own trace so the ones that cross the threshold
 /// report *where* the time went, not merely that it went: one stderr line
-/// with method, trace id, wall time, and the per-stage breakdown.
+/// with method, trace id, wall time, and the per-stage breakdown. With
+/// sampling configured (`trace_sample_every`), every Nth request runs
+/// under the same per-request trace and its per-stage totals are folded
+/// into the bounded profile `metrics` reports — the always-on complement
+/// to the outlier-only slow log. One request due for both uses one trace.
 pub fn handle_line(state: &ServerState, line: &str) -> Value {
     let request = match protocol::parse_request(line) {
         Ok(r) => r,
         Err((id, e)) => return protocol::error_response(&id, &e),
     };
-    let slow = state.slow_request_ms.map(|limit_ms| {
+    let sampling = state.sampling_due();
+    let traced = (sampling || state.slow_request_ms.is_some()).then(|| {
         (
-            limit_ms,
             pt_util::trace::enable_scoped(),
             pt_util::trace::next_trace_id(),
         )
     });
     let started = std::time::Instant::now();
     let outcome = {
-        let _bind = slow
+        let _bind = traced
             .as_ref()
-            .map(|(_, _, trace_id)| pt_util::trace::set_thread_trace(*trace_id));
-        let _root = slow
+            .map(|(_, trace_id)| pt_util::trace::set_thread_trace(*trace_id));
+        let _root = traced
             .as_ref()
             .map(|_| pt_util::trace::span("server", "request"));
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             state.dispatch(&request.method, &request.params)
         }))
     };
-    if let Some((limit_ms, _scope, trace_id)) = slow {
+    if let Some((_scope, trace_id)) = traced {
         // Always drain this request's events — a fast request must not
         // leave its spans behind to bloat the sink or leak into later
         // slow-request reports.
         let events = pt_util::trace::take_trace(trace_id);
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-        if wall_ms >= limit_ms as f64 {
-            let stages = pt_util::trace::stage_totals_ms(&events)
-                .into_iter()
+        let stages = pt_util::trace::stage_totals_ms(&events);
+        if sampling {
+            state.record_sample(wall_ms, &stages);
+        }
+        if state
+            .slow_request_ms
+            .is_some_and(|limit_ms| wall_ms >= limit_ms as f64)
+        {
+            let stages = stages
+                .iter()
                 .map(|(name, ms)| format!("{name}:{ms:.1}"))
                 .collect::<Vec<_>>()
                 .join(",");

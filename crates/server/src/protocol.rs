@@ -35,9 +35,14 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// back alongside the result — plus the `session_cache` object in `stats`
 /// and `metrics`, and adaptive `retry_after_ms` hints derived from
 /// observed per-method p99 latency when no fixed hint is configured.
+/// Revision 4 ("protocol v1.4") added the optional `policy` field on
+/// `submit_module`, `static_analysis`, `taint_run`, and `analyze_batch`
+/// — selecting the taint policy (`"param-set"`, the default, or
+/// `"security"`) the run executes under — plus per-policy run counters
+/// and the sampled always-on request profile in `stats`/`metrics`.
 /// All additions are additive; v1 clients are unaffected — the wire `v`
 /// field stays `1`.
-pub const PROTOCOL_MINOR: u64 = 3;
+pub const PROTOCOL_MINOR: u64 = 4;
 
 /// A parsed request envelope.
 #[derive(Debug, Clone)]

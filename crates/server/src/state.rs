@@ -15,11 +15,11 @@ use crate::ops::{AdmissionPolicy, Ops, METHODS};
 use crate::protocol::{ServeError, PROTOCOL_MINOR, PROTOCOL_VERSION};
 use crate::store::{Store, StoreKey};
 use perf_taint::report::{analysis_summary, static_summary};
-use perf_taint::{parse_module, Analysis, PtError, SessionCache, UnitStore};
+use perf_taint::{parse_module, Analysis, PolicyKind, PtError, SessionCache, UnitStore};
 use pt_extrap::{fit_multi_param, MeasurementSet, Restriction, SearchSpace};
 use pt_ir::Module;
 use serde::json::Value;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -63,6 +63,121 @@ struct TierTotals {
     fast_deopts: AtomicU64,
 }
 
+/// Per-policy taint-run counters (protocol v1.4): one slot per
+/// [`PolicyKind`], indexed in [`PolicyKind::ALL`] order.
+#[derive(Default)]
+struct PolicyTotals {
+    runs: [AtomicU64; PolicyKind::ALL.len()],
+}
+
+impl PolicyTotals {
+    fn record(&self, policy: PolicyKind) {
+        let idx = PolicyKind::ALL.iter().position(|&p| p == policy).unwrap();
+        self.runs[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Value {
+        Value::Obj(
+            PolicyKind::ALL
+                .iter()
+                .zip(&self.runs)
+                .map(|(p, n)| {
+                    (
+                        p.name().to_string(),
+                        Value::int(n.load(Ordering::Relaxed) as i64),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Stage-name cardinality bound of the sampled profile: stage names come
+/// from our own instrumentation (a small fixed set), but the bound makes
+/// the memory ceiling explicit no matter what future spans appear.
+const MAX_PROFILE_STAGES: usize = 64;
+
+/// One stage's aggregate across every sampled request (protocol v1.4).
+#[derive(Debug, Clone, Copy, Default)]
+struct StageTotal {
+    count: u64,
+    total_ms: f64,
+    max_ms: f64,
+}
+
+/// The sampled always-on request profile (protocol v1.4): every Nth
+/// request runs under the request tracer, and its per-stage wall totals
+/// are folded into this bounded in-memory aggregate. Unlike the `trace`
+/// method (client opts in per request) or the slow-request log (only
+/// outliers surface), this keeps a continuous low-overhead picture of
+/// where *typical* request time goes; `metrics` reports it.
+#[derive(Default)]
+struct SampledProfile {
+    /// Requests seen by the sampling decision (traced or not).
+    seen: AtomicU64,
+    /// Requests actually traced into the profile.
+    sampled: AtomicU64,
+    stages: Mutex<BTreeMap<String, StageTotal>>,
+}
+
+impl SampledProfile {
+    fn record(&self, wall_ms: f64, stages: &[(String, f64)]) {
+        self.sampled.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.stages.lock().unwrap();
+        let mut fold = |name: &str, ms: f64| {
+            if map.len() >= MAX_PROFILE_STAGES && !map.contains_key(name) {
+                return; // bounded: never grow past the cap
+            }
+            let slot = map.entry(name.to_string()).or_default();
+            slot.count += 1;
+            slot.total_ms += ms;
+            slot.max_ms = slot.max_ms.max(ms);
+        };
+        fold("request", wall_ms);
+        for (name, ms) in stages {
+            fold(name, *ms);
+        }
+    }
+
+    fn to_json(&self, sample_every: Option<u64>) -> Value {
+        let stages = self
+            .stages
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, t)| {
+                (
+                    name.clone(),
+                    Value::obj(vec![
+                        ("count", Value::int(t.count as i64)),
+                        ("total_ms", Value::Num(t.total_ms)),
+                        ("mean_ms", Value::Num(t.total_ms / t.count.max(1) as f64)),
+                        ("max_ms", Value::Num(t.max_ms)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::obj(vec![
+            (
+                "sample_every",
+                match sample_every {
+                    Some(n) => Value::int(n as i64),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "requests_seen",
+                Value::int(self.seen.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "requests_sampled",
+                Value::int(self.sampled.load(Ordering::Relaxed) as i64),
+            ),
+            ("stages", Value::Obj(stages)),
+        ])
+    }
+}
+
 /// Everything the worker threads share.
 pub struct ServerState {
     store: Arc<Store>,
@@ -101,6 +216,13 @@ pub struct ServerState {
     /// Emit a structured stderr line for requests slower than this
     /// (protocol v1.3 slow-request log; `None` = off).
     pub slow_request_ms: Option<u64>,
+    /// Sampled always-on tracing (protocol v1.4): every Nth request is
+    /// traced into [`SampledProfile`]. `None` = off.
+    pub trace_sample_every: Option<u64>,
+    /// Per-policy taint-run counters (protocol v1.4).
+    policy_runs: PolicyTotals,
+    /// The bounded per-stage aggregate behind `trace_sample_every`.
+    sampled: SampledProfile,
 }
 
 impl ServerState {
@@ -123,6 +245,9 @@ impl ServerState {
             idle_timeout: None,
             max_requests_per_connection: None,
             slow_request_ms: None,
+            trace_sample_every: None,
+            policy_runs: PolicyTotals::default(),
+            sampled: SampledProfile::default(),
         }
     }
 
@@ -155,6 +280,29 @@ impl ServerState {
     pub fn with_slow_request_log(mut self, slow_request_ms: Option<u64>) -> ServerState {
         self.slow_request_ms = slow_request_ms;
         self
+    }
+
+    /// Trace every Nth request into the sampled profile `metrics` reports
+    /// (`None` disables sampling; see [`crate::handle_line`]).
+    pub fn with_trace_sampling(mut self, every: Option<u64>) -> ServerState {
+        self.trace_sample_every = every.map(|n| n.max(1));
+        self
+    }
+
+    /// Sampling decision for one incoming request: true every Nth call.
+    /// (The first request is sampled, so short-lived servers still leave
+    /// a profile behind.)
+    pub fn sampling_due(&self) -> bool {
+        let Some(every) = self.trace_sample_every else {
+            return false;
+        };
+        self.sampled.seen.fetch_add(1, Ordering::Relaxed) % every == 0
+    }
+
+    /// Fold one sampled request's wall time and per-stage totals into the
+    /// bounded profile.
+    pub fn record_sample(&self, wall_ms: f64, stages: &[(String, f64)]) {
+        self.sampled.record(wall_ms, stages);
     }
 
     /// The backoff hint for the next shed envelope: the configured fixed
@@ -224,6 +372,9 @@ impl ServerState {
     /// how every later request names it.
     fn submit_module(&self, params: &Value) -> Result<Value, ServeError> {
         let text = require_str(params, "text")?;
+        // Protocol v1.4: an optional `policy` is validated and echoed, so
+        // a client can probe support before running anything.
+        let policy = policy_of(params)?;
         let module = parse_module(text).map_err(ServeError::from)?;
         if let Err(errors) = pt_ir::verify_module(&module) {
             let (func, err) = &errors[0];
@@ -250,6 +401,7 @@ impl ServerState {
             ("name", Value::str(name)),
             ("functions", Value::int(functions as i64)),
             ("known", Value::Bool(known)),
+            ("policy", Value::str(policy.name())),
         ]))
     }
 
@@ -280,21 +432,25 @@ impl ServerState {
     fn static_analysis(&self, params: &Value) -> Result<Value, ServeError> {
         let module_key = require_str(params, "module")?;
         let entry = require_str(params, "entry")?;
+        let policy = policy_of(params)?;
         // The static stage is entry-independent, so the artifact is keyed
-        // by (module, config) alone — every entry shares one object. The
-        // entry is still validated on every request (the module is
-        // memory-cached, so this is one map lookup on the warm path).
+        // by (module, config, policy) alone — every entry shares one
+        // object. The entry is still validated on every request (the
+        // module is memory-cached, so this is one map lookup on the warm
+        // path).
         let module = self.module_for(module_key)?;
         if module.function_by_name(entry).is_none() {
             return Err(ServeError::Pt(PtError::EntryNotFound {
                 entry: entry.to_string(),
             }));
         }
-        let key = StoreKey::static_summary(module_key);
+        let key = StoreKey::static_summary(module_key, policy.name());
         if let Some(value) = self.stored(&key) {
             return Ok(value);
         }
-        let session = self.sessions.get_or_compute(&module, entry);
+        let session = self
+            .sessions
+            .get_or_compute_with_policy(&module, entry, policy);
         let summary = static_summary(&session.static_analysis(), &module);
         self.persist(&key, &summary);
         Ok(summary)
@@ -305,8 +461,9 @@ impl ServerState {
     fn taint_run(&self, params: &Value) -> Result<Value, ServeError> {
         let module_key = require_str(params, "module")?;
         let entry = require_str(params, "entry")?;
+        let policy = policy_of(params)?;
         let run_params = param_pairs(params.get("params"))?;
-        self.taint_run_inner(module_key, entry, &run_params)
+        self.taint_run_inner(module_key, entry, &run_params, policy)
     }
 
     fn taint_run_inner(
@@ -314,17 +471,26 @@ impl ServerState {
         module_key: &str,
         entry: &str,
         run_params: &[(String, i64)],
+        policy: PolicyKind,
     ) -> Result<Value, ServeError> {
-        let key = StoreKey::analysis(module_key, entry, &canonical_params(run_params));
+        let key = StoreKey::analysis(
+            module_key,
+            entry,
+            &canonical_params(run_params),
+            policy.name(),
+        );
         if let Some(value) = self.stored(&key) {
             return Ok(value);
         }
         let module = self.module_for(module_key)?;
-        let session = self.sessions.get_or_compute(&module, entry);
+        let session = self
+            .sessions
+            .get_or_compute_with_policy(&module, entry, policy);
         let analysis = session
             .taint_run(run_params.to_vec())
             .map_err(ServeError::from)?;
         self.record_tier(&analysis);
+        self.policy_runs.record(policy);
         let summary = analysis_summary(&analysis, &module);
         self.persist(&key, &summary);
         Ok(summary)
@@ -339,6 +505,7 @@ impl ServerState {
     fn analyze_batch(&self, params: &Value) -> Result<Value, ServeError> {
         let module_key = require_str(params, "module")?;
         let entry = require_str(params, "entry")?;
+        let policy = policy_of(params)?;
         let sets = params
             .get("param_sets")
             .and_then(Value::as_arr)
@@ -358,7 +525,7 @@ impl ServerState {
         let results: Vec<Value> = pt_util::parallel_map(&parsed, self.workers, |set| {
             let outcome = set
                 .clone()
-                .and_then(|run| self.taint_run_inner(module_key, entry, &run));
+                .and_then(|run| self.taint_run_inner(module_key, entry, &run, policy));
             match outcome {
                 Ok(result) => Value::obj(vec![("ok", Value::Bool(true)), ("result", result)]),
                 Err(e) => Value::obj(vec![("ok", Value::Bool(false)), ("error", e.to_json())]),
@@ -604,6 +771,7 @@ impl ServerState {
             ("functions", self.function_reuse_json()),
             ("session_cache", self.session_cache_json()),
             ("tier", self.tier_json()),
+            ("policies", self.policy_runs.to_json()),
             (
                 "modules_in_memory",
                 Value::int(self.modules.lock().unwrap().len() as i64),
@@ -659,6 +827,11 @@ impl ServerState {
             ("functions", self.function_reuse_json()),
             ("session_cache", self.session_cache_json()),
             ("tier", self.tier_json()),
+            ("policies", self.policy_runs.to_json()),
+            (
+                "sampled_profile",
+                self.sampled.to_json(self.trace_sample_every),
+            ),
             ("workers", Value::int(self.workers as i64)),
         ]))
     }
@@ -692,6 +865,28 @@ impl ServerState {
     /// compute-always, it does not fail requests.
     fn persist(&self, key: &StoreKey, doc: &Value) {
         let _ = self.store.put(key.kind, &key.hash, &doc.render());
+    }
+}
+
+/// The optional `policy` request field (protocol v1.4): absent or `null`
+/// means the default param-set policy; an unknown name is a `bad_request`
+/// naming the known policies.
+fn policy_of(params: &Value) -> Result<PolicyKind, ServeError> {
+    match params.get("policy") {
+        None | Some(Value::Null) => Ok(PolicyKind::ParamSet),
+        Some(v) => {
+            let s = v.as_str().ok_or_else(|| {
+                ServeError::BadRequest("'policy' must be a string when present".into())
+            })?;
+            PolicyKind::parse(s).ok_or_else(|| {
+                let known = PolicyKind::ALL
+                    .iter()
+                    .map(|p| p.name())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                ServeError::BadRequest(format!("unknown policy '{s}' (known: {known})"))
+            })
+        }
     }
 }
 

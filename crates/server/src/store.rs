@@ -118,6 +118,23 @@ impl ArtifactKind {
     fn from_dir(dir: &str) -> Option<ArtifactKind> {
         ArtifactKind::ALL.into_iter().find(|ns| ns.dir() == dir)
     }
+
+    /// Eviction class: lower classes are evicted before higher ones,
+    /// regardless of recency. Whole-response artifacts (analyses, models,
+    /// static summaries) are cheap to recompute one at a time and large,
+    /// so they go first; a submitted module is the input of everything
+    /// derived from it; per-function units are the most leveraged objects
+    /// in the store — one unit is tiny, but losing hundreds of them turns
+    /// a warm edit-loop back into a cold recompute. Within a class,
+    /// eviction stays strictly LRU.
+    fn eviction_class(self) -> u8 {
+        match self {
+            ArtifactKind::Analyses | ArtifactKind::Models => 0,
+            ArtifactKind::Statics => 1,
+            ArtifactKind::Modules => 2,
+            ArtifactKind::Functions => 3,
+        }
+    }
 }
 
 /// A typed store key: the artifact family plus the content hash naming the
@@ -148,16 +165,24 @@ impl StoreKey {
         }
     }
 
-    /// A static-stage summary for a submitted module.
-    pub fn static_summary(module_hash: &str) -> StoreKey {
+    /// A static-stage summary for a submitted module. `policy` is the
+    /// taint-policy name (protocol v1.4): two policies never share a
+    /// cached summary.
+    pub fn static_summary(module_hash: &str, policy: &str) -> StoreKey {
         StoreKey {
             kind: ArtifactKind::Statics,
-            hash: content_key(&["static", module_hash, CONFIG_FINGERPRINT]),
+            hash: content_key(&["static", module_hash, CONFIG_FINGERPRINT, policy]),
         }
     }
 
-    /// A taint-run analysis summary.
-    pub fn analysis(module_hash: &str, entry: &str, canonical_params: &str) -> StoreKey {
+    /// A taint-run analysis summary, keyed by everything it depends on —
+    /// including the taint-policy name (protocol v1.4).
+    pub fn analysis(
+        module_hash: &str,
+        entry: &str,
+        canonical_params: &str,
+        policy: &str,
+    ) -> StoreKey {
         StoreKey {
             kind: ArtifactKind::Analyses,
             hash: content_key(&[
@@ -166,6 +191,7 @@ impl StoreKey {
                 entry,
                 CONFIG_FINGERPRINT,
                 canonical_params,
+                policy,
             ]),
         }
     }
@@ -208,39 +234,43 @@ struct EntryMeta {
 }
 
 /// The in-memory access-order index: every object's size and last-access
-/// sequence number, plus the seq-ordered view eviction walks. `clock`
-/// only grows; the lowest live seq is always the coldest object.
+/// sequence number, plus the eviction-ordered view. The order is keyed by
+/// `(eviction class, seq)` — see [`ArtifactKind::eviction_class`] — so
+/// eviction walks low classes (responses) before high ones (per-function
+/// units), coldest-first within each class. `clock` only grows.
 #[derive(Debug, Default)]
 struct LruIndex {
     clock: u64,
     total_bytes: u64,
     entries: HashMap<(ArtifactKind, String), EntryMeta>,
-    order: BTreeMap<u64, (ArtifactKind, String)>,
+    order: BTreeMap<(u8, u64), (ArtifactKind, String)>,
     /// Access-order touches since the sidecar was last persisted.
     unsaved_touches: u64,
 }
 
 impl LruIndex {
-    /// Record (or refresh) an object at the warm end of the order.
+    /// Record (or refresh) an object at the warm end of its class.
     fn upsert(&mut self, ns: ArtifactKind, key: &str, bytes: u64) {
         self.remove(ns, key);
         let seq = self.clock;
         self.clock += 1;
         self.entries
             .insert((ns, key.to_string()), EntryMeta { seq, bytes });
-        self.order.insert(seq, (ns, key.to_string()));
+        self.order
+            .insert((ns.eviction_class(), seq), (ns, key.to_string()));
         self.total_bytes += bytes;
     }
 
     /// Drop an object from the index (not from disk). Returns its size.
     fn remove(&mut self, ns: ArtifactKind, key: &str) -> Option<u64> {
         let meta = self.entries.remove(&(ns, key.to_string()))?;
-        self.order.remove(&meta.seq);
+        self.order.remove(&(ns.eviction_class(), meta.seq));
         self.total_bytes -= meta.bytes;
         Some(meta.bytes)
     }
 
-    /// The coldest object, if any.
+    /// The next eviction victim, if any: the coldest object of the lowest
+    /// populated eviction class.
     fn coldest(&self) -> Option<(ArtifactKind, String)> {
         self.order.values().next().cloned()
     }
@@ -435,7 +465,7 @@ impl Store {
     fn persist_sidecar(&self, lru: &mut LruIndex) {
         lru.unsaved_touches = 0;
         let mut text = String::new();
-        for (seq, (ns, key)) in &lru.order {
+        for ((_class, seq), (ns, key)) in &lru.order {
             let bytes = lru
                 .entries
                 .get(&(*ns, key.clone()))
@@ -639,8 +669,8 @@ mod tests {
         assert_eq!(module.hash, content_key(&["module", text]));
         assert_eq!(StoreKey::module_by_hash(&module.hash), module);
 
-        let statics = StoreKey::static_summary(&module.hash);
-        let analysis = StoreKey::analysis(&module.hash, "main", "{}");
+        let statics = StoreKey::static_summary(&module.hash, "param-set");
+        let analysis = StoreKey::analysis(&module.hash, "main", "{}", "param-set");
         let model = StoreKey::model(text);
         let unit = StoreKey::function_unit("deadbeef");
         assert_eq!(statics.kind, ArtifactKind::Statics);
@@ -666,8 +696,17 @@ mod tests {
             content_key(&["function", "deadbeef", "some-other-config"])
         );
         assert_ne!(
-            StoreKey::analysis(&module.hash, "main", "{}").hash,
-            StoreKey::analysis(&module.hash, "other", "{}").hash
+            StoreKey::analysis(&module.hash, "main", "{}", "param-set").hash,
+            StoreKey::analysis(&module.hash, "other", "{}", "param-set").hash
+        );
+        // Protocol v1.4: the taint policy is part of every derived key.
+        assert_ne!(
+            StoreKey::analysis(&module.hash, "main", "{}", "param-set").hash,
+            StoreKey::analysis(&module.hash, "main", "{}", "security").hash
+        );
+        assert_ne!(
+            StoreKey::static_summary(&module.hash, "param-set").hash,
+            StoreKey::static_summary(&module.hash, "security").hash
         );
     }
 
@@ -726,6 +765,57 @@ mod tests {
             assert!(on_disk <= 64, "disk over budget at {i}: {on_disk}");
         }
         assert!(store.stats().evictions >= 14);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn eviction_prefers_responses_over_function_units() {
+        // Many small per-function units, all colder than the responses
+        // that follow — then one response large enough to blow the budget.
+        // Kind-biased eviction must sacrifice the (warmer) responses and
+        // keep every unit: one big response must not flush the edit loop.
+        let store = temp_store("kindbias").with_budget(Some(100));
+        for i in 0..8 {
+            store
+                .put(ArtifactKind::Functions, &format!("u{i}"), &"f".repeat(5))
+                .unwrap(); // 40 B of units, coldest of all
+        }
+        store
+            .put(ArtifactKind::Analyses, "warm1", &"a".repeat(30))
+            .unwrap();
+        store
+            .put(ArtifactKind::Analyses, "warm2", &"a".repeat(30))
+            .unwrap(); // 100 B total: exactly at budget
+        store
+            .put(ArtifactKind::Analyses, "big", &"b".repeat(40))
+            .unwrap(); // 140 B: must shed 40 B
+        for i in 0..8 {
+            assert!(
+                store.contains(ArtifactKind::Functions, &format!("u{i}")),
+                "unit u{i} must survive response pressure"
+            );
+        }
+        assert!(!store.contains(ArtifactKind::Analyses, "warm1"));
+        assert!(!store.contains(ArtifactKind::Analyses, "warm2"));
+        assert!(store.contains(ArtifactKind::Analyses, "big"));
+        assert!(store.total_bytes() <= 100);
+        let _ = fs::remove_dir_all(store.root());
+        // Only under pressure from its own (or a lower) class do units go:
+        // units alone over budget still evict units, coldest first.
+        let store = temp_store("kindbias2").with_budget(Some(12));
+        store
+            .put(ArtifactKind::Functions, "old", &"f".repeat(5))
+            .unwrap();
+        store
+            .put(ArtifactKind::Functions, "mid", &"f".repeat(5))
+            .unwrap();
+        assert!(store.get(ArtifactKind::Functions, "old").is_some()); // touch
+        store
+            .put(ArtifactKind::Functions, "new", &"f".repeat(5))
+            .unwrap();
+        assert!(store.contains(ArtifactKind::Functions, "old"));
+        assert!(!store.contains(ArtifactKind::Functions, "mid"));
+        assert!(store.contains(ArtifactKind::Functions, "new"));
         let _ = fs::remove_dir_all(store.root());
     }
 

@@ -101,6 +101,17 @@ pub enum Intrinsic {
     AssertNotParam,
     /// `pt_label_params(v) -> i64`: the value's parameter set as a bitmask.
     LabelParams,
+    /// `pt_taint_source(v, id) -> v`: under the security policy, join a
+    /// source base label `src#id` into `v`'s label (may-taint); under the
+    /// paper policy, an identity pass-through (value *and* label).
+    TaintSource,
+    /// `pt_sanitize(v) -> v`: under the security policy, clear `v`'s
+    /// label to bottom; under the paper policy, identity.
+    Sanitize,
+    /// `pt_sink_check(v, id) -> v`: pass-through; under the security
+    /// policy, record a check (and a violation when `v` is tainted) in
+    /// the per-sink ledger.
+    SinkCheck,
 }
 
 impl Intrinsic {
@@ -112,6 +123,9 @@ impl Intrinsic {
             "pt_assert_has_param" => Intrinsic::AssertHasParam,
             "pt_assert_not_param" => Intrinsic::AssertNotParam,
             "pt_label_params" => Intrinsic::LabelParams,
+            "pt_taint_source" => Intrinsic::TaintSource,
+            "pt_sanitize" => Intrinsic::Sanitize,
+            "pt_sink_check" => Intrinsic::SinkCheck,
             _ => return None,
         })
     }

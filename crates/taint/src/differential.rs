@@ -95,6 +95,13 @@ pub fn compare_outputs(a: &RunOutput, b: &RunOutput) -> Result<(), String> {
             &b.records.extern_args,
         ));
     }
+    if a.records.sink_checks != b.records.sink_checks {
+        return Err(first_map_divergence(
+            "sink-check records",
+            &a.records.sink_checks,
+            &b.records.sink_checks,
+        ));
+    }
     if a.records.executed != b.records.executed {
         return Err("executed-function maps differ".to_string());
     }

@@ -45,6 +45,7 @@ use crate::host::{ExternalHandler, HostCtx};
 use crate::label::{Label, LabelTable, ParamSet};
 use crate::memory::{MemError, Memory, TVal};
 use crate::path::PathId;
+use crate::policy::{Measure, ParamPolicy, PolicyKind, PolicyMode, SecurityPolicy};
 use crate::prepared::PreparedModule;
 use crate::profile::Profile;
 use crate::records::{LoopKey, TaintRecords};
@@ -79,6 +80,12 @@ pub struct InterpConfig {
     /// Propagate taint and record sinks (the *taint run*). Measurement
     /// sweeps disable this for speed.
     pub taint: bool,
+    /// Which label policy a taint run propagates ([`crate::policy`]);
+    /// ignored when `taint` is false. Defaults read the `PT_POLICY`
+    /// environment variable (mirroring `tier`/`PT_TIER`) so the whole
+    /// test matrix can run under the security policy with no call-site
+    /// changes.
+    pub taint_policy: PolicyKind,
     /// Record branch coverage and visited blocks.
     pub coverage: bool,
     /// DFSan's combine-pointer-labels-on-load (default true).
@@ -99,6 +106,7 @@ impl Default for InterpConfig {
             probe_cost: Vec::new(),
             fuel: u64::MAX,
             taint: true,
+            taint_policy: PolicyKind::from_env(),
             coverage: true,
             combine_ptr_labels: true,
             max_depth: 256,
@@ -131,6 +139,10 @@ pub enum InterpError {
         expected: usize,
         got: usize,
     },
+    /// The label table ran out of capacity: more than 64 base labels, or
+    /// 2^16 union nodes. A defined error (never a panic across the wire);
+    /// the message is deterministic so both engines report it identically.
+    LabelCapacity(String),
 }
 
 impl std::fmt::Display for InterpError {
@@ -156,6 +168,7 @@ impl std::fmt::Display for InterpError {
                     "call to {func} with {got} arguments, expected {expected}"
                 )
             }
+            InterpError::LabelCapacity(m) => write!(f, "label capacity: {m}"),
         }
     }
 }
@@ -456,19 +469,31 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
 
     /// Run `entry` with the given (untainted) integer arguments.
     ///
-    /// Dispatches to one of two monomorphized engines: the full taint
-    /// engine, or the measurement-mode (`taint: false`) specialization in
-    /// which label propagation, shadow-label combining, control scopes,
-    /// and record taint-merging compile out of the hot loop entirely.
+    /// Dispatches to one of the policy-monomorphized engines: the paper's
+    /// parameter-label policy, the security policy, or the measurement
+    /// mode (`taint: false`) in which label propagation, shadow-label
+    /// combining, control scopes, and record taint-merging compile out
+    /// of the hot loop entirely ([`crate::policy`]).
     pub fn run(mut self, entry: FunctionId, args: &[i64]) -> Result<RunOutput, InterpError> {
         let argv: Vec<TVal> = args.iter().map(|&a| TVal::from_i64(a)).collect();
-        let (ret, _incl) = if self.config.taint {
-            self.exec_function::<true>(entry, &argv, None, Label::EMPTY)?
-        } else {
-            self.exec_function::<false>(entry, &argv, None, Label::EMPTY)?
+        let (ret, _incl) = match (self.config.taint, self.config.taint_policy) {
+            (false, _) => self.exec_function::<Measure>(entry, &argv, None, Label::EMPTY)?,
+            (true, PolicyKind::ParamSet) => {
+                self.exec_function::<ParamPolicy>(entry, &argv, None, Label::EMPTY)?
+            }
+            (true, PolicyKind::Security) => {
+                self.exec_function::<SecurityPolicy>(entry, &argv, None, Label::EMPTY)?
+            }
         };
         self.flush_iterations();
         self.flush_branches();
+        // Label-capacity overflow is a defined error, not a panic: base
+        // labels introduced through infallible paths (host handlers, the
+        // constructor's pre-intern) and exhausted union allocations latch
+        // the table's capacity flag; both engines surface it identically.
+        if let Some(msg) = self.labels.capacity_error() {
+            return Err(InterpError::LabelCapacity(msg.to_string()));
+        }
         Ok(RunOutput {
             ret,
             time: self.clock,
@@ -490,11 +515,11 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
     }
 
     /// Label union, compiled out of the measurement-mode engine: with
-    /// `TAINT == false` every call collapses to `Label::EMPTY` at
+    /// `P::TAINT == false` every call collapses to `Label::EMPTY` at
     /// monomorphization time and the label table is never touched.
     #[inline(always)]
-    fn union_t<const TAINT: bool>(&mut self, a: Label, b: Label) -> Label {
-        if !TAINT {
+    fn union_t<P: PolicyMode>(&mut self, a: Label, b: Label) -> Label {
+        if !P::TAINT {
             return Label::EMPTY;
         }
         self.labels.union(a, b)
@@ -583,7 +608,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         path
     }
 
-    fn exec_function<const TAINT: bool>(
+    fn exec_function<P: PolicyMode>(
         &mut self,
         fid: FunctionId,
         args: &[TVal],
@@ -616,9 +641,9 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             // mismatched artifact (wrong module via `set_tier`) falls
             // back to the general loop instead.
             Some(tf) if tf.nregs as usize == self.prepared.decoded.func(fid).nregs => {
-                self.exec_function_threaded::<TAINT>(&tf, fid, args, parent, inherited_ctx)
+                self.exec_function_threaded::<P>(&tf, fid, args, parent, inherited_ctx)
             }
-            _ => self.exec_function_inner::<TAINT>(fid, args, parent, inherited_ctx),
+            _ => self.exec_function_inner::<P>(fid, args, parent, inherited_ctx),
         };
         self.depth -= 1;
         result
@@ -658,14 +683,14 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         }
     }
 
-    fn exec_function_inner<const TAINT: bool>(
+    fn exec_function_inner<P: PolicyMode>(
         &mut self,
         fid: FunctionId,
         args: &[TVal],
         parent: Option<PathId>,
         inherited_ctx: Label,
     ) -> Result<(Option<TVal>, f64), InterpError> {
-        debug_assert_eq!(TAINT, self.config.taint);
+        debug_assert_eq!(P::TAINT, self.config.taint);
         // Reborrow through the `'m` reference so the decoded program can be
         // held across `&mut self` calls.
         let prepared: &'m PreparedModule = self.prepared;
@@ -691,8 +716,8 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         let fuel = self.config.fuel;
         let policy = self.config.policy;
         let coverage = self.config.coverage;
-        let combine_ptr = TAINT && self.config.combine_ptr_labels;
-        let store_ctx = TAINT && policy != CtlFlowPolicy::Off;
+        let combine_ptr = P::TAINT && self.config.combine_ptr_labels;
+        let store_ctx = P::TAINT && policy != CtlFlowPolicy::Off;
         let mut insts = self.insts;
         let mut clock = self.clock;
 
@@ -740,7 +765,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         // EMPTY∪EMPTY unions is bit-identical (they early-out without
         // touching the label table). Any bail ("deopt") hands the block to
         // the general loop at an instruction boundary.
-        let mut fast = TAINT
+        let mut fast = P::TAINT
             && base_ctx.is_empty()
             && self.tier_fast.get(fid.index()).copied().unwrap_or(false)
             && args[..dfunc.nparams].iter().all(|a| a.label.is_empty());
@@ -781,7 +806,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             } else {
                 Label::EMPTY
             };
-            let apply_all = TAINT && policy == CtlFlowPolicy::All && !ctx.is_empty();
+            let apply_all = P::TAINT && policy == CtlFlowPolicy::All && !ctx.is_empty();
 
             let dblock = &dfunc.blocks[block.index()];
 
@@ -1104,7 +1129,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                             self.insts = insts;
                             self.clock = clock;
                             let (ret, incl) =
-                                self.exec_function::<TAINT>(*callee, argv, Some(path), ctx)?;
+                                self.exec_function::<P>(*callee, argv, Some(path), ctx)?;
                             insts = self.insts;
                             clock = self.clock;
                             child_time += incl;
@@ -1123,7 +1148,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         } => {
                             insts += 1;
                             clock += inst_cost;
-                            let out = self.exec_inlined::<TAINT>(
+                            let out = self.exec_inlined::<P>(
                                 *callee,
                                 *entry,
                                 body,
@@ -1151,7 +1176,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                             insts += 1;
                             clock += inst_cost;
                             resolve_argv!(args, &regs, argv);
-                            let out = self.exec_intrinsic(*which, argv)?;
+                            let out = self.exec_intrinsic::<P>(*which, argv)?;
                             regs[di.dst as usize] = out;
                             if !out.label.is_empty() {
                                 deopt_to = Some(k + 1);
@@ -1243,7 +1268,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     DOp::BinI { op, a, b } => {
                         let a = resolve(*a, &regs);
                         let b = resolve(*b, &regs);
-                        let label = self.union_t::<TAINT>(a.label, b.label);
+                        let label = self.union_t::<P>(a.label, b.label);
                         let (x, y) = (a.as_i64(), b.as_i64());
                         let r = match op {
                             BinOp::Add => x.wrapping_add(y),
@@ -1281,7 +1306,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     DOp::BinF { op, a, b } => {
                         let a = resolve(*a, &regs);
                         let b = resolve(*b, &regs);
-                        let label = self.union_t::<TAINT>(a.label, b.label);
+                        let label = self.union_t::<P>(a.label, b.label);
                         let (x, y) = (a.as_f64(), b.as_f64());
                         let r = match op {
                             BinOp::Add => x + y,
@@ -1370,7 +1395,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     DOp::CmpI { pred, a, b } => {
                         let a = resolve(*a, &regs);
                         let b = resolve(*b, &regs);
-                        let label = self.union_t::<TAINT>(a.label, b.label);
+                        let label = self.union_t::<P>(a.label, b.label);
                         TVal {
                             bits: pred.eval(a.as_i64(), b.as_i64()) as u64,
                             label,
@@ -1379,7 +1404,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     DOp::CmpF { pred, a, b } => {
                         let a = resolve(*a, &regs);
                         let b = resolve(*b, &regs);
-                        let label = self.union_t::<TAINT>(a.label, b.label);
+                        let label = self.union_t::<P>(a.label, b.label);
                         TVal {
                             bits: pred.eval(a.as_f64(), b.as_f64()) as u64,
                             label,
@@ -1392,7 +1417,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         } else {
                             resolve(*e, &regs)
                         };
-                        let label = self.union_t::<TAINT>(c.label, chosen.label);
+                        let label = self.union_t::<P>(c.label, chosen.label);
                         TVal {
                             bits: chosen.bits,
                             label,
@@ -1413,7 +1438,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         let a = resolve(*addr, &regs);
                         let mut v = self.mem.load(a.as_addr())?;
                         if combine_ptr {
-                            v.label = self.union_t::<TAINT>(v.label, a.label);
+                            v.label = self.union_t::<P>(v.label, a.label);
                         }
                         v
                     }
@@ -1423,7 +1448,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         if store_ctx {
                             // StoresOnly and All both taint stored values
                             // with the control context.
-                            v.label = self.union_t::<TAINT>(v.label, ctx);
+                            v.label = self.union_t::<P>(v.label, ctx);
                         }
                         self.mem.store(a.as_addr(), v)?;
                         TVal::UNTAINTED_ZERO
@@ -1435,7 +1460,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     } => {
                         let b = resolve(*base, &regs);
                         let i = resolve(*index, &regs);
-                        let label = self.union_t::<TAINT>(b.label, i.label);
+                        let label = self.union_t::<P>(b.label, i.label);
                         let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
                         TVal {
                             bits: addr as u64,
@@ -1453,16 +1478,16 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         // charges itself before touching memory.
                         let b = resolve(*base, &regs);
                         let i = resolve(*index, &regs);
-                        let mut la = self.union_t::<TAINT>(b.label, i.label);
+                        let mut la = self.union_t::<P>(b.label, i.label);
                         if apply_all {
-                            la = self.union_t::<TAINT>(la, ctx);
+                            la = self.union_t::<P>(la, ctx);
                         }
                         let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
                         insts += 1;
                         clock += inst_cost;
                         let mut v = self.mem.load(addr as u64 as usize)?;
                         if combine_ptr {
-                            v.label = self.union_t::<TAINT>(v.label, la);
+                            v.label = self.union_t::<P>(v.label, la);
                         }
                         v
                     }
@@ -1475,19 +1500,19 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         // Fused gep+store, charged like LoadIdx.
                         let b = resolve(*base, &regs);
                         let i = resolve(*index, &regs);
-                        let gep_label = self.union_t::<TAINT>(b.label, i.label);
+                        let gep_label = self.union_t::<P>(b.label, i.label);
                         if apply_all {
                             // The fused-away gep result would have carried
                             // the control context; the union must still
                             // happen so the label table stays identical.
-                            let _ = self.union_t::<TAINT>(gep_label, ctx);
+                            let _ = self.union_t::<P>(gep_label, ctx);
                         }
                         let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
                         insts += 1;
                         clock += inst_cost;
                         let mut v = resolve(*value, &regs);
                         if store_ctx {
-                            v.label = self.union_t::<TAINT>(v.label, ctx);
+                            v.label = self.union_t::<P>(v.label, ctx);
                         }
                         self.mem.store(addr as u64 as usize, v)?;
                         TVal::UNTAINTED_ZERO
@@ -1497,7 +1522,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         self.insts = insts;
                         self.clock = clock;
                         let (ret, incl) =
-                            self.exec_function::<TAINT>(*callee, argv, Some(path), ctx)?;
+                            self.exec_function::<P>(*callee, argv, Some(path), ctx)?;
                         insts = self.insts;
                         clock = self.clock;
                         child_time += incl;
@@ -1508,7 +1533,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         entry,
                         body,
                         ret,
-                    } => self.exec_inlined::<TAINT>(
+                    } => self.exec_inlined::<P>(
                         *callee,
                         *entry,
                         body,
@@ -1530,7 +1555,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         // Intrinsics never touch the clock or instruction
                         // count — no counter sync needed.
                         resolve_argv!(args, &regs, argv);
-                        self.exec_intrinsic(*which, argv)?
+                        self.exec_intrinsic::<P>(*which, argv)?
                     }
                     DOp::CallHostPrim { name, prim, args } => {
                         // Host calls never touch the instruction counter,
@@ -1572,7 +1597,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 };
                 let out = if apply_all {
                     let mut t = out;
-                    t.label = self.union_t::<TAINT>(t.label, ctx);
+                    t.label = self.union_t::<P>(t.label, ctx);
                     t
                 } else {
                     out
@@ -1585,7 +1610,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
 
             match &dblock.term {
                 DTerm::Br(edge) => {
-                    self.take_edge::<TAINT>(
+                    self.take_edge::<P>(
                         edge, fid, path, &mut regs, &ctl, base_ctx, &mut insts, &mut clock,
                     );
                     block = edge.target;
@@ -1598,7 +1623,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     join,
                 } => {
                     let cv = resolve(*cond, &regs);
-                    if TAINT {
+                    if P::TAINT {
                         // Sinks: loop-exit conditions (§4.1).
                         for &lid in exiting.iter() {
                             let pset = self.labels.params_of(cv.label);
@@ -1619,12 +1644,12 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         // Open a control scope for tainted branches.
                         if policy != CtlFlowPolicy::Off && !cv.label.is_empty() {
                             let enclosing = ctl.last().map_or(base_ctx, |s| s.label);
-                            let label = self.union_t::<TAINT>(cv.label, enclosing);
+                            let label = self.union_t::<P>(cv.label, enclosing);
                             ctl.push(CtlScope { join: *join, label });
                         }
                     }
                     let edge = if cv.as_bool() { then_edge } else { else_edge };
-                    self.take_edge::<TAINT>(
+                    self.take_edge::<P>(
                         edge, fid, path, &mut regs, &ctl, base_ctx, &mut insts, &mut clock,
                     );
                     block = edge.target;
@@ -1648,19 +1673,19 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     clock += inst_cost;
                     let av = resolve(*a, &regs);
                     let bv = resolve(*b, &regs);
-                    let mut cond_label = self.union_t::<TAINT>(av.label, bv.label);
+                    let mut cond_label = self.union_t::<P>(av.label, bv.label);
                     let taken = if *float {
                         pred.eval(av.as_f64(), bv.as_f64())
                     } else {
                         pred.eval(av.as_i64(), bv.as_i64())
                     };
                     if apply_all {
-                        cond_label = self.union_t::<TAINT>(cond_label, ctx);
+                        cond_label = self.union_t::<P>(cond_label, ctx);
                     }
                     if insts > fuel {
                         return Err(InterpError::OutOfFuel);
                     }
-                    if TAINT {
+                    if P::TAINT {
                         for &lid in exiting.iter() {
                             let pset = self.labels.params_of(cond_label);
                             self.record_sink(
@@ -1678,12 +1703,12 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         }
                         if policy != CtlFlowPolicy::Off && !cond_label.is_empty() {
                             let enclosing = ctl.last().map_or(base_ctx, |s| s.label);
-                            let label = self.union_t::<TAINT>(cond_label, enclosing);
+                            let label = self.union_t::<P>(cond_label, enclosing);
                             ctl.push(CtlScope { join: *join, label });
                         }
                     }
                     let edge = if taken { then_edge } else { else_edge };
-                    self.take_edge::<TAINT>(
+                    self.take_edge::<P>(
                         edge, fid, path, &mut regs, &ctl, base_ctx, &mut insts, &mut clock,
                     );
                     block = edge.target;
@@ -1724,7 +1749,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
     /// boundaries explicit ([`TInst::Enter`]), straight-line fallthroughs
     /// elided at specialization time, and branch targets resolved to op
     /// positions through [`ThreadedFunction::entry_of`].
-    fn exec_function_threaded<const TAINT: bool>(
+    fn exec_function_threaded<P: PolicyMode>(
         &mut self,
         tf: &ThreadedFunction,
         fid: FunctionId,
@@ -1732,7 +1757,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         parent: Option<PathId>,
         inherited_ctx: Label,
     ) -> Result<(Option<TVal>, f64), InterpError> {
-        debug_assert_eq!(TAINT, self.config.taint);
+        debug_assert_eq!(P::TAINT, self.config.taint);
         let prepared: &'m PreparedModule = self.prepared;
         let dfunc: &'m DecodedFunction = prepared.decoded.func(fid);
         if args.len() < dfunc.nparams {
@@ -1750,8 +1775,8 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         let fuel = self.config.fuel;
         let policy = self.config.policy;
         let coverage = self.config.coverage;
-        let combine_ptr = TAINT && self.config.combine_ptr_labels;
-        let store_ctx = TAINT && policy != CtlFlowPolicy::Off;
+        let combine_ptr = P::TAINT && self.config.combine_ptr_labels;
+        let store_ctx = P::TAINT && policy != CtlFlowPolicy::Off;
         let mut insts = self.insts;
         let mut clock = self.clock;
 
@@ -1809,7 +1834,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 } else {
                     Label::EMPTY
                 };
-                apply_all = TAINT && policy == CtlFlowPolicy::All && !ctx.is_empty();
+                apply_all = P::TAINT && policy == CtlFlowPolicy::All && !ctx.is_empty();
             }};
         }
 
@@ -1842,7 +1867,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     // Audited: `jump < jumps.len()`, `pc` one past an Enter.
                     debug_assert!((jump as usize) < tf.jumps.len());
                     let j = unsafe { tf.jumps.get_unchecked(jump as usize) };
-                    self.take_edge::<TAINT>(
+                    self.take_edge::<P>(
                         &j.edge, fid, path, &mut regs, &ctl, base_ctx, &mut insts, &mut clock,
                     );
                     pc = j.pc as usize;
@@ -1861,7 +1886,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     insts += 1;
                     clock += inst_cost;
                     if apply_all {
-                        out.label = self.union_t::<TAINT>(out.label, ctx);
+                        out.label = self.union_t::<P>(out.label, ctx);
                     }
                     debug_assert!((dst as usize) < regs.len());
                     unsafe { *regs.get_unchecked_mut(dst as usize) = out };
@@ -1870,7 +1895,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     }
                     debug_assert!((jump as usize) < tf.jumps.len());
                     let j = unsafe { tf.jumps.get_unchecked(jump as usize) };
-                    self.take_edge::<TAINT>(
+                    self.take_edge::<P>(
                         &j.edge, fid, path, &mut regs, &ctl, base_ctx, &mut insts, &mut clock,
                     );
                     pc = j.pc as usize;
@@ -1884,7 +1909,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     debug_assert!((br as usize) < tf.branches.len());
                     let brd = unsafe { tf.branches.get_unchecked(br as usize) };
                     let cv = tres(cond, &regs, consts);
-                    if TAINT {
+                    if P::TAINT {
                         for &lid in brd.exiting.iter() {
                             let pset = self.labels.params_of(cv.label);
                             self.record_sink(
@@ -1902,7 +1927,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         }
                         if policy != CtlFlowPolicy::Off && !cv.label.is_empty() {
                             let enclosing = ctl.last().map_or(base_ctx, |s| s.label);
-                            let label = self.union_t::<TAINT>(cv.label, enclosing);
+                            let label = self.union_t::<P>(cv.label, enclosing);
                             ctl.push(CtlScope {
                                 join: brd.join,
                                 label,
@@ -1914,7 +1939,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     } else {
                         (&brd.else_edge, brd.else_pc)
                     };
-                    self.take_edge::<TAINT>(
+                    self.take_edge::<P>(
                         edge, fid, path, &mut regs, &ctl, base_ctx, &mut insts, &mut clock,
                     );
                     pc = target_pc as usize;
@@ -1938,21 +1963,21 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     clock += inst_cost;
                     let av = tres(a, &regs, consts);
                     let bv = tres(b, &regs, consts);
-                    let mut cond_label = self.union_t::<TAINT>(av.label, bv.label);
+                    let mut cond_label = self.union_t::<P>(av.label, bv.label);
                     let taken = if float {
                         pred.eval(av.as_f64(), bv.as_f64())
                     } else {
                         pred.eval(av.as_i64(), bv.as_i64())
                     };
                     if apply_all {
-                        cond_label = self.union_t::<TAINT>(cond_label, ctx);
+                        cond_label = self.union_t::<P>(cond_label, ctx);
                     }
                     if insts > fuel {
                         return Err(InterpError::OutOfFuel);
                     }
                     debug_assert!((br as usize) < tf.branches.len());
                     let brd = unsafe { tf.branches.get_unchecked(br as usize) };
-                    if TAINT {
+                    if P::TAINT {
                         for &lid in brd.exiting.iter() {
                             let pset = self.labels.params_of(cond_label);
                             self.record_sink(
@@ -1970,7 +1995,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         }
                         if policy != CtlFlowPolicy::Off && !cond_label.is_empty() {
                             let enclosing = ctl.last().map_or(base_ctx, |s| s.label);
-                            let label = self.union_t::<TAINT>(cond_label, enclosing);
+                            let label = self.union_t::<P>(cond_label, enclosing);
                             ctl.push(CtlScope {
                                 join: brd.join,
                                 label,
@@ -1982,7 +2007,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     } else {
                         (&brd.else_edge, brd.else_pc)
                     };
-                    self.take_edge::<TAINT>(
+                    self.take_edge::<P>(
                         edge, fid, path, &mut regs, &ctl, base_ctx, &mut insts, &mut clock,
                     );
                     pc = target_pc as usize;
@@ -2014,7 +2039,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::AddI { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2025,7 +2050,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::SubI { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2036,7 +2061,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::MulI { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2047,7 +2072,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::DivI { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     let y = b.as_i64();
                     if y == 0 {
                         return Err(InterpError::DivisionByZero {
@@ -2064,7 +2089,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::RemI { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     let y = b.as_i64();
                     if y == 0 {
                         return Err(InterpError::DivisionByZero {
@@ -2081,7 +2106,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::AndI { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2092,7 +2117,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::OrI { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2103,7 +2128,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::XorI { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2114,7 +2139,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::ShlI { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2125,7 +2150,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::ShrI { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2136,7 +2161,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::MinI { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2147,7 +2172,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::MaxI { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2158,7 +2183,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::AddF { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2169,7 +2194,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::SubF { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2180,7 +2205,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::MulF { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2191,7 +2216,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::DivF { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2202,7 +2227,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::RemF { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2213,7 +2238,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::MinF { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2224,7 +2249,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::MaxF { dst, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2331,7 +2356,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::CmpI { dst, pred, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2342,7 +2367,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 }
                 TInst::CmpF { dst, pred, a, b } => {
                     let (a, b) = (tres(a, &regs, consts), tres(b, &regs, consts));
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     (
                         dst,
                         TVal {
@@ -2514,7 +2539,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     } else {
                         tres(e, &regs, consts)
                     };
-                    let label = self.union_t::<TAINT>(c.label, chosen.label);
+                    let label = self.union_t::<P>(c.label, chosen.label);
                     (
                         dst,
                         TVal {
@@ -2545,7 +2570,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     let a = tres(addr, &regs, consts);
                     let mut v = self.mem.load(a.as_addr())?;
                     if combine_ptr {
-                        v.label = self.union_t::<TAINT>(v.label, a.label);
+                        v.label = self.union_t::<P>(v.label, a.label);
                     }
                     (dst, v)
                 }
@@ -2553,7 +2578,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     let a = tres(addr, &regs, consts);
                     let mut v = tres(value, &regs, consts);
                     if store_ctx {
-                        v.label = self.union_t::<TAINT>(v.label, ctx);
+                        v.label = self.union_t::<P>(v.label, ctx);
                     }
                     self.mem.store(a.as_addr(), v)?;
                     (dst, TVal::UNTAINTED_ZERO)
@@ -2566,7 +2591,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 } => {
                     let b = tres(base, &regs, consts);
                     let i = tres(index, &regs, consts);
-                    let label = self.union_t::<TAINT>(b.label, i.label);
+                    let label = self.union_t::<P>(b.label, i.label);
                     let addr = b
                         .as_i64()
                         .wrapping_add(i.as_i64().wrapping_mul(tconst(stride, consts) as i64));
@@ -2586,9 +2611,9 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 } => {
                     let b = tres(base, &regs, consts);
                     let i = tres(index, &regs, consts);
-                    let mut la = self.union_t::<TAINT>(b.label, i.label);
+                    let mut la = self.union_t::<P>(b.label, i.label);
                     if apply_all {
-                        la = self.union_t::<TAINT>(la, ctx);
+                        la = self.union_t::<P>(la, ctx);
                     }
                     let addr = b
                         .as_i64()
@@ -2597,7 +2622,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     clock += inst_cost;
                     let mut v = self.mem.load(addr as u64 as usize)?;
                     if combine_ptr {
-                        v.label = self.union_t::<TAINT>(v.label, la);
+                        v.label = self.union_t::<P>(v.label, la);
                     }
                     (dst, v)
                 }
@@ -2610,9 +2635,9 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 } => {
                     let b = tres(base, &regs, consts);
                     let i = tres(index, &regs, consts);
-                    let gep_label = self.union_t::<TAINT>(b.label, i.label);
+                    let gep_label = self.union_t::<P>(b.label, i.label);
                     if apply_all {
-                        let _ = self.union_t::<TAINT>(gep_label, ctx);
+                        let _ = self.union_t::<P>(gep_label, ctx);
                     }
                     let addr = b
                         .as_i64()
@@ -2621,7 +2646,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     clock += inst_cost;
                     let mut v = tres(value, &regs, consts);
                     if store_ctx {
-                        v.label = self.union_t::<TAINT>(v.label, ctx);
+                        v.label = self.union_t::<P>(v.label, ctx);
                     }
                     self.mem.store(addr as u64 as usize, v)?;
                     (dst, TVal::UNTAINTED_ZERO)
@@ -2643,7 +2668,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                             self.insts = insts;
                             self.clock = clock;
                             let (ret, incl) =
-                                self.exec_function::<TAINT>(*callee, argv, Some(path), ctx)?;
+                                self.exec_function::<P>(*callee, argv, Some(path), ctx)?;
                             insts = self.insts;
                             clock = self.clock;
                             child_time += incl;
@@ -2654,7 +2679,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                             entry,
                             body,
                             ret,
-                        } => self.exec_inlined::<TAINT>(
+                        } => self.exec_inlined::<P>(
                             *callee,
                             *entry,
                             body,
@@ -2674,7 +2699,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                         )?,
                         DOp::CallIntrinsic { which, args } => {
                             resolve_argv!(args, &regs, argv);
-                            self.exec_intrinsic(*which, argv)?
+                            self.exec_intrinsic::<P>(*which, argv)?
                         }
                         DOp::CallHostPrim { name, prim, args } => {
                             resolve_argv!(args, &regs, argv);
@@ -2714,7 +2739,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     };
                     let out = if apply_all {
                         let mut t = out;
-                        t.label = self.union_t::<TAINT>(t.label, ctx);
+                        t.label = self.union_t::<P>(t.label, ctx);
                         t
                     } else {
                         out
@@ -2727,7 +2752,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             clock += inst_cost;
             let out = if apply_all {
                 let mut t = out;
-                t.label = self.union_t::<TAINT>(t.label, ctx);
+                t.label = self.union_t::<P>(t.label, ctx);
                 t
             } else {
                 out
@@ -2756,7 +2781,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
     /// reference engine's simultaneous assignment.
     #[allow(clippy::too_many_arguments)]
     #[inline]
-    fn take_edge<const TAINT: bool>(
+    fn take_edge<P: PolicyMode>(
         &mut self,
         edge: &Edge,
         fid: FunctionId,
@@ -2767,7 +2792,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         insts: &mut u64,
         clock: &mut f64,
     ) {
-        if TAINT {
+        if P::TAINT {
             if let Some(lid) = edge.back_edge {
                 self.bump_iterations(LoopKey {
                     func: fid,
@@ -2792,7 +2817,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         }
         // Phis evaluate under the scope that closes at the target (it pops
         // only after the copy) — including a scope this very branch pushed.
-        let apply = TAINT && self.config.policy == CtlFlowPolicy::All;
+        let apply = P::TAINT && self.config.policy == CtlFlowPolicy::All;
         let ctx = ctl.last().map_or(base_ctx, |s| s.label);
         let inst_cost = self.config.inst_cost;
         if let [mv] = edge.moves.as_ref() {
@@ -2803,7 +2828,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             *clock += inst_cost;
             let mut tv = resolve(mv.src, regs);
             if apply {
-                tv.label = self.union_t::<TAINT>(tv.label, ctx);
+                tv.label = self.union_t::<P>(tv.label, ctx);
             }
             regs[mv.dst as usize] = tv;
             return;
@@ -2815,7 +2840,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             *clock += inst_cost;
             let mut tv = resolve(mv.src, regs);
             if apply {
-                tv.label = self.union_t::<TAINT>(tv.label, ctx);
+                tv.label = self.union_t::<P>(tv.label, ctx);
             }
             stage.push((mv.dst, tv));
         }
@@ -2834,7 +2859,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
     /// push nor pop scopes), so `ctx`/`apply_all`/`store_ctx` carry over
     /// unchanged.
     #[allow(clippy::too_many_arguments)]
-    fn exec_inlined<const TAINT: bool>(
+    fn exec_inlined<P: PolicyMode>(
         &mut self,
         callee: FunctionId,
         entry: BlockId,
@@ -2867,7 +2892,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         if coverage {
             self.records.visited_blocks.mark(callee, entry);
         }
-        let result = self.exec_inlined_body::<TAINT>(
+        let result = self.exec_inlined_body::<P>(
             body,
             regs,
             insts,
@@ -2899,7 +2924,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
     /// exactly — the differential suites pin the two against the
     /// reference engine.
     #[allow(clippy::too_many_arguments)]
-    fn exec_inlined_body<const TAINT: bool>(
+    fn exec_inlined_body<P: PolicyMode>(
         &mut self,
         body: &[DInst],
         regs: &mut [TVal],
@@ -2934,7 +2959,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 DOp::BinI { op, a, b } => {
                     let a = resolve(*a, regs);
                     let b = resolve(*b, regs);
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     let (x, y) = (a.as_i64(), b.as_i64());
                     let r = match op {
                         BinOp::Add => x.wrapping_add(y),
@@ -2972,7 +2997,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 DOp::BinF { op, a, b } => {
                     let a = resolve(*a, regs);
                     let b = resolve(*b, regs);
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     let (x, y) = (a.as_f64(), b.as_f64());
                     let r = match op {
                         BinOp::Add => x + y,
@@ -3061,7 +3086,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 DOp::CmpI { pred, a, b } => {
                     let a = resolve(*a, regs);
                     let b = resolve(*b, regs);
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     TVal {
                         bits: pred.eval(a.as_i64(), b.as_i64()) as u64,
                         label,
@@ -3070,7 +3095,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 DOp::CmpF { pred, a, b } => {
                     let a = resolve(*a, regs);
                     let b = resolve(*b, regs);
-                    let label = self.union_t::<TAINT>(a.label, b.label);
+                    let label = self.union_t::<P>(a.label, b.label);
                     TVal {
                         bits: pred.eval(a.as_f64(), b.as_f64()) as u64,
                         label,
@@ -3083,7 +3108,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     } else {
                         resolve(*e, regs)
                     };
-                    let label = self.union_t::<TAINT>(c.label, chosen.label);
+                    let label = self.union_t::<P>(c.label, chosen.label);
                     TVal {
                         bits: chosen.bits,
                         label,
@@ -3093,7 +3118,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     let a = resolve(*addr, regs);
                     let mut v = self.mem.load(a.as_addr())?;
                     if combine_ptr {
-                        v.label = self.union_t::<TAINT>(v.label, a.label);
+                        v.label = self.union_t::<P>(v.label, a.label);
                     }
                     v
                 }
@@ -3101,7 +3126,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     let a = resolve(*addr, regs);
                     let mut v = resolve(*value, regs);
                     if store_ctx {
-                        v.label = self.union_t::<TAINT>(v.label, ctx);
+                        v.label = self.union_t::<P>(v.label, ctx);
                     }
                     self.mem.store(a.as_addr(), v)?;
                     TVal::UNTAINTED_ZERO
@@ -3113,7 +3138,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 } => {
                     let b = resolve(*base, regs);
                     let i = resolve(*index, regs);
-                    let label = self.union_t::<TAINT>(b.label, i.label);
+                    let label = self.union_t::<P>(b.label, i.label);
                     let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
                     TVal {
                         bits: addr as u64,
@@ -3127,16 +3152,16 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 } => {
                     let b = resolve(*base, regs);
                     let i = resolve(*index, regs);
-                    let mut la = self.union_t::<TAINT>(b.label, i.label);
+                    let mut la = self.union_t::<P>(b.label, i.label);
                     if apply_all {
-                        la = self.union_t::<TAINT>(la, ctx);
+                        la = self.union_t::<P>(la, ctx);
                     }
                     let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
                     *insts += 1;
                     *clock += inst_cost;
                     let mut v = self.mem.load(addr as u64 as usize)?;
                     if combine_ptr {
-                        v.label = self.union_t::<TAINT>(v.label, la);
+                        v.label = self.union_t::<P>(v.label, la);
                     }
                     v
                 }
@@ -3148,16 +3173,16 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 } => {
                     let b = resolve(*base, regs);
                     let i = resolve(*index, regs);
-                    let gep_label = self.union_t::<TAINT>(b.label, i.label);
+                    let gep_label = self.union_t::<P>(b.label, i.label);
                     if apply_all {
-                        let _ = self.union_t::<TAINT>(gep_label, ctx);
+                        let _ = self.union_t::<P>(gep_label, ctx);
                     }
                     let addr = b.as_i64().wrapping_add(i.as_i64().wrapping_mul(*stride));
                     *insts += 1;
                     *clock += inst_cost;
                     let mut v = resolve(*value, regs);
                     if store_ctx {
-                        v.label = self.union_t::<TAINT>(v.label, ctx);
+                        v.label = self.union_t::<P>(v.label, ctx);
                     }
                     self.mem.store(addr as u64 as usize, v)?;
                     TVal::UNTAINTED_ZERO
@@ -3199,7 +3224,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
             };
             let out = if apply_all {
                 let mut t = out;
-                t.label = self.union_t::<TAINT>(t.label, ctx);
+                t.label = self.union_t::<P>(t.label, ctx);
                 t
             } else {
                 out
@@ -3213,9 +3238,16 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
         Ok(())
     }
 
-    /// Interpreter-resolved taint intrinsics (parameter sources and test
-    /// assertions).
-    fn exec_intrinsic(&mut self, which: Intrinsic, argv: &[TVal]) -> Result<TVal, InterpError> {
+    /// Interpreter-resolved taint intrinsics (parameter sources, the
+    /// security policy's source/sanitize/sink-check triple, and test
+    /// assertions). Generic over the policy: every call site sits inside
+    /// a policy-monomorphized loop, so the `P::TAINT` / `P::SECURITY`
+    /// branches here fold away like the loop's own.
+    fn exec_intrinsic<P: PolicyMode>(
+        &mut self,
+        which: Intrinsic,
+        argv: &[TVal],
+    ) -> Result<TVal, InterpError> {
         match which {
             Intrinsic::ParamI64 => {
                 let idx = argv[0].as_i64() as usize;
@@ -3223,8 +3255,10 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                     self.params.get(idx).cloned().ok_or_else(|| {
                         InterpError::Trap(format!("pt_param_i64: no param {idx}"))
                     })?;
-                let label = if self.config.taint {
-                    self.labels.base_label(&name)
+                let label = if P::TAINT {
+                    self.labels
+                        .try_base_label(&name)
+                        .map_err(InterpError::LabelCapacity)?
                 } else {
                     Label::EMPTY
                 };
@@ -3236,14 +3270,59 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 let (name, _) = self.params.get(idx).cloned().ok_or_else(|| {
                     InterpError::Trap(format!("pt_register_param: no param {idx}"))
                 })?;
-                if self.config.taint {
-                    let label = self.labels.base_label(&name);
+                if P::TAINT {
+                    let label = self
+                        .labels
+                        .try_base_label(&name)
+                        .map_err(InterpError::LabelCapacity)?;
                     self.mem.set_label(addr, label)?;
                 }
                 Ok(TVal::UNTAINTED_ZERO)
             }
+            Intrinsic::TaintSource => {
+                // Pass-through of the value; under the security policy the
+                // source base `src#id` is joined into its label (may-taint:
+                // the incoming label is kept, never replaced).
+                let v = argv[0];
+                if P::SECURITY {
+                    let id = argv[1].as_i64();
+                    let base = self
+                        .labels
+                        .try_base_label(&crate::policy::source_base_name(id))
+                        .map_err(InterpError::LabelCapacity)?;
+                    let label = self.labels.union(v.label, base);
+                    Ok(v.with_label(label))
+                } else {
+                    Ok(v)
+                }
+            }
+            Intrinsic::Sanitize => {
+                // Under the security policy, clear the label to bottom;
+                // otherwise identity (value *and* label survive, so the
+                // paper policy is observably unchanged by sanitize calls).
+                let v = argv[0];
+                if P::SECURITY {
+                    Ok(v.with_label(Label::EMPTY))
+                } else {
+                    Ok(v)
+                }
+            }
+            Intrinsic::SinkCheck => {
+                let v = argv[0];
+                if P::SECURITY {
+                    let id = argv[1].as_i64();
+                    let pset = self.labels.params_of(v.label);
+                    let rec = self.records.sink_checks.entry(id).or_default();
+                    rec.checks += 1;
+                    if !v.label.is_empty() {
+                        rec.violations += 1;
+                        rec.params = rec.params.union(pset);
+                    }
+                }
+                Ok(v)
+            }
             Intrinsic::AssertHasParam => {
-                if self.config.taint {
+                if P::TAINT {
                     let idx = argv[1].as_i64() as usize;
                     if !self.labels.params_of(argv[0].label).contains(idx) {
                         return Err(InterpError::Trap(format!(
@@ -3255,7 +3334,7 @@ impl<'m, H: ExternalHandler> Interpreter<'m, H> {
                 Ok(TVal::UNTAINTED_ZERO)
             }
             Intrinsic::AssertNotParam => {
-                if self.config.taint {
+                if P::TAINT {
                     let idx = argv[1].as_i64() as usize;
                     if self.labels.params_of(argv[0].label).contains(idx) {
                         return Err(InterpError::Trap(format!(

@@ -133,6 +133,12 @@ pub struct LabelTable {
     param_names: Vec<String>,
     name_index: HashMap<String, usize>,
     union_memo: HashMap<(u16, u16), Label>,
+    /// First capacity failure (base-label overflow or node exhaustion).
+    /// Once set, further allocations degrade to [`Label::EMPTY`] and the
+    /// engines surface this message as a defined run error — user input
+    /// must never panic across the wire. The message is deterministic, so
+    /// both engines report the identical error (differential contract).
+    capacity_error: Option<String>,
 }
 
 impl Default for LabelTable {
@@ -153,25 +159,53 @@ impl LabelTable {
             param_names: Vec::new(),
             name_index: HashMap::new(),
             union_memo: HashMap::new(),
+            capacity_error: None,
         }
     }
 
-    /// Intern a base label for parameter `name`; idempotent.
+    /// Intern a base label for parameter `name`; idempotent. On capacity
+    /// overflow this degrades to [`Label::EMPTY`] and records
+    /// [`LabelTable::capacity_error`]; call [`LabelTable::try_base_label`]
+    /// to observe the failure at the call site.
     pub fn base_label(&mut self, name: &str) -> Label {
+        self.try_base_label(name).unwrap_or(Label::EMPTY)
+    }
+
+    /// Intern a base label for parameter `name`; idempotent. `Err` carries
+    /// a deterministic message when the base-label space (64) or the node
+    /// space (2^16) is exhausted; the failure is also latched in
+    /// [`LabelTable::capacity_error`] so run-end checks catch introductions
+    /// that went through the infallible wrapper.
+    pub fn try_base_label(&mut self, name: &str) -> Result<Label, String> {
         if let Some(&idx) = self.name_index.get(name) {
-            return self.base_by_param[idx];
+            return Ok(self.base_by_param[idx]);
         }
         let idx = self.param_names.len();
-        assert!(idx < 64, "at most 64 base labels supported");
+        if idx >= 64 {
+            let msg = format!("at most 64 base labels supported (adding {name:?})");
+            if self.capacity_error.is_none() {
+                self.capacity_error = Some(msg.clone());
+            }
+            return Err(msg);
+        }
         let label = self.alloc(Node {
             l: Label::EMPTY,
             r: Label::EMPTY,
         });
+        if label.is_empty() {
+            return Err(self.capacity_error.clone().unwrap_or_default());
+        }
         self.sets[label.0 as usize] = ParamSet::single(idx);
         self.param_names.push(name.to_string());
         self.name_index.insert(name.to_string(), idx);
         self.base_by_param.push(label);
-        label
+        Ok(label)
+    }
+
+    /// The first capacity failure, if any allocation overflowed. Engines
+    /// check this at run end and turn it into a defined error.
+    pub fn capacity_error(&self) -> Option<&str> {
+        self.capacity_error.as_deref()
     }
 
     /// The base label previously interned for `name`, if any.
@@ -189,12 +223,19 @@ impl LabelTable {
         &self.param_names
     }
 
+    /// Allocate a node. On exhaustion (2^16 labels) this latches
+    /// [`LabelTable::capacity_error`] and returns [`Label::EMPTY`]
+    /// *without* pushing — callers must treat an empty result as failure
+    /// and leave `sets`/memo untouched (writing through label 0 would
+    /// corrupt the untainted set).
     fn alloc(&mut self, node: Node) -> Label {
         let id = self.nodes.len();
-        assert!(
-            id <= u16::MAX as usize,
-            "label table exhausted (2^16 labels)"
-        );
+        if id > u16::MAX as usize {
+            if self.capacity_error.is_none() {
+                self.capacity_error = Some("label table exhausted (2^16 labels)".to_string());
+            }
+            return Label::EMPTY;
+        }
         self.nodes.push(node);
         self.sets.push(ParamSet::EMPTY);
         Label(id as u16)
@@ -229,6 +270,13 @@ impl LabelTable {
             l: Label(key.0),
             r: Label(key.1),
         });
+        if label.is_empty() {
+            // Exhausted: degrade to bottom. The run-end capacity check
+            // turns this into a defined error in both engines (they
+            // allocate union nodes in identical order, so the flag trips
+            // identically), and labels never feed back into value bits.
+            return Label::EMPTY;
+        }
         self.sets[label.0 as usize] = sa.union(sb);
         self.union_memo.insert(key, label);
         label
@@ -411,6 +459,60 @@ mod tests {
         let s = ParamSet::single(0).union(ParamSet::single(1));
         assert_eq!(format!("{}", s.display(&names)), "{size, p}");
         assert_eq!(format!("{}", ParamSet::EMPTY.display(&names)), "{}");
+    }
+
+    #[test]
+    fn base_label_overflow_is_a_defined_error_not_a_panic() {
+        let mut t = LabelTable::new();
+        for i in 0..64 {
+            assert!(t.try_base_label(&format!("p{i}")).is_ok());
+        }
+        assert!(t.capacity_error().is_none());
+        let err = t.try_base_label("p64").unwrap_err();
+        assert!(err.contains("64 base labels"), "unexpected message: {err}");
+        assert_eq!(t.capacity_error(), Some(err.as_str()));
+        // Existing bases still resolve; the infallible wrapper degrades
+        // to bottom instead of panicking.
+        assert_eq!(t.param_index("p0"), Some(0));
+        assert!(t.try_base_label("p0").is_ok());
+        assert_eq!(t.base_label("p65"), Label::EMPTY);
+        assert_eq!(t.param_names().len(), 64);
+    }
+
+    #[test]
+    fn node_exhaustion_is_a_defined_error_not_a_panic() {
+        let mut t = LabelTable::new();
+        let bases: Vec<Label> = (0..20).map(|i| t.base_label(&format!("p{i}"))).collect();
+        // Each distinct bit pattern of `x` is a distinct base subset, so
+        // every iteration allocates at least one new union node; the table
+        // must trip its capacity latch at 2^16 instead of panicking.
+        let mut x: u64 = 0;
+        while t.capacity_error().is_none() {
+            x += 1;
+            assert!(x < 1 << 20, "exhaustion never tripped");
+            let mut acc = Label::EMPTY;
+            for (i, b) in bases.iter().enumerate() {
+                if (x >> i) & 1 == 1 {
+                    acc = t.union(acc, *b);
+                }
+            }
+        }
+        assert!(t.capacity_error().unwrap().contains("exhausted"));
+        assert_eq!(t.len(), (u16::MAX as usize) + 1);
+        // Post-exhaustion: memoized unions still resolve, genuinely new
+        // unions degrade to bottom, and label 0 stays the untainted set
+        // (the failed allocation must not write through `sets[0]`).
+        let ab = t.union(bases[0], bases[1]);
+        assert_eq!(t.params_of(ab), ParamSet(0b11));
+        for further in 0..4u64 {
+            let mut acc = Label::EMPTY;
+            for (i, b) in bases.iter().enumerate() {
+                if ((x + 1 + further) >> i) & 1 == 1 {
+                    acc = t.union(acc, *b);
+                }
+            }
+        }
+        assert_eq!(t.params_of(Label::EMPTY), ParamSet::EMPTY);
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod label;
 pub mod memory;
 pub mod ops;
 pub mod path;
+pub mod policy;
 pub mod prepared;
 pub mod profile;
 pub mod records;
@@ -88,8 +89,9 @@ pub use interp::{CtlFlowPolicy, InterpConfig, InterpError, Interpreter, RunOutpu
 pub use label::{Label, LabelTable, ParamSet};
 pub use memory::{MemError, Memory, TVal};
 pub use path::{CallPathTable, PathId};
+pub use policy::{Measure, ParamPolicy, PolicyKind, PolicyMode, SecurityPolicy};
 pub use prepared::{PreparedFunction, PreparedModule};
 pub use profile::{Profile, ProfileEntry};
-pub use records::{BranchRecord, LoopKey, LoopRecord, TaintRecords};
+pub use records::{BranchRecord, LoopKey, LoopRecord, SinkRecord, TaintRecords};
 pub use reference::ReferenceInterpreter;
 pub use tier::{SpecializedModule, TierConfig, TierMode, TierPlan, TierStats};

@@ -46,6 +46,19 @@ impl BranchRecord {
     }
 }
 
+/// What one `pt_sink_check(v, id)` site observed over a run (security
+/// policy only; the paper policy never populates these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkRecord {
+    /// Union of the parameter/source sets of all checked values.
+    pub params: ParamSet,
+    /// Total checks executed.
+    pub checks: u64,
+    /// Checks whose value carried a non-empty label (taint reached the
+    /// sink unsanitized).
+    pub violations: u64,
+}
+
 /// Per-function, per-block visit flags, stored as one flat vector with a
 /// per-function offset table. The interpreter marks a block on every
 /// entry — the hottest record write of a run — so the layout is one
@@ -112,6 +125,8 @@ pub struct TaintRecords {
     pub executed: Vec<bool>,
     /// Per function, per block: executed? (never-visited code, §4.4).
     pub visited_blocks: BlockCoverage,
+    /// Per sink id: the security policy's check/violation ledger.
+    pub sink_checks: BTreeMap<i64, SinkRecord>,
     pub paths: CallPathTable,
 }
 
@@ -124,6 +139,7 @@ impl TaintRecords {
             extern_args: BTreeMap::new(),
             executed: vec![false; nfuncs],
             visited_blocks: BlockCoverage::new(blocks_per_func),
+            sink_checks: BTreeMap::new(),
             paths: CallPathTable::new(),
         }
     }

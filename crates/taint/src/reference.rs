@@ -98,6 +98,12 @@ impl<'m, H: ExternalHandler> ReferenceInterpreter<'m, H> {
     pub fn run(mut self, entry: FunctionId, args: &[i64]) -> Result<RunOutput, InterpError> {
         let argv: Vec<TVal> = args.iter().map(|&a| TVal::from_i64(a)).collect();
         let (ret, _incl) = self.exec_function(entry, argv, None, Label::EMPTY)?;
+        // Mirror of the decoded engine's run-end capacity check: both
+        // engines allocate labels in identical order, so an overflow
+        // surfaces as the identical defined error in both.
+        if let Some(msg) = self.labels.capacity_error() {
+            return Err(InterpError::LabelCapacity(msg.to_string()));
+        }
         Ok(RunOutput {
             ret,
             time: self.clock,
@@ -125,6 +131,14 @@ impl<'m, H: ExternalHandler> ReferenceInterpreter<'m, H> {
             return Label::EMPTY;
         }
         self.labels.union(a, b)
+    }
+
+    /// Whether the security policy's source/sink/sanitizer intrinsics are
+    /// live (the reference engine checks the policy at run time — it is
+    /// the slow mirror of the decoded engine's monomorphized `P::SECURITY`).
+    #[inline]
+    fn security(&self) -> bool {
+        self.config.taint && self.config.taint_policy == crate::policy::PolicyKind::Security
     }
 
     fn exec_function(
@@ -631,7 +645,9 @@ impl<'m, H: ExternalHandler> ReferenceInterpreter<'m, H> {
                         InterpError::Trap(format!("pt_param_i64: no param {idx}"))
                     })?;
                 let label = if self.config.taint {
-                    self.labels.base_label(&name)
+                    self.labels
+                        .try_base_label(&name)
+                        .map_err(InterpError::LabelCapacity)?
                 } else {
                     Label::EMPTY
                 };
@@ -644,10 +660,50 @@ impl<'m, H: ExternalHandler> ReferenceInterpreter<'m, H> {
                     InterpError::Trap(format!("pt_register_param: no param {idx}"))
                 })?;
                 if self.config.taint {
-                    let label = self.labels.base_label(&name);
+                    let label = self
+                        .labels
+                        .try_base_label(&name)
+                        .map_err(InterpError::LabelCapacity)?;
                     self.mem.set_label(addr, label)?;
                 }
                 return Ok(TVal::UNTAINTED_ZERO);
+            }
+            "pt_taint_source" => {
+                // Security policy: join source base `src#id` into the
+                // value's label (may-taint); otherwise identity. Mirrors
+                // `Intrinsic::TaintSource` in the decoded engine exactly.
+                let v = argv[0];
+                if self.security() {
+                    let id = argv[1].as_i64();
+                    let base = self
+                        .labels
+                        .try_base_label(&crate::policy::source_base_name(id))
+                        .map_err(InterpError::LabelCapacity)?;
+                    let label = self.labels.union(v.label, base);
+                    return Ok(v.with_label(label));
+                }
+                return Ok(v);
+            }
+            "pt_sanitize" => {
+                let v = argv[0];
+                if self.security() {
+                    return Ok(v.with_label(Label::EMPTY));
+                }
+                return Ok(v);
+            }
+            "pt_sink_check" => {
+                let v = argv[0];
+                if self.security() {
+                    let id = argv[1].as_i64();
+                    let pset = self.labels.params_of(v.label);
+                    let rec = self.records.sink_checks.entry(id).or_default();
+                    rec.checks += 1;
+                    if !v.label.is_empty() {
+                        rec.violations += 1;
+                        rec.params = rec.params.union(pset);
+                    }
+                }
+                return Ok(v);
             }
             "pt_assert_has_param" => {
                 if self.config.taint {

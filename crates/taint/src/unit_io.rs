@@ -274,6 +274,9 @@ fn intrinsic_to(i: Intrinsic) -> &'static str {
         Intrinsic::AssertHasParam => "pt_assert_has_param",
         Intrinsic::AssertNotParam => "pt_assert_not_param",
         Intrinsic::LabelParams => "pt_label_params",
+        Intrinsic::TaintSource => "pt_taint_source",
+        Intrinsic::Sanitize => "pt_sanitize",
+        Intrinsic::SinkCheck => "pt_sink_check",
     }
 }
 

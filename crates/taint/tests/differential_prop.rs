@@ -7,17 +7,20 @@
 //! nests with tainted and untainted bounds, phi webs from if/else merges,
 //! leaf calls that the inliner flattens, array traffic through fused
 //! `gep+load`/`gep+store`, shift/compare chains, and tainted branches
-//! driving control scopes — across every `CtlFlowPolicy` and both taint
-//! modes. The vendored proptest samples deterministically (seeded from
-//! the test's module path), so the CI `taint-differential` job runs a
-//! fixed-seed slice of this space on every PR.
+//! driving control scopes — across every `CtlFlowPolicy`, both taint
+//! modes, and both *taint policies* (param-set and security; every
+//! generated program calls the source/sanitize/sink intrinsics, so the
+//! security lattice is exercised, and under param-set those calls must be
+//! pure pass-throughs). The vendored proptest samples deterministically
+//! (seeded from the test's module path), so the CI `taint-differential`
+//! job runs a fixed-seed slice of this space on every PR.
 
 use proptest::prelude::*;
 use pt_ir::{BinOp, CmpPred, FunctionBuilder, Module, Type, UnOp, Value};
 use pt_taint::differential::compare_results;
 use pt_taint::{
-    CtlFlowPolicy, InterpConfig, Interpreter, PreparedModule, ReferenceInterpreter, TierConfig,
-    TierMode, WorkOnlyHandler,
+    CtlFlowPolicy, InterpConfig, Interpreter, PolicyKind, PreparedModule, ReferenceInterpreter,
+    TierConfig, TierMode, WorkOnlyHandler,
 };
 
 /// Tiny deterministic RNG so one proptest-sampled `u64` seed expands into
@@ -169,6 +172,27 @@ fn build_module(seed: u64) -> Module {
         let back = b.load(addr2, Type::I64);
         let mixed = b.add(back, merged);
         b.call_external("pt_work_flops", vec![mixed], Type::Void);
+        // Security-policy intrinsics: mark, sometimes sanitize, always
+        // sink-check, and store the result so the label (or its absence)
+        // flows onward through memory. Under the param-set policy all
+        // three are identity pass-throughs.
+        let marked = b.call_external(
+            "pt_taint_source",
+            vec![mixed, Value::int(1 + (inner_seed % 3) as i64)],
+            Type::I64,
+        );
+        let cleaned = if rng.pick(2) == 0 {
+            b.call_external("pt_sanitize", vec![marked], Type::I64)
+        } else {
+            marked
+        };
+        let checked = b.call_external(
+            "pt_sink_check",
+            vec![cleaned, Value::int((inner_seed % 2) as i64)],
+            Type::I64,
+        );
+        let addr3 = b.gep(buf, idx, 1);
+        b.store(addr3, checked);
         if depth > 1 {
             let inner_bound = if rng.pick(2) == 0 {
                 k
@@ -189,6 +213,7 @@ fn build_module(seed: u64) -> Module {
     let final_addr = b.gep(buf, Value::int(1), 1);
     let final_load = b.load(final_addr, Type::I64);
     let out = b.add(*scope.last().unwrap(), final_load);
+    let out = b.call_external("pt_sink_check", vec![out, Value::int(7)], Type::I64);
     b.ret(Some(out));
     m.add_function(b.finish());
     m
@@ -210,6 +235,7 @@ proptest! {
         k in 1i64..5,
         tight_fuel in proptest::bool::ANY,
         tier_idx in 0usize..4,
+        security in proptest::bool::ANY,
     ) {
         let m = build_module(seed);
         let policy = [CtlFlowPolicy::All, CtlFlowPolicy::StoresOnly, CtlFlowPolicy::Off][policy_idx];
@@ -233,7 +259,11 @@ proptest! {
             },
             TierConfig { mode: TierMode::Warmup, hot_calls: 2, ..TierConfig::default() },
         ][tier_idx].clone();
-        let config = InterpConfig { policy, taint, coverage: taint, fuel, tier, ..Default::default() };
+        // The taint-policy dimension: the same programs under the
+        // security lattice (sources/sanitizers/sinks live) and the
+        // paper's param-set domain (the intrinsics are pass-throughs).
+        let taint_policy = if security { PolicyKind::Security } else { PolicyKind::ParamSet };
+        let config = InterpConfig { policy, taint, coverage: taint, fuel, tier, taint_policy, ..Default::default() };
         let params = vec![("n".to_string(), n), ("k".to_string(), k)];
 
         let prepared = PreparedModule::compute(&m);
